@@ -1,0 +1,37 @@
+//! Criterion runtimes for the Table I flows (the paper reports results from
+//! an Apple M1 laptop; ours come from whatever host runs `cargo bench`).
+//!
+//! One group per flow configuration, one benchmark-circuit ID each, at the
+//! scaled-down sizes so a full `cargo bench` stays in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfq_circuits::Benchmark;
+use sfq_core::{run_flow, FlowConfig};
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_flows");
+    group.sample_size(10);
+    for bench in Benchmark::ALL {
+        let aig = bench.build_small();
+        for (label, config) in [
+            ("1phase", FlowConfig::single_phase()),
+            ("4phase", FlowConfig::multiphase(4)),
+            ("t1", FlowConfig::t1(4)),
+        ] {
+            // Skip the equivalence check inside the timed loop: it is a
+            // verification feature, not part of the flow cost the paper
+            // would report.
+            let mut config = config;
+            config.equivalence_words = 0;
+            group.bench_with_input(
+                BenchmarkId::new(label, bench.name()),
+                &aig,
+                |b, aig| b.iter(|| run_flow(aig, &config).expect("flow succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks for the substrates the flow is built on:
+//! technology mapping, cut enumeration, T1 detection, phase assignment,
+//! DFF insertion, pulse simulation, interchange formats (BLIF/Verilog) and
+//! the post-flow analyses (energy, jitter margins) — each measured in
+//! isolation so regressions are attributable to a single stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfq_circuits as circuits;
+use sfq_core::{assign_phases, detect_t1, insert_dffs, run_flow, FlowConfig, PhaseEngine};
+use sfq_netlist::{blif, enumerate_cuts, export, map_aig, CutConfig, Library};
+use sfq_sim::energy::{measure_energy, EnergyModel};
+use sfq_sim::margin::{analyze_margins, MarginConfig};
+use sfq_sim::{simulate_waves, PulseSim};
+
+fn bench_substrates(c: &mut Criterion) {
+    let lib = Library::default();
+    let aig = circuits::adder(32);
+    let mapped = map_aig(&aig, &lib);
+    let cut_config = CutConfig::default();
+
+    c.bench_function("map_aig/adder32", |b| b.iter(|| map_aig(&aig, &lib)));
+
+    c.bench_function("enumerate_cuts/adder32", |b| {
+        b.iter(|| enumerate_cuts(&mapped, &cut_config))
+    });
+
+    c.bench_function("detect_t1/adder32", |b| {
+        b.iter(|| detect_t1(&mapped, &lib, &cut_config))
+    });
+
+    let detected = detect_t1(&mapped, &lib, &cut_config).network;
+    c.bench_function("assign_phases/adder32_t1", |b| {
+        b.iter(|| assign_phases(&detected, 4, PhaseEngine::Heuristic).expect("feasible"))
+    });
+
+    let assignment =
+        assign_phases(&detected, 4, PhaseEngine::Heuristic).expect("feasible");
+    c.bench_function("insert_dffs/adder32_t1", |b| {
+        b.iter(|| insert_dffs(&detected, &assignment, 4).expect("insertable"))
+    });
+
+    let timed = run_flow(&aig, &FlowConfig::t1(4)).expect("flow succeeds").timed;
+    let waves: Vec<Vec<bool>> = (0..4)
+        .map(|w| (0..aig.num_inputs()).map(|i| (i + w) % 3 == 0).collect())
+        .collect();
+    c.bench_function("simulate_waves/adder32_t1", |b| {
+        b.iter(|| simulate_waves(&timed, &waves).expect("no hazards"))
+    });
+
+    // Interchange formats: render and re-parse the mapped netlist.
+    c.bench_function("render_blif/adder32", |b| b.iter(|| export::render_blif(&mapped)));
+    let text = export::render_blif(&mapped);
+    c.bench_function("parse_blif/adder32", |b| {
+        b.iter(|| blif::parse_blif(&text).expect("exported blif parses"))
+    });
+    c.bench_function("render_verilog/adder32", |b| {
+        b.iter(|| export::render_verilog(&mapped))
+    });
+
+    // Post-flow analyses.
+    let (_, trace) = PulseSim::new(&timed).run_traced(&waves).expect("no hazards");
+    c.bench_function("measure_energy/adder32_t1", |b| {
+        b.iter(|| measure_energy(&timed, &trace, waves.len(), &lib, &EnergyModel::default()))
+    });
+    let margin_cfg = MarginConfig { trials: 200, ..MarginConfig::default() };
+    c.bench_function("analyze_margins/adder32_t1_200", |b| {
+        b.iter(|| analyze_margins(&timed, &margin_cfg))
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

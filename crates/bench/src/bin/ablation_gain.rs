@@ -1,0 +1,50 @@
+//! Ext-C ablation: sweep the T1 gain threshold `ΔA > θ` on the multiplier.
+//!
+//! The paper commits every candidate with positive JJ gain (θ = 0). A
+//! higher cutoff commits fewer, higher-value T1 cells — fewer extra stages,
+//! less area recovered. This sweep exposes that trade-off.
+//!
+//! ```text
+//! cargo run -p sfq-bench --release --bin ablation_gain [-- --small]
+//! ```
+
+use sfq_circuits::Benchmark;
+use sfq_core::{run_flow, FlowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let small = std::env::args().any(|a| a == "--small");
+    let aig = if small {
+        Benchmark::Multiplier.build_small()
+    } else {
+        Benchmark::Multiplier.build()
+    };
+    println!("design: {} ({} AIG nodes)\n", aig.name(), aig.num_ands());
+
+    let baseline = run_flow(&aig, &FlowConfig::multiphase(4))?.report;
+    println!(
+        "4φ baseline: {} DFFs, {} JJ, depth {}\n",
+        baseline.num_dffs, baseline.area, baseline.depth_cycles
+    );
+
+    println!(
+        "{:>5} {:>6} {:>6} {:>8} {:>10} {:>6} {:>10}",
+        "θ", "found", "used", "#DFF", "area", "depth", "area/4φ"
+    );
+    for theta in [0i64, 10, 20, 30, 40, 60, 90, 10_000] {
+        let mut config = FlowConfig::t1(4);
+        config.gain_threshold = theta;
+        let r = run_flow(&aig, &config)?.report;
+        println!(
+            "{:>5} {:>6} {:>6} {:>8} {:>10} {:>6} {:>10.3}",
+            theta,
+            r.t1_found,
+            r.t1_used,
+            r.num_dffs,
+            r.area,
+            r.depth_cycles,
+            r.area as f64 / baseline.area as f64
+        );
+    }
+    println!("\nθ = ∞ recovers the plain 4φ flow (no T1 cells commit)");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Ext-A ablation: sweep the number of clock phases `n ∈ {1..8}` and report
+//! how DFF count, area and depth respond, with and without T1 cells.
+//!
+//! The paper fixes `n = 4`; this sweep shows why: DFF savings saturate
+//! around 4–6 phases while depth (in cycles) keeps shrinking only slowly,
+//! and T1 cells need `n ≥ 4` to have three distinct arrival slots plus the
+//! firing slot within one period.
+//!
+//! ```text
+//! cargo run -p sfq-bench --release --bin ablation_phases [-- --small]
+//! ```
+
+use sfq_circuits::Benchmark;
+use sfq_core::{run_flow, FlowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let small = std::env::args().any(|a| a == "--small");
+    let benches = [Benchmark::Adder, Benchmark::C6288];
+
+    for bench in benches {
+        let aig = if small { bench.build_small() } else { bench.build() };
+        println!("== {} ({} AIG nodes) ==\n", aig.name(), aig.num_ands());
+        println!(
+            "{:>2} {:>6} | {:>8} {:>10} {:>6} | {:>8} {:>10} {:>6} {:>6}",
+            "n", "", "DFF", "area", "depth", "DFF", "area", "depth", "used"
+        );
+        println!(
+            "{:>2} {:>6} | {:>27} | {:>33}",
+            "", "", "-------- no T1 --------", "---------- with T1 ----------"
+        );
+        for n in 1..=8u8 {
+            let plain = run_flow(&aig, &FlowConfig::multiphase(n))?.report;
+            // With n < 4 the T1 input window has < 3 distinct slots, so
+            // detection cannot commit any cell; run it anyway to show that.
+            let t1 = run_flow(&aig, &FlowConfig::t1(n))?.report;
+            println!(
+                "{:>2} {:>6} | {:>8} {:>10} {:>6} | {:>8} {:>10} {:>6} {:>6}",
+                n,
+                "",
+                plain.num_dffs,
+                plain.area,
+                plain.depth_cycles,
+                t1.num_dffs,
+                t1.area,
+                t1.depth_cycles,
+                t1.t1_used
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

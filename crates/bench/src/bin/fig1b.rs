@@ -1,0 +1,21 @@
+//! Regenerates the paper's Fig. 1b: the T1 cell's pulse response to the
+//! data patterns `{a}`, `{a,b}`, `{a,b,c}` across three clock periods.
+//!
+//! ```text
+//! cargo run -p sfq-bench --bin fig1b          # ASCII waveform
+//! cargo run -p sfq-bench --bin fig1b -- --csv # machine-readable
+//! ```
+
+use sfq_sim::waveform::fig1b_waveform;
+
+fn main() {
+    let wf = fig1b_waveform();
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", wf.render_csv());
+    } else {
+        println!("Fig. 1b — T1 cell simulation (data patterns a; a,b; a,b,c):\n");
+        println!("{}", wf.render_ascii());
+        println!("reading: every T pulse toggles the loop; Q* fires on 0→1, C* on 1→0;");
+        println!("the R (clock) pulse emits S only if the loop holds a 1.");
+    }
+}

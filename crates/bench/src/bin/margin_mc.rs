@@ -1,0 +1,58 @@
+//! Ext-F extension: Monte-Carlo analog timing margins of the T1 discipline.
+//!
+//! The paper's model is discrete: distinct stages ⇒ no pulse overlap. On
+//! silicon the stage spacing is `period / n` and pulses jitter, so the
+//! discipline has a finite analog margin that *shrinks as the phase count
+//! grows*. This sweep quantifies the hazard probability of flow-produced
+//! netlists across jitter levels and phase counts — the design-space
+//! dimension the ILP cannot see (see `sfq_sim::margin` for the model).
+//!
+//! ```text
+//! cargo run -p sfq-bench --release --bin margin_mc
+//! ```
+
+use sfq_circuits::Benchmark;
+use sfq_core::{run_flow, FlowConfig};
+use sfq_sim::margin::{analyze_margins, MarginConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let aig = Benchmark::Adder.build_small();
+    println!(
+        "benchmark: {} (scaled), clock period 25 ps (40 GHz), 2 ps pulse resolution, 2000 trials\n",
+        aig.name()
+    );
+    println!(
+        "{:>2} {:>8} {:>6} | {:>10} {:>12} {:>12} {:>12}",
+        "n", "spacing", "T1", "jitter ps", "hazard rate", "worst sep ps", "mean sep ps"
+    );
+
+    for phases in [4u8, 5, 6, 8] {
+        let res = run_flow(&aig, &FlowConfig::t1(phases))?;
+        let t1 = res.report.t1_used;
+        for jitter in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let cfg = MarginConfig {
+                jitter_ps: jitter,
+                trials: 2000,
+                ..MarginConfig::default()
+            };
+            let r = analyze_margins(&res.timed, &cfg);
+            println!(
+                "{:>2} {:>8.2} {:>6} | {:>10.2} {:>12.4} {:>12.2} {:>12.2}",
+                phases,
+                r.stage_spacing_ps,
+                t1,
+                jitter,
+                r.hazard_rate(),
+                r.worst_separation_ps,
+                r.mean_min_separation_ps,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: at fixed clock rate, raising the phase count buys DFFs but\n\
+         sells analog margin — the n=4 choice of the paper sits before the\n\
+         hazard-rate knee for ~1 ps-class jitter."
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Scaling probe: per-stage wall-clock on the big Table I instances.
+use sfq_circuits::Benchmark;
+use sfq_core::{assign_phases, detect_t1, insert_dffs, PhaseEngine};
+use sfq_netlist::{map_aig, CutConfig, Library};
+use std::time::Instant;
+
+fn main() {
+    let lib = Library::default();
+    for bench in Benchmark::ALL {
+        let t0 = Instant::now();
+        let aig = bench.build();
+        let t_build = t0.elapsed();
+        let t0 = Instant::now();
+        // Mirror run_flow exactly (map, sweep dead cells, detect) so the
+        // t1/dff columns line up with table1's.
+        let (mapped, _) = map_aig(&aig, &lib).cleaned();
+        let t_map = t0.elapsed();
+        let t0 = Instant::now();
+        let det = detect_t1(&mapped, &lib, &CutConfig::default());
+        let t_det = t0.elapsed();
+        let t0 = Instant::now();
+        let asg = assign_phases(&det.network, 4, PhaseEngine::Heuristic).expect("feasible");
+        let t_phase = t0.elapsed();
+        let t0 = Instant::now();
+        let timed = insert_dffs(&det.network, &asg, 4).expect("insertable");
+        let t_dff = t0.elapsed();
+        println!(
+            "{:<12} aig={:>6} gates={:>6} t1={:>5} | build {:.1?} map {:.1?} detect {:.1?} phase {:.1?} dff {:.1?} | dffs={}",
+            bench.name(), aig.num_ands(), mapped.num_gates(), det.used,
+            t_build, t_map, t_det, t_phase, t_dff, timed.num_dffs()
+        );
+    }
+}

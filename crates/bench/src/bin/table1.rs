@@ -1,0 +1,48 @@
+//! Regenerates the paper's Table I: eight arithmetic benchmarks × the 1φ,
+//! 4φ and 4φ+T1 flows, reporting T1 cells found/used, path-balancing DFFs,
+//! area (JJs) and depth (cycles), with ratio and average columns.
+//!
+//! ```text
+//! cargo run -p sfq-bench --release --bin table1            # paper scale
+//! cargo run -p sfq-bench --release --bin table1 -- --small # CI scale
+//! ```
+
+use sfq_bench::{format_table, paper_row, run_table, Scale, TableRow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Paper
+    };
+    eprintln!("running Table I at {scale:?} scale (three flows per row; use --small for a fast run)\n");
+
+    let rows = run_table(scale, |row: &TableRow| {
+        eprintln!(
+            "  {:<12} done ({:.1?} / {:.1?} / {:.1?})",
+            row.name, row.runtime[0], row.runtime[1], row.runtime[2]
+        );
+    })?;
+
+    println!("\n== measured (this machine, this library) ==\n");
+    println!("{}", format_table(&rows));
+
+    println!("== measured vs paper (T1/4φ ratios; shape comparison) ==\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12}",
+        "benchmark", "area meas", "area paper", "dff meas", "dff paper"
+    );
+    for row in &rows {
+        if let Some(p) = paper_row(&row.name) {
+            let (_, a4) = row.area_ratios();
+            let (_, d4) = row.dff_ratios();
+            let (_, pa4) = p.area_ratios();
+            let (_, pd4) = p.dff_ratios();
+            println!(
+                "{:<12} {:>10.2} {:>10.2} {:>12.2} {:>12.2}",
+                row.name, a4, pa4, d4, pd4
+            );
+        }
+    }
+    Ok(())
+}

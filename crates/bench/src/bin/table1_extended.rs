@@ -1,0 +1,53 @@
+//! Extension experiment: the paper's Table I protocol applied to the five
+//! EPFL arithmetic benchmarks the paper did not evaluate (bar, max, div,
+//! sqrt, hyp) plus a c499-style error corrector.
+//!
+//! These are the control-flavoured datapaths — mux-, comparator- and
+//! parity-rich rather than full-adder-rich — so the expected shape is the
+//! opposite of the adder rows: few T1 candidates, commits only where an
+//! embedded carry chain exists (div/sqrt/hyp), and T1 area ≈ 4φ area
+//! elsewhere. c499 is the sharpest control: XOR-saturated yet MAJ-free, so
+//! T1 groups (which need ≥ 2 distinct functions per leaf set) cannot form.
+//!
+//! ```text
+//! cargo run -p sfq-bench --release --bin table1_extended [-- --small]
+//! ```
+
+use sfq_circuits::ExtBenchmark;
+use sfq_core::{run_flow, FlowConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let small = std::env::args().any(|a| a == "--small");
+
+    println!(
+        "{:<8} {:>6} {:>5} | {:>8} {:>8} {:>5} | {:>9} {:>9} {:>5} | {:>4} {:>4}",
+        "bench", "found", "used", "DFF 4φ", "DFF T1", "r", "Area 4φ", "Area T1", "r", "D4φ", "DT1"
+    );
+    for bench in ExtBenchmark::ALL {
+        let aig = if small { bench.build_small() } else { bench.build() };
+        let t0 = Instant::now();
+        let four = run_flow(&aig, &FlowConfig::multiphase(4))?.report;
+        let t1 = run_flow(&aig, &FlowConfig::t1(4))?.report;
+        let elapsed = t0.elapsed();
+        println!(
+            "{:<8} {:>6} {:>5} | {:>8} {:>8} {:>5.2} | {:>9} {:>9} {:>5.2} | {:>4} {:>4}   ({:.1?})",
+            bench.name(),
+            t1.t1_found,
+            t1.t1_used,
+            four.num_dffs,
+            t1.num_dffs,
+            t1.num_dffs as f64 / four.num_dffs.max(1) as f64,
+            four.area,
+            t1.area,
+            t1.area as f64 / four.area as f64,
+            four.depth_cycles,
+            t1.depth_cycles,
+            elapsed
+        );
+    }
+    println!(
+        "\nexpected shape: r(area) ≈ 1 on bar/max/c499 (mux/parity-rich), < 1 on div/sqrt/hyp (carry-chain cores)"
+    );
+    Ok(())
+}

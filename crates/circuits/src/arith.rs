@@ -1,0 +1,148 @@
+//! Word-level arithmetic constructors over AIG literals.
+//!
+//! These mirror the datapath idioms the EPFL suite's generators use:
+//! ripple-carry addition, two's-complement subtraction/negation, array
+//! multiplication with carry-save reduction, squaring, and arithmetic
+//! shifts. Everything is pure structure — constants fold away inside the
+//! AIG's strashing constructors.
+
+use sfq_netlist::{Aig, AigLit};
+
+/// Ripple-carry addition of equal-width words; result has one extra bit
+/// (the carry-out).
+///
+/// # Panics
+/// Panics if the words differ in width or are empty.
+pub fn add_words(aig: &mut Aig, a: &[AigLit], b: &[AigLit], cin: Option<AigLit>) -> Vec<AigLit> {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "empty operands");
+    let mut carry = cin.unwrap_or(AigLit::FALSE);
+    let mut out = Vec::with_capacity(a.len() + 1);
+    for i in 0..a.len() {
+        let (s, c) = aig.full_adder(a[i], b[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+/// Two's-complement subtraction `a − b`, same width as the inputs
+/// (wrap-around semantics; the borrow is discarded).
+///
+/// # Panics
+/// Panics if the words differ in width or are empty.
+pub fn sub_words(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    let nb: Vec<AigLit> = b.iter().map(|&x| !x).collect();
+    let one = aig.const_true();
+    let mut sum = add_words(aig, a, &nb, Some(one));
+    sum.truncate(a.len());
+    sum
+}
+
+/// Two's-complement negation, same width (wrap-around semantics).
+pub fn negate_word(aig: &mut Aig, a: &[AigLit]) -> Vec<AigLit> {
+    let zeros: Vec<AigLit> = vec![AigLit::FALSE; a.len()];
+    sub_words(aig, &zeros, a)
+}
+
+/// Shift right by a constant amount; `arithmetic` replicates the sign bit,
+/// otherwise zeros shift in. Width is preserved.
+pub fn shift_right_arith(
+    aig: &mut Aig,
+    a: &[AigLit],
+    amount: usize,
+    arithmetic: bool,
+) -> Vec<AigLit> {
+    let w = a.len();
+    let fill = if arithmetic { *a.last().expect("non-empty word") } else { aig.const_false() };
+    (0..w).map(|i| if i + amount < w { a[i + amount] } else { fill }).collect()
+}
+
+/// Array multiplication with carry-save column reduction; the product is
+/// `a.len() + b.len()` bits wide.
+///
+/// # Panics
+/// Panics if either operand is empty.
+pub fn mul_words(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    assert!(!a.is_empty() && !b.is_empty(), "empty operands");
+    let out_w = a.len() + b.len();
+    let mut columns: Vec<Vec<AigLit>> = vec![Vec::new(); out_w];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = aig.and(ai, bj);
+            if pp != AigLit::FALSE {
+                columns[i + j].push(pp);
+            }
+        }
+    }
+    reduce_columns(aig, columns)
+}
+
+/// Squaring with the folded partial-product trick
+/// (`aᵢaⱼ + aⱼaᵢ = aᵢaⱼ` shifted up one column; `aᵢaᵢ = aᵢ`).
+///
+/// # Panics
+/// Panics if the operand is empty.
+pub fn square_word(aig: &mut Aig, a: &[AigLit]) -> Vec<AigLit> {
+    assert!(!a.is_empty(), "empty operand");
+    let out_w = 2 * a.len();
+    let mut columns: Vec<Vec<AigLit>> = vec![Vec::new(); out_w];
+    for i in 0..a.len() {
+        columns[2 * i].push(a[i]); // aᵢ·aᵢ = aᵢ at weight 2i
+        for j in (i + 1)..a.len() {
+            let pp = aig.and(a[i], a[j]);
+            if pp != AigLit::FALSE {
+                columns[i + j + 1].push(pp); // doubled cross term
+            }
+        }
+    }
+    reduce_columns(aig, columns)
+}
+
+/// Carry-save reduction of weighted columns followed by a final ripple add.
+fn reduce_columns(aig: &mut Aig, mut columns: Vec<Vec<AigLit>>) -> Vec<AigLit> {
+    let out_w = columns.len();
+    loop {
+        let mut any = false;
+        let mut next: Vec<Vec<AigLit>> = vec![Vec::new(); out_w + 1];
+        for (w, col) in columns.iter().enumerate() {
+            let mut i = 0;
+            while i + 2 < col.len() {
+                let (s, c) = aig.full_adder(col[i], col[i + 1], col[i + 2]);
+                next[w].push(s);
+                next[w + 1].push(c);
+                any = true;
+                i += 3;
+            }
+            if i + 1 < col.len() && col.len() > 2 {
+                let (s, c) = aig.half_adder(col[i], col[i + 1]);
+                next[w].push(s);
+                next[w + 1].push(c);
+                any = true;
+                i += 2;
+            }
+            while i < col.len() {
+                next[w].push(col[i]);
+                i += 1;
+            }
+        }
+        next.truncate(out_w);
+        columns = next;
+        if !any {
+            break;
+        }
+    }
+    // Two rows remain; final ripple-carry pass.
+    let mut row_a = Vec::with_capacity(out_w);
+    let mut row_b = Vec::with_capacity(out_w);
+    for col in &columns {
+        debug_assert!(col.len() <= 2, "reduction leaves at most two rows");
+        row_a.push(col.first().copied().unwrap_or(AigLit::FALSE));
+        row_b.push(col.get(1).copied().unwrap_or(AigLit::FALSE));
+    }
+    let mut sum = add_words(aig, &row_a, &row_b, None);
+    sum.truncate(out_w);
+    sum
+}

@@ -1,0 +1,577 @@
+//! The remaining EPFL arithmetic benchmarks, beyond the paper's Table I
+//! subset: barrel shifter (`bar`), four-way maximum (`max`), restoring
+//! divider (`div`), integer square root (`sqrt`) and hypotenuse (`hyp`).
+//!
+//! The paper evaluates on eight circuits; these five complete the EPFL
+//! arithmetic set so the flow can be exercised on *control-flavoured*
+//! datapaths too (shifters and comparators are mux/AND-rich rather than
+//! FA-rich — exactly where T1 cells should *not* fire, which makes them the
+//! interesting negative control for detection).
+
+use crate::arith::{add_words, sub_words};
+use sfq_netlist::{Aig, AigLit};
+
+/// Logarithmic barrel shifter: rotates the `width`-bit input left by the
+/// `shift`-bit amount (EPFL `bar`: width 128, shift 7).
+///
+/// # Panics
+/// Panics unless `width == 1 << shift_bits` and `shift_bits ≥ 1`.
+pub fn bar(width: usize, shift_bits: usize) -> Aig {
+    assert!(shift_bits >= 1 && width == 1 << shift_bits, "width must be 2^shift_bits");
+    let mut aig = Aig::new(format!("bar{width}"));
+    let x = aig.input_word("x", width);
+    let s = aig.input_word("s", shift_bits);
+    let mut cur = x;
+    for (k, &sk) in s.iter().enumerate() {
+        let amount = 1usize << k;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            // Rotate left by `amount` when sk is set.
+            let rotated = cur[(i + width - amount) % width];
+            next.push(aig.mux(sk, rotated, cur[i]));
+        }
+        cur = next;
+    }
+    aig.output_word("y", &cur);
+    aig
+}
+
+/// Reference model for [`bar`]: rotate-left within `width` bits.
+pub fn bar_ref(x: u64, shift: u32, width: usize) -> u64 {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let s = shift % width as u32;
+    ((x << s) | (x >> (width as u32 - s).min(63))) & mask
+}
+
+/// Unsigned `a > b` comparator via the carry-out of `a + ¬b`.
+fn gt(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    let nb: Vec<AigLit> = b.iter().map(|&x| !x).collect();
+    let sum = add_words(aig, a, &nb, None);
+    *sum.last().expect("carry-out")
+}
+
+/// Word-level two-way multiplexer.
+fn mux_word(aig: &mut Aig, sel: AigLit, t: &[AigLit], e: &[AigLit]) -> Vec<AigLit> {
+    t.iter().zip(e).map(|(&x, &y)| aig.mux(sel, x, y)).collect()
+}
+
+/// Four-way maximum of `bits`-wide unsigned words (EPFL `max`: four 128-bit
+/// operands).
+pub fn max4(bits: usize) -> Aig {
+    let mut aig = Aig::new(format!("max{bits}"));
+    let words: Vec<Vec<AigLit>> =
+        (0..4).map(|k| aig.input_word(&format!("w{k}"), bits)).collect();
+    let m01 = {
+        let c = gt(&mut aig, &words[0], &words[1]);
+        mux_word(&mut aig, c, &words[0], &words[1])
+    };
+    let m23 = {
+        let c = gt(&mut aig, &words[2], &words[3]);
+        mux_word(&mut aig, c, &words[2], &words[3])
+    };
+    let c = gt(&mut aig, &m01, &m23);
+    let m = mux_word(&mut aig, c, &m01, &m23);
+    aig.output_word("max", &m);
+    aig
+}
+
+/// Restoring division: `bits`-bit dividend and divisor, producing quotient
+/// and remainder (EPFL `div` is 128/128).
+///
+/// Division by zero yields an all-ones quotient and `remainder = dividend`,
+/// matching [`div_ref`].
+pub fn div_restoring(bits: usize) -> Aig {
+    let mut aig = Aig::new(format!("div{bits}"));
+    let n = aig.input_word("n", bits);
+    let d = aig.input_word("d", bits);
+
+    // Work in a 'bits+1'-wide remainder so the trial subtraction's borrow
+    // is observable as the carry-out.
+    let zero = aig.const_false();
+    let mut rem: Vec<AigLit> = vec![zero; bits + 1];
+    let dz: Vec<AigLit> = {
+        let mut w = d.clone();
+        w.push(zero);
+        w
+    };
+    let mut quot: Vec<AigLit> = vec![zero; bits];
+    for i in (0..bits).rev() {
+        // rem = (rem << 1) | n[i]. The restoring invariant keeps rem within
+        // `bits` bits before the shift, so the rotated-in top bit is 0.
+        rem.rotate_right(1);
+        rem[0] = n[i];
+        // Trial subtraction.
+        let diff = sub_words(&mut aig, &rem, &dz);
+        // rem ≥ d ⟺ diff's sign bit (bit `bits`) is 0.
+        let ge = !diff[bits];
+        quot[i] = ge;
+        rem = mux_word(&mut aig, ge, &diff, &rem);
+    }
+    aig.output_word("q", &quot);
+    aig.output_word("r", &rem[..bits]);
+    aig
+}
+
+/// Reference model for [`div_restoring`].
+pub fn div_ref(n: u64, d: u64, bits: usize) -> (u64, u64) {
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    if d == 0 {
+        (mask, n & mask)
+    } else {
+        ((n / d) & mask, (n % d) & mask)
+    }
+}
+
+/// Digit-by-digit (non-restoring flavoured) integer square root of a
+/// `bits`-bit input (`bits` even), producing a `bits/2`-bit root
+/// (EPFL `sqrt` is 128 → 64).
+///
+/// # Panics
+/// Panics if `bits` is odd or zero.
+pub fn sqrt_word(bits: usize) -> Aig {
+    assert!(bits >= 2 && bits % 2 == 0, "sqrt needs an even width");
+    let mut aig = Aig::new(format!("sqrt{bits}"));
+    let x = aig.input_word("x", bits);
+    let half = bits / 2;
+    let zero = aig.const_false();
+    let one = aig.const_true();
+
+    // Classic bit-pair digit recurrence, fully unrolled:
+    //   rem = (rem << 2) | next two bits;  trial = (root << 2) | 1;
+    //   if rem ≥ trial { rem -= trial; root = (root << 1) | 1 }
+    //   else           { root = root << 1 }
+    // Width bits+2 suffices for rem and trial at every step.
+    let w = bits + 2;
+    let mut rem: Vec<AigLit> = vec![zero; w];
+    let mut root: Vec<AigLit> = vec![zero; w];
+    for step in 0..half {
+        let hi = bits - 1 - 2 * step;
+        let lo = bits - 2 - 2 * step;
+        // rem = (rem << 2) | x[hi..lo]
+        let mut nrem = vec![zero; w];
+        for i in 2..w {
+            nrem[i] = rem[i - 2];
+        }
+        nrem[1] = x[hi];
+        nrem[0] = x[lo];
+        // trial = (root << 2) | 1
+        let mut trial = vec![zero; w];
+        for i in 2..w {
+            trial[i] = root[i - 2];
+        }
+        trial[0] = one;
+        let diff = sub_words(&mut aig, &nrem, &trial);
+        let ge = {
+            // nrem ≥ trial ⟺ no borrow ⟺ carry-out of nrem + ¬trial + 1.
+            let nt: Vec<AigLit> = trial.iter().map(|&t| !t).collect();
+            let sum = add_words(&mut aig, &nrem, &nt, Some(one));
+            sum[w]
+        };
+        rem = mux_word(&mut aig, ge, &diff, &nrem);
+        // root = (root << 1) | ge
+        let mut nroot = vec![zero; w];
+        for i in 1..w {
+            nroot[i] = root[i - 1];
+        }
+        nroot[0] = ge;
+        root = nroot;
+    }
+    aig.output_word("root", &root[..half]);
+    aig
+}
+
+/// Reference model for [`sqrt_word`].
+pub fn sqrt_ref(x: u64) -> u64 {
+    let mut r = (x as f64).sqrt() as u64;
+    // Float sqrt can be off by one at either end; fix exactly.
+    while r.checked_mul(r).is_none_or(|sq| sq > x) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= x) {
+        r += 1;
+    }
+    r
+}
+
+/// Hypotenuse `⌊√(a² + b²)⌋` of two `bits`-bit operands (EPFL `hyp` is
+/// 128-bit; dominated by the squarers and the root recurrence).
+pub fn hyp(bits: usize) -> Aig {
+    let mut aig = Aig::new(format!("hyp{bits}"));
+    let a = aig.input_word("a", bits);
+    let b = aig.input_word("b", bits);
+    let a2 = crate::arith::square_word(&mut aig, &a);
+    let b2 = crate::arith::square_word(&mut aig, &b);
+    let sum = add_words(&mut aig, &a2, &b2, None); // 2·bits + 1 wide
+    // Pad to the next even width for the sqrt recurrence.
+    let mut padded = sum;
+    if padded.len() % 2 == 1 {
+        padded.push(aig.const_false());
+    }
+    let root = sqrt_inline(&mut aig, &padded);
+    aig.output_word("h", &root);
+    aig
+}
+
+/// Square-root recurrence over an existing word (shared by [`hyp`]).
+fn sqrt_inline(aig: &mut Aig, x: &[AigLit]) -> Vec<AigLit> {
+    let bits = x.len();
+    assert!(bits % 2 == 0);
+    let half = bits / 2;
+    let zero = aig.const_false();
+    let one = aig.const_true();
+    let w = bits + 2;
+    let mut rem: Vec<AigLit> = vec![zero; w];
+    let mut root: Vec<AigLit> = vec![zero; w];
+    for step in 0..half {
+        let hi = bits - 1 - 2 * step;
+        let lo = bits - 2 - 2 * step;
+        let mut nrem = vec![zero; w];
+        for i in 2..w {
+            nrem[i] = rem[i - 2];
+        }
+        nrem[1] = x[hi];
+        nrem[0] = x[lo];
+        let mut trial = vec![zero; w];
+        for i in 2..w {
+            trial[i] = root[i - 2];
+        }
+        trial[0] = one;
+        let diff = sub_words(aig, &nrem, &trial);
+        let ge = {
+            let nt: Vec<AigLit> = trial.iter().map(|&t| !t).collect();
+            let sum = add_words(aig, &nrem, &nt, Some(one));
+            sum[w]
+        };
+        rem = mux_word(aig, ge, &diff, &nrem);
+        let mut nroot = vec![zero; w];
+        for i in 1..w {
+            nroot[i] = root[i - 1];
+        }
+        nroot[0] = ge;
+        root = nroot;
+    }
+    root[..half].to_vec()
+}
+
+/// Reference model for [`hyp`].
+pub fn hyp_ref(a: u64, b: u64) -> u64 {
+    sqrt_ref(a * a + b * b)
+}
+
+/// Number of parity-check bits of the [`ecc`] circuit (as in ISCAS-85
+/// c499: eight check bits over 32 data bits).
+pub const ECC_CHECK_BITS: usize = 8;
+
+/// The syndrome code of data bit `i`: distinct and nonzero, so the zero
+/// syndrome means "no error" and each single-bit error is identifiable.
+fn ecc_code(i: usize) -> u8 {
+    (i + 1) as u8
+}
+
+/// c499-style single-error-correcting circuit: `bits` data inputs plus
+/// [`ECC_CHECK_BITS`] received check bits; outputs are the corrected data.
+///
+/// Three XOR-dominated layers (the ISCAS-85 c499/c1355 function family):
+/// parity-check XOR trees over data subsets, syndrome formation
+/// (received ⊕ computed), and per-bit correction `d_i ⊕ (syndrome ==
+/// code_i)` through XNOR/AND compare trees. XOR-rich but MAJ-free — the
+/// sharpest negative control for T1 detection: the T1's `S` output alone
+/// cannot justify a cell, because a group needs at least two distinct
+/// member functions over the same leaves (paper §II-A, `2 ≤ n ≤ 5`).
+///
+/// # Panics
+/// Panics unless `1 ≤ bits ≤ 64` (the reference model packs data in `u64`
+/// and every code must fit the check width).
+pub fn ecc(bits: usize) -> Aig {
+    assert!((1..=64).contains(&bits), "1..=64 data bits");
+    assert!(bits < (1 << ECC_CHECK_BITS), "codes must fit the check width");
+    let mut aig = Aig::new(format!("c499_{bits}"));
+    let d = aig.input_word("d", bits);
+    let r = aig.input_word("r", ECC_CHECK_BITS);
+
+    // Parity-check XOR trees folded into the received bits: the syndrome.
+    let mut syndrome = Vec::with_capacity(ECC_CHECK_BITS);
+    for (j, &rj) in r.iter().enumerate() {
+        let mut p = rj;
+        for (i, &di) in d.iter().enumerate() {
+            if ecc_code(i) >> j & 1 == 1 {
+                p = aig.xor(p, di);
+            }
+        }
+        syndrome.push(p);
+    }
+
+    // Correction: flip data bit i iff the syndrome equals its code.
+    let mut outs = Vec::with_capacity(bits);
+    for (i, &di) in d.iter().enumerate() {
+        let code = ecc_code(i);
+        let mut matches = aig.const_true();
+        for (j, &sj) in syndrome.iter().enumerate() {
+            let lit = if code >> j & 1 == 1 { sj } else { !sj };
+            matches = aig.and(matches, lit);
+        }
+        outs.push(aig.xor(di, matches));
+    }
+    aig.output_word("o", &outs);
+    aig
+}
+
+/// Software reference of [`ecc`]: the corrected word given `data` and the
+/// `check` bits as received.
+pub fn ecc_ref(data: u64, check: u8, bits: usize) -> u64 {
+    let syndrome = check ^ ecc_encode(data, bits);
+    match (0..bits).find(|&i| ecc_code(i) == syndrome) {
+        Some(i) => data ^ (1 << i),
+        None => data,
+    }
+}
+
+/// The check bits a transmitter would attach to `data` (zero syndrome on a
+/// clean channel).
+pub fn ecc_encode(data: u64, bits: usize) -> u8 {
+    let mut parity = 0u8;
+    for i in 0..bits {
+        if data >> i & 1 == 1 {
+            parity ^= ecc_code(i);
+        }
+    }
+    parity
+}
+
+/// The extended EPFL arithmetic set (the circuits the paper's Table I does
+/// not cover) plus the c499-style ECC control, with the same
+/// build/build-small interface as [`Benchmark`](crate::Benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtBenchmark {
+    /// 128-bit barrel shifter (EPFL `bar`).
+    Bar,
+    /// Four-way 128-bit maximum (EPFL `max`).
+    Max,
+    /// 64/64 restoring divider (EPFL `div` is 128/128; one size down keeps
+    /// the O(bits²) recurrence tractable).
+    Div,
+    /// 64-bit integer square root (EPFL `sqrt` is 128-bit).
+    Sqrt,
+    /// 32-bit hypotenuse (EPFL `hyp` is 128-bit).
+    Hyp,
+    /// 32-bit single-error corrector (ISCAS-85 `c499` stand-in).
+    Ecc,
+}
+
+impl ExtBenchmark {
+    /// All extended benchmarks.
+    pub const ALL: [ExtBenchmark; 6] = [
+        ExtBenchmark::Bar,
+        ExtBenchmark::Max,
+        ExtBenchmark::Div,
+        ExtBenchmark::Sqrt,
+        ExtBenchmark::Hyp,
+        ExtBenchmark::Ecc,
+    ];
+
+    /// The EPFL/ISCAS suite's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtBenchmark::Bar => "bar",
+            ExtBenchmark::Max => "max",
+            ExtBenchmark::Div => "div",
+            ExtBenchmark::Sqrt => "sqrt",
+            ExtBenchmark::Hyp => "hyp",
+            ExtBenchmark::Ecc => "c499",
+        }
+    }
+
+    /// Generates the benchmark at evaluation scale.
+    pub fn build(self) -> Aig {
+        match self {
+            ExtBenchmark::Bar => bar(128, 7),
+            ExtBenchmark::Max => max4(128),
+            ExtBenchmark::Div => div_restoring(64),
+            ExtBenchmark::Sqrt => sqrt_word(64),
+            ExtBenchmark::Hyp => hyp(32),
+            ExtBenchmark::Ecc => ecc(32),
+        }
+    }
+
+    /// Generates a scaled-down instance for fast tests (same structure).
+    pub fn build_small(self) -> Aig {
+        match self {
+            ExtBenchmark::Bar => bar(16, 4),
+            ExtBenchmark::Max => max4(12),
+            ExtBenchmark::Div => div_restoring(8),
+            ExtBenchmark::Sqrt => sqrt_word(12),
+            ExtBenchmark::Hyp => hyp(6),
+            ExtBenchmark::Ecc => ecc(12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack(values: &[u64], bits: usize) -> Vec<u64> {
+        let mut pats = vec![0u64; bits];
+        for (lane, &v) in values.iter().enumerate() {
+            for (i, p) in pats.iter_mut().enumerate() {
+                *p |= ((v >> i) & 1) << lane;
+            }
+        }
+        pats
+    }
+
+    fn unpack(outs: &[u64], lane: usize) -> u64 {
+        outs.iter().enumerate().fold(0, |acc, (i, &o)| acc | ((o >> lane) & 1) << i)
+    }
+
+    #[test]
+    fn bar_rotates() {
+        let (width, sbits) = (16, 4);
+        let aig = bar(width, sbits);
+        let xs: Vec<u64> = (0..32).map(|i| i * 2654435761u64 & 0xFFFF).collect();
+        let ss: Vec<u64> = (0..32).map(|i| i % 16).collect();
+        let mut pats = pack(&xs, width);
+        pats.extend(pack(&ss, sbits));
+        let outs = aig.simulate(&pats);
+        for lane in 0..32 {
+            assert_eq!(
+                unpack(&outs, lane),
+                bar_ref(xs[lane], ss[lane] as u32, width),
+                "rot({:#x}, {})",
+                xs[lane],
+                ss[lane]
+            );
+        }
+    }
+
+    #[test]
+    fn max4_selects_the_maximum() {
+        let bits = 10;
+        let aig = max4(bits);
+        let mask = (1u64 << bits) - 1;
+        let words: Vec<Vec<u64>> = (0..4)
+            .map(|k| (0..64).map(|i| (i * 37 + k * 911 + 5) as u64 & mask).collect())
+            .collect();
+        let mut pats = Vec::new();
+        for w in &words {
+            pats.extend(pack(w, bits));
+        }
+        let outs = aig.simulate(&pats);
+        for lane in 0..64 {
+            let expect = (0..4).map(|k| words[k][lane]).max().unwrap();
+            assert_eq!(unpack(&outs, lane), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn div_divides_including_by_zero() {
+        let bits = 8;
+        let aig = div_restoring(bits);
+        let ns: Vec<u64> = (0..64).map(|i| (i * 73 + 19) & 0xFF).collect();
+        let mut ds: Vec<u64> = (0..64).map(|i| (i * 31 + 1) & 0xFF).collect();
+        ds[7] = 0; // exercise the division-by-zero contract
+        ds[23] = 0;
+        let mut pats = pack(&ns, bits);
+        pats.extend(pack(&ds, bits));
+        let outs = aig.simulate(&pats);
+        for lane in 0..64 {
+            let q = unpack(&outs[..bits], lane);
+            let r = unpack(&outs[bits..], lane);
+            let (eq, er) = div_ref(ns[lane], ds[lane], bits);
+            assert_eq!((q, r), (eq, er), "{} / {}", ns[lane], ds[lane]);
+        }
+    }
+
+    #[test]
+    fn sqrt_roots_every_10bit_input() {
+        let bits = 10;
+        let aig = sqrt_word(bits);
+        for chunk in (0..(1u64 << bits)).collect::<Vec<_>>().chunks(64) {
+            let pats = pack(chunk, bits);
+            let outs = aig.simulate(&pats);
+            for (lane, &x) in chunk.iter().enumerate() {
+                assert_eq!(unpack(&outs, lane), sqrt_ref(x), "sqrt({x})");
+            }
+        }
+    }
+
+    #[test]
+    fn hyp_is_a_hypotenuse() {
+        let bits = 6;
+        let aig = hyp(bits);
+        let avals: Vec<u64> = (0..64).map(|i| i & 0x3F).collect();
+        let bvals: Vec<u64> = (0..64).map(|i| (i * 7 + 3) & 0x3F).collect();
+        let mut pats = pack(&avals, bits);
+        pats.extend(pack(&bvals, bits));
+        let outs = aig.simulate(&pats);
+        for lane in 0..64 {
+            assert_eq!(
+                unpack(&outs, lane),
+                hyp_ref(avals[lane], bvals[lane]),
+                "hyp({}, {})",
+                avals[lane],
+                bvals[lane]
+            );
+        }
+    }
+
+    #[test]
+    fn ecc_matches_reference_on_random_traffic() {
+        let bits = 16;
+        let aig = ecc(bits);
+        let data: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) & 0xFFFF).collect();
+        let check: Vec<u64> = (0..64).map(|i| (i * 40503 + 17) & 0xFF).collect();
+        let mut pats = pack(&data, bits);
+        pats.extend(pack(&check, ECC_CHECK_BITS));
+        let outs = aig.simulate(&pats);
+        for lane in 0..64 {
+            assert_eq!(
+                unpack(&outs, lane),
+                ecc_ref(data[lane], check[lane] as u8, bits),
+                "ecc({:#x}, {:#04x})",
+                data[lane],
+                check[lane]
+            );
+        }
+    }
+
+    #[test]
+    fn ecc_corrects_every_single_bit_error() {
+        let bits = 12;
+        let aig = ecc(bits);
+        let word = 0b1010_0110_1101u64;
+        let check = ecc_encode(word, bits);
+        // Clean word passes through, every 1-bit corruption is repaired.
+        let mut corrupted: Vec<u64> = vec![word];
+        corrupted.extend((0..bits).map(|i| word ^ (1 << i)));
+        let checks = vec![check as u64; corrupted.len()];
+        let mut pats = pack(&corrupted, bits);
+        pats.extend(pack(&checks, ECC_CHECK_BITS));
+        let outs = aig.simulate(&pats);
+        for lane in 0..corrupted.len() {
+            assert_eq!(
+                unpack(&outs, lane),
+                word,
+                "bit-{} error must be repaired",
+                lane.wrapping_sub(1)
+            );
+        }
+    }
+
+    #[test]
+    fn ecc_reference_round_trips_the_encoder() {
+        for data in [0u64, 1, 0xFFF, 0xA5A, 0x123] {
+            let check = ecc_encode(data, 12);
+            assert_eq!(ecc_ref(data, check, 12), data, "clean {data:#x}");
+        }
+    }
+
+    #[test]
+    fn sqrt_ref_is_exact_at_boundaries() {
+        for x in [0u64, 1, 2, 3, 4, 8, 15, 16, 17, 24, 25, 26, u32::MAX as u64] {
+            let r = sqrt_ref(x);
+            assert!(r * r <= x, "floor property at {x}");
+            assert!((r + 1) * (r + 1) > x, "tightness at {x}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Bit-exact software reference models for the approximate benchmarks.
+//!
+//! `sin` and `log2` are fixed-point *algorithms*, not closed-form functions,
+//! so the circuits are verified against these integer models (which the
+//! generators share constants with), exactly like the EPFL suite verifies
+//! against its own golden vectors.
+
+/// Constants shared between [`crate::sin_cordic`] and [`sin_cordic_ref`].
+#[derive(Debug, Clone)]
+pub struct CordicConstants {
+    /// `K = Π 1/√(1+2^(−2i))` scaled by `2^(bits−2)`.
+    pub k_scaled: u64,
+    /// `atan(2^(−i)) / π` scaled by `2^bits` (all entries < 2^(bits−1)).
+    pub atan_table: Vec<u64>,
+}
+
+/// Computes the CORDIC constant set for a given datapath width.
+pub fn cordic_constants(bits: usize, iters: usize) -> CordicConstants {
+    let scale = (bits - 2) as u32;
+    let k: f64 = (0..iters).map(|i| 1.0 / (1.0 + 0.25f64.powi(i as i32)).sqrt()).product();
+    let k_scaled = (k * (1u64 << scale) as f64).round() as u64;
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let atan_table = (0..iters)
+        .map(|i| {
+            let a = (0.5f64.powi(i as i32)).atan() / std::f64::consts::PI;
+            ((a * (1u64 << bits) as f64).round() as u64) & mask
+        })
+        .collect();
+    CordicConstants { k_scaled, atan_table }
+}
+
+/// Bit-exact model of the CORDIC sine circuit: returns `(sin, cos)` words
+/// (each `bits` wide) for an input angle word.
+pub fn sin_cordic_ref(theta: u64, bits: usize, iters: usize) -> (u64, u64) {
+    let consts = cordic_constants(bits, iters);
+    let mask = (1u64 << bits) - 1;
+    let sign_bit = 1u64 << (bits - 1);
+    let sext = |v: u64| -> i64 {
+        if v & sign_bit != 0 {
+            (v | !mask) as i64
+        } else {
+            v as i64
+        }
+    };
+    let mut x = consts.k_scaled as i64;
+    let mut y = 0i64;
+    let mut z = sext(theta & mask);
+    for (i, &atan) in consts.atan_table.iter().enumerate() {
+        let atan = sext(atan);
+        // The circuit shifts the masked two's-complement words
+        // arithmetically within `bits` bits.
+        let xs = sext((x as u64) & mask) >> i;
+        let ys = sext((y as u64) & mask) >> i;
+        if z < 0 {
+            x += ys;
+            y -= xs;
+            z += atan;
+        } else {
+            x -= ys;
+            y += xs;
+            z -= atan;
+        }
+        x = sext((x as u64) & mask);
+        y = sext((y as u64) & mask);
+        z = sext((z as u64) & mask);
+    }
+    ((y as u64) & mask, (x as u64) & mask)
+}
+
+/// Bit-exact model of the log₂ circuit: returns `(leading_one_position,
+/// fraction_word)` for a non-zero input, with `max(bits/2, 4)` fraction
+/// bits (LSB-first packing like the circuit's output word).
+pub fn log2_ref(x: u64, bits: usize) -> (u64, u64) {
+    assert!(x != 0, "log2 of zero is undefined");
+    let pos = 63 - x.leading_zeros() as u64;
+    // Normalize into `bits` bits: mantissa in [2^(bits−1), 2^bits).
+    let shift = bits as i64 - 1 - pos as i64;
+    let mant = if shift >= 0 { x << shift } else { x >> (-shift) };
+    let frac_bits = (bits / 2).max(4);
+    let mut y = mant as u128;
+    let mut frac = 0u64;
+    for k in 0..frac_bits {
+        let sq = y * y; // binary point at 2(bits−1)
+        let digit = (sq >> (2 * bits - 1)) & 1;
+        frac |= (digit as u64) << (frac_bits - 1 - k);
+        y = if digit == 1 {
+            (sq >> (bits)) & ((1u128 << bits) - 1)
+        } else {
+            (sq >> (bits - 1)) & ((1u128 << bits) - 1)
+        };
+    }
+    (pos, frac)
+}
+
+/// Reference majority of a bit slice.
+pub fn majority_ref(bits: &[bool]) -> bool {
+    let ones = bits.iter().filter(|&&b| b).count();
+    2 * ones > bits.len()
+}

@@ -1,0 +1,297 @@
+use crate::reference::{log2_ref, majority_ref, sin_cordic_ref};
+use crate::*;
+use proptest::prelude::*;
+
+/// Packs scalar operand values into bit-parallel simulation patterns:
+/// `values[v]` becomes test vector `v` (one bit lane per vector).
+fn pack_patterns(values: &[u64], bits: usize) -> Vec<u64> {
+    let mut pats = vec![0u64; bits];
+    for (lane, &v) in values.iter().enumerate() {
+        for (i, p) in pats.iter_mut().enumerate() {
+            *p |= ((v >> i) & 1) << lane;
+        }
+    }
+    pats
+}
+
+/// Unpacks one lane of the outputs back into a scalar.
+fn unpack_lane(outs: &[u64], lane: usize) -> u64 {
+    let mut v = 0u64;
+    for (i, &o) in outs.iter().enumerate() {
+        v |= ((o >> lane) & 1) << i;
+    }
+    v
+}
+
+#[test]
+fn adder_adds() {
+    let bits = 16;
+    let aig = adder(bits);
+    let avals: Vec<u64> = (0..32).map(|i| (i * 2654435761u64) & 0xFFFF).collect();
+    let bvals: Vec<u64> = (0..32).map(|i| (i * 40503u64 + 977) & 0xFFFF).collect();
+    let mut pats = pack_patterns(&avals, bits);
+    pats.extend(pack_patterns(&bvals, bits));
+    let outs = aig.simulate(&pats);
+    for lane in 0..32 {
+        let got = unpack_lane(&outs, lane);
+        assert_eq!(got, avals[lane] + bvals[lane], "lane {lane}");
+    }
+}
+
+#[test]
+fn multiplier_multiplies() {
+    let bits = 8;
+    let aig = multiplier(bits);
+    let avals: Vec<u64> = (0..64).map(|i| (i * 37 + 11) & 0xFF).collect();
+    let bvals: Vec<u64> = (0..64).map(|i| (i * 91 + 3) & 0xFF).collect();
+    let mut pats = pack_patterns(&avals, bits);
+    pats.extend(pack_patterns(&bvals, bits));
+    let outs = aig.simulate(&pats);
+    for lane in 0..64 {
+        assert_eq!(unpack_lane(&outs, lane), avals[lane] * bvals[lane], "lane {lane}");
+    }
+}
+
+#[test]
+fn c6288_is_16x16_multiplier() {
+    let aig = c6288();
+    assert_eq!(aig.num_inputs(), 32);
+    assert_eq!(aig.num_outputs(), 32);
+    let avals = [0u64, 1, 65535, 12345, 40000];
+    let bvals = [0u64, 65535, 65535, 54321, 2];
+    let mut pats = pack_patterns(&avals, 16);
+    pats.extend(pack_patterns(&bvals, 16));
+    let outs = aig.simulate(&pats);
+    for lane in 0..avals.len() {
+        assert_eq!(unpack_lane(&outs, lane), avals[lane] * bvals[lane]);
+    }
+}
+
+#[test]
+fn square_squares() {
+    let bits = 10;
+    let aig = square(bits);
+    let vals: Vec<u64> = (0..64).map(|i| (i * 53 + 7) & 0x3FF).collect();
+    let pats = pack_patterns(&vals, bits);
+    let outs = aig.simulate(&pats);
+    for lane in 0..64 {
+        assert_eq!(unpack_lane(&outs, lane), vals[lane] * vals[lane], "lane {lane}");
+    }
+}
+
+#[test]
+fn square_matches_multiplier_structure_savings() {
+    // The folded squarer must be smaller than a general multiplier.
+    let sq = square(16);
+    let mu = multiplier(16);
+    assert!(sq.num_live_ands() < mu.num_live_ands());
+}
+
+#[test]
+fn voter_majority() {
+    let n = 31;
+    let aig = voter(n);
+    // 64 random stimuli via bit-parallel lanes.
+    let mut lanes: Vec<Vec<bool>> = Vec::new();
+    let mut seed = 0xDEADBEEFu64;
+    for _ in 0..64 {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v.push(seed >> 40 & 1 == 1);
+        }
+        lanes.push(v);
+    }
+    let mut pats = vec![0u64; n];
+    for (lane, v) in lanes.iter().enumerate() {
+        for i in 0..n {
+            if v[i] {
+                pats[i] |= 1 << lane;
+            }
+        }
+    }
+    let outs = aig.simulate(&pats);
+    for (lane, v) in lanes.iter().enumerate() {
+        assert_eq!(outs[0] >> lane & 1 == 1, majority_ref(v), "lane {lane}");
+    }
+    // Edge cases: exactly at threshold.
+    let mut v = vec![false; n];
+    for x in v.iter_mut().take(n / 2) {
+        *x = true; // 15 of 31 → not majority
+    }
+    let pats: Vec<u64> = v.iter().map(|&b| u64::from(b)).collect();
+    assert_eq!(aig.simulate(&pats)[0] & 1, 0);
+    let mut v2 = vec![false; n];
+    for x in v2.iter_mut().take(n / 2 + 1) {
+        *x = true; // 16 of 31 → majority
+    }
+    let pats: Vec<u64> = v2.iter().map(|&b| u64::from(b)).collect();
+    assert_eq!(aig.simulate(&pats)[0] & 1, 1);
+}
+
+#[test]
+fn sin_matches_reference_model() {
+    let bits = 10;
+    let iters = 6;
+    let aig = sin_cordic(bits, iters);
+    let thetas: Vec<u64> = (0..64).map(|i| (i * 8 + 1) % (1 << (bits - 1))).collect();
+    let pats = pack_patterns(&thetas, bits);
+    let outs = aig.simulate(&pats);
+    for lane in 0..64 {
+        let (sin_ref, cos_ref) = sin_cordic_ref(thetas[lane], bits, iters);
+        let sin_got = unpack_lane(&outs[0..bits], lane);
+        let cos_got = unpack_lane(&outs[bits..2 * bits], lane);
+        assert_eq!(sin_got, sin_ref, "sin lane {lane} θ={}", thetas[lane]);
+        assert_eq!(cos_got, cos_ref, "cos lane {lane} θ={}", thetas[lane]);
+    }
+}
+
+#[test]
+fn sin_is_actually_sine() {
+    // Numerical sanity: CORDIC output ≈ sin(θ) for θ ∈ [0, π/2).
+    let bits = 16;
+    let iters = 12;
+    let scale = (1u64 << (bits - 2)) as f64;
+    for frac in [0.05f64, 0.125, 0.2, 0.25, 0.3, 0.4, 0.45] {
+        let theta = (frac * (1u64 << bits) as f64).round() as u64;
+        let (sin_fix, _) = sin_cordic_ref(theta, bits, iters);
+        let got = sin_fix as f64 / scale;
+        let want = (frac * std::f64::consts::PI).sin();
+        assert!(
+            (got - want).abs() < 0.01,
+            "sin({frac}π): got {got}, want {want}"
+        );
+    }
+}
+
+#[test]
+fn log2_matches_reference_model() {
+    let bits = 8;
+    let aig = log2_shift_add(bits);
+    let xs: Vec<u64> = (1..65).collect();
+    let pats = pack_patterns(&xs, bits);
+    let outs = aig.simulate(&pats);
+    let int_bits = usize::BITS as usize - (bits - 1).leading_zeros() as usize;
+    for lane in 0..xs.len() {
+        let (pos_ref, frac_ref) = log2_ref(xs[lane], bits);
+        let pos_got = unpack_lane(&outs[0..int_bits], lane);
+        let frac_got = unpack_lane(&outs[int_bits..], lane);
+        assert_eq!(pos_got, pos_ref, "int part of log2({})", xs[lane]);
+        assert_eq!(frac_got, frac_ref, "frac part of log2({})", xs[lane]);
+    }
+}
+
+#[test]
+fn log2_is_actually_log2() {
+    // Numerical sanity on the reference model.
+    let bits = 16;
+    let frac_bits = bits / 2;
+    for x in [3u64, 100, 1000, 40000, 65535] {
+        let (pos, frac) = log2_ref(x, bits);
+        let got = pos as f64 + frac as f64 / (1u64 << frac_bits) as f64;
+        let want = (x as f64).log2();
+        assert!((got - want).abs() < 0.01, "log2({x}): got {got}, want {want}");
+    }
+}
+
+#[test]
+fn c7552_functions() {
+    let bits = 8;
+    let aig = c7552_sized(bits);
+    let avals: Vec<u64> = (0..64).map(|i| (i * 97 + 13) & 0xFF).collect();
+    let bvals: Vec<u64> = (0..64).map(|i| (i * 31 + 200) & 0xFF).collect();
+    let mut pats = pack_patterns(&avals, bits);
+    pats.extend(pack_patterns(&bvals, bits));
+    pats.push(0xAAAA_AAAA_AAAA_AAAA); // cin alternating
+    let outs = aig.simulate(&pats);
+    for lane in 0..64 {
+        let cin = (lane as u64) & 1;
+        let sum = unpack_lane(&outs[0..=bits], lane);
+        assert_eq!(sum, avals[lane] + bvals[lane] + cin, "sum lane {lane}");
+        let gt = outs[bits + 1] >> lane & 1 == 1;
+        assert_eq!(gt, avals[lane] > bvals[lane], "cmp lane {lane}");
+        let pa = outs[bits + 2] >> lane & 1 == 1;
+        assert_eq!(pa, avals[lane].count_ones() % 2 == 1, "par_a lane {lane}");
+        let pb = outs[bits + 3] >> lane & 1 == 1;
+        assert_eq!(pb, bvals[lane].count_ones() % 2 == 1, "par_b lane {lane}");
+    }
+}
+
+#[test]
+fn full_scale_sizes_are_plausible() {
+    // Order-of-magnitude checks against the real suites (not exact counts).
+    let adder = Benchmark::Adder.build();
+    assert_eq!(adder.num_inputs(), 256);
+    assert_eq!(adder.num_outputs(), 129);
+    assert!(adder.num_live_ands() > 500 && adder.num_live_ands() < 3000);
+
+    let c6288 = Benchmark::C6288.build();
+    assert!(c6288.num_live_ands() > 1500 && c6288.num_live_ands() < 8000);
+
+    let voter = Benchmark::Voter.build();
+    assert_eq!(voter.num_inputs(), 1001);
+    assert!(voter.num_live_ands() > 4000 && voter.num_live_ands() < 20000);
+}
+
+#[test]
+fn small_builds_all_verify_against_reference_sim() {
+    // Smoke: every benchmark's small instance builds and has sane I/O.
+    for b in Benchmark::ALL {
+        let aig = b.build_small();
+        assert!(aig.num_inputs() > 0, "{}", b.name());
+        assert!(aig.num_outputs() > 0, "{}", b.name());
+        assert!(aig.num_live_ands() > 0, "{}", b.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn prop_adder_random(a in 0u64..(1 << 20), b in 0u64..(1 << 20)) {
+        let bits = 20;
+        let aig = adder(bits);
+        let mut pats = pack_patterns(&[a], bits);
+        pats.extend(pack_patterns(&[b], bits));
+        let outs = aig.simulate(&pats);
+        prop_assert_eq!(unpack_lane(&outs, 0), a + b);
+    }
+
+    #[test]
+    fn prop_mult_random(a in 0u64..256, b in 0u64..256) {
+        let aig = multiplier(8);
+        let mut pats = pack_patterns(&[a], 8);
+        pats.extend(pack_patterns(&[b], 8));
+        let outs = aig.simulate(&pats);
+        prop_assert_eq!(unpack_lane(&outs, 0), a * b);
+    }
+
+    #[test]
+    fn prop_square_random(a in 0u64..4096) {
+        let aig = square(12);
+        let pats = pack_patterns(&[a], 12);
+        let outs = aig.simulate(&pats);
+        prop_assert_eq!(unpack_lane(&outs, 0), a * a);
+    }
+
+    #[test]
+    fn prop_sub_words_wraps(a in 0u64..65536, b in 0u64..65536) {
+        let mut aig = Aig::new("sub");
+        let aw = aig.input_word("a", 16);
+        let bw = aig.input_word("b", 16);
+        let d = sub_words(&mut aig, &aw, &bw);
+        aig.output_word("d", &d);
+        let mut pats = pack_patterns(&[a], 16);
+        pats.extend(pack_patterns(&[b], 16));
+        let outs = aig.simulate(&pats);
+        prop_assert_eq!(unpack_lane(&outs, 0), a.wrapping_sub(b) & 0xFFFF);
+    }
+
+    #[test]
+    fn prop_voter_random(bits in proptest::collection::vec(prop::bool::ANY, 15)) {
+        let aig = voter(15);
+        let pats: Vec<u64> = bits.iter().map(|&b| u64::from(b)).collect();
+        let outs = aig.simulate(&pats);
+        prop_assert_eq!(outs[0] & 1 == 1, majority_ref(&bits));
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal declarative option parsing for the `sfqt1` subcommands.
+//!
+//! Hand-rolled on purpose: the workspace's dependency policy admits only the
+//! pre-approved offline crates, and the CLI surface is small enough that a
+//! positional-plus-`--flag[=value]` grammar covers it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced while parsing a command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// Parsed command line: positionals in order plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Splits `argv` into positionals, boolean flags and valued options.
+    ///
+    /// `takes_value` lists option names that consume the next token (or an
+    /// inline `=value`); every other `--name` is a boolean flag. Unknown
+    /// options are rejected so typos fail loudly.
+    ///
+    /// # Errors
+    /// [`ParseArgsError`] on unknown options or missing values.
+    pub fn parse(
+        argv: &[String],
+        takes_value: &[&str],
+        known_flags: &[&str],
+    ) -> Result<Self, ParseArgsError> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let (name, inline) = match name.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (name, None),
+                };
+                if takes_value.contains(&name) {
+                    let value = match inline {
+                        Some(v) => v,
+                        None => it
+                            .next()
+                            .ok_or_else(|| {
+                                ParseArgsError(format!("--{name} needs a value"))
+                            })?
+                            .clone(),
+                    };
+                    args.options.insert(name.to_string(), value);
+                } else if known_flags.contains(&name) {
+                    if inline.is_some() {
+                        return Err(ParseArgsError(format!("--{name} takes no value")));
+                    }
+                    args.flags.push(name.to_string());
+                } else {
+                    return Err(ParseArgsError(format!("unknown option --{name}")));
+                }
+            } else {
+                args.positional.push(tok.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `k`-th positional argument.
+    pub fn positional(&self, k: usize) -> Option<&str> {
+        self.positional.get(k).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    pub fn num_positional(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// Whether the boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of an option.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Parses an option value, falling back to `default` when absent.
+    ///
+    /// # Errors
+    /// [`ParseArgsError`] when the value does not parse as `T`.
+    pub fn parsed_option<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ParseArgsError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{name}: cannot parse `{v}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn splits_positionals_flags_and_options() {
+        let a = Args::parse(
+            &argv(&["in.blif", "--phases", "6", "--t1", "--out=x.vcd"]),
+            &["phases", "out"],
+            &["t1"],
+        )
+        .expect("valid");
+        assert_eq!(a.positional(0), Some("in.blif"));
+        assert_eq!(a.num_positional(), 1);
+        assert!(a.flag("t1"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.option("phases"), Some("6"));
+        assert_eq!(a.option("out"), Some("x.vcd"));
+        assert_eq!(a.parsed_option("phases", 4u8).expect("parses"), 6);
+        assert_eq!(a.parsed_option("missing", 4u8).expect("default"), 4);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Args::parse(&argv(&["--wat"]), &[], &[]).is_err());
+        assert!(Args::parse(&argv(&["--phases"]), &["phases"], &[]).is_err());
+        assert!(Args::parse(&argv(&["--t1=yes"]), &[], &["t1"]).is_err());
+        let a = Args::parse(&argv(&["--phases", "x"]), &["phases"], &[]).expect("parse ok");
+        assert!(a.parsed_option("phases", 4u8).is_err());
+    }
+}

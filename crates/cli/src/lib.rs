@@ -1,0 +1,658 @@
+//! `sfqt1` — the command-line front end of the T1-aware SFQ mapping flow.
+//!
+//! The library crates expose the full API; this binary makes the flow usable
+//! without writing Rust:
+//!
+//! ```text
+//! sfqt1 bench adder --small --aag adder.aag      # generate a benchmark
+//! sfqt1 flow adder.aag --t1 --phases 4 \
+//!       --blif out.blif --dot out.dot --vcd out.vcd
+//! sfqt1 energy adder.aag --t1                    # first-order RSFQ energy
+//! sfqt1 margin adder.aag --jitter 1.5            # Monte-Carlo timing margin
+//! sfqt1 convert adder.aag --blif adder.blif      # format conversion
+//! ```
+//!
+//! Inputs are combinational ASCII AIGER (`.aag`) or BLIF (`.blif`) files;
+//! every subcommand accepts `--help`-style usage errors with exit code 2.
+//! The dispatch logic lives in this library so the test suite can drive it
+//! end to end without spawning processes.
+
+use sfq_circuits::{Benchmark, ExtBenchmark};
+use sfq_core::report::StageReport;
+use sfq_core::{run_flow, FlowConfig, FlowResult, PhaseEngine};
+use sfq_netlist::{aiger, blif, export, map_aig, Aig, Library};
+use sfq_sim::energy::{measure_energy, EnergyModel};
+use sfq_sim::margin::{analyze_margins, MarginConfig};
+use sfq_sim::{vcd, PulseSim};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+mod args;
+
+pub use args::{Args, ParseArgsError};
+
+/// Top-level CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong invocation; the caller should print usage and exit 2.
+    Usage(String),
+    /// Reading or writing a file failed.
+    Io { path: String, source: std::io::Error },
+    /// An input file failed to parse.
+    Input(String),
+    /// The synthesis flow itself failed.
+    Flow(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Input(m) => write!(f, "{m}"),
+            CliError::Flow(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseArgsError> for CliError {
+    fn from(e: ParseArgsError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+/// The usage text printed by `sfqt1 help` and on usage errors.
+pub const USAGE: &str = "\
+sfqt1 — T1-aware multiphase technology mapping for SFQ circuits
+
+USAGE:
+  sfqt1 flow <input.{aag,blif}> [--phases N] [--t1] [--engine auto|exact|heuristic]
+        [--gain-threshold K] [--waves K] [--stats]
+        [--blif P] [--dot P] [--vcd P] [--verilog P]
+  sfqt1 table <input> [--phases N]
+  sfqt1 bench <name> [--small] [--aag P] [--blif P]
+  sfqt1 energy <input> [--phases N] [--t1] [--waves K]
+  sfqt1 margin <input> [--phases N] [--t1] [--jitter PS] [--period PS] [--trials K]
+  sfqt1 convert <input> [--aag P] [--blif P] [--dot P] [--verilog P]
+  sfqt1 bench-list
+  sfqt1 help
+
+SUBCOMMANDS:
+  flow      run a synthesis flow and print the Table I-style report;
+            optional artifacts: mapped BLIF, stage-annotated Graphviz DOT,
+            structural Verilog, VCD pulse waveform of random operand waves
+  table     run the paper's three-flow comparison (1φ / nφ / nφ+T1) on a file
+  bench     generate a built-in benchmark circuit (EPFL/ISCAS stand-ins)
+  energy    pulse-simulate random waves and report static/dynamic power
+  margin    Monte-Carlo analog jitter analysis of the T1 timing discipline
+  convert   read AIGER or BLIF, write AIGER / mapped BLIF / DOT / Verilog
+  bench-list  list available benchmark names
+";
+
+/// Dispatches one parsed command line, writing human-readable output to
+/// `out`.
+///
+/// `argv` excludes the program name. Pass `&mut std::io::stdout()` (or any
+/// `&mut` writer — see C-RW-VALUE) as `out`.
+///
+/// # Errors
+/// [`CliError::Usage`] for invocation mistakes (exit code 2 in `main`),
+/// other [`CliError`] variants for I/O, parse and flow failures.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(cmd) = argv.first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "flow" => cmd_flow(rest, out),
+        "table" => cmd_table(rest, out),
+        "bench" => cmd_bench(rest, out),
+        "energy" => cmd_energy(rest, out),
+        "margin" => cmd_margin(rest, out),
+        "convert" => cmd_convert(rest, out),
+        "bench-list" => cmd_bench_list(out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(io_err("<stdout>"))?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn io_err(path: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
+    move |source| CliError::Io { path: path.to_string(), source }
+}
+
+/// Reads an `.aag` or `.blif` file into an [`Aig`].
+///
+/// # Errors
+/// [`CliError`] when the file cannot be read, has an unknown extension, or
+/// fails to parse.
+pub fn read_input(path: &str) -> Result<Aig, CliError> {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str());
+    if !matches!(ext, Some("aag") | Some("blif")) {
+        return Err(CliError::Usage(format!(
+            "{path}: unknown input format (expected .aag or .blif)"
+        )));
+    }
+    let text = std::fs::read_to_string(path).map_err(io_err(path))?;
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design");
+    match ext {
+        Some("aag") => aiger::read_aag(text.as_bytes(), stem)
+            .map_err(|e| CliError::Input(format!("{path}: {e}"))),
+        _ => blif::parse_blif(&text).map_err(|e| CliError::Input(format!("{path}: {e}"))),
+    }
+}
+
+/// Shared flow options of the `flow`, `energy` and `margin` subcommands.
+fn flow_config(a: &Args) -> Result<FlowConfig, CliError> {
+    let phases: u8 = a.parsed_option("phases", 4)?;
+    if phases == 0 {
+        return Err(CliError::Usage("--phases must be at least 1".into()));
+    }
+    let mut config = if a.flag("t1") {
+        FlowConfig::t1(phases)
+    } else {
+        FlowConfig::multiphase(phases)
+    };
+    config.gain_threshold = a.parsed_option("gain-threshold", 0)?;
+    config.engine = match a.option("engine").unwrap_or("auto") {
+        "auto" => PhaseEngine::Auto,
+        "exact" => PhaseEngine::Exact,
+        "heuristic" => PhaseEngine::Heuristic,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--engine must be auto, exact or heuristic (got `{other}`)"
+            )));
+        }
+    };
+    Ok(config)
+}
+
+fn run_configured_flow(aig: &Aig, config: &FlowConfig) -> Result<FlowResult, CliError> {
+    run_flow(aig, config).map_err(|e| CliError::Flow(e.to_string()))
+}
+
+/// Deterministic pseudo-random operand waves (`xorshift*`).
+fn random_waves(inputs: usize, count: usize) -> Vec<Vec<bool>> {
+    let mut state = 0x0DDB_1A5E_5BAD_5EEDu64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    (0..count).map(|_| (0..inputs).map(|_| next() & 1 == 1).collect()).collect()
+}
+
+fn write_report(out: &mut dyn Write, res: &FlowResult) -> Result<(), CliError> {
+    let r = &res.report;
+    writeln!(out, "design       {}", r.name).map_err(io_err("<stdout>"))?;
+    writeln!(out, "phases       {}", r.phases).map_err(io_err("<stdout>"))?;
+    writeln!(out, "t1 found     {}", r.t1_found).map_err(io_err("<stdout>"))?;
+    writeln!(out, "t1 used      {}", r.t1_used).map_err(io_err("<stdout>"))?;
+    writeln!(out, "logic cells  {}", r.num_gates).map_err(io_err("<stdout>"))?;
+    writeln!(out, "dffs         {}", r.num_dffs).map_err(io_err("<stdout>"))?;
+    writeln!(out, "area (JJ)    {}", r.area).map_err(io_err("<stdout>"))?;
+    writeln!(out, "depth        {} cycles", r.depth_cycles).map_err(io_err("<stdout>"))?;
+    Ok(())
+}
+
+fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(
+        argv,
+        &["phases", "engine", "gain-threshold", "waves", "blif", "dot", "vcd", "verilog"],
+        &["t1", "stats"],
+    )?;
+    let path = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("flow: missing <input> file".into()))?;
+    let config = flow_config(&a)?; // validate options before touching files
+    let aig = read_input(path)?;
+    let res = run_configured_flow(&aig, &config)?;
+    write_report(out, &res)?;
+    if a.flag("stats") {
+        writeln!(out, "\n{}", StageReport::summarize(&res.timed)).map_err(io_err("<stdout>"))?;
+    }
+
+    if let Some(p) = a.option("blif") {
+        std::fs::write(p, export::render_blif(&res.timed.network)).map_err(io_err(p))?;
+        writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    if let Some(p) = a.option("dot") {
+        let dot = export::render_dot(&res.timed.network, Some(&res.timed.stages));
+        std::fs::write(p, dot).map_err(io_err(p))?;
+        writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    if let Some(p) = a.option("verilog") {
+        std::fs::write(p, export::render_verilog(&res.timed.network)).map_err(io_err(p))?;
+        writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    if let Some(p) = a.option("vcd") {
+        let waves = random_waves(aig.num_inputs(), a.parsed_option("waves", 8usize)?);
+        let (_, trace) = PulseSim::new(&res.timed)
+            .run_traced(&waves)
+            .map_err(|e| CliError::Flow(e.to_string()))?;
+        std::fs::write(p, vcd::render_vcd(&res.timed, &trace)).map_err(io_err(p))?;
+        writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    Ok(())
+}
+
+/// Builds a benchmark by name from the core or extended suite.
+fn build_bench(name: &str, small: bool) -> Option<Aig> {
+    for b in Benchmark::ALL {
+        if b.name() == name {
+            return Some(if small { b.build_small() } else { b.build() });
+        }
+    }
+    for b in ExtBenchmark::ALL {
+        if b.name() == name {
+            return Some(if small { b.build_small() } else { b.build() });
+        }
+    }
+    None
+}
+
+fn cmd_bench(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(argv, &["aag", "blif"], &["small"])?;
+    let name = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("bench: missing <name> (see bench-list)".into()))?;
+    let aig = build_bench(name, a.flag("small")).ok_or_else(|| {
+        CliError::Usage(format!("bench: unknown benchmark `{name}` (see bench-list)"))
+    })?;
+    writeln!(
+        out,
+        "{}: {} inputs, {} outputs, {} AND nodes, depth {}",
+        aig.name(),
+        aig.num_inputs(),
+        aig.num_outputs(),
+        aig.num_ands(),
+        aig.depth()
+    )
+    .map_err(io_err("<stdout>"))?;
+    if let Some(p) = a.option("aag") {
+        let mut buf = Vec::new();
+        aiger::write_aag(&aig, &mut buf).map_err(io_err(p))?;
+        std::fs::write(p, buf).map_err(io_err(p))?;
+        writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    if let Some(p) = a.option("blif") {
+        let net = map_aig(&aig, &Library::default());
+        std::fs::write(p, export::render_blif(&net)).map_err(io_err(p))?;
+        writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    Ok(())
+}
+
+fn cmd_bench_list(out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "Table I benchmarks:").map_err(io_err("<stdout>"))?;
+    for b in Benchmark::ALL {
+        writeln!(out, "  {}", b.name()).map_err(io_err("<stdout>"))?;
+    }
+    writeln!(out, "extended EPFL arithmetic controls:").map_err(io_err("<stdout>"))?;
+    for b in ExtBenchmark::ALL {
+        writeln!(out, "  {}", b.name()).map_err(io_err("<stdout>"))?;
+    }
+    Ok(())
+}
+
+fn cmd_energy(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(argv, &["phases", "engine", "gain-threshold", "waves"], &["t1"])?;
+    let path = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("energy: missing <input> file".into()))?;
+    let config = flow_config(&a)?; // validate options before touching files
+    let aig = read_input(path)?;
+    let res = run_configured_flow(&aig, &config)?;
+
+    let waves = random_waves(aig.num_inputs(), a.parsed_option("waves", 32usize)?);
+    let (_, trace) = PulseSim::new(&res.timed)
+        .run_traced(&waves)
+        .map_err(|e| CliError::Flow(e.to_string()))?;
+    let model = EnergyModel::default();
+    let e = measure_energy(&res.timed, &trace, waves.len(), &config.library, &model);
+    writeln!(out, "design          {}", res.report.name).map_err(io_err("<stdout>"))?;
+    writeln!(out, "area            {} JJ", res.report.area).map_err(io_err("<stdout>"))?;
+    writeln!(out, "waves           {}", e.waves).map_err(io_err("<stdout>"))?;
+    writeln!(out, "static power    {:.2} µW", e.static_power_uw).map_err(io_err("<stdout>"))?;
+    writeln!(out, "dynamic power   {:.3} µW @ {} GHz", e.dynamic_power_uw, model.clock_ghz)
+        .map_err(io_err("<stdout>"))?;
+    writeln!(out, "total power     {:.2} µW", e.total_power_uw).map_err(io_err("<stdout>"))?;
+    writeln!(out, "energy per op   {:.1} aJ", e.energy_per_wave_aj).map_err(io_err("<stdout>"))?;
+    Ok(())
+}
+
+fn cmd_margin(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(
+        argv,
+        &["phases", "engine", "gain-threshold", "jitter", "period", "trials", "seed"],
+        &["t1"],
+    )?;
+    let path = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("margin: missing <input> file".into()))?;
+    // Margin analysis is about T1 cells; default the flow to --t1.
+    let mut config = flow_config(&a)?; // validate options before touching files
+    if !a.flag("t1") && a.option("phases").is_none() {
+        config = FlowConfig::t1(4);
+    }
+    let aig = read_input(path)?;
+    let res = run_configured_flow(&aig, &config)?;
+
+    let defaults = MarginConfig::default();
+    let cfg = MarginConfig {
+        period_ps: a.parsed_option("period", defaults.period_ps)?,
+        jitter_ps: a.parsed_option("jitter", defaults.jitter_ps)?,
+        trials: a.parsed_option("trials", defaults.trials)?,
+        seed: a.parsed_option("seed", defaults.seed)?,
+        ..defaults
+    };
+    let r = analyze_margins(&res.timed, &cfg);
+    writeln!(out, "design            {}", res.report.name).map_err(io_err("<stdout>"))?;
+    writeln!(out, "t1 cells          {}", r.t1_cells).map_err(io_err("<stdout>"))?;
+    writeln!(out, "stage spacing     {:.2} ps", r.stage_spacing_ps).map_err(io_err("<stdout>"))?;
+    writeln!(out, "jitter (1σ)       {:.2} ps", cfg.jitter_ps).map_err(io_err("<stdout>"))?;
+    writeln!(out, "trials            {}", r.trials).map_err(io_err("<stdout>"))?;
+    writeln!(out, "hazard rate       {:.4}", r.hazard_rate()).map_err(io_err("<stdout>"))?;
+    writeln!(out, "worst separation  {:.2} ps", r.worst_separation_ps)
+        .map_err(io_err("<stdout>"))?;
+    writeln!(out, "mean separation   {:.2} ps", r.mean_min_separation_ps)
+        .map_err(io_err("<stdout>"))?;
+    Ok(())
+}
+
+fn cmd_convert(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(argv, &["aag", "blif", "dot", "verilog"], &[])?;
+    let path = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("convert: missing <input> file".into()))?;
+    let targets = ["aag", "blif", "dot", "verilog"];
+    if targets.iter().all(|t| a.option(t).is_none()) {
+        return Err(CliError::Usage(
+            "convert: give at least one of --aag, --blif, --dot, --verilog".into(),
+        ));
+    }
+    let aig = read_input(path)?;
+    if let Some(p) = a.option("aag") {
+        let mut buf = Vec::new();
+        aiger::write_aag(&aig, &mut buf).map_err(io_err(p))?;
+        std::fs::write(p, buf).map_err(io_err(p))?;
+        writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    // BLIF / DOT / Verilog describe mapped netlists; convert via the
+    // default library.
+    if targets[1..].iter().any(|t| a.option(t).is_some()) {
+        let net = map_aig(&aig, &Library::default());
+        if let Some(p) = a.option("blif") {
+            std::fs::write(p, export::render_blif(&net)).map_err(io_err(p))?;
+            writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+        }
+        if let Some(p) = a.option("dot") {
+            std::fs::write(p, export::render_dot(&net, None)).map_err(io_err(p))?;
+            writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+        }
+        if let Some(p) = a.option("verilog") {
+            std::fs::write(p, export::render_verilog(&net)).map_err(io_err(p))?;
+            writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+        }
+    }
+    Ok(())
+}
+
+/// `sfqt1 table <input>` — the Table I protocol (1φ / 4φ / T1) on one file.
+fn cmd_table(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(argv, &["phases", "engine", "gain-threshold"], &[])?;
+    let path = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("table: missing <input> file".into()))?;
+    let phases: u8 = a.parsed_option("phases", 4)?;
+    if phases < 4 {
+        return Err(CliError::Usage(
+            "table: --phases must be ≥ 4 (T1 cells need four phases)".into(),
+        ));
+    }
+    let aig = read_input(path)?;
+
+    let mut base = flow_config(&a)?;
+    base.phases = phases;
+    let single = FlowConfig { phases: 1, use_t1: false, ..base.clone() };
+    let multi = FlowConfig { use_t1: false, ..base.clone() };
+    let t1 = FlowConfig { use_t1: true, ..base };
+
+    let r1 = run_configured_flow(&aig, &single)?.report;
+    let rn = run_configured_flow(&aig, &multi)?.report;
+    let rt = run_configured_flow(&aig, &t1)?.report;
+
+    writeln!(
+        out,
+        "{:<12} {:>8} {:>10} {:>7}   (T1 found {} / used {})",
+        "flow", "DFFs", "area JJ", "depth", rt.t1_found, rt.t1_used
+    )
+    .map_err(io_err("<stdout>"))?;
+    let multi_label = format!("{phases}φ");
+    for (label, r) in [("1φ", &r1), (multi_label.as_str(), &rn), ("T1", &rt)] {
+        writeln!(
+            out,
+            "{:<12} {:>8} {:>10} {:>7}",
+            label, r.num_dffs, r.area, r.depth_cycles
+        )
+        .map_err(io_err("<stdout>"))?;
+    }
+    writeln!(
+        out,
+        "T1 vs {phases}φ: DFFs {:.2}, area {:.2}, depth {:.2}",
+        rt.num_dffs as f64 / rn.num_dffs.max(1) as f64,
+        rt.area as f64 / rn.area as f64,
+        f64::from(rt.depth_cycles) / f64::from(rn.depth_cycles.max(1)),
+    )
+    .map_err(io_err("<stdout>"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let mut out = Vec::new();
+        run(&argv(args), &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sfqt1-cli-tests");
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_to_string(&["help"]).expect("help runs");
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("sfqt1 flow"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_a_usage_error() {
+        assert!(matches!(run_to_string(&["frob"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_to_string(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bench_list_names_every_benchmark() {
+        let text = run_to_string(&["bench-list"]).expect("runs");
+        for b in Benchmark::ALL {
+            assert!(text.contains(b.name()), "missing {}", b.name());
+        }
+        for b in ExtBenchmark::ALL {
+            assert!(text.contains(b.name()), "missing {}", b.name());
+        }
+    }
+
+    #[test]
+    fn bench_writes_aag_and_flow_consumes_it() {
+        let aag = scratch("adder.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        let text =
+            run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench runs");
+        assert!(text.contains("wrote"));
+
+        let text = run_to_string(&["flow", aag_s, "--t1", "--phases", "4"]).expect("flow runs");
+        assert!(text.contains("t1 used"), "{text}");
+        assert!(text.contains("area (JJ)"), "{text}");
+        let used: usize = text
+            .lines()
+            .find(|l| l.starts_with("t1 used"))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .expect("t1 used line");
+        assert!(used > 0, "the small adder commits T1 cells:\n{text}");
+        std::fs::remove_file(&aag).ok();
+    }
+
+    #[test]
+    fn flow_writes_all_artifacts() {
+        let aag = scratch("fa.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
+        let blif = scratch("fa.blif");
+        let dot = scratch("fa.dot");
+        let vcd = scratch("fa.vcd");
+        run_to_string(&[
+            "flow",
+            aag_s,
+            "--t1",
+            "--blif",
+            blif.to_str().expect("utf8"),
+            "--dot",
+            dot.to_str().expect("utf8"),
+            "--vcd",
+            vcd.to_str().expect("utf8"),
+            "--waves",
+            "4",
+        ])
+        .expect("flow with artifacts");
+        let blif_text = std::fs::read_to_string(&blif).expect("blif written");
+        assert!(blif_text.contains(".subckt t1_cell"), "T1 cells exported");
+        assert!(std::fs::read_to_string(&dot).expect("dot").starts_with("digraph"));
+        assert!(std::fs::read_to_string(&vcd).expect("vcd").contains("$enddefinitions"));
+        for p in [aag, blif, dot, vcd] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn blif_input_round_trips_through_convert() {
+        let src = scratch("mux.blif");
+        std::fs::write(
+            &src,
+            ".model mux\n.inputs s a b\n.outputs y\n.names s a b y\n11- 1\n0-1 1\n.end\n",
+        )
+        .expect("write blif");
+        let aag = scratch("mux.aag");
+        run_to_string(&[
+            "convert",
+            src.to_str().expect("utf8"),
+            "--aag",
+            aag.to_str().expect("utf8"),
+        ])
+        .expect("convert");
+        let text = std::fs::read_to_string(&aag).expect("aag written");
+        assert!(text.starts_with("aag "));
+        let report =
+            run_to_string(&["flow", aag.to_str().expect("utf8")]).expect("flow on converted");
+        assert!(report.contains("depth"));
+        std::fs::remove_file(src).ok();
+        std::fs::remove_file(aag).ok();
+    }
+
+    #[test]
+    fn energy_and_margin_report_on_t1_flows() {
+        let aag = scratch("en.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
+        let text = run_to_string(&["energy", aag_s, "--t1", "--waves", "8"]).expect("energy");
+        assert!(text.contains("static power"), "{text}");
+        assert!(text.contains("energy per op"), "{text}");
+
+        let text =
+            run_to_string(&["margin", aag_s, "--jitter", "0.5", "--trials", "200"])
+                .expect("margin");
+        assert!(text.contains("hazard rate"), "{text}");
+        assert!(text.contains("t1 cells"), "{text}");
+        std::fs::remove_file(aag).ok();
+    }
+
+    #[test]
+    fn table_compares_three_flows() {
+        let aag = scratch("tbl.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
+        let text = run_to_string(&["table", aag_s]).expect("table runs");
+        assert!(text.contains("1φ"), "{text}");
+        assert!(text.contains("4φ"), "{text}");
+        assert!(text.contains("T1 vs 4φ"), "{text}");
+        assert!(
+            matches!(run_to_string(&["table", aag_s, "--phases", "2"]), Err(CliError::Usage(_))),
+            "table needs ≥ 4 phases"
+        );
+        std::fs::remove_file(aag).ok();
+    }
+
+    #[test]
+    fn flow_and_convert_write_verilog() {
+        let aag = scratch("vl.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
+        let v1 = scratch("vl_flow.v");
+        run_to_string(&["flow", aag_s, "--t1", "--verilog", v1.to_str().expect("utf8")])
+            .expect("flow --verilog");
+        let text = std::fs::read_to_string(&v1).expect("verilog written");
+        assert!(text.contains("module SFQ_T1"), "T1 library module exported");
+        let v2 = scratch("vl_conv.v");
+        run_to_string(&["convert", aag_s, "--verilog", v2.to_str().expect("utf8")])
+            .expect("convert --verilog");
+        assert!(std::fs::read_to_string(&v2).expect("written").contains("endmodule"));
+        for p in [aag, v1, v2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn misuse_is_reported_as_usage() {
+        for args in [
+            vec!["flow"],
+            vec!["flow", "x.txt"],
+            vec!["flow", "x.aag", "--engine", "quantum"],
+            vec!["bench", "nonexistent"],
+            vec!["convert", "x.aag"],
+            vec!["margin"],
+        ] {
+            assert!(
+                matches!(run_to_string(&args), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let e = run_to_string(&["flow", "/nonexistent/x.aag"]).expect_err("io");
+        assert!(matches!(e, CliError::Io { .. }), "{e}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Thin process wrapper around [`sfq_cli::run`]: exit code 2 for usage
+//! errors, 1 for everything else, 0 on success.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match sfq_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(sfq_cli::CliError::Usage(m)) => {
+            eprintln!("{m}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

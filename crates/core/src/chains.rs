@@ -1,0 +1,196 @@
+//! Shared DFF-chain planning.
+//!
+//! Every driven output pin gets at most one linear chain of DFFs; all sinks
+//! tap the chain (through implied splitters), which is what makes multiphase
+//! path balancing so much cheaper than per-edge insertion. This module
+//! contains the chain construction used both by the phase-assignment cost
+//! model (counting) and by DFF insertion (materializing), so the objective
+//! being optimized and the hardware being built can never drift apart.
+//!
+//! Chain rules (`n` = phases per period):
+//! * the driver pin fires at stage `σ_u`; chain DFFs fire at strictly
+//!   increasing stages, each hop spanning at most `n` stages;
+//! * a *plain* sink clocked at `σ_v` may tap any chain element with stage in
+//!   `[σ_v − n, σ_v − 1]`;
+//! * an *exact* sink (a T1 fanin with a chosen arrival stage, or a primary
+//!   output aligned to `σ_out`) must tap an element at exactly its stage —
+//!   or the driver itself when the stage equals `σ_u`.
+
+/// Requirements a single driver pin must satisfy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChainDemand {
+    /// Stages of plain (window-tapping) sinks.
+    pub plain: Vec<u32>,
+    /// Stages of exact-tap sinks (`> σ_u`; equal-to-driver taps are free and
+    /// must be filtered out by the caller).
+    pub exact: Vec<u32>,
+}
+
+impl ChainDemand {
+    /// True if no sink needs the chain at all.
+    pub fn is_empty(&self) -> bool {
+        self.plain.is_empty() && self.exact.is_empty()
+    }
+}
+
+/// Computes the DFF stages of the minimal shared chain for one driver pin.
+///
+/// Returns the sorted stages of the inserted DFFs. The caller guarantees
+/// `σ_u < v` for every plain sink stage `v` and `σ_u < t` for every exact
+/// tap `t` (violations panic in debug builds and produce malformed chains
+/// otherwise — upstream constraints make them impossible).
+pub fn plan_chain(sigma_u: u32, demand: &ChainDemand, n: u32) -> Vec<u32> {
+    debug_assert!(n >= 1);
+    let mut taps: Vec<u32> = demand.exact.clone();
+    taps.sort_unstable();
+    taps.dedup();
+    debug_assert!(taps.first().map_or(true, |&t| t > sigma_u), "exact tap at/before driver");
+
+    // Fill hops longer than n between consecutive chain elements.
+    let mut filled: Vec<u32> = Vec::with_capacity(taps.len());
+    let mut prev = sigma_u;
+    for &t in &taps {
+        while t - prev > n {
+            prev += n;
+            filled.push(prev);
+        }
+        filled.push(t);
+        prev = t;
+    }
+    let mut chain = filled;
+
+    // Cover plain sinks in stage order; extend the chain tail as needed.
+    let mut plain = demand.plain.clone();
+    plain.sort_unstable();
+    for &v in &plain {
+        debug_assert!(v > sigma_u, "plain sink at/before driver");
+        if v - sigma_u <= n {
+            continue; // driver itself is in the window
+        }
+        // The chain's gap invariant (≤ n) means a tap lies in [v−n, v−1]
+        // whenever the chain reaches v−n; otherwise extend the tail.
+        let mut last = chain.last().copied().unwrap_or(sigma_u);
+        while last + n < v {
+            last += n;
+            chain.push(last);
+        }
+    }
+    chain
+}
+
+/// Counts the chain DFFs without materializing them.
+pub fn chain_cost(sigma_u: u32, demand: &ChainDemand, n: u32) -> usize {
+    if demand.is_empty() {
+        0
+    } else {
+        plan_chain(sigma_u, demand, n).len()
+    }
+}
+
+/// Finds the tap (a chain stage, or the driver when `None`) a plain sink at
+/// stage `v` should read.
+///
+/// # Panics
+/// Panics if the chain does not cover the sink — [`plan_chain`] output always
+/// does.
+pub fn tap_for_plain(sigma_u: u32, chain: &[u32], v: u32, n: u32) -> Option<u32> {
+    // Prefer the latest admissible tap (shortest wire, most sharing).
+    let lo = v.saturating_sub(n);
+    if let Some(&t) = chain.iter().rev().find(|&&t| t < v && t >= lo) {
+        return Some(t);
+    }
+    assert!(
+        v - sigma_u <= n,
+        "chain does not cover plain sink at stage {v} (driver {sigma_u}, n={n})"
+    );
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(plain: &[u32], exact: &[u32]) -> ChainDemand {
+        ChainDemand { plain: plain.to_vec(), exact: exact.to_vec() }
+    }
+
+    #[test]
+    fn empty_demand_no_chain() {
+        assert_eq!(plan_chain(5, &demand(&[], &[]), 4), Vec::<u32>::new());
+        assert_eq!(chain_cost(5, &demand(&[], &[]), 4), 0);
+    }
+
+    #[test]
+    fn plain_within_lifetime_needs_nothing() {
+        assert_eq!(plan_chain(0, &demand(&[1, 3, 4], &[]), 4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn plain_beyond_lifetime_builds_ladder() {
+        // Driver at 0, sink at 9, n=4: DFFs at 4 and 8.
+        assert_eq!(plan_chain(0, &demand(&[9], &[]), 4), vec![4, 8]);
+        // Matches the closed form ⌈Δ/n⌉ − 1.
+        assert_eq!(chain_cost(0, &demand(&[9], &[]), 4), (9f64 / 4.0).ceil() as usize - 1);
+    }
+
+    #[test]
+    fn shared_chain_covers_many_sinks() {
+        // Sinks at 3, 6, 9, 12 share one ladder: DFFs at 4 and 8.
+        let c = plan_chain(0, &demand(&[3, 6, 9, 12], &[]), 4);
+        assert_eq!(c, vec![4, 8]);
+        assert_eq!(tap_for_plain(0, &c, 3, 4), None); // direct from driver
+        assert_eq!(tap_for_plain(0, &c, 6, 4), Some(4));
+        assert_eq!(tap_for_plain(0, &c, 9, 4), Some(8));
+        assert_eq!(tap_for_plain(0, &c, 12, 4), Some(8));
+    }
+
+    #[test]
+    fn single_phase_recovers_classic_balancing() {
+        // n=1: a sink at stage 7 from a driver at 2 needs 4 DFFs (3,4,5,6).
+        assert_eq!(plan_chain(2, &demand(&[7], &[]), 1), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn exact_taps_are_inserted_verbatim() {
+        let c = plan_chain(0, &demand(&[], &[2, 3]), 4);
+        assert_eq!(c, vec![2, 3]);
+    }
+
+    #[test]
+    fn exact_taps_far_away_get_ladder_fill() {
+        // Exact tap at 10, n=4: fills at 4, 8, then 10.
+        assert_eq!(plan_chain(0, &demand(&[], &[10]), 4), vec![4, 8, 10]);
+    }
+
+    #[test]
+    fn exact_taps_also_serve_plain_sinks() {
+        // Exact tap at 5 needs a ladder fill at 4 first (a 0→5 hop would
+        // exceed the 4-stage pulse lifetime); the tap then covers a plain
+        // sink at 7 (window [3,6]) with no further DFFs.
+        let c = plan_chain(0, &demand(&[7], &[5]), 4);
+        assert_eq!(c, vec![4, 5]);
+        assert_eq!(tap_for_plain(0, &c, 7, 4), Some(5));
+    }
+
+    #[test]
+    fn duplicate_exact_taps_dedupe() {
+        assert_eq!(plan_chain(1, &demand(&[], &[3, 3, 3]), 4), vec![3]);
+    }
+
+    #[test]
+    fn mixed_demand_counts_match_plan() {
+        let d = demand(&[2, 9, 14], &[6, 13]);
+        let c = plan_chain(0, &d, 4);
+        assert_eq!(chain_cost(0, &d, 4), c.len());
+        // Gap invariant.
+        let mut prev = 0;
+        for &t in &c {
+            assert!(t - prev <= 4);
+            prev = t;
+        }
+        // Every plain sink covered.
+        for v in [2u32, 9, 14] {
+            let _ = tap_for_plain(0, &c, v, 4); // must not panic
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! DFF insertion (paper §II-C).
+//!
+//! Given a stage assignment, every driven pin receives one shared DFF chain
+//! (planned by [`crate::chains`]); plain sinks tap the chain inside their
+//! pulse-lifetime window, T1 fanins tap exact arrival stages chosen by the
+//! CP-style arrival solver (pairwise distinct — eq. 5), and primary outputs
+//! tap the common output stage. The result is a [`TimedNetwork`] whose audit
+//! re-verifies every rule independently.
+
+use crate::chains::{plan_chain, tap_for_plain, ChainDemand};
+use crate::phase::{build_view, solve_arrivals, PhaseError, StageAssignment};
+use crate::timed::TimedNetwork;
+use sfq_netlist::{CellId, CellKind, Network, Signal, T1Port};
+use std::collections::HashMap;
+
+/// Materializes the DFF chains dictated by `assignment` and returns the
+/// fully retimed network.
+///
+/// # Errors
+/// [`PhaseError::BadNetwork`] if the network is malformed, or
+/// [`PhaseError::TooFewPhasesForT1`] if a T1 arrival assignment is
+/// infeasible (cannot happen for assignments produced by
+/// [`assign_phases`](crate::assign_phases)).
+pub fn insert_dffs(
+    net: &Network,
+    assignment: &StageAssignment,
+    n: u8,
+) -> Result<TimedNetwork, PhaseError> {
+    let nn = n as u32;
+    let view = build_view(net)?;
+    let stages = &assignment.stages;
+    let sigma_out = assignment.output_stage;
+
+    // ---- resolve T1 arrivals (shared solver with phase assignment) -------
+    // (t1, fanin index) → arrival stage.
+    let mut arrival: HashMap<(CellId, usize), u32> = HashMap::new();
+    for &t1 in &view.t1_cells {
+        let f = net.fanins(t1);
+        let fs = [
+            stages[f[0].cell.0 as usize],
+            stages[f[1].cell.0 as usize],
+            stages[f[2].cell.0 as usize],
+        ];
+        let arr = solve_arrivals(fs, stages[t1.0 as usize], nn)
+            .ok_or(PhaseError::TooFewPhasesForT1 { phases: n })?;
+        // The paper solves this sub-problem on CP-SAT; our CP model must
+        // agree with the enumerator on cost (eq. 5 + DFF objective).
+        #[cfg(debug_assertions)]
+        {
+            use crate::phase::{arrival_cost, solve_arrivals_cp};
+            let cp = solve_arrivals_cp(fs, stages[t1.0 as usize], nn)
+                .expect("CP model feasible whenever the enumerator is");
+            debug_assert_eq!(
+                arrival_cost(fs, arr, nn),
+                arrival_cost(fs, cp, nn),
+                "CP arrival model diverged from the enumerator"
+            );
+        }
+        for k in 0..3 {
+            arrival.insert((t1, k), arr[k]);
+        }
+    }
+
+    // ---- plan chains per pin ----------------------------------------------
+    // pin → sorted DFF stages.
+    let mut chain_plan: HashMap<Signal, Vec<u32>> = HashMap::new();
+    for (pin, sinks) in &view.pins {
+        let su = stages[pin.cell.0 as usize];
+        let mut demand = ChainDemand::default();
+        for &v in &sinks.plain {
+            demand.plain.push(stages[v.0 as usize]);
+        }
+        for &(t1, k) in &sinks.t1 {
+            let a = arrival[&(t1, k)];
+            if a > su {
+                demand.exact.push(a);
+            }
+        }
+        if sinks.outputs > 0 && sigma_out > su {
+            demand.exact.push(sigma_out);
+        }
+        if !demand.is_empty() {
+            chain_plan.insert(*pin, plan_chain(su, &demand, nn));
+        }
+    }
+
+    // ---- rebuild with DFF cells -------------------------------------------
+    let mut out = Network::new(net.name().to_string());
+    let mut out_stages: Vec<u32> = Vec::new();
+    // old signal → new signal of the driver itself.
+    let mut remap: HashMap<Signal, Signal> = HashMap::new();
+    // (old pin, chain stage) → new DFF output signal.
+    let mut tap_signal: HashMap<(Signal, u32), Signal> = HashMap::new();
+    let mut inputs_done = 0usize;
+
+    // Resolve the new-network signal a sink should read for an old fanin.
+    let resolve_plain = |f: Signal,
+                         sink_stage: u32,
+                         remap: &HashMap<Signal, Signal>,
+                         tap_signal: &HashMap<(Signal, u32), Signal>,
+                         chain_plan: &HashMap<Signal, Vec<u32>>,
+                         stages: &[u32]|
+     -> Signal {
+        let su = stages[f.cell.0 as usize];
+        let chain = chain_plan.get(&f).map(Vec::as_slice).unwrap_or(&[]);
+        match tap_for_plain(su, chain, sink_stage, nn) {
+            None => remap[&f],
+            Some(t) => tap_signal[&(f, t)],
+        }
+    };
+
+    for &id in &view.order {
+        let kind = net.kind(id);
+        let my_stage = stages[id.0 as usize];
+        let new_sig = match kind {
+            CellKind::Input => {
+                let k = inputs_done;
+                inputs_done += 1;
+                let s = out.add_input(net.input_name(k).to_string());
+                out_stages.push(0);
+                s
+            }
+            CellKind::Gate(g) => {
+                let fanins: Vec<Signal> = net
+                    .fanins(id)
+                    .iter()
+                    .map(|&f| {
+                        resolve_plain(f, my_stage, &remap, &tap_signal, &chain_plan, stages)
+                    })
+                    .collect();
+                let s = out.add_gate(g, &fanins);
+                out_stages.push(my_stage);
+                s
+            }
+            CellKind::T1 { used_ports } => {
+                let fanins: Vec<Signal> = net
+                    .fanins(id)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &f)| {
+                        let a = arrival[&(id, k)];
+                        let su = stages[f.cell.0 as usize];
+                        if a == su {
+                            remap[&f]
+                        } else {
+                            tap_signal[&(f, a)]
+                        }
+                    })
+                    .collect();
+                let new_id = out.add_t1(used_ports, &fanins);
+                out_stages.push(my_stage);
+                for port in T1Port::ALL {
+                    if used_ports >> port.index() & 1 == 1 {
+                        remap.insert(Signal::t1(id, port), Signal::t1(new_id, port));
+                    }
+                }
+                // Port-0 placeholder mapping for uniformity below.
+                Signal::from_cell(new_id)
+            }
+            CellKind::Dff => {
+                let f = net.fanins(id)[0];
+                let s = out.add_dff(resolve_plain(
+                    f,
+                    my_stage,
+                    &remap,
+                    &tap_signal,
+                    &chain_plan,
+                    stages,
+                ));
+                out_stages.push(my_stage);
+                s
+            }
+        };
+        if !matches!(kind, CellKind::T1 { .. }) {
+            remap.insert(Signal::from_cell(id), new_sig);
+        }
+        // Materialize this cell's chains now that the cell exists.
+        for port in 0..kind.num_ports() {
+            let pin = Signal { cell: id, port: port as u8 };
+            let Some(chain) = chain_plan.get(&pin) else { continue };
+            let mut prev = remap[&pin];
+            for &t in chain {
+                let d = out.add_dff(prev);
+                out_stages.push(t);
+                tap_signal.insert((pin, t), d);
+                prev = d;
+            }
+        }
+    }
+
+    for (k, &o) in net.outputs().iter().enumerate() {
+        let su = stages[o.cell.0 as usize];
+        let s = if sigma_out == su { remap[&o] } else { tap_signal[&(o, sigma_out)] };
+        out.add_output(net.output_name(k).to_string(), s);
+    }
+
+    Ok(TimedNetwork {
+        network: out,
+        stages: out_stages,
+        num_phases: n,
+        output_stage: sigma_out,
+    })
+}

@@ -1,0 +1,221 @@
+//! Post-flow statistics: stage occupancy, phase load, and the clock
+//! schedule a physical-design team would hand to clock-tree synthesis.
+//!
+//! The flow's headline numbers (DFFs, area, depth) live in
+//! [`FlowReport`](crate::FlowReport); this module answers the follow-up
+//! questions: *how evenly are cells spread over the `n` phases* (each phase
+//! is a separate clock distribution network, so imbalance is routing pain),
+//! *where are the crowded stages*, and *what are the per-phase clock
+//! offsets* for a given period.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_core::{run_flow, FlowConfig};
+//! use sfq_core::report::StageReport;
+//! use sfq_netlist::Aig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut aig = Aig::new("fa");
+//! let a = aig.input("a");
+//! let b = aig.input("b");
+//! let c = aig.input("c");
+//! let (s, co) = aig.full_adder(a, b, c);
+//! aig.output("s", s);
+//! aig.output("co", co);
+//! let res = run_flow(&aig, &FlowConfig::t1(4))?;
+//!
+//! let report = StageReport::summarize(&res.timed);
+//! assert_eq!(report.phases, 4);
+//! assert_eq!(report.clocked_cells(), report.cells_per_phase.iter().sum());
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::timed::TimedNetwork;
+use sfq_netlist::CellKind;
+use std::fmt;
+
+/// Stage/phase occupancy statistics of a retimed netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Number of clock phases (`n`).
+    pub phases: u8,
+    /// The common primary-output stage.
+    pub output_stage: u32,
+    /// Clocked cells firing on each phase `φ ∈ 0..n` (T1 cells count on
+    /// their own firing phase).
+    pub cells_per_phase: Vec<usize>,
+    /// Path-balancing DFFs among [`cells_per_phase`](Self::cells_per_phase).
+    pub dffs_per_phase: Vec<usize>,
+    /// Clocked cells firing at each stage `σ ∈ 0..=output_stage`.
+    pub cells_per_stage: Vec<usize>,
+    /// The busiest stage and its cell count.
+    pub peak: (u32, usize),
+}
+
+impl StageReport {
+    /// Collects the statistics of one retimed netlist.
+    pub fn summarize(timed: &TimedNetwork) -> Self {
+        let n = timed.num_phases as usize;
+        let net = &timed.network;
+        let mut cells_per_phase = vec![0usize; n];
+        let mut dffs_per_phase = vec![0usize; n];
+        let mut cells_per_stage = vec![0usize; timed.output_stage as usize + 1];
+        for id in net.cell_ids() {
+            let kind = net.kind(id);
+            if !kind.is_clocked() {
+                continue;
+            }
+            let stage = timed.stages[id.0 as usize];
+            let phase = (stage % timed.num_phases as u32) as usize;
+            cells_per_phase[phase] += 1;
+            if matches!(kind, CellKind::Dff) {
+                dffs_per_phase[phase] += 1;
+            }
+            if let Some(slot) = cells_per_stage.get_mut(stage as usize) {
+                *slot += 1;
+            }
+        }
+        let peak = cells_per_stage
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(s, &c)| (s as u32, c))
+            .unwrap_or((0, 0));
+        StageReport {
+            phases: timed.num_phases,
+            output_stage: timed.output_stage,
+            cells_per_phase,
+            dffs_per_phase,
+            cells_per_stage,
+            peak,
+        }
+    }
+
+    /// Total clocked cells (gates + DFFs + T1 cells).
+    pub fn clocked_cells(&self) -> usize {
+        self.cells_per_phase.iter().sum()
+    }
+
+    /// Phase-load imbalance: busiest phase over the ideal even split
+    /// (1.0 = perfectly balanced; relevant because each phase is its own
+    /// clock distribution network).
+    pub fn phase_imbalance(&self) -> f64 {
+        let total = self.clocked_cells();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.cells_per_phase.iter().copied().max().unwrap_or(0);
+        max as f64 * self.phases as f64 / total as f64
+    }
+
+    /// Per-phase clock arrival offsets for a full period of `period_ps`:
+    /// `(phase, offset in ps, cells on that phase)`.
+    pub fn clock_schedule(&self, period_ps: f64) -> Vec<(u8, f64, usize)> {
+        let spacing = period_ps / f64::from(self.phases);
+        (0..self.phases)
+            .map(|p| (p, f64::from(p) * spacing, self.cells_per_phase[p as usize]))
+            .collect()
+    }
+}
+
+impl fmt::Display for StageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} clocked cells over {} stages ({} phases), peak {} cells at stage {}",
+            self.clocked_cells(),
+            self.output_stage + 1,
+            self.phases,
+            self.peak.1,
+            self.peak.0
+        )?;
+        writeln!(f, "phase load (imbalance {:.2}):", self.phase_imbalance())?;
+        let max = self.cells_per_phase.iter().copied().max().unwrap_or(0).max(1);
+        for (p, (&cells, &dffs)) in
+            self.cells_per_phase.iter().zip(&self.dffs_per_phase).enumerate()
+        {
+            let bar = "#".repeat(cells * 40 / max);
+            writeln!(f, "  φ{p}: {cells:>6} cells ({dffs:>6} DFFs) {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{run_flow, FlowConfig};
+    use sfq_netlist::Aig;
+
+    fn adder(bits: usize) -> Aig {
+        let mut aig = Aig::new("adder");
+        let a = aig.input_word("a", bits);
+        let b = aig.input_word("b", bits);
+        let mut carry = aig.const_false();
+        let mut sums = Vec::new();
+        for k in 0..bits {
+            let (s, c) = aig.full_adder(a[k], b[k], carry);
+            sums.push(s);
+            carry = c;
+        }
+        sums.push(carry);
+        aig.output_word("s", &sums);
+        aig
+    }
+
+    #[test]
+    fn counts_add_up_across_views() {
+        let res = run_flow(&adder(8), &FlowConfig::t1(4)).expect("flow");
+        let r = StageReport::summarize(&res.timed);
+        let net = &res.timed.network;
+        let clocked = net.cell_ids().filter(|&c| net.kind(c).is_clocked()).count();
+        assert_eq!(r.clocked_cells(), clocked, "phase view covers every clocked cell");
+        assert_eq!(
+            r.cells_per_stage.iter().sum::<usize>(),
+            clocked,
+            "stage view covers every clocked cell"
+        );
+        assert_eq!(
+            r.dffs_per_phase.iter().sum::<usize>(),
+            res.report.num_dffs,
+            "DFF view matches the flow report"
+        );
+        assert_eq!(r.peak.1, *r.cells_per_stage.iter().max().expect("nonempty"));
+    }
+
+    #[test]
+    fn single_phase_concentrates_everything_on_phase_zero() {
+        let res = run_flow(&adder(4), &FlowConfig::single_phase()).expect("flow");
+        let r = StageReport::summarize(&res.timed);
+        assert_eq!(r.phases, 1);
+        assert_eq!(r.cells_per_phase.len(), 1);
+        assert!((r.phase_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_schedule_spaces_phases_evenly() {
+        let res = run_flow(&adder(4), &FlowConfig::multiphase(4)).expect("flow");
+        let r = StageReport::summarize(&res.timed);
+        let sched = r.clock_schedule(100.0);
+        assert_eq!(sched.len(), 4);
+        for (k, &(p, off, _)) in sched.iter().enumerate() {
+            assert_eq!(p as usize, k);
+            assert!((off - 25.0 * k as f64).abs() < 1e-12);
+        }
+        let listed: usize = sched.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(listed, r.clocked_cells());
+    }
+
+    #[test]
+    fn display_renders_one_bar_per_phase() {
+        let res = run_flow(&adder(4), &FlowConfig::multiphase(4)).expect("flow");
+        let r = StageReport::summarize(&res.timed);
+        let text = r.to_string();
+        assert!(text.contains("φ0:"));
+        assert!(text.contains("φ3:"));
+        assert!(text.contains("imbalance"));
+    }
+}

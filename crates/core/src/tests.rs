@@ -1,0 +1,497 @@
+use crate::detect::detect_t1;
+use crate::dff::insert_dffs;
+use crate::flow::{run_flow, run_flow_on_network, FlowConfig};
+use crate::phase::{
+    arrival_cost, assign_phases, solve_arrivals, solve_arrivals_cp, PhaseEngine, PhaseError,
+};
+use proptest::prelude::*;
+use sfq_netlist::{Aig, CellKind, CutConfig, GateKind, Library, Network};
+
+fn fa_network() -> Network {
+    let mut net = Network::new("fa");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let axb = net.add_gate(GateKind::Xor2, &[a, b]);
+    let s = net.add_gate(GateKind::Xor2, &[axb, c]);
+    let ab = net.add_gate(GateKind::And2, &[a, b]);
+    let t = net.add_gate(GateKind::And2, &[axb, c]);
+    let co = net.add_gate(GateKind::Or2, &[ab, t]);
+    net.add_output("s", s);
+    net.add_output("co", co);
+    net
+}
+
+fn ripple_adder_aig(bits: usize) -> Aig {
+    let mut aig = Aig::new(format!("add{bits}"));
+    let a = aig.input_word("a", bits);
+    let b = aig.input_word("b", bits);
+    let mut carry = aig.const_false();
+    let mut sums = Vec::new();
+    for i in 0..bits {
+        let (s, c) = aig.full_adder(a[i], b[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    sums.push(carry);
+    aig.output_word("s", &sums);
+    aig
+}
+
+// ------------------------------------------------------------- detect ----
+
+#[test]
+fn detect_finds_full_adder() {
+    let net = fa_network();
+    let det = detect_t1(&net, &Library::default(), &CutConfig::default());
+    assert_eq!(det.found, 1, "one T1 group (S + C on shared leaves)");
+    assert_eq!(det.used, 1);
+    let g = &det.groups[0];
+    assert_eq!(g.input_mask, 0, "no input inverters needed");
+    assert_eq!(g.roots.len(), 2);
+    assert_eq!(det.network.num_t1(), 1);
+    // XOR3 + MAJ3 on ports S and C: mask 0b00011.
+    assert_eq!(g.used_ports, 0b00011);
+    // Conventional FA (5 gates, 53 JJ) → T1 at 29 JJ: gain = 24.
+    assert_eq!(g.gain, 53 - 29);
+    det.network.validate().unwrap();
+}
+
+#[test]
+fn detect_preserves_function() {
+    let net = fa_network();
+    let det = detect_t1(&net, &Library::default(), &CutConfig::default());
+    let pats = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210, 0xA5A5_5A5A_C3C3_3C3C];
+    assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
+}
+
+#[test]
+fn detect_skips_non_t1_logic() {
+    // A 3-input AND tree offers no XOR3/MAJ3/OR3 pair (AND3 alone matches
+    // with all-negated inputs but a singleton group is not allowed).
+    let mut net = Network::new("and3");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let ab = net.add_gate(GateKind::And2, &[a, b]);
+    let abc = net.add_gate(GateKind::And2, &[ab, c]);
+    net.add_output("f", abc);
+    let det = detect_t1(&net, &Library::default(), &CutConfig::default());
+    assert_eq!(det.found, 0);
+    assert_eq!(det.used, 0);
+    assert_eq!(det.network.num_t1(), 0);
+}
+
+#[test]
+fn detect_handles_negated_variants() {
+    // ¬MAJ3 and XNOR3 over the same leaves: realizable via C*+INV with one
+    // input polarity trick... build sum = xnor3, carry = nor-style ¬maj.
+    let mut net = Network::new("neg");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let axb = net.add_gate(GateKind::Xnor2, &[a, b]);
+    let s = net.add_gate(GateKind::Xnor2, &[axb, c]); // xnor(xnor(a,b),c) = xor3
+    let ab = net.add_gate(GateKind::And2, &[a, b]);
+    let axb2 = net.add_gate(GateKind::Xor2, &[a, b]);
+    let t = net.add_gate(GateKind::And2, &[axb2, c]);
+    let co = net.add_gate(GateKind::Or2, &[ab, t]);
+    let nco = net.add_gate(GateKind::Inv, &[co]); // ¬maj3
+    net.add_output("s", s);
+    net.add_output("nco", nco);
+    let det = detect_t1(&net, &Library::default(), &CutConfig::default());
+    assert!(det.used >= 1, "xor3/¬maj3 pair should map to S and C*+INV");
+    let pats = [0x1111_2222_3333_4444u64, 0x5555_6666_7777_8888, 0x9999_AAAA_BBBB_CCCC];
+    assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
+}
+
+#[test]
+fn detect_on_array_multiplier_finds_fa_groups() {
+    // Regression: array multipliers are carry-save FA grids, yet an earlier
+    // dual-polarity mapper destroyed every shared 3-leaf boundary and
+    // detection found zero groups (the paper finds 824 on its multiplier).
+    let mut aig = Aig::new("mult");
+    let a = aig.input_word("a", 4);
+    let b = aig.input_word("b", 4);
+    let mut cols: Vec<Vec<sfq_netlist::AigLit>> = vec![Vec::new(); 8];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = aig.and(ai, bj);
+            cols[i + j].push(pp);
+        }
+    }
+    let mut carries: Vec<sfq_netlist::AigLit> = Vec::new();
+    let mut product = Vec::new();
+    for col in cols.iter_mut() {
+        col.extend(carries.drain(..));
+        while col.len() > 1 {
+            if col.len() >= 3 {
+                let (x, y, z) = (col.remove(0), col.remove(0), col.remove(0));
+                let (s, c) = aig.full_adder(x, y, z);
+                col.push(s);
+                carries.push(c);
+            } else {
+                let (x, y) = (col.remove(0), col.remove(0));
+                let (s, c) = aig.half_adder(x, y);
+                col.push(s);
+                carries.push(c);
+            }
+        }
+        product.push(col.first().copied().unwrap_or(sfq_netlist::AigLit::FALSE));
+    }
+    aig.output_word("p", &product);
+
+    let net = sfq_netlist::map_aig(&aig, &Library::default());
+    let det = detect_t1(&net, &Library::default(), &CutConfig::default());
+    assert!(det.used >= 4, "expected ≥4 committed T1 cells, got {}", det.used);
+    let pats: Vec<u64> =
+        (0..8).map(|i| 0xDEAD_BEEF_CAFE_F00Du64.rotate_left(i * 5)).collect();
+    assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
+}
+
+#[test]
+fn detect_on_ripple_adder_replaces_every_fa() {
+    let aig = ripple_adder_aig(8);
+    let net = sfq_netlist::map_aig(&aig, &Library::default());
+    let det = detect_t1(&net, &Library::default(), &CutConfig::default());
+    // 8-bit RCA: bit 0 is a half adder; bits 1..7 are full adders.
+    assert!(det.used >= 6, "expected ≥6 T1 cells, got {}", det.used);
+    let pats: Vec<u64> = (0..16).map(|i| 0x0123_4567_89AB_CDEFu64.rotate_left(i * 3)).collect();
+    assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
+}
+
+// ------------------------------------------------------------ arrivals ----
+
+#[test]
+fn arrivals_prefer_free_slots() {
+    // Fanins at 3, 4, 5 with T1 at 6, n = 4: window [3,5] — everyone arrives
+    // at their own stage, zero extra DFFs.
+    assert_eq!(solve_arrivals([3, 4, 5], 6, 4), Some([3, 4, 5]));
+}
+
+#[test]
+fn arrivals_separate_equal_stages() {
+    // All fanins at 3, T1 at 6: slots {3,4,5} in some distinct assignment.
+    let arr = solve_arrivals([3, 3, 3], 6, 4).unwrap();
+    let mut sorted = arr;
+    sorted.sort_unstable();
+    assert_eq!(sorted, [3, 4, 5]);
+}
+
+#[test]
+fn arrivals_respect_window() {
+    // Fanin at stage 1, T1 at 10, n = 4: window [7,9]; arrival ≥ 7.
+    let arr = solve_arrivals([1, 8, 9], 10, 4).unwrap();
+    assert!(arr[0] >= 7);
+    assert_eq!(arr[1], 8);
+    assert_eq!(arr[2], 9);
+}
+
+#[test]
+fn arrivals_infeasible_when_window_too_small() {
+    // n = 3 → window of 2 slots for 3 fanins.
+    assert_eq!(solve_arrivals([1, 1, 1], 5, 3), None);
+}
+
+#[test]
+fn cp_arrival_model_matches_enumerator_everywhere() {
+    // Sweep the entire meaningful input space: fanin stages in 0..=8,
+    // σ_T1 up to the eq.-3 bound + slack, n ∈ 4..=6. The CP model (the
+    // paper's CP-SAT formulation) must agree with the enumerator on
+    // feasibility and on optimal DFF cost.
+    for n in 4u32..=6 {
+        for s0 in 0..=8u32 {
+            for s1 in s0..=8 {
+                for s2 in s1..=8 {
+                    let fs = [s0, s1, s2];
+                    let bound = (s0 + 3).max(s1 + 2).max(s2 + 1);
+                    for sigma in s2 + 1..=bound + 3 {
+                        let brute = solve_arrivals(fs, sigma, n);
+                        let cp = solve_arrivals_cp(fs, sigma, n);
+                        match (brute, cp) {
+                            (None, None) => {}
+                            (Some(b), Some(c)) => {
+                                assert_eq!(
+                                    arrival_cost(fs, b, n),
+                                    arrival_cost(fs, c, n),
+                                    "cost mismatch at fs={fs:?} σ={sigma} n={n}: {b:?} vs {c:?}"
+                                );
+                                // CP solution must satisfy the same rules.
+                                let mut sorted = c;
+                                sorted.sort_unstable();
+                                assert!(sorted[0] != sorted[1] && sorted[1] != sorted[2]);
+                                for k in 0..3 {
+                                    assert!(c[k] >= fs[k] && c[k] < sigma);
+                                    assert!(sigma - c[k] <= n - 1);
+                                }
+                            }
+                            (b, c) => panic!(
+                                "feasibility mismatch at fs={fs:?} σ={sigma} n={n}: brute={b:?} cp={c:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- phase ----
+
+#[test]
+fn phase_rejects_t1_under_4_phases() {
+    let net = fa_network();
+    let det = detect_t1(&net, &Library::default(), &CutConfig::default());
+    let err = assign_phases(&det.network, 2, PhaseEngine::Auto).unwrap_err();
+    assert!(matches!(err, PhaseError::TooFewPhasesForT1 { .. }));
+}
+
+#[test]
+fn phase_exact_zero_dffs_when_fits_in_period() {
+    // FA network depth 3 ≤ n=4: everything fits in one period, no DFFs.
+    let net = fa_network();
+    let asg = assign_phases(&net, 4, PhaseEngine::Exact).unwrap();
+    let timed = insert_dffs(&net, &asg, 4).unwrap();
+    timed.audit().unwrap();
+    assert_eq!(timed.num_dffs(), 0);
+    assert_eq!(timed.depth_cycles(), 1);
+}
+
+#[test]
+fn phase_single_phase_counts_classic_balancing() {
+    // FA: levels a,b,c=0; axb=1; s=2, ab=1, t=2, co=3. σ_out=3.
+    // 1φ chains: a→{axb@1, ab@1}: 0 DFFs... every edge Δ=1 except:
+    //   c feeds s@2 and t@2 → chain to stage 1: 1 DFF
+    //   ab@1 feeds co@3 → 1 DFF; axb@1→s@2,t@2 ok; s@2→out@3: 1 DFF...
+    // exact engine finds the minimum; verify audit + optimality vs heuristic.
+    let net = fa_network();
+    let exact = assign_phases(&net, 1, PhaseEngine::Exact).unwrap();
+    let te = insert_dffs(&net, &exact, 1).unwrap();
+    te.audit().unwrap();
+    let heur = assign_phases(&net, 1, PhaseEngine::Heuristic).unwrap();
+    let th = insert_dffs(&net, &heur, 1).unwrap();
+    th.audit().unwrap();
+    assert_eq!(te.num_dffs(), th.num_dffs(), "tiny case: both engines optimal");
+    assert!(te.num_dffs() >= 2);
+}
+
+#[test]
+fn phase_heuristic_matches_exact_on_small_nets() {
+    for (bits, n) in [(2usize, 1u8), (2, 4), (3, 2)] {
+        let aig = ripple_adder_aig(bits);
+        let net = sfq_netlist::map_aig(&aig, &Library::default());
+        let exact = assign_phases(&net, n, PhaseEngine::Exact).unwrap();
+        let te = insert_dffs(&net, &exact, n).unwrap();
+        te.audit().unwrap();
+        let heur = assign_phases(&net, n, PhaseEngine::Heuristic).unwrap();
+        let th = insert_dffs(&net, &heur, n).unwrap();
+        th.audit().unwrap();
+        // The heuristic may not be optimal, but must be close on tiny nets
+        // and never below the exact optimum.
+        assert!(
+            th.num_dffs() >= te.num_dffs(),
+            "heuristic ({}) beat 'exact' ({}) — exact model must be wrong",
+            th.num_dffs(),
+            te.num_dffs()
+        );
+        assert!(
+            th.num_dffs() <= te.num_dffs() + 2,
+            "heuristic too far off: {} vs {}",
+            th.num_dffs(),
+            te.num_dffs()
+        );
+    }
+}
+
+#[test]
+fn phase_more_phases_never_more_dffs() {
+    let aig = ripple_adder_aig(6);
+    let net = sfq_netlist::map_aig(&aig, &Library::default());
+    let mut prev = usize::MAX;
+    for n in [1u8, 2, 4, 8] {
+        let asg = assign_phases(&net, n, PhaseEngine::Heuristic).unwrap();
+        let timed = insert_dffs(&net, &asg, n).unwrap();
+        timed.audit().unwrap();
+        let dffs = timed.num_dffs();
+        assert!(dffs <= prev, "n={n}: {dffs} DFFs > previous {prev}");
+        prev = dffs;
+    }
+}
+
+// ----------------------------------------------------------- cost model ----
+
+/// The phase engines optimize `CostModel::total_cost`; DFF insertion must
+/// then materialize exactly that many DFFs — otherwise the objective the
+/// ILP minimizes is not the quantity the paper reports.
+#[test]
+fn cost_model_predicts_inserted_dff_count() {
+    use crate::phase::{build_view, CostModel};
+    for (net, n) in [
+        (fa_network(), 1u8),
+        (fa_network(), 4),
+        (sfq_netlist::map_aig(&ripple_adder_aig(4), &Library::default()), 4),
+        (
+            detect_t1(
+                &sfq_netlist::map_aig(&ripple_adder_aig(4), &Library::default()),
+                &Library::default(),
+                &CutConfig::default(),
+            )
+            .network,
+            4,
+        ),
+    ] {
+        let view = build_view(&net).expect("valid network");
+        let asg = assign_phases(&net, n, PhaseEngine::Heuristic).expect("feasible");
+        let model = CostModel { net: &net, view: &view, n: n as u32 };
+        let predicted = model
+            .total_cost(&asg.stages, asg.output_stage)
+            .expect("assignment is feasible");
+        let timed = insert_dffs(&net, &asg, n).expect("insertable");
+        timed.audit().expect("clean audit");
+        assert_eq!(
+            predicted,
+            timed.num_dffs(),
+            "cost model vs materialized DFFs ({}-phase {})",
+            n,
+            net.name()
+        );
+    }
+}
+
+// ----------------------------------------------------------------- flow ----
+
+#[test]
+fn flow_single_phase_fa() {
+    let net = fa_network();
+    let res = run_flow_on_network(&net, &FlowConfig::single_phase()).unwrap();
+    res.timed.audit().unwrap();
+    assert_eq!(res.report.phases, 1);
+    assert_eq!(res.report.t1_used, 0);
+    assert!(res.report.num_dffs >= 2);
+}
+
+#[test]
+fn flow_t1_beats_4phase_on_adder() {
+    let aig = ripple_adder_aig(8);
+    let lib = Library::default();
+    let four = run_flow(&aig, &FlowConfig::multiphase(4)).unwrap();
+    let t1 = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+    let one = run_flow(&aig, &FlowConfig::single_phase()).unwrap();
+    // The paper's headline trends on the adder family:
+    assert!(t1.report.area < four.report.area, "T1 must reduce area on adders");
+    assert!(four.report.num_dffs < one.report.num_dffs, "4φ crushes 1φ balancing");
+    assert!(t1.report.t1_used >= 6);
+    // The complement-port optimization lets the T1 carry chain advance one
+    // stage per bit (half the mapped chain), so T1 depth on ripple adders
+    // is *at most* the 4φ depth — and often better. The paper's Table I
+    // shows ≥ on its rows; on a pure ripple structure ≤ is the truth.
+    assert!(t1.report.depth_cycles <= four.report.depth_cycles, "T1 ripple chain is tighter");
+    let _ = lib;
+}
+
+#[test]
+fn flow_reports_are_consistent() {
+    let aig = ripple_adder_aig(4);
+    let res = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+    assert_eq!(res.report.num_dffs, res.timed.num_dffs());
+    assert_eq!(res.report.area, res.timed.area(&Library::default()));
+    assert_eq!(res.report.depth_cycles, res.timed.depth_cycles());
+    assert_eq!(res.report.num_gates, res.timed.network.num_gates());
+}
+
+#[test]
+fn flow_t1_multioutput_sharing() {
+    // Two FAs sharing inputs: S, C, plus an OR3 of the same leaves → 3 ports.
+    let mut net = Network::new("triple");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let axb = net.add_gate(GateKind::Xor2, &[a, b]);
+    let s = net.add_gate(GateKind::Xor2, &[axb, c]);
+    let ab = net.add_gate(GateKind::And2, &[a, b]);
+    let t = net.add_gate(GateKind::And2, &[axb, c]);
+    let co = net.add_gate(GateKind::Or2, &[ab, t]);
+    let aob = net.add_gate(GateKind::Or2, &[a, b]);
+    let or3 = net.add_gate(GateKind::Or2, &[aob, c]);
+    net.add_output("s", s);
+    net.add_output("co", co);
+    net.add_output("or", or3);
+    let res = run_flow_on_network(&net, &FlowConfig::t1(4)).unwrap();
+    assert_eq!(res.report.t1_used, 1);
+    // All three outputs come from one T1 cell.
+    let t1_cells: Vec<_> = res
+        .timed
+        .network
+        .cell_ids()
+        .filter(|&id| matches!(res.timed.network.kind(id), CellKind::T1 { .. }))
+        .collect();
+    assert_eq!(t1_cells.len(), 1);
+}
+
+#[test]
+fn flow_depth_cycles_formula() {
+    // 1φ: depth equals mapped logic depth; 4φ: ⌈depth/4⌉ when ASAP-like.
+    let aig = ripple_adder_aig(8);
+    let one = run_flow(&aig, &FlowConfig::single_phase()).unwrap();
+    let four = run_flow(&aig, &FlowConfig::multiphase(4)).unwrap();
+    assert!(one.report.depth_cycles >= 3 * four.report.depth_cycles);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end: random mapped networks → every flow audits clean and
+    /// preserves the function (the flow itself re-checks equivalence; this
+    /// re-verifies independently with different patterns).
+    #[test]
+    fn prop_flows_preserve_function(ops in proptest::collection::vec((0u8..4, 0usize..16, 0usize..16), 4..40),
+                                    n_phases in 1u8..6) {
+        let mut aig = Aig::new("rand");
+        let mut pool: Vec<sfq_netlist::AigLit> = (0..5).map(|i| aig.input(format!("x{i}"))).collect();
+        for (op, ia, ib) in ops {
+            let x = pool[ia % pool.len()];
+            let y = pool[ib % pool.len()];
+            let r = match op {
+                0 => aig.and(x, y),
+                1 => aig.or(x, y),
+                2 => aig.xor(x, y),
+                _ => { let t = aig.and(x, y); !t }
+            };
+            pool.push(r);
+        }
+        let mut n_out = 0;
+        for (i, &lit) in pool.iter().rev().take(3).enumerate() {
+            if !lit.is_constant() {
+                aig.output(format!("f{i}"), lit);
+                n_out += 1;
+            }
+        }
+        prop_assume!(n_out > 0);
+        let config = FlowConfig { phases: n_phases.max(4), use_t1: true, ..FlowConfig::single_phase() };
+        let res = run_flow(&aig, &config).unwrap();
+        res.timed.audit().unwrap();
+        let mapped = sfq_netlist::map_aig(&aig, &Library::default());
+        let pats: Vec<u64> = (0..5).map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i * 7)).collect();
+        prop_assert_eq!(mapped.simulate(&pats), res.timed.network.simulate(&pats));
+    }
+
+    /// Arrival solver: solutions are always distinct, in-window, and causal.
+    #[test]
+    fn prop_arrivals_sound(s0 in 0u32..12, s1 in 0u32..12, s2 in 0u32..12, extra in 1u32..6, n in 4u32..8) {
+        let fs = [s0, s1, s2];
+        let mut sorted = fs;
+        sorted.sort_unstable();
+        let sigma_j = (sorted[0] + 3).max(sorted[1] + 2).max(sorted[2] + 1) + extra - 1;
+        if let Some(arr) = solve_arrivals(fs, sigma_j, n) {
+            for k in 0..3 {
+                prop_assert!(arr[k] >= fs[k]);
+                prop_assert!(arr[k] < sigma_j);
+                prop_assert!(sigma_j - arr[k] <= n - 1);
+            }
+            prop_assert!(arr[0] != arr[1] && arr[1] != arr[2] && arr[0] != arr[2]);
+        } else {
+            // Infeasibility only when the window genuinely can't host 3 slots.
+            prop_assert!(false, "must be feasible at or above the eq.-3 bound");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Timed (retimed) SFQ netlists and their structural timing audit.
+//!
+//! A [`TimedNetwork`] is the flow's final artifact: the mapped network with
+//! all path-balancing DFFs materialized, a clock stage per cell, and a common
+//! primary-output stage. [`TimedNetwork::audit`] re-checks every timing rule
+//! of the multiphase model from scratch, so any bug in phase assignment or
+//! DFF insertion surfaces as a hard error rather than silent waveform
+//! corruption downstream.
+
+use sfq_netlist::{CellId, CellKind, Library, Network};
+use std::fmt;
+
+/// Timing-rule violations detected by [`TimedNetwork::audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimingError {
+    /// A primary input is not at stage 0.
+    InputNotAtZero { cell: CellId },
+    /// A clocked cell fires no later than one of its fanins.
+    NonCausalEdge { from: CellId, to: CellId, from_stage: u32, to_stage: u32 },
+    /// A pulse would outlive one clock period on this edge.
+    LifetimeExceeded { from: CellId, to: CellId, span: u32, phases: u8 },
+    /// Two T1 fanins arrive at the same stage (paper eq. 5 violated).
+    T1ArrivalCollision { t1: CellId, stage: u32 },
+    /// A T1 fanin arrives outside the cell's input window
+    /// `[σ − (n−1), σ − 1]`.
+    T1ArrivalOutsideWindow { t1: CellId, fanin_stage: u32, t1_stage: u32 },
+    /// A primary-output driver does not fire at the common output stage.
+    OutputMisaligned { index: usize, driver_stage: u32, output_stage: u32 },
+    /// The underlying network failed structural validation.
+    Structural(String),
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::InputNotAtZero { cell } => {
+                write!(f, "primary input c{} must be at stage 0", cell.0)
+            }
+            TimingError::NonCausalEdge { from, to, from_stage, to_stage } => write!(
+                f,
+                "edge c{}→c{} is non-causal (stages {} → {})",
+                from.0, to.0, from_stage, to_stage
+            ),
+            TimingError::LifetimeExceeded { from, to, span, phases } => write!(
+                f,
+                "edge c{}→c{} spans {} stages, exceeding the {}-phase pulse lifetime",
+                from.0, to.0, span, phases
+            ),
+            TimingError::T1ArrivalCollision { t1, stage } => write!(
+                f,
+                "two fanins of T1 cell c{} arrive at the same stage {}",
+                t1.0, stage
+            ),
+            TimingError::T1ArrivalOutsideWindow { t1, fanin_stage, t1_stage } => write!(
+                f,
+                "fanin at stage {} is outside the input window of T1 c{} at stage {}",
+                fanin_stage, t1.0, t1_stage
+            ),
+            TimingError::OutputMisaligned { index, driver_stage, output_stage } => write!(
+                f,
+                "output {} driven at stage {} but the common output stage is {}",
+                index, driver_stage, output_stage
+            ),
+            TimingError::Structural(e) => write!(f, "structural error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// A fully retimed multiphase SFQ netlist.
+///
+/// Invariants (checked by [`audit`](Self::audit)):
+/// * primary inputs release pulses at stage 0;
+/// * every edge spans `1..=n` stages (`n` = [`num_phases`](Self::num_phases));
+/// * T1 fanins arrive at pairwise-distinct stages within `[σ−(n−1), σ−1]`;
+/// * every primary output is driven by a cell firing at
+///   [`output_stage`](Self::output_stage).
+#[derive(Debug, Clone)]
+pub struct TimedNetwork {
+    /// The netlist, including inserted DFFs.
+    pub network: Network,
+    /// Clock stage per cell (`σ`, paper eq. 1). Inputs are at 0.
+    pub stages: Vec<u32>,
+    /// Number of clock phases per period (`n`).
+    pub num_phases: u8,
+    /// The common stage at which all primary outputs fire.
+    pub output_stage: u32,
+}
+
+impl TimedNetwork {
+    /// Clock phase of a cell: `φ(g) = σ(g) mod n`.
+    pub fn phase(&self, id: CellId) -> u32 {
+        self.stages[id.0 as usize] % self.num_phases as u32
+    }
+
+    /// Clock epoch of a cell: `S(g) = σ(g) div n`.
+    pub fn epoch(&self, id: CellId) -> u32 {
+        self.stages[id.0 as usize] / self.num_phases as u32
+    }
+
+    /// Stage of a cell.
+    pub fn stage(&self, id: CellId) -> u32 {
+        self.stages[id.0 as usize]
+    }
+
+    /// Logic depth in clock cycles: `⌈σ_out / n⌉` (paper Table I "Depth").
+    pub fn depth_cycles(&self) -> u32 {
+        self.output_stage.div_ceil(self.num_phases as u32)
+    }
+
+    /// Number of inserted path-balancing DFFs (paper Table I "#DFF").
+    ///
+    /// T1-internal latching DFFs are part of the macro-cell area, not of
+    /// this count.
+    pub fn num_dffs(&self) -> usize {
+        self.network.num_dffs()
+    }
+
+    /// Total area in JJs, including implied splitter trees.
+    pub fn area(&self, lib: &Library) -> u64 {
+        self.network.area(lib)
+    }
+
+    /// Re-validates every timing rule of the multiphase model.
+    ///
+    /// # Errors
+    /// The first violated rule, as a [`TimingError`].
+    pub fn audit(&self) -> Result<(), TimingError> {
+        let n = self.num_phases as u32;
+        self.network
+            .validate()
+            .map_err(|e| TimingError::Structural(e.to_string()))?;
+        assert_eq!(self.stages.len(), self.network.num_cells(), "stage per cell");
+
+        for &i in self.network.inputs() {
+            if self.stages[i.0 as usize] != 0 {
+                return Err(TimingError::InputNotAtZero { cell: i });
+            }
+        }
+        for id in self.network.cell_ids() {
+            let kind = self.network.kind(id);
+            if !kind.is_clocked() {
+                continue;
+            }
+            let to_stage = self.stages[id.0 as usize];
+            let is_t1 = matches!(kind, CellKind::T1 { .. });
+            let mut arrivals = Vec::new();
+            for f in self.network.fanins(id) {
+                let from_stage = self.stages[f.cell.0 as usize];
+                if from_stage >= to_stage {
+                    return Err(TimingError::NonCausalEdge {
+                        from: f.cell,
+                        to: id,
+                        from_stage,
+                        to_stage,
+                    });
+                }
+                let span = to_stage - from_stage;
+                if is_t1 {
+                    // Window [σ−(n−1), σ−1]: span ∈ [1, n−1].
+                    if span > n - 1 {
+                        return Err(TimingError::T1ArrivalOutsideWindow {
+                            t1: id,
+                            fanin_stage: from_stage,
+                            t1_stage: to_stage,
+                        });
+                    }
+                    arrivals.push(from_stage);
+                } else if span > n {
+                    return Err(TimingError::LifetimeExceeded {
+                        from: f.cell,
+                        to: id,
+                        span,
+                        phases: self.num_phases,
+                    });
+                }
+            }
+            if is_t1 {
+                arrivals.sort_unstable();
+                for w in arrivals.windows(2) {
+                    if w[0] == w[1] {
+                        return Err(TimingError::T1ArrivalCollision { t1: id, stage: w[0] });
+                    }
+                }
+            }
+        }
+        for (k, o) in self.network.outputs().iter().enumerate() {
+            let s = self.stages[o.cell.0 as usize];
+            if s != self.output_stage {
+                return Err(TimingError::OutputMisaligned {
+                    index: k,
+                    driver_stage: s,
+                    output_stage: self.output_stage,
+                });
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,384 @@
+//! And-inverter graphs with structural hashing.
+//!
+//! The AIG is the technology-independent representation produced by the
+//! benchmark generators and consumed by the technology mapper. Nodes are
+//! two-input ANDs; inversion lives on edges ([`AigLit`] carries a complement
+//! bit). Construction performs constant folding, trivial-case simplification
+//! and structural hashing, so functionally obvious redundancies never enter
+//! the graph.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an AIG node (constant-false node is index 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigNodeId(pub u32);
+
+/// A literal: an AIG node with an optional complement.
+///
+/// Encoded mockturtle/ABC-style as `node << 1 | complement`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// The constant-false literal.
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant-true literal.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Builds a literal from a node and complement flag.
+    pub fn new(node: AigNodeId, complement: bool) -> Self {
+        AigLit(node.0 << 1 | u32::from(complement))
+    }
+
+    /// The node this literal refers to.
+    pub fn node(self) -> AigNodeId {
+        AigNodeId(self.0 >> 1)
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Raw AIGER-style encoding (`2·node + complement`).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a literal from its raw AIGER encoding.
+    pub fn from_raw(raw: u32) -> Self {
+        AigLit(raw)
+    }
+
+    /// True if this is one of the two constant literals.
+    pub fn is_constant(self) -> bool {
+        self.node().0 == 0
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AigNode {
+    /// The constant-false node (always index 0).
+    Const,
+    /// Primary input (index into the input list).
+    Input(u32),
+    /// Two-input AND of two literals.
+    And(AigLit, AigLit),
+}
+
+/// An and-inverter graph with named inputs and outputs.
+///
+/// # Example
+///
+/// ```
+/// use sfq_netlist::Aig;
+/// let mut aig = Aig::new("maj");
+/// let a = aig.input("a");
+/// let b = aig.input("b");
+/// let c = aig.input("c");
+/// let m = aig.maj(a, b, c);
+/// aig.output("m", m);
+/// assert_eq!(aig.num_inputs(), 3);
+/// assert_eq!(aig.simulate(&[0b1100, 0b1010, 0b0110])[0] & 0xF, 0b1110);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    name: String,
+    nodes: Vec<AigNode>,
+    inputs: Vec<AigNodeId>,
+    input_names: Vec<String>,
+    outputs: Vec<AigLit>,
+    output_names: Vec<String>,
+    strash: HashMap<(AigLit, AigLit), AigNodeId>,
+}
+
+impl Aig {
+    /// Creates an empty AIG with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Aig {
+            name: name.into(),
+            nodes: vec![AigNode::Const],
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and returns its (positive) literal.
+    pub fn input(&mut self, name: impl Into<String>) -> AigLit {
+        let id = AigNodeId(self.nodes.len() as u32);
+        self.nodes.push(AigNode::Input(self.inputs.len() as u32));
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        AigLit::new(id, false)
+    }
+
+    /// Adds `n` primary inputs named `prefix[0..n]`, LSB first.
+    pub fn input_word(&mut self, prefix: &str, n: usize) -> Vec<AigLit> {
+        (0..n).map(|i| self.input(format!("{prefix}[{i}]"))).collect()
+    }
+
+    /// Registers a primary output.
+    pub fn output(&mut self, name: impl Into<String>, lit: AigLit) {
+        self.outputs.push(lit);
+        self.output_names.push(name.into());
+    }
+
+    /// Registers outputs `prefix[0..n]` for a word of literals, LSB first.
+    ///
+    /// # Panics
+    /// Panics if `lits` is empty.
+    pub fn output_word(&mut self, prefix: &str, lits: &[AigLit]) {
+        assert!(!lits.is_empty(), "output word must be non-empty");
+        for (i, &l) in lits.iter().enumerate() {
+            self.output(format!("{prefix}[{i}]"), l);
+        }
+    }
+
+    /// The constant-false literal.
+    pub fn const_false(&self) -> AigLit {
+        AigLit::FALSE
+    }
+
+    /// The constant-true literal.
+    pub fn const_true(&self) -> AigLit {
+        AigLit::TRUE
+    }
+
+    /// AND of two literals, with folding and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant / trivial folding.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        // Canonical operand order for hashing.
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(a, b)) {
+            return AigLit::new(id, false);
+        }
+        let id = AigNodeId(self.nodes.len() as u32);
+        self.nodes.push(AigNode::And(a, b));
+        self.strash.insert((a, b), id);
+        AigLit::new(id, false)
+    }
+
+    /// OR of two literals.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR of two literals.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n1 = self.and(a, !b);
+        let n2 = self.and(!a, b);
+        self.or(n1, n2)
+    }
+
+    /// XNOR of two literals.
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// Three-input AND.
+    pub fn and3(&mut self, a: AigLit, b: AigLit, c: AigLit) -> AigLit {
+        let t = self.and(a, b);
+        self.and(t, c)
+    }
+
+    /// Three-input OR.
+    pub fn or3(&mut self, a: AigLit, b: AigLit, c: AigLit) -> AigLit {
+        let t = self.or(a, b);
+        self.or(t, c)
+    }
+
+    /// Three-input XOR (parity).
+    pub fn xor3(&mut self, a: AigLit, b: AigLit, c: AigLit) -> AigLit {
+        let t = self.xor(a, b);
+        self.xor(t, c)
+    }
+
+    /// Three-input majority, built as `ab ∨ (a⊕b)c` to share the adder XOR.
+    pub fn maj(&mut self, a: AigLit, b: AigLit, c: AigLit) -> AigLit {
+        let ab = self.and(a, b);
+        let axb = self.xor(a, b);
+        let t = self.and(axb, c);
+        self.or(ab, t)
+    }
+
+    /// If-then-else: `s ? t : e`.
+    pub fn mux(&mut self, s: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let pt = self.and(s, t);
+        let pe = self.and(!s, e);
+        self.or(pt, pe)
+    }
+
+    /// Full adder; returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: AigLit, b: AigLit, cin: AigLit) -> (AigLit, AigLit) {
+        (self.xor3(a, b, cin), self.maj(a, b, cin))
+    }
+
+    /// Half adder; returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: AigLit, b: AigLit) -> (AigLit, AigLit) {
+        (self.xor(a, b), self.and(a, b))
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.inputs.len()
+    }
+
+    /// Total node count (constant + inputs + ANDs).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Primary-input node ids in declaration order.
+    pub fn inputs(&self) -> &[AigNodeId] {
+        &self.inputs
+    }
+
+    /// Primary-output literals in declaration order.
+    pub fn outputs(&self) -> &[AigLit] {
+        &self.outputs
+    }
+
+    /// Name of input `i`.
+    pub fn input_name(&self, i: usize) -> &str {
+        &self.input_names[i]
+    }
+
+    /// Name of output `i`.
+    pub fn output_name(&self, i: usize) -> &str {
+        &self.output_names[i]
+    }
+
+    /// True if the node is an AND gate.
+    pub fn is_and(&self, id: AigNodeId) -> bool {
+        matches!(self.nodes[id.0 as usize], AigNode::And(..))
+    }
+
+    /// True if the node is a primary input.
+    pub fn is_input(&self, id: AigNodeId) -> bool {
+        matches!(self.nodes[id.0 as usize], AigNode::Input(_))
+    }
+
+    /// Fanins of an AND node.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an AND node.
+    pub fn and_fanins(&self, id: AigNodeId) -> (AigLit, AigLit) {
+        match self.nodes[id.0 as usize] {
+            AigNode::And(a, b) => (a, b),
+            _ => panic!("node {id:?} is not an AND"),
+        }
+    }
+
+    /// Iterates over all AND node ids in topological (creation) order.
+    pub fn and_ids(&self) -> impl Iterator<Item = AigNodeId> + '_ {
+        (1..self.nodes.len() as u32)
+            .map(AigNodeId)
+            .filter(move |&id| self.is_and(id))
+    }
+
+    /// Bit-parallel simulation: `patterns[i]` carries 64 test vectors for
+    /// input `i`; returns one word per output.
+    ///
+    /// # Panics
+    /// Panics if `patterns.len() != num_inputs()`.
+    pub fn simulate(&self, patterns: &[u64]) -> Vec<u64> {
+        assert_eq!(patterns.len(), self.num_inputs(), "one pattern word per input");
+        let mut values = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                AigNode::Const => 0,
+                AigNode::Input(k) => patterns[k as usize],
+                AigNode::And(a, b) => {
+                    let va = values[a.node().0 as usize] ^ if a.is_complemented() { u64::MAX } else { 0 };
+                    let vb = values[b.node().0 as usize] ^ if b.is_complemented() { u64::MAX } else { 0 };
+                    va & vb
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|o| values[o.node().0 as usize] ^ if o.is_complemented() { u64::MAX } else { 0 })
+            .collect()
+    }
+
+    /// Logic level of every node (inputs and constant at level 0).
+    pub fn levels(&self) -> Vec<u32> {
+        let mut lv = vec![0u32; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = *node {
+                lv[i] = 1 + lv[a.node().0 as usize].max(lv[b.node().0 as usize]);
+            }
+        }
+        lv
+    }
+
+    /// Depth: maximum level over the primary outputs.
+    pub fn depth(&self) -> u32 {
+        let lv = self.levels();
+        self.outputs.iter().map(|o| lv[o.node().0 as usize]).max().unwrap_or(0)
+    }
+
+    /// Number of AND nodes reachable from the outputs (live nodes).
+    pub fn num_live_ands(&self) -> usize {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.outputs.iter().map(|o| o.node().0).collect();
+        while let Some(i) = stack.pop() {
+            if live[i as usize] {
+                continue;
+            }
+            live[i as usize] = true;
+            if let AigNode::And(a, b) = self.nodes[i as usize] {
+                stack.push(a.node().0);
+                stack.push(b.node().0);
+            }
+        }
+        (1..self.nodes.len())
+            .filter(|&i| live[i] && matches!(self.nodes[i], AigNode::And(..)))
+            .count()
+    }
+}

@@ -1,0 +1,207 @@
+//! ASCII AIGER (`aag`) reading and writing.
+//!
+//! The benchmark generators build [`Aig`]s programmatically, but a real
+//! release must interoperate with the standard interchange format the
+//! EPFL/ISCAS suites ship in. Only the combinational subset is supported
+//! (no latches), matching the paper's benchmarks.
+
+use crate::aig::{Aig, AigLit, AigNodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while parsing an ASCII AIGER file.
+#[derive(Debug)]
+pub enum AigerError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A body line is malformed or inconsistent with the header.
+    BadLine { line: usize, message: String },
+    /// The file declares latches, which this reader does not support.
+    LatchesUnsupported,
+}
+
+impl fmt::Display for AigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigerError::Io(e) => write!(f, "i/o error: {e}"),
+            AigerError::BadHeader(h) => write!(f, "malformed aag header: `{h}`"),
+            AigerError::BadLine { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            AigerError::LatchesUnsupported => {
+                write!(f, "sequential aiger files (latches) are not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AigerError {}
+
+impl From<std::io::Error> for AigerError {
+    fn from(e: std::io::Error) -> Self {
+        AigerError::Io(e)
+    }
+}
+
+/// Writes `aig` in ASCII AIGER format.
+///
+/// Node numbering follows AIGER conventions: inputs occupy variables
+/// `1..=I`, AND gates follow in topological order. Symbol tables for input
+/// and output names are emitted.
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write_aag<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
+    // Renumber: inputs first, then ANDs in creation (topological) order.
+    let mut var_of: HashMap<AigNodeId, u32> = HashMap::new();
+    var_of.insert(AigNodeId(0), 0);
+    for (k, &i) in aig.inputs().iter().enumerate() {
+        var_of.insert(i, k as u32 + 1);
+    }
+    let mut next = aig.num_inputs() as u32 + 1;
+    let mut and_rows: Vec<(u32, u32, u32)> = Vec::new();
+    for id in aig.and_ids() {
+        var_of.insert(id, next);
+        let (a, b) = aig.and_fanins(id);
+        let la = 2 * var_of[&a.node()] + u32::from(a.is_complemented());
+        let lb = 2 * var_of[&b.node()] + u32::from(b.is_complemented());
+        and_rows.push((2 * next, la, lb));
+        next += 1;
+    }
+    let m = next - 1;
+    writeln!(
+        w,
+        "aag {} {} 0 {} {}",
+        m,
+        aig.num_inputs(),
+        aig.num_outputs(),
+        and_rows.len()
+    )?;
+    for k in 0..aig.num_inputs() {
+        writeln!(w, "{}", 2 * (k as u32 + 1))?;
+    }
+    for o in aig.outputs() {
+        writeln!(w, "{}", 2 * var_of[&o.node()] + u32::from(o.is_complemented()))?;
+    }
+    for (lhs, a, b) in and_rows {
+        writeln!(w, "{lhs} {a} {b}")?;
+    }
+    for k in 0..aig.num_inputs() {
+        writeln!(w, "i{k} {}", aig.input_name(k))?;
+    }
+    for k in 0..aig.num_outputs() {
+        writeln!(w, "o{k} {}", aig.output_name(k))?;
+    }
+    writeln!(w, "c")?;
+    writeln!(w, "{}", aig.name())?;
+    Ok(())
+}
+
+/// Reads an ASCII AIGER file into an [`Aig`].
+///
+/// The reconstructed AIG goes through the usual strashing constructors, so
+/// structurally redundant files come back smaller; output functions are
+/// preserved.
+///
+/// # Errors
+/// Returns [`AigerError`] on malformed input, latches, or I/O failures.
+pub fn read_aag<R: BufRead>(r: R, name: &str) -> Result<Aig, AigerError> {
+    let all_lines: Vec<String> = r.lines().collect::<Result<_, _>>()?;
+    let mut cursor = 0usize;
+    let header = all_lines
+        .first()
+        .ok_or_else(|| AigerError::BadHeader("<empty file>".into()))?
+        .clone();
+    cursor += 1;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 6 || parts[0] != "aag" {
+        return Err(AigerError::BadHeader(header.clone()));
+    }
+    let parse = |s: &str| -> Result<u32, AigerError> {
+        s.parse().map_err(|_| AigerError::BadHeader(header.clone()))
+    };
+    let _m = parse(parts[1])?;
+    let i = parse(parts[2])?;
+    let l = parse(parts[3])?;
+    let o = parse(parts[4])?;
+    let a = parse(parts[5])?;
+    if l != 0 {
+        return Err(AigerError::LatchesUnsupported);
+    }
+
+    let mut aig = Aig::new(name);
+    // file literal → AigLit
+    let mut lit_of: HashMap<u32, AigLit> = HashMap::new();
+    lit_of.insert(0, AigLit::FALSE);
+    lit_of.insert(1, AigLit::TRUE);
+
+    let next_line = |cursor: &mut usize| -> Result<(String, usize), AigerError> {
+        let line = all_lines.get(*cursor).ok_or(AigerError::BadLine {
+            line: *cursor + 1,
+            message: "unexpected end of file".into(),
+        })?;
+        *cursor += 1;
+        Ok((line.clone(), *cursor))
+    };
+
+    for k in 0..i {
+        let (line, lineno) = next_line(&mut cursor)?;
+        let v: u32 = line.trim().parse().map_err(|_| AigerError::BadLine {
+            line: lineno,
+            message: format!("bad input literal `{line}`"),
+        })?;
+        let lit = aig.input(format!("i{k}"));
+        lit_of.insert(v, lit);
+        lit_of.insert(v ^ 1, !lit);
+    }
+    let mut output_lits = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let (line, lineno) = next_line(&mut cursor)?;
+        let v: u32 = line.trim().parse().map_err(|_| AigerError::BadLine {
+            line: lineno,
+            message: format!("bad output literal `{line}`"),
+        })?;
+        output_lits.push(v);
+    }
+    for _ in 0..a {
+        let (line, lineno) = next_line(&mut cursor)?;
+        let nums: Vec<u32> = line
+            .split_whitespace()
+            .map(|s| {
+                s.parse().map_err(|_| AigerError::BadLine {
+                    line: lineno,
+                    message: format!("bad and line `{line}`"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 3 {
+            return Err(AigerError::BadLine {
+                line: lineno,
+                message: format!("and line needs 3 literals, got `{line}`"),
+            });
+        }
+        let (lhs, r0, r1) = (nums[0], nums[1], nums[2]);
+        let f0 = *lit_of.get(&r0).ok_or(AigerError::BadLine {
+            line: lineno,
+            message: format!("undefined literal {r0}"),
+        })?;
+        let f1 = *lit_of.get(&r1).ok_or(AigerError::BadLine {
+            line: lineno,
+            message: format!("undefined literal {r1}"),
+        })?;
+        let lit = aig.and(f0, f1);
+        lit_of.insert(lhs, lit);
+        lit_of.insert(lhs ^ 1, !lit);
+    }
+    for (k, &v) in output_lits.iter().enumerate() {
+        let lit = *lit_of.get(&v).ok_or(AigerError::BadLine {
+            line: cursor,
+            message: format!("undefined output literal {v}"),
+        })?;
+        aig.output(format!("o{k}"), lit);
+    }
+    Ok(aig)
+}

@@ -1,0 +1,508 @@
+//! BLIF reading (combinational subset) into an [`Aig`].
+//!
+//! [`export::render_blif`](crate::export::render_blif) writes mapped
+//! networks out; this module closes the loop so externally synthesized
+//! benchmarks (ABC, mockturtle, SIS dumps) can enter the flow. The supported
+//! subset is the combinational single-model core of BLIF:
+//!
+//! * `.model`, `.inputs`, `.outputs` (with `\` line continuations),
+//! * `.names` covers with on-set (`… 1`) or off-set (`… 0`) rows,
+//!   including constant covers (`.names x` + `1`) and empty covers
+//!   (constant 0),
+//! * `#` comments, nets defined in any order (use-before-definition is
+//!   legal BLIF and handled by memoized resolution).
+//!
+//! `.latch`, `.subckt`, `.gate` and multiple `.model`s are rejected with a
+//! dedicated error — the paper's benchmarks are combinational, and hierarchy
+//! is out of scope for the reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_netlist::blif::parse_blif;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "\
+//! .model mux
+//! .inputs s a b
+//! .outputs y
+//! .names s a b y
+//! 11- 1
+//! 0-1 1
+//! .end
+//! ";
+//! let aig = parse_blif(src)?;
+//! assert_eq!(aig.num_inputs(), 3);
+//! assert_eq!(aig.num_outputs(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::aig::{Aig, AigLit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while parsing BLIF text.
+#[derive(Debug)]
+pub enum BlifError {
+    /// A line is malformed.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A legal BLIF construct outside the supported combinational subset.
+    Unsupported {
+        /// 1-based source line.
+        line: usize,
+        /// The offending construct (e.g. `.latch`).
+        construct: String,
+    },
+    /// A net is consumed but is neither a primary input nor covered by any
+    /// `.names`.
+    UndefinedNet(String),
+    /// Two `.names` blocks drive the same net.
+    MultipleDrivers(String),
+    /// The cover graph is cyclic.
+    CombinationalLoop(String),
+    /// The file contains no `.model` content at all.
+    Empty,
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlifError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            BlifError::Unsupported { line, construct } => {
+                write!(f, "line {line}: `{construct}` is outside the combinational subset")
+            }
+            BlifError::UndefinedNet(n) => write!(f, "net `{n}` has no driver"),
+            BlifError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            BlifError::CombinationalLoop(n) => {
+                write!(f, "combinational loop through net `{n}`")
+            }
+            BlifError::Empty => write!(f, "no model found"),
+        }
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+/// One `.names` block: input nets plus single-output cover rows.
+#[derive(Debug, Clone)]
+struct Cover {
+    line: usize,
+    inputs: Vec<String>,
+    /// `(input pattern, output value)` rows; patterns use `0`, `1`, `-`.
+    rows: Vec<(String, bool)>,
+}
+
+/// Logical lines with comments stripped and `\` continuations joined,
+/// tagged with the 1-based number of their first physical line.
+fn logical_lines(src: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (k, raw) in src.lines().enumerate() {
+        let body = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let (continued, body) = match body.trim_end().strip_suffix('\\') {
+            Some(b) => (true, b.trim().to_string()),
+            None => (false, body.trim().to_string()),
+        };
+        match pending.take() {
+            Some((first, mut acc)) => {
+                if !body.is_empty() {
+                    acc.push(' ');
+                    acc.push_str(&body);
+                }
+                if continued {
+                    pending = Some((first, acc));
+                } else if !acc.is_empty() {
+                    out.push((first, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((k + 1, body));
+                } else if !body.is_empty() {
+                    out.push((k + 1, body));
+                }
+            }
+        }
+    }
+    if let Some((first, acc)) = pending {
+        if !acc.is_empty() {
+            out.push((first, acc));
+        }
+    }
+    out
+}
+
+/// Parses the combinational single-model subset of BLIF into an [`Aig`].
+///
+/// Nets may be referenced before they are defined; covers are resolved in
+/// dependency order. On-set and off-set covers, constants, comments and
+/// continuation lines are handled per the BLIF specification.
+///
+/// # Errors
+/// [`BlifError`] on malformed text, unsupported constructs (latches,
+/// hierarchy), undriven or doubly-driven nets, and combinational loops.
+pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
+    let lines = logical_lines(src);
+    let mut model_name = String::from("blif");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut covers: HashMap<String, Cover> = HashMap::new();
+    let mut saw_model = false;
+    let mut current: Option<Cover> = None;
+
+    let finish_cover = |cover: Option<Cover>,
+                            covers: &mut HashMap<String, Cover>|
+     -> Result<(), BlifError> {
+        if let Some(c) = cover {
+            let out = c
+                .inputs
+                .last()
+                .cloned()
+                .expect("covers are created with at least the output net");
+            let mut c = c;
+            c.inputs.pop();
+            if covers.insert(out.clone(), c).is_some() {
+                return Err(BlifError::MultipleDrivers(out));
+            }
+        }
+        Ok(())
+    };
+
+    for (lineno, text) in &lines {
+        let lineno = *lineno;
+        if let Some(rest) = text.strip_prefix('.') {
+            finish_cover(current.take(), &mut covers)?;
+            let mut toks = rest.split_whitespace();
+            let cmd = toks.next().unwrap_or("");
+            match cmd {
+                "model" => {
+                    if saw_model {
+                        return Err(BlifError::Unsupported {
+                            line: lineno,
+                            construct: "second .model (hierarchy)".into(),
+                        });
+                    }
+                    saw_model = true;
+                    if let Some(n) = toks.next() {
+                        model_name = n.to_string();
+                    }
+                }
+                "inputs" => input_names.extend(toks.map(str::to_string)),
+                "outputs" => output_names.extend(toks.map(str::to_string)),
+                "names" => {
+                    let nets: Vec<String> = toks.map(str::to_string).collect();
+                    if nets.is_empty() {
+                        return Err(BlifError::Syntax {
+                            line: lineno,
+                            message: ".names needs at least an output net".into(),
+                        });
+                    }
+                    current = Some(Cover { line: lineno, inputs: nets, rows: Vec::new() });
+                }
+                "end" => break,
+                "latch" | "mlatch" | "subckt" | "gate" | "exdc" | "clock" => {
+                    return Err(BlifError::Unsupported {
+                        line: lineno,
+                        construct: format!(".{cmd}"),
+                    });
+                }
+                // Harmless metadata commands some writers emit.
+                "default_input_arrival" | "input_arrival" | "area" | "delay"
+                | "wire_load_slope" | "wire" | "input_drive" | "output_required"
+                | "default_output_required" | "default_input_drive"
+                | "default_max_input_load" | "max_input_load" => {}
+                other => {
+                    return Err(BlifError::Syntax {
+                        line: lineno,
+                        message: format!("unknown directive `.{other}`"),
+                    });
+                }
+            }
+        } else {
+            // A cover row for the open .names block.
+            let Some(cover) = current.as_mut() else {
+                return Err(BlifError::Syntax {
+                    line: lineno,
+                    message: format!("cover row `{text}` outside a .names block"),
+                });
+            };
+            let toks: Vec<&str> = text.split_whitespace().collect();
+            let n_inputs = cover.inputs.len() - 1;
+            let (pattern, out_bit) = match (toks.len(), n_inputs) {
+                (1, 0) => (String::new(), toks[0]),
+                (2, k) if k > 0 => (toks[0].to_string(), toks[1]),
+                _ => {
+                    return Err(BlifError::Syntax {
+                        line: lineno,
+                        message: format!(
+                            "cover row `{text}` does not match {n_inputs} input(s) + output"
+                        ),
+                    });
+                }
+            };
+            if pattern.len() != n_inputs
+                || !pattern.chars().all(|c| matches!(c, '0' | '1' | '-'))
+            {
+                return Err(BlifError::Syntax {
+                    line: lineno,
+                    message: format!("bad input pattern `{pattern}`"),
+                });
+            }
+            let out = match out_bit {
+                "1" => true,
+                "0" => false,
+                _ => {
+                    return Err(BlifError::Syntax {
+                        line: lineno,
+                        message: format!("bad output value `{out_bit}`"),
+                    });
+                }
+            };
+            if let Some(&(_, prev)) = cover.rows.first() {
+                if prev != out {
+                    return Err(BlifError::Syntax {
+                        line: cover.line,
+                        message: "cover mixes on-set and off-set rows".into(),
+                    });
+                }
+            }
+            cover.rows.push((pattern, out));
+        }
+    }
+    finish_cover(current.take(), &mut covers)?;
+
+    if !saw_model && input_names.is_empty() && covers.is_empty() {
+        return Err(BlifError::Empty);
+    }
+
+    let mut aig = Aig::new(model_name);
+    let mut lit_of: HashMap<String, AigLit> = HashMap::new();
+    for name in &input_names {
+        let lit = aig.input(name.clone());
+        lit_of.insert(name.clone(), lit);
+    }
+
+    // Memoized resolution; `visiting` detects loops.
+    let mut order: Vec<String> = Vec::new();
+    let mut stack: Vec<(String, bool)> =
+        output_names.iter().rev().map(|n| (n.clone(), false)).collect();
+    let mut visiting: HashMap<String, bool> = HashMap::new();
+    while let Some((net, expanded)) = stack.pop() {
+        if lit_of.contains_key(&net) || (expanded && visiting.get(&net) == Some(&false)) {
+            continue;
+        }
+        if expanded {
+            visiting.insert(net.clone(), false);
+            order.push(net);
+            continue;
+        }
+        if visiting.get(&net) == Some(&true) {
+            return Err(BlifError::CombinationalLoop(net));
+        }
+        let cover = covers.get(&net).ok_or_else(|| BlifError::UndefinedNet(net.clone()))?;
+        visiting.insert(net.clone(), true);
+        stack.push((net.clone(), true));
+        for dep in &cover.inputs {
+            if !lit_of.contains_key(dep) {
+                stack.push((dep.clone(), false));
+            }
+        }
+    }
+
+    for net in order {
+        let cover = &covers[&net];
+        let fanins: Vec<AigLit> = cover.inputs.iter().map(|n| lit_of[n]).collect();
+        let lit = build_cover(&mut aig, &fanins, &cover.rows);
+        lit_of.insert(net, lit);
+    }
+
+    for name in &output_names {
+        let lit = *lit_of.get(name).ok_or_else(|| BlifError::UndefinedNet(name.clone()))?;
+        aig.output(name.clone(), lit);
+    }
+    Ok(aig)
+}
+
+/// Builds the AIG literal for one SOP cover over already-resolved fanins.
+fn build_cover(aig: &mut Aig, fanins: &[AigLit], rows: &[(String, bool)]) -> AigLit {
+    // No rows at all means constant 0 per the BLIF convention.
+    let Some(&(_, polarity)) = rows.first() else {
+        return aig.const_false();
+    };
+    let mut sum = aig.const_false();
+    for (pattern, _) in rows {
+        let mut term = aig.const_true();
+        for (k, c) in pattern.chars().enumerate() {
+            match c {
+                '1' => term = aig.and(term, fanins[k]),
+                '0' => term = aig.and(term, !fanins[k]),
+                _ => {}
+            }
+        }
+        sum = aig.or(sum, term);
+    }
+    // Off-set covers (`… 0` rows) describe where the output is 0.
+    if polarity {
+        sum
+    } else {
+        !sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Library;
+    use crate::export::render_blif;
+    use crate::mapper::map_aig;
+
+    fn eval(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
+        let pats: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        aig.simulate(&pats).iter().map(|&w| w & 1 == 1).collect()
+    }
+
+    #[test]
+    fn parses_onset_cover() {
+        let aig = parse_blif(
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+        )
+        .expect("valid blif");
+        assert_eq!(eval(&aig, &[true, true]), vec![true]);
+        assert_eq!(eval(&aig, &[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn parses_offset_cover_as_complement() {
+        // y = NOT(a AND b) given as off-set rows.
+        let aig = parse_blif(
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n",
+        )
+        .expect("valid blif");
+        assert_eq!(eval(&aig, &[true, true]), vec![false]);
+        assert_eq!(eval(&aig, &[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn parses_constants_and_empty_cover() {
+        let aig = parse_blif(
+            ".model m\n.inputs a\n.outputs one zero never\n.names one\n1\n.names zero\n0\n.names never\n.end\n",
+        )
+        .expect("valid blif");
+        assert_eq!(eval(&aig, &[false]), vec![true, false, false]);
+    }
+
+    #[test]
+    fn handles_use_before_definition_and_continuations() {
+        let src = "\
+.model ooo
+.inputs a \\
+        b
+.outputs y
+# y uses t before t is defined
+.names t a y
+11 1
+.names b t
+1 1
+.end
+";
+        let aig = parse_blif(src).expect("valid blif");
+        assert_eq!(eval(&aig, &[true, true]), vec![true]);
+        assert_eq!(eval(&aig, &[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn rejects_latches_and_hierarchy() {
+        let e = parse_blif(".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n")
+            .expect_err("latches unsupported");
+        assert!(matches!(e, BlifError::Unsupported { .. }), "{e}");
+        let e = parse_blif(".model m\n.model n\n.end\n").expect_err("two models");
+        assert!(matches!(e, BlifError::Unsupported { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        let e = parse_blif(".model m\n.inputs a\n.outputs y\n.end\n")
+            .expect_err("y has no driver");
+        assert!(matches!(e, BlifError::UndefinedNet(ref n) if n == "y"), "{e}");
+
+        let e = parse_blif(
+            ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n",
+        )
+        .expect_err("double driver");
+        assert!(matches!(e, BlifError::MultipleDrivers(ref n) if n == "y"), "{e}");
+
+        let e = parse_blif(
+            ".model m\n.inputs a\n.outputs y\n.names z y\n1 1\n.names y z\n1 1\n.end\n",
+        )
+        .expect_err("loop");
+        assert!(matches!(e, BlifError::CombinationalLoop(_)), "{e}");
+
+        let e = parse_blif(
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n",
+        )
+        .expect_err("mixed polarity");
+        assert!(matches!(e, BlifError::Syntax { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        for src in [
+            ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n",
+            ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n",
+            ".model m\n.inputs a\n.outputs y\n.names a y\n1 x\n.end\n",
+            ".model m\n.inputs a\n.outputs y\n1 1\n.end\n",
+            ".model m\n.inputs a\n.outputs y\n.names\n.end\n",
+        ] {
+            let e = parse_blif(src).expect_err("malformed");
+            assert!(matches!(e, BlifError::Syntax { .. }), "{src}: {e}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(parse_blif(""), Err(BlifError::Empty)));
+        assert!(matches!(parse_blif("# only comments\n"), Err(BlifError::Empty)));
+    }
+
+    #[test]
+    fn round_trips_exported_gate_networks() {
+        // render_blif(map(aig)) must parse back to a functionally equivalent
+        // AIG (mapped networks carry no latches or T1 subckts here).
+        let mut aig = Aig::new("rt");
+        let a = aig.input("a");
+        let b = aig.input("b");
+        let c = aig.input("c");
+        let (s0, c0) = aig.full_adder(a, b, c);
+        let y = aig.mux(s0, c0, a);
+        aig.output("s", s0);
+        aig.output("y", y);
+        let net = map_aig(&aig, &Library::default());
+        let text = render_blif(&net);
+        let back = parse_blif(&text).expect("exported blif parses");
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        for pattern in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|k| pattern >> k & 1 == 1).collect();
+            assert_eq!(eval(&back, &ins), eval(&aig, &ins), "pattern {pattern:03b}");
+        }
+    }
+
+    #[test]
+    fn output_fed_directly_by_input_alias() {
+        let aig = parse_blif(
+            ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+        )
+        .expect("alias");
+        assert_eq!(eval(&aig, &[true]), vec![true]);
+        assert_eq!(eval(&aig, &[false]), vec![false]);
+    }
+}

@@ -1,0 +1,213 @@
+//! K-feasible cut enumeration on mapped networks.
+//!
+//! Implements the classic bottom-up cut enumeration with dominance pruning
+//! and a per-node cut budget (priority cuts, Cong et al. — ref. \[8\] in
+//! the paper). T1 detection uses `k = 3` cuts whose truth tables are
+//! computed on the fly; the technology mapper uses its own 2-feasible variant
+//! on AIGs.
+//!
+//! Cut leaves are [`Signal`]s, so the enumeration is oblivious to whether a
+//! leaf is a primary input, a gate output, or a T1 port. Cells that are not
+//! plain gates (T1 macro-cells, DFFs) act as enumeration *boundaries*: their
+//! pins only offer trivial cuts, so no cut crosses through them.
+
+use crate::cell::CellKind;
+use crate::network::{CellId, Network, Signal};
+use sfq_tt::TruthTable;
+
+/// A cut: a set of leaf signals dominating a root pin, with the root's
+/// function over those leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Sorted leaf signals.
+    pub leaves: Vec<Signal>,
+    /// Function of the root over `leaves` (variable `i` = `leaves[i]`).
+    pub tt: TruthTable,
+}
+
+impl Cut {
+    fn trivial(sig: Signal) -> Self {
+        Cut { leaves: vec![sig], tt: TruthTable::var(1, 0) }
+    }
+
+    /// True if `self`'s leaves are a subset of `other`'s (i.e. `self`
+    /// dominates `other`).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.len() <= other.leaves.len()
+            && self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Parameters for cut enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CutConfig {
+    /// Maximum number of leaves per cut.
+    pub max_leaves: usize,
+    /// Maximum number of cuts kept per node (the trivial cut is extra).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig { max_leaves: 3, max_cuts: 24 }
+    }
+}
+
+/// The cut sets of every cell's port-0 pin.
+#[derive(Debug, Clone)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// Cuts of a cell's port-0 pin (the trivial cut is first).
+    pub fn of(&self, id: CellId) -> &[Cut] {
+        &self.cuts[id.0 as usize]
+    }
+
+    /// Total number of cuts stored.
+    pub fn total(&self) -> usize {
+        self.cuts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Re-expresses `tt` (over `old_leaves`) on the superset `new_leaves`.
+///
+/// Both leaf slices must be sorted; `old_leaves ⊆ new_leaves`.
+fn expand(tt: &TruthTable, old_leaves: &[Signal], new_leaves: &[Signal]) -> TruthTable {
+    if old_leaves == new_leaves {
+        return *tt;
+    }
+    let mut positions = [0usize; 6];
+    for (i, l) in old_leaves.iter().enumerate() {
+        positions[i] = new_leaves.binary_search(l).expect("old leaves must be a subset");
+    }
+    let n = new_leaves.len();
+    let mut bits = 0u64;
+    for row in 0..(1usize << n) {
+        let mut src = 0usize;
+        for (i, &p) in positions.iter().take(old_leaves.len()).enumerate() {
+            if (row >> p) & 1 == 1 {
+                src |= 1 << i;
+            }
+        }
+        if tt.eval_row(src) {
+            bits |= 1 << row;
+        }
+    }
+    TruthTable::from_bits_truncated(n, bits)
+}
+
+fn merge_leaves(a: &[Signal], b: &[Signal], max: usize) -> Option<Vec<Signal>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            if j < b.len() && a[i] == b[j] {
+                j += 1;
+            }
+            let v = a[i];
+            i += 1;
+            v
+        } else {
+            let v = b[j];
+            j += 1;
+            v
+        };
+        out.push(next);
+        if out.len() > max {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Enumerates cuts for every cell of `net` (port-0 pins).
+///
+/// # Panics
+/// Panics if the network is cyclic or `config.max_leaves > 6`.
+pub fn enumerate_cuts(net: &Network, config: &CutConfig) -> CutSet {
+    assert!(config.max_leaves <= TruthTable::MAX_VARS, "cuts limited to 6 leaves");
+    let order = net.topological_order().expect("network must be acyclic");
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); net.num_cells()];
+    for id in order {
+        let sig = Signal::from_cell(id);
+        let mut set: Vec<Cut> = vec![Cut::trivial(sig)];
+        if let CellKind::Gate(g) = net.kind(id) {
+            let fanins = net.fanins(id);
+            // A fanin pin other than port 0 (a T1 port) only offers its own
+            // trivial cut — enumeration never crosses multi-output cells.
+            let cuts_for_fanin = |f: Signal| -> Vec<Cut> {
+                if f.port == 0 {
+                    cuts[f.cell.0 as usize].clone()
+                } else {
+                    vec![Cut::trivial(f)]
+                }
+            };
+            let mut candidates: Vec<Cut> = Vec::new();
+            if g.arity() == 1 {
+                for c in cuts_for_fanin(fanins[0]) {
+                    let tt = apply_gate1(g, &c.tt);
+                    candidates.push(Cut { leaves: c.leaves, tt });
+                }
+            } else {
+                let ca = cuts_for_fanin(fanins[0]);
+                let cb = cuts_for_fanin(fanins[1]);
+                for a in &ca {
+                    for b in &cb {
+                        let Some(leaves) = merge_leaves(&a.leaves, &b.leaves, config.max_leaves)
+                        else {
+                            continue;
+                        };
+                        let ta = expand(&a.tt, &a.leaves, &leaves);
+                        let tb = expand(&b.tt, &b.leaves, &leaves);
+                        let tt = apply_gate2(g, &ta, &tb);
+                        candidates.push(Cut { leaves, tt });
+                    }
+                }
+            }
+            // Dedupe + dominance pruning, smaller cuts first.
+            candidates.sort_by(|x, y| {
+                x.leaves.len().cmp(&y.leaves.len()).then_with(|| x.leaves.cmp(&y.leaves))
+            });
+            candidates.dedup_by(|x, y| x.leaves == y.leaves);
+            let mut kept: Vec<Cut> = Vec::new();
+            for c in candidates {
+                if kept.len() >= config.max_cuts {
+                    break;
+                }
+                if c.leaves.len() == 1 && c.leaves[0] == sig {
+                    continue; // trivial cut already present
+                }
+                if kept.iter().any(|k| k.dominates(&c)) {
+                    continue;
+                }
+                kept.push(c);
+            }
+            set.extend(kept);
+        }
+        cuts[id.0 as usize] = set;
+    }
+    CutSet { cuts }
+}
+
+fn apply_gate1(g: crate::cell::GateKind, a: &TruthTable) -> TruthTable {
+    match g {
+        crate::cell::GateKind::Inv => !*a,
+        crate::cell::GateKind::Buf => *a,
+        _ => unreachable!("arity-1 path only for INV/BUF"),
+    }
+}
+
+fn apply_gate2(g: crate::cell::GateKind, a: &TruthTable, b: &TruthTable) -> TruthTable {
+    use crate::cell::GateKind::*;
+    match g {
+        And2 => *a & *b,
+        Or2 => *a | *b,
+        Xor2 => *a ^ *b,
+        Nand2 => !(*a & *b),
+        Nor2 => !(*a | *b),
+        Xnor2 => !(*a ^ *b),
+        Inv | Buf => unreachable!("arity-2 path only for binary gates"),
+    }
+}

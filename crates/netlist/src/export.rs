@@ -1,0 +1,543 @@
+//! Netlist exporters: BLIF for interchange with logic-synthesis tools,
+//! structural Verilog for downstream place-and-route hand-off, and
+//! Graphviz DOT for visual inspection.
+//!
+//! BLIF is the lingua franca of academic synthesis (ABC, mockturtle, SIS all
+//! read it): plain gates become `.names` covers, path-balancing DFFs become
+//! `.latch` entries, and T1 macro-cells become `.subckt t1_cell` instances
+//! with one net per used output port (a companion model `t1_cell` is emitted
+//! once at the end of the file).
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_netlist::{export, map_aig, Aig, Library};
+//!
+//! let mut aig = Aig::new("toy");
+//! let a = aig.input("a");
+//! let b = aig.input("b");
+//! let s = aig.xor(a, b);
+//! aig.output("s", s);
+//! let net = map_aig(&aig, &Library::default());
+//!
+//! let blif = export::render_blif(&net);
+//! assert!(blif.contains(".model toy"));
+//! let dot = export::render_dot(&net, None);
+//! assert!(dot.starts_with("digraph"));
+//! ```
+
+use crate::cell::{CellKind, GateKind, T1Port};
+use crate::network::{CellId, Network, Signal};
+use std::fmt::Write as _;
+
+/// Net name of a pin inside exported files.
+fn net_name(net: &Network, pin: Signal) -> String {
+    match net.kind(pin.cell) {
+        CellKind::Input => {
+            let k = net
+                .inputs()
+                .iter()
+                .position(|&i| i == pin.cell)
+                .expect("input cell is listed");
+            sanitize(net.input_name(k))
+        }
+        CellKind::T1 { .. } => {
+            format!("n{}_{}", pin.cell.0, t1_port_suffix(T1Port::from_index(pin.port)))
+        }
+        _ => format!("n{}", pin.cell.0),
+    }
+}
+
+fn t1_port_suffix(port: T1Port) -> &'static str {
+    match port {
+        T1Port::S => "s",
+        T1Port::C => "c",
+        T1Port::Q => "q",
+        T1Port::NotC => "cn",
+        T1Port::NotQ => "qn",
+    }
+}
+
+/// BLIF identifiers must not contain whitespace or `#`; map anything
+/// questionable to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' { c } else { '_' })
+        .collect()
+}
+
+/// `.names` cover rows for a gate kind (inputs in fanin order, one output).
+fn gate_cover(g: GateKind) -> &'static str {
+    match g {
+        GateKind::Inv => "0 1\n",
+        GateKind::Buf => "1 1\n",
+        GateKind::And2 => "11 1\n",
+        GateKind::Or2 => "1- 1\n-1 1\n",
+        GateKind::Xor2 => "10 1\n01 1\n",
+        GateKind::Nand2 => "0- 1\n-0 1\n",
+        GateKind::Nor2 => "00 1\n",
+        GateKind::Xnor2 => "11 1\n00 1\n",
+    }
+}
+
+/// Renders a mapped network (gates, DFFs, T1 macro-cells) as BLIF.
+pub fn render_blif(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", sanitize(net.name()));
+
+    let _ = write!(out, ".inputs");
+    for k in 0..net.num_inputs() {
+        let _ = write!(out, " {}", sanitize(net.input_name(k)));
+    }
+    out.push('\n');
+
+    let _ = write!(out, ".outputs");
+    for k in 0..net.num_outputs() {
+        let _ = write!(out, " {}", sanitize(net.output_name(k)));
+    }
+    out.push('\n');
+
+    let mut used_t1 = false;
+    for id in net.cell_ids() {
+        match net.kind(id) {
+            CellKind::Input => {}
+            CellKind::Gate(g) => {
+                let _ = write!(out, ".names");
+                for &f in net.fanins(id) {
+                    let _ = write!(out, " {}", net_name(net, f));
+                }
+                let _ = writeln!(out, " n{}", id.0);
+                out.push_str(gate_cover(g));
+            }
+            CellKind::Dff => {
+                let f = net.fanins(id)[0];
+                let _ = writeln!(out, ".latch {} n{} re clk 0", net_name(net, f), id.0);
+            }
+            CellKind::T1 { used_ports } => {
+                used_t1 = true;
+                let _ = write!(out, ".subckt t1_cell");
+                for (k, &f) in net.fanins(id).iter().enumerate() {
+                    let _ = write!(out, " i{}={}", k, net_name(net, f));
+                }
+                for port in T1Port::ALL {
+                    if used_ports >> port.index() & 1 == 1 {
+                        let _ = write!(
+                            out,
+                            " {}=n{}_{}",
+                            t1_port_suffix(port),
+                            id.0,
+                            t1_port_suffix(port)
+                        );
+                    }
+                }
+                out.push('\n');
+            }
+        }
+    }
+
+    // Output drivers: alias each output net to its driving pin.
+    for (k, &o) in net.outputs().iter().enumerate() {
+        let name = sanitize(net.output_name(k));
+        let driver = net_name(net, o);
+        if name != driver {
+            let _ = writeln!(out, ".names {driver} {name}");
+            out.push_str("1 1\n");
+        }
+    }
+    out.push_str(".end\n");
+
+    if used_t1 {
+        // Companion behavioural model so downstream BLIF readers can link
+        // the subcircuit. The synchronous functions of the five ports.
+        out.push_str("\n.model t1_cell\n.inputs i0 i1 i2\n.outputs s c q cn qn\n");
+        out.push_str(".names i0 i1 i2 s\n100 1\n010 1\n001 1\n111 1\n");
+        out.push_str(".names i0 i1 i2 c\n11- 1\n1-1 1\n-11 1\n");
+        out.push_str(".names i0 i1 i2 q\n1-- 1\n-1- 1\n--1 1\n");
+        out.push_str(".names c cn\n0 1\n");
+        out.push_str(".names q qn\n0 1\n");
+        out.push_str(".end\n");
+    }
+    out
+}
+
+/// Renders the network as a Graphviz digraph. When `stages` is given (one
+/// stage per cell, as in a retimed network), nodes are annotated with
+/// `σ=stage` and ranked by stage.
+pub fn render_dot(net: &Network, stages: Option<&[u32]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(net.name()));
+    out.push_str("  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
+    for id in net.cell_ids() {
+        let (label, shape, style) = match net.kind(id) {
+            CellKind::Input => {
+                let k = net.inputs().iter().position(|&i| i == id).expect("listed");
+                (sanitize(net.input_name(k)), "circle", "filled,fillcolor=lightblue")
+            }
+            CellKind::Gate(g) => (format!("{g}\\nc{}", id.0), "box", "solid"),
+            CellKind::Dff => (format!("DFF\\nc{}", id.0), "box", "filled,fillcolor=gray90"),
+            CellKind::T1 { .. } => {
+                (format!("T1\\nc{}", id.0), "box3d", "filled,fillcolor=gold")
+            }
+        };
+        let stage_note = stages
+            .map(|s| format!("\\nσ={}", s[id.0 as usize]))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  c{} [label=\"{}{}\", shape={}, style=\"{}\"];",
+            id.0, label, stage_note, shape, style
+        );
+    }
+    for id in net.cell_ids() {
+        for &f in net.fanins(id) {
+            let port_note = if net.kind(f.cell).is_t1() {
+                format!(" [taillabel=\"{}\"]", t1_port_suffix(T1Port::from_index(f.port)))
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "  c{} -> c{}{};", f.cell.0, id.0, port_note);
+        }
+    }
+    for (k, &o) in net.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  o{k} [label=\"{}\", shape=doublecircle, style=filled, fillcolor=lightgreen];",
+            sanitize(net.output_name(k))
+        );
+        let _ = writeln!(out, "  c{} -> o{k};", o.cell.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a mapped network as structural Verilog.
+///
+/// Each cell becomes one instance of a library module (`SFQ_AND2`,
+/// `SFQ_DFF`, `SFQ_T1`, …); behavioural definitions of those modules are
+/// appended so the file is self-contained for simulation and LEC. The
+/// behavioural bodies model the *synchronous* cell functions (clocking is
+/// the stage discipline's job, carried separately by the DOT/report
+/// artifacts), which is the standard hand-off shape for SFQ place-and-route
+/// flows.
+pub fn render_verilog(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// generated by sfq-netlist::export::render_verilog");
+    let _ = write!(out, "module {} (", sanitize(net.name()));
+    let mut first = true;
+    for k in 0..net.num_inputs() {
+        let sep = if first { "" } else { ", " };
+        let _ = write!(out, "{sep}{}", sanitize(net.input_name(k)));
+        first = false;
+    }
+    for k in 0..net.num_outputs() {
+        let sep = if first { "" } else { ", " };
+        let _ = write!(out, "{sep}{}", sanitize(net.output_name(k)));
+        first = false;
+    }
+    let _ = writeln!(out, ");");
+    for k in 0..net.num_inputs() {
+        let _ = writeln!(out, "  input  {};", sanitize(net.input_name(k)));
+    }
+    for k in 0..net.num_outputs() {
+        let _ = writeln!(out, "  output {};", sanitize(net.output_name(k)));
+    }
+
+    let mut used: [bool; 12] = [false; 12]; // which library modules to emit
+    for id in net.cell_ids() {
+        match net.kind(id) {
+            CellKind::Input => {}
+            CellKind::Gate(g) => {
+                let _ = writeln!(out, "  wire n{};", id.0);
+                let (module, slot) = gate_module(g);
+                used[slot] = true;
+                let fanins = net.fanins(id);
+                let _ = write!(out, "  {module} g{} (", id.0);
+                for (k, &f) in fanins.iter().enumerate() {
+                    let pin = [b'a' + k as u8];
+                    let _ = write!(
+                        out,
+                        ".{}({}), ",
+                        std::str::from_utf8(&pin).expect("ascii"),
+                        net_name(net, f)
+                    );
+                }
+                let _ = writeln!(out, ".y(n{}));", id.0);
+            }
+            CellKind::Dff => {
+                let _ = writeln!(out, "  wire n{};", id.0);
+                used[9] = true;
+                let f = net.fanins(id)[0];
+                let _ = writeln!(
+                    out,
+                    "  SFQ_DFF d{} (.d({}), .q(n{}));",
+                    id.0,
+                    net_name(net, f),
+                    id.0
+                );
+            }
+            CellKind::T1 { used_ports } => {
+                used[10] = true;
+                let mut pins: Vec<String> = net
+                    .fanins(id)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &f)| format!(".i{k}({})", net_name(net, f)))
+                    .collect();
+                for port in T1Port::ALL {
+                    if used_ports >> port.index() & 1 == 1 {
+                        let suffix = t1_port_suffix(port);
+                        let _ = writeln!(out, "  wire n{}_{suffix};", id.0);
+                        pins.push(format!(".{suffix}(n{}_{suffix})", id.0));
+                    }
+                }
+                let _ = writeln!(out, "  SFQ_T1 t{} ({});", id.0, pins.join(", "));
+            }
+        }
+    }
+    for (k, &o) in net.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  assign {} = {};",
+            sanitize(net.output_name(k)),
+            net_name(net, o)
+        );
+    }
+    let _ = writeln!(out, "endmodule");
+
+    // Library modules (behavioural synchronous functions).
+    const ONE_IN: &[(usize, &str, &str)] =
+        &[(0, "SFQ_INV", "~a"), (1, "SFQ_BUF", "a")];
+    for &(slot, name, expr) in ONE_IN {
+        if used[slot] {
+            let _ = writeln!(
+                out,
+                "\nmodule {name} (input a, output y);\n  assign y = {expr};\nendmodule"
+            );
+        }
+    }
+    const TWO_IN: &[(usize, &str, &str)] = &[
+        (2, "SFQ_AND2", "a & b"),
+        (3, "SFQ_OR2", "a | b"),
+        (4, "SFQ_XOR2", "a ^ b"),
+        (5, "SFQ_NAND2", "~(a & b)"),
+        (6, "SFQ_NOR2", "~(a | b)"),
+        (7, "SFQ_XNOR2", "~(a ^ b)"),
+    ];
+    for &(slot, name, expr) in TWO_IN {
+        if used[slot] {
+            let _ = writeln!(
+                out,
+                "\nmodule {name} (input a, input b, output y);\n  assign y = {expr};\nendmodule"
+            );
+        }
+    }
+    if used[9] {
+        let _ = writeln!(
+            out,
+            "\nmodule SFQ_DFF (input d, output q);\n  assign q = d; // one-stage delay carried by the stage schedule\nendmodule"
+        );
+    }
+    if used[10] {
+        let _ = writeln!(
+            out,
+            "\nmodule SFQ_T1 (input i0, input i1, input i2,\n               output s, output c, output q, output cn, output qn);\n  assign s  = i0 ^ i1 ^ i2;\n  assign c  = (i0 & i1) | (i0 & i2) | (i1 & i2);\n  assign q  = i0 | i1 | i2;\n  assign cn = ~c;\n  assign qn = ~q;\nendmodule"
+        );
+    }
+    out
+}
+
+fn gate_module(g: GateKind) -> (&'static str, usize) {
+    match g {
+        GateKind::Inv => ("SFQ_INV", 0),
+        GateKind::Buf => ("SFQ_BUF", 1),
+        GateKind::And2 => ("SFQ_AND2", 2),
+        GateKind::Or2 => ("SFQ_OR2", 3),
+        GateKind::Xor2 => ("SFQ_XOR2", 4),
+        GateKind::Nand2 => ("SFQ_NAND2", 5),
+        GateKind::Nor2 => ("SFQ_NOR2", 6),
+        GateKind::Xnor2 => ("SFQ_XNOR2", 7),
+    }
+}
+
+/// Parses the net-name back out of exported identifiers (round-trip helper
+/// for tests and tooling): `n17` → cell 17, port 0; `n17_cn` → cell 17,
+/// `C*+INV` port.
+pub fn parse_net_name(name: &str) -> Option<(CellId, u8)> {
+    let rest = name.strip_prefix('n')?;
+    if let Some((cell, port)) = rest.split_once('_') {
+        let cell: u32 = cell.parse().ok()?;
+        let port = match port {
+            "s" => T1Port::S,
+            "c" => T1Port::C,
+            "q" => T1Port::Q,
+            "cn" => T1Port::NotC,
+            "qn" => T1Port::NotQ,
+            _ => return None,
+        };
+        Some((CellId(cell), port.index()))
+    } else {
+        let cell: u32 = rest.parse().ok()?;
+        Some((CellId(cell), 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+    use crate::cell::Library;
+    use crate::mapper::map_aig;
+
+    fn mapped_fa() -> Network {
+        let mut aig = Aig::new("fa");
+        let a = aig.input("a");
+        let b = aig.input("b");
+        let c = aig.input("cin");
+        let (s, co) = aig.full_adder(a, b, c);
+        aig.output("sum", s);
+        aig.output("carry", co);
+        map_aig(&aig, &Library::default())
+    }
+
+    #[test]
+    fn blif_has_model_io_and_names() {
+        let net = mapped_fa();
+        let blif = render_blif(&net);
+        assert!(blif.contains(".model fa"));
+        assert!(blif.contains(".inputs a b cin"));
+        assert!(blif.contains(".outputs sum carry"));
+        assert!(blif.contains(".names"));
+        assert!(blif.ends_with(".end\n"));
+        assert!(!blif.contains("t1_cell"), "no T1 cells in a plain mapping");
+    }
+
+    #[test]
+    fn blif_emits_t1_subckt_and_model() {
+        let mut net = Network::new("t1net");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let t1 = net.add_t1(0b00011, &[a, b, c]);
+        net.add_output("s", Signal::t1(t1, T1Port::S));
+        net.add_output("c", Signal::t1(t1, T1Port::C));
+        let blif = render_blif(&net);
+        assert!(blif.contains(".subckt t1_cell i0=a i1=b i2=c s="));
+        assert!(blif.contains(".model t1_cell"), "companion model present");
+    }
+
+    #[test]
+    fn dot_marks_cell_kinds_and_stages() {
+        let net = mapped_fa();
+        let stages: Vec<u32> = (0..net.num_cells() as u32).collect();
+        let dot = render_dot(&net, Some(&stages));
+        assert!(dot.starts_with("digraph \"fa\""));
+        assert!(dot.contains("shape=circle"), "inputs drawn");
+        assert!(dot.contains("σ="), "stage annotations present");
+        assert!(dot.contains("doublecircle"), "outputs drawn");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn net_names_round_trip() {
+        assert_eq!(parse_net_name("n17"), Some((CellId(17), 0)));
+        assert_eq!(parse_net_name("n17_cn"), Some((CellId(17), T1Port::NotC.index())));
+        assert_eq!(parse_net_name("a"), None);
+        assert_eq!(parse_net_name("n17_zz"), None);
+    }
+
+    #[test]
+    fn verilog_instantiates_cells_and_library_modules() {
+        let net = mapped_fa();
+        let v = render_verilog(&net);
+        assert!(v.contains("module fa ("), "top module present:\n{v}");
+        assert!(v.contains("input  a;"), "inputs declared");
+        assert!(v.contains("output sum;"), "outputs declared");
+        // The mapper realizes the sum path as XNOR2(cin, XNOR2(a, b)).
+        assert!(v.contains("SFQ_XNOR2 g"), "XNOR instances for the sum path:\n{v}");
+        assert!(v.contains("module SFQ_XNOR2"), "used library modules emitted");
+        assert!(
+            !v.contains("module SFQ_T1") && !v.contains("module SFQ_XOR2"),
+            "unused library modules omitted:\n{v}"
+        );
+        assert!(v.contains("assign sum = "), "output aliases assigned");
+        // Balanced module/endmodule.
+        assert_eq!(
+            v.lines().filter(|l| l.starts_with("module ")).count(),
+            v.matches("endmodule").count(),
+            "every module is closed:\n{v}"
+        );
+    }
+
+    #[test]
+    fn verilog_emits_t1_instances_with_used_ports_only() {
+        let mut net = Network::new("t1v");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let t1 = net.add_t1(0b00011, &[a, b, c]);
+        net.add_output("s", Signal::t1(t1, T1Port::S));
+        net.add_output("c", Signal::t1(t1, T1Port::C));
+        let v = render_verilog(&net);
+        assert!(v.contains("SFQ_T1 t3 (.i0(a), .i1(b), .i2(c), .s(n3_s), .c(n3_c));"), "{v}");
+        assert!(!v.contains(".qn("), "unused ports are not wired");
+        assert!(v.contains("module SFQ_T1"), "T1 library module present");
+        assert!(v.contains("assign s = n3_s;"), "{v}");
+    }
+
+    #[test]
+    fn verilog_declares_every_referenced_wire() {
+        // Every `nX`-style identifier that appears in an instance pin must
+        // also appear in a `wire` declaration (outputs/inputs use names).
+        let net = mapped_fa();
+        let v = render_verilog(&net);
+        let declared: std::collections::HashSet<&str> = v
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("wire "))
+            .map(|rest| rest.trim_end_matches(';'))
+            .collect();
+        for line in v.lines() {
+            let Some(open) = line.find('(') else { continue };
+            if !line.trim_start().starts_with("SFQ_") {
+                continue;
+            }
+            for piece in line[open..].split(['(', ')', ',', ' ']) {
+                if piece.starts_with('n') && piece[1..].chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    assert!(
+                        declared.contains(piece),
+                        "undeclared wire `{piece}` in line `{line}`"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blif_t1_model_truth_tables_match_cell_functions() {
+        // The cover rows in the companion model must agree with T1Port
+        // semantics: S=XOR3, C=MAJ3, Q=OR3 (+complements).
+        for row in 0..8u8 {
+            let (a, b, c) = (row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1);
+            let s_rows = ["100", "010", "001", "111"];
+            let c_rows = ["11-", "1-1", "-11"];
+            let q_rows = ["1--", "-1-", "--1"];
+            let matches = |pat: &str| {
+                pat.bytes().zip([a, b, c]).all(|(p, v)| match p {
+                    b'1' => v,
+                    b'0' => !v,
+                    _ => true,
+                })
+            };
+            assert_eq!(
+                s_rows.iter().any(|p| matches(p)),
+                a ^ b ^ c,
+                "S row {row}"
+            );
+            assert_eq!(
+                c_rows.iter().any(|p| matches(p)),
+                (a & b) | (a & c) | (b & c),
+                "C row {row}"
+            );
+            assert_eq!(q_rows.iter().any(|p| matches(p)), a | b | c, "Q row {row}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Logic-network data structures for SFQ synthesis.
+//!
+//! This crate is the workspace's stand-in for the mockturtle logic-synthesis
+//! library the paper builds on. It provides:
+//!
+//! * [`Aig`] — an and-inverter graph with structural hashing, used by the
+//!   benchmark generators and as the entry point of the flow;
+//! * [`Network`] — a multi-output mapped netlist over the SFQ cell library
+//!   (clocked gates, T1 cells, DFFs), the subject of T1 detection, phase
+//!   assignment and DFF insertion;
+//! * [`Library`] — the JJ-count area model;
+//! * cut enumeration ([`cuts`]), maximum-fanout-free cones ([`mffc`]), and a
+//!   cut-based technology mapper ([`map_aig`]) from AIGs to SFQ cells;
+//! * ASCII AIGER I/O ([`aiger`]), BLIF and Graphviz DOT export ([`export`]),
+//!   and BLIF reading ([`blif`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_netlist::{Aig, Library, map_aig};
+//!
+//! let mut aig = Aig::new("toy");
+//! let a = aig.input("a");
+//! let b = aig.input("b");
+//! let s = aig.xor(a, b);
+//! let c = aig.and(a, b);
+//! aig.output("sum", s);
+//! aig.output("carry", c);
+//!
+//! let net = map_aig(&aig, &Library::default());
+//! assert!(net.num_gates() >= 2);
+//! ```
+
+pub mod aig;
+pub mod aiger;
+pub mod blif;
+pub mod cell;
+pub mod cuts;
+pub mod export;
+pub mod mffc;
+pub mod mapper;
+pub mod network;
+
+pub use aig::{Aig, AigLit, AigNodeId};
+pub use blif::{parse_blif, BlifError};
+pub use cell::{CellKind, GateKind, Library, T1Port, T1_NUM_PORTS};
+pub use cuts::{enumerate_cuts, Cut, CutConfig, CutSet};
+pub use mapper::map_aig;
+pub use mffc::{mffc_area, mffc_nodes};
+pub use network::{AreaBreakdown, CellId, Network, NetworkError, Signal};
+
+#[cfg(test)]
+mod tests;

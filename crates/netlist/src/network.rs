@@ -1,0 +1,644 @@
+//! Mapped multi-output SFQ netlists.
+//!
+//! A [`Network`] is the subject of the whole T1 flow: after technology
+//! mapping it contains primary inputs and clocked gates; T1 detection
+//! introduces multi-output [`CellKind::T1`] macro-cells; DFF insertion adds
+//! [`CellKind::Dff`] cells. Splitters and the T1 input mergers are *not*
+//! explicit cells — fanout trees are implied by the connectivity and priced
+//! by [`Library::splitter_area`], matching how the paper reports JJ counts.
+
+use crate::cell::{CellKind, GateKind, Library, T1Port, T1_NUM_PORTS};
+use sfq_tt::TruthTable;
+use std::fmt;
+
+/// Index of a cell within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+/// A reference to one output pin of a cell.
+///
+/// Single-output cells drive port 0; T1 cells drive ports indexed by
+/// [`T1Port::index`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal {
+    /// Driving cell.
+    pub cell: CellId,
+    /// Output port of the driving cell.
+    pub port: u8,
+}
+
+impl Signal {
+    /// Port-0 signal of a cell.
+    pub fn from_cell(cell: CellId) -> Self {
+        Signal { cell, port: 0 }
+    }
+
+    /// Signal of a specific T1 port.
+    pub fn t1(cell: CellId, port: T1Port) -> Self {
+        Signal { cell, port: port.index() }
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.port == 0 {
+            write!(f, "c{}", self.cell.0)
+        } else {
+            write!(f, "c{}.{}", self.cell.0, self.port)
+        }
+    }
+}
+
+/// Structural problems detected by [`Network::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A cell has the wrong number of fanins for its kind.
+    BadArity { cell: CellId, expected: usize, got: usize },
+    /// A fanin references a cell id that does not exist.
+    DanglingFanin { cell: CellId, fanin: Signal },
+    /// A fanin references an output port the driver does not expose or use.
+    BadPort { cell: CellId, fanin: Signal },
+    /// The network contains a combinational cycle.
+    Cyclic,
+    /// An output references a cell id that does not exist or a bad port.
+    BadOutput { index: usize, signal: Signal },
+    /// An input list entry is not an [`CellKind::Input`] cell.
+    NotAnInput { cell: CellId },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::BadArity { cell, expected, got } => {
+                write!(f, "cell c{} expects {} fanins, has {}", cell.0, expected, got)
+            }
+            NetworkError::DanglingFanin { cell, fanin } => {
+                write!(f, "cell c{} references missing driver {:?}", cell.0, fanin)
+            }
+            NetworkError::BadPort { cell, fanin } => {
+                write!(f, "cell c{} reads unavailable port {:?}", cell.0, fanin)
+            }
+            NetworkError::Cyclic => write!(f, "network contains a combinational cycle"),
+            NetworkError::BadOutput { index, signal } => {
+                write!(f, "output {} references invalid signal {:?}", index, signal)
+            }
+            NetworkError::NotAnInput { cell } => {
+                write!(f, "input list entry c{} is not an Input cell", cell.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[derive(Debug, Clone)]
+struct Cell {
+    kind: CellKind,
+    fanins: Vec<Signal>,
+}
+
+/// A mapped multi-output SFQ netlist.
+///
+/// # Example
+///
+/// ```
+/// use sfq_netlist::{GateKind, Library, Network};
+///
+/// let mut net = Network::new("half_adder");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let s = net.add_gate(GateKind::Xor2, &[a, b]);
+/// let c = net.add_gate(GateKind::And2, &[a, b]);
+/// net.add_output("s", s);
+/// net.add_output("c", c);
+/// net.validate().unwrap();
+/// assert_eq!(net.num_gates(), 2);
+/// // a and b each fan out to two gates → two splitters.
+/// assert_eq!(net.area(&Library::default()), 11 + 11 + 2 * 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    cells: Vec<Cell>,
+    inputs: Vec<CellId>,
+    input_names: Vec<String>,
+    outputs: Vec<Signal>,
+    output_names: Vec<String>,
+}
+
+/// JJ area decomposed by cell class (see [`Network::area_breakdown`]).
+///
+/// # Example
+///
+/// ```
+/// use sfq_netlist::{GateKind, Library, Network};
+/// let mut net = Network::new("t");
+/// let a = net.add_input("a");
+/// let g = net.add_gate(GateKind::Inv, &[a]);
+/// let d = net.add_dff(g);
+/// net.add_output("o", d);
+/// let b = net.area_breakdown(&Library::default());
+/// assert_eq!(b.gates, 9);
+/// assert_eq!(b.dffs, 6);
+/// assert_eq!(b.total(), net.area(&Library::default()));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AreaBreakdown {
+    /// Clocked logic gates.
+    pub gates: u64,
+    /// T1 macro-cells (including their internal latches/inverters).
+    pub t1_cells: u64,
+    /// Path-balancing DFFs.
+    pub dffs: u64,
+    /// Implied splitter trees on multi-fanout pins.
+    pub splitters: u64,
+}
+
+impl AreaBreakdown {
+    /// Sum of all classes.
+    pub fn total(&self) -> u64 {
+        self.gates + self.t1_cells + self.dffs + self.splitters
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            cells: Vec::new(),
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input; returns its signal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Signal {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell { kind: CellKind::Input, fanins: Vec::new() });
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        Signal::from_cell(id)
+    }
+
+    /// Adds a clocked gate; returns its output signal.
+    ///
+    /// # Panics
+    /// Panics if `fanins.len()` does not match the gate arity.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal {
+        assert_eq!(fanins.len(), kind.arity(), "gate arity mismatch for {kind}");
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell { kind: CellKind::Gate(kind), fanins: fanins.to_vec() });
+        Signal::from_cell(id)
+    }
+
+    /// Adds a T1 macro-cell with the given used-port mask; returns its id.
+    ///
+    /// Use [`Signal::t1`] to reference individual ports.
+    ///
+    /// # Panics
+    /// Panics if `fanins.len() != 3`, the mask is empty, or the mask has bits
+    /// above the five ports.
+    pub fn add_t1(&mut self, used_ports: u8, fanins: &[Signal]) -> CellId {
+        assert_eq!(fanins.len(), 3, "T1 cells have exactly three fanins");
+        assert!(used_ports != 0, "T1 cell must use at least one port");
+        assert!(used_ports < 1 << T1_NUM_PORTS, "invalid T1 port mask");
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell { kind: CellKind::T1 { used_ports }, fanins: fanins.to_vec() });
+        id
+    }
+
+    /// Enables an additional output port on an existing T1 macro-cell and
+    /// returns its signal (used when a consumer wants a complement the cell
+    /// can produce internally — e.g. `C*`+INV instead of an external
+    /// inverter on `C`).
+    ///
+    /// # Panics
+    /// Panics if `id` is not a T1 cell.
+    pub fn enable_t1_port(&mut self, id: CellId, port: T1Port) -> Signal {
+        match &mut self.cells[id.0 as usize].kind {
+            CellKind::T1 { used_ports } => {
+                *used_ports |= 1 << port.index();
+                Signal::t1(id, port)
+            }
+            other => panic!("cell c{} is {other:?}, not a T1 macro-cell", id.0),
+        }
+    }
+
+    /// Adds a path-balancing DFF; returns its output signal.
+    pub fn add_dff(&mut self, fanin: Signal) -> Signal {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell { kind: CellKind::Dff, fanins: vec![fanin] });
+        Signal::from_cell(id)
+    }
+
+    /// Registers a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: Signal) {
+        self.outputs.push(signal);
+        self.output_names.push(name.into());
+    }
+
+    /// Number of cells (inputs included).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic cells (gates + T1 cells, excluding inputs and DFFs).
+    pub fn num_gates(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::Gate(_) | CellKind::T1 { .. }))
+            .count()
+    }
+
+    /// Number of DFF cells.
+    pub fn num_dffs(&self) -> usize {
+        self.cells.iter().filter(|c| matches!(c.kind, CellKind::Dff)).count()
+    }
+
+    /// Number of T1 macro-cells.
+    pub fn num_t1(&self) -> usize {
+        self.cells.iter().filter(|c| matches!(c.kind, CellKind::T1 { .. })).count()
+    }
+
+    /// Kind of a cell.
+    pub fn kind(&self, id: CellId) -> CellKind {
+        self.cells[id.0 as usize].kind
+    }
+
+    /// Fanins of a cell.
+    pub fn fanins(&self, id: CellId) -> &[Signal] {
+        &self.cells[id.0 as usize].fanins
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[CellId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Name of input `i`.
+    pub fn input_name(&self, i: usize) -> &str {
+        &self.input_names[i]
+    }
+
+    /// Name of output `i`.
+    pub fn output_name(&self, i: usize) -> &str {
+        &self.output_names[i]
+    }
+
+    /// All cell ids in index order.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    /// Per-cell list of `(consumer, fanin_index)` pairs, covering all ports.
+    pub fn fanouts(&self) -> Vec<Vec<(CellId, usize)>> {
+        let mut fo = vec![Vec::new(); self.cells.len()];
+        for (i, cell) in self.cells.iter().enumerate() {
+            for (k, f) in cell.fanins.iter().enumerate() {
+                fo[f.cell.0 as usize].push((CellId(i as u32), k));
+            }
+        }
+        fo
+    }
+
+    /// Fanout count of each individual output *pin* `(cell, port)`,
+    /// including primary-output connections.
+    pub fn pin_fanout_counts(&self) -> Vec<[u32; T1_NUM_PORTS]> {
+        let mut counts = vec![[0u32; T1_NUM_PORTS]; self.cells.len()];
+        for cell in &self.cells {
+            for f in &cell.fanins {
+                counts[f.cell.0 as usize][f.port as usize] += 1;
+            }
+        }
+        for o in &self.outputs {
+            counts[o.cell.0 as usize][o.port as usize] += 1;
+        }
+        counts
+    }
+
+    /// Topological order over cells (inputs first). Cells are stored in
+    /// creation order which is already topological for append-only
+    /// construction, but rebuilt networks may interleave — this recomputes a
+    /// valid order.
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::Cyclic`] if the connectivity has a cycle.
+    pub fn topological_order(&self) -> Result<Vec<CellId>, NetworkError> {
+        let n = self.cells.len();
+        let mut indegree = vec![0u32; n];
+        let fo = self.fanouts();
+        for (i, cell) in self.cells.iter().enumerate() {
+            indegree[i] = cell.fanins.len() as u32;
+        }
+        let mut queue: Vec<u32> =
+            (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            order.push(CellId(i));
+            for &(consumer, _) in &fo[i as usize] {
+                let d = &mut indegree[consumer.0 as usize];
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(consumer.0);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(NetworkError::Cyclic)
+        }
+    }
+
+    /// Checks structural sanity (arity, ports, acyclicity, outputs).
+    ///
+    /// # Errors
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        for (i, cell) in self.cells.iter().enumerate() {
+            let id = CellId(i as u32);
+            let expected = cell.kind.arity();
+            if cell.fanins.len() != expected {
+                return Err(NetworkError::BadArity { cell: id, expected, got: cell.fanins.len() });
+            }
+            for &f in &cell.fanins {
+                if f.cell.0 as usize >= self.cells.len() {
+                    return Err(NetworkError::DanglingFanin { cell: id, fanin: f });
+                }
+                if !self.port_is_available(f) {
+                    return Err(NetworkError::BadPort { cell: id, fanin: f });
+                }
+            }
+        }
+        for &i in &self.inputs {
+            if !matches!(self.cells[i.0 as usize].kind, CellKind::Input) {
+                return Err(NetworkError::NotAnInput { cell: i });
+            }
+        }
+        for (idx, &o) in self.outputs.iter().enumerate() {
+            if o.cell.0 as usize >= self.cells.len() || !self.port_is_available(o) {
+                return Err(NetworkError::BadOutput { index: idx, signal: o });
+            }
+        }
+        self.topological_order()?;
+        Ok(())
+    }
+
+    fn port_is_available(&self, s: Signal) -> bool {
+        match self.cells[s.cell.0 as usize].kind {
+            CellKind::T1 { used_ports } => {
+                (s.port as usize) < T1_NUM_PORTS && used_ports >> s.port & 1 == 1
+            }
+            _ => s.port == 0,
+        }
+    }
+
+    /// Bit-parallel functional simulation ignoring timing: `patterns[i]`
+    /// carries 64 vectors for input `i`; returns one word per output.
+    ///
+    /// DFFs are treated as transparent (pure retiming elements), so the
+    /// result is the steady-state combinational function — the reference
+    /// against which pulse-level simulation is checked.
+    ///
+    /// # Panics
+    /// Panics if `patterns.len() != num_inputs()` or the network is cyclic.
+    pub fn simulate(&self, patterns: &[u64]) -> Vec<u64> {
+        assert_eq!(patterns.len(), self.inputs.len(), "one pattern word per input");
+        let order = self.topological_order().expect("network must be acyclic");
+        let mut values = vec![[0u64; T1_NUM_PORTS]; self.cells.len()];
+        let input_index: std::collections::HashMap<CellId, usize> =
+            self.inputs.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+        for id in order {
+            let cell = &self.cells[id.0 as usize];
+            let read = |s: Signal, values: &Vec<[u64; T1_NUM_PORTS]>| -> u64 {
+                values[s.cell.0 as usize][s.port as usize]
+            };
+            match cell.kind {
+                CellKind::Input => {
+                    values[id.0 as usize][0] = patterns[input_index[&id]];
+                }
+                CellKind::Gate(g) => {
+                    let a = read(cell.fanins[0], &values);
+                    let b = if g.arity() == 2 { read(cell.fanins[1], &values) } else { 0 };
+                    values[id.0 as usize][0] = match g {
+                        GateKind::Inv => !a,
+                        GateKind::Buf => a,
+                        GateKind::And2 => a & b,
+                        GateKind::Or2 => a | b,
+                        GateKind::Xor2 => a ^ b,
+                        GateKind::Nand2 => !(a & b),
+                        GateKind::Nor2 => !(a | b),
+                        GateKind::Xnor2 => !(a ^ b),
+                    };
+                }
+                CellKind::T1 { .. } => {
+                    let a = read(cell.fanins[0], &values);
+                    let b = read(cell.fanins[1], &values);
+                    let c = read(cell.fanins[2], &values);
+                    let xor3 = a ^ b ^ c;
+                    let maj3 = (a & b) | (a & c) | (b & c);
+                    let or3 = a | b | c;
+                    let v = &mut values[id.0 as usize];
+                    v[T1Port::S.index() as usize] = xor3;
+                    v[T1Port::C.index() as usize] = maj3;
+                    v[T1Port::Q.index() as usize] = or3;
+                    v[T1Port::NotC.index() as usize] = !maj3;
+                    v[T1Port::NotQ.index() as usize] = !or3;
+                }
+                CellKind::Dff => {
+                    values[id.0 as usize][0] = read(cell.fanins[0], &values);
+                }
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|o| values[o.cell.0 as usize][o.port as usize])
+            .collect()
+    }
+
+    /// Logic level of every cell: inputs at 0, every clocked cell one above
+    /// its deepest fanin. DFFs count as levels (they are clocked).
+    ///
+    /// # Panics
+    /// Panics if the network is cyclic.
+    pub fn levels(&self) -> Vec<u32> {
+        let order = self.topological_order().expect("network must be acyclic");
+        let mut lv = vec![0u32; self.cells.len()];
+        for id in order {
+            let cell = &self.cells[id.0 as usize];
+            if cell.kind.is_clocked() && !cell.fanins.is_empty() {
+                lv[id.0 as usize] =
+                    1 + cell.fanins.iter().map(|f| lv[f.cell.0 as usize]).max().unwrap();
+            }
+        }
+        lv
+    }
+
+    /// Maximum output level (logic depth in clocked levels).
+    pub fn depth(&self) -> u32 {
+        let lv = self.levels();
+        self.outputs.iter().map(|o| lv[o.cell.0 as usize]).max().unwrap_or(0)
+    }
+
+    /// Total area in JJs: every cell plus implied splitter trees on
+    /// multi-fanout pins.
+    pub fn area(&self, lib: &Library) -> u64 {
+        self.area_breakdown(lib).total()
+    }
+
+    /// Area decomposed by cell class — the view behind the paper's claim
+    /// that path-balancing DFFs dominate SFQ layouts.
+    pub fn area_breakdown(&self, lib: &Library) -> AreaBreakdown {
+        let counts = self.pin_fanout_counts();
+        let mut b = AreaBreakdown::default();
+        for (i, cell) in self.cells.iter().enumerate() {
+            match cell.kind {
+                CellKind::Input => {}
+                CellKind::Gate(_) => b.gates += lib.cell_area(cell.kind),
+                CellKind::T1 { .. } => b.t1_cells += lib.cell_area(cell.kind),
+                CellKind::Dff => b.dffs += lib.cell_area(cell.kind),
+            }
+            for port in 0..cell.kind.num_ports() {
+                b.splitters += lib.splitter_area(counts[i][port] as usize);
+            }
+        }
+        b
+    }
+
+    /// Removes cells unreachable from the primary outputs; inputs are always
+    /// kept. Returns the cleaned network and, for bookkeeping, the number of
+    /// removed cells.
+    pub fn cleaned(&self) -> (Network, usize) {
+        let mut live = vec![false; self.cells.len()];
+        let mut stack: Vec<u32> = self.outputs.iter().map(|o| o.cell.0).collect();
+        while let Some(i) = stack.pop() {
+            if live[i as usize] {
+                continue;
+            }
+            live[i as usize] = true;
+            for f in &self.cells[i as usize].fanins {
+                stack.push(f.cell.0);
+            }
+        }
+        for &i in &self.inputs {
+            live[i.0 as usize] = true;
+        }
+        let order = self.topological_order().expect("network must be acyclic");
+        let mut remap: Vec<Option<CellId>> = vec![None; self.cells.len()];
+        let mut out = Network::new(self.name.clone());
+        // Inputs first, preserving declaration order and names.
+        for (k, &i) in self.inputs.iter().enumerate() {
+            let s = out.add_input(self.input_names[k].clone());
+            remap[i.0 as usize] = Some(s.cell);
+        }
+        let mut removed = 0usize;
+        for id in order {
+            let i = id.0 as usize;
+            if remap[i].is_some() {
+                continue;
+            }
+            if !live[i] {
+                removed += 1;
+                continue;
+            }
+            let cell = &self.cells[i];
+            let fanins: Vec<Signal> = cell
+                .fanins
+                .iter()
+                .map(|f| Signal { cell: remap[f.cell.0 as usize].expect("fanin live"), port: f.port })
+                .collect();
+            let new_id = match cell.kind {
+                CellKind::Input => unreachable!("inputs already mapped"),
+                CellKind::Gate(g) => out.add_gate(g, &fanins).cell,
+                CellKind::T1 { used_ports } => out.add_t1(used_ports, &fanins),
+                CellKind::Dff => out.add_dff(fanins[0]).cell,
+            };
+            remap[i] = Some(new_id);
+        }
+        for (k, &o) in self.outputs.iter().enumerate() {
+            let s = Signal { cell: remap[o.cell.0 as usize].expect("output live"), port: o.port };
+            out.add_output(self.output_names[k].clone(), s);
+        }
+        (out, removed)
+    }
+
+    /// Truth table of a small cone: evaluates the function of `root`'s pin
+    /// over the given `leaves` (at most 6), treating leaves as free variables.
+    /// Cells outside the cone must not be reached — callers pass a cut whose
+    /// leaves dominate the cone.
+    ///
+    /// # Panics
+    /// Panics if more than 6 leaves are given or the cone escapes the leaves
+    /// (reaches a primary input not in `leaves`).
+    pub fn cone_function(&self, root: Signal, leaves: &[Signal]) -> TruthTable {
+        assert!(leaves.len() <= TruthTable::MAX_VARS, "at most 6 leaves");
+        let n = leaves.len();
+        let mut bits = 0u64;
+        for row in 0..(1usize << n) {
+            let mut memo: std::collections::HashMap<Signal, bool> = std::collections::HashMap::new();
+            for (i, &l) in leaves.iter().enumerate() {
+                memo.insert(l, (row >> i) & 1 == 1);
+            }
+            if self.eval_cone(root, &mut memo) {
+                bits |= 1 << row;
+            }
+        }
+        TruthTable::from_bits_truncated(n, bits)
+    }
+
+    fn eval_cone(&self, s: Signal, memo: &mut std::collections::HashMap<Signal, bool>) -> bool {
+        if let Some(&v) = memo.get(&s) {
+            return v;
+        }
+        let cell = &self.cells[s.cell.0 as usize];
+        let v = match cell.kind {
+            CellKind::Input => panic!("cone evaluation escaped the cut leaves"),
+            CellKind::Gate(g) => {
+                let a = self.eval_cone(cell.fanins[0], memo);
+                let b = if g.arity() == 2 { self.eval_cone(cell.fanins[1], memo) } else { false };
+                g.eval(a, b)
+            }
+            CellKind::T1 { .. } => {
+                let a = self.eval_cone(cell.fanins[0], memo);
+                let b = self.eval_cone(cell.fanins[1], memo);
+                let c = self.eval_cone(cell.fanins[2], memo);
+                match T1Port::from_index(s.port) {
+                    T1Port::S => a ^ b ^ c,
+                    T1Port::C => (a & b) | (a & c) | (b & c),
+                    T1Port::Q => a | b | c,
+                    T1Port::NotC => !((a & b) | (a & c) | (b & c)),
+                    T1Port::NotQ => !(a | b | c),
+                }
+            }
+            CellKind::Dff => self.eval_cone(cell.fanins[0], memo),
+        };
+        memo.insert(s, v);
+        v
+    }
+}

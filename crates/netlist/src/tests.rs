@@ -1,0 +1,645 @@
+use crate::aig::Aig;
+use crate::aiger::{read_aag, write_aag};
+use crate::cell::{CellKind, GateKind, Library, T1Port};
+use crate::cuts::{enumerate_cuts, CutConfig};
+use crate::mapper::map_aig;
+use crate::mffc::{mffc_area, mffc_nodes, reference_counts};
+use crate::network::{Network, NetworkError, Signal};
+use proptest::prelude::*;
+use sfq_tt::TruthTable;
+
+// ---------------------------------------------------------------- AIG ----
+
+#[test]
+fn aig_constant_folding() {
+    let mut aig = Aig::new("fold");
+    let a = aig.input("a");
+    assert_eq!(aig.and(a, aig.const_false()), aig.const_false());
+    assert_eq!(aig.and(a, aig.const_true()), a);
+    assert_eq!(aig.and(a, a), a);
+    assert_eq!(aig.and(a, !a), aig.const_false());
+    assert_eq!(aig.num_ands(), 0);
+}
+
+#[test]
+fn aig_structural_hashing() {
+    let mut aig = Aig::new("strash");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let x = aig.and(a, b);
+    let y = aig.and(b, a);
+    assert_eq!(x, y);
+    assert_eq!(aig.num_ands(), 1);
+}
+
+#[test]
+fn aig_full_adder_function() {
+    let mut aig = Aig::new("fa");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let c = aig.input("c");
+    let (s, co) = aig.full_adder(a, b, c);
+    aig.output("s", s);
+    aig.output("co", co);
+    // Exhaustive 8-row check via bit-parallel simulation.
+    let pa = 0b10101010u64;
+    let pb = 0b11001100u64;
+    let pc = 0b11110000u64;
+    let out = aig.simulate(&[pa, pb, pc]);
+    assert_eq!(out[0] & 0xFF, (pa ^ pb ^ pc) & 0xFF);
+    assert_eq!(out[1] & 0xFF, ((pa & pb) | (pa & pc) | (pb & pc)) & 0xFF);
+}
+
+#[test]
+fn aig_levels_and_depth() {
+    let mut aig = Aig::new("depth");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let c = aig.input("c");
+    let t = aig.and(a, b);
+    let u = aig.and(t, c);
+    aig.output("u", u);
+    assert_eq!(aig.depth(), 2);
+    // XOR adds two levels (OR of two ANDs).
+    let mut aig2 = Aig::new("x");
+    let a = aig2.input("a");
+    let b = aig2.input("b");
+    let x = aig2.xor(a, b);
+    aig2.output("x", x);
+    assert_eq!(aig2.depth(), 2);
+}
+
+#[test]
+fn aig_live_node_count() {
+    let mut aig = Aig::new("dead");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let live = aig.and(a, b);
+    let _dead = aig.or(a, b); // never used by an output
+    aig.output("f", live);
+    assert_eq!(aig.num_live_ands(), 1);
+    assert!(aig.num_ands() > aig.num_live_ands());
+}
+
+#[test]
+fn aiger_roundtrip_preserves_function() {
+    let mut aig = Aig::new("rt");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let c = aig.input("c");
+    let (s, co) = aig.full_adder(a, b, c);
+    let g = aig.mux(s, co, c);
+    aig.output("s", s);
+    aig.output("g", g);
+
+    let mut buf = Vec::new();
+    write_aag(&aig, &mut buf).unwrap();
+    let back = read_aag(std::io::Cursor::new(&buf), "rt2").unwrap();
+    assert_eq!(back.num_inputs(), 3);
+    assert_eq!(back.num_outputs(), 2);
+    let pats = [0xDEADBEEF12345678u64, 0x0F0F33555AA5C3C3, 0x123456789ABCDEF0];
+    assert_eq!(aig.simulate(&pats), back.simulate(&pats));
+}
+
+#[test]
+fn aiger_rejects_garbage() {
+    assert!(read_aag(std::io::Cursor::new(b"not an aiger" as &[u8]), "x").is_err());
+    assert!(read_aag(std::io::Cursor::new(b"aag 1 1 1 0 0\n2\n" as &[u8]), "x").is_err());
+}
+
+// ------------------------------------------------------------ Network ----
+
+fn full_adder_net() -> Network {
+    // Conventional mapped FA: s = (a⊕b)⊕c, co = ab ∨ (a⊕b)c.
+    let mut net = Network::new("fa");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let axb = net.add_gate(GateKind::Xor2, &[a, b]);
+    let s = net.add_gate(GateKind::Xor2, &[axb, c]);
+    let ab = net.add_gate(GateKind::And2, &[a, b]);
+    let t = net.add_gate(GateKind::And2, &[axb, c]);
+    let co = net.add_gate(GateKind::Or2, &[ab, t]);
+    net.add_output("s", s);
+    net.add_output("co", co);
+    net
+}
+
+#[test]
+fn network_validate_ok() {
+    full_adder_net().validate().unwrap();
+}
+
+#[test]
+fn network_validate_catches_bad_port() {
+    let mut net = Network::new("bad");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let g = net.add_gate(GateKind::And2, &[a, b]);
+    // Reference a non-existent port 3 of a plain gate.
+    let bogus = Signal { cell: g.cell, port: 3 };
+    net.add_output("f", bogus);
+    assert!(matches!(net.validate(), Err(NetworkError::BadOutput { .. })));
+}
+
+#[test]
+fn network_validate_catches_unused_t1_port() {
+    let mut net = Network::new("t1bad");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let t1 = net.add_t1(0b00001, &[a, b, c]); // only S used
+    net.add_output("s", Signal::t1(t1, T1Port::S));
+    net.validate().unwrap();
+    let mut bad = net.clone();
+    bad.add_output("carry", Signal::t1(t1, T1Port::C)); // C not in mask
+    assert!(matches!(bad.validate(), Err(NetworkError::BadOutput { .. })));
+}
+
+#[test]
+fn network_simulation_matches_boolean_function() {
+    let net = full_adder_net();
+    let pa = 0xAAAA_AAAA_AAAA_AAAAu64;
+    let pb = 0xCCCC_CCCC_CCCC_CCCCu64;
+    let pc = 0xF0F0_F0F0_F0F0_F0F0u64;
+    let out = net.simulate(&[pa, pb, pc]);
+    assert_eq!(out[0], pa ^ pb ^ pc);
+    assert_eq!(out[1], (pa & pb) | (pa & pc) | (pb & pc));
+}
+
+#[test]
+fn network_t1_simulation_ports() {
+    let mut net = Network::new("t1");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let t1 = net.add_t1(0b11111, &[a, b, c]);
+    for port in T1Port::ALL {
+        net.add_output(format!("{port}"), Signal::t1(t1, port));
+    }
+    let pa = 0xAAu64;
+    let pb = 0xCCu64;
+    let pc = 0xF0u64;
+    let out = net.simulate(&[pa, pb, pc]);
+    let maj = (pa & pb) | (pa & pc) | (pb & pc);
+    let or3 = pa | pb | pc;
+    assert_eq!(out[0] & 0xFF, (pa ^ pb ^ pc) & 0xFF);
+    assert_eq!(out[1] & 0xFF, maj & 0xFF);
+    assert_eq!(out[2] & 0xFF, or3 & 0xFF);
+    assert_eq!(out[3] & 0xFF, !maj & 0xFF);
+    assert_eq!(out[4] & 0xFF, !or3 & 0xFF);
+}
+
+#[test]
+fn network_area_counts_cells_and_splitters() {
+    let lib = Library::default();
+    let net = full_adder_net();
+    // Gates: 2×XOR2 + 2×AND2 + OR2 = 22 + 22 + 9 = 53.
+    // Fanouts: a→2, b→2, c→2, axb→2 ⇒ 4 splitters = 12.
+    assert_eq!(net.area(&lib), 53 + 12);
+}
+
+#[test]
+fn network_depth() {
+    let net = full_adder_net();
+    assert_eq!(net.depth(), 3); // xor→xor for sum; xor→and→or for carry
+}
+
+#[test]
+fn network_cleaned_removes_dead_cells() {
+    let mut net = full_adder_net();
+    let a = Signal::from_cell(net.inputs()[0]);
+    let dead = net.add_gate(GateKind::Inv, &[a]);
+    let _dead2 = net.add_gate(GateKind::Inv, &[dead]);
+    let (clean, removed) = net.cleaned();
+    assert_eq!(removed, 2);
+    clean.validate().unwrap();
+    assert_eq!(clean.num_gates(), 5);
+    // Function unchanged.
+    let pats = [0x12345678u64, 0x9ABCDEF0, 0x0F0F0F0F];
+    assert_eq!(net.simulate(&pats), clean.simulate(&pats));
+}
+
+#[test]
+fn cone_function_extracts_local_tt() {
+    let net = full_adder_net();
+    // Cells: 0,1,2 inputs; 3 = a⊕b; 4 = (a⊕b)⊕c; 6 = (a⊕b)·c
+    let a = Signal::from_cell(net.inputs()[0]);
+    let b = Signal::from_cell(net.inputs()[1]);
+    let c = Signal::from_cell(net.inputs()[2]);
+    let s = net.outputs()[0];
+    let tt = net.cone_function(s, &[a, b, c]);
+    assert_eq!(tt, TruthTable::xor3());
+    let co = net.outputs()[1];
+    assert_eq!(net.cone_function(co, &[a, b, c]), TruthTable::maj3());
+}
+
+// --------------------------------------------------------------- cuts ----
+
+#[test]
+fn cuts_find_xor3_and_maj3_in_full_adder() {
+    let net = full_adder_net();
+    let cuts = enumerate_cuts(&net, &CutConfig::default());
+    let a = Signal::from_cell(net.inputs()[0]);
+    let b = Signal::from_cell(net.inputs()[1]);
+    let c = Signal::from_cell(net.inputs()[2]);
+    let mut leaves = vec![a, b, c];
+    leaves.sort();
+
+    let s_cell = net.outputs()[0].cell;
+    let co_cell = net.outputs()[1].cell;
+    let s_cut = cuts.of(s_cell).iter().find(|cut| cut.leaves == leaves).expect("xor3 cut");
+    assert_eq!(s_cut.tt, TruthTable::xor3());
+    let co_cut = cuts.of(co_cell).iter().find(|cut| cut.leaves == leaves).expect("maj3 cut");
+    assert_eq!(co_cut.tt, TruthTable::maj3());
+}
+
+#[test]
+fn cuts_trivial_always_first() {
+    let net = full_adder_net();
+    let cuts = enumerate_cuts(&net, &CutConfig::default());
+    for id in net.cell_ids() {
+        let cs = cuts.of(id);
+        assert!(!cs.is_empty());
+        assert_eq!(cs[0].leaves, vec![Signal::from_cell(id)]);
+        assert_eq!(cs[0].tt, TruthTable::var(1, 0));
+    }
+}
+
+#[test]
+fn cuts_respect_leaf_budget() {
+    // A 4-input cone: cuts must never exceed 3 leaves under default config.
+    let mut net = Network::new("wide");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let d = net.add_input("d");
+    let ab = net.add_gate(GateKind::And2, &[a, b]);
+    let cd = net.add_gate(GateKind::And2, &[c, d]);
+    let f = net.add_gate(GateKind::And2, &[ab, cd]);
+    net.add_output("f", f);
+    let cuts = enumerate_cuts(&net, &CutConfig::default());
+    for id in net.cell_ids() {
+        for cut in cuts.of(id) {
+            assert!(cut.leaves.len() <= 3);
+        }
+    }
+    // The 4-leaf cut {a,b,c,d} must be absent from f's set.
+    let f_cuts = cuts.of(f.cell);
+    assert!(f_cuts.iter().all(|cut| cut.leaves.len() <= 3));
+    // But {ab, cd} is there with an AND function.
+    let mut pair = vec![ab, cd];
+    pair.sort();
+    let found = f_cuts.iter().find(|cut| cut.leaves == pair).unwrap();
+    assert_eq!(found.tt, TruthTable::var(2, 0) & TruthTable::var(2, 1));
+}
+
+#[test]
+fn cuts_tt_matches_cone_function() {
+    let net = full_adder_net();
+    let cuts = enumerate_cuts(&net, &CutConfig::default());
+    for id in net.cell_ids() {
+        if !matches!(net.kind(id), CellKind::Gate(_)) {
+            continue;
+        }
+        for cut in cuts.of(id) {
+            let direct = net.cone_function(Signal::from_cell(id), &cut.leaves);
+            assert_eq!(direct, cut.tt, "cut tt mismatch at c{}", id.0);
+        }
+    }
+}
+
+// --------------------------------------------------------------- mffc ----
+
+#[test]
+fn mffc_of_single_fanout_chain() {
+    let net = full_adder_net();
+    let refs = reference_counts(&net);
+    // The sum output cell's MFFC is just the output XOR (axb is shared with
+    // the carry AND).
+    let s_cell = net.outputs()[0].cell;
+    let cone = mffc_nodes(&net, s_cell, &refs);
+    assert_eq!(cone.len(), 1);
+    // The carry OR's MFFC contains or, both ANDs — but not the shared XOR.
+    let co_cell = net.outputs()[1].cell;
+    let mut cone = mffc_nodes(&net, co_cell, &refs);
+    cone.sort();
+    assert_eq!(cone.len(), 3);
+}
+
+#[test]
+fn mffc_area_sums_cells() {
+    let lib = Library::default();
+    let net = full_adder_net();
+    let refs = reference_counts(&net);
+    let co_cell = net.outputs()[1].cell;
+    // or2 + and2 + and2 = 9 + 11 + 11.
+    assert_eq!(mffc_area(&net, co_cell, &refs, &lib), 31);
+}
+
+#[test]
+fn mffc_never_contains_inputs() {
+    let net = full_adder_net();
+    let refs = reference_counts(&net);
+    for id in net.cell_ids() {
+        if matches!(net.kind(id), CellKind::Gate(_)) {
+            for n in mffc_nodes(&net, id, &refs) {
+                assert!(matches!(net.kind(n), CellKind::Gate(_)));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- mapper ----
+
+#[test]
+fn mapper_collapses_xor_pattern() {
+    let mut aig = Aig::new("x");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let x = aig.xor(a, b);
+    aig.output("x", x);
+    let net = map_aig(&aig, &Library::default());
+    net.validate().unwrap();
+    assert_eq!(net.num_gates(), 1);
+    assert!(matches!(net.kind(net.outputs()[0].cell), CellKind::Gate(GateKind::Xor2)));
+}
+
+#[test]
+fn mapper_handles_negated_output() {
+    let mut aig = Aig::new("nand");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let x = aig.and(a, b);
+    aig.output("f", !x);
+    let net = map_aig(&aig, &Library::default());
+    net.validate().unwrap();
+    assert_eq!(net.num_gates(), 1);
+    assert!(matches!(net.kind(net.outputs()[0].cell), CellKind::Gate(GateKind::Nand2)));
+}
+
+#[test]
+fn mapper_preserves_function_full_adder() {
+    let mut aig = Aig::new("fa");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let c = aig.input("c");
+    let (s, co) = aig.full_adder(a, b, c);
+    aig.output("s", s);
+    aig.output("co", co);
+    let net = map_aig(&aig, &Library::default());
+    net.validate().unwrap();
+    let pats = [0x123456789ABCDEF0u64, 0xFEDCBA9876543210, 0x0F1E2D3C4B5A6978];
+    assert_eq!(aig.simulate(&pats), net.simulate(&pats));
+}
+
+#[test]
+fn mapper_passes_through_input_outputs() {
+    let mut aig = Aig::new("wire");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    aig.output("a_again", a);
+    aig.output("not_b", !b);
+    let net = map_aig(&aig, &Library::default());
+    net.validate().unwrap();
+    assert_eq!(net.num_gates(), 1); // only the INV for !b
+    let pats = [0x5555u64, 0x3333];
+    let out = net.simulate(&pats);
+    assert_eq!(out[0], 0x5555);
+    assert_eq!(out[1], !0x3333u64);
+}
+
+/// The single-cell-per-node discipline: the cover must never materialize a
+/// gate and its complement over identical fanins (that duplication is what
+/// destroyed the multiplier's T1-detectable FA boundaries).
+#[test]
+fn mapper_never_duplicates_a_node_in_both_polarities() {
+    fn complement(g: GateKind) -> GateKind {
+        match g {
+            GateKind::And2 => GateKind::Nand2,
+            GateKind::Nand2 => GateKind::And2,
+            GateKind::Or2 => GateKind::Nor2,
+            GateKind::Nor2 => GateKind::Or2,
+            GateKind::Xor2 => GateKind::Xnor2,
+            GateKind::Xnor2 => GateKind::Xor2,
+            GateKind::Inv => GateKind::Buf,
+            GateKind::Buf => GateKind::Inv,
+        }
+    }
+    let aig = sample_multiplier(4);
+    let net = map_aig(&aig, &Library::default());
+    let mut seen: std::collections::HashMap<Vec<Signal>, Vec<GateKind>> =
+        std::collections::HashMap::new();
+    for id in net.cell_ids() {
+        if let CellKind::Gate(g) = net.kind(id) {
+            let mut fanins = net.fanins(id).to_vec();
+            fanins.sort();
+            let kinds = seen.entry(fanins).or_default();
+            assert!(
+                !kinds.contains(&g) && !kinds.contains(&complement(g)),
+                "cell c{} duplicates {g:?} (or its complement) over shared fanins",
+                id.0
+            );
+            kinds.push(g);
+        }
+    }
+}
+
+/// Builds a small array multiplier without depending on sfq-circuits
+/// (netlist cannot depend on it — circuits depends on netlist).
+fn sample_multiplier(bits: usize) -> Aig {
+    let mut aig = Aig::new("mult_local");
+    let a = aig.input_word("a", bits);
+    let b = aig.input_word("b", bits);
+    let w = 2 * bits;
+    let mut cols: Vec<Vec<crate::aig::AigLit>> = vec![Vec::new(); w];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = aig.and(ai, bj);
+            cols[i + j].push(pp);
+        }
+    }
+    let mut carry_in: Vec<crate::aig::AigLit> = Vec::new();
+    let mut product = Vec::with_capacity(w);
+    for col in cols.iter_mut() {
+        col.extend(carry_in.drain(..));
+        while col.len() > 1 {
+            if col.len() >= 3 {
+                let (s, c) = {
+                    let (x, y, z) = (col.remove(0), col.remove(0), col.remove(0));
+                    aig.full_adder(x, y, z)
+                };
+                col.push(s);
+                carry_in.push(c);
+            } else {
+                let (x, y) = (col.remove(0), col.remove(0));
+                let (s, c) = aig.half_adder(x, y);
+                col.push(s);
+                carry_in.push(c);
+            }
+        }
+        product.push(col.first().copied().unwrap_or(crate::aig::AigLit::FALSE));
+    }
+    aig.output_word("p", &product);
+    aig
+}
+
+/// Constant outputs (bit 1 of a squarer is 0 for every input) map to live
+/// logic, not to a panic or a dangling net.
+#[test]
+fn mapper_materializes_constant_outputs() {
+    let mut aig = Aig::new("consts");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let x = aig.and(a, b);
+    aig.output("f", x);
+    aig.output("zero", aig.const_false());
+    aig.output("one", aig.const_true());
+    let net = map_aig(&aig, &Library::default());
+    net.validate().unwrap();
+    let pats = [0xFFFF_0000_FFFF_0000u64, 0xAAAA_AAAA_5555_5555];
+    let out = net.simulate(&pats);
+    assert_eq!(out[0], pats[0] & pats[1]);
+    assert_eq!(out[1], 0, "constant-0 output");
+    assert_eq!(out[2], u64::MAX, "constant-1 output");
+}
+
+/// A node demanded in both polarities gets one gate plus one shared INV —
+/// never two gates.
+#[test]
+fn mapper_shares_inverter_on_dual_polarity_demand() {
+    let mut aig = Aig::new("dual");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let c = aig.input("c");
+    let x = aig.and(a, b);
+    let y = aig.and(x, c); // positive use of x
+    aig.output("y", y);
+    aig.output("nx", !x); // complemented use of x
+    aig.output("nx2", !x); // second complemented use — same INV
+    let net = map_aig(&aig, &Library::default());
+    net.validate().unwrap();
+    let inversions = net
+        .cell_ids()
+        .filter(|&id| matches!(net.kind(id), CellKind::Gate(GateKind::Inv)))
+        .count();
+    assert_eq!(inversions, 1, "one shared INV for both complemented uses");
+    assert_eq!(net.num_gates(), 3); // AND(a,b), AND(x,c), INV(x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random 3-level AIGs: mapping must preserve the function exactly.
+    #[test]
+    fn prop_mapper_equivalence(ops in proptest::collection::vec((0u8..3, 0usize..12, 0usize..12, prop::bool::ANY, prop::bool::ANY), 1..40)) {
+        let mut aig = Aig::new("rand");
+        let mut pool: Vec<crate::aig::AigLit> = (0..4).map(|i| aig.input(format!("x{i}"))).collect();
+        for (op, ia, ib, na, nb) in ops {
+            let a = pool[ia % pool.len()];
+            let b = pool[ib % pool.len()];
+            let a = if na { !a } else { a };
+            let b = if nb { !b } else { b };
+            let r = match op {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                _ => aig.xor(a, b),
+            };
+            pool.push(r);
+        }
+        let f = *pool.last().unwrap();
+        prop_assume!(!f.is_constant());
+        aig.output("f", f);
+        let net = map_aig(&aig, &Library::default());
+        net.validate().unwrap();
+        let pats = [0xAAAA_AAAA_AAAA_AAAAu64, 0xCCCC_CCCC_CCCC_CCCC,
+                    0xF0F0_F0F0_F0F0_F0F0, 0xFF00_FF00_FF00_FF00];
+        prop_assert_eq!(aig.simulate(&pats), net.simulate(&pats));
+    }
+
+    /// BLIF round trip: map → render → parse must preserve the function.
+    #[test]
+    fn prop_blif_round_trip(ops in proptest::collection::vec((0u8..3, 0usize..12, 0usize..12, prop::bool::ANY, prop::bool::ANY), 1..40)) {
+        let mut aig = Aig::new("rt");
+        let mut pool: Vec<crate::aig::AigLit> = (0..4).map(|i| aig.input(format!("x{i}"))).collect();
+        for (op, ia, ib, na, nb) in ops {
+            let a = pool[ia % pool.len()];
+            let b = pool[ib % pool.len()];
+            let a = if na { !a } else { a };
+            let b = if nb { !b } else { b };
+            let r = match op {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                _ => aig.xor(a, b),
+            };
+            pool.push(r);
+        }
+        let f = *pool.last().unwrap();
+        prop_assume!(!f.is_constant());
+        aig.output("f", f);
+        aig.output("g", !f);
+        let net = map_aig(&aig, &Library::default());
+        let text = crate::export::render_blif(&net);
+        let back = crate::blif::parse_blif(&text).expect("exported blif parses");
+        prop_assert_eq!(back.num_inputs(), aig.num_inputs());
+        prop_assert_eq!(back.num_outputs(), aig.num_outputs());
+        let pats = [0xAAAA_AAAA_AAAA_AAAAu64, 0xCCCC_CCCC_CCCC_CCCC,
+                    0xF0F0_F0F0_F0F0_F0F0, 0xFF00_FF00_FF00_FF00];
+        prop_assert_eq!(aig.simulate(&pats), back.simulate(&pats));
+    }
+
+    /// AIGER round trip on the same family of random AIGs.
+    #[test]
+    fn prop_aiger_round_trip(ops in proptest::collection::vec((0u8..3, 0usize..12, 0usize..12, prop::bool::ANY), 1..40)) {
+        let mut aig = Aig::new("rt");
+        let mut pool: Vec<crate::aig::AigLit> = (0..4).map(|i| aig.input(format!("x{i}"))).collect();
+        for (op, ia, ib, na) in ops {
+            let a = pool[ia % pool.len()];
+            let b = pool[ib % pool.len()];
+            let a = if na { !a } else { a };
+            let r = match op {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                _ => aig.xor(a, b),
+            };
+            pool.push(r);
+        }
+        let f = *pool.last().unwrap();
+        aig.output("f", f);
+        let mut buf = Vec::new();
+        write_aag(&aig, &mut buf).expect("write to memory");
+        let back = read_aag(buf.as_slice(), "rt").expect("written aag parses");
+        let pats = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210,
+                    0xDEAD_BEEF_CAFE_F00D, 0x0F0F_0F0F_0F0F_0F0F];
+        prop_assert_eq!(aig.simulate(&pats), back.simulate(&pats));
+    }
+
+    /// Cut truth tables always agree with direct cone evaluation.
+    #[test]
+    fn prop_cut_tts_sound(ops in proptest::collection::vec((0u8..3, 0usize..10, 0usize..10), 1..25)) {
+        let mut aig = Aig::new("rand");
+        let mut pool: Vec<crate::aig::AigLit> = (0..3).map(|i| aig.input(format!("x{i}"))).collect();
+        for (op, ia, ib) in ops {
+            let a = pool[ia % pool.len()];
+            let b = pool[ib % pool.len()];
+            let r = match op {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                _ => aig.xor(a, b),
+            };
+            pool.push(r);
+        }
+        let f = *pool.last().unwrap();
+        prop_assume!(!f.is_constant());
+        aig.output("f", f);
+        let net = map_aig(&aig, &Library::default());
+        let cuts = enumerate_cuts(&net, &CutConfig::default());
+        for id in net.cell_ids() {
+            if !matches!(net.kind(id), CellKind::Gate(_)) { continue; }
+            for cut in cuts.of(id) {
+                let direct = net.cone_function(Signal::from_cell(id), &cut.leaves);
+                prop_assert_eq!(direct, cut.tt);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Pulse-level simulation of multiphase SFQ netlists.
+//!
+//! Where `sfq_netlist::Network::simulate` evaluates steady-state Boolean
+//! functions, this crate simulates *pulses*: every clocked cell fires once
+//! per period at its assigned stage, data pulses travel between firings, and
+//! the T1 flip-flop is modelled as the state machine of the paper's Fig. 1a
+//! (toggle on `T`, conditional reset on `R`). The simulator therefore
+//! validates the very thing the paper's methodology promises — that phase
+//! assignment plus DFF insertion make the T1 cell's input-timing rules hold —
+//! and flags any violation as a [`Hazard`] instead of silently computing
+//! wrong values.
+//!
+//! The [`t1cell`] module exposes the standalone behavioural cell used to
+//! regenerate the paper's Fig. 1b waveform; [`waveform`] renders pulse
+//! traces as ASCII art or CSV; [`vcd`] exports traced runs as VCD files for
+//! standard waveform viewers. Beyond the paper's discrete model, [`energy`]
+//! converts traces into first-order RSFQ energy numbers and [`margin`]
+//! Monte-Carlo-samples analog timing jitter against the T1 separation rules.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_core::{run_flow, FlowConfig};
+//! use sfq_netlist::Aig;
+//! use sfq_sim::simulate_waves;
+//!
+//! let mut aig = Aig::new("fa");
+//! let a = aig.input("a");
+//! let b = aig.input("b");
+//! let c = aig.input("c");
+//! let (s, co) = aig.full_adder(a, b, c);
+//! aig.output("s", s);
+//! aig.output("co", co);
+//! let res = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+//!
+//! // Pipeline two waves of inputs through the pulse-level model.
+//! let waves = vec![vec![true, true, false], vec![true, true, true]];
+//! let outs = simulate_waves(&res.timed, &waves).unwrap();
+//! assert_eq!(outs[0], vec![false, true]); // 1+1+0 = 10₂
+//! assert_eq!(outs[1], vec![true, true]);  // 1+1+1 = 11₂
+//! ```
+
+pub mod energy;
+pub mod margin;
+pub mod pulse;
+pub mod t1cell;
+pub mod vcd;
+pub mod waveform;
+
+pub use energy::{measure_energy, EnergyModel, EnergyReport};
+pub use margin::{analyze_margins, MarginConfig, MarginReport};
+pub use pulse::{simulate_waves, Hazard, PulseSim, PulseTrace, SimError};
+pub use t1cell::{T1Cell, T1Event, T1Input};
+pub use waveform::{Trace, Waveform};
+
+#[cfg(test)]
+mod tests;

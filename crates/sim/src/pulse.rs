@@ -1,0 +1,407 @@
+//! Tick-accurate pulse simulation of a [`TimedNetwork`].
+//!
+//! Time advances in *stages* (global tick `τ`); a cell at stage `σ` fires at
+//! every tick `τ ≥ σ` with `τ ≡ σ (mod n)`, consuming the pulses buffered on
+//! its inputs since its previous firing and emitting result pulses that are
+//! delivered to sinks instantly (interconnect delay is abstracted into the
+//! stage discipline, as in the paper's model). Primary inputs release wave
+//! `w`'s pulses at tick `w·n`; outputs are sampled where their drivers fire,
+//! at `σ_out + w·n`.
+//!
+//! The simulator is deliberately strict: any double pulse on a gate input,
+//! any `T`/`T` or `T`/`R` collision at a T1 cell, and any pulse surviving
+//! past its lifetime turns into a [`Hazard`]. A correct flow output never
+//! produces one — that is precisely the property the paper's constraints
+//! (eqs. 3–5) enforce, and the test suite leans on it.
+
+use crate::t1cell::{T1Cell, T1Input};
+use sfq_core::TimedNetwork;
+use sfq_netlist::{CellId, CellKind, Signal, T1Port, T1_NUM_PORTS};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A timing violation observed during pulse simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hazard {
+    /// A second pulse arrived on the same gate input before the cell fired.
+    DoublePulse { cell: CellId, fanin: usize, tick: u64 },
+    /// Two pulses reached a T1 `T` input at the same tick (merger collision).
+    T1Collision { cell: CellId, tick: u64 },
+    /// A data pulse hit a T1 cell at its own clock tick.
+    T1DataOnClock { cell: CellId, tick: u64 },
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hazard::DoublePulse { cell, fanin, tick } => {
+                write!(f, "double pulse on input {fanin} of c{} at tick {tick}", cell.0)
+            }
+            Hazard::T1Collision { cell, tick } => {
+                write!(f, "T-input pulse collision at T1 c{} at tick {tick}", cell.0)
+            }
+            Hazard::T1DataOnClock { cell, tick } => {
+                write!(f, "data pulse during clock tick at T1 c{} at tick {tick}", cell.0)
+            }
+        }
+    }
+}
+
+/// Simulation failure: one or more hazards fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// All hazards recorded before the simulator gave up.
+    pub hazards: Vec<Hazard>,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pulse simulation detected {} hazard(s); first: {}", self.hazards.len(), self.hazards[0])
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone)]
+enum CellState {
+    Input,
+    Gate { buf: [bool; 2], pending: [bool; 2] },
+    T1 { cell: T1Cell, c_latch: bool, q_latch: bool },
+    Dff { buf: bool, pending: bool },
+}
+
+/// A reusable pulse simulator for one timed network.
+#[derive(Debug)]
+pub struct PulseSim<'a> {
+    timed: &'a TimedNetwork,
+    /// Cells bucketed by firing phase.
+    phase_buckets: Vec<Vec<CellId>>,
+    /// Sinks per pin: (consumer cell, fanin index).
+    sinks: HashMap<Signal, Vec<(CellId, usize)>>,
+    input_index: HashMap<CellId, usize>,
+}
+
+impl<'a> PulseSim<'a> {
+    /// Prepares the firing schedule for `timed`.
+    pub fn new(timed: &'a TimedNetwork) -> Self {
+        let n = timed.num_phases as u32;
+        let net = &timed.network;
+        let mut phase_buckets = vec![Vec::new(); n as usize];
+        for id in net.cell_ids() {
+            if net.kind(id).is_clocked() {
+                phase_buckets[(timed.stages[id.0 as usize] % n) as usize].push(id);
+            }
+        }
+        let mut sinks: HashMap<Signal, Vec<(CellId, usize)>> = HashMap::new();
+        for id in net.cell_ids() {
+            for (k, &f) in net.fanins(id).iter().enumerate() {
+                sinks.entry(f).or_default().push((id, k));
+            }
+        }
+        let input_index =
+            net.inputs().iter().enumerate().map(|(k, &i)| (i, k)).collect();
+        PulseSim { timed, phase_buckets, sinks, input_index }
+    }
+
+    /// Streams `waves` through the pipeline; `waves[w][i]` is input `i` of
+    /// wave `w`. Returns one output vector per wave.
+    ///
+    /// # Errors
+    /// [`SimError`] listing every hazard when the timing discipline is
+    /// violated (a flow bug — audited networks simulate cleanly).
+    ///
+    /// # Panics
+    /// Panics if a wave's length differs from the input count.
+    pub fn run(&self, waves: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, SimError> {
+        self.run_inner(waves, None)
+    }
+
+    /// Like [`run`](Self::run), but also records every pulse on every pin —
+    /// the raw material for waveform viewers (see [`crate::vcd`]).
+    ///
+    /// # Errors
+    /// See [`run`](Self::run).
+    ///
+    /// # Panics
+    /// Panics if a wave's length differs from the input count.
+    pub fn run_traced(
+        &self,
+        waves: &[Vec<bool>],
+    ) -> Result<(Vec<Vec<bool>>, PulseTrace), SimError> {
+        let mut trace = PulseTrace { last_tick: 0, events: Vec::new() };
+        let outputs = self.run_inner(waves, Some(&mut trace))?;
+        Ok((outputs, trace))
+    }
+
+    fn run_inner(
+        &self,
+        waves: &[Vec<bool>],
+        mut trace: Option<&mut PulseTrace>,
+    ) -> Result<Vec<Vec<bool>>, SimError> {
+        let timed = self.timed;
+        let net = &timed.network;
+        let n = timed.num_phases as u64;
+        let w_count = waves.len() as u64;
+        for w in waves {
+            assert_eq!(w.len(), net.num_inputs(), "wave width must match input count");
+        }
+
+        let mut state: Vec<CellState> = net
+            .cell_ids()
+            .map(|id| match net.kind(id) {
+                CellKind::Input => CellState::Input,
+                CellKind::Gate(_) => CellState::Gate { buf: [false; 2], pending: [false; 2] },
+                CellKind::T1 { .. } => {
+                    CellState::T1 { cell: T1Cell::new(), c_latch: false, q_latch: false }
+                }
+                CellKind::Dff => CellState::Dff { buf: false, pending: false },
+            })
+            .collect();
+        // T pulses delivered to a T1 in the current tick (collision check).
+        let mut t1_hits_this_tick: HashMap<CellId, u64> = HashMap::new();
+        let mut hazards: Vec<Hazard> = Vec::new();
+        let mut outputs = vec![vec![false; net.num_outputs()]; waves.len()];
+        // Pulses emitted in the current tick, per pin (for PO sampling).
+        let mut emitted: HashMap<Signal, bool> = HashMap::new();
+
+        let last_tick = timed.output_stage as u64 + w_count.saturating_sub(1) * n;
+        for tick in 0..=last_tick {
+            emitted.clear();
+            t1_hits_this_tick.clear();
+            let phase = (tick % n) as usize;
+            // Deliveries are processed immediately inside fire(); firing
+            // order within a tick follows increasing stage so producers at
+            // this tick never race their same-tick consumers (all spans ≥ 1).
+            let mut firing: Vec<CellId> = self.phase_buckets[phase]
+                .iter()
+                .copied()
+                .filter(|&id| timed.stages[id.0 as usize] as u64 <= tick)
+                .collect();
+            firing.sort_by_key(|&id| timed.stages[id.0 as usize]);
+
+            // Primary inputs fire at phase 0 with their wave's data.
+            if phase == 0 {
+                let wave = tick / n;
+                if wave < w_count {
+                    for (&cell, &k) in &self.input_index {
+                        if waves[wave as usize][k] {
+                            self.emit(
+                                Signal::from_cell(cell),
+                                tick,
+                                &mut state,
+                                &mut emitted,
+                                &mut t1_hits_this_tick,
+                                &mut hazards,
+                            );
+                        }
+                    }
+                }
+            }
+
+            for id in firing {
+                self.fire(id, tick, &mut state, &mut emitted, &mut t1_hits_this_tick, &mut hazards);
+            }
+
+            // Sample primary outputs.
+            if tick >= timed.output_stage as u64
+                && (tick - timed.output_stage as u64) % n == 0
+            {
+                let wave = (tick - timed.output_stage as u64) / n;
+                if wave < w_count {
+                    for (k, &o) in net.outputs().iter().enumerate() {
+                        outputs[wave as usize][k] = *emitted.get(&o).unwrap_or(&false);
+                    }
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.last_tick = last_tick;
+                for (&pin, &fired) in emitted.iter() {
+                    if fired {
+                        t.events.push((tick, pin));
+                    }
+                }
+            }
+            if hazards.len() > 32 {
+                break; // enough evidence; stop collecting
+            }
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.events.sort_unstable();
+        }
+        if hazards.is_empty() {
+            Ok(outputs)
+        } else {
+            Err(SimError { hazards })
+        }
+    }
+
+    /// Fires one clocked cell: consume buffered inputs, emit results.
+    fn fire(
+        &self,
+        id: CellId,
+        tick: u64,
+        state: &mut [CellState],
+        emitted: &mut HashMap<Signal, bool>,
+        t1_hits: &mut HashMap<CellId, u64>,
+        hazards: &mut Vec<Hazard>,
+    ) {
+        let net = &self.timed.network;
+        match net.kind(id) {
+            CellKind::Input => {}
+            CellKind::Gate(g) => {
+                let (a, b) = match &mut state[id.0 as usize] {
+                    CellState::Gate { buf, pending } => {
+                        let v = (buf[0], buf[1]);
+                        *buf = [pending[0], pending[1]];
+                        *pending = [false, false];
+                        v
+                    }
+                    _ => unreachable!("gate state"),
+                };
+                if g.eval(a, b) {
+                    self.emit(Signal::from_cell(id), tick, state, emitted, t1_hits, hazards);
+                }
+            }
+            CellKind::Dff => {
+                let v = match &mut state[id.0 as usize] {
+                    CellState::Dff { buf, pending } => {
+                        let v = *buf;
+                        *buf = *pending;
+                        *pending = false;
+                        v
+                    }
+                    _ => unreachable!("dff state"),
+                };
+                if v {
+                    self.emit(Signal::from_cell(id), tick, state, emitted, t1_hits, hazards);
+                }
+            }
+            CellKind::T1 { used_ports } => {
+                let (s, c, q) = match &mut state[id.0 as usize] {
+                    CellState::T1 { cell, c_latch, q_latch } => {
+                        let ev = cell.pulse(T1Input::R);
+                        let out = (ev.s, *c_latch, *q_latch);
+                        *c_latch = false;
+                        *q_latch = false;
+                        out
+                    }
+                    _ => unreachable!("t1 state"),
+                };
+                for port in T1Port::ALL {
+                    if used_ports >> port.index() & 1 == 0 {
+                        continue;
+                    }
+                    let fire = match port {
+                        T1Port::S => s,
+                        T1Port::C => c,
+                        T1Port::Q => q,
+                        T1Port::NotC => !c,
+                        T1Port::NotQ => !q,
+                    };
+                    if fire {
+                        self.emit(Signal::t1(id, port), tick, state, emitted, t1_hits, hazards);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers a pulse from `pin` to every sink.
+    fn emit(
+        &self,
+        pin: Signal,
+        tick: u64,
+        state: &mut [CellState],
+        emitted: &mut HashMap<Signal, bool>,
+        t1_hits: &mut HashMap<CellId, u64>,
+        hazards: &mut Vec<Hazard>,
+    ) {
+        emitted.insert(pin, true);
+        let Some(sinks) = self.sinks.get(&pin) else { return };
+        let net = &self.timed.network;
+        let n = self.timed.num_phases as u64;
+        for &(sink, fanin_idx) in sinks {
+            let sink_stage = self.timed.stages[sink.0 as usize] as u64;
+            match net.kind(sink) {
+                CellKind::Gate(_) => {
+                    // Does this pulse belong to the sink's *next* firing, or
+                    // the one after (same-tick emission at span n)?
+                    let fires_this_tick =
+                        tick >= sink_stage && (tick - sink_stage) % n == 0;
+                    match &mut state[sink.0 as usize] {
+                        CellState::Gate { buf, pending } => {
+                            let slot =
+                                if fires_this_tick { &mut pending[fanin_idx] } else { &mut buf[fanin_idx] };
+                            if *slot {
+                                hazards.push(Hazard::DoublePulse { cell: sink, fanin: fanin_idx, tick });
+                            }
+                            *slot = true;
+                        }
+                        _ => unreachable!("gate state"),
+                    }
+                }
+                CellKind::Dff => {
+                    let fires_this_tick =
+                        tick >= sink_stage && (tick - sink_stage) % n == 0;
+                    match &mut state[sink.0 as usize] {
+                        CellState::Dff { buf, pending } => {
+                            let slot = if fires_this_tick { pending } else { buf };
+                            if *slot {
+                                hazards.push(Hazard::DoublePulse { cell: sink, fanin: 0, tick });
+                            }
+                            *slot = true;
+                        }
+                        _ => unreachable!("dff state"),
+                    }
+                }
+                CellKind::T1 { .. } => {
+                    let fires_this_tick =
+                        tick >= sink_stage && (tick - sink_stage) % n == 0;
+                    if fires_this_tick {
+                        hazards.push(Hazard::T1DataOnClock { cell: sink, tick });
+                        continue;
+                    }
+                    if let Some(&prev) = t1_hits.get(&sink) {
+                        if prev == tick {
+                            hazards.push(Hazard::T1Collision { cell: sink, tick });
+                            continue;
+                        }
+                    }
+                    t1_hits.insert(sink, tick);
+                    match &mut state[sink.0 as usize] {
+                        CellState::T1 { cell, c_latch, q_latch } => {
+                            let ev = cell.pulse(T1Input::T);
+                            *c_latch |= ev.c_star;
+                            *q_latch |= ev.q_star;
+                        }
+                        _ => unreachable!("t1 state"),
+                    }
+                }
+                CellKind::Input => unreachable!("inputs have no fanins"),
+            }
+        }
+    }
+}
+
+/// Every pulse observed during a traced run: `(tick, pin)` pairs in
+/// `(tick, cell, port)` order. Consumed by [`crate::vcd`].
+#[derive(Debug, Clone, Default)]
+pub struct PulseTrace {
+    /// The last tick the simulation executed.
+    pub last_tick: u64,
+    /// One entry per pulse per pin per tick.
+    pub events: Vec<(u64, Signal)>,
+}
+
+/// Convenience wrapper: build a [`PulseSim`] and run `waves`.
+///
+/// # Errors
+/// See [`PulseSim::run`].
+pub fn simulate_waves(
+    timed: &TimedNetwork,
+    waves: &[Vec<bool>],
+) -> Result<Vec<Vec<bool>>, SimError> {
+    PulseSim::new(timed).run(waves)
+}
+
+const _: () = assert!(T1_NUM_PORTS == 5);

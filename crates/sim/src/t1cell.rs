@@ -1,0 +1,146 @@
+//! Behavioural model of the T1 flip-flop (paper Fig. 1a/1b).
+//!
+//! The cell is a superconductive loop holding one bit of state. Pulses at
+//! `T` toggle the state, emitting `Q*` on a 0→1 transition and `C*` on a
+//! 1→0 transition; a pulse at `R` emits `S` if the state is 1 (resetting
+//! it) and is rejected otherwise.
+
+/// Which input a pulse arrives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum T1Input {
+    /// Toggle input (data pulses merge here).
+    T,
+    /// Reset input (the clock in synchronous use).
+    R,
+}
+
+/// What a single input pulse produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct T1Event {
+    /// A pulse left the `Q*` output (0→1 toggle).
+    pub q_star: bool,
+    /// A pulse left the `C*` output (1→0 toggle).
+    pub c_star: bool,
+    /// A pulse left the `S` output (reset of a stored 1).
+    pub s: bool,
+}
+
+/// The T1 flip-flop state machine.
+///
+/// # Example
+///
+/// ```
+/// use sfq_sim::{T1Cell, T1Input};
+/// let mut cell = T1Cell::new();
+/// // Two data pulses: the second one emits C* (the "carry").
+/// assert!(cell.pulse(T1Input::T).q_star);
+/// assert!(cell.pulse(T1Input::T).c_star);
+/// // State is back to 0: a reset pulse is rejected (no S).
+/// assert!(!cell.pulse(T1Input::R).s);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct T1Cell {
+    state: bool,
+}
+
+impl T1Cell {
+    /// A cell with the loop in state 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current loop state.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Applies one pulse and reports which outputs fired.
+    pub fn pulse(&mut self, input: T1Input) -> T1Event {
+        let mut ev = T1Event::default();
+        match input {
+            T1Input::T => {
+                if self.state {
+                    ev.c_star = true;
+                } else {
+                    ev.q_star = true;
+                }
+                self.state = !self.state;
+            }
+            T1Input::R => {
+                if self.state {
+                    ev.s = true;
+                    self.state = false;
+                }
+                // A reset pulse on state 0 is rejected by J_R.
+            }
+        }
+        ev
+    }
+}
+
+/// One full synchronous evaluation: data pulses for inputs `(a, b, c)`
+/// arriving at distinct times on `T`, then a clock pulse on `R`.
+///
+/// Returns `(s, c, q)` — the latched XOR3 / MAJ3 / OR3 outputs, matching the
+/// full-adder construction of the paper's Fig. 1c.
+pub fn t1_synchronous_eval(cell: &mut T1Cell, a: bool, b: bool, c: bool) -> (bool, bool, bool) {
+    let mut c_latch = false;
+    let mut q_latch = false;
+    for bit in [a, b, c] {
+        if bit {
+            let ev = cell.pulse(T1Input::T);
+            c_latch |= ev.c_star;
+            q_latch |= ev.q_star;
+        }
+    }
+    let ev = cell.pulse(T1Input::R);
+    (ev.s, c_latch, q_latch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table_matches_xor3_maj3_or3() {
+        for row in 0..8u32 {
+            let (a, b, c) = (row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1);
+            let mut cell = T1Cell::new();
+            let (s, carry, q) = t1_synchronous_eval(&mut cell, a, b, c);
+            assert_eq!(s, a ^ b ^ c, "S=XOR3 at row {row}");
+            assert_eq!(carry, (a & b) | (a & c) | (b & c), "C=MAJ3 at row {row}");
+            assert_eq!(q, a | b | c, "Q=OR3 at row {row}");
+            // The clock pulse always drains the loop.
+            assert!(!cell.state(), "state resets after R at row {row}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_evaluations_are_independent() {
+        let mut cell = T1Cell::new();
+        for row in [0b111u32, 0b000, 0b101, 0b010, 0b011] {
+            let (a, b, c) = (row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1);
+            let (s, _, _) = t1_synchronous_eval(&mut cell, a, b, c);
+            assert_eq!(s, a ^ b ^ c);
+        }
+    }
+
+    #[test]
+    fn paper_fig1b_pulse_sequence() {
+        // Fig. 1b: periods with data patterns a=1; a=1,b=1; a=1,b=1,c=1.
+        let mut cell = T1Cell::new();
+        // Period 1: one pulse → Q*, then R → S.
+        let e1 = cell.pulse(T1Input::T);
+        assert!(e1.q_star && !e1.c_star);
+        assert!(cell.pulse(T1Input::R).s);
+        // Period 2: two pulses → Q* then C*, R rejected.
+        assert!(cell.pulse(T1Input::T).q_star);
+        assert!(cell.pulse(T1Input::T).c_star);
+        assert!(!cell.pulse(T1Input::R).s);
+        // Period 3: three pulses → Q*, C*, Q*; R → S.
+        assert!(cell.pulse(T1Input::T).q_star);
+        assert!(cell.pulse(T1Input::T).c_star);
+        assert!(cell.pulse(T1Input::T).q_star);
+        assert!(cell.pulse(T1Input::R).s);
+    }
+}

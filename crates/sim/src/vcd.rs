@@ -1,0 +1,198 @@
+//! Value-change-dump (VCD) export of pulse traces.
+//!
+//! SFQ debugging in practice happens in waveform viewers; this module turns
+//! a [`PulseTrace`] into an IEEE-1364 VCD file that GTKWave & co. load
+//! directly. Each simulator tick occupies two timescale units: a pulse on a
+//! pin renders as a `1` at `2·tick` followed by a `0` at `2·tick + 1`, so
+//! pulses in adjacent ticks stay visually distinct.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_core::{run_flow, FlowConfig};
+//! use sfq_netlist::Aig;
+//! use sfq_sim::{vcd, PulseSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut aig = Aig::new("fa");
+//! let a = aig.input("a");
+//! let b = aig.input("b");
+//! let (s, c) = aig.half_adder(a, b);
+//! aig.output("s", s);
+//! aig.output("c", c);
+//! let flow = run_flow(&aig, &FlowConfig::multiphase(4))?;
+//!
+//! let sim = PulseSim::new(&flow.timed);
+//! let (_, trace) = sim.run_traced(&[vec![true, true]])?;
+//! let dump = vcd::render_vcd(&flow.timed, &trace);
+//! assert!(dump.starts_with("$date"));
+//! assert!(dump.contains("$var wire 1"));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::pulse::PulseTrace;
+use sfq_core::TimedNetwork;
+use sfq_netlist::{CellKind, Signal, T1Port};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A VCD identifier code: the printable-ASCII base-94 encoding the format
+/// prescribes (`!`, `"`, …).
+fn id_code(mut index: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (index % 94)) as u8 as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    s
+}
+
+/// Human-readable name for a pin in the dump.
+fn pin_name(timed: &TimedNetwork, pin: Signal) -> String {
+    let net = &timed.network;
+    let idx = pin.cell.0 as usize;
+    match net.kind(pin.cell) {
+        CellKind::Input => {
+            let k = net.inputs().iter().position(|&i| i == pin.cell).expect("input listed");
+            net.input_name(k).to_string()
+        }
+        CellKind::Gate(g) => format!("{}_c{}", format!("{g}").to_lowercase(), idx),
+        CellKind::Dff => format!("dff_c{idx}"),
+        CellKind::T1 { .. } => {
+            let port = T1Port::from_index(pin.port);
+            format!("t1_c{idx}_{port:?}").to_lowercase()
+        }
+    }
+}
+
+/// Renders a pulse trace as VCD text.
+///
+/// Every pin that pulsed at least once gets a 1-bit wire; pins that stayed
+/// silent are omitted (SFQ dumps of big nets would otherwise drown in
+/// constant-zero wires).
+pub fn render_vcd(timed: &TimedNetwork, trace: &PulseTrace) -> String {
+    // Collect the pins that ever fired, in first-firing order.
+    let mut order: Vec<Signal> = Vec::new();
+    let mut codes: HashMap<Signal, String> = HashMap::new();
+    for &(_, pin) in &trace.events {
+        if !codes.contains_key(&pin) {
+            codes.insert(pin, id_code(order.len()));
+            order.push(pin);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("$date reproduction run $end\n");
+    out.push_str("$version sfq-sim pulse simulator $end\n");
+    out.push_str("$timescale 1ps $end\n");
+    let _ = writeln!(out, "$scope module {} $end", timed.network.name());
+    for pin in &order {
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {} $end",
+            codes[pin],
+            pin_name(timed, *pin)
+        );
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Initial values: everything low.
+    out.push_str("$dumpvars\n");
+    for pin in &order {
+        let _ = writeln!(out, "0{}", codes[pin]);
+    }
+    out.push_str("$end\n");
+
+    // Pulses: 1 at 2·tick, 0 at 2·tick+1 (events are tick-sorted already).
+    let mut i = 0;
+    while i < trace.events.len() {
+        let tick = trace.events[i].0;
+        let _ = writeln!(out, "#{}", 2 * tick);
+        let mut j = i;
+        while j < trace.events.len() && trace.events[j].0 == tick {
+            let _ = writeln!(out, "1{}", codes[&trace.events[j].1]);
+            j += 1;
+        }
+        let _ = writeln!(out, "#{}", 2 * tick + 1);
+        for k in i..j {
+            let _ = writeln!(out, "0{}", codes[&trace.events[k].1]);
+        }
+        i = j;
+    }
+    let _ = writeln!(out, "#{}", 2 * (trace.last_tick + 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::PulseSim;
+    use sfq_core::{run_flow, FlowConfig};
+    use sfq_netlist::Aig;
+
+    fn timed_xor() -> sfq_core::FlowResult {
+        let mut aig = Aig::new("x");
+        let a = aig.input("a");
+        let b = aig.input("b");
+        let x = aig.xor(a, b);
+        aig.output("y", x);
+        run_flow(&aig, &FlowConfig::multiphase(4)).expect("flow succeeds")
+    }
+
+    #[test]
+    fn id_codes_are_printable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5000 {
+            let code = id_code(i);
+            assert!(code.bytes().all(|b| (33..127).contains(&b)), "printable: {code:?}");
+            assert!(seen.insert(code), "collision at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn vcd_contains_headers_vars_and_changes() {
+        let flow = timed_xor();
+        let sim = PulseSim::new(&flow.timed);
+        let (outs, trace) = sim.run_traced(&[vec![true, false]]).expect("clean run");
+        assert!(outs[0][0], "1 xor 0");
+        let dump = render_vcd(&flow.timed, &trace);
+        assert!(dump.contains("$timescale 1ps $end"));
+        assert!(dump.contains("$var wire 1 ! a $end"), "input wire named:\n{dump}");
+        assert!(dump.contains("$dumpvars"));
+        assert!(dump.contains("#0\n"), "time zero present");
+        // Every 1-change has a matching 0-change one unit later.
+        let ones = dump.matches("\n1").count();
+        let zeros_after = dump.matches("\n0").count();
+        assert!(zeros_after >= ones, "pulses return to zero");
+    }
+
+    #[test]
+    fn silent_pins_are_omitted() {
+        let flow = timed_xor();
+        let sim = PulseSim::new(&flow.timed);
+        // 1 xor 1: inputs pulse, the XOR gate output stays silent.
+        let (outs, trace) = sim.run_traced(&[vec![true, true]]).expect("clean run");
+        assert!(!outs[0][0]);
+        let dump = render_vcd(&flow.timed, &trace);
+        assert!(dump.contains(" a $end"));
+        assert!(!dump.contains("xor2"), "silent XOR output omitted:\n{dump}");
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        let flow = timed_xor();
+        let sim = PulseSim::new(&flow.timed);
+        let waves = vec![vec![true, false], vec![false, false], vec![true, true]];
+        let plain = sim.run(&waves).expect("clean");
+        let (traced, _) = sim.run_traced(&waves).expect("clean");
+        assert_eq!(plain, traced);
+    }
+}

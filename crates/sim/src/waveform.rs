@@ -1,0 +1,172 @@
+//! Pulse-trace recording and rendering (ASCII art and CSV).
+//!
+//! Used to regenerate the paper's Fig. 1b: the T1 cell's `T`/`R` inputs,
+//! loop state, and `S`/`C*`/`Q*` outputs over time.
+
+use std::fmt::Write as _;
+
+/// One named signal trace: a pulse marker (or level) per time slot.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Signal name shown in the left margin.
+    pub name: String,
+    /// One sample per slot; `true` renders as a pulse.
+    pub samples: Vec<bool>,
+    /// Render as a level (loop current) instead of pulses.
+    pub level: bool,
+}
+
+/// A collection of aligned traces.
+///
+/// # Example
+///
+/// ```
+/// use sfq_sim::Waveform;
+/// let mut wf = Waveform::new(8);
+/// wf.pulse_trace("T", &[0, 2, 3]);
+/// wf.level_trace("state", &[false, true, true, false, true, true, true, false]);
+/// let art = wf.render_ascii();
+/// assert!(art.contains("T"));
+/// assert!(art.contains("state"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Waveform {
+    slots: usize,
+    traces: Vec<Trace>,
+}
+
+impl Waveform {
+    /// An empty waveform with `slots` time slots.
+    pub fn new(slots: usize) -> Self {
+        Waveform { slots, traces: Vec::new() }
+    }
+
+    /// Number of time slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Adds a pulse trace firing at the given slots.
+    ///
+    /// # Panics
+    /// Panics if a slot is out of range.
+    pub fn pulse_trace(&mut self, name: impl Into<String>, pulse_slots: &[usize]) {
+        let mut samples = vec![false; self.slots];
+        for &s in pulse_slots {
+            assert!(s < self.slots, "slot out of range");
+            samples[s] = true;
+        }
+        self.traces.push(Trace { name: name.into(), samples, level: false });
+    }
+
+    /// Adds a level trace (e.g. the T1 loop current).
+    ///
+    /// # Panics
+    /// Panics if `samples.len()` differs from the slot count.
+    pub fn level_trace(&mut self, name: impl Into<String>, samples: &[bool]) {
+        assert_eq!(samples.len(), self.slots, "level trace must cover all slots");
+        self.traces.push(Trace {
+            name: name.into(),
+            samples: samples.to_vec(),
+            level: true,
+        });
+    }
+
+    /// All traces.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Renders the waveform as fixed-width ASCII art.
+    pub fn render_ascii(&self) -> String {
+        let name_w = self.traces.iter().map(|t| t.name.len()).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        // Time ruler.
+        let _ = write!(out, "{:>name_w$} ", "t");
+        for i in 0..self.slots {
+            let _ = write!(out, "{:>3}", i);
+        }
+        out.push('\n');
+        for t in &self.traces {
+            let _ = write!(out, "{:>name_w$} ", t.name);
+            for &s in &t.samples {
+                if t.level {
+                    out.push_str(if s { "▔▔▔" } else { "▁▁▁" });
+                } else {
+                    out.push_str(if s { " │ " } else { " · " });
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the waveform as CSV (`slot,name1,name2,…`).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("slot");
+        for t in &self.traces {
+            let _ = write!(out, ",{}", t.name);
+        }
+        out.push('\n');
+        for i in 0..self.slots {
+            let _ = write!(out, "{i}");
+            for t in &self.traces {
+                let _ = write!(out, ",{}", u8::from(t.samples[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds the paper's Fig. 1b stimulus/response waveform from the
+/// behavioural T1 cell: three clock periods carrying the data patterns
+/// `{a}`, `{a,b}`, `{a,b,c}`.
+pub fn fig1b_waveform() -> Waveform {
+    use crate::t1cell::{T1Cell, T1Input};
+    // Time layout per period (4 slots): data at slots 0..3, clock at slot 3.
+    let periods = 3usize;
+    let slot_count = periods * 4;
+    let mut t_slots = Vec::new();
+    let mut r_slots = Vec::new();
+    let mut s_slots = Vec::new();
+    let mut cstar_slots = Vec::new();
+    let mut qstar_slots = Vec::new();
+    let mut level = vec![false; slot_count];
+    let mut cell = T1Cell::new();
+    let patterns: [&[usize]; 3] = [&[0], &[0, 1], &[0, 1, 2]];
+    for (p, pat) in patterns.iter().enumerate() {
+        let base = p * 4;
+        for &off in *pat {
+            let slot = base + off;
+            t_slots.push(slot);
+            let ev = cell.pulse(T1Input::T);
+            if ev.q_star {
+                qstar_slots.push(slot);
+            }
+            if ev.c_star {
+                cstar_slots.push(slot);
+            }
+            for l in level.iter_mut().skip(slot) {
+                *l = cell.state();
+            }
+        }
+        let slot = base + 3;
+        r_slots.push(slot);
+        let ev = cell.pulse(T1Input::R);
+        if ev.s {
+            s_slots.push(slot);
+        }
+        for l in level.iter_mut().skip(slot) {
+            *l = cell.state();
+        }
+    }
+    let mut wf = Waveform::new(slot_count);
+    wf.pulse_trace("Data(T)", &t_slots);
+    wf.pulse_trace("Clock(R)", &r_slots);
+    wf.level_trace("Loop", &level);
+    wf.pulse_trace("Sum(S)", &s_slots);
+    wf.pulse_trace("Carry(C*)", &cstar_slots);
+    wf.pulse_trace("Or(Q*)", &qstar_slots);
+    wf
+}

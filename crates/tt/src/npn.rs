@@ -1,0 +1,104 @@
+//! Exact NPN canonization for small functions.
+//!
+//! Two functions are NPN-equivalent when one can be obtained from the other
+//! by Negating inputs, Permuting inputs, and/or Negating the output. The
+//! canonical representative is the lexicographically smallest raw truth-table
+//! value reachable through any such transform. Exhaustive enumeration is used
+//! (`2 · 2ⁿ · n!` transforms), which is practical for the `n ≤ 4` functions
+//! handled during matching; T1-specific matching (3 inputs) uses the faster
+//! polarity-only database in [`crate::T1MatchDb`].
+
+use crate::table::TruthTable;
+
+/// The transform that maps an original function to its NPN representative.
+///
+/// Applying the transform means: first negate the inputs in
+/// [`input_negation`](Self::input_negation) (bit `i` ⇒ input `i`), then feed
+/// original input `perm[i]` into canonical slot `i`, then negate the output if
+/// [`output_negation`](Self::output_negation) is set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    /// Input negation mask applied before permutation.
+    pub input_negation: u8,
+    /// `perm[i]` = original input placed in canonical position `i`.
+    pub perm: Vec<usize>,
+    /// Whether the output is complemented.
+    pub output_negation: bool,
+}
+
+impl NpnTransform {
+    /// Identity transform over `n` inputs.
+    pub fn identity(n: usize) -> Self {
+        NpnTransform { input_negation: 0, perm: (0..n).collect(), output_negation: false }
+    }
+
+    /// Applies this transform to a function.
+    ///
+    /// # Panics
+    /// Panics if the permutation length does not match the variable count.
+    pub fn apply(&self, tt: &TruthTable) -> TruthTable {
+        let t = tt.flip_vars(self.input_negation).permute_vars(&self.perm);
+        if self.output_negation {
+            !t
+        } else {
+            t
+        }
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_permute(&mut items, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k % 2 == 0 {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Computes the NPN canonical form of `tt` and the transform producing it.
+///
+/// The canonical form is the minimum raw bit value over all NPN transforms.
+///
+/// # Example
+///
+/// ```
+/// use sfq_tt::{npn_canonize, TruthTable};
+/// let and2 = TruthTable::from_bits(2, 0x8).unwrap();
+/// let nor2 = TruthTable::from_bits(2, 0x1).unwrap();
+/// assert_eq!(npn_canonize(&and2).0, npn_canonize(&nor2).0);
+/// ```
+pub fn npn_canonize(tt: &TruthTable) -> (TruthTable, NpnTransform) {
+    let n = tt.num_vars();
+    let mut best = *tt;
+    let mut best_tf = NpnTransform::identity(n);
+    for perm in permutations(n) {
+        for neg in 0..(1u16 << n) {
+            let base = tt.flip_vars(neg as u8).permute_vars(&perm);
+            for out_neg in [false, true] {
+                let cand = if out_neg { !base } else { base };
+                if cand.bits() < best.bits() {
+                    best = cand;
+                    best_tf = NpnTransform {
+                        input_negation: neg as u8,
+                        perm: perm.clone(),
+                        output_negation: out_neg,
+                    };
+                }
+            }
+        }
+    }
+    (best, best_tf)
+}

@@ -1,0 +1,157 @@
+//! The T1 function database: which 3-input functions a T1 cell can realize,
+//! and under which input/output polarities.
+//!
+//! A T1 flip-flop whose `T` input merges three data pulses `a, b, c` offers
+//! (paper §I-A) the synchronous outputs
+//!
+//! * `S  = XOR3(a,b,c)`
+//! * `C  = MAJ3(a,b,c)`  (`C*` latched by a DFF)
+//! * `Q  = OR3(a,b,c)`   (`Q*` latched by a DFF)
+//! * `¬MAJ3`, `¬OR3` via clocked inverters on `C*` / `Q*`.
+//!
+//! If some inputs are fed through inverters (polarity mask `m`), **every**
+//! output of the cell sees the negated inputs, so a group of cuts mapped onto
+//! one T1 must agree on `m`. XOR3 is linear, hence tolerant: negating an input
+//! only complements the output, so an XOR3/XNOR3 cut matches under *any* mask
+//! with an output-polarity fixup. MAJ3/OR3 matches are mask-specific.
+//!
+//! [`T1MatchDb`] precomputes, for all 256 possible 3-input truth tables and
+//! all 8 input-polarity masks, whether/how the function is realizable. Lookup
+//! is a table index — this is the Boolean-matching [9] step of the paper's
+//! detection flow, specialized to the totally-symmetric T1 bases.
+//!
+//! Note on the `S` port: the paper's five synchronous outputs are `S`, `C`,
+//! `Q`, `C*`+INV and `Q*`+INV. An inverter on `S` is *not* among them (the
+//! `S` pulse fires at the T1's own clock stage, so a same-stage inverter is
+//! impossible), hence detection must reject `(Xor3, output_negated = true)`
+//! matches; the complementary parity mask offers XNOR3 on `S` directly.
+
+use crate::table::TruthTable;
+
+/// The three function families a T1 cell produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum T1Base {
+    /// Parity of the three inputs: the `S` ("sum") output.
+    Xor3,
+    /// Majority of the three inputs: the `C` ("carry") output.
+    Maj3,
+    /// Disjunction of the three inputs: the `Q` output.
+    Or3,
+}
+
+impl T1Base {
+    /// Truth table of the base function on positive inputs.
+    pub fn truth_table(self) -> TruthTable {
+        match self {
+            T1Base::Xor3 => TruthTable::xor3(),
+            T1Base::Maj3 => TruthTable::maj3(),
+            T1Base::Or3 => TruthTable::or3(),
+        }
+    }
+
+    /// All three bases.
+    pub const ALL: [T1Base; 3] = [T1Base::Xor3, T1Base::Maj3, T1Base::Or3];
+}
+
+/// How a specific 3-input function is realized by a T1 cell under a given
+/// input-polarity mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct T1Match {
+    /// Which base output produces the function.
+    pub base: T1Base,
+    /// Whether the base output must be complemented (e.g. `C*`+INV for
+    /// `¬MAJ3`, or the XOR3 parity fixup).
+    pub output_negated: bool,
+}
+
+/// Precomputed matcher from (3-input truth table, input-polarity mask) to a
+/// T1 realization.
+///
+/// # Example
+///
+/// ```
+/// use sfq_tt::{T1Base, T1MatchDb, TruthTable};
+///
+/// let db = T1MatchDb::new();
+/// let xnor3 = !TruthTable::xor3();
+/// // XNOR3 is XOR3 with the output complemented — realizable at mask 0.
+/// let m = db.lookup(&xnor3, 0).unwrap();
+/// assert_eq!(m.base, T1Base::Xor3);
+/// assert!(m.output_negated);
+/// // MAJ3 with input 0 negated is only realizable when the mask says so.
+/// let maj_n0 = TruthTable::maj3().flip_var(0);
+/// assert!(db.lookup(&maj_n0, 0).is_none());
+/// assert!(db.lookup(&maj_n0, 0b001).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct T1MatchDb {
+    // [mask][tt_bits] — 8 masks × 256 functions.
+    table: Vec<[Option<T1Match>; 256]>,
+}
+
+impl Default for T1MatchDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl T1MatchDb {
+    /// Builds the full 8×256 lookup table.
+    pub fn new() -> Self {
+        let mut table = vec![[None; 256]; 8];
+        for mask in 0u8..8 {
+            for base in T1Base::ALL {
+                for out_neg in [false, true] {
+                    // The function *computed by the network* equals
+                    // base(inputs ^ mask), possibly complemented. A cut whose
+                    // truth table (over positive leaves) equals this value is
+                    // realizable by port `base` when leaves are fed through
+                    // inverters selected by `mask`.
+                    let mut f = base.truth_table().flip_vars(mask);
+                    if out_neg {
+                        f = !f;
+                    }
+                    let idx = f.bits() as usize;
+                    let entry = &mut table[mask as usize][idx];
+                    // Distinct (base, polarity) realizations never collide on
+                    // the same function bits for a fixed mask, so first write
+                    // wins; iteration order (XOR3 < MAJ3 < OR3, plain before
+                    // negated) makes the choice deterministic.
+                    if entry.is_none() {
+                        *entry = Some(T1Match { base, output_negated: out_neg });
+                    }
+                }
+            }
+        }
+        T1MatchDb { table }
+    }
+
+    /// Looks up a 3-input function under a given input-polarity mask.
+    ///
+    /// Returns `None` when the T1 cell cannot produce the function with that
+    /// mask.
+    ///
+    /// # Panics
+    /// Panics if `tt` does not have exactly 3 variables or `mask >= 8`.
+    pub fn lookup(&self, tt: &TruthTable, mask: u8) -> Option<T1Match> {
+        assert_eq!(tt.num_vars(), 3, "T1 matching requires 3-input functions");
+        assert!(mask < 8, "mask must be a 3-bit polarity mask");
+        self.table[mask as usize][tt.bits() as usize]
+    }
+
+    /// All masks under which `tt` is realizable, with their matches.
+    ///
+    /// # Panics
+    /// Panics if `tt` does not have exactly 3 variables.
+    pub fn all_masks(&self, tt: &TruthTable) -> Vec<(u8, T1Match)> {
+        assert_eq!(tt.num_vars(), 3, "T1 matching requires 3-input functions");
+        (0u8..8)
+            .filter_map(|m| self.table[m as usize][tt.bits() as usize].map(|r| (m, r)))
+            .collect()
+    }
+
+    /// True if `tt` is realizable under at least one polarity mask.
+    pub fn is_t1_function(&self, tt: &TruthTable) -> bool {
+        !self.all_masks(tt).is_empty()
+    }
+}

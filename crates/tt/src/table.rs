@@ -1,0 +1,433 @@
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Error raised when constructing a [`TruthTable`] from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TruthTableError {
+    /// The requested variable count is outside `0..=6`.
+    TooManyVars(usize),
+    /// A variable index was not smaller than the variable count.
+    VarOutOfRange { var: usize, num_vars: usize },
+    /// Raw bits contained ones above the `2^n` valid positions.
+    ExcessBits,
+}
+
+impl fmt::Display for TruthTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruthTableError::TooManyVars(n) => {
+                write!(f, "truth tables support at most 6 variables, got {n}")
+            }
+            TruthTableError::VarOutOfRange { var, num_vars } => {
+                write!(f, "variable index {var} out of range for {num_vars} variables")
+            }
+            TruthTableError::ExcessBits => {
+                write!(f, "raw truth-table bits set above the 2^n valid positions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TruthTableError {}
+
+/// A complete truth table of a Boolean function with `n ≤ 6` inputs.
+///
+/// Bit `i` of [`bits`](Self::bits) holds the function value on the input
+/// assignment whose binary encoding is `i` (variable 0 is the least
+/// significant input). Bits above `2^n` are kept at zero — an invariant all
+/// constructors and operators preserve.
+///
+/// The type is `Copy` and cheap to hash, which cut enumeration exploits.
+///
+/// # Example
+///
+/// ```
+/// use sfq_tt::TruthTable;
+/// let xor3 = TruthTable::xor3();
+/// assert_eq!(xor3.num_vars(), 3);
+/// assert_eq!(xor3.count_ones(), 4);
+/// assert!(xor3.eval(&[true, false, false]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    bits: u64,
+    num_vars: u8,
+}
+
+/// Bit patterns of each input variable over the 64 rows of a 6-var table.
+const VAR_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+impl TruthTable {
+    /// Largest supported variable count.
+    pub const MAX_VARS: usize = 6;
+
+    /// The constant-zero function of `num_vars` variables.
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 6`.
+    pub fn zero(num_vars: usize) -> Self {
+        assert!(num_vars <= Self::MAX_VARS, "at most 6 variables");
+        TruthTable { bits: 0, num_vars: num_vars as u8 }
+    }
+
+    /// The constant-one function of `num_vars` variables.
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 6`.
+    pub fn one(num_vars: usize) -> Self {
+        let mut t = Self::zero(num_vars);
+        t.bits = t.full_mask();
+        t
+    }
+
+    /// The projection function returning input `var` among `num_vars` inputs.
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 6` or `var >= num_vars`.
+    pub fn var(num_vars: usize, var: usize) -> Self {
+        assert!(num_vars <= Self::MAX_VARS, "at most 6 variables");
+        assert!(var < num_vars, "variable index out of range");
+        let mut t = Self::zero(num_vars);
+        t.bits = VAR_PATTERNS[var] & t.full_mask();
+        t
+    }
+
+    /// Builds a table from raw bits.
+    ///
+    /// # Errors
+    /// Returns [`TruthTableError::TooManyVars`] if `num_vars > 6` and
+    /// [`TruthTableError::ExcessBits`] if `bits` has ones above `2^num_vars`.
+    pub fn from_bits(num_vars: usize, bits: u64) -> Result<Self, TruthTableError> {
+        if num_vars > Self::MAX_VARS {
+            return Err(TruthTableError::TooManyVars(num_vars));
+        }
+        let t = TruthTable { bits, num_vars: num_vars as u8 };
+        if bits & !t.full_mask() != 0 {
+            return Err(TruthTableError::ExcessBits);
+        }
+        Ok(t)
+    }
+
+    /// Builds a table from raw bits, masking away any excess bits.
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 6`.
+    pub fn from_bits_truncated(num_vars: usize, bits: u64) -> Self {
+        let mut t = Self::zero(num_vars);
+        t.bits = bits & t.full_mask();
+        t
+    }
+
+    /// Three-input exclusive OR (the T1 cell's `S` output).
+    pub fn xor3() -> Self {
+        Self::from_bits_truncated(3, 0x96)
+    }
+
+    /// Three-input majority (the T1 cell's `C` output).
+    pub fn maj3() -> Self {
+        Self::from_bits_truncated(3, 0xE8)
+    }
+
+    /// Three-input OR (the T1 cell's `Q` output).
+    pub fn or3() -> Self {
+        Self::from_bits_truncated(3, 0xFE)
+    }
+
+    /// Raw output column, valid in the low `2^n` bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Number of rows (`2^n`).
+    pub fn num_rows(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    fn full_mask(&self) -> u64 {
+        if self.num_vars == 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << self.num_vars)) - 1
+        }
+    }
+
+    /// Evaluates the function on one assignment (`inputs.len() == n`).
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != num_vars()`.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_vars(), "wrong input count");
+        let mut row = 0usize;
+        for (i, &b) in inputs.iter().enumerate() {
+            if b {
+                row |= 1 << i;
+            }
+        }
+        (self.bits >> row) & 1 == 1
+    }
+
+    /// Evaluates the function on a row index encoding the assignment.
+    pub fn eval_row(&self, row: usize) -> bool {
+        debug_assert!(row < self.num_rows());
+        (self.bits >> row) & 1 == 1
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// True if the function is constant (zero or one).
+    pub fn is_constant(&self) -> bool {
+        self.bits == 0 || self.bits == self.full_mask()
+    }
+
+    /// Negative cofactor with respect to variable `var`.
+    ///
+    /// The result still has `n` variables; `var` becomes a don't-care.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn cofactor0(&self, var: usize) -> Self {
+        assert!(var < self.num_vars(), "variable index out of range");
+        let p = VAR_PATTERNS[var];
+        let shift = 1u32 << var;
+        let lo = self.bits & !p;
+        TruthTable {
+            bits: (lo | (lo << shift)) & self.full_mask(),
+            num_vars: self.num_vars,
+        }
+    }
+
+    /// Positive cofactor with respect to variable `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn cofactor1(&self, var: usize) -> Self {
+        assert!(var < self.num_vars(), "variable index out of range");
+        let p = VAR_PATTERNS[var];
+        let shift = 1u32 << var;
+        let hi = self.bits & p;
+        TruthTable {
+            bits: (hi | (hi >> shift)) & self.full_mask(),
+            num_vars: self.num_vars,
+        }
+    }
+
+    /// True if the function does not depend on variable `var`.
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn is_dont_care(&self, var: usize) -> bool {
+        self.cofactor0(var) == self.cofactor1(var)
+    }
+
+    /// Bitmask of variables the function actually depends on.
+    pub fn support_mask(&self) -> u8 {
+        let mut m = 0u8;
+        for v in 0..self.num_vars() {
+            if !self.is_dont_care(v) {
+                m |= 1 << v;
+            }
+        }
+        m
+    }
+
+    /// Number of variables in the functional support.
+    pub fn support_size(&self) -> usize {
+        self.support_mask().count_ones() as usize
+    }
+
+    /// Returns the same function with inputs `a` and `b` swapped.
+    ///
+    /// # Panics
+    /// Panics if `a` or `b` is out of range.
+    pub fn swap_vars(&self, a: usize, b: usize) -> Self {
+        assert!(a < self.num_vars() && b < self.num_vars());
+        if a == b {
+            return *self;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        let mut out = 0u64;
+        for row in 0..self.num_rows() {
+            let ba = (row >> a) & 1;
+            let bb = (row >> b) & 1;
+            let mut src = row & !((1 << a) | (1 << b));
+            src |= bb << a;
+            src |= ba << b;
+            out |= u64::from(self.eval_row(src)) << row;
+        }
+        TruthTable { bits: out, num_vars: self.num_vars }
+    }
+
+    /// Applies a permutation of inputs: new input `i` is old input `perm[i]`.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permute_vars(&self, perm: &[usize]) -> Self {
+        let n = self.num_vars();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = [false; 6];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut out = 0u64;
+        for row in 0..self.num_rows() {
+            // Row in the *new* table; build the old row it reads from.
+            let mut src = 0usize;
+            for (new_i, &old_i) in perm.iter().enumerate() {
+                if (row >> new_i) & 1 == 1 {
+                    src |= 1 << old_i;
+                }
+            }
+            out |= u64::from(self.eval_row(src)) << row;
+        }
+        TruthTable { bits: out, num_vars: self.num_vars }
+    }
+
+    /// Negates input `var` (substitutes `¬x` for `x`).
+    ///
+    /// # Panics
+    /// Panics if `var >= num_vars()`.
+    pub fn flip_var(&self, var: usize) -> Self {
+        assert!(var < self.num_vars(), "variable index out of range");
+        let p = VAR_PATTERNS[var] & self.full_mask();
+        let shift = 1u32 << var;
+        let hi = self.bits & p;
+        let lo = self.bits & !p;
+        TruthTable {
+            bits: ((hi >> shift) | (lo << shift)) & self.full_mask(),
+            num_vars: self.num_vars,
+        }
+    }
+
+    /// Negates inputs selected by `mask` (bit `i` set ⇒ input `i` negated).
+    pub fn flip_vars(&self, mask: u8) -> Self {
+        let mut t = *self;
+        for v in 0..self.num_vars() {
+            if (mask >> v) & 1 == 1 {
+                t = t.flip_var(v);
+            }
+        }
+        t
+    }
+
+    /// True if swapping any pair of inputs leaves the function unchanged.
+    ///
+    /// All three T1-realizable bases (XOR3, MAJ3, OR3) are totally symmetric,
+    /// which is why T1 matching only needs polarity enumeration.
+    pub fn is_totally_symmetric(&self) -> bool {
+        let n = self.num_vars();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.swap_vars(a, b) != *self {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extends the function to `new_num_vars` variables (new inputs are
+    /// don't-cares appended above the existing ones).
+    ///
+    /// # Panics
+    /// Panics if `new_num_vars` is smaller than the current count or exceeds 6.
+    pub fn extend_to(&self, new_num_vars: usize) -> Self {
+        assert!(new_num_vars >= self.num_vars(), "cannot shrink");
+        assert!(new_num_vars <= Self::MAX_VARS, "at most 6 variables");
+        let mut bits = self.bits;
+        let mut rows = self.num_rows();
+        for _ in self.num_vars()..new_num_vars {
+            bits |= bits << rows;
+            rows <<= 1;
+        }
+        TruthTable { bits, num_vars: new_num_vars as u8 }
+    }
+
+    /// Removes don't-care variables, compacting the support into the low
+    /// indices. Returns the shrunk table and, for each new variable, the old
+    /// variable index it came from.
+    pub fn shrink_to_support(&self) -> (Self, Vec<usize>) {
+        let support: Vec<usize> =
+            (0..self.num_vars()).filter(|&v| !self.is_dont_care(v)).collect();
+        let k = support.len();
+        let mut bits = 0u64;
+        for row in 0..(1usize << k) {
+            let mut src = 0usize;
+            for (new_i, &old_i) in support.iter().enumerate() {
+                if (row >> new_i) & 1 == 1 {
+                    src |= 1 << old_i;
+                }
+            }
+            bits |= u64::from(self.eval_row(src)) << row;
+        }
+        (TruthTable { bits, num_vars: k as u8 }, support)
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        TruthTable { bits: !self.bits & self.full_mask(), num_vars: self.num_vars }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: TruthTable) -> TruthTable {
+                assert_eq!(
+                    self.num_vars, rhs.num_vars,
+                    "truth-table operands must have the same variable count"
+                );
+                TruthTable { bits: self.bits $op rhs.bits, num_vars: self.num_vars }
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({}v, ", self.num_vars)?;
+        let digits = (self.num_rows() + 3) / 4;
+        write!(f, "{:0width$x})", self.bits, width = digits)
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = (self.num_rows() + 3) / 4;
+        write!(f, "{:0width$x}", self.bits, width = digits)
+    }
+}
+
+impl fmt::LowerHex for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}

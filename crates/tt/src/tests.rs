@@ -1,0 +1,338 @@
+use crate::{npn_canonize, T1Base, T1MatchDb, TruthTable, TruthTableError};
+use proptest::prelude::*;
+
+fn tt3(bits: u64) -> TruthTable {
+    TruthTable::from_bits(3, bits).unwrap()
+}
+
+#[test]
+fn constants_and_vars() {
+    for n in 0..=6 {
+        let z = TruthTable::zero(n);
+        let o = TruthTable::one(n);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(o.count_ones(), 1 << n);
+        assert!(z.is_constant() && o.is_constant());
+        assert_eq!(!z, o);
+        for v in 0..n {
+            let x = TruthTable::var(n, v);
+            assert_eq!(x.count_ones() as usize, 1 << (n - 1).max(0));
+            assert_eq!(x.support_mask(), 1 << v);
+        }
+    }
+}
+
+#[test]
+fn from_bits_validates() {
+    assert_eq!(TruthTable::from_bits(7, 0), Err(TruthTableError::TooManyVars(7)));
+    assert_eq!(TruthTable::from_bits(2, 0x10), Err(TruthTableError::ExcessBits));
+    assert!(TruthTable::from_bits(2, 0xF).is_ok());
+    assert_eq!(TruthTable::from_bits_truncated(2, 0xFF).bits(), 0xF);
+}
+
+#[test]
+fn eval_matches_bits() {
+    let maj = TruthTable::maj3();
+    assert!(!maj.eval(&[false, false, false]));
+    assert!(!maj.eval(&[true, false, false]));
+    assert!(maj.eval(&[true, true, false]));
+    assert!(maj.eval(&[true, true, true]));
+    let or3 = TruthTable::or3();
+    assert!(!or3.eval(&[false, false, false]));
+    assert!(or3.eval(&[false, false, true]));
+}
+
+#[test]
+fn boolean_algebra() {
+    let a = TruthTable::var(3, 0);
+    let b = TruthTable::var(3, 1);
+    let c = TruthTable::var(3, 2);
+    assert_eq!(a ^ b ^ c, TruthTable::xor3());
+    assert_eq!((a & b) | (a & c) | (b & c), TruthTable::maj3());
+    assert_eq!(a | b | c, TruthTable::or3());
+    // De Morgan.
+    assert_eq!(!(a & b), !a | !b);
+    assert_eq!(!(a | b), !a & !b);
+}
+
+#[test]
+fn cofactors_and_support() {
+    let a = TruthTable::var(3, 0);
+    let b = TruthTable::var(3, 1);
+    let f = a & b; // independent of c
+    assert!(f.is_dont_care(2));
+    assert!(!f.is_dont_care(0));
+    assert_eq!(f.support_mask(), 0b011);
+    assert_eq!(f.support_size(), 2);
+    // Shannon expansion: f = ¬x·f0 + x·f1.
+    for v in 0..3 {
+        let maj = TruthTable::maj3();
+        let x = TruthTable::var(3, v);
+        let expanded = (!x & maj.cofactor0(v)) | (x & maj.cofactor1(v));
+        assert_eq!(expanded, maj);
+    }
+}
+
+#[test]
+fn swap_and_permute() {
+    let a = TruthTable::var(3, 0);
+    let c = TruthTable::var(3, 2);
+    let f = a & !c;
+    let g = f.swap_vars(0, 2);
+    assert_eq!(g, c & !a);
+    // permute_vars with rotation: new input i reads old perm[i].
+    let rot = f.permute_vars(&[1, 2, 0]);
+    let b = TruthTable::var(3, 1);
+    // new var0 = old var1, new var1 = old var2, new var2 = old var0:
+    // f(a,c) = a & !c  becomes  f evaluated with a ↦ position of old 0.
+    // old var0 appears at new slot 2; old var2 appears at new slot 1.
+    assert_eq!(rot, c & !b);
+}
+
+#[test]
+fn flip_vars_involution() {
+    let maj = TruthTable::maj3();
+    for m in 0u8..8 {
+        assert_eq!(maj.flip_vars(m).flip_vars(m), maj);
+    }
+    // XOR3 linearity: flipping odd #inputs complements the function.
+    let xor = TruthTable::xor3();
+    assert_eq!(xor.flip_var(0), !xor);
+    assert_eq!(xor.flip_vars(0b011), xor);
+    assert_eq!(xor.flip_vars(0b111), !xor);
+}
+
+#[test]
+fn total_symmetry() {
+    assert!(TruthTable::xor3().is_totally_symmetric());
+    assert!(TruthTable::maj3().is_totally_symmetric());
+    assert!(TruthTable::or3().is_totally_symmetric());
+    let a = TruthTable::var(3, 0);
+    let b = TruthTable::var(3, 1);
+    assert!(!(a & !b).is_totally_symmetric());
+}
+
+#[test]
+fn extend_and_shrink() {
+    let and2 = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+    let ext = and2.extend_to(4);
+    assert_eq!(ext.num_vars(), 4);
+    assert!(ext.is_dont_care(2) && ext.is_dont_care(3));
+    let (shrunk, support) = ext.shrink_to_support();
+    assert_eq!(shrunk, and2);
+    assert_eq!(support, vec![0, 1]);
+
+    // Shrinking picks up scattered support.
+    let f = TruthTable::var(4, 1) ^ TruthTable::var(4, 3);
+    let (s, sup) = f.shrink_to_support();
+    assert_eq!(sup, vec![1, 3]);
+    assert_eq!(s, TruthTable::var(2, 0) ^ TruthTable::var(2, 1));
+}
+
+#[test]
+fn npn_groups_known_classes() {
+    // All 2-input AND-like gates share one NPN class.
+    let and2 = TruthTable::from_bits(2, 0x8).unwrap();
+    let nand2 = !and2;
+    let or2 = TruthTable::from_bits(2, 0xE).unwrap();
+    let nor2 = !or2;
+    let canon = npn_canonize(&and2).0;
+    for f in [nand2, or2, nor2] {
+        assert_eq!(npn_canonize(&f).0, canon);
+    }
+    // XOR and AND are in different classes.
+    let xor2 = TruthTable::from_bits(2, 0x6).unwrap();
+    assert_ne!(npn_canonize(&xor2).0, canon);
+}
+
+#[test]
+fn npn_transform_reproduces_canon() {
+    for bits in 0u64..256 {
+        let f = tt3(bits);
+        let (canon, tf) = npn_canonize(&f);
+        assert_eq!(tf.apply(&f), canon, "transform must map f to canon for {bits:#x}");
+    }
+}
+
+#[test]
+fn npn_class_count_3vars() {
+    // The number of NPN classes of exactly-3-variable-or-fewer functions is
+    // a known constant: 14 classes over all 256 functions.
+    let mut classes = std::collections::HashSet::new();
+    for bits in 0u64..256 {
+        classes.insert(npn_canonize(&tt3(bits)).0);
+    }
+    assert_eq!(classes.len(), 14);
+}
+
+#[test]
+fn t1db_matches_bases() {
+    let db = T1MatchDb::new();
+    let m = db.lookup(&TruthTable::xor3(), 0).unwrap();
+    assert_eq!(m.base, T1Base::Xor3);
+    assert!(!m.output_negated);
+    let m = db.lookup(&TruthTable::maj3(), 0).unwrap();
+    assert_eq!(m.base, T1Base::Maj3);
+    assert!(!m.output_negated);
+    let m = db.lookup(&TruthTable::or3(), 0).unwrap();
+    assert_eq!(m.base, T1Base::Or3);
+    assert!(!m.output_negated);
+    // Complements at mask 0 require output negation.
+    assert!(db.lookup(&!TruthTable::maj3(), 0).unwrap().output_negated);
+    assert!(db.lookup(&!TruthTable::or3(), 0).unwrap().output_negated);
+}
+
+#[test]
+fn t1db_mask_semantics() {
+    let db = T1MatchDb::new();
+    for mask in 0u8..8 {
+        for base in T1Base::ALL {
+            // The physically produced function under this mask:
+            let f = base.truth_table().flip_vars(mask);
+            let m = db.lookup(&f, mask).unwrap();
+            assert_eq!(m.base, base);
+            assert!(!m.output_negated);
+            let m = db.lookup(&!f, mask).unwrap();
+            assert_eq!(m.base, base);
+            assert!(m.output_negated);
+        }
+    }
+}
+
+#[test]
+fn t1db_rejects_non_t1_functions() {
+    let db = T1MatchDb::new();
+    let a = TruthTable::var(3, 0);
+    let b = TruthTable::var(3, 1);
+    let c = TruthTable::var(3, 2);
+    // a ⊕ (b·c) is not realizable under any polarity.
+    assert!(!db.is_t1_function(&(a ^ (b & c))));
+    // MUX(a; b, c) is not.
+    assert!(!db.is_t1_function(&((a & b) | (!a & c))));
+    // AND3, by contrast, *is* realizable: negate all inputs and invert Q*
+    // (¬(¬a ∨ ¬b ∨ ¬c) = a·b·c) — but only under the all-negated mask.
+    let and3 = a & b & c;
+    let masks = db.all_masks(&and3);
+    assert_eq!(masks.len(), 1);
+    assert_eq!(masks[0].0, 0b111);
+    assert_eq!(masks[0].1.base, T1Base::Or3);
+    assert!(masks[0].1.output_negated);
+}
+
+#[test]
+fn t1db_xor_matches_under_every_mask() {
+    let db = T1MatchDb::new();
+    let xor = TruthTable::xor3();
+    assert_eq!(db.all_masks(&xor).len(), 8);
+    assert_eq!(db.all_masks(&!xor).len(), 8);
+    // MAJ3 matches plain under exactly one mask (and negated under one).
+    let plain: Vec<_> = db
+        .all_masks(&TruthTable::maj3())
+        .into_iter()
+        .filter(|(_, m)| !m.output_negated)
+        .collect();
+    assert_eq!(plain.len(), 1);
+    assert_eq!(plain[0].0, 0);
+}
+
+#[test]
+fn t1db_counts_realizable_functions() {
+    // Under a fixed mask the realizable set is {XOR3, XNOR3, MAJ^m, ¬MAJ^m,
+    // OR^m, ¬OR^m} — six distinct functions.
+    let db = T1MatchDb::new();
+    for mask in 0u8..8 {
+        let count = (0u64..256).filter(|&b| db.lookup(&tt3(b), mask).is_some()).count();
+        assert_eq!(count, 6, "mask {mask}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_not_involution(bits in 0u64..256) {
+        let f = tt3(bits);
+        prop_assert_eq!(!!f, f);
+    }
+
+    #[test]
+    fn prop_cofactor_eliminates_var(bits in 0u64..256, var in 0usize..3) {
+        let f = tt3(bits);
+        prop_assert!(f.cofactor0(var).is_dont_care(var));
+        prop_assert!(f.cofactor1(var).is_dont_care(var));
+    }
+
+    #[test]
+    fn prop_flip_matches_pointwise(bits in 0u64..256, mask in 0u8..8) {
+        let f = tt3(bits);
+        let g = f.flip_vars(mask);
+        for row in 0..8usize {
+            prop_assert_eq!(g.eval_row(row), f.eval_row(row ^ mask as usize));
+        }
+    }
+
+    #[test]
+    fn prop_permute_matches_pointwise(bits in 0u64..256, seed in 0usize..6) {
+        const PERMS: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = PERMS[seed];
+        let f = tt3(bits);
+        let g = f.permute_vars(&perm);
+        for row in 0..8usize {
+            // new input i reads old input perm[i]
+            let mut src = 0usize;
+            for (new_i, &old_i) in perm.iter().enumerate() {
+                if (row >> new_i) & 1 == 1 {
+                    src |= 1 << old_i;
+                }
+            }
+            prop_assert_eq!(g.eval_row(row), f.eval_row(src));
+        }
+    }
+
+    #[test]
+    fn prop_npn_canonical_is_invariant(bits in 0u64..256, mask in 0u8..8, seed in 0usize..6, out_neg: bool) {
+        const PERMS: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let f = tt3(bits);
+        let mut g = f.flip_vars(mask).permute_vars(&PERMS[seed]);
+        if out_neg { g = !g; }
+        prop_assert_eq!(npn_canonize(&f).0, npn_canonize(&g).0);
+    }
+
+    #[test]
+    fn prop_extend_preserves_eval(bits in 0u64..16) {
+        let f = TruthTable::from_bits(2, bits).unwrap();
+        let g = f.extend_to(4);
+        for row in 0..16usize {
+            prop_assert_eq!(g.eval_row(row), f.eval_row(row & 3));
+        }
+    }
+
+    #[test]
+    fn prop_shrink_then_extend_roundtrip(bits in 0u64..256) {
+        let f = tt3(bits);
+        let (s, support) = f.shrink_to_support();
+        prop_assert_eq!(s.support_size(), s.num_vars());
+        // Re-expand and compare pointwise.
+        for row in 0..8usize {
+            let mut small = 0usize;
+            for (new_i, &old_i) in support.iter().enumerate() {
+                if (row >> old_i) & 1 == 1 {
+                    small |= 1 << new_i;
+                }
+            }
+            prop_assert_eq!(f.eval_row(row), s.eval_row(small));
+        }
+    }
+
+    #[test]
+    fn prop_t1_match_is_sound(bits in 0u64..256, mask in 0u8..8) {
+        let db = T1MatchDb::new();
+        let f = tt3(bits);
+        if let Some(m) = db.lookup(&f, mask) {
+            // Reconstruct: base(inputs ^ mask) [⊕ out] must equal f.
+            let mut g = m.base.truth_table().flip_vars(mask);
+            if m.output_negated { g = !g; }
+            prop_assert_eq!(g, f);
+        }
+    }
+}

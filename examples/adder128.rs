@@ -1,0 +1,79 @@
+//! The paper's headline result: the 128-bit adder.
+//!
+//! Table I reports that T1-aware mapping shrinks the EPFL `adder` (128-bit)
+//! by 25 % in area versus the 4-phase baseline, with nearly the whole
+//! circuit absorbed into T1 cells (127 found, 127 used — one per full adder
+//! along the ripple chain). This example reruns that experiment and prints
+//! the same ratios.
+//!
+//! ```text
+//! cargo run --release --example adder128
+//! ```
+//! Pass a different width as the first argument to scale the experiment
+//! (e.g. `cargo run --release --example adder128 -- 32`).
+
+use sfq_t1::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(128);
+
+    let aig = sfq_t1::circuits::adder(bits);
+    println!(
+        "design: {} ({} inputs, {} outputs, {} AIG nodes)\n",
+        aig.name(),
+        aig.num_inputs(),
+        aig.num_outputs(),
+        aig.num_ands()
+    );
+
+    let one_phase = run_flow(&aig, &FlowConfig::single_phase())?.report;
+    let four_phase = run_flow(&aig, &FlowConfig::multiphase(4))?.report;
+    let t1 = run_flow(&aig, &FlowConfig::t1(4))?.report;
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>8} {:>10} {:>8}",
+        "flow", "found", "used", "#DFF", "area (JJ)", "depth"
+    );
+    for (label, r, found) in [
+        ("1-phase", &one_phase, None),
+        ("4-phase", &four_phase, None),
+        ("4φ + T1", &t1, Some(t1.t1_found)),
+    ] {
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>10} {:>8}",
+            label,
+            found.map_or(String::from("-"), |f| f.to_string()),
+            if r.t1_used > 0 { r.t1_used.to_string() } else { String::from("-") },
+            r.num_dffs,
+            r.area,
+            r.depth_cycles
+        );
+    }
+
+    let ratio = |x: u64, y: u64| x as f64 / y as f64;
+    println!(
+        "\nDFF ratio  T1 vs 1φ: {:.2}   T1 vs 4φ: {:.2}",
+        ratio(t1.num_dffs as u64, one_phase.num_dffs as u64),
+        ratio(t1.num_dffs as u64, four_phase.num_dffs as u64)
+    );
+    println!(
+        "area ratio T1 vs 1φ: {:.2}   T1 vs 4φ: {:.2}   (paper: 0.20 / 0.75)",
+        ratio(t1.area, one_phase.area),
+        ratio(t1.area, four_phase.area)
+    );
+    println!(
+        "depth      1φ: {}   4φ: {}   T1: {} cycles",
+        one_phase.depth_cycles, four_phase.depth_cycles, t1.depth_cycles
+    );
+
+    // The paper's structural claim: one T1 cell per full adder.
+    assert!(
+        t1.t1_used >= bits - 1,
+        "the ripple chain should be nearly fully absorbed into T1 cells"
+    );
+    Ok(())
+}

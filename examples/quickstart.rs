@@ -1,0 +1,74 @@
+//! Quickstart: run the paper's three flows (1φ, 4φ, 4φ+T1) on a small
+//! ripple-carry adder and print a miniature Table I row.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sfq_t1::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-bit ripple-carry adder: the FA-dominated structure the T1 cell
+    // was made for (the paper's headline benchmark is the 128-bit version;
+    // see `examples/adder128.rs`).
+    let aig = sfq_t1::circuits::adder(16);
+    println!("design: {} ({} AIG nodes)\n", aig.name(), aig.num_ands());
+
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>10} {:>8}",
+        "flow", "T1", "gates", "#DFF", "area (JJ)", "depth"
+    );
+
+    let flows: [(&str, FlowConfig); 3] = [
+        ("1-phase", FlowConfig::single_phase()),
+        ("4-phase", FlowConfig::multiphase(4)),
+        ("4φ + T1", FlowConfig::t1(4)),
+    ];
+
+    let mut reports = Vec::new();
+    for (label, config) in flows {
+        let result = run_flow(&aig, &config)?;
+        let r = &result.report;
+        println!(
+            "{:<10} {:>6} {:>8} {:>8} {:>10} {:>8}",
+            label, r.t1_used, r.num_gates, r.num_dffs, r.area, r.depth_cycles
+        );
+
+        // Every flow result is already audited and equivalence-checked, but
+        // demonstrate the pulse-level simulator on real input waves too.
+        let waves = vec![
+            vec![true; aig.num_inputs()],
+            vec![false; aig.num_inputs()],
+        ];
+        let outs = simulate_waves(&result.timed, &waves)?;
+        assert_eq!(outs.len(), 2, "one output wave per input wave");
+        reports.push(result.report);
+    }
+
+    let base = reports[1].area as f64; // 4φ baseline, as in the paper
+    let t1 = reports[2].area as f64;
+    println!(
+        "\nT1 flow area vs 4φ baseline: {:.2}× ({}% saved)",
+        t1 / base,
+        ((1.0 - t1 / base) * 100.0).round()
+    );
+
+    // Where does the area go? The decomposition behind the paper's
+    // motivation: path balancing dominates the single-phase design.
+    let lib = sfq_t1::netlist::Library::default();
+    println!("\narea breakdown (JJ):");
+    println!("{:<10} {:>8} {:>8} {:>8} {:>10}", "flow", "gates", "T1", "DFFs", "splitters");
+    for (label, config) in [
+        ("1-phase", FlowConfig::single_phase()),
+        ("4-phase", FlowConfig::multiphase(4)),
+        ("4φ + T1", FlowConfig::t1(4)),
+    ] {
+        let result = run_flow(&aig, &config)?;
+        let b = result.timed.network.area_breakdown(&lib);
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>10}",
+            label, b.gates, b.t1_cells, b.dffs, b.splitters
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Majority voting through a full-adder popcount tree (EPFL `voter`).
+//!
+//! The `voter` benchmark decides an n-way majority by compressing the input
+//! column with carry-save full adders and comparing the population count
+//! against n/2 — a structure that is almost entirely XOR3/MAJ3 pairs, which
+//! is why Table I shows every one of its T1 candidates committed (252/252).
+//!
+//! This example runs a scaled voter, compares the three flows, and then
+//! validates the winner against a plain software majority on random ballots
+//! using the pulse-level simulator — i.e. the *timed* netlist with all its
+//! DFFs and phase assignments, not just the Boolean network.
+//!
+//! ```text
+//! cargo run --release --example voter_popcount [voters]
+//! ```
+
+use sfq_t1::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(63);
+    let aig = sfq_t1::circuits::voter(n);
+    println!("design: {} ({} AIG nodes)\n", aig.name(), aig.num_ands());
+
+    let four_phase = run_flow(&aig, &FlowConfig::multiphase(4))?;
+    let t1 = run_flow(&aig, &FlowConfig::t1(4))?;
+
+    let (r4, rt) = (&four_phase.report, &t1.report);
+    println!("T1 cells found/used: {}/{}", rt.t1_found, rt.t1_used);
+    println!(
+        "4φ baseline: {:>8} JJ, {:>6} DFFs, depth {}",
+        r4.area, r4.num_dffs, r4.depth_cycles
+    );
+    println!(
+        "T1 flow:     {:>8} JJ, {:>6} DFFs, depth {}   (area ratio {:.2})",
+        rt.area,
+        rt.num_dffs,
+        rt.depth_cycles,
+        rt.area as f64 / r4.area as f64
+    );
+
+    // Pulse-accurate validation on random ballots.
+    let mut state = 0xD1B5_4A32_D192_ED03u64;
+    let mut next_bit = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 1
+    };
+    let ballots: Vec<Vec<bool>> =
+        (0..16).map(|_| (0..n).map(|_| next_bit()).collect()).collect();
+    let outs = simulate_waves(&t1.timed, &ballots)?;
+    for (ballot, out) in ballots.iter().zip(&outs) {
+        let ones = ballot.iter().filter(|&&b| b).count();
+        let expected = ones > n / 2;
+        assert_eq!(out[0], expected, "majority of {ones}/{n} ones");
+    }
+    println!("\n16 random ballots: pulse-level majority matches software count");
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! Interchange-format integration: AIGER and BLIF round-trips preserve
+//! function; BLIF/Verilog/DOT/VCD exports stay well-formed on real flow
+//! artifacts.
+
+use sfq_t1::netlist::{aiger, export};
+use sfq_t1::prelude::*;
+use sfq_t1::sim::{vcd, PulseSim};
+
+#[test]
+fn aiger_round_trip_preserves_benchmark_functions() {
+    for aig in [
+        sfq_t1::circuits::adder(12),
+        sfq_t1::circuits::c7552_sized(6),
+        sfq_t1::circuits::multiplier(5),
+    ] {
+        let mut text = Vec::new();
+        aiger::write_aag(&aig, &mut text).expect("write aag");
+        let back = aiger::read_aag(text.as_slice(), aig.name()).expect("read aag");
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        let pats: Vec<u64> = (0..aig.num_inputs())
+            .map(|i| 0x243F_6A88_85A3_08D3u64.rotate_left(i as u32 * 11))
+            .collect();
+        assert_eq!(aig.simulate(&pats), back.simulate(&pats), "{}", aig.name());
+    }
+}
+
+#[test]
+fn aiger_reader_rejects_malformed_files() {
+    let cases: [&str; 4] = [
+        "",                       // empty
+        "aig 1 1 0 1 0\n2\n2\n",  // binary header keyword
+        "aag 1 1 1 1 0\n2\n2\n",  // latches unsupported
+        "aag x y z w v\n",        // unparsable counts
+    ];
+    for text in cases {
+        assert!(
+            aiger::read_aag(text.as_bytes(), "bad").is_err(),
+            "accepted malformed file: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn blif_of_t1_flow_contains_subckts_and_balanced_model() {
+    let aig = sfq_t1::circuits::adder(8);
+    let flow = run_flow(&aig, &FlowConfig::t1(4)).expect("flow");
+    let blif = export::render_blif(&flow.timed.network);
+    assert!(blif.contains(".model adder8"));
+    assert!(blif.contains(".subckt t1_cell"), "committed T1 cells appear as subckts");
+    assert!(blif.contains(".latch"), "path-balancing DFFs appear as latches");
+    assert!(blif.contains(".model t1_cell"), "companion model emitted");
+    // Every .model has exactly one .end.
+    assert_eq!(blif.matches(".model").count(), blif.matches(".end").count());
+}
+
+#[test]
+fn blif_round_trip_preserves_mapped_benchmark_functions() {
+    // Map (no retiming — the parser reads the combinational subset), render
+    // BLIF, parse it back, and check functional equivalence against the AIG.
+    for aig in [
+        sfq_t1::circuits::adder(10),
+        sfq_t1::circuits::c7552_sized(5),
+        sfq_t1::circuits::square(5),
+    ] {
+        let net = sfq_t1::netlist::map_aig(&aig, &sfq_t1::netlist::Library::default());
+        let text = export::render_blif(&net);
+        let back = parse_blif(&text).expect("exported blif parses");
+        let pats: Vec<u64> = (0..aig.num_inputs())
+            .map(|i| 0xC90F_DAA2_2168_C234u64.rotate_left(i as u32 * 13))
+            .collect();
+        assert_eq!(aig.simulate(&pats), back.simulate(&pats), "{}", aig.name());
+    }
+}
+
+#[test]
+fn blif_parsed_benchmarks_run_the_full_t1_flow() {
+    // External-netlist story end to end: BLIF in, T1 flow out, verified.
+    let aig = sfq_t1::circuits::adder(8);
+    let net = sfq_t1::netlist::map_aig(&aig, &sfq_t1::netlist::Library::default());
+    let reread = parse_blif(&export::render_blif(&net)).expect("parse");
+    let flow = run_flow(&reread, &FlowConfig::t1(4)).expect("flow on parsed blif");
+    assert!(flow.report.t1_used > 0, "T1 cells commit on the re-imported adder");
+}
+
+#[test]
+fn verilog_of_t1_flow_is_structurally_complete() {
+    let aig = sfq_t1::circuits::adder(8);
+    let flow = run_flow(&aig, &FlowConfig::t1(4)).expect("flow");
+    let net = &flow.timed.network;
+    let v = export::render_verilog(net);
+    assert!(v.contains("module SFQ_T1"), "T1 library module emitted");
+    assert!(v.contains("module SFQ_DFF"), "DFF library module emitted");
+    // One instance per non-input cell.
+    let instances = v
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            t.starts_with("SFQ_") && t.contains('(')
+        })
+        .count();
+    let cells = net
+        .cell_ids()
+        .filter(|&id| net.kind(id).is_clocked())
+        .count();
+    assert_eq!(instances, cells, "one instance per clocked cell");
+    // One assign per primary output.
+    let assigns = v.lines().filter(|l| l.trim_start().starts_with("assign ")).count();
+    assert!(assigns >= net.num_outputs(), "every output is driven");
+}
+
+#[test]
+fn dot_of_t1_flow_is_structurally_complete() {
+    let aig = sfq_t1::circuits::voter(9);
+    let flow = run_flow(&aig, &FlowConfig::t1(4)).expect("flow");
+    let net = &flow.timed.network;
+    let dot = export::render_dot(net, Some(&flow.timed.stages));
+    // One node line per cell and output, one edge line per fanin + output.
+    let nodes = dot.lines().filter(|l| l.contains("[label=")).count();
+    assert_eq!(nodes, net.num_cells() + net.num_outputs());
+    let edges = dot.lines().filter(|l| l.contains("->")).count();
+    let fanins: usize = net.cell_ids().map(|id| net.fanins(id).len()).sum();
+    assert_eq!(edges, fanins + net.num_outputs());
+}
+
+#[test]
+fn vcd_of_pipelined_run_is_loadable_shaped() {
+    let aig = sfq_t1::circuits::adder(6);
+    let flow = run_flow(&aig, &FlowConfig::t1(4)).expect("flow");
+    let sim = PulseSim::new(&flow.timed);
+    let waves: Vec<Vec<bool>> = (0..3)
+        .map(|w| (0..aig.num_inputs()).map(|i| (i + w) % 2 == 0).collect())
+        .collect();
+    let (outs, trace) = sim.run_traced(&waves).expect("clean run");
+    assert_eq!(outs.len(), 3);
+    let dump = vcd::render_vcd(&flow.timed, &trace);
+    assert!(dump.contains("$enddefinitions $end"));
+    // Time stamps strictly increase.
+    let mut last = -1i64;
+    for line in dump.lines() {
+        if let Some(t) = line.strip_prefix('#') {
+            let t: i64 = t.parse().expect("numeric timestamp");
+            assert!(t > last, "timestamps must increase: {t} after {last}");
+            last = t;
+        }
+    }
+    assert!(last > 0, "dump covers real time");
+}
+
+#[test]
+fn exports_work_on_every_small_benchmark() {
+    for bench in Benchmark::ALL {
+        let aig = bench.build_small();
+        let mut text = Vec::new();
+        aiger::write_aag(&aig, &mut text).expect("write");
+        let back = aiger::read_aag(text.as_slice(), bench.name()).expect("read");
+        let pats: Vec<u64> = (0..aig.num_inputs())
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32 * 7))
+            .collect();
+        assert_eq!(aig.simulate(&pats), back.simulate(&pats), "{}", bench.name());
+
+        let net = sfq_t1::netlist::map_aig(&aig, &sfq_t1::netlist::Library::default());
+        let blif = export::render_blif(&net);
+        assert!(blif.contains(&format!(".model {}", export_safe(bench.name()))));
+        let dot = export::render_dot(&net, None);
+        assert!(dot.starts_with("digraph"));
+    }
+}
+
+fn export_safe(name: &str) -> String {
+    name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}

@@ -1,0 +1,141 @@
+//! Property-based end-to-end testing: random AIGs through every flow.
+//!
+//! The flow self-verifies (structural timing audit + bit-parallel
+//! equivalence over 256 random vectors), so the property "run_flow returns
+//! Ok" already covers the paper's correctness claims; on top of that we
+//! cross-check the pulse-level simulator and the engines against each other.
+
+use proptest::prelude::*;
+use sfq_t1::prelude::*;
+use sfq_t1::netlist::Aig;
+
+/// A recipe for one random AIG node.
+#[derive(Debug, Clone)]
+enum Op {
+    And(usize, usize, bool, bool),
+    Xor(usize, usize),
+    Maj(usize, usize, usize),
+    FullAdder(usize, usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, ca, cb)| Op::And(a, b, ca, cb)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Xor(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(a, b, c)| Op::Maj(a, b, c)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(a, b, c)| Op::FullAdder(a, b, c)),
+    ]
+}
+
+/// Materializes a recipe into an AIG; indices select among existing
+/// literals modulo the pool size, so every recipe is valid by construction.
+fn build_aig(num_inputs: usize, ops: &[Op], num_outputs: usize) -> Aig {
+    let mut aig = Aig::new("random");
+    let mut pool: Vec<AigLit> = (0..num_inputs).map(|i| aig.input(format!("i{i}"))).collect();
+    for op in ops {
+        let lit = |idx: usize, pool: &[AigLit]| pool[idx % pool.len()];
+        let new = match *op {
+            Op::And(a, b, ca, cb) => {
+                let (mut x, mut y) = (lit(a, &pool), lit(b, &pool));
+                if ca {
+                    x = !x;
+                }
+                if cb {
+                    y = !y;
+                }
+                aig.and(x, y)
+            }
+            Op::Xor(a, b) => {
+                let (x, y) = (lit(a, &pool), lit(b, &pool));
+                aig.xor(x, y)
+            }
+            Op::Maj(a, b, c) => {
+                let (x, y, z) = (lit(a, &pool), lit(b, &pool), lit(c, &pool));
+                aig.maj(x, y, z)
+            }
+            Op::FullAdder(a, b, c) => {
+                let (x, y, z) = (lit(a, &pool), lit(b, &pool), lit(c, &pool));
+                let (s, co) = aig.full_adder(x, y, z);
+                pool.push(s);
+                co
+            }
+        };
+        pool.push(new);
+    }
+    for k in 0..num_outputs {
+        let lit = pool[pool.len() - 1 - (k % pool.len().min(8))];
+        aig.output(format!("o{k}"), lit);
+    }
+    aig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_networks_survive_all_flows(
+        num_inputs in 3usize..7,
+        ops in prop::collection::vec(op_strategy(), 4..40),
+        num_outputs in 1usize..4,
+    ) {
+        let aig = build_aig(num_inputs, &ops, num_outputs);
+        for config in [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+            // Ok(_) ⇒ audit passed and 256-vector equivalence held.
+            let result = run_flow(&aig, &config);
+            prop_assert!(result.is_ok(), "flow failed: {:?}", result.err().map(|e| e.to_string()));
+        }
+    }
+
+    #[test]
+    fn pulse_simulation_agrees_with_boolean_simulation(
+        num_inputs in 3usize..6,
+        ops in prop::collection::vec(op_strategy(), 4..24),
+        wave_seed in any::<u64>(),
+    ) {
+        let aig = build_aig(num_inputs, &ops, 2);
+        let result = run_flow(&aig, &FlowConfig::t1(4)).expect("flow succeeds");
+        let mut seed = wave_seed | 1;
+        let mut next = move || {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let waves: Vec<Vec<bool>> = (0..4)
+            .map(|_| (0..aig.num_inputs()).map(|_| next() >> 40 & 1 == 1).collect())
+            .collect();
+        let outs = simulate_waves(&result.timed, &waves).expect("no hazards");
+        for (w, (ins, got)) in waves.iter().zip(&outs).enumerate() {
+            let patterns: Vec<u64> =
+                ins.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+            let want: Vec<bool> =
+                aig.simulate(&patterns).iter().map(|&x| x & 1 == 1).collect();
+            prop_assert_eq!(got, &want, "wave {} disagrees", w);
+        }
+    }
+
+    #[test]
+    fn exact_engine_never_loses_to_heuristic(
+        num_inputs in 3usize..5,
+        ops in prop::collection::vec(op_strategy(), 3..14),
+    ) {
+        use sfq_t1::core::PhaseEngine;
+        let aig = build_aig(num_inputs, &ops, 2);
+        let mut exact = FlowConfig::t1(4);
+        exact.engine = PhaseEngine::Exact;
+        exact.equivalence_words = 1;
+        let mut heur = exact.clone();
+        heur.engine = PhaseEngine::Heuristic;
+        let re = run_flow(&aig, &exact).expect("exact flow");
+        let rh = run_flow(&aig, &heur).expect("heuristic flow");
+        prop_assert!(
+            re.report.num_dffs <= rh.report.num_dffs,
+            "exact {} > heuristic {}",
+            re.report.num_dffs,
+            rh.report.num_dffs
+        );
+    }
+}
