@@ -23,11 +23,9 @@ fn bench_flows(c: &mut Criterion) {
             // would report.
             let mut config = config;
             config.equivalence_words = 0;
-            group.bench_with_input(
-                BenchmarkId::new(label, bench.name()),
-                &aig,
-                |b, aig| b.iter(|| run_flow(aig, &config).expect("flow succeeds")),
-            );
+            group.bench_with_input(BenchmarkId::new(label, bench.name()), &aig, |b, aig| {
+                b.iter(|| run_flow(aig, &config).expect("flow succeeds"))
+            });
         }
     }
     group.finish();

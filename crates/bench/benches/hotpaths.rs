@@ -1,0 +1,47 @@
+//! Focused criterion benches for the flow's two hottest layers — the
+//! regression gates of the hot-path overhaul (see ISSUE 1 / ROADMAP):
+//!
+//! * `assign_phases/*` — heuristic coordinate descent, T1-detected subjects;
+//! * `enumerate_cuts/*` — 3-feasible cut enumeration on mapped networks.
+//!
+//! The IDs deliberately match `substrates.rs` (`assign_phases/adder32_t1`,
+//! `enumerate_cuts/adder32`) so historical numbers stay comparable, with
+//! additional sizes to expose scaling behaviour rather than a single point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfq_circuits as circuits;
+use sfq_core::{assign_phases, detect_t1, PhaseEngine};
+use sfq_netlist::{enumerate_cuts, map_aig, CutConfig, Library};
+
+fn bench_hotpaths(c: &mut Criterion) {
+    let lib = Library::default();
+    let cut_config = CutConfig::default();
+
+    for bits in [32usize, 64] {
+        let aig = circuits::adder(bits);
+        let mapped = map_aig(&aig, &lib);
+        c.bench_function(format!("enumerate_cuts/adder{bits}"), |b| {
+            b.iter(|| enumerate_cuts(&mapped, &cut_config))
+        });
+
+        let detected = detect_t1(&mapped, &lib, &cut_config).network;
+        c.bench_function(format!("assign_phases/adder{bits}_t1"), |b| {
+            b.iter(|| assign_phases(&detected, 4, PhaseEngine::Heuristic).expect("feasible"))
+        });
+    }
+
+    // A multiplier is the cut-enumeration stress case: reconvergent
+    // carry-save structure yields far more cut merges per node than the
+    // linear adder chain.
+    let mult = map_aig(&circuits::multiplier(12), &lib);
+    c.bench_function("enumerate_cuts/multiplier12", |b| {
+        b.iter(|| enumerate_cuts(&mult, &cut_config))
+    });
+    let mult_det = detect_t1(&mult, &lib, &cut_config).network;
+    c.bench_function("assign_phases/multiplier12_t1", |b| {
+        b.iter(|| assign_phases(&mult_det, 4, PhaseEngine::Heuristic).expect("feasible"))
+    });
+}
+
+criterion_group!(benches, bench_hotpaths);
+criterion_main!(benches);

@@ -33,13 +33,14 @@ fn bench_substrates(c: &mut Criterion) {
         b.iter(|| assign_phases(&detected, 4, PhaseEngine::Heuristic).expect("feasible"))
     });
 
-    let assignment =
-        assign_phases(&detected, 4, PhaseEngine::Heuristic).expect("feasible");
+    let assignment = assign_phases(&detected, 4, PhaseEngine::Heuristic).expect("feasible");
     c.bench_function("insert_dffs/adder32_t1", |b| {
         b.iter(|| insert_dffs(&detected, &assignment, 4).expect("insertable"))
     });
 
-    let timed = run_flow(&aig, &FlowConfig::t1(4)).expect("flow succeeds").timed;
+    let timed = run_flow(&aig, &FlowConfig::t1(4))
+        .expect("flow succeeds")
+        .timed;
     let waves: Vec<Vec<bool>> = (0..4)
         .map(|w| (0..aig.num_inputs()).map(|i| (i + w) % 3 == 0).collect())
         .collect();
@@ -48,7 +49,9 @@ fn bench_substrates(c: &mut Criterion) {
     });
 
     // Interchange formats: render and re-parse the mapped netlist.
-    c.bench_function("render_blif/adder32", |b| b.iter(|| export::render_blif(&mapped)));
+    c.bench_function("render_blif/adder32", |b| {
+        b.iter(|| export::render_blif(&mapped))
+    });
     let text = export::render_blif(&mapped);
     c.bench_function("parse_blif/adder32", |b| {
         b.iter(|| blif::parse_blif(&text).expect("exported blif parses"))
@@ -58,11 +61,16 @@ fn bench_substrates(c: &mut Criterion) {
     });
 
     // Post-flow analyses.
-    let (_, trace) = PulseSim::new(&timed).run_traced(&waves).expect("no hazards");
+    let (_, trace) = PulseSim::new(&timed)
+        .run_traced(&waves)
+        .expect("no hazards");
     c.bench_function("measure_energy/adder32_t1", |b| {
         b.iter(|| measure_energy(&timed, &trace, waves.len(), &lib, &EnergyModel::default()))
     });
-    let margin_cfg = MarginConfig { trials: 200, ..MarginConfig::default() };
+    let margin_cfg = MarginConfig {
+        trials: 200,
+        ..MarginConfig::default()
+    };
     c.bench_function("analyze_margins/adder32_t1_200", |b| {
         b.iter(|| analyze_margins(&timed, &margin_cfg))
     });

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benches = [Benchmark::Adder, Benchmark::C6288];
 
     for bench in benches {
-        let aig = if small { bench.build_small() } else { bench.build() };
+        let aig = if small {
+            bench.build_small()
+        } else {
+            bench.build()
+        };
         println!("== {} ({} AIG nodes) ==\n", aig.name(), aig.num_ands());
         println!(
             "{:>2} {:>6} | {:>8} {:>10} {:>6} | {:>8} {:>10} {:>6} {:>6}",

@@ -30,8 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for aig in &designs {
         for use_t1 in [false, true] {
-            let mut exact_cfg =
-                if use_t1 { FlowConfig::t1(4) } else { FlowConfig::multiphase(4) };
+            let mut exact_cfg = if use_t1 {
+                FlowConfig::t1(4)
+            } else {
+                FlowConfig::multiphase(4)
+            };
             exact_cfg.engine = PhaseEngine::Exact;
             let mut heur_cfg = exact_cfg.clone();
             heur_cfg.engine = PhaseEngine::Heuristic;

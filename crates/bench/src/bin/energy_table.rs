@@ -32,7 +32,12 @@ fn random_waves(inputs: usize, count: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
-fn energy_of(res: &FlowResult, waves: &[Vec<bool>], lib: &Library, model: &EnergyModel) -> sfq_sim::EnergyReport {
+fn energy_of(
+    res: &FlowResult,
+    waves: &[Vec<bool>],
+    lib: &Library,
+    model: &EnergyModel,
+) -> sfq_sim::EnergyReport {
     let (_, trace) = PulseSim::new(&res.timed)
         .run_traced(waves)
         .expect("audited flows simulate without hazards");

@@ -16,9 +16,17 @@ fn main() {
     for n in [1u8, 4] {
         let t = Instant::now();
         let h = assign_phases(&net, n, PhaseEngine::Heuristic).expect("feasible");
-        println!("heuristic n={n}: {:?} (out stage {})", t.elapsed(), h.output_stage);
+        println!(
+            "heuristic n={n}: {:?} (out stage {})",
+            t.elapsed(),
+            h.output_stage
+        );
         let t = Instant::now();
         let e = assign_phases(&net, n, PhaseEngine::Exact).expect("feasible");
-        println!("exact     n={n}: {:?} (out stage {})", t.elapsed(), e.output_stage);
+        println!(
+            "exact     n={n}: {:?} (out stage {})",
+            t.elapsed(),
+            e.output_stage
+        );
     }
 }

@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         Scale::Paper
     };
-    eprintln!("running Table I at {scale:?} scale (three flows per row; use --small for a fast run)\n");
+    eprintln!(
+        "running Table I at {scale:?} scale (three flows per row; use --small for a fast run)\n"
+    );
 
     let rows = run_table(scale, |row: &TableRow| {
         eprintln!(

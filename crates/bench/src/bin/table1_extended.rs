@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "bench", "found", "used", "DFF 4φ", "DFF T1", "r", "Area 4φ", "Area T1", "r", "D4φ", "DT1"
     );
     for bench in ExtBenchmark::ALL {
-        let aig = if small { bench.build_small() } else { bench.build() };
+        let aig = if small {
+            bench.build_small()
+        } else {
+            bench.build()
+        };
         let t0 = Instant::now();
         let four = run_flow(&aig, &FlowConfig::multiphase(4))?.report;
         let t1 = run_flow(&aig, &FlowConfig::t1(4))?.report;

@@ -18,6 +18,7 @@
 //! formats rows in the paper's layout.
 
 pub mod paper;
+pub mod par;
 pub mod table;
 
 pub use paper::{paper_row, PaperRow, PAPER_AVERAGES, PAPER_TABLE1};

@@ -151,11 +151,27 @@ mod tests {
         ];
         for (i, row) in PAPER_TABLE1.iter().enumerate() {
             let (d1, d4) = row.dff_ratios();
-            assert!((d1 - printed_dff[i].0).abs() < 0.011, "{}: dff vs 1φ", row.name);
-            assert!((d4 - printed_dff[i].1).abs() < 0.011, "{}: dff vs 4φ", row.name);
+            assert!(
+                (d1 - printed_dff[i].0).abs() < 0.011,
+                "{}: dff vs 1φ",
+                row.name
+            );
+            assert!(
+                (d4 - printed_dff[i].1).abs() < 0.011,
+                "{}: dff vs 4φ",
+                row.name
+            );
             let (a1, a4) = row.area_ratios();
-            assert!((a1 - printed_area[i].0).abs() < 0.011, "{}: area vs 1φ", row.name);
-            assert!((a4 - printed_area[i].1).abs() < 0.011, "{}: area vs 4φ", row.name);
+            assert!(
+                (a1 - printed_area[i].0).abs() < 0.011,
+                "{}: area vs 1φ",
+                row.name
+            );
+            assert!(
+                (a4 - printed_area[i].1).abs() < 0.011,
+                "{}: area vs 4φ",
+                row.name
+            );
         }
     }
 

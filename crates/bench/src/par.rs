@@ -1,0 +1,63 @@
+//! Feature-gated fan-out for independent experiment units.
+//!
+//! With the `parallel` cargo feature, [`map`] runs one scoped worker thread
+//! per item (`std::thread::scope` — the registry is unreachable from this
+//! build environment, so the harness uses the standard library instead of
+//! rayon); without it, a plain sequential map. Results always come back in
+//! item order, so callers print identical tables either way. The units this
+//! crate fans out (Table I rows, per-stage profiles) are heavyweight —
+//! seconds to minutes each — so one thread per item is the right
+//! granularity and work stealing would buy nothing.
+//!
+//! Wall-clock timings measured *inside* a parallel run are noisier than
+//! sequential ones (the flows contend for cores); the binaries that report
+//! per-stage timing say so in their output when the feature is active.
+
+/// True when the `parallel` feature is compiled in.
+pub const ENABLED: bool = cfg!(feature = "parallel");
+
+/// Maps `f` over `items`, in parallel when the `parallel` feature is on.
+/// Output order always matches input order.
+#[cfg(feature = "parallel")]
+pub fn map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, item) in slots.iter_mut().zip(items) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled its slot"))
+        .collect()
+}
+
+/// Maps `f` over `items`, in parallel when the `parallel` feature is on.
+/// Output order always matches input order.
+#[cfg(not(feature = "parallel"))]
+pub fn map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    items.into_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn map_preserves_order() {
+        let out = super::map((0..32).collect::<Vec<i32>>(), |x| x * x);
+        assert_eq!(out, (0..32).map(|x| x * x).collect::<Vec<_>>());
+    }
+}

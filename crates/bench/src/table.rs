@@ -66,7 +66,11 @@ pub fn run_row(bench: Benchmark, scale: Scale) -> Result<TableRow, FlowError> {
         Scale::Paper => bench.build(),
         Scale::Small => bench.build_small(),
     };
-    let configs = [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)];
+    let configs = [
+        FlowConfig::single_phase(),
+        FlowConfig::multiphase(4),
+        FlowConfig::t1(4),
+    ];
     let mut dff = [0u64; 3];
     let mut area = [0u64; 3];
     let mut depth = [0u64; 3];
@@ -97,16 +101,21 @@ pub fn run_row(bench: Benchmark, scale: Scale) -> Result<TableRow, FlowError> {
 /// Runs the full Table I experiment (all eight benchmarks).
 ///
 /// `progress` is invoked with each finished row (for incremental printing).
+/// With the `parallel` feature the rows run concurrently on scoped worker
+/// threads ([`crate::par`]); results and `progress` calls still come in
+/// table order, so the printed output is identical — only the `runtime`
+/// fields get noisier from core contention.
 ///
 /// # Errors
-/// Propagates the first [`FlowError`].
+/// Propagates the first [`FlowError`] in table order.
 pub fn run_table(
     scale: Scale,
     mut progress: impl FnMut(&TableRow),
 ) -> Result<Vec<TableRow>, FlowError> {
-    let mut rows = Vec::with_capacity(Benchmark::ALL.len());
-    for bench in Benchmark::ALL {
-        let row = run_row(bench, scale)?;
+    let results = crate::par::map(Benchmark::ALL.to_vec(), |bench| run_row(bench, scale));
+    let mut rows = Vec::with_capacity(results.len());
+    for result in results {
+        let row = result?;
         progress(&row);
         rows.push(row);
     }
@@ -214,16 +223,34 @@ mod tests {
         // One healthy row (ratio 0.5) and one with a 2-DFF baseline.
         let rows = vec![mk("healthy", [1000, 100, 50]), mk("degen", [1000, 2, 500])];
         let text = format_table(&rows);
-        assert!(text.contains("250.00*"), "degenerate ratio is marked:\n{text}");
-        assert!(text.contains("excluded from the average"), "footnote present");
+        assert!(
+            text.contains("250.00*"),
+            "degenerate ratio is marked:\n{text}"
+        );
+        assert!(
+            text.contains("excluded from the average"),
+            "footnote present"
+        );
         // The r4φ average is the healthy row's 0.50 alone, not (0.5+250)/2.
-        let avg_line = text.lines().find(|l| l.starts_with("Average")).expect("avg row");
-        assert!(avg_line.contains("0.50"), "average excludes the outlier: {avg_line}");
-        assert!(!avg_line.contains("125"), "naive average leaked in: {avg_line}");
+        let avg_line = text
+            .lines()
+            .find(|l| l.starts_with("Average"))
+            .expect("avg row");
+        assert!(
+            avg_line.contains("0.50"),
+            "average excludes the outlier: {avg_line}"
+        );
+        assert!(
+            !avg_line.contains("125"),
+            "naive average leaked in: {avg_line}"
+        );
 
         // Without degenerate rows there is no footnote.
         let clean = format_table(&[mk("healthy", [1000, 100, 50])]);
-        assert!(!clean.contains('*'), "no footnote on clean tables:\n{clean}");
+        assert!(
+            !clean.contains('*'),
+            "no footnote on clean tables:\n{clean}"
+        );
     }
 
     #[test]
@@ -232,7 +259,10 @@ mod tests {
         assert!(row.t1_used > 0, "the adder is the T1 showcase");
         assert!(row.dff[2] < row.dff[0], "T1 beats 1φ on DFFs");
         assert!(row.area[2] < row.area[0], "T1 beats 1φ on area");
-        assert!(row.area[2] < row.area[1], "T1 beats 4φ on area for the adder");
+        assert!(
+            row.area[2] < row.area[1],
+            "T1 beats 4φ on area for the adder"
+        );
         let text = format_table(std::slice::from_ref(&row));
         assert!(text.contains("adder"));
         assert!(text.contains("Average"));

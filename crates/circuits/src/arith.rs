@@ -56,8 +56,14 @@ pub fn shift_right_arith(
     arithmetic: bool,
 ) -> Vec<AigLit> {
     let w = a.len();
-    let fill = if arithmetic { *a.last().expect("non-empty word") } else { aig.const_false() };
-    (0..w).map(|i| if i + amount < w { a[i + amount] } else { fill }).collect()
+    let fill = if arithmetic {
+        *a.last().expect("non-empty word")
+    } else {
+        aig.const_false()
+    };
+    (0..w)
+        .map(|i| if i + amount < w { a[i + amount] } else { fill })
+        .collect()
 }
 
 /// Array multiplication with carry-save column reduction; the product is

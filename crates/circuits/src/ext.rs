@@ -17,7 +17,10 @@ use sfq_netlist::{Aig, AigLit};
 /// # Panics
 /// Panics unless `width == 1 << shift_bits` and `shift_bits ≥ 1`.
 pub fn bar(width: usize, shift_bits: usize) -> Aig {
-    assert!(shift_bits >= 1 && width == 1 << shift_bits, "width must be 2^shift_bits");
+    assert!(
+        shift_bits >= 1 && width == 1 << shift_bits,
+        "width must be 2^shift_bits"
+    );
     let mut aig = Aig::new(format!("bar{width}"));
     let x = aig.input_word("x", width);
     let s = aig.input_word("s", shift_bits);
@@ -38,7 +41,11 @@ pub fn bar(width: usize, shift_bits: usize) -> Aig {
 
 /// Reference model for [`bar`]: rotate-left within `width` bits.
 pub fn bar_ref(x: u64, shift: u32, width: usize) -> u64 {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let s = shift % width as u32;
     ((x << s) | (x >> (width as u32 - s).min(63))) & mask
 }
@@ -59,8 +66,9 @@ fn mux_word(aig: &mut Aig, sel: AigLit, t: &[AigLit], e: &[AigLit]) -> Vec<AigLi
 /// operands).
 pub fn max4(bits: usize) -> Aig {
     let mut aig = Aig::new(format!("max{bits}"));
-    let words: Vec<Vec<AigLit>> =
-        (0..4).map(|k| aig.input_word(&format!("w{k}"), bits)).collect();
+    let words: Vec<Vec<AigLit>> = (0..4)
+        .map(|k| aig.input_word(&format!("w{k}"), bits))
+        .collect();
     let m01 = {
         let c = gt(&mut aig, &words[0], &words[1]);
         mux_word(&mut aig, c, &words[0], &words[1])
@@ -114,11 +122,14 @@ pub fn div_restoring(bits: usize) -> Aig {
 
 /// Reference model for [`div_restoring`].
 pub fn div_ref(n: u64, d: u64, bits: usize) -> (u64, u64) {
-    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-    if d == 0 {
-        (mask, n & mask)
+    let mask = if bits == 64 {
+        u64::MAX
     } else {
-        ((n / d) & mask, (n % d) & mask)
+        (1u64 << bits) - 1
+    };
+    match n.checked_div(d) {
+        None => (mask, n & mask),
+        Some(q) => (q & mask, (n % d) & mask),
     }
 }
 
@@ -129,7 +140,10 @@ pub fn div_ref(n: u64, d: u64, bits: usize) -> (u64, u64) {
 /// # Panics
 /// Panics if `bits` is odd or zero.
 pub fn sqrt_word(bits: usize) -> Aig {
-    assert!(bits >= 2 && bits % 2 == 0, "sqrt needs an even width");
+    assert!(
+        bits >= 2 && bits.is_multiple_of(2),
+        "sqrt needs an even width"
+    );
     let mut aig = Aig::new(format!("sqrt{bits}"));
     let x = aig.input_word("x", bits);
     let half = bits / 2;
@@ -149,16 +163,12 @@ pub fn sqrt_word(bits: usize) -> Aig {
         let lo = bits - 2 - 2 * step;
         // rem = (rem << 2) | x[hi..lo]
         let mut nrem = vec![zero; w];
-        for i in 2..w {
-            nrem[i] = rem[i - 2];
-        }
+        nrem[2..w].copy_from_slice(&rem[..w - 2]);
         nrem[1] = x[hi];
         nrem[0] = x[lo];
         // trial = (root << 2) | 1
         let mut trial = vec![zero; w];
-        for i in 2..w {
-            trial[i] = root[i - 2];
-        }
+        trial[2..w].copy_from_slice(&root[..w - 2]);
         trial[0] = one;
         let diff = sub_words(&mut aig, &nrem, &trial);
         let ge = {
@@ -170,9 +180,7 @@ pub fn sqrt_word(bits: usize) -> Aig {
         rem = mux_word(&mut aig, ge, &diff, &nrem);
         // root = (root << 1) | ge
         let mut nroot = vec![zero; w];
-        for i in 1..w {
-            nroot[i] = root[i - 1];
-        }
+        nroot[1..w].copy_from_slice(&root[..w - 1]);
         nroot[0] = ge;
         root = nroot;
     }
@@ -202,7 +210,7 @@ pub fn hyp(bits: usize) -> Aig {
     let a2 = crate::arith::square_word(&mut aig, &a);
     let b2 = crate::arith::square_word(&mut aig, &b);
     let sum = add_words(&mut aig, &a2, &b2, None); // 2·bits + 1 wide
-    // Pad to the next even width for the sqrt recurrence.
+                                                   // Pad to the next even width for the sqrt recurrence.
     let mut padded = sum;
     if padded.len() % 2 == 1 {
         padded.push(aig.const_false());
@@ -215,7 +223,7 @@ pub fn hyp(bits: usize) -> Aig {
 /// Square-root recurrence over an existing word (shared by [`hyp`]).
 fn sqrt_inline(aig: &mut Aig, x: &[AigLit]) -> Vec<AigLit> {
     let bits = x.len();
-    assert!(bits % 2 == 0);
+    assert!(bits.is_multiple_of(2));
     let half = bits / 2;
     let zero = aig.const_false();
     let one = aig.const_true();
@@ -226,15 +234,11 @@ fn sqrt_inline(aig: &mut Aig, x: &[AigLit]) -> Vec<AigLit> {
         let hi = bits - 1 - 2 * step;
         let lo = bits - 2 - 2 * step;
         let mut nrem = vec![zero; w];
-        for i in 2..w {
-            nrem[i] = rem[i - 2];
-        }
+        nrem[2..w].copy_from_slice(&rem[..w - 2]);
         nrem[1] = x[hi];
         nrem[0] = x[lo];
         let mut trial = vec![zero; w];
-        for i in 2..w {
-            trial[i] = root[i - 2];
-        }
+        trial[2..w].copy_from_slice(&root[..w - 2]);
         trial[0] = one;
         let diff = sub_words(aig, &nrem, &trial);
         let ge = {
@@ -244,9 +248,7 @@ fn sqrt_inline(aig: &mut Aig, x: &[AigLit]) -> Vec<AigLit> {
         };
         rem = mux_word(aig, ge, &diff, &nrem);
         let mut nroot = vec![zero; w];
-        for i in 1..w {
-            nroot[i] = root[i - 1];
-        }
+        nroot[1..w].copy_from_slice(&root[..w - 1]);
         nroot[0] = ge;
         root = nroot;
     }
@@ -284,7 +286,10 @@ fn ecc_code(i: usize) -> u8 {
 /// and every code must fit the check width).
 pub fn ecc(bits: usize) -> Aig {
     assert!((1..=64).contains(&bits), "1..=64 data bits");
-    assert!(bits < (1 << ECC_CHECK_BITS), "codes must fit the check width");
+    assert!(
+        bits < (1 << ECC_CHECK_BITS),
+        "codes must fit the check width"
+    );
     let mut aig = Aig::new(format!("c499_{bits}"));
     let d = aig.input_word("d", bits);
     let r = aig.input_word("r", ECC_CHECK_BITS);
@@ -421,14 +426,16 @@ mod tests {
     }
 
     fn unpack(outs: &[u64], lane: usize) -> u64 {
-        outs.iter().enumerate().fold(0, |acc, (i, &o)| acc | ((o >> lane) & 1) << i)
+        outs.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &o)| acc | ((o >> lane) & 1) << i)
     }
 
     #[test]
     fn bar_rotates() {
         let (width, sbits) = (16, 4);
         let aig = bar(width, sbits);
-        let xs: Vec<u64> = (0..32).map(|i| i * 2654435761u64 & 0xFFFF).collect();
+        let xs: Vec<u64> = (0..32).map(|i| (i * 2654435761u64) & 0xFFFF).collect();
         let ss: Vec<u64> = (0..32).map(|i| i % 16).collect();
         let mut pats = pack(&xs, width);
         pats.extend(pack(&ss, sbits));
@@ -450,7 +457,11 @@ mod tests {
         let aig = max4(bits);
         let mask = (1u64 << bits) - 1;
         let words: Vec<Vec<u64>> = (0..4)
-            .map(|k| (0..64).map(|i| (i * 37 + k * 911 + 5) as u64 & mask).collect())
+            .map(|k| {
+                (0..64)
+                    .map(|i| (i * 37 + k * 911 + 5) as u64 & mask)
+                    .collect()
+            })
             .collect();
         let mut pats = Vec::new();
         for w in &words {
@@ -458,7 +469,7 @@ mod tests {
         }
         let outs = aig.simulate(&pats);
         for lane in 0..64 {
-            let expect = (0..4).map(|k| words[k][lane]).max().unwrap();
+            let expect = words.iter().map(|w| w[lane]).max().unwrap();
             assert_eq!(unpack(&outs, lane), expect, "lane {lane}");
         }
     }
@@ -474,11 +485,11 @@ mod tests {
         let mut pats = pack(&ns, bits);
         pats.extend(pack(&ds, bits));
         let outs = aig.simulate(&pats);
-        for lane in 0..64 {
+        for (lane, (&n, &d)) in ns.iter().zip(&ds).enumerate() {
             let q = unpack(&outs[..bits], lane);
             let r = unpack(&outs[bits..], lane);
-            let (eq, er) = div_ref(ns[lane], ds[lane], bits);
-            assert_eq!((q, r), (eq, er), "{} / {}", ns[lane], ds[lane]);
+            let (eq, er) = div_ref(n, d, bits);
+            assert_eq!((q, r), (eq, er), "{n} / {d}");
         }
     }
 

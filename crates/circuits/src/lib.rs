@@ -26,9 +26,7 @@ mod arith;
 pub mod ext;
 pub mod reference;
 
-pub use arith::{
-    add_words, mul_words, negate_word, shift_right_arith, square_word, sub_words,
-};
+pub use arith::{add_words, mul_words, negate_word, shift_right_arith, square_word, sub_words};
 pub use ext::{bar, div_restoring, hyp, max4, sqrt_word, ExtBenchmark};
 
 /// The benchmark set of the paper's Table I, in table order.
@@ -153,7 +151,10 @@ pub fn square(bits: usize) -> Aig {
 /// # Panics
 /// Panics if `n` is even or below 3.
 pub fn voter(n: usize) -> Aig {
-    assert!(n >= 3 && n % 2 == 1, "majority needs an odd input count ≥ 3");
+    assert!(
+        n >= 3 && n % 2 == 1,
+        "majority needs an odd input count ≥ 3"
+    );
     let mut aig = Aig::new(format!("voter{n}"));
     let ins = aig.input_word("x", n);
 
@@ -204,11 +205,17 @@ pub fn voter(n: usize) -> Aig {
     }
     let count = add_words(&mut aig, &wa, &wb, None);
     // count ≥ threshold ⟺ count + (2^w − threshold) produces a carry.
-    let threshold = (n as u64 + 1) / 2;
+    let threshold = (n as u64).div_ceil(2);
     let w = count.len();
     let comp = (1u64 << w) - threshold;
     let comp_bits: Vec<AigLit> = (0..w)
-        .map(|i| if comp >> i & 1 == 1 { aig.const_true() } else { aig.const_false() })
+        .map(|i| {
+            if comp >> i & 1 == 1 {
+                aig.const_true()
+            } else {
+                aig.const_false()
+            }
+        })
         .collect();
     let sum = add_words(&mut aig, &count, &comp_bits, None);
     let maj = *sum.last().unwrap(); // carry-out = comparison result
@@ -224,14 +231,23 @@ pub fn voter(n: usize) -> Aig {
 /// are the sine and cosine scaled by `2^(bits−2)`.
 /// [`reference::sin_cordic_ref`] implements the bit-identical software model.
 pub fn sin_cordic(bits: usize, iters: usize) -> Aig {
-    assert!(bits >= 6 && bits <= 28, "datapath width out of supported range");
+    assert!(
+        (6..=28).contains(&bits),
+        "datapath width out of supported range"
+    );
     let mut aig = Aig::new(format!("sin{bits}"));
     let theta = aig.input_word("theta", bits);
 
     let consts = reference::cordic_constants(bits, iters);
     let const_word = |aig: &mut Aig, v: u64, w: usize| -> Vec<AigLit> {
         (0..w)
-            .map(|i| if v >> i & 1 == 1 { aig.const_true() } else { aig.const_false() })
+            .map(|i| {
+                if v >> i & 1 == 1 {
+                    aig.const_true()
+                } else {
+                    aig.const_false()
+                }
+            })
             .collect()
     };
 
@@ -276,7 +292,7 @@ pub fn sin_cordic(bits: usize, iters: usize) -> Aig {
 /// fraction bits of `log₂` of the normalized mantissa, LSB first.
 /// [`reference::log2_ref`] is the bit-identical software model.
 pub fn log2_shift_add(bits: usize) -> Aig {
-    assert!(bits >= 4 && bits <= 32, "width out of supported range");
+    assert!((4..=32).contains(&bits), "width out of supported range");
     let mut aig = Aig::new(format!("log2_{bits}"));
     let x = aig.input_word("x", bits);
     let int_bits = usize::BITS as usize - (bits - 1).leading_zeros() as usize;
@@ -331,8 +347,11 @@ pub fn c7552() -> Aig {
 
 /// Parameterized c7552 stand-in (34 bits at paper scale).
 pub fn c7552_sized(bits: usize) -> Aig {
-    let mut aig =
-        Aig::new(if bits == 34 { "c7552".to_string() } else { format!("c7552_{bits}") });
+    let mut aig = Aig::new(if bits == 34 {
+        "c7552".to_string()
+    } else {
+        format!("c7552_{bits}")
+    });
     let a = aig.input_word("a", bits);
     let b = aig.input_word("b", bits);
     let cin = aig.input("cin");

@@ -17,16 +17,25 @@ pub struct CordicConstants {
 /// Computes the CORDIC constant set for a given datapath width.
 pub fn cordic_constants(bits: usize, iters: usize) -> CordicConstants {
     let scale = (bits - 2) as u32;
-    let k: f64 = (0..iters).map(|i| 1.0 / (1.0 + 0.25f64.powi(i as i32)).sqrt()).product();
+    let k: f64 = (0..iters)
+        .map(|i| 1.0 / (1.0 + 0.25f64.powi(i as i32)).sqrt())
+        .product();
     let k_scaled = (k * (1u64 << scale) as f64).round() as u64;
-    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let atan_table = (0..iters)
         .map(|i| {
             let a = (0.5f64.powi(i as i32)).atan() / std::f64::consts::PI;
             ((a * (1u64 << bits) as f64).round() as u64) & mask
         })
         .collect();
-    CordicConstants { k_scaled, atan_table }
+    CordicConstants {
+        k_scaled,
+        atan_table,
+    }
 }
 
 /// Bit-exact model of the CORDIC sine circuit: returns `(sin, cos)` words
@@ -75,7 +84,11 @@ pub fn log2_ref(x: u64, bits: usize) -> (u64, u64) {
     let pos = 63 - x.leading_zeros() as u64;
     // Normalize into `bits` bits: mantissa in [2^(bits−1), 2^bits).
     let shift = bits as i64 - 1 - pos as i64;
-    let mant = if shift >= 0 { x << shift } else { x >> (-shift) };
+    let mant = if shift >= 0 {
+        x << shift
+    } else {
+        x >> (-shift)
+    };
     let frac_bits = (bits / 2).max(4);
     let mut y = mant as u128;
     let mut frac = 0u64;

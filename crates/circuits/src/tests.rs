@@ -48,7 +48,11 @@ fn multiplier_multiplies() {
     pats.extend(pack_patterns(&bvals, bits));
     let outs = aig.simulate(&pats);
     for lane in 0..64 {
-        assert_eq!(unpack_lane(&outs, lane), avals[lane] * bvals[lane], "lane {lane}");
+        assert_eq!(
+            unpack_lane(&outs, lane),
+            avals[lane] * bvals[lane],
+            "lane {lane}"
+        );
     }
 }
 
@@ -74,8 +78,8 @@ fn square_squares() {
     let vals: Vec<u64> = (0..64).map(|i| (i * 53 + 7) & 0x3FF).collect();
     let pats = pack_patterns(&vals, bits);
     let outs = aig.simulate(&pats);
-    for lane in 0..64 {
-        assert_eq!(unpack_lane(&outs, lane), vals[lane] * vals[lane], "lane {lane}");
+    for (lane, &v) in vals.iter().enumerate() {
+        assert_eq!(unpack_lane(&outs, lane), v * v, "lane {lane}");
     }
 }
 
@@ -97,7 +101,9 @@ fn voter_majority() {
     for _ in 0..64 {
         let mut v = Vec::with_capacity(n);
         for _ in 0..n {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             v.push(seed >> 40 & 1 == 1);
         }
         lanes.push(v);
@@ -137,12 +143,12 @@ fn sin_matches_reference_model() {
     let thetas: Vec<u64> = (0..64).map(|i| (i * 8 + 1) % (1 << (bits - 1))).collect();
     let pats = pack_patterns(&thetas, bits);
     let outs = aig.simulate(&pats);
-    for lane in 0..64 {
-        let (sin_ref, cos_ref) = sin_cordic_ref(thetas[lane], bits, iters);
+    for (lane, &theta) in thetas.iter().enumerate() {
+        let (sin_ref, cos_ref) = sin_cordic_ref(theta, bits, iters);
         let sin_got = unpack_lane(&outs[0..bits], lane);
         let cos_got = unpack_lane(&outs[bits..2 * bits], lane);
-        assert_eq!(sin_got, sin_ref, "sin lane {lane} θ={}", thetas[lane]);
-        assert_eq!(cos_got, cos_ref, "cos lane {lane} θ={}", thetas[lane]);
+        assert_eq!(sin_got, sin_ref, "sin lane {lane} θ={theta}");
+        assert_eq!(cos_got, cos_ref, "cos lane {lane} θ={theta}");
     }
 }
 
@@ -172,12 +178,12 @@ fn log2_matches_reference_model() {
     let pats = pack_patterns(&xs, bits);
     let outs = aig.simulate(&pats);
     let int_bits = usize::BITS as usize - (bits - 1).leading_zeros() as usize;
-    for lane in 0..xs.len() {
-        let (pos_ref, frac_ref) = log2_ref(xs[lane], bits);
+    for (lane, &x) in xs.iter().enumerate() {
+        let (pos_ref, frac_ref) = log2_ref(x, bits);
         let pos_got = unpack_lane(&outs[0..int_bits], lane);
         let frac_got = unpack_lane(&outs[int_bits..], lane);
-        assert_eq!(pos_got, pos_ref, "int part of log2({})", xs[lane]);
-        assert_eq!(frac_got, frac_ref, "frac part of log2({})", xs[lane]);
+        assert_eq!(pos_got, pos_ref, "int part of log2({x})");
+        assert_eq!(frac_got, frac_ref, "frac part of log2({x})");
     }
 }
 
@@ -190,7 +196,10 @@ fn log2_is_actually_log2() {
         let (pos, frac) = log2_ref(x, bits);
         let got = pos as f64 + frac as f64 / (1u64 << frac_bits) as f64;
         let want = (x as f64).log2();
-        assert!((got - want).abs() < 0.01, "log2({x}): got {got}, want {want}");
+        assert!(
+            (got - want).abs() < 0.01,
+            "log2({x}): got {got}, want {want}"
+        );
     }
 }
 

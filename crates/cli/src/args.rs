@@ -54,9 +54,7 @@ impl Args {
                         Some(v) => v,
                         None => it
                             .next()
-                            .ok_or_else(|| {
-                                ParseArgsError(format!("--{name} needs a value"))
-                            })?
+                            .ok_or_else(|| ParseArgsError(format!("--{name} needs a value")))?
                             .clone(),
                     };
                     args.options.insert(name.to_string(), value);

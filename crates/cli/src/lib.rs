@@ -38,7 +38,10 @@ pub enum CliError {
     /// Wrong invocation; the caller should print usage and exit 2.
     Usage(String),
     /// Reading or writing a file failed.
-    Io { path: String, source: std::io::Error },
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
     /// An input file failed to parse.
     Input(String),
     /// The synthesis flow itself failed.
@@ -125,7 +128,10 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn io_err(path: &str) -> impl Fn(std::io::Error) -> CliError + '_ {
-    move |source| CliError::Io { path: path.to_string(), source }
+    move |source| CliError::Io {
+        path: path.to_string(),
+        source,
+    }
 }
 
 /// Reads an `.aag` or `.blif` file into an [`Aig`].
@@ -190,7 +196,9 @@ fn random_waves(inputs: usize, count: usize) -> Vec<Vec<bool>> {
         state ^= state >> 27;
         state.wrapping_mul(0x2545_F491_4F6C_DD1D)
     };
-    (0..count).map(|_| (0..inputs).map(|_| next() & 1 == 1).collect()).collect()
+    (0..count)
+        .map(|_| (0..inputs).map(|_| next() & 1 == 1).collect())
+        .collect()
 }
 
 fn write_report(out: &mut dyn Write, res: &FlowResult) -> Result<(), CliError> {
@@ -209,7 +217,16 @@ fn write_report(out: &mut dyn Write, res: &FlowResult) -> Result<(), CliError> {
 fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let a = Args::parse(
         argv,
-        &["phases", "engine", "gain-threshold", "waves", "blif", "dot", "vcd", "verilog"],
+        &[
+            "phases",
+            "engine",
+            "gain-threshold",
+            "waves",
+            "blif",
+            "dot",
+            "vcd",
+            "verilog",
+        ],
         &["t1", "stats"],
     )?;
     let path = a
@@ -268,7 +285,9 @@ fn cmd_bench(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .positional(0)
         .ok_or_else(|| CliError::Usage("bench: missing <name> (see bench-list)".into()))?;
     let aig = build_bench(name, a.flag("small")).ok_or_else(|| {
-        CliError::Usage(format!("bench: unknown benchmark `{name}` (see bench-list)"))
+        CliError::Usage(format!(
+            "bench: unknown benchmark `{name}` (see bench-list)"
+        ))
     })?;
     writeln!(
         out,
@@ -307,7 +326,11 @@ fn cmd_bench_list(out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cmd_energy(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let a = Args::parse(argv, &["phases", "engine", "gain-threshold", "waves"], &["t1"])?;
+    let a = Args::parse(
+        argv,
+        &["phases", "engine", "gain-threshold", "waves"],
+        &["t1"],
+    )?;
     let path = a
         .positional(0)
         .ok_or_else(|| CliError::Usage("energy: missing <input> file".into()))?;
@@ -325,8 +348,12 @@ fn cmd_energy(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "area            {} JJ", res.report.area).map_err(io_err("<stdout>"))?;
     writeln!(out, "waves           {}", e.waves).map_err(io_err("<stdout>"))?;
     writeln!(out, "static power    {:.2} µW", e.static_power_uw).map_err(io_err("<stdout>"))?;
-    writeln!(out, "dynamic power   {:.3} µW @ {} GHz", e.dynamic_power_uw, model.clock_ghz)
-        .map_err(io_err("<stdout>"))?;
+    writeln!(
+        out,
+        "dynamic power   {:.3} µW @ {} GHz",
+        e.dynamic_power_uw, model.clock_ghz
+    )
+    .map_err(io_err("<stdout>"))?;
     writeln!(out, "total power     {:.2} µW", e.total_power_uw).map_err(io_err("<stdout>"))?;
     writeln!(out, "energy per op   {:.1} aJ", e.energy_per_wave_aj).map_err(io_err("<stdout>"))?;
     Ok(())
@@ -335,7 +362,15 @@ fn cmd_energy(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_margin(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let a = Args::parse(
         argv,
-        &["phases", "engine", "gain-threshold", "jitter", "period", "trials", "seed"],
+        &[
+            "phases",
+            "engine",
+            "gain-threshold",
+            "jitter",
+            "period",
+            "trials",
+            "seed",
+        ],
         &["t1"],
     )?;
     let path = a
@@ -425,9 +460,19 @@ fn cmd_table(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
     let mut base = flow_config(&a)?;
     base.phases = phases;
-    let single = FlowConfig { phases: 1, use_t1: false, ..base.clone() };
-    let multi = FlowConfig { use_t1: false, ..base.clone() };
-    let t1 = FlowConfig { use_t1: true, ..base };
+    let single = FlowConfig {
+        phases: 1,
+        use_t1: false,
+        ..base.clone()
+    };
+    let multi = FlowConfig {
+        use_t1: false,
+        ..base.clone()
+    };
+    let t1 = FlowConfig {
+        use_t1: true,
+        ..base
+    };
 
     let r1 = run_configured_flow(&aig, &single)?.report;
     let rn = run_configured_flow(&aig, &multi)?.report;
@@ -549,8 +594,12 @@ mod tests {
         .expect("flow with artifacts");
         let blif_text = std::fs::read_to_string(&blif).expect("blif written");
         assert!(blif_text.contains(".subckt t1_cell"), "T1 cells exported");
-        assert!(std::fs::read_to_string(&dot).expect("dot").starts_with("digraph"));
-        assert!(std::fs::read_to_string(&vcd).expect("vcd").contains("$enddefinitions"));
+        assert!(std::fs::read_to_string(&dot)
+            .expect("dot")
+            .starts_with("digraph"));
+        assert!(std::fs::read_to_string(&vcd)
+            .expect("vcd")
+            .contains("$enddefinitions"));
         for p in [aag, blif, dot, vcd] {
             std::fs::remove_file(p).ok();
         }
@@ -590,9 +639,8 @@ mod tests {
         assert!(text.contains("static power"), "{text}");
         assert!(text.contains("energy per op"), "{text}");
 
-        let text =
-            run_to_string(&["margin", aag_s, "--jitter", "0.5", "--trials", "200"])
-                .expect("margin");
+        let text = run_to_string(&["margin", aag_s, "--jitter", "0.5", "--trials", "200"])
+            .expect("margin");
         assert!(text.contains("hazard rate"), "{text}");
         assert!(text.contains("t1 cells"), "{text}");
         std::fs::remove_file(aag).ok();
@@ -608,7 +656,10 @@ mod tests {
         assert!(text.contains("4φ"), "{text}");
         assert!(text.contains("T1 vs 4φ"), "{text}");
         assert!(
-            matches!(run_to_string(&["table", aag_s, "--phases", "2"]), Err(CliError::Usage(_))),
+            matches!(
+                run_to_string(&["table", aag_s, "--phases", "2"]),
+                Err(CliError::Usage(_))
+            ),
             "table needs ≥ 4 phases"
         );
         std::fs::remove_file(aag).ok();
@@ -620,14 +671,22 @@ mod tests {
         let aag_s = aag.to_str().expect("utf8 path");
         run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
         let v1 = scratch("vl_flow.v");
-        run_to_string(&["flow", aag_s, "--t1", "--verilog", v1.to_str().expect("utf8")])
-            .expect("flow --verilog");
+        run_to_string(&[
+            "flow",
+            aag_s,
+            "--t1",
+            "--verilog",
+            v1.to_str().expect("utf8"),
+        ])
+        .expect("flow --verilog");
         let text = std::fs::read_to_string(&v1).expect("verilog written");
         assert!(text.contains("module SFQ_T1"), "T1 library module exported");
         let v2 = scratch("vl_conv.v");
         run_to_string(&["convert", aag_s, "--verilog", v2.to_str().expect("utf8")])
             .expect("convert --verilog");
-        assert!(std::fs::read_to_string(&v2).expect("written").contains("endmodule"));
+        assert!(std::fs::read_to_string(&v2)
+            .expect("written")
+            .contains("endmodule"));
         for p in [aag, v1, v2] {
             std::fs::remove_file(p).ok();
         }

@@ -44,7 +44,10 @@ pub fn plan_chain(sigma_u: u32, demand: &ChainDemand, n: u32) -> Vec<u32> {
     let mut taps: Vec<u32> = demand.exact.clone();
     taps.sort_unstable();
     taps.dedup();
-    debug_assert!(taps.first().map_or(true, |&t| t > sigma_u), "exact tap at/before driver");
+    debug_assert!(
+        taps.first().is_none_or(|&t| t > sigma_u),
+        "exact tap at/before driver"
+    );
 
     // Fill hops longer than n between consecutive chain elements.
     let mut filled: Vec<u32> = Vec::with_capacity(taps.len());
@@ -79,12 +82,54 @@ pub fn plan_chain(sigma_u: u32, demand: &ChainDemand, n: u32) -> Vec<u32> {
 }
 
 /// Counts the chain DFFs without materializing them.
+///
+/// Semantically `plan_chain(..).len()`, computed arithmetically: ladder fills
+/// between consecutive exact taps are `⌈Δ/n⌉ − 1` hops each, and the plain
+/// tail extension depends only on the *largest* plain sink (processing plain
+/// sinks in stage order extends the tail by whole `n`-hops, so every
+/// intermediate sink's extension is subsumed by the maximum's).
 pub fn chain_cost(sigma_u: u32, demand: &ChainDemand, n: u32) -> usize {
-    if demand.is_empty() {
-        0
-    } else {
-        plan_chain(sigma_u, demand, n).len()
+    let mut exact: Vec<u32> = demand.exact.clone();
+    exact.sort_unstable();
+    exact.dedup();
+    chain_cost_sorted(sigma_u, &exact, demand.plain.iter().copied().max(), n)
+}
+
+/// [`chain_cost`] over pre-sorted, deduplicated exact taps and the maximum
+/// plain-sink stage — the allocation-free form the phase-assignment hot loop
+/// uses with reusable scratch buffers.
+///
+/// `exact_sorted` must be strictly increasing with every element `> sigma_u`;
+/// `max_plain`, when present, is the largest plain-sink stage (`> sigma_u`).
+pub fn chain_cost_sorted(
+    sigma_u: u32,
+    exact_sorted: &[u32],
+    max_plain: Option<u32>,
+    n: u32,
+) -> usize {
+    debug_assert!(n >= 1);
+    debug_assert!(
+        exact_sorted.windows(2).all(|w| w[0] < w[1]),
+        "taps must be sorted+deduped"
+    );
+    let mut count = 0usize;
+    let mut last = sigma_u;
+    for &t in exact_sorted {
+        debug_assert!(t > sigma_u, "exact tap at/before driver");
+        // Ladder fills so no hop exceeds n, then the tap itself.
+        count += ((t - last - 1) / n) as usize + 1;
+        last = t;
     }
+    if let Some(v) = max_plain {
+        debug_assert!(v > sigma_u, "plain sink at/before driver");
+        // A sink within the driver's pulse lifetime taps the driver directly;
+        // beyond it, extend the tail ladder (gap invariant keeps a tap in
+        // every sink's window).
+        if v - sigma_u > n && v > last {
+            count += ((v - last - 1) / n) as usize;
+        }
+    }
+    count
 }
 
 /// Finds the tap (a chain stage, or the driver when `None`) a plain sink at
@@ -111,7 +156,10 @@ mod tests {
     use super::*;
 
     fn demand(plain: &[u32], exact: &[u32]) -> ChainDemand {
-        ChainDemand { plain: plain.to_vec(), exact: exact.to_vec() }
+        ChainDemand {
+            plain: plain.to_vec(),
+            exact: exact.to_vec(),
+        }
     }
 
     #[test]
@@ -122,7 +170,10 @@ mod tests {
 
     #[test]
     fn plain_within_lifetime_needs_nothing() {
-        assert_eq!(plan_chain(0, &demand(&[1, 3, 4], &[]), 4), Vec::<u32>::new());
+        assert_eq!(
+            plan_chain(0, &demand(&[1, 3, 4], &[]), 4),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]
@@ -130,7 +181,10 @@ mod tests {
         // Driver at 0, sink at 9, n=4: DFFs at 4 and 8.
         assert_eq!(plan_chain(0, &demand(&[9], &[]), 4), vec![4, 8]);
         // Matches the closed form ⌈Δ/n⌉ − 1.
-        assert_eq!(chain_cost(0, &demand(&[9], &[]), 4), (9f64 / 4.0).ceil() as usize - 1);
+        assert_eq!(
+            chain_cost(0, &demand(&[9], &[]), 4),
+            (9f64 / 4.0).ceil() as usize - 1
+        );
     }
 
     #[test]
@@ -191,6 +245,41 @@ mod tests {
         // Every plain sink covered.
         for v in [2u32, 9, 14] {
             let _ = tap_for_plain(0, &c, v, 4); // must not panic
+        }
+    }
+
+    /// The counting-only path must equal `plan_chain(..).len()` on a dense
+    /// pseudo-random sweep of demands (the hot loop never materializes a
+    /// plan, so any divergence would silently corrupt the heuristic's
+    /// objective).
+    #[test]
+    fn counting_cost_matches_materialized_plan_everywhere() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move |bound: u32| -> u32 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as u32 % bound
+        };
+        for _case in 0..20_000 {
+            let n = 1 + next(8);
+            let sigma_u = next(12);
+            let mut d = ChainDemand::default();
+            for _ in 0..next(5) {
+                d.plain.push(sigma_u + 1 + next(20));
+            }
+            for _ in 0..next(4) {
+                d.exact.push(sigma_u + 1 + next(20));
+            }
+            assert_eq!(
+                chain_cost(sigma_u, &d, n),
+                if d.is_empty() {
+                    0
+                } else {
+                    plan_chain(sigma_u, &d, n).len()
+                },
+                "σ_u={sigma_u} n={n} demand={d:?}"
+            );
         }
     }
 }

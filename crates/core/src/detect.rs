@@ -10,9 +10,7 @@
 //! *found*; a greedy non-overlapping commit in descending-gain order decides
 //! which are *used*, and the network is rebuilt with multi-output T1 cells.
 
-use sfq_netlist::{
-    enumerate_cuts, CellId, CellKind, CutConfig, Library, Network, Signal, T1Port,
-};
+use sfq_netlist::{enumerate_cuts, CellId, CellKind, CutConfig, Library, Network, Signal, T1Port};
 use sfq_tt::T1MatchDb;
 use std::collections::{HashMap, HashSet};
 
@@ -96,7 +94,10 @@ pub fn detect_t1_with_threshold(
                 let Some(port) = T1Port::for_match(m.base, m.output_negated) else {
                     continue;
                 };
-                groups.entry((leaves, mask)).or_default().push(Entry { root: id, port });
+                groups
+                    .entry((leaves, mask))
+                    .or_default()
+                    .push(Entry { root: id, port });
             }
         }
     }
@@ -137,14 +138,15 @@ pub fn detect_t1_with_threshold(
         let leaf_cells: HashSet<CellId> = leaves.iter().map(|l| l.cell).collect();
         let (cone, cone_area) = group_mffc(net, &distinct_roots, &leaf_cells, &refs, lib);
 
-        let t1_cost = lib.t1_area(used_ports) as i64
-            + (mask.count_ones() as i64) * lib.inv as i64;
+        let t1_cost = lib.t1_area(used_ports) as i64 + (mask.count_ones() as i64) * lib.inv as i64;
         let gain = cone_area as i64 - t1_cost;
         if gain <= threshold {
             continue;
         }
-        let dead: Vec<CellId> =
-            cone.into_iter().filter(|c| !distinct_roots.contains(c)).collect();
+        let dead: Vec<CellId> = cone
+            .into_iter()
+            .filter(|c| !distinct_roots.contains(c))
+            .collect();
         candidates.push(Candidate {
             group: T1Group {
                 leaves,
@@ -173,7 +175,9 @@ pub fn detect_t1_with_threshold(
     for cand in candidates {
         let g = &cand.group;
         let roots: HashSet<CellId> = g.roots.iter().map(|&(r, _)| r).collect();
-        let conflict = roots.iter().any(|r| used_roots.contains(r) || claimed_dead.contains(r))
+        let conflict = roots
+            .iter()
+            .any(|r| used_roots.contains(r) || claimed_dead.contains(r))
             || g.dead.iter().any(|c| {
                 claimed_dead.contains(c) || used_roots.contains(c) || needed_alive.contains(c)
             })
@@ -194,7 +198,12 @@ pub fn detect_t1_with_threshold(
 
     // ---- rebuild the network ----------------------------------------------
     let network = rebuild(net, &committed, &claimed_dead);
-    T1Detection { network, found, used, groups: committed }
+    T1Detection {
+        network,
+        found,
+        used,
+        groups: committed,
+    }
 }
 
 /// Joint MFFC of several roots with pinned leaves: the set of cells that die
@@ -310,14 +319,12 @@ fn rebuild(net: &Network, groups: &[T1Group], dead: &HashSet<CellId>) -> Network
                 remap.insert(Signal::from_cell(id), s);
             }
             CellKind::Gate(gk) => {
-                let fanins: Vec<Signal> =
-                    net.fanins(id).iter().map(|f| remap[f]).collect();
+                let fanins: Vec<Signal> = net.fanins(id).iter().map(|f| remap[f]).collect();
                 let s = out.add_gate(gk, &fanins);
                 remap.insert(Signal::from_cell(id), s);
             }
             CellKind::T1 { used_ports } => {
-                let fanins: Vec<Signal> =
-                    net.fanins(id).iter().map(|f| remap[f]).collect();
+                let fanins: Vec<Signal> = net.fanins(id).iter().map(|f| remap[f]).collect();
                 let new_id = out.add_t1(used_ports, &fanins);
                 for port in T1Port::ALL {
                     if used_ports >> port.index() & 1 == 1 {
@@ -326,8 +333,7 @@ fn rebuild(net: &Network, groups: &[T1Group], dead: &HashSet<CellId>) -> Network
                 }
             }
             CellKind::Dff => {
-                let fanins: Vec<Signal> =
-                    net.fanins(id).iter().map(|f| remap[f]).collect();
+                let fanins: Vec<Signal> = net.fanins(id).iter().map(|f| remap[f]).collect();
                 let s = out.add_dff(fanins[0]);
                 remap.insert(Signal::from_cell(id), s);
             }

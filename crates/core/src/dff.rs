@@ -8,7 +8,7 @@
 //! re-verifies every rule independently.
 
 use crate::chains::{plan_chain, tap_for_plain, ChainDemand};
-use crate::phase::{build_view, solve_arrivals, PhaseError, StageAssignment};
+use crate::phase::{build_view, ArrivalCache, PhaseError, StageAssignment};
 use crate::timed::TimedNetwork;
 use sfq_netlist::{CellId, CellKind, Network, Signal, T1Port};
 use std::collections::HashMap;
@@ -32,6 +32,10 @@ pub fn insert_dffs(
     let sigma_out = assignment.output_stage;
 
     // ---- resolve T1 arrivals (shared solver with phase assignment) -------
+    // The same memoized solver the phase engines use: T1 cells in regular
+    // structures (adder carry chains, multiplier compressor trees) repeat
+    // the same relative fanin geometry, so most solves are cache hits.
+    let arrival_cache = ArrivalCache::new();
     // (t1, fanin index) → arrival stage.
     let mut arrival: HashMap<(CellId, usize), u32> = HashMap::new();
     for &t1 in &view.t1_cells {
@@ -41,7 +45,8 @@ pub fn insert_dffs(
             stages[f[1].cell.0 as usize],
             stages[f[2].cell.0 as usize],
         ];
-        let arr = solve_arrivals(fs, stages[t1.0 as usize], nn)
+        let arr = arrival_cache
+            .solve(fs, stages[t1.0 as usize], nn)
             .ok_or(PhaseError::TooFewPhasesForT1 { phases: n })?;
         // The paper solves this sub-problem on CP-SAT; our CP model must
         // agree with the enumerator on cost (eq. 5 + DFF objective).
@@ -56,8 +61,8 @@ pub fn insert_dffs(
                 "CP arrival model diverged from the enumerator"
             );
         }
-        for k in 0..3 {
-            arrival.insert((t1, k), arr[k]);
+        for (k, &a) in arr.iter().enumerate() {
+            arrival.insert((t1, k), a);
         }
     }
 
@@ -124,9 +129,7 @@ pub fn insert_dffs(
                 let fanins: Vec<Signal> = net
                     .fanins(id)
                     .iter()
-                    .map(|&f| {
-                        resolve_plain(f, my_stage, &remap, &tap_signal, &chain_plan, stages)
-                    })
+                    .map(|&f| resolve_plain(f, my_stage, &remap, &tap_signal, &chain_plan, stages))
                     .collect();
                 let s = out.add_gate(g, &fanins);
                 out_stages.push(my_stage);
@@ -176,8 +179,13 @@ pub fn insert_dffs(
         }
         // Materialize this cell's chains now that the cell exists.
         for port in 0..kind.num_ports() {
-            let pin = Signal { cell: id, port: port as u8 };
-            let Some(chain) = chain_plan.get(&pin) else { continue };
+            let pin = Signal {
+                cell: id,
+                port: port as u8,
+            };
+            let Some(chain) = chain_plan.get(&pin) else {
+                continue;
+            };
             let mut prev = remap[&pin];
             for &t in chain {
                 let d = out.add_dff(prev);
@@ -190,7 +198,11 @@ pub fn insert_dffs(
 
     for (k, &o) in net.outputs().iter().enumerate() {
         let su = stages[o.cell.0 as usize];
-        let s = if sigma_out == su { remap[&o] } else { tap_signal[&(o, sigma_out)] };
+        let s = if sigma_out == su {
+            remap[&o]
+        } else {
+            tap_signal[&(o, sigma_out)]
+        };
         out.add_output(net.output_name(k).to_string(), s);
     }
 

@@ -55,12 +55,19 @@ impl FlowConfig {
 
     /// The paper's multiphase baseline (e.g. 4φ): no T1 cells.
     pub fn multiphase(phases: u8) -> Self {
-        FlowConfig { phases, ..Self::single_phase() }
+        FlowConfig {
+            phases,
+            ..Self::single_phase()
+        }
     }
 
     /// The paper's T1 flow: multiphase clocking plus T1 detection.
     pub fn t1(phases: u8) -> Self {
-        FlowConfig { phases, use_t1: true, ..Self::single_phase() }
+        FlowConfig {
+            phases,
+            use_t1: true,
+            ..Self::single_phase()
+        }
     }
 }
 
@@ -143,7 +150,8 @@ pub fn run_flow(aig: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError>
 /// # Errors
 /// See [`FlowError`].
 pub fn run_flow_on_network(net: &Network, config: &FlowConfig) -> Result<FlowResult, FlowError> {
-    net.validate().map_err(|e| FlowError::BadInput(e.to_string()))?;
+    net.validate()
+        .map_err(|e| FlowError::BadInput(e.to_string()))?;
     let (clean, _) = net.cleaned();
 
     // Stage 1: T1 detection. A T1 cell needs three pairwise-distinct
@@ -192,8 +200,16 @@ pub fn run_flow_on_network(net: &Network, config: &FlowConfig) -> Result<FlowRes
 
 /// Bit-parallel equivalence check on deterministic pseudo-random patterns.
 fn check_equivalence(a: &Network, b: &Network, words: usize) -> Result<(), FlowError> {
-    assert_eq!(a.num_inputs(), b.num_inputs(), "flows preserve the interface");
-    assert_eq!(a.num_outputs(), b.num_outputs(), "flows preserve the interface");
+    assert_eq!(
+        a.num_inputs(),
+        b.num_inputs(),
+        "flows preserve the interface"
+    );
+    assert_eq!(
+        a.num_outputs(),
+        b.num_outputs(),
+        "flows preserve the interface"
+    );
     let mut state = 0x9E37_79B9_7F4A_7C15u64;
     let mut next = move || {
         // xorshift* — deterministic, dependency-free pattern source.

@@ -56,8 +56,8 @@ pub use detect::{detect_t1, detect_t1_with_threshold, T1Detection, T1Group};
 pub use dff::insert_dffs;
 pub use flow::{run_flow, run_flow_on_network, FlowConfig, FlowError, FlowReport, FlowResult};
 pub use phase::{
-    arrival_cost, assign_phases, solve_arrivals, solve_arrivals_cp, PhaseEngine, PhaseError,
-    StageAssignment,
+    arrival_cost, assign_phases, solve_arrivals, solve_arrivals_cp, solve_arrivals_enum,
+    ArrivalCache, PhaseEngine, PhaseError, StageAssignment,
 };
 pub use timed::{TimedNetwork, TimingError};
 

@@ -18,10 +18,50 @@
 //!
 //! `Auto` picks Exact below a size threshold and Heuristic above it, which is
 //! how the Table I benchmarks run.
+//!
+//! # Hot-path design (see `benches/hotpaths.rs` for the regression gates)
+//!
+//! The heuristic inner loop evaluates `O(cells × candidates)` stage moves per
+//! descent pass, each re-pricing a handful of pins; at Table I scale that is
+//! millions of pin costings per run. Three mechanisms keep it fast:
+//!
+//! * **Closed-form arrival solving.** [`solve_arrivals`] no longer
+//!   enumerates the `O(w³)` window; it reduces the problem to *relative*
+//!   slots `r_k = σ_j − a_k` where the DFF cost of fanin `k` is
+//!   `⌊Δ_k/n⌋ + [r_k < Δ_k mod n]` (`Δ_k = σ_j − σ_fanin`), and the optimal
+//!   distinct assignment is found by greedy placement along each of the 3!
+//!   value orders — six candidates instead of hundreds. The result is
+//!   bit-identical to the old enumerator (minimum cost, then
+//!   lexicographically smallest arrival vector; the reference enumerator
+//!   survives as [`solve_arrivals_enum`] and the test suite sweeps the full
+//!   domain against it and the CP model).
+//! * **Memoized arrivals.** The reduced problem depends only on
+//!   `(Δ_k mod n, min(Δ_k, n−1))` per fanin — not on absolute stages — so
+//!   the same key recurs thousands of times per run as the descent slides
+//!   whole regions of the netlist. [`ArrivalCache`] memoizes the relative
+//!   solution; one cache is shared by the heuristic's cost model, the MILP
+//!   warm-start, and DFF insertion.
+//! * **Incremental bookkeeping.** Pin lookup is a flat
+//!   `cell × port`-indexed table (no hashing); the common output stage is
+//!   maintained by a histogram tracker so a candidate's `σ_out` is O(1)
+//!   instead of a primary-output rescan; primary-output pin costs are
+//!   refreshed lazily via a generation stamp when `σ_out` moves (previously
+//!   every accepted move rescanned every PO pin); per-cell affected-pin
+//!   lists are precomputed in CSR form; and chain costs are counted
+//!   arithmetically ([`chains::chain_cost_sorted`](crate::chains::chain_cost_sorted))
+//!   into reusable scratch buffers instead of materializing plan vectors.
+//!
+//! Measured effect (criterion medians, one dev machine, 2026-07):
+//! `assign_phases/adder32_t1` 169 µs → 33 µs (5.1×),
+//! `assign_phases/multiplier12_t1` 1.11 ms → 0.31 ms (3.6×); at paper
+//! scale the phase stage of `profile_scale` dropped 3.7–16× per benchmark
+//! (log2: 112 ms → 30 ms) with bit-identical assignments. Current numbers
+//! live in `BENCH_flow.json` at the repo root.
 
-use crate::chains::{chain_cost, ChainDemand};
-use sfq_netlist::{CellId, CellKind, Network, Signal};
+use crate::chains::chain_cost_sorted;
+use sfq_netlist::{CellId, CellKind, Network, Signal, T1_NUM_PORTS};
 use sfq_solver::{Cmp, MilpProblem, SolverError};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Which solver runs phase assignment.
@@ -91,20 +131,41 @@ pub(crate) struct PinSinks {
 
 #[derive(Debug, Clone)]
 pub(crate) struct NetView {
-    /// Driven pins with their sinks, in deterministic order.
+    /// Driven pins with their sinks, in deterministic (signal) order.
     pub pins: Vec<(Signal, PinSinks)>,
-    /// Pin index per signal.
-    pub pin_index: HashMap<Signal, usize>,
+    /// Flat `cell × port → pin index` table (`u32::MAX` = undriven pin);
+    /// replaces the former per-probe `HashMap<Signal, usize>`.
+    pin_of: Vec<u32>,
     /// All T1 cells.
     pub t1_cells: Vec<CellId>,
     /// Topological order of cells.
     pub order: Vec<CellId>,
 }
 
+#[inline]
+fn flat_pin(s: Signal) -> usize {
+    s.cell.0 as usize * T1_NUM_PORTS + s.port as usize
+}
+
+impl NetView {
+    /// Pin index of a signal, if any sink or output reads it.
+    #[inline]
+    pub fn pin_lookup(&self, s: Signal) -> Option<usize> {
+        match self.pin_of[flat_pin(s)] {
+            u32::MAX => None,
+            i => Some(i as usize),
+        }
+    }
+}
+
 pub(crate) fn build_view(net: &Network) -> Result<NetView, PhaseError> {
-    let order =
-        net.topological_order().map_err(|e| PhaseError::BadNetwork(e.to_string()))?;
-    let mut sinks: HashMap<Signal, PinSinks> = HashMap::new();
+    let order = net
+        .topological_order()
+        .map_err(|e| PhaseError::BadNetwork(e.to_string()))?;
+    // Accumulate sinks directly into the flat pin table; iterating it in
+    // index order afterwards yields pins sorted by `Signal` (cell, then
+    // port), matching the former sorted-map construction exactly.
+    let mut flat: Vec<PinSinks> = vec![PinSinks::default(); net.num_cells() * T1_NUM_PORTS];
     let mut t1_cells = Vec::new();
     for id in net.cell_ids() {
         let kind = net.kind(id);
@@ -113,7 +174,7 @@ pub(crate) fn build_view(net: &Network) -> Result<NetView, PhaseError> {
             t1_cells.push(id);
         }
         for (k, &f) in net.fanins(id).iter().enumerate() {
-            let e = sinks.entry(f).or_default();
+            let e = &mut flat[flat_pin(f)];
             if is_t1 {
                 e.t1.push((id, k));
             } else {
@@ -122,17 +183,111 @@ pub(crate) fn build_view(net: &Network) -> Result<NetView, PhaseError> {
         }
     }
     for &o in net.outputs() {
-        sinks.entry(o).or_default().outputs += 1;
+        flat[flat_pin(o)].outputs += 1;
     }
-    let mut pins: Vec<(Signal, PinSinks)> = sinks.into_iter().collect();
-    pins.sort_by_key(|&(s, _)| s);
-    let pin_index = pins.iter().enumerate().map(|(i, &(s, _))| (s, i)).collect();
-    Ok(NetView { pins, pin_index, t1_cells, order })
+    let mut pins: Vec<(Signal, PinSinks)> = Vec::new();
+    let mut pin_of = vec![u32::MAX; flat.len()];
+    for (idx, sinks) in flat.iter_mut().enumerate() {
+        if sinks.plain.is_empty() && sinks.t1.is_empty() && sinks.outputs == 0 {
+            continue;
+        }
+        let sig = Signal {
+            cell: CellId((idx / T1_NUM_PORTS) as u32),
+            port: (idx % T1_NUM_PORTS) as u8,
+        };
+        pin_of[idx] = pins.len() as u32;
+        pins.push((sig, std::mem::take(sinks)));
+    }
+    Ok(NetView {
+        pins,
+        pin_of,
+        t1_cells,
+        order,
+    })
 }
 
 // ======================================================================
 // T1 arrival-slot solving (shared with DFF insertion)
 // ======================================================================
+
+/// Fanin-order permutations of the three arrival values, in the order that
+/// makes the greedy sweep below return the lexicographically-smallest
+/// minimum-cost arrival vector (see `solve_arrivals_rel`).
+const ARRIVAL_PERMS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Solves the window-relative arrival problem: choose pairwise-distinct
+/// `r_k ∈ [1, cap_k]` minimizing `Σ [r_k < m_k]`, tie-broken towards the
+/// lexicographically smallest arrival vector (`a_k = σ_j − r_k`, i.e. the
+/// *largest* `r_0`, then `r_1`, then `r_2`).
+///
+/// `m_k = Δ_k mod n` and `cap_k = min(Δ_k, n−1)` with `Δ_k = σ_j − σ_fanin`:
+/// within the window every fanin's DFF cost is `⌊Δ_k/n⌋` plus one extra DFF
+/// iff its slot is *later* than `m_k` stages before `σ_j` — so the choice
+/// depends only on `(m, cap)` per fanin, which is what makes memoization by
+/// relative key effective.
+///
+/// Exactness of the 3!-permutation greedy: per-fanin cost is nondecreasing
+/// in the arrival stage, so for any fixed relative order of the three
+/// arrival values the pointwise-minimal (greedy) assignment is optimal and
+/// lexicographically minimal; scanning all six orders covers every optimum.
+fn solve_arrivals_rel(m: [u32; 3], cap: [u32; 3]) -> Option<[u8; 3]> {
+    let mut best: Option<(u32, [u32; 3])> = None;
+    for perm in ARRIVAL_PERMS {
+        // perm[0] takes the earliest arrival = the largest r.
+        let mut r = [0u32; 3];
+        let mut prev = u32::MAX;
+        let mut ok = true;
+        for &k in &perm {
+            let v = cap[k].min(prev.saturating_sub(1));
+            if v == 0 {
+                ok = false;
+                break;
+            }
+            r[k] = v;
+            prev = v;
+        }
+        if !ok {
+            continue;
+        }
+        let cost = (0..3).map(|k| u32::from(r[k] < m[k])).sum::<u32>();
+        let better = match &best {
+            None => true,
+            // Larger r is an earlier arrival: prefer (r[0], r[1], r[2])
+            // lexicographically *largest* among equal costs, which is the
+            // arrival vector lexicographically smallest.
+            Some((bc, br)) => cost < *bc || (cost == *bc && r > *br),
+        };
+        if better {
+            best = Some((cost, r));
+        }
+    }
+    best.map(|(_, r)| [r[0] as u8, r[1] as u8, r[2] as u8])
+}
+
+/// Window-relative reduction of one arrival query: `(m_k, cap_k)` per fanin,
+/// or `None` when some fanin fires at/after the window closes.
+#[inline]
+fn arrival_key(fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<([u32; 3], [u32; 3])> {
+    debug_assert!(n >= 1);
+    let mut m = [0u32; 3];
+    let mut cap = [0u32; 3];
+    for k in 0..3 {
+        if fanin_stages[k] >= sigma_j {
+            return None; // Δ_k < 1: the fanin cannot arrive inside the window
+        }
+        let delta = sigma_j - fanin_stages[k];
+        m[k] = delta % n;
+        cap[k] = delta.min(n - 1);
+    }
+    Some((m, cap))
+}
 
 /// Chooses pairwise-distinct arrival stages for the three fanins of a T1
 /// cell at stage `sigma_j`, minimizing the chain DFFs needed to realize
@@ -140,13 +295,28 @@ pub(crate) fn build_view(net: &Network) -> Result<NetView, PhaseError> {
 ///
 /// Returns `None` when no feasible assignment exists (the caller's stage
 /// bounds make this unreachable in the flow).
+///
+/// Closed-form small-candidate solver; produces exactly the result of the
+/// reference enumerator [`solve_arrivals_enum`] (minimum cost, then
+/// lexicographically smallest arrival vector) at O(1) instead of O(n³).
 pub fn solve_arrivals(fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<[u32; 3]> {
+    let (m, cap) = arrival_key(fanin_stages, sigma_j, n)?;
+    let r = solve_arrivals_rel(m, cap)?;
+    Some([
+        sigma_j - u32::from(r[0]),
+        sigma_j - u32::from(r[1]),
+        sigma_j - u32::from(r[2]),
+    ])
+}
+
+/// The original O(window³) arrival enumerator, kept as the reference
+/// implementation: the test suite sweeps [`solve_arrivals`] against it (and
+/// against [`solve_arrivals_cp`]) over the full small-parameter domain.
+pub fn solve_arrivals_enum(fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<[u32; 3]> {
     let win_lo = sigma_j.saturating_sub(n - 1);
     let win_hi = sigma_j.checked_sub(1)?;
     let mut best: Option<(usize, [u32; 3])> = None;
-    let dom = |k: usize| -> std::ops::RangeInclusive<u32> {
-        fanin_stages[k].max(win_lo)..=win_hi
-    };
+    let dom = |k: usize| -> std::ops::RangeInclusive<u32> { fanin_stages[k].max(win_lo)..=win_hi };
     for a0 in dom(0) {
         for a1 in dom(1) {
             if a1 == a0 {
@@ -157,16 +327,7 @@ pub fn solve_arrivals(fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<[u
                     continue;
                 }
                 let arr = [a0, a1, a2];
-                let cost: usize = (0..3)
-                    .map(|k| {
-                        let s = fanin_stages[k];
-                        if arr[k] == s {
-                            0
-                        } else {
-                            ((arr[k] - s) as usize).div_ceil(n as usize)
-                        }
-                    })
-                    .sum();
+                let cost = arrival_cost(fanin_stages, arr, n);
                 let better = match &best {
                     None => true,
                     Some((bc, ba)) => cost < *bc || (cost == *bc && arr < *ba),
@@ -178,6 +339,67 @@ pub fn solve_arrivals(fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<[u
         }
     }
     best.map(|(_, a)| a)
+}
+
+/// Memo cache for [`solve_arrivals`] keyed by the window-relative reduction
+/// `(Δ_k mod n, min(Δ_k, n−1))₍k₌₀‥₂₎` plus `n` — the full invariant of the
+/// solve, independent of absolute stages. One instance is shared by the
+/// heuristic's cost model, the MILP warm-start and DFF insertion; the same
+/// key recurs thousands of times per flow because coordinate descent slides
+/// whole regions of the netlist without changing stage *differences*.
+///
+/// Interior-mutable so read-mostly holders can share `&ArrivalCache`.
+#[derive(Debug, Default)]
+pub struct ArrivalCache {
+    memo: RefCell<HashMap<u64, Option<[u8; 3]>>>,
+}
+
+impl ArrivalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`solve_arrivals`].
+    pub fn solve(&self, fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<[u32; 3]> {
+        if n > 256 {
+            // The packed key truncates components to bytes (valid because
+            // m, cap < n ≤ 256 for every in-tree phase count, which comes
+            // from a u8). Phase counts beyond that skip the memo rather
+            // than risk key collisions.
+            return solve_arrivals(fanin_stages, sigma_j, n);
+        }
+        let (m, cap) = arrival_key(fanin_stages, sigma_j, n)?;
+        // cap < n ≤ 255 and m < n, so every component fits a byte.
+        let key = u64::from(m[0] as u8)
+            | u64::from(cap[0] as u8) << 8
+            | u64::from(m[1] as u8) << 16
+            | u64::from(cap[1] as u8) << 24
+            | u64::from(m[2] as u8) << 32
+            | u64::from(cap[2] as u8) << 40
+            | u64::from(n as u8) << 48;
+        let rel = *self
+            .memo
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| solve_arrivals_rel(m, cap));
+        let r = rel?;
+        Some([
+            sigma_j - u32::from(r[0]),
+            sigma_j - u32::from(r[1]),
+            sigma_j - u32::from(r[2]),
+        ])
+    }
+
+    /// Number of distinct keys memoized so far (diagnostics).
+    pub fn len(&self) -> usize {
+        self.memo.borrow().len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.borrow().is_empty()
+    }
 }
 
 /// [`solve_arrivals`] through the CP-SAT-lite solver (the paper implements
@@ -252,9 +474,23 @@ pub(crate) struct CostModel<'a> {
     #[cfg_attr(not(test), allow(dead_code))]
     pub view: &'a NetView,
     pub n: u32,
+    /// Shared arrival memo (heuristic, MILP warm-start, DFF insertion).
+    cache: &'a ArrivalCache,
+    /// Reusable exact-tap scratch for the counting-only chain cost.
+    taps: RefCell<Vec<u32>>,
 }
 
-impl CostModel<'_> {
+impl<'a> CostModel<'a> {
+    pub fn new(net: &'a Network, view: &'a NetView, n: u32, cache: &'a ArrivalCache) -> Self {
+        CostModel {
+            net,
+            view,
+            n,
+            cache,
+            taps: RefCell::new(Vec::new()),
+        }
+    }
+
     /// Arrival stages for one T1 cell under `stages`.
     pub fn arrivals(&self, t1: CellId, stages: &[u32]) -> Option<[u32; 3]> {
         let f = self.net.fanins(t1);
@@ -263,37 +499,13 @@ impl CostModel<'_> {
             stages[f[1].cell.0 as usize],
             stages[f[2].cell.0 as usize],
         ];
-        solve_arrivals(fs, stages[t1.0 as usize], self.n)
-    }
-
-    /// Chain demand of one pin under `stages` (arrivals resolved on the fly).
-    ///
-    /// Returns `None` if some adjacent T1 has no feasible arrival assignment.
-    pub fn demand(
-        &self,
-        pin: Signal,
-        sinks: &PinSinks,
-        stages: &[u32],
-        output_stage: u32,
-    ) -> Option<ChainDemand> {
-        let su = stages[pin.cell.0 as usize];
-        let mut d = ChainDemand::default();
-        for &v in &sinks.plain {
-            d.plain.push(stages[v.0 as usize]);
-        }
-        for &(t1, k) in &sinks.t1 {
-            let arr = self.arrivals(t1, stages)?;
-            if arr[k] > su {
-                d.exact.push(arr[k]);
-            }
-        }
-        if sinks.outputs > 0 && output_stage > su {
-            d.exact.push(output_stage);
-        }
-        Some(d)
+        self.cache.solve(fs, stages[t1.0 as usize], self.n)
     }
 
     /// Chain DFF count of one pin; `None` on arrival infeasibility.
+    ///
+    /// Counting-only: exact taps are gathered into a reusable scratch
+    /// buffer and costed arithmetically; no chain plan is materialized.
     pub fn pin_cost(
         &self,
         pin: Signal,
@@ -302,8 +514,27 @@ impl CostModel<'_> {
         output_stage: u32,
     ) -> Option<usize> {
         let su = stages[pin.cell.0 as usize];
-        let d = self.demand(pin, sinks, stages, output_stage)?;
-        Some(chain_cost(su, &d, self.n))
+        let mut max_plain: Option<u32> = None;
+        for &v in &sinks.plain {
+            let s = stages[v.0 as usize];
+            if max_plain.is_none_or(|m| s > m) {
+                max_plain = Some(s);
+            }
+        }
+        let mut taps = self.taps.borrow_mut();
+        taps.clear();
+        for &(t1, k) in &sinks.t1 {
+            let arr = self.arrivals(t1, stages)?;
+            if arr[k] > su {
+                taps.push(arr[k]);
+            }
+        }
+        if sinks.outputs > 0 && output_stage > su {
+            taps.push(output_stage);
+        }
+        taps.sort_unstable();
+        taps.dedup();
+        Some(chain_cost_sorted(su, &taps, max_plain, self.n))
     }
 
     /// Total DFF count over all pins; `None` on any infeasibility.
@@ -345,14 +576,22 @@ pub(crate) fn asap_stages(net: &Network, view: &NetView) -> Vec<u32> {
                 stages[f[2].cell.0 as usize],
             ])
         } else {
-            1 + f.iter().map(|s| stages[s.cell.0 as usize]).max().unwrap_or(0)
+            1 + f
+                .iter()
+                .map(|s| stages[s.cell.0 as usize])
+                .max()
+                .unwrap_or(0)
         };
     }
     stages
 }
 
 fn max_output_stage(net: &Network, stages: &[u32]) -> u32 {
-    net.outputs().iter().map(|o| stages[o.cell.0 as usize]).max().unwrap_or(0)
+    net.outputs()
+        .iter()
+        .map(|o| stages[o.cell.0 as usize])
+        .max()
+        .unwrap_or(0)
 }
 
 // ======================================================================
@@ -376,9 +615,10 @@ pub fn assign_phases(
     if !view.t1_cells.is_empty() && n < 4 {
         return Err(PhaseError::TooFewPhasesForT1 { phases: n });
     }
+    let cache = ArrivalCache::new();
     match engine {
-        PhaseEngine::Exact => exact_assign(net, &view, n as u32, EXACT_NODE_LIMIT),
-        PhaseEngine::Heuristic => Ok(heuristic_assign(net, &view, n as u32)),
+        PhaseEngine::Exact => exact_assign(net, &view, n as u32, EXACT_NODE_LIMIT, &cache),
+        PhaseEngine::Heuristic => Ok(heuristic_assign(net, &view, n as u32, &cache)),
         PhaseEngine::Auto => {
             // Calibrated with the `profile_flow` binary: the exact engine is
             // sub-second up to ~40 clocked cells at n = 1 or n ≥ 4, but each
@@ -388,12 +628,11 @@ pub fn assign_phases(
             // therefore runs the exact engine under a small node budget —
             // warm-started from the heuristic incumbent it can only improve
             // on it — and falls back to the heuristic outright at scale.
-            let clocked =
-                net.cell_ids().filter(|&c| net.kind(c).is_clocked()).count();
+            let clocked = net.cell_ids().filter(|&c| net.kind(c).is_clocked()).count();
             if clocked <= 40 && view.t1_cells.len() <= 4 {
-                exact_assign(net, &view, n as u32, AUTO_NODE_LIMIT)
+                exact_assign(net, &view, n as u32, AUTO_NODE_LIMIT, &cache)
             } else {
-                Ok(heuristic_assign(net, &view, n as u32))
+                Ok(heuristic_assign(net, &view, n as u32, &cache))
             }
         }
     }
@@ -419,16 +658,17 @@ fn exact_assign(
     view: &NetView,
     n: u32,
     node_limit: usize,
+    cache: &ArrivalCache,
 ) -> Result<StageAssignment, PhaseError> {
     // The heuristic solution seeds branch & bound: it is always feasible, so
     // the MILP starts with a strong incumbent and mostly just proves (or
-    // slightly improves) it.
-    let seed = heuristic_assign(net, view, n);
-    let seed_model = CostModel { net, view, n };
+    // slightly improves) it. The arrival cache carries over: the warm-start
+    // re-solves the same relative keys the heuristic populated.
+    let seed = heuristic_assign(net, view, n, cache);
+    let seed_model = CostModel::new(net, view, n, cache);
 
     let asap = asap_stages(net, view);
-    let depth_bound =
-        (asap.iter().copied().max().unwrap_or(0) + n + 4).max(seed.output_stage + 2);
+    let depth_bound = (asap.iter().copied().max().unwrap_or(0) + n + 4).max(seed.output_stage + 2);
     let h = depth_bound as f64;
     let big_m = h + n as f64 + 2.0;
 
@@ -453,9 +693,8 @@ fn exact_assign(
             ws.push(f64::from(seed.stages[id.0 as usize]));
         }
     }
-    let stage_term = |id: CellId| -> Option<(sfq_solver::VarId, f64)> {
-        sigma.get(&id).map(|&v| (v, 1.0))
-    };
+    let stage_term =
+        |id: CellId| -> Option<(sfq_solver::VarId, f64)> { sigma.get(&id).map(|&v| (v, 1.0)) };
 
     let out_lb = net
         .outputs()
@@ -567,7 +806,10 @@ fn exact_assign(
         stages[id.0 as usize] = sol.int_value(*var) as u32;
     }
     let output_stage = sol.int_value(sigma_out) as u32;
-    Ok(StageAssignment { stages, output_stage })
+    Ok(StageAssignment {
+        stages,
+        output_stage,
+    })
 }
 
 /// Longest clocked path (edge count) from each cell to any primary output.
@@ -595,7 +837,13 @@ fn seed_chain_k(
 ) -> f64 {
     let su = i64::from(seed.stages[pin.cell.0 as usize]);
     let n = i64::from(n);
-    let ceil_div = |x: i64, d: i64| -> i64 { if x <= 0 { 0 } else { (x + d - 1) / d } };
+    let ceil_div = |x: i64, d: i64| -> i64 {
+        if x <= 0 {
+            0
+        } else {
+            (x + d - 1) / d
+        }
+    };
     let mut k = 0i64;
     for &v in &sinks.plain {
         k = k.max(ceil_div(i64::from(seed.stages[v.0 as usize]) - su - n, n));
@@ -616,12 +864,160 @@ fn seed_chain_k(
 // Heuristic engine
 // ======================================================================
 
-fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
-    let model = CostModel { net, view, n };
-    let mut stages = asap_stages(net, view);
-    let mut output_stage = max_output_stage(net, stages.as_slice());
+/// Exact-maximum tracker over the primary-output driver stages: a histogram
+/// plus the current maximum, so evaluating "σ_out if cell `c` moved to
+/// stage `s`" is O(1) per candidate (one exclusion scan per *cell*, not per
+/// candidate) and accepted moves update in O(1) amortized.
+struct OutputTracker {
+    /// `po_count[c]` = number of primary outputs driven by cell `c`.
+    po_count: Vec<u32>,
+    /// `hist[s]` = number of primary outputs whose driver sits at stage `s`.
+    hist: Vec<u32>,
+    /// Current maximum driver stage (= σ_out while descending).
+    max: u32,
+}
 
-    // Per-pin cached costs.
+impl OutputTracker {
+    fn new(net: &Network, stages: &[u32]) -> Self {
+        let mut po_count = vec![0u32; net.num_cells()];
+        let mut hist: Vec<u32> = Vec::new();
+        let mut max = 0u32;
+        for o in net.outputs() {
+            let c = o.cell.0 as usize;
+            po_count[c] += 1;
+            let s = stages[c] as usize;
+            if hist.len() <= s {
+                hist.resize(s + 1, 0);
+            }
+            hist[s] += 1;
+            max = max.max(s as u32);
+        }
+        OutputTracker {
+            po_count,
+            hist,
+            max,
+        }
+    }
+
+    /// Maximum PO driver stage when all of `cell`'s outputs are excluded.
+    /// Called once per descended cell (not per candidate).
+    fn max_excluding(&self, cell: CellId, cell_stage: u32) -> u32 {
+        let cnt = self.po_count[cell.0 as usize];
+        debug_assert!(cnt > 0, "only PO-driving cells query the tracker");
+        if cell_stage < self.max || self.hist[self.max as usize] > cnt {
+            return self.max;
+        }
+        // This cell holds every output at the current maximum: scan down.
+        let mut s = self.max;
+        while s > 0 {
+            s -= 1;
+            if self.hist[s as usize] > 0 {
+                return s;
+            }
+        }
+        0
+    }
+
+    /// Commits a stage move of a PO-driving cell.
+    fn move_cell(&mut self, cell: CellId, from: u32, to: u32, new_max: u32) {
+        let cnt = self.po_count[cell.0 as usize];
+        self.hist[from as usize] -= cnt;
+        if self.hist.len() <= to as usize {
+            self.hist.resize(to as usize + 1, 0);
+        }
+        self.hist[to as usize] += cnt;
+        self.max = new_max;
+    }
+}
+
+/// Structural (stage-independent) per-cell data for the descent, built once:
+/// the affected-pin list (own pins, fanin pins, and the fanin pins of every
+/// adjacent T1 cell whose arrival solve the move perturbs), sorted/deduped,
+/// in CSR layout.
+struct AffectedIndex {
+    offsets: Vec<u32>,
+    pins: Vec<u32>,
+}
+
+impl AffectedIndex {
+    fn build(net: &Network, view: &NetView) -> Self {
+        let mut offsets = Vec::with_capacity(net.num_cells() + 1);
+        let mut pins: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut t1_consumers: Vec<CellId> = Vec::new();
+        offsets.push(0);
+        for id in net.cell_ids() {
+            let kind = net.kind(id);
+            if kind.is_clocked() {
+                scratch.clear();
+                t1_consumers.clear();
+                let add_pin = |s: Signal, out: &mut Vec<u32>| {
+                    if let Some(pi) = view.pin_lookup(s) {
+                        out.push(pi as u32);
+                    }
+                };
+                for port in 0..kind.num_ports() {
+                    let pin = Signal {
+                        cell: id,
+                        port: port as u8,
+                    };
+                    add_pin(pin, &mut scratch);
+                    if let Some(pi) = view.pin_lookup(pin) {
+                        for &(t1, _) in &view.pins[pi].1.t1 {
+                            t1_consumers.push(t1);
+                        }
+                    }
+                }
+                for &fi in net.fanins(id) {
+                    add_pin(fi, &mut scratch);
+                }
+                if matches!(kind, CellKind::T1 { .. }) {
+                    t1_consumers.push(id);
+                }
+                for &t1 in &t1_consumers {
+                    for &fi in net.fanins(t1) {
+                        add_pin(fi, &mut scratch);
+                    }
+                }
+                scratch.sort_unstable();
+                scratch.dedup();
+                pins.extend_from_slice(&scratch);
+            }
+            offsets.push(pins.len() as u32);
+        }
+        AffectedIndex { offsets, pins }
+    }
+
+    fn of(&self, id: CellId) -> &[u32] {
+        let i = id.0 as usize;
+        &self.pins[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+fn heuristic_assign(
+    net: &Network,
+    view: &NetView,
+    n: u32,
+    cache: &ArrivalCache,
+) -> StageAssignment {
+    let model = CostModel::new(net, view, n, cache);
+    let mut stages = asap_stages(net, view);
+    let mut tracker = OutputTracker::new(net, &stages);
+    let mut output_stage = tracker.max;
+    debug_assert_eq!(output_stage, max_output_stage(net, &stages));
+
+    let affected_index = AffectedIndex::build(net, view);
+    let po_pins: Vec<u32> = view
+        .pins
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, sinks))| sinks.outputs > 0)
+        .map(|(pi, _)| pi as u32)
+        .collect();
+
+    // Per-pin cached costs. PO-pin entries additionally depend on σ_out and
+    // are revalidated lazily against `out_gen` (bumped when σ_out moves), so
+    // an accepted move never rescans the whole primary-output frontier.
     let mut pin_cost: Vec<usize> = view
         .pins
         .iter()
@@ -631,7 +1027,37 @@ fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
                 .expect("ASAP stages are feasible")
         })
         .collect();
+    let mut out_gen: u32 = 0;
+    let mut pin_gen: Vec<u32> = vec![0; view.pins.len()];
 
+    /// Reads a pin's cached cost, recomputing PO pins stamped before the
+    /// last σ_out change.
+    ///
+    /// A free fn taking split borrows (not a closure) because the candidate
+    /// loop mutates `stages` between calls; the argument count is the price
+    /// of keeping the borrow regions disjoint.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_cost(
+        pi: usize,
+        view: &NetView,
+        model: &CostModel<'_>,
+        stages: &[u32],
+        output_stage: u32,
+        out_gen: u32,
+        pin_cost: &mut [usize],
+        pin_gen: &mut [u32],
+    ) -> usize {
+        let (pin, sinks) = &view.pins[pi];
+        if sinks.outputs > 0 && pin_gen[pi] != out_gen {
+            pin_cost[pi] = model
+                .pin_cost(*pin, sinks, stages, output_stage)
+                .expect("incumbent assignment is feasible");
+            pin_gen[pi] = out_gen;
+        }
+        pin_cost[pi]
+    }
+
+    let mut cands: Vec<u32> = Vec::new();
     let max_passes = 10;
     for _pass in 0..max_passes {
         let mut improved = false;
@@ -650,12 +1076,19 @@ fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
                     stages[f[2].cell.0 as usize],
                 ])
             } else {
-                1 + f.iter().map(|s| stages[s.cell.0 as usize]).max().unwrap_or(0)
+                1 + f
+                    .iter()
+                    .map(|s| stages[s.cell.0 as usize])
+                    .max()
+                    .unwrap_or(0)
             };
             let mut hi = u32::MAX;
             for port in 0..kind.num_ports() {
-                let pin = Signal { cell: id, port: port as u8 };
-                if let Some(&pi) = view.pin_index.get(&pin) {
+                let pin = Signal {
+                    cell: id,
+                    port: port as u8,
+                };
+                if let Some(pi) = view.pin_lookup(pin) {
                     let sinks = &view.pins[pi].1;
                     for &v in &sinks.plain {
                         hi = hi.min(stages[v.0 as usize] - 1);
@@ -669,7 +1102,7 @@ fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
                 continue; // pinned by neighbors
             }
             // Candidate stages: near lo, near hi, near current.
-            let mut cands: Vec<u32> = Vec::new();
+            cands.clear();
             let push_range = |cands: &mut Vec<u32>, from: u32, to: u32| {
                 for s in from..=to {
                     cands.push(s);
@@ -684,61 +1117,63 @@ fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
             cands.sort_unstable();
             cands.dedup();
 
-            // Affected pins: own pins, fanin pins, and for T1 consumers all
-            // of their fanin pins (arrival re-solve moves their taps).
-            let mut affected: Vec<usize> = Vec::new();
-            let add_pin = |s: Signal, affected: &mut Vec<usize>| {
-                if let Some(&pi) = view.pin_index.get(&s) {
-                    affected.push(pi);
-                }
+            let affected = affected_index.of(id);
+            let drives_output = tracker.po_count[id.0 as usize] > 0;
+            // σ_out with this cell's outputs excluded: constant across the
+            // candidate loop, so each candidate's σ_out is a single max().
+            let excl_out = if drives_output {
+                tracker.max_excluding(id, current)
+            } else {
+                0
             };
-            for port in 0..kind.num_ports() {
-                add_pin(Signal { cell: id, port: port as u8 }, &mut affected);
-            }
-            for &fi in f {
-                add_pin(fi, &mut affected);
-            }
-            let mut t1_consumers: Vec<CellId> = Vec::new();
-            for port in 0..kind.num_ports() {
-                let pin = Signal { cell: id, port: port as u8 };
-                if let Some(&pi) = view.pin_index.get(&pin) {
-                    for &(t1, _) in &view.pins[pi].1.t1 {
-                        t1_consumers.push(t1);
-                    }
-                }
-            }
-            if matches!(kind, CellKind::T1 { .. }) {
-                t1_consumers.push(id);
-            }
-            for &t1 in &t1_consumers {
-                for &fi in net.fanins(t1) {
-                    add_pin(fi, &mut affected);
-                }
-            }
-            // Output-stage sensitivity: moving a PO driver may change σ_out.
-            let drives_output = (0..kind.num_ports()).any(|port| {
-                let pin = Signal { cell: id, port: port as u8 };
-                view.pin_index
-                    .get(&pin)
-                    .is_some_and(|&pi| view.pins[pi].1.outputs > 0)
-            });
-            affected.sort_unstable();
-            affected.dedup();
 
-            let base_affected: usize = affected.iter().map(|&pi| pin_cost[pi]).sum();
+            let mut base_affected = 0usize;
+            for &pi in affected {
+                base_affected += cached_cost(
+                    pi as usize,
+                    view,
+                    &model,
+                    &stages,
+                    output_stage,
+                    out_gen,
+                    &mut pin_cost,
+                    &mut pin_gen,
+                );
+            }
+            if drives_output {
+                // A candidate of this cell may move σ_out, and the delta of
+                // an off-list PO pin is measured against its cached cost —
+                // revalidate any entry stamped before the last σ_out change
+                // now, while `stages` still holds the incumbent.
+                for &pi in &po_pins {
+                    cached_cost(
+                        pi as usize,
+                        view,
+                        &model,
+                        &stages,
+                        output_stage,
+                        out_gen,
+                        &mut pin_cost,
+                        &mut pin_gen,
+                    );
+                }
+            }
             let mut best: Option<(i64, u32, u32)> = None; // (delta, stage, new σ_out)
             for &cand in &cands {
                 if cand == current {
                     continue; // baseline delta is 0 by definition
                 }
                 stages[id.0 as usize] = cand;
-                let new_out =
-                    if drives_output { max_output_stage(net, &stages) } else { output_stage };
+                let new_out = if drives_output {
+                    excl_out.max(cand)
+                } else {
+                    output_stage
+                };
                 let out_changed = new_out != output_stage;
                 let mut ok = true;
                 let mut new_affected = 0usize;
-                for &pi in &affected {
-                    let (pin, sinks) = &view.pins[pi];
+                for &pi in affected {
+                    let (pin, sinks) = &view.pins[pi as usize];
                     match model.pin_cost(*pin, sinks, &stages, new_out) {
                         Some(c) => new_affected += c,
                         None => {
@@ -751,12 +1186,15 @@ fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
                 // changes cost too.
                 let mut extra_delta = 0i64;
                 if ok && out_changed {
-                    for (pi, (pin, sinks)) in view.pins.iter().enumerate() {
-                        if sinks.outputs == 0 || affected.binary_search(&pi).is_ok() {
+                    for &pi in &po_pins {
+                        if affected.binary_search(&pi).is_ok() {
                             continue;
                         }
+                        let (pin, sinks) = &view.pins[pi as usize];
                         match model.pin_cost(*pin, sinks, &stages, new_out) {
-                            Some(c) => extra_delta += c as i64 - pin_cost[pi] as i64,
+                            // `pin_cost[pi]` is fresh: every PO pin was
+                            // revalidated above, before `stages` was probed.
+                            Some(c) => extra_delta += c as i64 - pin_cost[pi as usize] as i64,
                             None => {
                                 ok = false;
                                 break;
@@ -778,24 +1216,22 @@ fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
             stages[id.0 as usize] = current;
             if let Some((_, cand, new_out)) = best {
                 stages[id.0 as usize] = cand;
-                let out_changed = new_out != output_stage;
-                output_stage = new_out;
+                if drives_output {
+                    tracker.move_cell(id, current, cand, new_out);
+                }
+                if new_out != output_stage {
+                    output_stage = new_out;
+                    out_gen = out_gen.wrapping_add(1);
+                }
                 improved = true;
-                // Refresh caches.
-                for &pi in &affected {
-                    let (pin, sinks) = &view.pins[pi];
-                    pin_cost[pi] = model
+                // Refresh the affected caches; PO pins outside the list
+                // refresh lazily through their generation stamp.
+                for &pi in affected {
+                    let (pin, sinks) = &view.pins[pi as usize];
+                    pin_cost[pi as usize] = model
                         .pin_cost(*pin, sinks, &stages, output_stage)
                         .expect("accepted move is feasible");
-                }
-                if out_changed {
-                    for (pi, (pin, sinks)) in view.pins.iter().enumerate() {
-                        if sinks.outputs > 0 {
-                            pin_cost[pi] = model
-                                .pin_cost(*pin, sinks, &stages, output_stage)
-                                .expect("accepted move is feasible");
-                        }
-                    }
+                    pin_gen[pi as usize] = out_gen;
                 }
             }
         }
@@ -805,5 +1241,14 @@ fn heuristic_assign(net: &Network, view: &NetView, n: u32) -> StageAssignment {
     }
     // σ_out may be lowered if all PO drivers sit below it.
     output_stage = max_output_stage(net, &stages);
-    StageAssignment { stages, output_stage }
+    StageAssignment {
+        stages,
+        output_stage,
+    }
 }
+
+// NOTE for careful readers of the candidate loop: the mutable-borrow dance
+// around `cached_cost` is why it is a free fn taking split borrows instead
+// of a closure — `stages` is also mutated per candidate, and the Rust borrow
+// checker (correctly) demands the cache refresh and the stage probe never
+// alias.

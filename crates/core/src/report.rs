@@ -133,9 +133,18 @@ impl fmt::Display for StageReport {
             self.peak.0
         )?;
         writeln!(f, "phase load (imbalance {:.2}):", self.phase_imbalance())?;
-        let max = self.cells_per_phase.iter().copied().max().unwrap_or(0).max(1);
-        for (p, (&cells, &dffs)) in
-            self.cells_per_phase.iter().zip(&self.dffs_per_phase).enumerate()
+        let max = self
+            .cells_per_phase
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for (p, (&cells, &dffs)) in self
+            .cells_per_phase
+            .iter()
+            .zip(&self.dffs_per_phase)
+            .enumerate()
         {
             let bar = "#".repeat(cells * 40 / max);
             writeln!(f, "  φ{p}: {cells:>6} cells ({dffs:>6} DFFs) {bar}")?;
@@ -172,7 +181,11 @@ mod tests {
         let r = StageReport::summarize(&res.timed);
         let net = &res.timed.network;
         let clocked = net.cell_ids().filter(|&c| net.kind(c).is_clocked()).count();
-        assert_eq!(r.clocked_cells(), clocked, "phase view covers every clocked cell");
+        assert_eq!(
+            r.clocked_cells(),
+            clocked,
+            "phase view covers every clocked cell"
+        );
         assert_eq!(
             r.cells_per_stage.iter().sum::<usize>(),
             clocked,

@@ -61,7 +61,11 @@ fn detect_finds_full_adder() {
 fn detect_preserves_function() {
     let net = fa_network();
     let det = detect_t1(&net, &Library::default(), &CutConfig::default());
-    let pats = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210, 0xA5A5_5A5A_C3C3_3C3C];
+    let pats = [
+        0x0123_4567_89AB_CDEFu64,
+        0xFEDC_BA98_7654_3210,
+        0xA5A5_5A5A_C3C3_3C3C,
+    ];
     assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
 }
 
@@ -101,7 +105,11 @@ fn detect_handles_negated_variants() {
     net.add_output("nco", nco);
     let det = detect_t1(&net, &Library::default(), &CutConfig::default());
     assert!(det.used >= 1, "xor3/¬maj3 pair should map to S and C*+INV");
-    let pats = [0x1111_2222_3333_4444u64, 0x5555_6666_7777_8888, 0x9999_AAAA_BBBB_CCCC];
+    let pats = [
+        0x1111_2222_3333_4444u64,
+        0x5555_6666_7777_8888,
+        0x9999_AAAA_BBBB_CCCC,
+    ];
     assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
 }
 
@@ -123,7 +131,7 @@ fn detect_on_array_multiplier_finds_fa_groups() {
     let mut carries: Vec<sfq_netlist::AigLit> = Vec::new();
     let mut product = Vec::new();
     for col in cols.iter_mut() {
-        col.extend(carries.drain(..));
+        col.append(&mut carries);
         while col.len() > 1 {
             if col.len() >= 3 {
                 let (x, y, z) = (col.remove(0), col.remove(0), col.remove(0));
@@ -143,9 +151,14 @@ fn detect_on_array_multiplier_finds_fa_groups() {
 
     let net = sfq_netlist::map_aig(&aig, &Library::default());
     let det = detect_t1(&net, &Library::default(), &CutConfig::default());
-    assert!(det.used >= 4, "expected ≥4 committed T1 cells, got {}", det.used);
-    let pats: Vec<u64> =
-        (0..8).map(|i| 0xDEAD_BEEF_CAFE_F00Du64.rotate_left(i * 5)).collect();
+    assert!(
+        det.used >= 4,
+        "expected ≥4 committed T1 cells, got {}",
+        det.used
+    );
+    let pats: Vec<u64> = (0..8)
+        .map(|i| 0xDEAD_BEEF_CAFE_F00Du64.rotate_left(i * 5))
+        .collect();
     assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
 }
 
@@ -156,7 +169,9 @@ fn detect_on_ripple_adder_replaces_every_fa() {
     let det = detect_t1(&net, &Library::default(), &CutConfig::default());
     // 8-bit RCA: bit 0 is a half adder; bits 1..7 are full adders.
     assert!(det.used >= 6, "expected ≥6 T1 cells, got {}", det.used);
-    let pats: Vec<u64> = (0..16).map(|i| 0x0123_4567_89AB_CDEFu64.rotate_left(i * 3)).collect();
+    let pats: Vec<u64> = (0..16)
+        .map(|i| 0x0123_4567_89AB_CDEFu64.rotate_left(i * 3))
+        .collect();
     assert_eq!(net.simulate(&pats), det.network.simulate(&pats));
 }
 
@@ -194,12 +209,72 @@ fn arrivals_infeasible_when_window_too_small() {
 }
 
 #[test]
+fn fast_arrival_solver_is_bit_identical_to_enumerator() {
+    // The closed-form solver must return *exactly* what the reference
+    // enumerator returns — same feasibility, same cost, same tie-broken
+    // arrival vector — over the full small-parameter domain, including
+    // unsorted fanin stages (tie-breaking is index-sensitive), degenerate
+    // windows (σ_j ≤ n − 1), and phase counts too small for three slots.
+    // The shared memo cache must agree with both.
+    let cache = crate::phase::ArrivalCache::new();
+    let mut checked = 0u64;
+    for n in 1u32..=8 {
+        for s0 in 0..=9u32 {
+            for s1 in 0..=9 {
+                for s2 in 0..=9 {
+                    let fs = [s0, s1, s2];
+                    let bound = {
+                        let mut t = fs;
+                        t.sort_unstable();
+                        (t[0] + 3).max(t[1] + 2).max(t[2] + 1)
+                    };
+                    for sigma in 0..=bound + 4 {
+                        let fast = solve_arrivals(fs, sigma, n);
+                        let slow = crate::phase::solve_arrivals_enum(fs, sigma, n);
+                        assert_eq!(fast, slow, "divergence at fs={fs:?} σ={sigma} n={n}");
+                        assert_eq!(
+                            cache.solve(fs, sigma, n),
+                            fast,
+                            "cache divergence at fs={fs:?} σ={sigma} n={n}"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked > 100_000, "sweep covered {checked} cases");
+    // The memo key is window-relative, so even this sweep — which is
+    // adversarial, visiting every distinct geometry once — stays well below
+    // one key per ~20 queries; real flows re-query far fewer geometries.
+    assert!(
+        cache.len() as u64 * 20 < checked,
+        "memo kept {} keys for {checked} queries",
+        cache.len()
+    );
+}
+
+#[test]
+fn arrival_cache_is_transparent() {
+    let cache = crate::phase::ArrivalCache::new();
+    assert!(cache.is_empty());
+    // Same relative geometry at shifted absolute stages: one key, exact
+    // per-query answers.
+    for base in 0..50u32 {
+        let fs = [base + 3, base + 3, base + 4];
+        let sigma = base + 7;
+        assert_eq!(cache.solve(fs, sigma, 4), solve_arrivals(fs, sigma, 4));
+    }
+    assert_eq!(cache.len(), 1, "shifted queries share one relative key");
+}
+
+#[test]
 fn cp_arrival_model_matches_enumerator_everywhere() {
     // Sweep the entire meaningful input space: fanin stages in 0..=8,
-    // σ_T1 up to the eq.-3 bound + slack, n ∈ 4..=6. The CP model (the
+    // σ_T1 up to the eq.-3 bound + slack, n ∈ 4..=8. The CP model (the
     // paper's CP-SAT formulation) must agree with the enumerator on
     // feasibility and on optimal DFF cost.
-    for n in 4u32..=6 {
+    for n in 4u32..=8 {
         for s0 in 0..=8u32 {
             for s1 in s0..=8 {
                 for s2 in s1..=8 {
@@ -222,7 +297,7 @@ fn cp_arrival_model_matches_enumerator_everywhere() {
                                 assert!(sorted[0] != sorted[1] && sorted[1] != sorted[2]);
                                 for k in 0..3 {
                                     assert!(c[k] >= fs[k] && c[k] < sigma);
-                                    assert!(sigma - c[k] <= n - 1);
+                                    assert!(sigma - c[k] < n);
                                 }
                             }
                             (b, c) => panic!(
@@ -271,7 +346,11 @@ fn phase_single_phase_counts_classic_balancing() {
     let heur = assign_phases(&net, 1, PhaseEngine::Heuristic).unwrap();
     let th = insert_dffs(&net, &heur, 1).unwrap();
     th.audit().unwrap();
-    assert_eq!(te.num_dffs(), th.num_dffs(), "tiny case: both engines optimal");
+    assert_eq!(
+        te.num_dffs(),
+        th.num_dffs(),
+        "tiny case: both engines optimal"
+    );
     assert!(te.num_dffs() >= 2);
 }
 
@@ -329,7 +408,10 @@ fn cost_model_predicts_inserted_dff_count() {
     for (net, n) in [
         (fa_network(), 1u8),
         (fa_network(), 4),
-        (sfq_netlist::map_aig(&ripple_adder_aig(4), &Library::default()), 4),
+        (
+            sfq_netlist::map_aig(&ripple_adder_aig(4), &Library::default()),
+            4,
+        ),
         (
             detect_t1(
                 &sfq_netlist::map_aig(&ripple_adder_aig(4), &Library::default()),
@@ -342,7 +424,8 @@ fn cost_model_predicts_inserted_dff_count() {
     ] {
         let view = build_view(&net).expect("valid network");
         let asg = assign_phases(&net, n, PhaseEngine::Heuristic).expect("feasible");
-        let model = CostModel { net: &net, view: &view, n: n as u32 };
+        let cache = crate::phase::ArrivalCache::new();
+        let model = CostModel::new(&net, &view, n as u32, &cache);
         let predicted = model
             .total_cost(&asg.stages, asg.output_stage)
             .expect("assignment is feasible");
@@ -378,14 +461,23 @@ fn flow_t1_beats_4phase_on_adder() {
     let t1 = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
     let one = run_flow(&aig, &FlowConfig::single_phase()).unwrap();
     // The paper's headline trends on the adder family:
-    assert!(t1.report.area < four.report.area, "T1 must reduce area on adders");
-    assert!(four.report.num_dffs < one.report.num_dffs, "4φ crushes 1φ balancing");
+    assert!(
+        t1.report.area < four.report.area,
+        "T1 must reduce area on adders"
+    );
+    assert!(
+        four.report.num_dffs < one.report.num_dffs,
+        "4φ crushes 1φ balancing"
+    );
     assert!(t1.report.t1_used >= 6);
     // The complement-port optimization lets the T1 carry chain advance one
     // stage per bit (half the mapped chain), so T1 depth on ripple adders
     // is *at most* the 4φ depth — and often better. The paper's Table I
     // shows ≥ on its rows; on a pure ripple structure ≤ is the truth.
-    assert!(t1.report.depth_cycles <= four.report.depth_cycles, "T1 ripple chain is tighter");
+    assert!(
+        t1.report.depth_cycles <= four.report.depth_cycles,
+        "T1 ripple chain is tighter"
+    );
     let _ = lib;
 }
 
@@ -475,6 +567,51 @@ proptest! {
         prop_assert_eq!(mapped.simulate(&pats), res.timed.network.simulate(&pats));
     }
 
+    /// The incremental heuristic's objective must still be the true
+    /// materialization cost after the hot-path rewrite: for random T1
+    /// subjects, `CostModel::total_cost` of the returned assignment equals
+    /// the DFF count `insert_dffs` actually builds.
+    #[test]
+    fn prop_heuristic_objective_equals_materialized_dffs(
+        ops in proptest::collection::vec((0u8..4, 0usize..16, 0usize..16), 4..40),
+        n_phases in 4u8..8,
+    ) {
+        use crate::phase::{build_view, ArrivalCache, CostModel};
+        let mut aig = Aig::new("rand");
+        let mut pool: Vec<sfq_netlist::AigLit> = (0..5).map(|i| aig.input(format!("x{i}"))).collect();
+        for (op, ia, ib) in ops {
+            let x = pool[ia % pool.len()];
+            let y = pool[ib % pool.len()];
+            let r = match op {
+                0 => aig.and(x, y),
+                1 => aig.or(x, y),
+                2 => aig.xor(x, y),
+                _ => { let t = aig.and(x, y); !t }
+            };
+            pool.push(r);
+        }
+        let mut n_out = 0;
+        for (i, &lit) in pool.iter().rev().take(3).enumerate() {
+            if !lit.is_constant() {
+                aig.output(format!("f{i}"), lit);
+                n_out += 1;
+            }
+        }
+        prop_assume!(n_out > 0);
+        let lib = Library::default();
+        let (mapped, _) = sfq_netlist::map_aig(&aig, &lib).cleaned();
+        let subject = detect_t1(&mapped, &lib, &CutConfig::default()).network;
+        let asg = assign_phases(&subject, n_phases, PhaseEngine::Heuristic).unwrap();
+        let view = build_view(&subject).unwrap();
+        let cache = ArrivalCache::new();
+        let model = CostModel::new(&subject, &view, u32::from(n_phases), &cache);
+        let predicted = model.total_cost(&asg.stages, asg.output_stage).unwrap();
+        let timed = insert_dffs(&subject, &asg, n_phases).unwrap();
+        timed.audit().unwrap();
+        prop_assert_eq!(predicted, timed.num_dffs(),
+            "objective vs built DFFs at n={}", n_phases);
+    }
+
     /// Arrival solver: solutions are always distinct, in-window, and causal.
     #[test]
     fn prop_arrivals_sound(s0 in 0u32..12, s1 in 0u32..12, s2 in 0u32..12, extra in 1u32..6, n in 4u32..8) {
@@ -486,7 +623,7 @@ proptest! {
             for k in 0..3 {
                 prop_assert!(arr[k] >= fs[k]);
                 prop_assert!(arr[k] < sigma_j);
-                prop_assert!(sigma_j - arr[k] <= n - 1);
+                prop_assert!(sigma_j - arr[k] < n);
             }
             prop_assert!(arr[0] != arr[1] && arr[1] != arr[2] && arr[0] != arr[2]);
         } else {

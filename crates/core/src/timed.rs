@@ -16,16 +16,34 @@ pub enum TimingError {
     /// A primary input is not at stage 0.
     InputNotAtZero { cell: CellId },
     /// A clocked cell fires no later than one of its fanins.
-    NonCausalEdge { from: CellId, to: CellId, from_stage: u32, to_stage: u32 },
+    NonCausalEdge {
+        from: CellId,
+        to: CellId,
+        from_stage: u32,
+        to_stage: u32,
+    },
     /// A pulse would outlive one clock period on this edge.
-    LifetimeExceeded { from: CellId, to: CellId, span: u32, phases: u8 },
+    LifetimeExceeded {
+        from: CellId,
+        to: CellId,
+        span: u32,
+        phases: u8,
+    },
     /// Two T1 fanins arrive at the same stage (paper eq. 5 violated).
     T1ArrivalCollision { t1: CellId, stage: u32 },
     /// A T1 fanin arrives outside the cell's input window
     /// `[σ − (n−1), σ − 1]`.
-    T1ArrivalOutsideWindow { t1: CellId, fanin_stage: u32, t1_stage: u32 },
+    T1ArrivalOutsideWindow {
+        t1: CellId,
+        fanin_stage: u32,
+        t1_stage: u32,
+    },
     /// A primary-output driver does not fire at the common output stage.
-    OutputMisaligned { index: usize, driver_stage: u32, output_stage: u32 },
+    OutputMisaligned {
+        index: usize,
+        driver_stage: u32,
+        output_stage: u32,
+    },
     /// The underlying network failed structural validation.
     Structural(String),
 }
@@ -36,12 +54,22 @@ impl fmt::Display for TimingError {
             TimingError::InputNotAtZero { cell } => {
                 write!(f, "primary input c{} must be at stage 0", cell.0)
             }
-            TimingError::NonCausalEdge { from, to, from_stage, to_stage } => write!(
+            TimingError::NonCausalEdge {
+                from,
+                to,
+                from_stage,
+                to_stage,
+            } => write!(
                 f,
                 "edge c{}→c{} is non-causal (stages {} → {})",
                 from.0, to.0, from_stage, to_stage
             ),
-            TimingError::LifetimeExceeded { from, to, span, phases } => write!(
+            TimingError::LifetimeExceeded {
+                from,
+                to,
+                span,
+                phases,
+            } => write!(
                 f,
                 "edge c{}→c{} spans {} stages, exceeding the {}-phase pulse lifetime",
                 from.0, to.0, span, phases
@@ -51,12 +79,20 @@ impl fmt::Display for TimingError {
                 "two fanins of T1 cell c{} arrive at the same stage {}",
                 t1.0, stage
             ),
-            TimingError::T1ArrivalOutsideWindow { t1, fanin_stage, t1_stage } => write!(
+            TimingError::T1ArrivalOutsideWindow {
+                t1,
+                fanin_stage,
+                t1_stage,
+            } => write!(
                 f,
                 "fanin at stage {} is outside the input window of T1 c{} at stage {}",
                 fanin_stage, t1.0, t1_stage
             ),
-            TimingError::OutputMisaligned { index, driver_stage, output_stage } => write!(
+            TimingError::OutputMisaligned {
+                index,
+                driver_stage,
+                output_stage,
+            } => write!(
                 f,
                 "output {} driven at stage {} but the common output stage is {}",
                 index, driver_stage, output_stage
@@ -131,7 +167,11 @@ impl TimedNetwork {
         self.network
             .validate()
             .map_err(|e| TimingError::Structural(e.to_string()))?;
-        assert_eq!(self.stages.len(), self.network.num_cells(), "stage per cell");
+        assert_eq!(
+            self.stages.len(),
+            self.network.num_cells(),
+            "stage per cell"
+        );
 
         for &i in self.network.inputs() {
             if self.stages[i.0 as usize] != 0 {
@@ -180,7 +220,10 @@ impl TimedNetwork {
                 arrivals.sort_unstable();
                 for w in arrivals.windows(2) {
                     if w[0] == w[1] {
-                        return Err(TimingError::T1ArrivalCollision { t1: id, stage: w[0] });
+                        return Err(TimingError::T1ArrivalCollision {
+                            t1: id,
+                            stage: w[0],
+                        });
                     }
                 }
             }

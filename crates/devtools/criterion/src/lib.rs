@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! minimal, API-compatible subset of criterion 0.5: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. It measures for real
+//! — adaptive batching to amortize timer overhead, a fixed number of timed
+//! samples, median/min/max reporting — but performs no statistical outlier
+//! analysis and writes no HTML reports.
+//!
+//! Command-line behaviour matches what `cargo bench` needs: any non-flag
+//! argument is a substring filter on benchmark IDs (`cargo bench -- phase`),
+//! and the `--bench`/`--save-baseline`/`--noplot` flags criterion users pass
+//! are accepted and ignored.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches to defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("label", param)` renders as `label/param`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// A bare id without a parameter component.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    /// Number of iterations the harness asks for in the current sample.
+    iters: u64,
+    /// Measured wall-clock of the sample body.
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` `self.iters` times and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like [`iter`](Self::iter) but consumes per-iteration inputs produced
+    /// by `setup` outside the timed region.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            hint::black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility; batching is uniform).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_count: usize,
+    /// Target wall-clock per sample; iteration counts adapt to reach it.
+    target_sample_time: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_count: 20,
+            target_sample_time: Duration::from_millis(50),
+            filters: Vec::new(),
+        }
+    }
+}
+
+/// The harness entry point; construct via `Criterion::default()`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Reads substring filters from the process arguments, skipping the
+    /// flags cargo and criterion callers conventionally pass.
+    pub fn configure_from_args(mut self) -> Self {
+        self.config.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-') && a != "benches")
+            .collect();
+        self
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_count = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    /// Measures one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let cfg = self.config.clone();
+        run_benchmark(&id, &cfg, cfg.sample_count, f);
+        self
+    }
+
+    /// Runs the registered target functions (used by [`criterion_main!`]).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no global time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measures `f` under `<group>/<id>` with `input` passed through.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let cfg = self.criterion.config.clone();
+        let samples = self.sample_count.unwrap_or(cfg.sample_count);
+        run_benchmark(&full, &cfg, samples, |b| f(b, input));
+        self
+    }
+
+    /// Measures `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let cfg = self.criterion.config.clone();
+        let samples = self.sample_count.unwrap_or(cfg.sample_count);
+        run_benchmark(&full, &cfg, samples, f);
+        self
+    }
+
+    /// Ends the group (formatting-only in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher<'_>)>(id: &str, cfg: &Config, samples: usize, mut f: F) {
+    if !cfg.filters.is_empty() && !cfg.filters.iter().any(|p| id.contains(p.as_str())) {
+        return;
+    }
+    // Calibrate: find an iteration count whose sample hits the target time.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            _marker: Default::default(),
+        };
+        f(&mut b);
+        if b.elapsed >= cfg.target_sample_time || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        // Jump straight towards the target rather than pure doubling.
+        let est = b.elapsed.as_secs_f64().max(1e-9) / iters as f64;
+        let want = (cfg.target_sample_time.as_secs_f64() / est).ceil() as u64;
+        iters = want.clamp(iters * 2, iters * 64).max(iters + 1);
+    };
+    let _ = per_iter;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            _marker: Default::default(),
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{id:<44} time:   [{} {} {}]  ({} samples × {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        samples,
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

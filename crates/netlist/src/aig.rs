@@ -140,7 +140,9 @@ impl Aig {
 
     /// Adds `n` primary inputs named `prefix[0..n]`, LSB first.
     pub fn input_word(&mut self, prefix: &str, n: usize) -> Vec<AigLit> {
-        (0..n).map(|i| self.input(format!("{prefix}[{i}]"))).collect()
+        (0..n)
+            .map(|i| self.input(format!("{prefix}[{i}]")))
+            .collect()
     }
 
     /// Registers a primary output.
@@ -327,15 +329,21 @@ impl Aig {
     /// # Panics
     /// Panics if `patterns.len() != num_inputs()`.
     pub fn simulate(&self, patterns: &[u64]) -> Vec<u64> {
-        assert_eq!(patterns.len(), self.num_inputs(), "one pattern word per input");
+        assert_eq!(
+            patterns.len(),
+            self.num_inputs(),
+            "one pattern word per input"
+        );
         let mut values = vec![0u64; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             values[i] = match *node {
                 AigNode::Const => 0,
                 AigNode::Input(k) => patterns[k as usize],
                 AigNode::And(a, b) => {
-                    let va = values[a.node().0 as usize] ^ if a.is_complemented() { u64::MAX } else { 0 };
-                    let vb = values[b.node().0 as usize] ^ if b.is_complemented() { u64::MAX } else { 0 };
+                    let va = values[a.node().0 as usize]
+                        ^ if a.is_complemented() { u64::MAX } else { 0 };
+                    let vb = values[b.node().0 as usize]
+                        ^ if b.is_complemented() { u64::MAX } else { 0 };
                     va & vb
                 }
             };
@@ -360,7 +368,11 @@ impl Aig {
     /// Depth: maximum level over the primary outputs.
     pub fn depth(&self) -> u32 {
         let lv = self.levels();
-        self.outputs.iter().map(|o| lv[o.node().0 as usize]).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|o| lv[o.node().0 as usize])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of AND nodes reachable from the outputs (live nodes).

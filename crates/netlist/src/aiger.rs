@@ -84,7 +84,11 @@ pub fn write_aag<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
         writeln!(w, "{}", 2 * (k as u32 + 1))?;
     }
     for o in aig.outputs() {
-        writeln!(w, "{}", 2 * var_of[&o.node()] + u32::from(o.is_complemented()))?;
+        writeln!(
+            w,
+            "{}",
+            2 * var_of[&o.node()] + u32::from(o.is_complemented())
+        )?;
     }
     for (lhs, a, b) in and_rows {
         writeln!(w, "{lhs} {a} {b}")?;

@@ -75,7 +75,10 @@ impl fmt::Display for BlifError {
         match self {
             BlifError::Syntax { line, message } => write!(f, "line {line}: {message}"),
             BlifError::Unsupported { line, construct } => {
-                write!(f, "line {line}: `{construct}` is outside the combinational subset")
+                write!(
+                    f,
+                    "line {line}: `{construct}` is outside the combinational subset"
+                )
             }
             BlifError::UndefinedNet(n) => write!(f, "net `{n}` has no driver"),
             BlifError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
@@ -159,23 +162,22 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
     let mut saw_model = false;
     let mut current: Option<Cover> = None;
 
-    let finish_cover = |cover: Option<Cover>,
-                            covers: &mut HashMap<String, Cover>|
-     -> Result<(), BlifError> {
-        if let Some(c) = cover {
-            let out = c
-                .inputs
-                .last()
-                .cloned()
-                .expect("covers are created with at least the output net");
-            let mut c = c;
-            c.inputs.pop();
-            if covers.insert(out.clone(), c).is_some() {
-                return Err(BlifError::MultipleDrivers(out));
+    let finish_cover =
+        |cover: Option<Cover>, covers: &mut HashMap<String, Cover>| -> Result<(), BlifError> {
+            if let Some(c) = cover {
+                let out = c
+                    .inputs
+                    .last()
+                    .cloned()
+                    .expect("covers are created with at least the output net");
+                let mut c = c;
+                c.inputs.pop();
+                if covers.insert(out.clone(), c).is_some() {
+                    return Err(BlifError::MultipleDrivers(out));
+                }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for (lineno, text) in &lines {
         let lineno = *lineno;
@@ -206,7 +208,11 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
                             message: ".names needs at least an output net".into(),
                         });
                     }
-                    current = Some(Cover { line: lineno, inputs: nets, rows: Vec::new() });
+                    current = Some(Cover {
+                        line: lineno,
+                        inputs: nets,
+                        rows: Vec::new(),
+                    });
                 }
                 "end" => break,
                 "latch" | "mlatch" | "subckt" | "gate" | "exdc" | "clock" => {
@@ -216,10 +222,18 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
                     });
                 }
                 // Harmless metadata commands some writers emit.
-                "default_input_arrival" | "input_arrival" | "area" | "delay"
-                | "wire_load_slope" | "wire" | "input_drive" | "output_required"
-                | "default_output_required" | "default_input_drive"
-                | "default_max_input_load" | "max_input_load" => {}
+                "default_input_arrival"
+                | "input_arrival"
+                | "area"
+                | "delay"
+                | "wire_load_slope"
+                | "wire"
+                | "input_drive"
+                | "output_required"
+                | "default_output_required"
+                | "default_input_drive"
+                | "default_max_input_load"
+                | "max_input_load" => {}
                 other => {
                     return Err(BlifError::Syntax {
                         line: lineno,
@@ -249,9 +263,7 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
                     });
                 }
             };
-            if pattern.len() != n_inputs
-                || !pattern.chars().all(|c| matches!(c, '0' | '1' | '-'))
-            {
+            if pattern.len() != n_inputs || !pattern.chars().all(|c| matches!(c, '0' | '1' | '-')) {
                 return Err(BlifError::Syntax {
                     line: lineno,
                     message: format!("bad input pattern `{pattern}`"),
@@ -293,8 +305,11 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
 
     // Memoized resolution; `visiting` detects loops.
     let mut order: Vec<String> = Vec::new();
-    let mut stack: Vec<(String, bool)> =
-        output_names.iter().rev().map(|n| (n.clone(), false)).collect();
+    let mut stack: Vec<(String, bool)> = output_names
+        .iter()
+        .rev()
+        .map(|n| (n.clone(), false))
+        .collect();
     let mut visiting: HashMap<String, bool> = HashMap::new();
     while let Some((net, expanded)) = stack.pop() {
         if lit_of.contains_key(&net) || (expanded && visiting.get(&net) == Some(&false)) {
@@ -308,7 +323,9 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
         if visiting.get(&net) == Some(&true) {
             return Err(BlifError::CombinationalLoop(net));
         }
-        let cover = covers.get(&net).ok_or_else(|| BlifError::UndefinedNet(net.clone()))?;
+        let cover = covers
+            .get(&net)
+            .ok_or_else(|| BlifError::UndefinedNet(net.clone()))?;
         visiting.insert(net.clone(), true);
         stack.push((net.clone(), true));
         for dep in &cover.inputs {
@@ -326,7 +343,9 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
     }
 
     for name in &output_names {
-        let lit = *lit_of.get(name).ok_or_else(|| BlifError::UndefinedNet(name.clone()))?;
+        let lit = *lit_of
+            .get(name)
+            .ok_or_else(|| BlifError::UndefinedNet(name.clone()))?;
         aig.output(name.clone(), lit);
     }
     Ok(aig)
@@ -366,16 +385,17 @@ mod tests {
     use crate::mapper::map_aig;
 
     fn eval(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
-        let pats: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let pats: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
         aig.simulate(&pats).iter().map(|&w| w & 1 == 1).collect()
     }
 
     #[test]
     fn parses_onset_cover() {
-        let aig = parse_blif(
-            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
-        )
-        .expect("valid blif");
+        let aig = parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+            .expect("valid blif");
         assert_eq!(eval(&aig, &[true, true]), vec![true]);
         assert_eq!(eval(&aig, &[true, false]), vec![false]);
     }
@@ -383,10 +403,8 @@ mod tests {
     #[test]
     fn parses_offset_cover_as_complement() {
         // y = NOT(a AND b) given as off-set rows.
-        let aig = parse_blif(
-            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n",
-        )
-        .expect("valid blif");
+        let aig = parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n")
+            .expect("valid blif");
         assert_eq!(eval(&aig, &[true, true]), vec![false]);
         assert_eq!(eval(&aig, &[false, true]), vec![true]);
     }
@@ -430,26 +448,27 @@ mod tests {
 
     #[test]
     fn rejects_structural_errors() {
-        let e = parse_blif(".model m\n.inputs a\n.outputs y\n.end\n")
-            .expect_err("y has no driver");
-        assert!(matches!(e, BlifError::UndefinedNet(ref n) if n == "y"), "{e}");
+        let e = parse_blif(".model m\n.inputs a\n.outputs y\n.end\n").expect_err("y has no driver");
+        assert!(
+            matches!(e, BlifError::UndefinedNet(ref n) if n == "y"),
+            "{e}"
+        );
 
-        let e = parse_blif(
-            ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n",
-        )
-        .expect_err("double driver");
-        assert!(matches!(e, BlifError::MultipleDrivers(ref n) if n == "y"), "{e}");
+        let e =
+            parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n")
+                .expect_err("double driver");
+        assert!(
+            matches!(e, BlifError::MultipleDrivers(ref n) if n == "y"),
+            "{e}"
+        );
 
-        let e = parse_blif(
-            ".model m\n.inputs a\n.outputs y\n.names z y\n1 1\n.names y z\n1 1\n.end\n",
-        )
-        .expect_err("loop");
+        let e =
+            parse_blif(".model m\n.inputs a\n.outputs y\n.names z y\n1 1\n.names y z\n1 1\n.end\n")
+                .expect_err("loop");
         assert!(matches!(e, BlifError::CombinationalLoop(_)), "{e}");
 
-        let e = parse_blif(
-            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n",
-        )
-        .expect_err("mixed polarity");
+        let e = parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n")
+            .expect_err("mixed polarity");
         assert!(matches!(e, BlifError::Syntax { .. }), "{e}");
     }
 
@@ -470,7 +489,10 @@ mod tests {
     #[test]
     fn empty_input_is_an_error() {
         assert!(matches!(parse_blif(""), Err(BlifError::Empty)));
-        assert!(matches!(parse_blif("# only comments\n"), Err(BlifError::Empty)));
+        assert!(matches!(
+            parse_blif("# only comments\n"),
+            Err(BlifError::Empty)
+        ));
     }
 
     #[test]
@@ -498,10 +520,8 @@ mod tests {
 
     #[test]
     fn output_fed_directly_by_input_alias() {
-        let aig = parse_blif(
-            ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
-        )
-        .expect("alias");
+        let aig =
+            parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n").expect("alias");
         assert_eq!(eval(&aig, &[true]), vec![true]);
         assert_eq!(eval(&aig, &[false]), vec![false]);
     }

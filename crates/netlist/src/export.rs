@@ -42,7 +42,11 @@ fn net_name(net: &Network, pin: Signal) -> String {
             sanitize(net.input_name(k))
         }
         CellKind::T1 { .. } => {
-            format!("n{}_{}", pin.cell.0, t1_port_suffix(T1Port::from_index(pin.port)))
+            format!(
+                "n{}_{}",
+                pin.cell.0,
+                t1_port_suffix(T1Port::from_index(pin.port))
+            )
         }
         _ => format!("n{}", pin.cell.0),
     }
@@ -62,7 +66,13 @@ fn t1_port_suffix(port: T1Port) -> &'static str {
 /// questionable to `_`.
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -171,13 +181,15 @@ pub fn render_dot(net: &Network, stages: Option<&[u32]>) -> String {
         let (label, shape, style) = match net.kind(id) {
             CellKind::Input => {
                 let k = net.inputs().iter().position(|&i| i == id).expect("listed");
-                (sanitize(net.input_name(k)), "circle", "filled,fillcolor=lightblue")
+                (
+                    sanitize(net.input_name(k)),
+                    "circle",
+                    "filled,fillcolor=lightblue",
+                )
             }
             CellKind::Gate(g) => (format!("{g}\\nc{}", id.0), "box", "solid"),
             CellKind::Dff => (format!("DFF\\nc{}", id.0), "box", "filled,fillcolor=gray90"),
-            CellKind::T1 { .. } => {
-                (format!("T1\\nc{}", id.0), "box3d", "filled,fillcolor=gold")
-            }
+            CellKind::T1 { .. } => (format!("T1\\nc{}", id.0), "box3d", "filled,fillcolor=gold"),
         };
         let stage_note = stages
             .map(|s| format!("\\nσ={}", s[id.0 as usize]))
@@ -191,7 +203,10 @@ pub fn render_dot(net: &Network, stages: Option<&[u32]>) -> String {
     for id in net.cell_ids() {
         for &f in net.fanins(id) {
             let port_note = if net.kind(f.cell).is_t1() {
-                format!(" [taillabel=\"{}\"]", t1_port_suffix(T1Port::from_index(f.port)))
+                format!(
+                    " [taillabel=\"{}\"]",
+                    t1_port_suffix(T1Port::from_index(f.port))
+                )
             } else {
                 String::new()
             };
@@ -305,8 +320,7 @@ pub fn render_verilog(net: &Network) -> String {
     let _ = writeln!(out, "endmodule");
 
     // Library modules (behavioural synchronous functions).
-    const ONE_IN: &[(usize, &str, &str)] =
-        &[(0, "SFQ_INV", "~a"), (1, "SFQ_BUF", "a")];
+    const ONE_IN: &[(usize, &str, &str)] = &[(0, "SFQ_INV", "~a"), (1, "SFQ_BUF", "a")];
     for &(slot, name, expr) in ONE_IN {
         if used[slot] {
             let _ = writeln!(
@@ -440,7 +454,10 @@ mod tests {
     #[test]
     fn net_names_round_trip() {
         assert_eq!(parse_net_name("n17"), Some((CellId(17), 0)));
-        assert_eq!(parse_net_name("n17_cn"), Some((CellId(17), T1Port::NotC.index())));
+        assert_eq!(
+            parse_net_name("n17_cn"),
+            Some((CellId(17), T1Port::NotC.index()))
+        );
         assert_eq!(parse_net_name("a"), None);
         assert_eq!(parse_net_name("n17_zz"), None);
     }
@@ -453,8 +470,14 @@ mod tests {
         assert!(v.contains("input  a;"), "inputs declared");
         assert!(v.contains("output sum;"), "outputs declared");
         // The mapper realizes the sum path as XNOR2(cin, XNOR2(a, b)).
-        assert!(v.contains("SFQ_XNOR2 g"), "XNOR instances for the sum path:\n{v}");
-        assert!(v.contains("module SFQ_XNOR2"), "used library modules emitted");
+        assert!(
+            v.contains("SFQ_XNOR2 g"),
+            "XNOR instances for the sum path:\n{v}"
+        );
+        assert!(
+            v.contains("module SFQ_XNOR2"),
+            "used library modules emitted"
+        );
         assert!(
             !v.contains("module SFQ_T1") && !v.contains("module SFQ_XOR2"),
             "unused library modules omitted:\n{v}"
@@ -478,7 +501,10 @@ mod tests {
         net.add_output("s", Signal::t1(t1, T1Port::S));
         net.add_output("c", Signal::t1(t1, T1Port::C));
         let v = render_verilog(&net);
-        assert!(v.contains("SFQ_T1 t3 (.i0(a), .i1(b), .i2(c), .s(n3_s), .c(n3_c));"), "{v}");
+        assert!(
+            v.contains("SFQ_T1 t3 (.i0(a), .i1(b), .i2(c), .s(n3_s), .c(n3_c));"),
+            "{v}"
+        );
         assert!(!v.contains(".qn("), "unused ports are not wired");
         assert!(v.contains("module SFQ_T1"), "T1 library module present");
         assert!(v.contains("assign s = n3_s;"), "{v}");
@@ -501,7 +527,12 @@ mod tests {
                 continue;
             }
             for piece in line[open..].split(['(', ')', ',', ' ']) {
-                if piece.starts_with('n') && piece[1..].chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                if piece.starts_with('n')
+                    && piece[1..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_digit())
+                {
                     assert!(
                         declared.contains(piece),
                         "undeclared wire `{piece}` in line `{line}`"
@@ -527,11 +558,7 @@ mod tests {
                     _ => true,
                 })
             };
-            assert_eq!(
-                s_rows.iter().any(|p| matches(p)),
-                a ^ b ^ c,
-                "S row {row}"
-            );
+            assert_eq!(s_rows.iter().any(|p| matches(p)), a ^ b ^ c, "S row {row}");
             assert_eq!(
                 c_rows.iter().any(|p| matches(p)),
                 (a & b) | (a & c) | (b & c),

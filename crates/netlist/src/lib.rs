@@ -37,8 +37,8 @@ pub mod blif;
 pub mod cell;
 pub mod cuts;
 pub mod export;
-pub mod mffc;
 pub mod mapper;
+pub mod mffc;
 pub mod network;
 
 pub use aig::{Aig, AigLit, AigNodeId};

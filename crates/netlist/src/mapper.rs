@@ -125,7 +125,9 @@ pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
         if aig.is_input(node) {
             0.0
         } else {
-            best[node.0 as usize].as_ref().map_or(f64::INFINITY, |m| m.cost)
+            best[node.0 as usize]
+                .as_ref()
+                .map_or(f64::INFINITY, |m| m.cost)
         }
     };
     for id in aig.and_ids() {
@@ -159,8 +161,7 @@ pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
                 }
             }
         }
-        best[id.0 as usize] =
-            Some(found.expect("every AND node matches AND2 on its fanin cut"));
+        best[id.0 as usize] = Some(found.expect("every AND node matches AND2 on its fanin cut"));
     }
 
     // ---- polarity demand over the chosen cover ------------------------------

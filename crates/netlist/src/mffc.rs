@@ -49,5 +49,8 @@ pub fn mffc_nodes(net: &Network, root: CellId, refs: &[u32]) -> Vec<CellId> {
 /// the paper's eq. 2, which sums node areas; splitter effects are reflected
 /// in the final netlist statistics instead.
 pub fn mffc_area(net: &Network, root: CellId, refs: &[u32], lib: &Library) -> u64 {
-    mffc_nodes(net, root, refs).iter().map(|&id| lib.cell_area(net.kind(id))).sum()
+    mffc_nodes(net, root, refs)
+        .iter()
+        .map(|&id| lib.cell_area(net.kind(id)))
+        .sum()
 }

@@ -35,7 +35,10 @@ impl Signal {
 
     /// Signal of a specific T1 port.
     pub fn t1(cell: CellId, port: T1Port) -> Self {
-        Signal { cell, port: port.index() }
+        Signal {
+            cell,
+            port: port.index(),
+        }
     }
 }
 
@@ -53,7 +56,11 @@ impl fmt::Debug for Signal {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetworkError {
     /// A cell has the wrong number of fanins for its kind.
-    BadArity { cell: CellId, expected: usize, got: usize },
+    BadArity {
+        cell: CellId,
+        expected: usize,
+        got: usize,
+    },
     /// A fanin references a cell id that does not exist.
     DanglingFanin { cell: CellId, fanin: Signal },
     /// A fanin references an output port the driver does not expose or use.
@@ -69,8 +76,16 @@ pub enum NetworkError {
 impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetworkError::BadArity { cell, expected, got } => {
-                write!(f, "cell c{} expects {} fanins, has {}", cell.0, expected, got)
+            NetworkError::BadArity {
+                cell,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "cell c{} expects {} fanins, has {}",
+                    cell.0, expected, got
+                )
             }
             NetworkError::DanglingFanin { cell, fanin } => {
                 write!(f, "cell c{} references missing driver {:?}", cell.0, fanin)
@@ -182,7 +197,10 @@ impl Network {
     /// Adds a primary input; returns its signal.
     pub fn add_input(&mut self, name: impl Into<String>) -> Signal {
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell { kind: CellKind::Input, fanins: Vec::new() });
+        self.cells.push(Cell {
+            kind: CellKind::Input,
+            fanins: Vec::new(),
+        });
         self.inputs.push(id);
         self.input_names.push(name.into());
         Signal::from_cell(id)
@@ -195,7 +213,10 @@ impl Network {
     pub fn add_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal {
         assert_eq!(fanins.len(), kind.arity(), "gate arity mismatch for {kind}");
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell { kind: CellKind::Gate(kind), fanins: fanins.to_vec() });
+        self.cells.push(Cell {
+            kind: CellKind::Gate(kind),
+            fanins: fanins.to_vec(),
+        });
         Signal::from_cell(id)
     }
 
@@ -211,7 +232,10 @@ impl Network {
         assert!(used_ports != 0, "T1 cell must use at least one port");
         assert!(used_ports < 1 << T1_NUM_PORTS, "invalid T1 port mask");
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell { kind: CellKind::T1 { used_ports }, fanins: fanins.to_vec() });
+        self.cells.push(Cell {
+            kind: CellKind::T1 { used_ports },
+            fanins: fanins.to_vec(),
+        });
         id
     }
 
@@ -235,7 +259,10 @@ impl Network {
     /// Adds a path-balancing DFF; returns its output signal.
     pub fn add_dff(&mut self, fanin: Signal) -> Signal {
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell { kind: CellKind::Dff, fanins: vec![fanin] });
+        self.cells.push(Cell {
+            kind: CellKind::Dff,
+            fanins: vec![fanin],
+        });
         Signal::from_cell(id)
     }
 
@@ -270,12 +297,18 @@ impl Network {
 
     /// Number of DFF cells.
     pub fn num_dffs(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c.kind, CellKind::Dff)).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::Dff))
+            .count()
     }
 
     /// Number of T1 macro-cells.
     pub fn num_t1(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c.kind, CellKind::T1 { .. })).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::T1 { .. }))
+            .count()
     }
 
     /// Kind of a cell.
@@ -349,23 +382,47 @@ impl Network {
     pub fn topological_order(&self) -> Result<Vec<CellId>, NetworkError> {
         let n = self.cells.len();
         let mut indegree = vec![0u32; n];
-        let fo = self.fanouts();
         for (i, cell) in self.cells.iter().enumerate() {
             indegree[i] = cell.fanins.len() as u32;
         }
-        let mut queue: Vec<u32> =
-            (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        // Flat CSR fanout adjacency (filled in the same cell-major order the
+        // nested `fanouts()` lists use, so the Kahn output is unchanged),
+        // avoiding one Vec allocation per cell on this very hot helper.
+        let mut counts = vec![0u32; n];
+        for cell in &self.cells {
+            for f in &cell.fanins {
+                counts[f.cell.0 as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut consumers = vec![0u32; offsets[n] as usize];
+        for (i, cell) in self.cells.iter().enumerate() {
+            for f in &cell.fanins {
+                let c = &mut cursor[f.cell.0 as usize];
+                consumers[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
             let i = queue[head];
             head += 1;
             order.push(CellId(i));
-            for &(consumer, _) in &fo[i as usize] {
-                let d = &mut indegree[consumer.0 as usize];
+            for &consumer in
+                &consumers[offsets[i as usize] as usize..offsets[i as usize + 1] as usize]
+            {
+                let d = &mut indegree[consumer as usize];
                 *d -= 1;
                 if *d == 0 {
-                    queue.push(consumer.0);
+                    queue.push(consumer);
                 }
             }
         }
@@ -385,7 +442,11 @@ impl Network {
             let id = CellId(i as u32);
             let expected = cell.kind.arity();
             if cell.fanins.len() != expected {
-                return Err(NetworkError::BadArity { cell: id, expected, got: cell.fanins.len() });
+                return Err(NetworkError::BadArity {
+                    cell: id,
+                    expected,
+                    got: cell.fanins.len(),
+                });
             }
             for &f in &cell.fanins {
                 if f.cell.0 as usize >= self.cells.len() {
@@ -403,7 +464,10 @@ impl Network {
         }
         for (idx, &o) in self.outputs.iter().enumerate() {
             if o.cell.0 as usize >= self.cells.len() || !self.port_is_available(o) {
-                return Err(NetworkError::BadOutput { index: idx, signal: o });
+                return Err(NetworkError::BadOutput {
+                    index: idx,
+                    signal: o,
+                });
             }
         }
         self.topological_order()?;
@@ -429,11 +493,19 @@ impl Network {
     /// # Panics
     /// Panics if `patterns.len() != num_inputs()` or the network is cyclic.
     pub fn simulate(&self, patterns: &[u64]) -> Vec<u64> {
-        assert_eq!(patterns.len(), self.inputs.len(), "one pattern word per input");
+        assert_eq!(
+            patterns.len(),
+            self.inputs.len(),
+            "one pattern word per input"
+        );
         let order = self.topological_order().expect("network must be acyclic");
         let mut values = vec![[0u64; T1_NUM_PORTS]; self.cells.len()];
-        let input_index: std::collections::HashMap<CellId, usize> =
-            self.inputs.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+        let input_index: std::collections::HashMap<CellId, usize> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, k))
+            .collect();
         for id in order {
             let cell = &self.cells[id.0 as usize];
             let read = |s: Signal, values: &Vec<[u64; T1_NUM_PORTS]>| -> u64 {
@@ -445,7 +517,11 @@ impl Network {
                 }
                 CellKind::Gate(g) => {
                     let a = read(cell.fanins[0], &values);
-                    let b = if g.arity() == 2 { read(cell.fanins[1], &values) } else { 0 };
+                    let b = if g.arity() == 2 {
+                        read(cell.fanins[1], &values)
+                    } else {
+                        0
+                    };
                     values[id.0 as usize][0] = match g {
                         GateKind::Inv => !a,
                         GateKind::Buf => a,
@@ -493,8 +569,12 @@ impl Network {
         for id in order {
             let cell = &self.cells[id.0 as usize];
             if cell.kind.is_clocked() && !cell.fanins.is_empty() {
-                lv[id.0 as usize] =
-                    1 + cell.fanins.iter().map(|f| lv[f.cell.0 as usize]).max().unwrap();
+                lv[id.0 as usize] = 1 + cell
+                    .fanins
+                    .iter()
+                    .map(|f| lv[f.cell.0 as usize])
+                    .max()
+                    .unwrap();
             }
         }
         lv
@@ -503,7 +583,11 @@ impl Network {
     /// Maximum output level (logic depth in clocked levels).
     pub fn depth(&self) -> u32 {
         let lv = self.levels();
-        self.outputs.iter().map(|o| lv[o.cell.0 as usize]).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|o| lv[o.cell.0 as usize])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total area in JJs: every cell plus implied splitter trees on
@@ -524,8 +608,8 @@ impl Network {
                 CellKind::T1 { .. } => b.t1_cells += lib.cell_area(cell.kind),
                 CellKind::Dff => b.dffs += lib.cell_area(cell.kind),
             }
-            for port in 0..cell.kind.num_ports() {
-                b.splitters += lib.splitter_area(counts[i][port] as usize);
+            for &fanout in counts[i].iter().take(cell.kind.num_ports()) {
+                b.splitters += lib.splitter_area(fanout as usize);
             }
         }
         b
@@ -571,7 +655,10 @@ impl Network {
             let fanins: Vec<Signal> = cell
                 .fanins
                 .iter()
-                .map(|f| Signal { cell: remap[f.cell.0 as usize].expect("fanin live"), port: f.port })
+                .map(|f| Signal {
+                    cell: remap[f.cell.0 as usize].expect("fanin live"),
+                    port: f.port,
+                })
                 .collect();
             let new_id = match cell.kind {
                 CellKind::Input => unreachable!("inputs already mapped"),
@@ -582,7 +669,10 @@ impl Network {
             remap[i] = Some(new_id);
         }
         for (k, &o) in self.outputs.iter().enumerate() {
-            let s = Signal { cell: remap[o.cell.0 as usize].expect("output live"), port: o.port };
+            let s = Signal {
+                cell: remap[o.cell.0 as usize].expect("output live"),
+                port: o.port,
+            };
             out.add_output(self.output_names[k].clone(), s);
         }
         (out, removed)
@@ -601,7 +691,8 @@ impl Network {
         let n = leaves.len();
         let mut bits = 0u64;
         for row in 0..(1usize << n) {
-            let mut memo: std::collections::HashMap<Signal, bool> = std::collections::HashMap::new();
+            let mut memo: std::collections::HashMap<Signal, bool> =
+                std::collections::HashMap::new();
             for (i, &l) in leaves.iter().enumerate() {
                 memo.insert(l, (row >> i) & 1 == 1);
             }
@@ -621,7 +712,11 @@ impl Network {
             CellKind::Input => panic!("cone evaluation escaped the cut leaves"),
             CellKind::Gate(g) => {
                 let a = self.eval_cone(cell.fanins[0], memo);
-                let b = if g.arity() == 2 { self.eval_cone(cell.fanins[1], memo) } else { false };
+                let b = if g.arity() == 2 {
+                    self.eval_cone(cell.fanins[1], memo)
+                } else {
+                    false
+                };
                 g.eval(a, b)
             }
             CellKind::T1 { .. } => {

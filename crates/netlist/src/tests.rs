@@ -97,7 +97,11 @@ fn aiger_roundtrip_preserves_function() {
     let back = read_aag(std::io::Cursor::new(&buf), "rt2").unwrap();
     assert_eq!(back.num_inputs(), 3);
     assert_eq!(back.num_outputs(), 2);
-    let pats = [0xDEADBEEF12345678u64, 0x0F0F33555AA5C3C3, 0x123456789ABCDEF0];
+    let pats = [
+        0xDEADBEEF12345678u64,
+        0x0F0F33555AA5C3C3,
+        0x123456789ABCDEF0,
+    ];
     assert_eq!(aig.simulate(&pats), back.simulate(&pats));
 }
 
@@ -137,9 +141,15 @@ fn network_validate_catches_bad_port() {
     let b = net.add_input("b");
     let g = net.add_gate(GateKind::And2, &[a, b]);
     // Reference a non-existent port 3 of a plain gate.
-    let bogus = Signal { cell: g.cell, port: 3 };
+    let bogus = Signal {
+        cell: g.cell,
+        port: 3,
+    };
     net.add_output("f", bogus);
-    assert!(matches!(net.validate(), Err(NetworkError::BadOutput { .. })));
+    assert!(matches!(
+        net.validate(),
+        Err(NetworkError::BadOutput { .. })
+    ));
 }
 
 #[test]
@@ -153,7 +163,10 @@ fn network_validate_catches_unused_t1_port() {
     net.validate().unwrap();
     let mut bad = net.clone();
     bad.add_output("carry", Signal::t1(t1, T1Port::C)); // C not in mask
-    assert!(matches!(bad.validate(), Err(NetworkError::BadOutput { .. })));
+    assert!(matches!(
+        bad.validate(),
+        Err(NetworkError::BadOutput { .. })
+    ));
 }
 
 #[test]
@@ -248,9 +261,17 @@ fn cuts_find_xor3_and_maj3_in_full_adder() {
 
     let s_cell = net.outputs()[0].cell;
     let co_cell = net.outputs()[1].cell;
-    let s_cut = cuts.of(s_cell).iter().find(|cut| cut.leaves == leaves).expect("xor3 cut");
+    let s_cut = cuts
+        .of(s_cell)
+        .iter()
+        .find(|cut| cut.leaves == leaves)
+        .expect("xor3 cut");
     assert_eq!(s_cut.tt, TruthTable::xor3());
-    let co_cut = cuts.of(co_cell).iter().find(|cut| cut.leaves == leaves).expect("maj3 cut");
+    let co_cut = cuts
+        .of(co_cell)
+        .iter()
+        .find(|cut| cut.leaves == leaves)
+        .expect("maj3 cut");
     assert_eq!(co_cut.tt, TruthTable::maj3());
 }
 
@@ -362,7 +383,10 @@ fn mapper_collapses_xor_pattern() {
     let net = map_aig(&aig, &Library::default());
     net.validate().unwrap();
     assert_eq!(net.num_gates(), 1);
-    assert!(matches!(net.kind(net.outputs()[0].cell), CellKind::Gate(GateKind::Xor2)));
+    assert!(matches!(
+        net.kind(net.outputs()[0].cell),
+        CellKind::Gate(GateKind::Xor2)
+    ));
 }
 
 #[test]
@@ -375,7 +399,10 @@ fn mapper_handles_negated_output() {
     let net = map_aig(&aig, &Library::default());
     net.validate().unwrap();
     assert_eq!(net.num_gates(), 1);
-    assert!(matches!(net.kind(net.outputs()[0].cell), CellKind::Gate(GateKind::Nand2)));
+    assert!(matches!(
+        net.kind(net.outputs()[0].cell),
+        CellKind::Gate(GateKind::Nand2)
+    ));
 }
 
 #[test]
@@ -389,7 +416,11 @@ fn mapper_preserves_function_full_adder() {
     aig.output("co", co);
     let net = map_aig(&aig, &Library::default());
     net.validate().unwrap();
-    let pats = [0x123456789ABCDEF0u64, 0xFEDCBA9876543210, 0x0F1E2D3C4B5A6978];
+    let pats = [
+        0x123456789ABCDEF0u64,
+        0xFEDCBA9876543210,
+        0x0F1E2D3C4B5A6978,
+    ];
     assert_eq!(aig.simulate(&pats), net.simulate(&pats));
 }
 
@@ -462,7 +493,7 @@ fn sample_multiplier(bits: usize) -> Aig {
     let mut carry_in: Vec<crate::aig::AigLit> = Vec::new();
     let mut product = Vec::with_capacity(w);
     for col in cols.iter_mut() {
-        col.extend(carry_in.drain(..));
+        col.append(&mut carry_in);
         while col.len() > 1 {
             if col.len() >= 3 {
                 let (s, c) = {

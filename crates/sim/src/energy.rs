@@ -83,7 +83,10 @@ impl Default for EnergyModel {
 impl EnergyModel {
     /// An ERSFQ-style model: no bias-resistor static dissipation.
     pub fn ersfq() -> Self {
-        EnergyModel { static_uw_per_jj: 0.0, ..Self::default() }
+        EnergyModel {
+            static_uw_per_jj: 0.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -144,20 +147,22 @@ pub fn measure_energy(
         data_switch_jj += lib.splitter_area(fanout);
     }
 
-    let clocked_cells =
-        net.cell_ids().filter(|&id| !matches!(net.kind(id), CellKind::Input)).count() as u64;
-    let clock_switch_jj =
-        (clocked_cells as f64 * periods as f64 * model.clock_jj_per_cell) as u64;
+    let clocked_cells = net
+        .cell_ids()
+        .filter(|&id| !matches!(net.kind(id), CellKind::Input))
+        .count() as u64;
+    let clock_switch_jj = (clocked_cells as f64 * periods as f64 * model.clock_jj_per_cell) as u64;
 
-    let dynamic_energy_aj =
-        (data_switch_jj + clock_switch_jj) as f64 * model.e_switch_aj;
-    let energy_per_wave_aj =
-        if waves > 0 { dynamic_energy_aj / waves as f64 } else { 0.0 };
+    let dynamic_energy_aj = (data_switch_jj + clock_switch_jj) as f64 * model.e_switch_aj;
+    let energy_per_wave_aj = if waves > 0 {
+        dynamic_energy_aj / waves as f64
+    } else {
+        0.0
+    };
 
     let static_power_uw = timed.area(lib) as f64 * model.static_uw_per_jj;
     // aJ per period × GHz = 1e-18 J × 1e9 Hz = nW; µW needs another 1e-3.
-    let dynamic_power_uw =
-        dynamic_energy_aj / periods as f64 * model.clock_ghz * 1e-3;
+    let dynamic_power_uw = dynamic_energy_aj / periods as f64 * model.clock_ghz * 1e-3;
 
     EnergyReport {
         waves,
@@ -190,7 +195,9 @@ mod tests {
 
     fn report_for(waves: &[Vec<bool>]) -> EnergyReport {
         let res = and_gate_flow();
-        let (_, trace) = PulseSim::new(&res.timed).run_traced(waves).expect("clean run");
+        let (_, trace) = PulseSim::new(&res.timed)
+            .run_traced(waves)
+            .expect("clean run");
         measure_energy(
             &res.timed,
             &trace,

@@ -22,6 +22,15 @@
 //!
 //! The sampler is a deterministic xorshift* + Box–Muller transform, so every
 //! report is reproducible from its seed without external dependencies.
+//! Every trial draws from its **own** stream, derived from
+//! `(config seed, trial index)` by a splitmix64 step — so the report is
+//! identical however the trial range is partitioned, and the `parallel`
+//! cargo feature can fan trials out over `std::thread::scope` workers
+//! without changing a single sampled value (the registry is unreachable
+//! from this build environment, so the harness uses scoped threads rather
+//! than rayon). Per-trial minima are written into a preallocated slice and
+//! reduced in trial order, keeping even the floating-point accumulation
+//! order fixed.
 //!
 //! # Example
 //!
@@ -120,7 +129,10 @@ struct Gauss {
 
 impl Gauss {
     fn new(seed: u64) -> Self {
-        Gauss { state: seed | 1, spare: None }
+        Gauss {
+            state: seed | 1,
+            spare: None,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -149,6 +161,97 @@ impl Gauss {
     }
 }
 
+/// Derives the independent RNG stream of one trial (splitmix64 step over
+/// the config seed and the trial index).
+fn trial_seed(seed: u64, trial: u32) -> u64 {
+    let mut x = seed ^ (u64::from(trial).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One Monte-Carlo trial: samples every T1 site once and returns
+/// `(minimum pairwise separation, hazard seen)`.
+fn run_trial(
+    t1_sites: &[(u32, Vec<u32>)],
+    spacing: f64,
+    cfg: &MarginConfig,
+    trial: u32,
+) -> (f64, bool) {
+    let mut rng = Gauss::new(trial_seed(cfg.seed, trial));
+    let mut trial_min = f64::INFINITY;
+    let mut trial_hazard = false;
+    let mut arrivals: Vec<f64> = Vec::new();
+    for (t1_stage, fanin_stages) in t1_sites {
+        let clock_t = f64::from(*t1_stage) * spacing + cfg.jitter_ps * rng.next_normal();
+        let window_start = clock_t - cfg.period_ps;
+        arrivals.clear();
+        arrivals.extend(
+            fanin_stages
+                .iter()
+                .map(|&s| f64::from(s) * spacing + cfg.jitter_ps * rng.next_normal()),
+        );
+        for (k, &a) in arrivals.iter().enumerate() {
+            if a <= window_start + cfg.resolution_ps || a >= clock_t - cfg.resolution_ps {
+                trial_hazard = true;
+            }
+            for &b in &arrivals[k + 1..] {
+                let sep = (a - b).abs();
+                trial_min = trial_min.min(sep);
+                if sep < cfg.resolution_ps {
+                    trial_hazard = true;
+                }
+            }
+        }
+    }
+    (trial_min, trial_hazard)
+}
+
+/// Fills `out[t]` with trial `t`'s `(min separation, hazard)` result.
+#[cfg(not(feature = "parallel"))]
+fn run_trials(
+    t1_sites: &[(u32, Vec<u32>)],
+    spacing: f64,
+    cfg: &MarginConfig,
+    out: &mut [(f64, bool)],
+) {
+    for (t, slot) in out.iter_mut().enumerate() {
+        *slot = run_trial(t1_sites, spacing, cfg, t as u32);
+    }
+}
+
+/// Fills `out[t]` with trial `t`'s result, fanning contiguous chunks out
+/// over scoped worker threads. Every trial owns its RNG stream, so the
+/// results are identical to the sequential path bit for bit.
+#[cfg(feature = "parallel")]
+fn run_trials(
+    t1_sites: &[(u32, Vec<u32>)],
+    spacing: f64,
+    cfg: &MarginConfig,
+    out: &mut [(f64, bool)],
+) {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(out.len().max(1));
+    if workers <= 1 {
+        for (t, slot) in out.iter_mut().enumerate() {
+            *slot = run_trial(t1_sites, spacing, cfg, t as u32);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = (w * chunk) as u32;
+            scope.spawn(move || {
+                for (t, slot) in slots.iter_mut().enumerate() {
+                    *slot = run_trial(t1_sites, spacing, cfg, base + t as u32);
+                }
+            });
+        }
+    });
+}
+
 /// Runs the Monte-Carlo margin analysis over every T1 cell of `timed`.
 ///
 /// # Panics
@@ -164,43 +267,24 @@ pub fn analyze_margins(timed: &TimedNetwork, cfg: &MarginConfig) -> MarginReport
         .cell_ids()
         .filter(|&id| matches!(net.kind(id), CellKind::T1 { .. }))
         .map(|id| {
-            let fanin_stages =
-                net.fanins(id).iter().map(|f| timed.stages[f.cell.0 as usize]).collect();
+            let fanin_stages = net
+                .fanins(id)
+                .iter()
+                .map(|f| timed.stages[f.cell.0 as usize])
+                .collect();
             (timed.stages[id.0 as usize], fanin_stages)
         })
         .collect();
 
-    let mut rng = Gauss::new(cfg.seed);
+    let mut results = vec![(f64::INFINITY, false); cfg.trials as usize];
+    run_trials(&t1_sites, spacing, cfg, &mut results);
+
+    // Reduce in trial order: the report (including the floating-point sum)
+    // is independent of how run_trials partitioned the work.
     let mut hazardous_trials = 0u32;
     let mut worst = f64::INFINITY;
     let mut sum_min = 0.0f64;
-
-    for _ in 0..cfg.trials {
-        let mut trial_min = f64::INFINITY;
-        let mut trial_hazard = false;
-        for (t1_stage, fanin_stages) in &t1_sites {
-            let clock_t =
-                f64::from(*t1_stage) * spacing + cfg.jitter_ps * rng.next_normal();
-            let window_start = clock_t - cfg.period_ps;
-            let arrivals: Vec<f64> = fanin_stages
-                .iter()
-                .map(|&s| f64::from(s) * spacing + cfg.jitter_ps * rng.next_normal())
-                .collect();
-            for (k, &a) in arrivals.iter().enumerate() {
-                if a <= window_start + cfg.resolution_ps
-                    || a >= clock_t - cfg.resolution_ps
-                {
-                    trial_hazard = true;
-                }
-                for &b in &arrivals[k + 1..] {
-                    let sep = (a - b).abs();
-                    trial_min = trial_min.min(sep);
-                    if sep < cfg.resolution_ps {
-                        trial_hazard = true;
-                    }
-                }
-            }
-        }
+    for &(trial_min, trial_hazard) in &results {
         if trial_hazard {
             hazardous_trials += 1;
         }
@@ -233,7 +317,9 @@ mod tests {
 
     fn t1_adder(bits: usize, phases: u8) -> TimedNetwork {
         let aig = sfq_circuits_adder(bits);
-        run_flow(&aig, &FlowConfig::t1(phases)).expect("t1 flow").timed
+        run_flow(&aig, &FlowConfig::t1(phases))
+            .expect("t1 flow")
+            .timed
     }
 
     /// Local ripple adder builder (sim must not depend on sfq-circuits).
@@ -256,7 +342,11 @@ mod tests {
     #[test]
     fn zero_jitter_reports_the_nominal_spacing() {
         let timed = t1_adder(8, 4);
-        let cfg = MarginConfig { jitter_ps: 0.0, trials: 10, ..MarginConfig::default() };
+        let cfg = MarginConfig {
+            jitter_ps: 0.0,
+            trials: 10,
+            ..MarginConfig::default()
+        };
         let r = analyze_margins(&timed, &cfg);
         assert!(r.t1_cells > 0, "the adder commits T1 cells");
         assert_eq!(r.hazardous_trials, 0, "no jitter, no hazards");
@@ -289,12 +379,19 @@ mod tests {
     fn hazard_rate_grows_with_jitter() {
         let timed = t1_adder(8, 4);
         let rate = |j: f64| {
-            let cfg = MarginConfig { jitter_ps: j, trials: 400, ..MarginConfig::default() };
+            let cfg = MarginConfig {
+                jitter_ps: j,
+                trials: 400,
+                ..MarginConfig::default()
+            };
             analyze_margins(&timed, &cfg).hazard_rate()
         };
         let low = rate(0.1);
         let high = rate(4.0);
-        assert!(low < high, "hazard rate must grow with jitter ({low} vs {high})");
+        assert!(
+            low < high,
+            "hazard rate must grow with jitter ({low} vs {high})"
+        );
         assert_eq!(rate(0.0), 0.0);
     }
 
@@ -304,11 +401,19 @@ mod tests {
         // This is the design-space insight the discrete model cannot see.
         let r4 = analyze_margins(
             &t1_adder(8, 4),
-            &MarginConfig { jitter_ps: 0.0, trials: 1, ..MarginConfig::default() },
+            &MarginConfig {
+                jitter_ps: 0.0,
+                trials: 1,
+                ..MarginConfig::default()
+            },
         );
         let r8 = analyze_margins(
             &t1_adder(8, 8),
-            &MarginConfig { jitter_ps: 0.0, trials: 1, ..MarginConfig::default() },
+            &MarginConfig {
+                jitter_ps: 0.0,
+                trials: 1,
+                ..MarginConfig::default()
+            },
         );
         assert!(r8.stage_spacing_ps < r4.stage_spacing_ps);
         assert!(r8.worst_separation_ps <= r4.worst_separation_ps);
@@ -317,7 +422,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let timed = t1_adder(4, 4);
-        let cfg = MarginConfig { jitter_ps: 2.0, trials: 200, ..MarginConfig::default() };
+        let cfg = MarginConfig {
+            jitter_ps: 2.0,
+            trials: 200,
+            ..MarginConfig::default()
+        };
         let a = analyze_margins(&timed, &cfg);
         let b = analyze_margins(&timed, &cfg);
         assert_eq!(a, b, "same seed, same report");
@@ -331,7 +440,9 @@ mod tests {
     #[test]
     fn networks_without_t1_cells_are_trivially_clean() {
         let aig = sfq_circuits_adder(4);
-        let timed = run_flow(&aig, &FlowConfig::multiphase(4)).expect("4φ").timed;
+        let timed = run_flow(&aig, &FlowConfig::multiphase(4))
+            .expect("4φ")
+            .timed;
         let r = analyze_margins(&timed, &MarginConfig::default());
         assert_eq!(r.t1_cells, 0);
         assert_eq!(r.hazardous_trials, 0);

@@ -24,7 +24,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Hazard {
     /// A second pulse arrived on the same gate input before the cell fired.
-    DoublePulse { cell: CellId, fanin: usize, tick: u64 },
+    DoublePulse {
+        cell: CellId,
+        fanin: usize,
+        tick: u64,
+    },
     /// Two pulses reached a T1 `T` input at the same tick (merger collision).
     T1Collision { cell: CellId, tick: u64 },
     /// A data pulse hit a T1 cell at its own clock tick.
@@ -35,13 +39,25 @@ impl fmt::Display for Hazard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Hazard::DoublePulse { cell, fanin, tick } => {
-                write!(f, "double pulse on input {fanin} of c{} at tick {tick}", cell.0)
+                write!(
+                    f,
+                    "double pulse on input {fanin} of c{} at tick {tick}",
+                    cell.0
+                )
             }
             Hazard::T1Collision { cell, tick } => {
-                write!(f, "T-input pulse collision at T1 c{} at tick {tick}", cell.0)
+                write!(
+                    f,
+                    "T-input pulse collision at T1 c{} at tick {tick}",
+                    cell.0
+                )
             }
             Hazard::T1DataOnClock { cell, tick } => {
-                write!(f, "data pulse during clock tick at T1 c{} at tick {tick}", cell.0)
+                write!(
+                    f,
+                    "data pulse during clock tick at T1 c{} at tick {tick}",
+                    cell.0
+                )
             }
         }
     }
@@ -56,7 +72,12 @@ pub struct SimError {
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pulse simulation detected {} hazard(s); first: {}", self.hazards.len(), self.hazards[0])
+        write!(
+            f,
+            "pulse simulation detected {} hazard(s); first: {}",
+            self.hazards.len(),
+            self.hazards[0]
+        )
     }
 }
 
@@ -65,9 +86,19 @@ impl std::error::Error for SimError {}
 #[derive(Debug, Clone)]
 enum CellState {
     Input,
-    Gate { buf: [bool; 2], pending: [bool; 2] },
-    T1 { cell: T1Cell, c_latch: bool, q_latch: bool },
-    Dff { buf: bool, pending: bool },
+    Gate {
+        buf: [bool; 2],
+        pending: [bool; 2],
+    },
+    T1 {
+        cell: T1Cell,
+        c_latch: bool,
+        q_latch: bool,
+    },
+    Dff {
+        buf: bool,
+        pending: bool,
+    },
 }
 
 /// A reusable pulse simulator for one timed network.
@@ -98,9 +129,18 @@ impl<'a> PulseSim<'a> {
                 sinks.entry(f).or_default().push((id, k));
             }
         }
-        let input_index =
-            net.inputs().iter().enumerate().map(|(k, &i)| (i, k)).collect();
-        PulseSim { timed, phase_buckets, sinks, input_index }
+        let input_index = net
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (i, k))
+            .collect();
+        PulseSim {
+            timed,
+            phase_buckets,
+            sinks,
+            input_index,
+        }
     }
 
     /// Streams `waves` through the pipeline; `waves[w][i]` is input `i` of
@@ -128,7 +168,10 @@ impl<'a> PulseSim<'a> {
         &self,
         waves: &[Vec<bool>],
     ) -> Result<(Vec<Vec<bool>>, PulseTrace), SimError> {
-        let mut trace = PulseTrace { last_tick: 0, events: Vec::new() };
+        let mut trace = PulseTrace {
+            last_tick: 0,
+            events: Vec::new(),
+        };
         let outputs = self.run_inner(waves, Some(&mut trace))?;
         Ok((outputs, trace))
     }
@@ -143,18 +186,30 @@ impl<'a> PulseSim<'a> {
         let n = timed.num_phases as u64;
         let w_count = waves.len() as u64;
         for w in waves {
-            assert_eq!(w.len(), net.num_inputs(), "wave width must match input count");
+            assert_eq!(
+                w.len(),
+                net.num_inputs(),
+                "wave width must match input count"
+            );
         }
 
         let mut state: Vec<CellState> = net
             .cell_ids()
             .map(|id| match net.kind(id) {
                 CellKind::Input => CellState::Input,
-                CellKind::Gate(_) => CellState::Gate { buf: [false; 2], pending: [false; 2] },
-                CellKind::T1 { .. } => {
-                    CellState::T1 { cell: T1Cell::new(), c_latch: false, q_latch: false }
-                }
-                CellKind::Dff => CellState::Dff { buf: false, pending: false },
+                CellKind::Gate(_) => CellState::Gate {
+                    buf: [false; 2],
+                    pending: [false; 2],
+                },
+                CellKind::T1 { .. } => CellState::T1 {
+                    cell: T1Cell::new(),
+                    c_latch: false,
+                    q_latch: false,
+                },
+                CellKind::Dff => CellState::Dff {
+                    buf: false,
+                    pending: false,
+                },
             })
             .collect();
         // T pulses delivered to a T1 in the current tick (collision check).
@@ -199,12 +254,19 @@ impl<'a> PulseSim<'a> {
             }
 
             for id in firing {
-                self.fire(id, tick, &mut state, &mut emitted, &mut t1_hits_this_tick, &mut hazards);
+                self.fire(
+                    id,
+                    tick,
+                    &mut state,
+                    &mut emitted,
+                    &mut t1_hits_this_tick,
+                    &mut hazards,
+                );
             }
 
             // Sample primary outputs.
             if tick >= timed.output_stage as u64
-                && (tick - timed.output_stage as u64) % n == 0
+                && (tick - timed.output_stage as u64).is_multiple_of(n)
             {
                 let wave = (tick - timed.output_stage as u64) / n;
                 if wave < w_count {
@@ -225,7 +287,7 @@ impl<'a> PulseSim<'a> {
                 break; // enough evidence; stop collecting
             }
         }
-        if let Some(t) = trace.as_deref_mut() {
+        if let Some(t) = trace {
             t.events.sort_unstable();
         }
         if hazards.is_empty() {
@@ -259,7 +321,14 @@ impl<'a> PulseSim<'a> {
                     _ => unreachable!("gate state"),
                 };
                 if g.eval(a, b) {
-                    self.emit(Signal::from_cell(id), tick, state, emitted, t1_hits, hazards);
+                    self.emit(
+                        Signal::from_cell(id),
+                        tick,
+                        state,
+                        emitted,
+                        t1_hits,
+                        hazards,
+                    );
                 }
             }
             CellKind::Dff => {
@@ -273,12 +342,23 @@ impl<'a> PulseSim<'a> {
                     _ => unreachable!("dff state"),
                 };
                 if v {
-                    self.emit(Signal::from_cell(id), tick, state, emitted, t1_hits, hazards);
+                    self.emit(
+                        Signal::from_cell(id),
+                        tick,
+                        state,
+                        emitted,
+                        t1_hits,
+                        hazards,
+                    );
                 }
             }
             CellKind::T1 { used_ports } => {
                 let (s, c, q) = match &mut state[id.0 as usize] {
-                    CellState::T1 { cell, c_latch, q_latch } => {
+                    CellState::T1 {
+                        cell,
+                        c_latch,
+                        q_latch,
+                    } => {
                         let ev = cell.pulse(T1Input::R);
                         let out = (ev.s, *c_latch, *q_latch);
                         *c_latch = false;
@@ -317,7 +397,9 @@ impl<'a> PulseSim<'a> {
         hazards: &mut Vec<Hazard>,
     ) {
         emitted.insert(pin, true);
-        let Some(sinks) = self.sinks.get(&pin) else { return };
+        let Some(sinks) = self.sinks.get(&pin) else {
+            return;
+        };
         let net = &self.timed.network;
         let n = self.timed.num_phases as u64;
         for &(sink, fanin_idx) in sinks {
@@ -327,13 +409,20 @@ impl<'a> PulseSim<'a> {
                     // Does this pulse belong to the sink's *next* firing, or
                     // the one after (same-tick emission at span n)?
                     let fires_this_tick =
-                        tick >= sink_stage && (tick - sink_stage) % n == 0;
+                        tick >= sink_stage && (tick - sink_stage).is_multiple_of(n);
                     match &mut state[sink.0 as usize] {
                         CellState::Gate { buf, pending } => {
-                            let slot =
-                                if fires_this_tick { &mut pending[fanin_idx] } else { &mut buf[fanin_idx] };
+                            let slot = if fires_this_tick {
+                                &mut pending[fanin_idx]
+                            } else {
+                                &mut buf[fanin_idx]
+                            };
                             if *slot {
-                                hazards.push(Hazard::DoublePulse { cell: sink, fanin: fanin_idx, tick });
+                                hazards.push(Hazard::DoublePulse {
+                                    cell: sink,
+                                    fanin: fanin_idx,
+                                    tick,
+                                });
                             }
                             *slot = true;
                         }
@@ -342,12 +431,16 @@ impl<'a> PulseSim<'a> {
                 }
                 CellKind::Dff => {
                     let fires_this_tick =
-                        tick >= sink_stage && (tick - sink_stage) % n == 0;
+                        tick >= sink_stage && (tick - sink_stage).is_multiple_of(n);
                     match &mut state[sink.0 as usize] {
                         CellState::Dff { buf, pending } => {
                             let slot = if fires_this_tick { pending } else { buf };
                             if *slot {
-                                hazards.push(Hazard::DoublePulse { cell: sink, fanin: 0, tick });
+                                hazards.push(Hazard::DoublePulse {
+                                    cell: sink,
+                                    fanin: 0,
+                                    tick,
+                                });
                             }
                             *slot = true;
                         }
@@ -356,7 +449,7 @@ impl<'a> PulseSim<'a> {
                 }
                 CellKind::T1 { .. } => {
                     let fires_this_tick =
-                        tick >= sink_stage && (tick - sink_stage) % n == 0;
+                        tick >= sink_stage && (tick - sink_stage).is_multiple_of(n);
                     if fires_this_tick {
                         hazards.push(Hazard::T1DataOnClock { cell: sink, tick });
                         continue;
@@ -369,7 +462,11 @@ impl<'a> PulseSim<'a> {
                     }
                     t1_hits.insert(sink, tick);
                     match &mut state[sink.0 as usize] {
-                        CellState::T1 { cell, c_latch, q_latch } => {
+                        CellState::T1 {
+                            cell,
+                            c_latch,
+                            q_latch,
+                        } => {
                             let ev = cell.pulse(T1Input::T);
                             *c_latch |= ev.c_star;
                             *q_latch |= ev.q_star;

@@ -40,7 +40,11 @@ fn pulse_sim_matches_boolean_sim_single_phase() {
         let outs = simulate_waves(&res.timed, std::slice::from_ref(&wave)).unwrap();
         let (a, b, c) = (wave[0], wave[1], wave[2]);
         assert_eq!(outs[0][0], a ^ b ^ c, "sum at row {row}");
-        assert_eq!(outs[0][1], (a & b) | (a & c) | (b & c), "carry at row {row}");
+        assert_eq!(
+            outs[0][1],
+            (a & b) | (a & c) | (b & c),
+            "carry at row {row}"
+        );
     }
 }
 
@@ -54,7 +58,11 @@ fn pulse_sim_t1_flow_full_adder() {
         let outs = simulate_waves(&res.timed, std::slice::from_ref(&wave)).unwrap();
         let (a, b, c) = (wave[0], wave[1], wave[2]);
         assert_eq!(outs[0][0], a ^ b ^ c, "sum at row {row}");
-        assert_eq!(outs[0][1], (a & b) | (a & c) | (b & c), "carry at row {row}");
+        assert_eq!(
+            outs[0][1],
+            (a & b) | (a & c) | (b & c),
+            "carry at row {row}"
+        );
     }
 }
 
@@ -62,7 +70,11 @@ fn pulse_sim_t1_flow_full_adder() {
 fn pulse_sim_pipelining_streams_waves() {
     // Multiple waves in flight: each output wave must match its input wave.
     let aig = adder_aig(4);
-    for config in [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+    for config in [
+        FlowConfig::single_phase(),
+        FlowConfig::multiphase(4),
+        FlowConfig::t1(4),
+    ] {
         let res = run_flow(&aig, &config).unwrap();
         let waves: Vec<Vec<bool>> = (0..12u64)
             .map(|w| {
@@ -124,8 +136,7 @@ fn pulse_sim_inverter_semantics() {
     let a = aig.input("a");
     aig.output("na", !a);
     let res = run_flow(&aig, &FlowConfig::multiphase(4)).unwrap();
-    let outs =
-        simulate_waves(&res.timed, &[vec![false], vec![true], vec![false]]).unwrap();
+    let outs = simulate_waves(&res.timed, &[vec![false], vec![true], vec![false]]).unwrap();
     assert_eq!(outs, vec![vec![true], vec![false], vec![true]]);
 }
 
@@ -155,7 +166,14 @@ fn fig1b_waveform_matches_paper() {
     assert!(q.samples[0] && q.samples[4] && q.samples[8] && q.samples[10]);
     // Renderings exist and carry every trace.
     let art = wf.render_ascii();
-    for name in ["Data(T)", "Clock(R)", "Loop", "Sum(S)", "Carry(C*)", "Or(Q*)"] {
+    for name in [
+        "Data(T)",
+        "Clock(R)",
+        "Loop",
+        "Sum(S)",
+        "Carry(C*)",
+        "Or(Q*)",
+    ] {
         assert!(art.contains(name), "ascii art missing {name}");
     }
     let csv = wf.render_csv();

@@ -58,7 +58,11 @@ fn pin_name(timed: &TimedNetwork, pin: Signal) -> String {
     let idx = pin.cell.0 as usize;
     match net.kind(pin.cell) {
         CellKind::Input => {
-            let k = net.inputs().iter().position(|&i| i == pin.cell).expect("input listed");
+            let k = net
+                .inputs()
+                .iter()
+                .position(|&i| i == pin.cell)
+                .expect("input listed");
             net.input_name(k).to_string()
         }
         CellKind::Gate(g) => format!("{}_c{}", format!("{g}").to_lowercase(), idx),
@@ -80,8 +84,8 @@ pub fn render_vcd(timed: &TimedNetwork, trace: &PulseTrace) -> String {
     let mut order: Vec<Signal> = Vec::new();
     let mut codes: HashMap<Signal, String> = HashMap::new();
     for &(_, pin) in &trace.events {
-        if !codes.contains_key(&pin) {
-            codes.insert(pin, id_code(order.len()));
+        if let std::collections::hash_map::Entry::Vacant(e) = codes.entry(pin) {
+            e.insert(id_code(order.len()));
             order.push(pin);
         }
     }
@@ -149,7 +153,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..5000 {
             let code = id_code(i);
-            assert!(code.bytes().all(|b| (33..127).contains(&b)), "printable: {code:?}");
+            assert!(
+                code.bytes().all(|b| (33..127).contains(&b)),
+                "printable: {code:?}"
+            );
             assert!(seen.insert(code), "collision at {i}");
         }
         assert_eq!(id_code(0), "!");
@@ -165,7 +172,10 @@ mod tests {
         assert!(outs[0][0], "1 xor 0");
         let dump = render_vcd(&flow.timed, &trace);
         assert!(dump.contains("$timescale 1ps $end"));
-        assert!(dump.contains("$var wire 1 ! a $end"), "input wire named:\n{dump}");
+        assert!(
+            dump.contains("$var wire 1 ! a $end"),
+            "input wire named:\n{dump}"
+        );
         assert!(dump.contains("$dumpvars"));
         assert!(dump.contains("#0\n"), "time zero present");
         // Every 1-change has a matching 0-change one unit later.

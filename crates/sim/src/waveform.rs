@@ -38,7 +38,10 @@ pub struct Waveform {
 impl Waveform {
     /// An empty waveform with `slots` time slots.
     pub fn new(slots: usize) -> Self {
-        Waveform { slots, traces: Vec::new() }
+        Waveform {
+            slots,
+            traces: Vec::new(),
+        }
     }
 
     /// Number of time slots.
@@ -56,7 +59,11 @@ impl Waveform {
             assert!(s < self.slots, "slot out of range");
             samples[s] = true;
         }
-        self.traces.push(Trace { name: name.into(), samples, level: false });
+        self.traces.push(Trace {
+            name: name.into(),
+            samples,
+            level: false,
+        });
     }
 
     /// Adds a level trace (e.g. the T1 loop current).
@@ -64,7 +71,11 @@ impl Waveform {
     /// # Panics
     /// Panics if `samples.len()` differs from the slot count.
     pub fn level_trace(&mut self, name: impl Into<String>, samples: &[bool]) {
-        assert_eq!(samples.len(), self.slots, "level trace must cover all slots");
+        assert_eq!(
+            samples.len(),
+            self.slots,
+            "level trace must cover all slots"
+        );
         self.traces.push(Trace {
             name: name.into(),
             samples: samples.to_vec(),
@@ -79,7 +90,13 @@ impl Waveform {
 
     /// Renders the waveform as fixed-width ASCII art.
     pub fn render_ascii(&self) -> String {
-        let name_w = self.traces.iter().map(|t| t.name.len()).max().unwrap_or(4).max(4);
+        let name_w = self
+            .traces
+            .iter()
+            .map(|t| t.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
         let mut out = String::new();
         // Time ruler.
         let _ = write!(out, "{:>name_w$} ", "t");

@@ -95,7 +95,10 @@ pub struct CpModel {
 impl CpModel {
     /// Creates an empty model with the default node limit (1 000 000).
     pub fn new() -> Self {
-        CpModel { node_limit: 1_000_000, ..Default::default() }
+        CpModel {
+            node_limit: 1_000_000,
+            ..Default::default()
+        }
     }
 
     /// Sets the search node limit.
@@ -156,13 +159,21 @@ impl CpModel {
             Some((objective, values)) => CpSolution {
                 values,
                 objective,
-                status: if search.limit_hit { CpStatus::FeasibleLimit } else { CpStatus::Optimal },
+                status: if search.limit_hit {
+                    CpStatus::FeasibleLimit
+                } else {
+                    CpStatus::Optimal
+                },
                 nodes,
             },
             None => CpSolution {
                 values: Vec::new(),
                 objective: 0,
-                status: if search.limit_hit { CpStatus::Unknown } else { CpStatus::Infeasible },
+                status: if search.limit_hit {
+                    CpStatus::Unknown
+                } else {
+                    CpStatus::Infeasible
+                },
                 nodes,
             },
         }
@@ -240,7 +251,12 @@ impl Search<'_> {
         let Some((v, _)) = pick else {
             // All fixed: record solution.
             let values: Vec<i64> = domains.iter().map(|&(lo, _)| lo).collect();
-            let obj: i64 = self.model.objective.iter().map(|&(v, c)| c * values[v]).sum();
+            let obj: i64 = self
+                .model
+                .objective
+                .iter()
+                .map(|&(v, c)| c * values[v])
+                .sum();
             let better = self.best.as_ref().map(|(b, _)| obj < *b).unwrap_or(true);
             if better {
                 self.best = Some((obj, values));
@@ -339,7 +355,10 @@ fn propagate_linear(lin: &Linear, domains: &mut [(i64, i64)], changed: &mut bool
         if new_lo > new_hi {
             return false;
         }
-        let clamped = (new_lo.max(i64::MIN as i128) as i64, new_hi.min(i64::MAX as i128) as i64);
+        let clamped = (
+            new_lo.max(i64::MIN as i128) as i64,
+            new_hi.min(i64::MAX as i128) as i64,
+        );
         if clamped != (lo, hi) {
             domains[v] = clamped;
             *changed = true;

@@ -167,7 +167,10 @@ impl MilpProblem {
             }
         };
 
-        let mut stack = vec![Node { bounds: root_bounds, lower_bound: f64::NEG_INFINITY }];
+        let mut stack = vec![Node {
+            bounds: root_bounds,
+            lower_bound: f64::NEG_INFINITY,
+        }];
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         if let Some(ws) = &self.warm_start {
             let integral = ws
@@ -258,8 +261,14 @@ impl MilpProblem {
                     // Explore the branch closer to the LP optimum first
                     // (pushed last → popped first).
                     let frac = x - x.floor();
-                    let d = Node { bounds: down, lower_bound: node_bound };
-                    let u = Node { bounds: up, lower_bound: node_bound };
+                    let d = Node {
+                        bounds: down,
+                        lower_bound: node_bound,
+                    };
+                    let u = Node {
+                        bounds: up,
+                        lower_bound: node_bound,
+                    };
                     if frac > 0.5 {
                         stack.push(d);
                         stack.push(u);
@@ -275,7 +284,11 @@ impl MilpProblem {
             Some((objective, values)) => Ok(MilpSolution {
                 objective,
                 values,
-                status: if hit_limit { MilpStatus::FeasibleLimit } else { MilpStatus::Optimal },
+                status: if hit_limit {
+                    MilpStatus::FeasibleLimit
+                } else {
+                    MilpStatus::Optimal
+                },
                 nodes,
             }),
             None => {

@@ -123,7 +123,11 @@ impl LpProblem {
     ///
     /// Terms may repeat a variable; coefficients accumulate.
     pub fn add_constraint(&mut self, terms: &[(usize, f64)], cmp: Cmp, rhs: f64) {
-        self.constraints.push(Constraint { terms: terms.to_vec(), cmp, rhs });
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            cmp,
+            rhs,
+        });
     }
 
     /// Overrides the bounds of an existing variable (used by branch & bound).
@@ -207,12 +211,20 @@ impl LpProblem {
                 }
             }
             coefs.sort_by_key(|&(v, _)| v);
-            rows.push(Row { coefs, cmp: c.cmp, rhs: c.rhs - shift });
+            rows.push(Row {
+                coefs,
+                cmp: c.cmp,
+                rhs: c.rhs - shift,
+            });
         }
         for v in 0..n {
             if self.upper[v].is_finite() {
                 let span = self.upper[v] - self.lower[v];
-                rows.push(Row { coefs: vec![(v, 1.0)], cmp: Cmp::Le, rhs: span });
+                rows.push(Row {
+                    coefs: vec![(v, 1.0)],
+                    cmp: Cmp::Le,
+                    rhs: span,
+                });
             }
         }
 
@@ -234,8 +246,7 @@ impl LpProblem {
         let m = rows.len();
         // Columns: structural (n) + slacks + artificials.
         let num_slacks = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
-        let num_artificials =
-            rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+        let num_artificials = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
         let total = n + num_slacks + num_artificials;
 
         let mut tab = vec![vec![0.0f64; total + 1]; m];
@@ -316,11 +327,15 @@ impl LpProblem {
                 values[basis[i]] = tab[i][total];
             }
         }
-        for v in 0..n {
-            values[v] += self.lower[v];
+        for (v, value) in values.iter_mut().enumerate() {
+            *value += self.lower[v];
         }
         let shift_obj: f64 = (0..n).map(|v| self.objective[v] * self.lower[v]).sum();
-        Ok(LpSolution { objective: obj + shift_obj, values, status: LpStatus::Optimal })
+        Ok(LpSolution {
+            objective: obj + shift_obj,
+            values,
+            status: LpStatus::Optimal,
+        })
     }
 }
 
@@ -386,9 +401,7 @@ fn run_simplex(
                 match leave {
                     None => leave = Some((i, ratio)),
                     Some((li, lr)) => {
-                        if ratio < lr - TOL
-                            || (ratio < lr + TOL && basis[i] < basis[li])
-                        {
+                        if ratio < lr - TOL || (ratio < lr + TOL && basis[i] < basis[li]) {
                             leave = Some((i, ratio));
                         }
                     }
@@ -404,19 +417,18 @@ fn run_simplex(
 }
 
 fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let m = tab.len();
     let width = tab[0].len();
     let p = tab[row][col];
     for x in tab[row].iter_mut() {
         *x /= p;
     }
-    for i in 0..m {
-        if i != row {
-            let f = tab[i][col];
-            if f != 0.0 {
-                for j in 0..width {
-                    tab[i][j] -= f * tab[row][j];
-                }
+    let (before, rest) = tab.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("row index in range");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        let f = r[col];
+        if f != 0.0 {
+            for (x, &p) in r.iter_mut().zip(pivot_row.iter()).take(width) {
+                *x -= f * p;
             }
         }
     }

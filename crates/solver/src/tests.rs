@@ -69,7 +69,10 @@ fn lp_respects_lower_bounds() {
 fn lp_rejects_bad_bounds() {
     let mut lp = LpProblem::new();
     let _x = lp.add_var(2.0, 1.0, 1.0);
-    assert!(matches!(lp.solve().unwrap_err(), SolverError::BadBounds { .. }));
+    assert!(matches!(
+        lp.solve().unwrap_err(),
+        SolverError::BadBounds { .. }
+    ));
 }
 
 #[test]
@@ -85,7 +88,10 @@ fn lp_degenerate_no_cycle() {
     lp.add_constraint(&[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
     lp.add_constraint(&[(z, 1.0)], Cmp::Le, 1.0);
     let sol = lp.solve().unwrap();
-    assert!((sol.objective + 0.05).abs() < 1e-4, "beale cycling example optimum");
+    assert!(
+        (sol.objective + 0.05).abs() < 1e-4,
+        "beale cycling example optimum"
+    );
 }
 
 // ---------------------------------------------------------------- MILP ----
@@ -192,7 +198,9 @@ fn milp_retiming_shaped_problem() {
 fn milp_node_limit_reports_status() {
     let mut p = MilpProblem::new();
     // A small but branching-heavy problem.
-    let vars: Vec<_> = (0..12).map(|i| p.add_bool_var(-((i % 5) as f64 + 1.0), format!("v{i}"))).collect();
+    let vars: Vec<_> = (0..12)
+        .map(|i| p.add_bool_var(-((i % 5) as f64 + 1.0), format!("v{i}")))
+        .collect();
     let terms: Vec<_> = vars.iter().map(|&v| (v, 3.0)).collect();
     p.add_constraint(&terms, Cmp::Le, 17.0);
     p.set_node_limit(3);
@@ -224,7 +232,9 @@ fn cp_all_different_minimum() {
 #[test]
 fn cp_all_different_pigeonhole_infeasible() {
     let mut m = CpModel::new();
-    let vars: Vec<_> = (0..4).map(|i| m.new_int_var(0, 2, format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..4)
+        .map(|i| m.new_int_var(0, 2, format!("x{i}")))
+        .collect();
     m.add_all_different(&vars);
     let sol = m.solve();
     assert_eq!(sol.status, CpStatus::Infeasible);
@@ -324,7 +334,9 @@ fn milp_warm_start_is_used_and_validated() {
 fn milp_warm_start_at_optimum_prunes_search() {
     // With the optimum handed over, B&B only needs to prove it.
     let mut p = MilpProblem::new();
-    let vars: Vec<_> = (0..6).map(|i| p.add_int_var(0.0, 9.0, 1.0, format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..6)
+        .map(|i| p.add_int_var(0.0, 9.0, 1.0, format!("x{i}")))
+        .collect();
     for w in vars.windows(2) {
         p.add_constraint(&[(w[1], 1.0), (w[0], -1.0)], Cmp::Ge, 1.0);
     }
@@ -380,7 +392,11 @@ fn milp_integral_objective_bound_rounding_still_exact() {
     p.add_constraint(&[(k2, 4.0), (sigma, -1.0)], Cmp::Ge, -6.0);
     let sol = p.solve().unwrap();
     // σ = 9: k1 ≥ ⌈5/4⌉ = 2, k2 ≥ ⌈3/4⌉ = 1 → objective 3.
-    assert!((sol.objective - 3.0).abs() < 1e-6, "objective {}", sol.objective);
+    assert!(
+        (sol.objective - 3.0).abs() < 1e-6,
+        "objective {}",
+        sol.objective
+    );
 }
 
 #[test]
@@ -454,10 +470,9 @@ proptest! {
                     prop_assert!(a as f64 * sol.values[x] + b as f64 * sol.values[y] <= c as f64 + 1e-6);
                 }
             }
-            Err(SolverError::Infeasible) => prop_assert!(grid_best.is_none() ||
-                // grid had a point but LP infeasible would be a bug —
-                // (0,0) is always checked by the grid:
-                false),
+            // A feasible grid point with an infeasible LP would be a bug —
+            // (0,0) is always checked by the grid.
+            Err(SolverError::Infeasible) => prop_assert!(grid_best.is_none()),
             Err(e) => return Err(TestCaseError::fail(format!("solver error {e}"))),
         }
     }

@@ -21,12 +21,12 @@
 //! ```
 
 mod npn;
-mod table;
 mod t1db;
+mod table;
 
 pub use npn::{npn_canonize, NpnTransform};
-pub use table::{TruthTable, TruthTableError};
 pub use t1db::{T1Base, T1Match, T1MatchDb};
+pub use table::{TruthTable, TruthTableError};
 
 #[cfg(test)]
 mod tests;

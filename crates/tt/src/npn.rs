@@ -29,7 +29,11 @@ pub struct NpnTransform {
 impl NpnTransform {
     /// Identity transform over `n` inputs.
     pub fn identity(n: usize) -> Self {
-        NpnTransform { input_negation: 0, perm: (0..n).collect(), output_negation: false }
+        NpnTransform {
+            input_negation: 0,
+            perm: (0..n).collect(),
+            output_negation: false,
+        }
     }
 
     /// Applies this transform to a function.
@@ -60,7 +64,7 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(items, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);

@@ -118,7 +118,10 @@ impl T1MatchDb {
                     // wins; iteration order (XOR3 < MAJ3 < OR3, plain before
                     // negated) makes the choice deterministic.
                     if entry.is_none() {
-                        *entry = Some(T1Match { base, output_negated: out_neg });
+                        *entry = Some(T1Match {
+                            base,
+                            output_negated: out_neg,
+                        });
                     }
                 }
             }

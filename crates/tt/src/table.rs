@@ -19,7 +19,10 @@ impl fmt::Display for TruthTableError {
                 write!(f, "truth tables support at most 6 variables, got {n}")
             }
             TruthTableError::VarOutOfRange { var, num_vars } => {
-                write!(f, "variable index {var} out of range for {num_vars} variables")
+                write!(
+                    f,
+                    "variable index {var} out of range for {num_vars} variables"
+                )
             }
             TruthTableError::ExcessBits => {
                 write!(f, "raw truth-table bits set above the 2^n valid positions")
@@ -74,7 +77,10 @@ impl TruthTable {
     /// Panics if `num_vars > 6`.
     pub fn zero(num_vars: usize) -> Self {
         assert!(num_vars <= Self::MAX_VARS, "at most 6 variables");
-        TruthTable { bits: 0, num_vars: num_vars as u8 }
+        TruthTable {
+            bits: 0,
+            num_vars: num_vars as u8,
+        }
     }
 
     /// The constant-one function of `num_vars` variables.
@@ -108,7 +114,10 @@ impl TruthTable {
         if num_vars > Self::MAX_VARS {
             return Err(TruthTableError::TooManyVars(num_vars));
         }
-        let t = TruthTable { bits, num_vars: num_vars as u8 };
+        let t = TruthTable {
+            bits,
+            num_vars: num_vars as u8,
+        };
         if bits & !t.full_mask() != 0 {
             return Err(TruthTableError::ExcessBits);
         }
@@ -269,7 +278,10 @@ impl TruthTable {
             src |= ba << b;
             out |= u64::from(self.eval_row(src)) << row;
         }
-        TruthTable { bits: out, num_vars: self.num_vars }
+        TruthTable {
+            bits: out,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Applies a permutation of inputs: new input `i` is old input `perm[i]`.
@@ -295,7 +307,10 @@ impl TruthTable {
             }
             out |= u64::from(self.eval_row(src)) << row;
         }
-        TruthTable { bits: out, num_vars: self.num_vars }
+        TruthTable {
+            bits: out,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Negates input `var` (substitutes `¬x` for `x`).
@@ -355,15 +370,19 @@ impl TruthTable {
             bits |= bits << rows;
             rows <<= 1;
         }
-        TruthTable { bits, num_vars: new_num_vars as u8 }
+        TruthTable {
+            bits,
+            num_vars: new_num_vars as u8,
+        }
     }
 
     /// Removes don't-care variables, compacting the support into the low
     /// indices. Returns the shrunk table and, for each new variable, the old
     /// variable index it came from.
     pub fn shrink_to_support(&self) -> (Self, Vec<usize>) {
-        let support: Vec<usize> =
-            (0..self.num_vars()).filter(|&v| !self.is_dont_care(v)).collect();
+        let support: Vec<usize> = (0..self.num_vars())
+            .filter(|&v| !self.is_dont_care(v))
+            .collect();
         let k = support.len();
         let mut bits = 0u64;
         for row in 0..(1usize << k) {
@@ -375,14 +394,23 @@ impl TruthTable {
             }
             bits |= u64::from(self.eval_row(src)) << row;
         }
-        (TruthTable { bits, num_vars: k as u8 }, support)
+        (
+            TruthTable {
+                bits,
+                num_vars: k as u8,
+            },
+            support,
+        )
     }
 }
 
 impl Not for TruthTable {
     type Output = TruthTable;
     fn not(self) -> TruthTable {
-        TruthTable { bits: !self.bits & self.full_mask(), num_vars: self.num_vars }
+        TruthTable {
+            bits: !self.bits & self.full_mask(),
+            num_vars: self.num_vars,
+        }
     }
 }
 
@@ -408,14 +436,14 @@ impl_binop!(BitXor, bitxor, ^);
 impl fmt::Debug for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "TruthTable({}v, ", self.num_vars)?;
-        let digits = (self.num_rows() + 3) / 4;
+        let digits = self.num_rows().div_ceil(4);
         write!(f, "{:0width$x})", self.bits, width = digits)
     }
 }
 
 impl fmt::Display for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let digits = (self.num_rows() + 3) / 4;
+        let digits = self.num_rows().div_ceil(4);
         write!(f, "{:0width$x}", self.bits, width = digits)
     }
 }

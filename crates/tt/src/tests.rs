@@ -16,7 +16,7 @@ fn constants_and_vars() {
         assert_eq!(!z, o);
         for v in 0..n {
             let x = TruthTable::var(n, v);
-            assert_eq!(x.count_ones() as usize, 1 << (n - 1).max(0));
+            assert_eq!(x.count_ones() as usize, 1 << (n - 1));
             assert_eq!(x.support_mask(), 1 << v);
         }
     }
@@ -24,8 +24,14 @@ fn constants_and_vars() {
 
 #[test]
 fn from_bits_validates() {
-    assert_eq!(TruthTable::from_bits(7, 0), Err(TruthTableError::TooManyVars(7)));
-    assert_eq!(TruthTable::from_bits(2, 0x10), Err(TruthTableError::ExcessBits));
+    assert_eq!(
+        TruthTable::from_bits(7, 0),
+        Err(TruthTableError::TooManyVars(7))
+    );
+    assert_eq!(
+        TruthTable::from_bits(2, 0x10),
+        Err(TruthTableError::ExcessBits)
+    );
     assert!(TruthTable::from_bits(2, 0xF).is_ok());
     assert_eq!(TruthTable::from_bits_truncated(2, 0xFF).bits(), 0xF);
 }
@@ -150,7 +156,11 @@ fn npn_transform_reproduces_canon() {
     for bits in 0u64..256 {
         let f = tt3(bits);
         let (canon, tf) = npn_canonize(&f);
-        assert_eq!(tf.apply(&f), canon, "transform must map f to canon for {bits:#x}");
+        assert_eq!(
+            tf.apply(&f),
+            canon,
+            "transform must map f to canon for {bits:#x}"
+        );
     }
 }
 
@@ -241,7 +251,9 @@ fn t1db_counts_realizable_functions() {
     // OR^m, ¬OR^m} — six distinct functions.
     let db = T1MatchDb::new();
     for mask in 0u8..8 {
-        let count = (0u64..256).filter(|&b| db.lookup(&tt3(b), mask).is_some()).count();
+        let count = (0u64..256)
+            .filter(|&b| db.lookup(&tt3(b), mask).is_some())
+            .count();
         assert_eq!(count, 6, "mask {mask}");
     }
 }

@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<10} {:>6} {:>6} {:>8} {:>10} {:>8}",
             label,
             found.map_or(String::from("-"), |f| f.to_string()),
-            if r.t1_used > 0 { r.t1_used.to_string() } else { String::from("-") },
+            if r.t1_used > 0 {
+                r.t1_used.to_string()
+            } else {
+                String::from("-")
+            },
             r.num_dffs,
             r.area,
             r.depth_cycles

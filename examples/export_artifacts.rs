@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.report.depth_cycles
     );
     let decode = |bits: &[bool]| -> u64 {
-        bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
     };
     println!("wave 0: 5 × 6 = {}", decode(&outs[0]));
     println!("wave 1: 15 × 15 = {}", decode(&outs[1]));

@@ -23,7 +23,9 @@ fn random_waves(inputs: usize, count: usize) -> Vec<Vec<bool>> {
         state ^= state >> 27;
         state.wrapping_mul(0x2545_F491_4F6C_DD1D)
     };
-    (0..count).map(|_| (0..inputs).map(|_| next() & 1 == 1).collect()).collect()
+    (0..count)
+        .map(|_| (0..inputs).map(|_| next() & 1 == 1).collect())
+        .collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,9 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "flow", "area JJ", "DFFs", "P_static µW", "E/op aJ", "P_total µW"
     );
     let mut flows = Vec::new();
-    for (name, config) in
-        [("4φ", FlowConfig::multiphase(4)), ("4φ+T1", FlowConfig::t1(4))]
-    {
+    for (name, config) in [
+        ("4φ", FlowConfig::multiphase(4)),
+        ("4φ+T1", FlowConfig::t1(4)),
+    ] {
         let res = run_flow(&aig, &config)?;
         let (_, trace) = PulseSim::new(&res.timed).run_traced(&waves)?;
         let e = measure_energy(&res.timed, &trace, waves.len(), &lib, &model);
@@ -63,9 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And how much jitter can the T1 cells take at 40 GHz?
     println!("jitter tolerance of the T1 separation discipline (40 GHz clock):");
-    println!("{:>10} {:>12} {:>16}", "jitter ps", "hazard rate", "worst sep ps");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "jitter ps", "hazard rate", "worst sep ps"
+    );
     for jitter in [0.25, 0.5, 1.0, 2.0] {
-        let cfg = MarginConfig { jitter_ps: jitter, trials: 2000, ..MarginConfig::default() };
+        let cfg = MarginConfig {
+            jitter_ps: jitter,
+            trials: 2000,
+            ..MarginConfig::default()
+        };
         let r = analyze_margins(&t1_flow.timed, &cfg);
         println!(
             "{:>10.2} {:>12.4} {:>16.2}",

@@ -36,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Every flow result is already audited and equivalence-checked, but
         // demonstrate the pulse-level simulator on real input waves too.
-        let waves = vec![
-            vec![true; aig.num_inputs()],
-            vec![false; aig.num_inputs()],
-        ];
+        let waves = vec![vec![true; aig.num_inputs()], vec![false; aig.num_inputs()]];
         let outs = simulate_waves(&result.timed, &waves)?;
         assert_eq!(outs.len(), 2, "one output wave per input wave");
         reports.push(result.report);
@@ -57,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // motivation: path balancing dominates the single-phase design.
     let lib = sfq_t1::netlist::Library::default();
     println!("\narea breakdown (JJ):");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>10}", "flow", "gates", "T1", "DFFs", "splitters");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10}",
+        "flow", "gates", "T1", "DFFs", "splitters"
+    );
     for (label, config) in [
         ("1-phase", FlowConfig::single_phase()),
         ("4-phase", FlowConfig::multiphase(4)),

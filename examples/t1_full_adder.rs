@@ -41,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = &result.timed.network;
     for id in net.cell_ids() {
         if net.kind(id).is_t1() {
-            let mut stages: Vec<u32> =
-                net.fanins(id).iter().map(|f| result.timed.stage(f.cell)).collect();
+            let mut stages: Vec<u32> = net
+                .fanins(id)
+                .iter()
+                .map(|f| result.timed.stage(f.cell))
+                .collect();
             stages.sort_unstable();
             println!(
                 "T1 cell fires at stage {}; fanins arrive at stages {:?}",
@@ -56,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n a b c | s cout");
     for row in 0..8u32 {
         let ins = vec![row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1];
-        let outs = simulate_waves(&result.timed, &[ins.clone()])?;
+        let outs = simulate_waves(&result.timed, std::slice::from_ref(&ins))?;
         let (s, c) = (outs[0][0], outs[0][1]);
         println!(
             " {} {} {} | {} {}",

@@ -50,8 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         state ^= state >> 27;
         state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 1
     };
-    let ballots: Vec<Vec<bool>> =
-        (0..16).map(|_| (0..n).map(|_| next_bit()).collect()).collect();
+    let ballots: Vec<Vec<bool>> = (0..16)
+        .map(|_| (0..n).map(|_| next_bit()).collect())
+        .collect();
     let outs = simulate_waves(&t1.timed, &ballots)?;
     for (ballot, out) in ballots.iter().zip(&outs) {
         let ones = ballot.iter().filter(|&&b| b).count();

@@ -102,7 +102,11 @@ fn audit_rejects_t1_arrival_outside_window() {
     let (_, earliest_stage) = fanins[0];
     timed.stages[t1.0 as usize] = earliest_stage + timed.num_phases as u32;
     match timed.audit() {
-        Err(TimingError::T1ArrivalOutsideWindow { t1: cell, fanin_stage, .. }) => {
+        Err(TimingError::T1ArrivalOutsideWindow {
+            t1: cell,
+            fanin_stage,
+            ..
+        }) => {
             assert_eq!(cell, t1);
             assert_eq!(fanin_stage, earliest_stage);
         }
@@ -163,12 +167,17 @@ fn simulator_flags_t1_input_collisions() {
         output_stage: 3,
         network: net,
     };
-    assert!(timed.audit().is_err(), "the audit rejects colliding arrivals");
+    assert!(
+        timed.audit().is_err(),
+        "the audit rejects colliding arrivals"
+    );
 
     let err = simulate_waves(&timed, &[vec![true, true, false]])
         .expect_err("two same-tick T pulses collide");
     assert!(
-        err.hazards.iter().any(|h| matches!(h, Hazard::T1Collision { .. })),
+        err.hazards
+            .iter()
+            .any(|h| matches!(h, Hazard::T1Collision { .. })),
         "expected a T1Collision hazard, got {:?}",
         err.hazards
     );
@@ -198,7 +207,9 @@ fn simulator_flags_data_on_clock_ticks() {
     let err = simulate_waves(&timed, &[vec![false, false, true]])
         .expect_err("pulse lands on the clock tick");
     assert!(
-        err.hazards.iter().any(|h| matches!(h, Hazard::T1DataOnClock { .. })),
+        err.hazards
+            .iter()
+            .any(|h| matches!(h, Hazard::T1DataOnClock { .. })),
         "expected T1DataOnClock, got {:?}",
         err.hazards
     );
@@ -219,11 +230,16 @@ fn simulator_flags_double_pulses_on_overspanned_edges() {
         output_stage: 6,
         network: net,
     };
-    assert!(timed.audit().is_err(), "span 5 exceeds the 4-phase lifetime");
+    assert!(
+        timed.audit().is_err(),
+        "span 5 exceeds the 4-phase lifetime"
+    );
     let err = simulate_waves(&timed, &[vec![true], vec![true]])
         .expect_err("second wave tramples the buffered pulse");
     assert!(
-        err.hazards.iter().any(|h| matches!(h, Hazard::DoublePulse { .. })),
+        err.hazards
+            .iter()
+            .any(|h| matches!(h, Hazard::DoublePulse { .. })),
         "expected DoublePulse, got {:?}",
         err.hazards
     );
@@ -235,8 +251,9 @@ fn clean_networks_pass_both_checkers() {
     // passes audit and simulates hazard-free on exhaustive FA inputs.
     let timed = t1_full_adder();
     timed.audit().expect("clean audit");
-    let waves: Vec<Vec<bool>> =
-        (0..8u8).map(|p| (0..3).map(|k| p >> k & 1 == 1).collect()).collect();
+    let waves: Vec<Vec<bool>> = (0..8u8)
+        .map(|p| (0..3).map(|k| p >> k & 1 == 1).collect())
+        .collect();
     let outs = simulate_waves(&timed, &waves).expect("hazard-free");
     for (p, out) in outs.iter().enumerate() {
         let ones = (p as u8).count_ones();

@@ -24,7 +24,11 @@ impl Rng {
 /// Drives an AIG whose inputs are words named by prefix with 64 random
 /// vectors; returns per-vector input words and per-vector output words.
 fn simulate_words(aig: &Aig, widths: &[usize], seed: u64) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
-    assert_eq!(widths.iter().sum::<usize>(), aig.num_inputs(), "width layout");
+    assert_eq!(
+        widths.iter().sum::<usize>(),
+        aig.num_inputs(),
+        "width layout"
+    );
     let mut rng = Rng(seed);
     let patterns: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.next()).collect();
     let outs = aig.simulate(&patterns);
@@ -53,7 +57,9 @@ fn simulate_words(aig: &Aig, widths: &[usize], seed: u64) -> (Vec<Vec<u64>>, Vec
 }
 
 fn word_of(bits: &[u64]) -> u64 {
-    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | b << i)
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | b << i)
 }
 
 #[test]
@@ -128,9 +134,10 @@ fn sin_cordic_matches_reference_model() {
     let (ins, outs) = simulate_words(&aig, &[bits], 6);
     for (iw, ob) in ins.iter().zip(&outs) {
         let theta = iw[0] & ((1 << (bits - 1)) - 1); // domain [0, π/2)
-        // Re-simulate this single masked angle through the circuit.
-        let patterns: Vec<u64> =
-            (0..bits).map(|i| if theta >> i & 1 == 1 { u64::MAX } else { 0 }).collect();
+                                                     // Re-simulate this single masked angle through the circuit.
+        let patterns: Vec<u64> = (0..bits)
+            .map(|i| if theta >> i & 1 == 1 { u64::MAX } else { 0 })
+            .collect();
         let raw = aig.simulate(&patterns);
         let sin_bits: Vec<u64> = raw[..bits].iter().map(|&w| w & 1).collect();
         let cos_bits: Vec<u64> = raw[bits..].iter().map(|&w| w & 1).collect();
@@ -166,8 +173,9 @@ fn log2_matches_reference_model() {
     let aig = circuits::log2_shift_add(bits);
     let frac_bits = (bits / 2).max(4);
     for x in 1..(1u64 << bits) {
-        let patterns: Vec<u64> =
-            (0..bits).map(|i| if x >> i & 1 == 1 { u64::MAX } else { 0 }).collect();
+        let patterns: Vec<u64> = (0..bits)
+            .map(|i| if x >> i & 1 == 1 { u64::MAX } else { 0 })
+            .collect();
         let raw = aig.simulate(&patterns);
         let int_w = aig.num_outputs() - frac_bits;
         let int_bits: Vec<u64> = raw[..int_w].iter().map(|&w| w & 1).collect();

@@ -6,8 +6,12 @@ use sfq_t1::prelude::*;
 
 /// Runs the three Table I flows on one AIG.
 fn three_flows(aig: &sfq_t1::netlist::Aig) -> [FlowReport; 3] {
-    let r1 = run_flow(aig, &FlowConfig::single_phase()).expect("1φ flow").report;
-    let r4 = run_flow(aig, &FlowConfig::multiphase(4)).expect("4φ flow").report;
+    let r1 = run_flow(aig, &FlowConfig::single_phase())
+        .expect("1φ flow")
+        .report;
+    let r4 = run_flow(aig, &FlowConfig::multiphase(4))
+        .expect("4φ flow")
+        .report;
     let rt = run_flow(aig, &FlowConfig::t1(4)).expect("T1 flow").report;
     [r1, r4, rt]
 }
@@ -87,7 +91,11 @@ fn adder_shows_the_paper_headline_shape() {
     // non-overlapping commit may sacrifice one group where the carry-chain
     // MFFCs contend (paper: 127 of 127 on their 128-bit netlist; ours
     // typically commits bits−2 of bits−1 found).
-    assert!(rt.t1_used >= bits - 2, "nearly one T1 per ripple FA, got {}", rt.t1_used);
+    assert!(
+        rt.t1_used >= bits - 2,
+        "nearly one T1 per ripple FA, got {}",
+        rt.t1_used
+    );
 
     let vs1 = rt.area as f64 / r1.area as f64;
     let vs4 = rt.area as f64 / r4.area as f64;
@@ -153,7 +161,9 @@ fn t1_flow_depth_stays_in_a_bounded_envelope_of_multiphase() {
     // * upper: the paper's ≈1.25× penalty envelope, with rounding slack.
     for bench in [Benchmark::Adder, Benchmark::C6288, Benchmark::Voter] {
         let aig = bench.build_small();
-        let r4 = run_flow(&aig, &FlowConfig::multiphase(4)).expect("4φ").report;
+        let r4 = run_flow(&aig, &FlowConfig::multiphase(4))
+            .expect("4φ")
+            .report;
         let rt = run_flow(&aig, &FlowConfig::t1(4)).expect("T1").report;
         assert!(
             rt.depth_cycles + 1 >= r4.depth_cycles.div_ceil(2),
@@ -196,7 +206,9 @@ fn phase_count_sweep_reduces_dffs() {
     let aig = sfq_t1::circuits::adder(16);
     let mut prev = usize::MAX;
     for n in [1u8, 2, 4, 8] {
-        let r = run_flow(&aig, &FlowConfig::multiphase(n)).expect("flow").report;
+        let r = run_flow(&aig, &FlowConfig::multiphase(n))
+            .expect("flow")
+            .report;
         assert!(
             r.num_dffs <= prev,
             "n={n}: DFFs {} should not exceed n/2's {prev}",

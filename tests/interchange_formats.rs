@@ -28,10 +28,10 @@ fn aiger_round_trip_preserves_benchmark_functions() {
 #[test]
 fn aiger_reader_rejects_malformed_files() {
     let cases: [&str; 4] = [
-        "",                       // empty
-        "aig 1 1 0 1 0\n2\n2\n",  // binary header keyword
-        "aag 1 1 1 1 0\n2\n2\n",  // latches unsupported
-        "aag x y z w v\n",        // unparsable counts
+        "",                      // empty
+        "aig 1 1 0 1 0\n2\n2\n", // binary header keyword
+        "aag 1 1 1 1 0\n2\n2\n", // latches unsupported
+        "aag x y z w v\n",       // unparsable counts
     ];
     for text in cases {
         assert!(
@@ -47,8 +47,14 @@ fn blif_of_t1_flow_contains_subckts_and_balanced_model() {
     let flow = run_flow(&aig, &FlowConfig::t1(4)).expect("flow");
     let blif = export::render_blif(&flow.timed.network);
     assert!(blif.contains(".model adder8"));
-    assert!(blif.contains(".subckt t1_cell"), "committed T1 cells appear as subckts");
-    assert!(blif.contains(".latch"), "path-balancing DFFs appear as latches");
+    assert!(
+        blif.contains(".subckt t1_cell"),
+        "committed T1 cells appear as subckts"
+    );
+    assert!(
+        blif.contains(".latch"),
+        "path-balancing DFFs appear as latches"
+    );
     assert!(blif.contains(".model t1_cell"), "companion model emitted");
     // Every .model has exactly one .end.
     assert_eq!(blif.matches(".model").count(), blif.matches(".end").count());
@@ -80,7 +86,10 @@ fn blif_parsed_benchmarks_run_the_full_t1_flow() {
     let net = sfq_t1::netlist::map_aig(&aig, &sfq_t1::netlist::Library::default());
     let reread = parse_blif(&export::render_blif(&net)).expect("parse");
     let flow = run_flow(&reread, &FlowConfig::t1(4)).expect("flow on parsed blif");
-    assert!(flow.report.t1_used > 0, "T1 cells commit on the re-imported adder");
+    assert!(
+        flow.report.t1_used > 0,
+        "T1 cells commit on the re-imported adder"
+    );
 }
 
 #[test]
@@ -105,7 +114,10 @@ fn verilog_of_t1_flow_is_structurally_complete() {
         .count();
     assert_eq!(instances, cells, "one instance per clocked cell");
     // One assign per primary output.
-    let assigns = v.lines().filter(|l| l.trim_start().starts_with("assign ")).count();
+    let assigns = v
+        .lines()
+        .filter(|l| l.trim_start().starts_with("assign "))
+        .count();
     assert!(assigns >= net.num_outputs(), "every output is driven");
 }
 
@@ -157,7 +169,12 @@ fn exports_work_on_every_small_benchmark() {
         let pats: Vec<u64> = (0..aig.num_inputs())
             .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32 * 7))
             .collect();
-        assert_eq!(aig.simulate(&pats), back.simulate(&pats), "{}", bench.name());
+        assert_eq!(
+            aig.simulate(&pats),
+            back.simulate(&pats),
+            "{}",
+            bench.name()
+        );
 
         let net = sfq_t1::netlist::map_aig(&aig, &sfq_t1::netlist::Library::default());
         let blif = export::render_blif(&net);
@@ -168,5 +185,13 @@ fn exports_work_on_every_small_benchmark() {
 }
 
 fn export_safe(name: &str) -> String {
-    name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }

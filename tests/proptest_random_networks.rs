@@ -6,8 +6,8 @@
 //! cross-check the pulse-level simulator and the engines against each other.
 
 use proptest::prelude::*;
-use sfq_t1::prelude::*;
 use sfq_t1::netlist::Aig;
+use sfq_t1::prelude::*;
 
 /// A recipe for one random AIG node.
 #[derive(Debug, Clone)]
@@ -23,8 +23,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>())
             .prop_map(|(a, b, ca, cb)| Op::And(a, b, ca, cb)),
         (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Xor(a, b)),
-        (any::<usize>(), any::<usize>(), any::<usize>())
-            .prop_map(|(a, b, c)| Op::Maj(a, b, c)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(a, b, c)| Op::Maj(a, b, c)),
         (any::<usize>(), any::<usize>(), any::<usize>())
             .prop_map(|(a, b, c)| Op::FullAdder(a, b, c)),
     ]
@@ -34,7 +33,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// literals modulo the pool size, so every recipe is valid by construction.
 fn build_aig(num_inputs: usize, ops: &[Op], num_outputs: usize) -> Aig {
     let mut aig = Aig::new("random");
-    let mut pool: Vec<AigLit> = (0..num_inputs).map(|i| aig.input(format!("i{i}"))).collect();
+    let mut pool: Vec<AigLit> = (0..num_inputs)
+        .map(|i| aig.input(format!("i{i}")))
+        .collect();
     for op in ops {
         let lit = |idx: usize, pool: &[AigLit]| pool[idx % pool.len()];
         let new = match *op {

@@ -21,7 +21,10 @@ fn waves(num_inputs: usize, num_waves: usize, mut seed: u64) -> Vec<Vec<bool>> {
 /// Boolean-simulates one input vector through the AIG.
 fn aig_eval(aig: &sfq_t1::netlist::Aig, ins: &[bool]) -> Vec<bool> {
     let patterns: Vec<u64> = ins.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-    aig.simulate(&patterns).iter().map(|&w| w & 1 == 1).collect()
+    aig.simulate(&patterns)
+        .iter()
+        .map(|&w| w & 1 == 1)
+        .collect()
 }
 
 fn check_pipelined(aig: &sfq_t1::netlist::Aig, config: &FlowConfig, num_waves: usize) {
@@ -38,7 +41,11 @@ fn check_pipelined(aig: &sfq_t1::netlist::Aig, config: &FlowConfig, num_waves: u
 #[test]
 fn adder_pipelines_through_all_flows() {
     let aig = sfq_t1::circuits::adder(12);
-    for config in [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+    for config in [
+        FlowConfig::single_phase(),
+        FlowConfig::multiphase(4),
+        FlowConfig::t1(4),
+    ] {
         check_pipelined(&aig, &config, 8);
     }
 }
@@ -58,7 +65,11 @@ fn voter_pipelines_through_t1_flow() {
 #[test]
 fn c7552_mix_pipelines_through_all_flows() {
     let aig = sfq_t1::circuits::c7552_sized(6);
-    for config in [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+    for config in [
+        FlowConfig::single_phase(),
+        FlowConfig::multiphase(4),
+        FlowConfig::t1(4),
+    ] {
         check_pipelined(&aig, &config, 5);
     }
 }
