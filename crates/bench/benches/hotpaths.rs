@@ -19,9 +19,15 @@ fn bench_hotpaths(c: &mut Criterion) {
 
     for bits in [32usize, 64] {
         let aig = circuits::adder(bits);
+        c.bench_function(format!("map_aig/adder{bits}"), |b| {
+            b.iter(|| map_aig(&aig, &lib))
+        });
         let mapped = map_aig(&aig, &lib);
         c.bench_function(format!("enumerate_cuts/adder{bits}"), |b| {
             b.iter(|| enumerate_cuts(&mapped, &cut_config))
+        });
+        c.bench_function(format!("detect_t1/adder{bits}"), |b| {
+            b.iter(|| detect_t1(&mapped, &lib, &cut_config))
         });
 
         let detected = detect_t1(&mapped, &lib, &cut_config).network;
@@ -33,10 +39,18 @@ fn bench_hotpaths(c: &mut Criterion) {
     // A multiplier is the cut-enumeration stress case: reconvergent
     // carry-save structure yields far more cut merges per node than the
     // linear adder chain.
-    let mult = map_aig(&circuits::multiplier(12), &lib);
+    let mult_aig = circuits::multiplier(12);
+    c.bench_function("map_aig/multiplier12", |b| {
+        b.iter(|| map_aig(&mult_aig, &lib))
+    });
+    let mult = map_aig(&mult_aig, &lib);
     c.bench_function("enumerate_cuts/multiplier12", |b| {
         b.iter(|| enumerate_cuts(&mult, &cut_config))
     });
+    c.bench_function("detect_t1/multiplier12", |b| {
+        b.iter(|| detect_t1(&mult, &lib, &cut_config))
+    });
+    c.bench_function("cleaned/multiplier12", |b| b.iter(|| mult.cleaned()));
     let mult_det = detect_t1(&mult, &lib, &cut_config).network;
     c.bench_function("assign_phases/multiplier12_t1", |b| {
         b.iter(|| assign_phases(&mult_det, 4, PhaseEngine::Heuristic).expect("feasible"))

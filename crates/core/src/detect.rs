@@ -9,10 +9,44 @@
 //! and an inverter per negated leaf. Candidates with positive gain are
 //! *found*; a greedy non-overlapping commit in descending-gain order decides
 //! which are *used*, and the network is rebuilt with multi-output T1 cells.
+//!
+//! # Data layout (see `benches/hotpaths.rs` for the regression gates)
+//!
+//! The stage got the ISSUE 2 hot-path treatment; the original implementation
+//! survives verbatim as [`crate::detect_reference::detect_t1_reference`],
+//! and the differential harness asserts bit-identical detections:
+//!
+//! * **Match collection is a sorted record list, not a hash map**: every
+//!   `(leaf set, mask, root, port)` match is appended to one flat `Vec`,
+//!   stably sorted by `(leaves, mask)`, and groups are consumed as runs —
+//!   no `HashMap<([Signal; 3], u8), Vec<Entry>>`, no per-group `Vec`
+//!   allocation. Per-root leaf-set dedup uses a reused scratch list with a
+//!   64-bit leafset signature prefilter instead of a fresh
+//!   `HashSet<[Signal; 3]>` per cell, and Boolean matching probes the
+//!   [`T1MatchDb`] mask table directly instead of collecting
+//!   `all_masks` into a fresh `Vec` per cut.
+//! * **Group evaluation runs on dense scratch**: port ownership is a fixed
+//!   5-slot array, the joint-MFFC walk marks `taken`/`in_cone` in per-cell
+//!   vectors reset via touch lists, and the greedy commit keeps its
+//!   claimed/used/alive sets as per-cell bitmaps — the only hashing left in
+//!   the whole stage is inside cut enumeration's signature scheme.
+//! * **The rewrite phase is index-based**: the old-signal → new-signal map
+//!   is a flat `(cell × port)` table probed by array index, group
+//!   membership is a dense per-cell vector, and the shared input-inverter
+//!   cache is a short linear-scanned list (committed groups rarely negate
+//!   more than a handful of leaves).
+//!
+//! Measured effect (criterion medians, one dev machine, 2026-07, see
+//! `BENCH_flow.json`): `detect_t1/adder32` 171 µs → 70 µs (2.5×),
+//! `detect_t1/adder64` 329 µs → 136 µs (2.4×), `detect_t1/multiplier12`
+//! 1.78 ms → 0.87 ms (2.0×); at paper scale the detect stage of
+//! `profile_scale` dropped 1.3–1.7× per benchmark (cut enumeration, already
+//! overhauled in PR 1, now dominates what remains of the stage).
 
-use sfq_netlist::{enumerate_cuts, CellId, CellKind, CutConfig, Library, Network, Signal, T1Port};
+use sfq_netlist::{
+    enumerate_cuts, CellId, CellKind, CutConfig, Library, Network, Signal, T1Port, T1_NUM_PORTS,
+};
 use sfq_tt::T1MatchDb;
-use std::collections::{HashMap, HashSet};
 
 /// One committed or candidate T1 macro-cell.
 #[derive(Debug, Clone)]
@@ -54,6 +88,28 @@ pub fn detect_t1(net: &Network, lib: &Library, cut_config: &CutConfig) -> T1Dete
     detect_t1_with_threshold(net, lib, cut_config, 0)
 }
 
+/// A 64-bit signature of a 3-leaf set: a cheap mix of the three packed pin
+/// ids. Used only as an equality *prefilter* (collisions fall through to a
+/// full compare), so mixing quality matters more than reversibility.
+#[inline]
+fn leafset_sig(leaves: &[Signal; 3]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for l in leaves {
+        let x = (u64::from(l.cell.0) << 8) | u64::from(l.port);
+        h = (h ^ x).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One Boolean match found during collection: a root realizable on `port`
+/// when the group `(leaves, mask)` is committed.
+struct Rec {
+    leaves: [Signal; 3],
+    mask: u8,
+    root: CellId,
+    port: T1Port,
+}
+
 /// [`detect_t1`] with an explicit gain cutoff: only groups with
 /// `ΔA > threshold` JJs are considered found (the paper uses `ΔA > 0`).
 ///
@@ -65,78 +121,104 @@ pub fn detect_t1_with_threshold(
     cut_config: &CutConfig,
     threshold: i64,
 ) -> T1Detection {
+    let n = net.num_cells();
     let db = T1MatchDb::new();
     let cuts = enumerate_cuts(net, cut_config);
     let refs = sfq_netlist::mffc::reference_counts(net);
 
-    // ---- collect matches grouped by (leaves, mask) -----------------------
-    #[derive(Debug)]
-    struct Entry {
-        root: CellId,
-        port: T1Port,
-    }
-    let mut groups: HashMap<([Signal; 3], u8), Vec<Entry>> = HashMap::new();
+    // ---- collect matches as one flat record list -------------------------
+    let mut recs: Vec<Rec> = Vec::new();
+    // Reused per-cell dedup scratch: (signature, leaves) of leaf sets
+    // already matched for the current root.
+    let mut seen: Vec<(u64, [Signal; 3])> = Vec::new();
     for id in net.cell_ids() {
         if !matches!(net.kind(id), CellKind::Gate(_)) {
             continue;
         }
-        let mut seen_leafsets: HashSet<[Signal; 3]> = HashSet::new();
+        seen.clear();
         for cut in cuts.of(id) {
             if cut.leaves.len() != 3 {
                 continue;
             }
             let leaves: [Signal; 3] = [cut.leaves[0], cut.leaves[1], cut.leaves[2]];
-            if !seen_leafsets.insert(leaves) {
+            let sig = leafset_sig(&leaves);
+            if seen.iter().any(|&(s, l)| s == sig && l == leaves) {
                 continue; // same leaf set reached through another cut shape
             }
-            for (mask, m) in db.all_masks(&cut.tt) {
+            seen.push((sig, leaves));
+            for mask in 0u8..8 {
+                let Some(m) = db.lookup(&cut.tt, mask) else {
+                    continue;
+                };
                 // S has no complement pin (see sfq-tt docs).
                 let Some(port) = T1Port::for_match(m.base, m.output_negated) else {
                     continue;
                 };
-                groups
-                    .entry((leaves, mask))
-                    .or_default()
-                    .push(Entry { root: id, port });
+                recs.push(Rec {
+                    leaves,
+                    mask,
+                    root: id,
+                    port,
+                });
             }
         }
     }
+    // Stable sort brings each (leaves, mask) group together as one run while
+    // preserving the per-group root insertion order the reference's
+    // HashMap-of-Vecs maintained.
+    recs.sort_by_key(|r| (r.leaves, r.mask));
 
     // ---- evaluate candidates ---------------------------------------------
-    struct Candidate {
-        group: T1Group,
-    }
-    let mut candidates: Vec<Candidate> = Vec::new();
-    for ((leaves, mask), entries) in groups {
+    let mut candidates: Vec<T1Group> = Vec::new();
+    // Reused per-group scratch.
+    let mut port_owner: [Vec<CellId>; T1_NUM_PORTS] = Default::default();
+    let mut sorted_roots: Vec<CellId> = Vec::new();
+    let mut mffc = MffcScratch::new(n);
+    let mut start = 0usize;
+    while start < recs.len() {
+        let key = (recs[start].leaves, recs[start].mask);
+        let mut end = start + 1;
+        while end < recs.len() && (recs[end].leaves, recs[end].mask) == key {
+            end += 1;
+        }
+        let entries = &recs[start..end];
+        start = end;
+        let (leaves, mask) = key;
+
         // Assign ports: first root wins a port; later roots with the same
         // port share it only if they are *distinct* cells (duplicate logic).
-        let mut port_owner: HashMap<u8, Vec<CellId>> = HashMap::new();
-        for e in &entries {
-            let owners = port_owner.entry(e.port.index()).or_default();
+        for owners in &mut port_owner {
+            owners.clear();
+        }
+        for e in entries {
+            let owners = &mut port_owner[e.port.index() as usize];
             if !owners.contains(&e.root) {
                 owners.push(e.root);
             }
         }
         let mut roots: Vec<(CellId, T1Port)> = Vec::new();
         let mut used_ports = 0u8;
-        let mut port_list: Vec<(u8, Vec<CellId>)> = port_owner.into_iter().collect();
-        port_list.sort_by_key(|&(p, _)| p);
-        for (pidx, owners) in port_list {
+        for (pidx, owners) in port_owner.iter().enumerate() {
+            if owners.is_empty() {
+                continue;
+            }
             used_ports |= 1 << pidx;
-            for r in owners {
-                roots.push((r, T1Port::from_index(pidx)));
+            for &r in owners {
+                roots.push((r, T1Port::from_index(pidx as u8)));
             }
         }
         // A root matched on several ports (impossible: one function per
         // node per leaf set) — and the paper requires ≥ 2 cuts per group.
-        let distinct_roots: HashSet<CellId> = roots.iter().map(|&(r, _)| r).collect();
-        if distinct_roots.len() < 2 {
+        sorted_roots.clear();
+        sorted_roots.extend(roots.iter().map(|&(r, _)| r));
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        if sorted_roots.len() < 2 {
             continue;
         }
 
         // Joint MFFC of all roots, with leaves pinned alive.
-        let leaf_cells: HashSet<CellId> = leaves.iter().map(|l| l.cell).collect();
-        let (cone, cone_area) = group_mffc(net, &distinct_roots, &leaf_cells, &refs, lib);
+        let (cone, cone_area) = mffc.group_mffc(net, &sorted_roots, &leaves, &refs, lib);
 
         let t1_cost = lib.t1_area(used_ports) as i64 + (mask.count_ones() as i64) * lib.inv as i64;
         let gain = cone_area as i64 - t1_cost;
@@ -144,55 +226,52 @@ pub fn detect_t1_with_threshold(
             continue;
         }
         let dead: Vec<CellId> = cone
-            .into_iter()
-            .filter(|c| !distinct_roots.contains(c))
+            .iter()
+            .copied()
+            .filter(|c| sorted_roots.binary_search(c).is_err())
             .collect();
-        candidates.push(Candidate {
-            group: T1Group {
-                leaves,
-                input_mask: mask,
-                roots,
-                used_ports,
-                gain,
-                dead,
-            },
+        candidates.push(T1Group {
+            leaves,
+            input_mask: mask,
+            roots,
+            used_ports,
+            gain,
+            dead,
         });
     }
     let found = candidates.len();
 
     // ---- greedy non-overlapping commit ------------------------------------
     candidates.sort_by(|a, b| {
-        b.group
-            .gain
-            .cmp(&a.group.gain)
-            .then_with(|| a.group.leaves.cmp(&b.group.leaves))
-            .then_with(|| a.group.input_mask.cmp(&b.group.input_mask))
+        b.gain
+            .cmp(&a.gain)
+            .then_with(|| a.leaves.cmp(&b.leaves))
+            .then_with(|| a.input_mask.cmp(&b.input_mask))
     });
-    let mut claimed_dead: HashSet<CellId> = HashSet::new();
-    let mut used_roots: HashSet<CellId> = HashSet::new();
-    let mut needed_alive: HashSet<CellId> = HashSet::new();
+    let mut claimed_dead = vec![false; n];
+    let mut used_roots = vec![false; n];
+    let mut needed_alive = vec![false; n];
     let mut committed: Vec<T1Group> = Vec::new();
-    for cand in candidates {
-        let g = &cand.group;
-        let roots: HashSet<CellId> = g.roots.iter().map(|&(r, _)| r).collect();
-        let conflict = roots
-            .iter()
-            .any(|r| used_roots.contains(r) || claimed_dead.contains(r))
-            || g.dead.iter().any(|c| {
-                claimed_dead.contains(c) || used_roots.contains(c) || needed_alive.contains(c)
-            })
-            || roots.iter().any(|r| needed_alive.contains(r))
-            || g.leaves.iter().any(|l| claimed_dead.contains(&l.cell))
+    for g in candidates {
+        let conflict = g.roots.iter().any(|&(r, _)| {
+            used_roots[r.0 as usize] || claimed_dead[r.0 as usize] || needed_alive[r.0 as usize]
+        }) || g.dead.iter().any(|c| {
+            claimed_dead[c.0 as usize] || used_roots[c.0 as usize] || needed_alive[c.0 as usize]
+        }) || g.leaves.iter().any(|l| claimed_dead[l.cell.0 as usize])
             || g.dead.iter().any(|c| g.leaves.iter().any(|l| l.cell == *c));
         if conflict {
             continue;
         }
-        claimed_dead.extend(g.dead.iter().copied());
-        used_roots.extend(roots.iter().copied());
-        for l in &g.leaves {
-            needed_alive.insert(l.cell);
+        for c in &g.dead {
+            claimed_dead[c.0 as usize] = true;
         }
-        committed.push(cand.group);
+        for &(r, _) in &g.roots {
+            used_roots[r.0 as usize] = true;
+        }
+        for l in &g.leaves {
+            needed_alive[l.cell.0 as usize] = true;
+        }
+        committed.push(g);
     }
     let used = committed.len();
 
@@ -206,38 +285,79 @@ pub fn detect_t1_with_threshold(
     }
 }
 
-/// Joint MFFC of several roots with pinned leaves: the set of cells that die
-/// when all roots are replaced, never crossing leaves, inputs, or non-gate
-/// cells. Returns the cone (roots included) and the area of its cells.
-fn group_mffc(
-    net: &Network,
-    roots: &HashSet<CellId>,
-    pinned: &HashSet<CellId>,
-    refs: &[u32],
-    lib: &Library,
-) -> (Vec<CellId>, u64) {
-    let mut taken: HashMap<CellId, u32> = HashMap::new();
-    let mut cone: Vec<CellId> = roots.iter().copied().collect();
-    cone.sort();
-    let mut stack = cone.clone();
-    let mut in_cone: HashSet<CellId> = roots.clone();
-    while let Some(id) = stack.pop() {
-        for f in net.fanins(id) {
-            let d = f.cell;
-            if pinned.contains(&d) || roots.contains(&d) || in_cone.contains(&d) {
-                continue;
-            }
-            let t = taken.entry(d).or_insert(0);
-            *t += 1;
-            if *t == refs[d.0 as usize] && matches!(net.kind(d), CellKind::Gate(_)) {
-                cone.push(d);
-                in_cone.insert(d);
-                stack.push(d);
-            }
+/// Dense scratch for the joint-MFFC walks: per-cell counters and membership
+/// flags reset via touch lists so one allocation serves every group.
+struct MffcScratch {
+    taken: Vec<u32>,
+    touched: Vec<u32>,
+    in_cone: Vec<bool>,
+    cone: Vec<CellId>,
+    stack: Vec<CellId>,
+}
+
+impl MffcScratch {
+    fn new(n: usize) -> Self {
+        MffcScratch {
+            taken: vec![0; n],
+            touched: Vec::new(),
+            in_cone: vec![false; n],
+            cone: Vec::new(),
+            stack: Vec::new(),
         }
     }
-    let area = cone.iter().map(|&c| lib.cell_area(net.kind(c))).sum();
-    (cone, area)
+
+    /// Joint MFFC of several roots with pinned leaves: the set of cells that
+    /// die when all roots are replaced, never crossing leaves, inputs, or
+    /// non-gate cells. `roots` must be sorted. Returns the cone (roots
+    /// included) and the area of its cells; the returned slice is valid until
+    /// the next call.
+    fn group_mffc(
+        &mut self,
+        net: &Network,
+        roots: &[CellId],
+        leaves: &[Signal; 3],
+        refs: &[u32],
+        lib: &Library,
+    ) -> (&[CellId], u64) {
+        // Reset marks from the previous group.
+        for &t in &self.touched {
+            self.taken[t as usize] = 0;
+        }
+        self.touched.clear();
+        for &c in &self.cone {
+            self.in_cone[c.0 as usize] = false;
+        }
+        self.cone.clear();
+        self.cone.extend_from_slice(roots);
+        self.stack.clear();
+        self.stack.extend_from_slice(roots);
+        for &r in roots {
+            self.in_cone[r.0 as usize] = true;
+        }
+        while let Some(id) = self.stack.pop() {
+            for f in net.fanins(id) {
+                let d = f.cell;
+                if leaves.iter().any(|l| l.cell == d)
+                    || roots.binary_search(&d).is_ok()
+                    || self.in_cone[d.0 as usize]
+                {
+                    continue;
+                }
+                let t = &mut self.taken[d.0 as usize];
+                if *t == 0 {
+                    self.touched.push(d.0);
+                }
+                *t += 1;
+                if *t == refs[d.0 as usize] && matches!(net.kind(d), CellKind::Gate(_)) {
+                    self.cone.push(d);
+                    self.in_cone[d.0 as usize] = true;
+                    self.stack.push(d);
+                }
+            }
+        }
+        let area = self.cone.iter().map(|&c| lib.cell_area(net.kind(c))).sum();
+        (&self.cone, area)
+    }
 }
 
 /// The complement of `base` in the network under construction: when `base`
@@ -245,59 +365,99 @@ fn group_mffc(
 /// the twin port — same stage, no extra pipeline level; otherwise a shared
 /// clocked inverter cell. Keeping the carry chain inverter-free is what lets
 /// T1 ripple structures advance one stage per bit (DESIGN.md §3.1).
+///
+/// `inv_cache` is a short linear-scanned list: committed groups rarely
+/// negate more than a handful of distinct leaves.
 fn negated_signal(
     out: &mut Network,
     base: Signal,
-    inv_cache: &mut HashMap<Signal, Signal>,
+    inv_cache: &mut Vec<(Signal, Signal)>,
 ) -> Signal {
     if out.kind(base.cell).is_t1() {
         if let Some(twin) = T1Port::from_index(base.port).complement() {
             return out.enable_t1_port(base.cell, twin);
         }
     }
-    *inv_cache
-        .entry(base)
-        .or_insert_with(|| out.add_gate(sfq_netlist::GateKind::Inv, &[base]))
+    if let Some(&(_, inv)) = inv_cache.iter().find(|&&(b, _)| b == base) {
+        return inv;
+    }
+    let inv = out.add_gate(sfq_netlist::GateKind::Inv, &[base]);
+    inv_cache.push((base, inv));
+    inv
 }
 
-fn rebuild(net: &Network, groups: &[T1Group], dead: &HashSet<CellId>) -> Network {
+/// Dense old-signal → new-signal translation table: one slot per
+/// `(cell, port)` pair, probed by array index.
+struct SignalMap {
+    map: Vec<Signal>,
+}
+
+const UNMAPPED: Signal = Signal {
+    cell: CellId(u32::MAX),
+    port: 0,
+};
+
+impl SignalMap {
+    fn new(n: usize) -> Self {
+        SignalMap {
+            map: vec![UNMAPPED; n * T1_NUM_PORTS],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, old: Signal, new: Signal) {
+        self.map[old.cell.0 as usize * T1_NUM_PORTS + old.port as usize] = new;
+    }
+
+    #[inline]
+    fn get(&self, old: Signal) -> Option<Signal> {
+        let s = self.map[old.cell.0 as usize * T1_NUM_PORTS + old.port as usize];
+        (s.cell != UNMAPPED.cell).then_some(s)
+    }
+}
+
+fn rebuild(net: &Network, groups: &[T1Group], dead: &[bool]) -> Network {
+    let n = net.num_cells();
     let order = net.topological_order().expect("subject network is acyclic");
     let mut out = Network::new(net.name().to_string());
     // old signal → new signal (roots map to T1 ports).
-    let mut remap: HashMap<Signal, Signal> = HashMap::new();
+    let mut remap = SignalMap::new(n);
     // first root (in topo order) of each group triggers materialization.
-    let mut group_of_root: HashMap<CellId, usize> = HashMap::new();
+    let mut group_of_root: Vec<u32> = vec![u32::MAX; n];
     for (gi, g) in groups.iter().enumerate() {
         for &(r, _) in &g.roots {
-            group_of_root.insert(r, gi);
+            group_of_root[r.0 as usize] = gi as u32;
         }
     }
     let mut materialized: Vec<Option<CellId>> = vec![None; groups.len()];
     // Shared input inverters: (leaf signal) → INV output in the new network.
-    let mut inv_cache: HashMap<Signal, Signal> = HashMap::new();
+    let mut inv_cache: Vec<(Signal, Signal)> = Vec::new();
+    let mut fanin_buf: Vec<Signal> = Vec::with_capacity(3);
 
     let mut inputs_done = 0usize;
     for id in order {
-        let old_kind = net.kind(id);
-        if dead.contains(&id) {
+        if dead[id.0 as usize] {
             continue;
         }
-        if let Some(&gi) = group_of_root.get(&id) {
+        let gi = group_of_root[id.0 as usize];
+        if gi != u32::MAX {
+            let gi = gi as usize;
             // Materialize the T1 cell once, then map this root to its port.
             if materialized[gi].is_none() {
                 let g = &groups[gi];
-                let mut fanins: Vec<Signal> = Vec::with_capacity(3);
+                fanin_buf.clear();
                 for (li, leaf) in g.leaves.iter().enumerate() {
-                    let base = *remap.get(leaf).unwrap_or_else(|| {
+                    let base = remap.get(*leaf).unwrap_or_else(|| {
                         panic!("leaf {leaf:?} must precede root in topological order")
                     });
                     if g.input_mask >> li & 1 == 1 {
-                        fanins.push(negated_signal(&mut out, base, &mut inv_cache));
+                        let neg = negated_signal(&mut out, base, &mut inv_cache);
+                        fanin_buf.push(neg);
                     } else {
-                        fanins.push(base);
+                        fanin_buf.push(base);
                     }
                 }
-                materialized[gi] = Some(out.add_t1(g.used_ports, &fanins));
+                materialized[gi] = Some(out.add_t1(g.used_ports, &fanin_buf));
             }
             let t1 = materialized[gi].unwrap();
             let g = &groups[gi];
@@ -307,40 +467,50 @@ fn rebuild(net: &Network, groups: &[T1Group], dead: &HashSet<CellId>) -> Network
                 .find(|&&(r, _)| r == id)
                 .map(|&(_, p)| p)
                 .expect("root registered in its group");
-            remap.insert(Signal::from_cell(id), Signal::t1(t1, port));
+            remap.set(Signal::from_cell(id), Signal::t1(t1, port));
             continue;
         }
         // Ordinary copy.
-        match old_kind {
+        match net.kind(id) {
             CellKind::Input => {
                 let k = inputs_done;
                 inputs_done += 1;
                 let s = out.add_input(net.input_name(k).to_string());
-                remap.insert(Signal::from_cell(id), s);
+                remap.set(Signal::from_cell(id), s);
             }
             CellKind::Gate(gk) => {
-                let fanins: Vec<Signal> = net.fanins(id).iter().map(|f| remap[f]).collect();
-                let s = out.add_gate(gk, &fanins);
-                remap.insert(Signal::from_cell(id), s);
+                fanin_buf.clear();
+                fanin_buf.extend(
+                    net.fanins(id)
+                        .iter()
+                        .map(|f| remap.get(*f).expect("fanin precedes cell")),
+                );
+                let s = out.add_gate(gk, &fanin_buf);
+                remap.set(Signal::from_cell(id), s);
             }
             CellKind::T1 { used_ports } => {
-                let fanins: Vec<Signal> = net.fanins(id).iter().map(|f| remap[f]).collect();
-                let new_id = out.add_t1(used_ports, &fanins);
+                fanin_buf.clear();
+                fanin_buf.extend(
+                    net.fanins(id)
+                        .iter()
+                        .map(|f| remap.get(*f).expect("fanin precedes cell")),
+                );
+                let new_id = out.add_t1(used_ports, &fanin_buf);
                 for port in T1Port::ALL {
                     if used_ports >> port.index() & 1 == 1 {
-                        remap.insert(Signal::t1(id, port), Signal::t1(new_id, port));
+                        remap.set(Signal::t1(id, port), Signal::t1(new_id, port));
                     }
                 }
             }
             CellKind::Dff => {
-                let fanins: Vec<Signal> = net.fanins(id).iter().map(|f| remap[f]).collect();
-                let s = out.add_dff(fanins[0]);
-                remap.insert(Signal::from_cell(id), s);
+                let f = net.fanins(id)[0];
+                let s = out.add_dff(remap.get(f).expect("fanin precedes cell"));
+                remap.set(Signal::from_cell(id), s);
             }
         }
     }
-    for (k, o) in net.outputs().iter().enumerate() {
-        let s = remap[o];
+    for (k, &o) in net.outputs().iter().enumerate() {
+        let s = remap.get(o).expect("output driver is live");
         out.add_output(net.output_name(k).to_string(), s);
     }
     out

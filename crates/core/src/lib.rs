@@ -46,6 +46,7 @@
 
 pub mod chains;
 pub mod detect;
+pub mod detect_reference;
 pub mod dff;
 pub mod flow;
 pub mod phase;
@@ -53,6 +54,7 @@ pub mod report;
 pub mod timed;
 
 pub use detect::{detect_t1, detect_t1_with_threshold, T1Detection, T1Group};
+pub use detect_reference::{detect_t1_reference, detect_t1_with_threshold_reference};
 pub use dff::insert_dffs;
 pub use flow::{run_flow, run_flow_on_network, FlowConfig, FlowError, FlowReport, FlowResult};
 pub use phase::{

@@ -38,6 +38,7 @@ pub mod cell;
 pub mod cuts;
 pub mod export;
 pub mod mapper;
+pub mod mapper_reference;
 pub mod mffc;
 pub mod network;
 
@@ -46,8 +47,9 @@ pub use blif::{parse_blif, BlifError};
 pub use cell::{CellKind, GateKind, Library, T1Port, T1_NUM_PORTS};
 pub use cuts::{enumerate_cuts, Cut, CutConfig, CutSet};
 pub use mapper::map_aig;
+pub use mapper_reference::map_aig_reference;
 pub use mffc::{mffc_area, mffc_nodes};
-pub use network::{AreaBreakdown, CellId, Network, NetworkError, Signal};
+pub use network::{AreaBreakdown, CellId, Network, NetworkError, RebuildScratch, Signal};
 
 #[cfg(test)]
 mod tests;

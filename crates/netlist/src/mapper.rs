@@ -25,25 +25,95 @@
 //! SFQ generator cell; they are materialized as real logic over input 0
 //! (`AND(x, ¬x)` / `OR(x, ¬x)`), exactly like path-balanced constants in an
 //! SFQ netlist would be.
+//!
+//! # Data layout (see `benches/hotpaths.rs` for the regression gates)
+//!
+//! The hot paths got the same treatment as [`crate::cuts`] (ISSUE 2); the
+//! original implementation survives verbatim as
+//! [`crate::mapper_reference::map_aig_reference`], and the differential
+//! harness asserts the two produce bit-identical networks:
+//!
+//! * **2-feasible cuts live in one flat CSR table** ([`Cut2`]: two inline
+//!   leaf ids + a 2-variable truth table per cut) with a `(start, len)` span
+//!   per AIG node — no `Vec<(Vec<AigNodeId>, TruthTable)>` per node, no
+//!   cloned fanin cut lists. Complemented fanin edges complement the borrowed
+//!   cut function on the fly instead of materializing a complemented copy of
+//!   the whole fanin cut set (the old `leaf_cuts` allocated a fresh
+//!   `(Vec, TruthTable)` pair per leaf cut per node).
+//! * **Candidate dedup is one `u64` compare**: a cut's sorted leaf pair packs
+//!   into a single integer key, and a cut's function over a fixed leaf set is
+//!   unique, so duplicate candidates are rejected *before* their truth tables
+//!   are derived.
+//! * **Boolean matching is a 16-entry lookup**: all 24 `(gate, input-flip
+//!   mask)` pairs are bucketed by the 2-variable function they realize once
+//!   per mapping, replacing the 24 `flip_vars` truth-table comparisons the DP
+//!   inner loop used to do per cut.
+//! * **Cover memoization is dense**: the three `HashMap<AigNodeId, Signal>`
+//!   polarity tables (positive / shared-INV / complement-gate) are
+//!   `Vec<Option<Signal>>` indexed by node id, and matches store their ≤ 2
+//!   leaves inline, so cover extraction never hashes or heap-allocates per
+//!   node.
+//!
+//! Measured effect (criterion medians, one dev machine, 2026-07, see
+//! `BENCH_flow.json`): `map_aig/adder32` 187 µs → 29 µs (6.3×),
+//! `map_aig/adder64` 359 µs → 54 µs (6.6×), `map_aig/multiplier12`
+//! 846 µs → 117 µs (7.2×); the map stage of `profile_scale` at paper scale
+//! dropped 3.5–7.7× per benchmark (`log2` 76 ms → 18 ms).
 
 use crate::aig::{Aig, AigLit, AigNodeId};
 use crate::cell::{GateKind, Library};
 use crate::network::{Network, Signal};
 use sfq_tt::TruthTable;
-use std::collections::HashMap;
 
-#[derive(Debug, Clone)]
+/// Filler for the unused second leaf slot of a 1-leaf cut. Real node ids are
+/// always smaller (an AIG with `u32::MAX` nodes cannot be built), so packed
+/// dedup keys of 1- and 2-leaf cuts never collide.
+const NO_NODE: AigNodeId = AigNodeId(u32::MAX);
+
+/// One 2-feasible cut: sorted leaf nodes stored inline and the node's
+/// positive function over them (1 or 2 variables).
+#[derive(Clone, Copy)]
+struct Cut2 {
+    leaves: [AigNodeId; 2],
+    len: u8,
+    tt: TruthTable,
+}
+
+/// Packs a sorted ≤ 2-leaf set (second slot [`NO_NODE`] when unused) into
+/// the single integer compared during candidate dedup.
+#[inline]
+fn leaf_key(leaves: &[AigNodeId; 2]) -> u64 {
+    (u64::from(leaves[0].0) << 32) | u64::from(leaves[1].0)
+}
+
+impl Cut2 {
+    #[inline]
+    fn key(&self) -> u64 {
+        leaf_key(&self.leaves)
+    }
+}
+
+/// The chosen realization of one AIG node: a library gate over ≤ 2 leaves.
+#[derive(Debug, Clone, Copy)]
 struct Match {
     gate: GateKind,
-    /// Positive leaf nodes the gate reads.
-    leaves: Vec<AigNodeId>,
+    /// Positive leaf nodes the gate reads (first `len` entries).
+    leaves: [AigNodeId; 2],
+    len: u8,
     /// Bit `i` set ⇒ leaf `i` enters through the shared inverter cell.
     neg_mask: u8,
     cost: f64,
 }
 
+impl Match {
+    #[inline]
+    fn leaves(&self) -> &[AigNodeId] {
+        &self.leaves[..self.len as usize]
+    }
+}
+
 /// All single-output gates considered during covering, with their functions.
-fn gate_patterns() -> Vec<(GateKind, TruthTable)> {
+pub(crate) fn gate_patterns() -> Vec<(GateKind, TruthTable)> {
     [
         GateKind::And2,
         GateKind::Or2,
@@ -79,7 +149,6 @@ fn gate_patterns() -> Vec<(GateKind, TruthTable)> {
 /// ```
 pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
     let n = aig.num_nodes();
-    let patterns = gate_patterns();
 
     // ---- fanout refs for area flow -------------------------------------
     let mut refs = vec![0u32; n];
@@ -92,30 +161,65 @@ pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
         refs[o.node().0 as usize] += 1;
     }
 
-    // ---- 2-feasible cuts -------------------------------------------------
-    // cuts[node] = (positive leaf nodes sorted, tt of the node's positive
-    // function over them)
-    let mut cuts: Vec<Vec<(Vec<AigNodeId>, TruthTable)>> = vec![Vec::new(); n];
-    for i in aig.inputs() {
-        cuts[i.0 as usize] = vec![(vec![*i], TruthTable::var(1, 0))];
-    }
-    for id in aig.and_ids() {
-        let (fa, fb) = aig.and_fanins(id);
-        let trivial = (vec![id], TruthTable::var(1, 0));
-        let mut set: Vec<(Vec<AigNodeId>, TruthTable)> = vec![trivial];
-        let ca = leaf_cuts(&cuts, fa);
-        let cb = leaf_cuts(&cuts, fb);
-        for (la, ta) in &ca {
-            for (lb, tb) in &cb {
-                if let Some((leaves, tta, ttb)) = merge2(la, ta, lb, tb) {
-                    let tt = tta & ttb;
-                    if !set.iter().any(|(l, _)| *l == leaves) {
-                        set.push((leaves, tt));
+    // ---- 2-feasible cuts: flat CSR table ---------------------------------
+    // cuts[spans[node]] = the node's cut set (trivial cut first), leaves
+    // sorted, function over *positive* leaf variables.
+    let mut cuts: Vec<Cut2> = Vec::new();
+    let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
+    let mut node_cuts: Vec<Cut2> = Vec::new();
+    for raw in 0..n as u32 {
+        let id = AigNodeId(raw);
+        node_cuts.clear();
+        if aig.is_input(id) {
+            node_cuts.push(Cut2 {
+                leaves: [id, NO_NODE],
+                len: 1,
+                tt: TruthTable::var(1, 0),
+            });
+        } else if aig.is_and(id) {
+            node_cuts.push(Cut2 {
+                leaves: [id, NO_NODE],
+                len: 1,
+                tt: TruthTable::var(1, 0),
+            });
+            let (fa, fb) = aig.and_fanins(id);
+            let (a_start, a_len) = spans[fa.node().0 as usize];
+            let (b_start, b_len) = spans[fb.node().0 as usize];
+            for ai in a_start..a_start + a_len {
+                let a = cuts[ai as usize];
+                // Entering through a complemented edge complements the
+                // borrowed cut function — no cloned fanin cut set.
+                let ta = if fa.is_complemented() { !a.tt } else { a.tt };
+                for bi in b_start..b_start + b_len {
+                    let b = cuts[bi as usize];
+                    let Some((leaves, len)) = merge_leaves2(&a, &b) else {
+                        continue;
+                    };
+                    let key = leaf_key(&leaves);
+                    if node_cuts.iter().any(|c| c.key() == key) {
+                        continue; // same leaf set ⇒ same function; first wins
                     }
+                    let tb = if fb.is_complemented() { !b.tt } else { b.tt };
+                    let tt = expand2(ta, a.leaves[0], a.len, &leaves, len)
+                        & expand2(tb, b.leaves[0], b.len, &leaves, len);
+                    node_cuts.push(Cut2 { leaves, len, tt });
                 }
             }
         }
-        cuts[id.0 as usize] = set;
+        spans[raw as usize] = (cuts.len() as u32, node_cuts.len() as u32);
+        cuts.extend_from_slice(&node_cuts);
+    }
+
+    // ---- Boolean match table ---------------------------------------------
+    // For each of the 16 two-variable functions, the (gate, input-flip mask)
+    // pairs realizing it, in the reference's (pattern, mask) scan order so
+    // cost ties break identically.
+    let patterns = gate_patterns();
+    let mut match_tbl: [Vec<(GateKind, u8)>; 16] = Default::default();
+    for (g, gtt) in &patterns {
+        for mask in 0u8..4 {
+            match_tbl[gtt.flip_vars(mask).bits() as usize].push((*g, mask));
+        }
     }
 
     // ---- single-polarity DP ------------------------------------------------
@@ -132,32 +236,29 @@ pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
     };
     for id in aig.and_ids() {
         let mut found: Option<Match> = None;
-        for (leaves, tt) in &cuts[id.0 as usize] {
-            if leaves.len() == 1 {
+        let (start, len) = spans[id.0 as usize];
+        for cut in &cuts[start as usize..(start + len) as usize] {
+            if cut.len == 1 {
                 continue; // the trivial cut cannot implement its own root
             }
-            for (g, gtt) in &patterns {
-                for mask in 0u8..4 {
-                    if gtt.flip_vars(mask) != *tt {
-                        continue;
+            for &(g, mask) in &match_tbl[cut.tt.bits() as usize] {
+                let mut cost = lib.gate_area(g) as f64;
+                for (i, &leaf) in cut.leaves.iter().enumerate() {
+                    let fanout = f64::from(refs[leaf.0 as usize].max(1));
+                    cost += node_cost(&best, leaf) / fanout;
+                    if mask >> i & 1 == 1 {
+                        // Shared inverter, amortized like the leaf.
+                        cost += lib.inv as f64 / fanout;
                     }
-                    let mut cost = lib.gate_area(*g) as f64;
-                    for (i, &leaf) in leaves.iter().enumerate() {
-                        let fanout = f64::from(refs[leaf.0 as usize].max(1));
-                        cost += node_cost(&best, leaf) / fanout;
-                        if mask >> i & 1 == 1 {
-                            // Shared inverter, amortized like the leaf.
-                            cost += lib.inv as f64 / fanout;
-                        }
-                    }
-                    if found.as_ref().is_none_or(|b| cost < b.cost) {
-                        found = Some(Match {
-                            gate: *g,
-                            leaves: leaves.clone(),
-                            neg_mask: mask,
-                            cost,
-                        });
-                    }
+                }
+                if found.is_none_or(|b| cost < b.cost) {
+                    found = Some(Match {
+                        gate: g,
+                        leaves: cut.leaves,
+                        len: cut.len,
+                        neg_mask: mask,
+                        cost,
+                    });
                 }
             }
         }
@@ -189,7 +290,7 @@ pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
                 continue; // leaves already visited through the other polarity
             }
             let m = best[node.0 as usize].as_ref().expect("covered node");
-            for (i, &leaf) in m.leaves.iter().enumerate() {
+            for (i, &leaf) in m.leaves().iter().enumerate() {
                 stack.push((leaf, m.neg_mask >> i & 1 == 1));
             }
         }
@@ -201,13 +302,13 @@ pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
         best: &best,
         demand: &demand,
         net: Network::new(aig.name()),
-        positive: HashMap::new(),
-        inverted: HashMap::new(),
-        complement: HashMap::new(),
+        positive: vec![None; n],
+        inverted: vec![None; n],
+        complement: vec![None; n],
     };
     for (k, i) in aig.inputs().iter().enumerate() {
         let s = builder.net.add_input(aig.input_name(k).to_string());
-        builder.positive.insert(*i, s);
+        builder.positive[i.0 as usize] = Some(s);
     }
     let outputs: Vec<(String, AigLit)> = (0..aig.num_outputs())
         .map(|k| (aig.output_name(k).to_string(), aig.outputs()[k]))
@@ -224,21 +325,73 @@ pub fn map_aig(aig: &Aig, lib: &Library) -> Network {
     builder.net
 }
 
-/// Memoized cover materialization: one logic cell per AIG node (positive or
-/// complement form), plus at most one shared INV when both polarities are
-/// demanded.
-struct Cover<'a> {
-    aig: &'a Aig,
-    best: &'a [Option<Match>],
-    demand: &'a [u8],
-    net: Network,
-    positive: HashMap<AigNodeId, Signal>,
-    inverted: HashMap<AigNodeId, Signal>,
-    complement: HashMap<AigNodeId, Signal>,
+/// Union of two sorted ≤ 2-leaf sets; `None` when it exceeds 2 leaves.
+#[inline]
+fn merge_leaves2(a: &Cut2, b: &Cut2) -> Option<([AigNodeId; 2], u8)> {
+    let (alen, blen) = (a.len as usize, b.len as usize);
+    let mut out = [NO_NODE; 2];
+    let mut len = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < alen || j < blen {
+        let v = if j >= blen {
+            let v = a.leaves[i];
+            i += 1;
+            v
+        } else if i >= alen {
+            let v = b.leaves[j];
+            j += 1;
+            v
+        } else {
+            let (x, y) = (a.leaves[i], b.leaves[j]);
+            if x <= y {
+                i += 1;
+                if x == y {
+                    j += 1;
+                }
+                x
+            } else {
+                j += 1;
+                y
+            }
+        };
+        if len == 2 {
+            return None;
+        }
+        out[len] = v;
+        len += 1;
+    }
+    Some((out, len as u8))
+}
+
+/// Re-expresses `tt` (over a sorted ≤ 2-leaf set) on the sorted superset
+/// `new`. Equal lengths mean equal sets (both sorted subsets), so only the
+/// 1 → 2 variable case does any work.
+#[inline]
+fn expand2(
+    tt: TruthTable,
+    old0: AigNodeId,
+    old_len: u8,
+    new: &[AigNodeId; 2],
+    new_len: u8,
+) -> TruthTable {
+    if old_len == new_len {
+        return tt;
+    }
+    debug_assert!(old_len == 1 && new_len == 2);
+    let bits = tt.bits();
+    let (b0, b1) = (bits & 1, bits >> 1 & 1);
+    let expanded = if new[0] == old0 {
+        // old variable is var 0 of the pair: rows select on bit 0.
+        (b0 * 0b0101) | (b1 * 0b1010)
+    } else {
+        // old variable is var 1: rows select on bit 1.
+        (b0 * 0b0011) | (b1 * 0b1100)
+    };
+    TruthTable::from_bits_truncated(2, expanded)
 }
 
 /// The library gate computing the complement function (same fanins).
-fn complement_gate(g: GateKind) -> GateKind {
+pub(crate) fn complement_gate(g: GateKind) -> GateKind {
     match g {
         GateKind::And2 => GateKind::Nand2,
         GateKind::Nand2 => GateKind::And2,
@@ -251,55 +404,64 @@ fn complement_gate(g: GateKind) -> GateKind {
     }
 }
 
+/// Memoized cover materialization: one logic cell per AIG node (positive or
+/// complement form), plus at most one shared INV when both polarities are
+/// demanded. Memo tables are dense per-node vectors, not hash maps.
+struct Cover<'a> {
+    aig: &'a Aig,
+    best: &'a [Option<Match>],
+    demand: &'a [u8],
+    net: Network,
+    positive: Vec<Option<Signal>>,
+    inverted: Vec<Option<Signal>>,
+    complement: Vec<Option<Signal>>,
+}
+
 impl Cover<'_> {
-    fn fanins(&mut self, m: &Match) -> Vec<Signal> {
-        m.leaves
-            .iter()
-            .enumerate()
-            .map(|(i, &leaf)| {
-                if m.neg_mask >> i & 1 == 1 {
-                    self.negated(leaf)
-                } else {
-                    self.node(leaf)
-                }
-            })
-            .collect()
+    fn fanins(&mut self, m: &Match) -> ([Signal; 2], usize) {
+        let mut out = [Signal::from_cell(crate::network::CellId(0)); 2];
+        for (i, slot) in out.iter_mut().take(m.len as usize).enumerate() {
+            let leaf = m.leaves[i];
+            *slot = if m.neg_mask >> i & 1 == 1 {
+                self.negated(leaf)
+            } else {
+                self.node(leaf)
+            };
+        }
+        (out, m.len as usize)
     }
 
     fn node(&mut self, node: AigNodeId) -> Signal {
-        if let Some(&s) = self.positive.get(&node) {
+        if let Some(s) = self.positive[node.0 as usize] {
             return s;
         }
-        let m = self.best[node.0 as usize]
-            .clone()
-            .unwrap_or_else(|| panic!("no match for node {node:?}"));
-        let fanins = self.fanins(&m);
-        let s = self.net.add_gate(m.gate, &fanins);
-        self.positive.insert(node, s);
+        let m = self.best[node.0 as usize].unwrap_or_else(|| panic!("no match for node {node:?}"));
+        let (fanins, len) = self.fanins(&m);
+        let s = self.net.add_gate(m.gate, &fanins[..len]);
+        self.positive[node.0 as usize] = Some(s);
         s
     }
 
     fn negated(&mut self, node: AigNodeId) -> Signal {
-        if let Some(&s) = self.inverted.get(&node) {
+        if let Some(s) = self.inverted[node.0 as usize] {
             return s;
         }
-        if let Some(&s) = self.complement.get(&node) {
+        if let Some(s) = self.complement[node.0 as usize] {
             return s;
         }
         // Complement-only demand on a logic node → the complement gate,
         // one cell, no inverter. Otherwise (inputs, dual demand) → shared INV.
         if !self.aig.is_input(node) && self.demand[node.0 as usize] == 2 {
-            let m = self.best[node.0 as usize]
-                .clone()
-                .unwrap_or_else(|| panic!("no match for node {node:?}"));
-            let fanins = self.fanins(&m);
-            let s = self.net.add_gate(complement_gate(m.gate), &fanins);
-            self.complement.insert(node, s);
+            let m =
+                self.best[node.0 as usize].unwrap_or_else(|| panic!("no match for node {node:?}"));
+            let (fanins, len) = self.fanins(&m);
+            let s = self.net.add_gate(complement_gate(m.gate), &fanins[..len]);
+            self.complement[node.0 as usize] = Some(s);
             return s;
         }
         let pos = self.node(node);
         let s = self.net.add_gate(GateKind::Inv, &[pos]);
-        self.inverted.insert(node, s);
+        self.inverted[node.0 as usize] = Some(s);
         s
     }
 
@@ -335,55 +497,4 @@ impl Cover<'_> {
         cache[usize::from(value)] = Some(s);
         s
     }
-}
-
-fn leaf_cuts(
-    cuts: &[Vec<(Vec<AigNodeId>, TruthTable)>],
-    lit: AigLit,
-) -> Vec<(Vec<AigNodeId>, TruthTable)> {
-    // Cut functions are stored over *positive* leaf variables; entering
-    // through a complemented edge complements the cut function.
-    cuts[lit.node().0 as usize]
-        .iter()
-        .map(|(l, t)| (l.clone(), if lit.is_complemented() { !*t } else { *t }))
-        .collect()
-}
-
-fn merge2(
-    la: &[AigNodeId],
-    ta: &TruthTable,
-    lb: &[AigNodeId],
-    tb: &TruthTable,
-) -> Option<(Vec<AigNodeId>, TruthTable, TruthTable)> {
-    let mut leaves: Vec<AigNodeId> = la.to_vec();
-    for &l in lb {
-        if !leaves.contains(&l) {
-            leaves.push(l);
-        }
-    }
-    if leaves.len() > 2 {
-        return None;
-    }
-    leaves.sort();
-    let ea = expand_nodes(ta, la, &leaves);
-    let eb = expand_nodes(tb, lb, &leaves);
-    Some((leaves, ea, eb))
-}
-
-fn expand_nodes(tt: &TruthTable, old: &[AigNodeId], new: &[AigNodeId]) -> TruthTable {
-    let n = new.len();
-    let mut bits = 0u64;
-    for row in 0..(1usize << n) {
-        let mut src = 0usize;
-        for (i, l) in old.iter().enumerate() {
-            let p = new.iter().position(|x| x == l).expect("subset");
-            if (row >> p) & 1 == 1 {
-                src |= 1 << i;
-            }
-        }
-        if tt.eval_row(src) {
-            bits |= 1 << row;
-        }
-    }
-    TruthTable::from_bits_truncated(n, bits)
 }

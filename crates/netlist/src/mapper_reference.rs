@@ -1,0 +1,330 @@
+//! Reference implementation of the technology mapper.
+//!
+//! This is the original, straightforward `map_aig` — heap-allocated cut
+//! lists, cloned fanin cut sets, `HashMap` polarity tables — kept verbatim
+//! as the **executable specification** for the optimized mapper in
+//! [`crate::mapper`]. The differential harness (`tests/differential_mapping.rs`)
+//! and the netlist unit tests assert that [`map_aig_reference`] and
+//! [`crate::map_aig`] produce bit-identical networks on every benchmark
+//! generator and on random AIGs; any divergence is a bug in the fast path.
+//!
+//! Do not optimize this module: its value is being obviously correct.
+
+use crate::aig::{Aig, AigLit, AigNodeId};
+use crate::cell::{GateKind, Library};
+use crate::mapper::{complement_gate, gate_patterns};
+use crate::network::{Network, Signal};
+use sfq_tt::TruthTable;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Match {
+    gate: GateKind,
+    /// Positive leaf nodes the gate reads.
+    leaves: Vec<AigNodeId>,
+    /// Bit `i` set ⇒ leaf `i` enters through the shared inverter cell.
+    neg_mask: u8,
+    cost: f64,
+}
+
+/// Reference mapper: same contract and bit-identical output as
+/// [`crate::map_aig`], an order of magnitude slower on large AIGs.
+///
+/// # Panics
+/// Panics if the AIG has no primary inputs but does have outputs.
+pub fn map_aig_reference(aig: &Aig, lib: &Library) -> Network {
+    let n = aig.num_nodes();
+    let patterns = gate_patterns();
+
+    // ---- fanout refs for area flow -------------------------------------
+    let mut refs = vec![0u32; n];
+    for id in aig.and_ids() {
+        let (a, b) = aig.and_fanins(id);
+        refs[a.node().0 as usize] += 1;
+        refs[b.node().0 as usize] += 1;
+    }
+    for o in aig.outputs() {
+        refs[o.node().0 as usize] += 1;
+    }
+
+    // ---- 2-feasible cuts -------------------------------------------------
+    // cuts[node] = (positive leaf nodes sorted, tt of the node's positive
+    // function over them)
+    let mut cuts: Vec<Vec<(Vec<AigNodeId>, TruthTable)>> = vec![Vec::new(); n];
+    for i in aig.inputs() {
+        cuts[i.0 as usize] = vec![(vec![*i], TruthTable::var(1, 0))];
+    }
+    for id in aig.and_ids() {
+        let (fa, fb) = aig.and_fanins(id);
+        let trivial = (vec![id], TruthTable::var(1, 0));
+        let mut set: Vec<(Vec<AigNodeId>, TruthTable)> = vec![trivial];
+        let ca = leaf_cuts(&cuts, fa);
+        let cb = leaf_cuts(&cuts, fb);
+        for (la, ta) in &ca {
+            for (lb, tb) in &cb {
+                if let Some((leaves, tta, ttb)) = merge2(la, ta, lb, tb) {
+                    let tt = tta & ttb;
+                    if !set.iter().any(|(l, _)| *l == leaves) {
+                        set.push((leaves, tt));
+                    }
+                }
+            }
+        }
+        cuts[id.0 as usize] = set;
+    }
+
+    // ---- single-polarity DP ------------------------------------------------
+    // best[node]: cheapest realization of the node's positive function.
+    let mut best: Vec<Option<Match>> = vec![None; n];
+    let node_cost = |best: &[Option<Match>], node: AigNodeId| -> f64 {
+        if aig.is_input(node) {
+            0.0
+        } else {
+            best[node.0 as usize]
+                .as_ref()
+                .map_or(f64::INFINITY, |m| m.cost)
+        }
+    };
+    for id in aig.and_ids() {
+        let mut found: Option<Match> = None;
+        for (leaves, tt) in &cuts[id.0 as usize] {
+            if leaves.len() == 1 {
+                continue; // the trivial cut cannot implement its own root
+            }
+            for (g, gtt) in &patterns {
+                for mask in 0u8..4 {
+                    if gtt.flip_vars(mask) != *tt {
+                        continue;
+                    }
+                    let mut cost = lib.gate_area(*g) as f64;
+                    for (i, &leaf) in leaves.iter().enumerate() {
+                        let fanout = f64::from(refs[leaf.0 as usize].max(1));
+                        cost += node_cost(&best, leaf) / fanout;
+                        if mask >> i & 1 == 1 {
+                            // Shared inverter, amortized like the leaf.
+                            cost += lib.inv as f64 / fanout;
+                        }
+                    }
+                    if found.as_ref().is_none_or(|b| cost < b.cost) {
+                        found = Some(Match {
+                            gate: *g,
+                            leaves: leaves.clone(),
+                            neg_mask: mask,
+                            cost,
+                        });
+                    }
+                }
+            }
+        }
+        best[id.0 as usize] = Some(found.expect("every AND node matches AND2 on its fanin cut"));
+    }
+
+    // ---- polarity demand over the chosen cover ------------------------------
+    // demand[node] bits: 1 = positive use, 2 = complemented use.
+    let mut demand = vec![0u8; n];
+    {
+        let mut stack: Vec<(AigNodeId, bool)> = aig
+            .outputs()
+            .iter()
+            .filter(|l| !l.is_constant())
+            .map(|l| (l.node(), l.is_complemented()))
+            .collect();
+        while let Some((node, neg)) = stack.pop() {
+            let bit = if neg { 2u8 } else { 1 };
+            if demand[node.0 as usize] & bit != 0 {
+                continue;
+            }
+            demand[node.0 as usize] |= bit;
+            if aig.is_input(node) {
+                continue;
+            }
+            // The cover is polarity-oblivious below this node: its cell (of
+            // either polarity) reads the same leaf polarities.
+            if demand[node.0 as usize] & (bit ^ 3) != 0 {
+                continue; // leaves already visited through the other polarity
+            }
+            let m = best[node.0 as usize].as_ref().expect("covered node");
+            for (i, &leaf) in m.leaves.iter().enumerate() {
+                stack.push((leaf, m.neg_mask >> i & 1 == 1));
+            }
+        }
+    }
+
+    // ---- cover extraction ---------------------------------------------------
+    let mut builder = Cover {
+        aig,
+        best: &best,
+        demand: &demand,
+        net: Network::new(aig.name()),
+        positive: HashMap::new(),
+        inverted: HashMap::new(),
+        complement: HashMap::new(),
+    };
+    for (k, i) in aig.inputs().iter().enumerate() {
+        let s = builder.net.add_input(aig.input_name(k).to_string());
+        builder.positive.insert(*i, s);
+    }
+    let outputs: Vec<(String, AigLit)> = (0..aig.num_outputs())
+        .map(|k| (aig.output_name(k).to_string(), aig.outputs()[k]))
+        .collect();
+    let mut const_cache: [Option<Signal>; 2] = [None, None];
+    for (name, lit) in outputs {
+        let s = if lit.is_constant() {
+            builder.constant(lit == AigLit::TRUE, &mut const_cache)
+        } else {
+            builder.literal(lit)
+        };
+        builder.net.add_output(name, s);
+    }
+    builder.net
+}
+
+/// Memoized cover materialization: one logic cell per AIG node (positive or
+/// complement form), plus at most one shared INV when both polarities are
+/// demanded.
+struct Cover<'a> {
+    aig: &'a Aig,
+    best: &'a [Option<Match>],
+    demand: &'a [u8],
+    net: Network,
+    positive: HashMap<AigNodeId, Signal>,
+    inverted: HashMap<AigNodeId, Signal>,
+    complement: HashMap<AigNodeId, Signal>,
+}
+
+impl Cover<'_> {
+    fn fanins(&mut self, m: &Match) -> Vec<Signal> {
+        m.leaves
+            .iter()
+            .enumerate()
+            .map(|(i, &leaf)| {
+                if m.neg_mask >> i & 1 == 1 {
+                    self.negated(leaf)
+                } else {
+                    self.node(leaf)
+                }
+            })
+            .collect()
+    }
+
+    fn node(&mut self, node: AigNodeId) -> Signal {
+        if let Some(&s) = self.positive.get(&node) {
+            return s;
+        }
+        let m = self.best[node.0 as usize]
+            .clone()
+            .unwrap_or_else(|| panic!("no match for node {node:?}"));
+        let fanins = self.fanins(&m);
+        let s = self.net.add_gate(m.gate, &fanins);
+        self.positive.insert(node, s);
+        s
+    }
+
+    fn negated(&mut self, node: AigNodeId) -> Signal {
+        if let Some(&s) = self.inverted.get(&node) {
+            return s;
+        }
+        if let Some(&s) = self.complement.get(&node) {
+            return s;
+        }
+        // Complement-only demand on a logic node → the complement gate,
+        // one cell, no inverter. Otherwise (inputs, dual demand) → shared INV.
+        if !self.aig.is_input(node) && self.demand[node.0 as usize] == 2 {
+            let m = self.best[node.0 as usize]
+                .clone()
+                .unwrap_or_else(|| panic!("no match for node {node:?}"));
+            let fanins = self.fanins(&m);
+            let s = self.net.add_gate(complement_gate(m.gate), &fanins);
+            self.complement.insert(node, s);
+            return s;
+        }
+        let pos = self.node(node);
+        let s = self.net.add_gate(GateKind::Inv, &[pos]);
+        self.inverted.insert(node, s);
+        s
+    }
+
+    fn literal(&mut self, lit: AigLit) -> Signal {
+        if lit.is_complemented() {
+            self.negated(lit.node())
+        } else {
+            self.node(lit.node())
+        }
+    }
+
+    /// Materializes a constant output as live logic over input 0:
+    /// `AND(x, ¬x)` for 0, `OR(x, ¬x)` for 1.
+    ///
+    /// # Panics
+    /// Panics if the AIG has no primary inputs.
+    fn constant(&mut self, value: bool, cache: &mut [Option<Signal>; 2]) -> Signal {
+        if let Some(s) = cache[usize::from(value)] {
+            return s;
+        }
+        let first = *self
+            .aig
+            .inputs()
+            .first()
+            .expect("constant outputs need at least one input to derive from");
+        let x = self.node(first);
+        let nx = self.negated(first);
+        let s = if value {
+            self.net.add_gate(GateKind::Or2, &[x, nx])
+        } else {
+            self.net.add_gate(GateKind::And2, &[x, nx])
+        };
+        cache[usize::from(value)] = Some(s);
+        s
+    }
+}
+
+fn leaf_cuts(
+    cuts: &[Vec<(Vec<AigNodeId>, TruthTable)>],
+    lit: AigLit,
+) -> Vec<(Vec<AigNodeId>, TruthTable)> {
+    // Cut functions are stored over *positive* leaf variables; entering
+    // through a complemented edge complements the cut function.
+    cuts[lit.node().0 as usize]
+        .iter()
+        .map(|(l, t)| (l.clone(), if lit.is_complemented() { !*t } else { *t }))
+        .collect()
+}
+
+fn merge2(
+    la: &[AigNodeId],
+    ta: &TruthTable,
+    lb: &[AigNodeId],
+    tb: &TruthTable,
+) -> Option<(Vec<AigNodeId>, TruthTable, TruthTable)> {
+    let mut leaves: Vec<AigNodeId> = la.to_vec();
+    for &l in lb {
+        if !leaves.contains(&l) {
+            leaves.push(l);
+        }
+    }
+    if leaves.len() > 2 {
+        return None;
+    }
+    leaves.sort();
+    let ea = expand_nodes(ta, la, &leaves);
+    let eb = expand_nodes(tb, lb, &leaves);
+    Some((leaves, ea, eb))
+}
+
+fn expand_nodes(tt: &TruthTable, old: &[AigNodeId], new: &[AigNodeId]) -> TruthTable {
+    let n = new.len();
+    let mut bits = 0u64;
+    for row in 0..(1usize << n) {
+        let mut src = 0usize;
+        for (i, l) in old.iter().enumerate() {
+            let p = new.iter().position(|x| x == l).expect("subset");
+            if (row >> p) & 1 == 1 {
+                src |= 1 << i;
+            }
+        }
+        if tt.eval_row(src) {
+            bits |= 1 << row;
+        }
+    }
+    TruthTable::from_bits_truncated(n, bits)
+}

@@ -1,0 +1,233 @@
+//! Differential equivalence harness for the ISSUE 2 hot-path overhaul.
+//!
+//! The optimized map / detect / cleaned stages each keep their original
+//! implementation alive as an executable specification
+//! ([`map_aig_reference`], [`detect_t1_reference`],
+//! [`Network::cleaned_reference`]). This harness runs old vs. new across
+//! every `sfq-circuits` benchmark generator (Table I set and the extended
+//! set) and asserts:
+//!
+//! * **structural identity** — bit-identical networks: same cells in the
+//!   same order, same kinds, same fanins, same outputs and names;
+//! * **identical LUT counts** — `num_gates`/`num_t1`/`num_dffs` agree (a
+//!   weaker, human-readable view of the same fact, asserted separately so a
+//!   structural failure message still reports the aggregate drift);
+//! * **identical T1 groups** — found/used counts and every committed group's
+//!   leaves, polarity mask, roots, ports, gain and dead set;
+//! * **identical truth tables** — functional equivalence of every stage
+//!   against the source AIG: exhaustive simulation for ≤ 10-input designs,
+//!   sampled 64-bit vectors above.
+//!
+//! The fast tier (`build_small`) runs in the normal test pass; the paper-
+//! scale tier is `#[ignore]`d and exercised by the CI `differential-slow`
+//! job (`cargo test --release --test differential_mapping -- --ignored`).
+
+use sfq_circuits::{Benchmark, ExtBenchmark};
+use sfq_core::{detect_t1, detect_t1_reference};
+use sfq_netlist::{map_aig, map_aig_reference, Aig, CutConfig, Library, Network};
+
+/// Inputs at or below this count are simulated exhaustively.
+const EXHAUSTIVE_INPUTS: usize = 10;
+/// Sampled 64-bit vector words per input above the exhaustive bound.
+const SAMPLE_WORDS: usize = 16;
+
+/// Asserts two networks are bit-identical (cells, kinds, fanins, outputs,
+/// names) — the strongest statement the differential harness makes.
+fn assert_identical(name: &str, stage: &str, a: &Network, b: &Network) {
+    assert_eq!(a.name(), b.name(), "{name}/{stage}: design name");
+    assert_eq!(
+        a.num_cells(),
+        b.num_cells(),
+        "{name}/{stage}: cell count (new {} vs reference {})",
+        a.num_cells(),
+        b.num_cells()
+    );
+    assert_eq!(a.num_gates(), b.num_gates(), "{name}/{stage}: LUT count");
+    assert_eq!(a.num_t1(), b.num_t1(), "{name}/{stage}: T1 cell count");
+    assert_eq!(a.num_dffs(), b.num_dffs(), "{name}/{stage}: DFF count");
+    for id in a.cell_ids() {
+        assert_eq!(a.kind(id), b.kind(id), "{name}/{stage}: kind of {id:?}");
+        assert_eq!(
+            a.fanins(id),
+            b.fanins(id),
+            "{name}/{stage}: fanins of {id:?}"
+        );
+    }
+    assert_eq!(a.outputs(), b.outputs(), "{name}/{stage}: output signals");
+    for k in 0..a.num_outputs() {
+        assert_eq!(
+            a.output_name(k),
+            b.output_name(k),
+            "{name}/{stage}: output name {k}"
+        );
+    }
+    for k in 0..a.num_inputs() {
+        assert_eq!(
+            a.input_name(k),
+            b.input_name(k),
+            "{name}/{stage}: input name {k}"
+        );
+    }
+}
+
+/// Deterministic xorshift64* stream for the sampled tier.
+fn rng_stream(mut seed: u64) -> impl FnMut() -> u64 {
+    seed |= 1;
+    move || {
+        seed ^= seed >> 12;
+        seed ^= seed << 25;
+        seed ^= seed >> 27;
+        seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Checks `net` computes the same function as `aig`: exhaustively when the
+/// design has ≤ [`EXHAUSTIVE_INPUTS`] inputs, over sampled 64-bit vectors
+/// otherwise.
+fn assert_equivalent(name: &str, stage: &str, aig: &Aig, net: &Network) {
+    let n = aig.num_inputs();
+    assert_eq!(net.num_inputs(), n, "{name}/{stage}: input count");
+    if n <= EXHAUSTIVE_INPUTS {
+        // Exhaustive: all 2^n rows, 64 rows per simulation word.
+        let rows = 1usize << n;
+        let mut row = 0usize;
+        while row < rows {
+            let chunk = (rows - row).min(64);
+            let patterns: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut w = 0u64;
+                    for j in 0..chunk {
+                        if (row + j) >> i & 1 == 1 {
+                            w |= 1 << j;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let want = aig.simulate(&patterns);
+            let got = net.simulate(&patterns);
+            let mask = if chunk == 64 {
+                u64::MAX
+            } else {
+                (1 << chunk) - 1
+            };
+            for (k, (w, g)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    w & mask,
+                    g & mask,
+                    "{name}/{stage}: output {k} differs on exhaustive rows {row}..{}",
+                    row + chunk
+                );
+            }
+            row += chunk;
+        }
+    } else {
+        // Sampled: deterministic 64-bit vectors, seeded per design name so
+        // failures reproduce.
+        let seed = name.bytes().fold(0xDEAD_BEEFu64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        });
+        let mut next = rng_stream(seed);
+        for round in 0..SAMPLE_WORDS {
+            let patterns: Vec<u64> = (0..n).map(|_| next()).collect();
+            let want = aig.simulate(&patterns);
+            let got = net.simulate(&patterns);
+            for (k, (w, g)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    w, g,
+                    "{name}/{stage}: output {k} differs on sampled round {round}"
+                );
+            }
+        }
+    }
+}
+
+/// The full old-vs-new pipeline comparison for one AIG.
+fn check_design(name: &str, aig: &Aig) {
+    let lib = Library::default();
+    let cut_config = CutConfig::default();
+
+    // ---- map ----
+    let mapped_new = map_aig(aig, &lib);
+    let mapped_old = map_aig_reference(aig, &lib);
+    assert_identical(name, "map", &mapped_new, &mapped_old);
+    assert_equivalent(name, "map", aig, &mapped_new);
+
+    // ---- cleaned ----
+    let (clean_new, removed_new) = mapped_new.cleaned();
+    let (clean_old, removed_old) = mapped_new.cleaned_reference();
+    assert_eq!(removed_new, removed_old, "{name}/cleaned: removed count");
+    assert_identical(name, "cleaned", &clean_new, &clean_old);
+    assert_equivalent(name, "cleaned", aig, &clean_new);
+
+    // ---- detect ----
+    let det_new = detect_t1(&clean_new, &lib, &cut_config);
+    let det_old = detect_t1_reference(&clean_new, &lib, &cut_config);
+    assert_eq!(det_new.found, det_old.found, "{name}/detect: found");
+    assert_eq!(det_new.used, det_old.used, "{name}/detect: used");
+    assert_eq!(
+        det_new.groups.len(),
+        det_old.groups.len(),
+        "{name}/detect: committed group count"
+    );
+    for (i, (gn, go)) in det_new.groups.iter().zip(&det_old.groups).enumerate() {
+        assert_eq!(gn.leaves, go.leaves, "{name}/detect: group {i} leaves");
+        assert_eq!(
+            gn.input_mask, go.input_mask,
+            "{name}/detect: group {i} mask"
+        );
+        assert_eq!(gn.roots, go.roots, "{name}/detect: group {i} roots");
+        assert_eq!(
+            gn.used_ports, go.used_ports,
+            "{name}/detect: group {i} ports"
+        );
+        assert_eq!(gn.gain, go.gain, "{name}/detect: group {i} gain");
+        assert_eq!(gn.dead, go.dead, "{name}/detect: group {i} dead set");
+    }
+    assert_identical(name, "detect", &det_new.network, &det_old.network);
+    assert_equivalent(name, "detect", aig, &det_new.network);
+}
+
+#[test]
+fn differential_table1_benchmarks_small() {
+    for b in Benchmark::ALL {
+        check_design(b.name(), &b.build_small());
+    }
+}
+
+#[test]
+fn differential_extended_benchmarks_small() {
+    for b in ExtBenchmark::ALL {
+        check_design(b.name(), &b.build_small());
+    }
+}
+
+/// Paper-scale tier: minutes, not seconds — run by the CI `differential-slow`
+/// job and by hand before shipping mapper/detector changes:
+/// `cargo test --release --test differential_mapping -- --ignored`.
+#[test]
+#[ignore = "paper-scale differential sweep; run explicitly or in the slow CI job"]
+fn differential_table1_benchmarks_paper_scale() {
+    for b in Benchmark::ALL {
+        check_design(b.name(), &b.build());
+    }
+}
+
+/// Degenerate corner: an AIG whose outputs include constants and repeated
+/// literals exercises the mapper's constant materialization and shared-INV
+/// paths in both implementations.
+#[test]
+fn differential_degenerate_outputs() {
+    let mut aig = Aig::new("degenerate");
+    let a = aig.input("a");
+    let b = aig.input("b");
+    let x = aig.xor(a, b);
+    aig.output("zero", aig.const_false());
+    aig.output("one", aig.const_true());
+    aig.output("x", x);
+    aig.output("x_again", x);
+    aig.output("not_x", !x);
+    aig.output("a_pass", a);
+    aig.output("na", !a);
+    check_design("degenerate", &aig);
+}

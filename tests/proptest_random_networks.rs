@@ -73,6 +73,94 @@ fn build_aig(num_inputs: usize, ops: &[Op], num_outputs: usize) -> Aig {
     aig
 }
 
+/// A recipe for one cell of a degenerate [`Network`] (the `cleaned`
+/// stress generator): gates may read the *same* signal on both pins,
+/// inverter chains go arbitrarily deep, and some cells are built dangling
+/// (never reachable from any primary output).
+#[derive(Debug, Clone)]
+enum NetOp {
+    /// Binary gate over pool picks — `a == b` (duplicate fanins) is allowed
+    /// and, for XOR/XNOR/AND, yields constant or pass-through functions.
+    Gate(u8, usize, usize),
+    /// A chain of 1–12 inverters (deep inverter chains survive `cleaned`
+    /// untouched when live; die wholesale when dangling).
+    InvChain(usize, u8),
+    /// Path-balancing DFF on a pool pick.
+    Dff(usize),
+    /// A gate built and immediately forgotten — a dangling cell.
+    Dangling(u8, usize, usize),
+}
+
+fn netop_strategy() -> impl Strategy<Value = NetOp> {
+    prop_oneof![
+        (any::<u8>(), any::<usize>(), any::<usize>()).prop_map(|(g, a, b)| NetOp::Gate(g, a, b)),
+        (any::<usize>(), 1u8..12).prop_map(|(a, d)| NetOp::InvChain(a, d)),
+        any::<usize>().prop_map(NetOp::Dff),
+        (any::<u8>(), any::<usize>(), any::<usize>())
+            .prop_map(|(g, a, b)| NetOp::Dangling(g, a, b)),
+    ]
+}
+
+/// Materializes a degenerate-network recipe; indices select among existing
+/// signals modulo the pool size, so every recipe is valid by construction.
+fn build_degenerate_network(num_inputs: usize, ops: &[NetOp], num_outputs: usize) -> Network {
+    use sfq_t1::netlist::GateKind;
+    const BINARY: [GateKind; 6] = [
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Xor2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xnor2,
+    ];
+    let mut net = Network::new("degenerate");
+    let mut pool: Vec<sfq_t1::netlist::Signal> = (0..num_inputs)
+        .map(|i| net.add_input(format!("i{i}")))
+        .collect();
+    for op in ops {
+        let pick = |idx: usize, pool: &[sfq_t1::netlist::Signal]| pool[idx % pool.len()];
+        match *op {
+            NetOp::Gate(g, a, b) => {
+                let kind = BINARY[g as usize % BINARY.len()];
+                let (x, y) = (pick(a, &pool), pick(b, &pool));
+                let s = net.add_gate(kind, &[x, y]);
+                pool.push(s);
+            }
+            NetOp::InvChain(a, depth) => {
+                let mut s = pick(a, &pool);
+                for _ in 0..depth {
+                    s = net.add_gate(GateKind::Inv, &[s]);
+                }
+                pool.push(s);
+            }
+            NetOp::Dff(a) => {
+                let s = net.add_dff(pick(a, &pool));
+                pool.push(s);
+            }
+            NetOp::Dangling(g, a, b) => {
+                let kind = BINARY[g as usize % BINARY.len()];
+                let (x, y) = (pick(a, &pool), pick(b, &pool));
+                net.add_gate(kind, &[x, y]); // never enters the pool
+            }
+        }
+    }
+    for k in 0..num_outputs {
+        let s = pool[pool.len() - 1 - (k % pool.len().min(8))];
+        net.add_output(format!("o{k}"), s);
+    }
+    net
+}
+
+/// Bit-identity over every observable field of two networks.
+fn networks_identical(a: &Network, b: &Network) -> bool {
+    a.num_cells() == b.num_cells()
+        && a.outputs() == b.outputs()
+        && a.cell_ids()
+            .all(|id| a.kind(id) == b.kind(id) && a.fanins(id) == b.fanins(id))
+        && (0..a.num_outputs()).all(|k| a.output_name(k) == b.output_name(k))
+        && (0..a.num_inputs()).all(|k| a.input_name(k) == b.input_name(k))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
@@ -138,5 +226,92 @@ proptest! {
             re.report.num_dffs,
             rh.report.num_dffs
         );
+    }
+
+    /// `cleaned` on arbitrarily degenerate networks (duplicate fanins, deep
+    /// inverter chains, dangling cells) is idempotent — a second pass
+    /// removes nothing and reproduces the same network bit for bit — and
+    /// matches the reference implementation.
+    #[test]
+    fn cleaned_is_idempotent_on_degenerate_networks(
+        num_inputs in 2usize..6,
+        ops in prop::collection::vec(netop_strategy(), 1..40),
+        num_outputs in 1usize..5,
+    ) {
+        let net = build_degenerate_network(num_inputs, &ops, num_outputs);
+        net.validate().expect("generator builds valid networks");
+        let (once, _removed) = net.cleaned();
+        let (once_ref, removed_ref) = net.cleaned_reference();
+        prop_assert!(networks_identical(&once, &once_ref), "cleaned != cleaned_reference");
+        let (twice, removed_again) = once.cleaned();
+        prop_assert_eq!(removed_again, 0, "second clean removed cells");
+        prop_assert!(networks_identical(&once, &twice), "cleaned not idempotent");
+        // The count bookkeeping is consistent: everything removed once is
+        // gone, nothing reachable was touched.
+        prop_assert_eq!(once.num_cells() + _removed, net.num_cells());
+        prop_assert_eq!(once.num_cells() + removed_ref, net.num_cells());
+    }
+
+    /// `cleaned` preserves every primary-output truth table of degenerate
+    /// networks: dead logic disappears, live logic computes bit-identically.
+    #[test]
+    fn cleaned_preserves_po_truth_tables(
+        num_inputs in 2usize..6,
+        ops in prop::collection::vec(netop_strategy(), 1..40),
+        num_outputs in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let net = build_degenerate_network(num_inputs, &ops, num_outputs);
+        let (clean, _) = net.cleaned();
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..4 {
+            let patterns: Vec<u64> = (0..net.num_inputs()).map(|_| next()).collect();
+            prop_assert_eq!(
+                net.simulate(&patterns),
+                clean.simulate(&patterns),
+                "cleaned changed a PO function"
+            );
+        }
+    }
+
+    /// Degenerate *AIGs* — constant outputs, cancelling literals, duplicated
+    /// and complemented outputs — map identically through the optimized and
+    /// reference mappers, and the mapped network computes the AIG's function.
+    #[test]
+    fn degenerate_aigs_map_identically(
+        num_inputs in 2usize..5,
+        ops in prop::collection::vec(op_strategy(), 1..16),
+        flavor in any::<u8>(),
+    ) {
+        let mut aig = build_aig(num_inputs, &ops, 2);
+        // Constant nodes / cancelling literals: x AND NOT x, x XOR x.
+        let x = aig.outputs()[0];
+        let cancel = aig.and(x, !x);
+        aig.output("cancel", cancel);
+        if flavor & 1 == 1 {
+            aig.output("const1", aig.const_true());
+        }
+        if flavor & 2 == 2 {
+            aig.output("const0", aig.const_false());
+        }
+        // Complemented duplicate of an existing output (deep INV pressure).
+        aig.output("dup_neg", !x);
+        let lib = Library::default();
+        let new = map_aig(&aig, &lib);
+        let old = sfq_t1::netlist::map_aig_reference(&aig, &lib);
+        prop_assert!(networks_identical(&new, &old), "map_aig != map_aig_reference");
+        for round in 0u32..2 {
+            let patterns: Vec<u64> = (0..aig.num_inputs()).map(|i| {
+                0x9E37_79B9_7F4A_7C15u64
+                    .rotate_left((i as u32).wrapping_mul(7) + u32::from(flavor) + round * 13)
+            }).collect();
+            prop_assert_eq!(aig.simulate(&patterns), new.simulate(&patterns));
+        }
     }
 }
