@@ -55,6 +55,19 @@ fn bench_hotpaths(c: &mut Criterion) {
     c.bench_function("assign_phases/multiplier12_t1", |b| {
         b.iter(|| assign_phases(&mult_det, 4, PhaseEngine::Heuristic).expect("feasible"))
     });
+
+    // Paper-scale log2: the detect-dominated Table I row (ROADMAP's current
+    // perf target). These IDs gate the ISSUE 3 pruning/parallelism work; the
+    // same IDs measure the parallel path when the bench is compiled with
+    // `--features parallel`.
+    let log2_aig = circuits::log2_shift_add(32);
+    let (log2, _) = map_aig(&log2_aig, &lib).cleaned();
+    c.bench_function("enumerate_cuts/log2", |b| {
+        b.iter(|| enumerate_cuts(&log2, &cut_config))
+    });
+    c.bench_function("detect_t1/log2", |b| {
+        b.iter(|| detect_t1(&log2, &lib, &cut_config))
+    });
 }
 
 criterion_group!(benches, bench_hotpaths);

@@ -15,11 +15,16 @@
 //!
 //! The [`paper`] module stores the published Table I numbers so binaries and
 //! tests can report measured-vs-paper deltas; [`table`] runs the flows and
-//! formats rows in the paper's layout.
+//! formats rows in the paper's layout. The `BENCH_flow.json` snapshot
+//! schema and the perf-recording workflow are documented in this crate's
+//! `README.md`.
+
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
 
 pub mod paper;
 pub mod par;
 pub mod table;
 
 pub use paper::{paper_row, PaperRow, PAPER_AVERAGES, PAPER_TABLE1};
-pub use table::{format_table, run_row, run_table, Scale, TableRow};
+pub use table::{format_table, run_row, run_row_with, run_table, Scale, TableRow};

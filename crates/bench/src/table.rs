@@ -2,6 +2,7 @@
 
 use sfq_circuits::Benchmark;
 use sfq_core::{run_flow, FlowConfig, FlowError};
+use sfq_netlist::CutConfig;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -62,15 +63,32 @@ impl TableRow {
 /// Propagates the first [`FlowError`]; every flow self-verifies (timing
 /// audit + functional equivalence), so an error means a real bug, not noise.
 pub fn run_row(bench: Benchmark, scale: Scale) -> Result<TableRow, FlowError> {
+    run_row_with(bench, scale, CutConfig::default())
+}
+
+/// [`run_row`] with an explicit cut-enumeration configuration — the hook the
+/// cut-budget regression tests use to assert that tightening
+/// [`CutConfig::max_cuts`] does not change any Table I number.
+///
+/// # Errors
+/// Propagates the first [`FlowError`], like [`run_row`].
+pub fn run_row_with(
+    bench: Benchmark,
+    scale: Scale,
+    cut_config: CutConfig,
+) -> Result<TableRow, FlowError> {
     let aig = match scale {
         Scale::Paper => bench.build(),
         Scale::Small => bench.build_small(),
     };
-    let configs = [
+    let mut configs = [
         FlowConfig::single_phase(),
         FlowConfig::multiphase(4),
         FlowConfig::t1(4),
     ];
+    for config in &mut configs {
+        config.cut_config = cut_config;
+    }
     let mut dff = [0u64; 3];
     let mut area = [0u64; 3];
     let mut depth = [0u64; 3];

@@ -20,6 +20,9 @@
 //! plain software arithmetic via bit-parallel simulation. Sizes are
 //! parameterized so tests can run scaled-down instances.
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 use sfq_netlist::{Aig, AigLit};
 
 mod arith;

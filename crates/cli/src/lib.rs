@@ -17,6 +17,9 @@
 //! The dispatch logic lives in this library so the test suite can drive it
 //! end to end without spawning processes.
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 use sfq_circuits::{Benchmark, ExtBenchmark};
 use sfq_core::report::StageReport;
 use sfq_core::{run_flow, FlowConfig, FlowResult, PhaseEngine};
@@ -39,7 +42,9 @@ pub enum CliError {
     Usage(String),
     /// Reading or writing a file failed.
     Io {
+        /// The file involved.
         path: String,
+        /// The underlying I/O error.
         source: std::io::Error,
     },
     /// An input file failed to parse.

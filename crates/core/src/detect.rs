@@ -12,19 +12,19 @@
 //!
 //! # Data layout (see `benches/hotpaths.rs` for the regression gates)
 //!
-//! The stage got the ISSUE 2 hot-path treatment; the original implementation
-//! survives verbatim as [`crate::detect_reference::detect_t1_reference`],
-//! and the differential harness asserts bit-identical detections:
+//! The stage got the ISSUE 2 hot-path treatment and the ISSUE 3
+//! pruning/parallelism pass; the original implementation survives verbatim
+//! as [`crate::detect_reference::detect_t1_reference`], and the
+//! differential harness asserts bit-identical detections:
 //!
 //! * **Match collection is a sorted record list, not a hash map**: every
-//!   `(leaf set, mask, root, port)` match is appended to one flat `Vec`,
-//!   stably sorted by `(leaves, mask)`, and groups are consumed as runs —
-//!   no `HashMap<([Signal; 3], u8), Vec<Entry>>`, no per-group `Vec`
-//!   allocation. Per-root leaf-set dedup uses a reused scratch list with a
-//!   64-bit leafset signature prefilter instead of a fresh
-//!   `HashSet<[Signal; 3]>` per cell, and Boolean matching probes the
-//!   [`T1MatchDb`] mask table directly instead of collecting
-//!   `all_masks` into a fresh `Vec` per cut.
+//!   `(leaf set, mask, root, port)` match is one 32-byte record whose
+//!   `(leaves, mask)` key is packed into a single `u128`
+//!   (`group_key`), appended to one flat `Vec` and brought into runs by
+//!   an unstable integer-key sort (per-root leaf sets are unique by cut
+//!   dominance, so `(key, root)` is duplicate-free). Boolean matching
+//!   probes [`T1MatchDb::realizable_masks`] — one byte answers
+//!   "realizable under any polarity?" before any per-mask lookup runs.
 //! * **Group evaluation runs on dense scratch**: port ownership is a fixed
 //!   5-slot array, the joint-MFFC walk marks `taken`/`in_cone` in per-cell
 //!   vectors reset via touch lists, and the greedy commit keeps its
@@ -35,13 +35,21 @@
 //!   membership is a dense per-cell vector, and the shared input-inverter
 //!   cache is a short linear-scanned list (committed groups rarely negate
 //!   more than a handful of leaves).
+//! * **The `parallel` feature fans the per-cell match scan and the
+//!   per-run group scoring over `std::thread::scope` workers**
+//!   (`collect_matches` and `evaluate_candidates`), merging private
+//!   buffers in chunk order so the record and candidate sequences — and
+//!   therefore the committed groups and the rebuilt network — are
+//!   bit-identical to the sequential build. Cut enumeration parallelizes
+//!   one crate down (`sfq_netlist::cuts`, over topological levels).
 //!
-//! Measured effect (criterion medians, one dev machine, 2026-07, see
-//! `BENCH_flow.json`): `detect_t1/adder32` 171 µs → 70 µs (2.5×),
-//! `detect_t1/adder64` 329 µs → 136 µs (2.4×), `detect_t1/multiplier12`
-//! 1.78 ms → 0.87 ms (2.0×); at paper scale the detect stage of
-//! `profile_scale` dropped 1.3–1.7× per benchmark (cut enumeration, already
-//! overhauled in PR 1, now dominates what remains of the stage).
+//! Measured effect (criterion medians, one dev machine, see
+//! `BENCH_flow.json`): ISSUE 2 took `detect_t1/adder32` 171 µs → 70 µs and
+//! `detect_t1/multiplier12` 1.78 ms → 0.87 ms; the ISSUE 3 pass
+//! (cut prefilter + packed keys + mask-set probe + inline network fanins)
+//! took `multiplier12` on to 503 µs (1.7×) and paper-scale
+//! `detect_t1/log2` 46.2 ms → 29.6 ms (1.6×), with the whole paper-scale
+//! detect stage of `profile_scale` dropping 1.5–2.1× per benchmark.
 
 use sfq_netlist::{
     enumerate_cuts, CellId, CellKind, CutConfig, Library, Network, Signal, T1Port, T1_NUM_PORTS,
@@ -88,26 +96,136 @@ pub fn detect_t1(net: &Network, lib: &Library, cut_config: &CutConfig) -> T1Dete
     detect_t1_with_threshold(net, lib, cut_config, 0)
 }
 
-/// A 64-bit signature of a 3-leaf set: a cheap mix of the three packed pin
-/// ids. Used only as an equality *prefilter* (collisions fall through to a
-/// full compare), so mixing quality matters more than reversibility.
+/// Packs a 3-leaf set plus polarity mask into one `u128` (three 40-bit pin
+/// ids, 3 mask bits) whose numeric order equals the lexicographic order on
+/// `(leaves, mask)`. One word compare replaces a field-by-field struct
+/// compare in the group-run sort, the hottest non-enumeration part of
+/// collection.
 #[inline]
-fn leafset_sig(leaves: &[Signal; 3]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+fn group_key(leaves: &[Signal; 3], mask: u8) -> u128 {
+    let mut key = 0u128;
     for l in leaves {
-        let x = (u64::from(l.cell.0) << 8) | u64::from(l.port);
-        h = (h ^ x).wrapping_mul(0x100_0000_01b3);
+        key = (key << 40) | u128::from((u64::from(l.cell.0) << 8) | u64::from(l.port));
     }
-    h
+    (key << 3) | u128::from(mask)
+}
+
+/// Recovers the leaf set and polarity mask from a [`group_key`] word.
+#[inline]
+fn unpack_group_key(key: u128) -> ([Signal; 3], u8) {
+    let mask = (key & 7) as u8;
+    let mut leaves = [Signal {
+        cell: CellId(0),
+        port: 0,
+    }; 3];
+    let mut v = key >> 3;
+    for l in leaves.iter_mut().rev() {
+        l.port = (v & 0xFF) as u8;
+        l.cell = CellId(((v >> 8) & 0xFFFF_FFFF) as u32);
+        v >>= 40;
+    }
+    (leaves, mask)
 }
 
 /// One Boolean match found during collection: a root realizable on `port`
-/// when the group `(leaves, mask)` is committed.
+/// when the group `(leaves, mask)` is committed. 32 bytes (the `u128` key
+/// is 16-byte aligned) — the group sort moves packed keys, not leaf
+/// arrays (leaves are recovered per *run*, not per record, via
+/// [`unpack_group_key`]).
 struct Rec {
-    leaves: [Signal; 3],
-    mask: u8,
+    /// Packed `(leaves, mask)` — see [`group_key`].
+    key: u128,
     root: CellId,
     port: T1Port,
+}
+
+/// Scans every gate's 3-leaf cuts against the T1 match table, emitting one
+/// record per `(leaf set, polarity mask, realizable port)` in ascending cell
+/// order. Pure per-cell work over read-only inputs — the first fan-out point
+/// of the `parallel` feature.
+fn collect_matches(net: &Network, cuts: &sfq_netlist::CutSet, db: &T1MatchDb) -> Vec<Rec> {
+    let n = net.num_cells() as u32;
+    #[cfg(feature = "parallel")]
+    {
+        let workers = sfq_netlist::par::workers();
+        // A worker must amortize its spawn; small nets run inline.
+        if workers > 1 && n >= 1024 {
+            let chunk = (n as usize).div_ceil(workers) as u32;
+            let bounds: Vec<(u32, u32)> = (0..workers as u32)
+                .map(|w| ((w * chunk).min(n), ((w + 1) * chunk).min(n)))
+                .collect();
+            let parts: Vec<Vec<Rec>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        scope.spawn(move || {
+                            let mut recs = Vec::new();
+                            collect_matches_range(net, cuts, db, lo..hi, &mut recs);
+                            recs
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("match collection worker panicked"))
+                    .collect()
+            });
+            // Concatenating in chunk order preserves ascending cell order —
+            // the exact record sequence the sequential scan produces.
+            let mut parts = parts.into_iter();
+            let mut recs = parts.next().unwrap_or_default();
+            for part in parts {
+                recs.extend(part);
+            }
+            return recs;
+        }
+    }
+    let mut recs: Vec<Rec> = Vec::with_capacity(cuts.total() / 2);
+    collect_matches_range(net, cuts, db, 0..n, &mut recs);
+    recs
+}
+
+/// [`collect_matches`] over one contiguous cell-id range, appending to
+/// `recs`. Pure function of read-only inputs, so ranges can run on any
+/// thread; concatenation in range order reproduces the full sequential scan.
+fn collect_matches_range(
+    net: &Network,
+    cuts: &sfq_netlist::CutSet,
+    db: &T1MatchDb,
+    range: std::ops::Range<u32>,
+    recs: &mut Vec<Rec>,
+) {
+    for id in range.map(CellId) {
+        if !matches!(net.kind(id), CellKind::Gate(_)) {
+            continue;
+        }
+        for cut in cuts.of(id) {
+            if cut.leaves.len() != 3 {
+                continue;
+            }
+            // One byte probe answers "realizable under any mask?" — almost
+            // always no — before the per-mask lookups run.
+            let mut masks = db.realizable_masks(&cut.tt);
+            if masks == 0 {
+                continue;
+            }
+            let leaves: [Signal; 3] = [cut.leaves[0], cut.leaves[1], cut.leaves[2]];
+            while masks != 0 {
+                let mask = masks.trailing_zeros() as u8;
+                masks &= masks - 1;
+                let m = db.lookup(&cut.tt, mask).expect("mask-set bit is backed");
+                // S has no complement pin (see sfq-tt docs).
+                let Some(port) = T1Port::for_match(m.base, m.output_negated) else {
+                    continue;
+                };
+                recs.push(Rec {
+                    key: group_key(&leaves, mask),
+                    root: id,
+                    port,
+                });
+            }
+        }
+    }
 }
 
 /// [`detect_t1`] with an explicit gain cutoff: only groups with
@@ -127,118 +245,33 @@ pub fn detect_t1_with_threshold(
     let refs = sfq_netlist::mffc::reference_counts(net);
 
     // ---- collect matches as one flat record list -------------------------
-    let mut recs: Vec<Rec> = Vec::new();
-    // Reused per-cell dedup scratch: (signature, leaves) of leaf sets
-    // already matched for the current root.
-    let mut seen: Vec<(u64, [Signal; 3])> = Vec::new();
-    for id in net.cell_ids() {
-        if !matches!(net.kind(id), CellKind::Gate(_)) {
-            continue;
-        }
-        seen.clear();
-        for cut in cuts.of(id) {
-            if cut.leaves.len() != 3 {
-                continue;
-            }
-            let leaves: [Signal; 3] = [cut.leaves[0], cut.leaves[1], cut.leaves[2]];
-            let sig = leafset_sig(&leaves);
-            if seen.iter().any(|&(s, l)| s == sig && l == leaves) {
-                continue; // same leaf set reached through another cut shape
-            }
-            seen.push((sig, leaves));
-            for mask in 0u8..8 {
-                let Some(m) = db.lookup(&cut.tt, mask) else {
-                    continue;
-                };
-                // S has no complement pin (see sfq-tt docs).
-                let Some(port) = T1Port::for_match(m.base, m.output_negated) else {
-                    continue;
-                };
-                recs.push(Rec {
-                    leaves,
-                    mask,
-                    root: id,
-                    port,
-                });
-            }
-        }
-    }
-    // Stable sort brings each (leaves, mask) group together as one run while
-    // preserving the per-group root insertion order the reference's
-    // HashMap-of-Vecs maintained.
-    recs.sort_by_key(|r| (r.leaves, r.mask));
+    // No per-root leaf-set dedup is needed: cut enumeration's dominance
+    // pruning kills equal leaf sets, so each root's stored 3-cuts already
+    // carry distinct leaves (asserted by the differential harness against
+    // the reference detector, which still dedups defensively).
+    let mut recs: Vec<Rec> = collect_matches(net, &cuts, &db);
+    // Bring each (leaves, mask) group together as one run. Within a group
+    // at most one record exists per root (one function per node per leaf
+    // set) and collection emits roots in ascending cell order, so sorting
+    // unstably by `(key, root)` reproduces the per-group root insertion
+    // order the reference's HashMap-of-Vecs maintained.
+    recs.sort_unstable_by_key(|r| (r.key, r.root));
 
     // ---- evaluate candidates ---------------------------------------------
-    let mut candidates: Vec<T1Group> = Vec::new();
-    // Reused per-group scratch.
-    let mut port_owner: [Vec<CellId>; T1_NUM_PORTS] = Default::default();
-    let mut sorted_roots: Vec<CellId> = Vec::new();
-    let mut mffc = MffcScratch::new(n);
+    // Split the sorted records into (leaves, mask) runs, then score each run
+    // independently (the second fan-out point of the `parallel` feature).
+    let mut runs: Vec<(u32, u32)> = Vec::new();
     let mut start = 0usize;
     while start < recs.len() {
-        let key = (recs[start].leaves, recs[start].mask);
+        let key = recs[start].key;
         let mut end = start + 1;
-        while end < recs.len() && (recs[end].leaves, recs[end].mask) == key {
+        while end < recs.len() && recs[end].key == key {
             end += 1;
         }
-        let entries = &recs[start..end];
+        runs.push((start as u32, end as u32));
         start = end;
-        let (leaves, mask) = key;
-
-        // Assign ports: first root wins a port; later roots with the same
-        // port share it only if they are *distinct* cells (duplicate logic).
-        for owners in &mut port_owner {
-            owners.clear();
-        }
-        for e in entries {
-            let owners = &mut port_owner[e.port.index() as usize];
-            if !owners.contains(&e.root) {
-                owners.push(e.root);
-            }
-        }
-        let mut roots: Vec<(CellId, T1Port)> = Vec::new();
-        let mut used_ports = 0u8;
-        for (pidx, owners) in port_owner.iter().enumerate() {
-            if owners.is_empty() {
-                continue;
-            }
-            used_ports |= 1 << pidx;
-            for &r in owners {
-                roots.push((r, T1Port::from_index(pidx as u8)));
-            }
-        }
-        // A root matched on several ports (impossible: one function per
-        // node per leaf set) — and the paper requires ≥ 2 cuts per group.
-        sorted_roots.clear();
-        sorted_roots.extend(roots.iter().map(|&(r, _)| r));
-        sorted_roots.sort_unstable();
-        sorted_roots.dedup();
-        if sorted_roots.len() < 2 {
-            continue;
-        }
-
-        // Joint MFFC of all roots, with leaves pinned alive.
-        let (cone, cone_area) = mffc.group_mffc(net, &sorted_roots, &leaves, &refs, lib);
-
-        let t1_cost = lib.t1_area(used_ports) as i64 + (mask.count_ones() as i64) * lib.inv as i64;
-        let gain = cone_area as i64 - t1_cost;
-        if gain <= threshold {
-            continue;
-        }
-        let dead: Vec<CellId> = cone
-            .iter()
-            .copied()
-            .filter(|c| sorted_roots.binary_search(c).is_err())
-            .collect();
-        candidates.push(T1Group {
-            leaves,
-            input_mask: mask,
-            roots,
-            used_ports,
-            gain,
-            dead,
-        });
     }
+    let mut candidates = evaluate_candidates(net, lib, &refs, &recs, &runs, threshold);
     let found = candidates.len();
 
     // ---- greedy non-overlapping commit ------------------------------------
@@ -283,6 +316,120 @@ pub fn detect_t1_with_threshold(
         used,
         groups: committed,
     }
+}
+
+/// Scores every `(leaves, mask)` run, fanning run slices over scoped worker
+/// threads when the `parallel` feature is on and the run list is large
+/// enough to amortize the spawns. Chunk-order concatenation preserves run
+/// order, so the candidate list matches the sequential scan exactly.
+fn evaluate_candidates(
+    net: &Network,
+    lib: &Library,
+    refs: &[u32],
+    recs: &[Rec],
+    runs: &[(u32, u32)],
+    threshold: i64,
+) -> Vec<T1Group> {
+    #[cfg(feature = "parallel")]
+    {
+        let workers = sfq_netlist::par::workers();
+        if workers > 1 && runs.len() >= 256 {
+            let chunk = runs.len().div_ceil(workers);
+            let parts: Vec<Vec<T1Group>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = runs
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || evaluate_runs(net, lib, refs, recs, part, threshold))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("group scoring worker panicked"))
+                    .collect()
+            });
+            return parts.into_iter().flatten().collect();
+        }
+    }
+    evaluate_runs(net, lib, refs, recs, runs, threshold)
+}
+
+/// Scores a slice of `(leaves, mask)` runs: assigns ports, walks the joint
+/// MFFC and keeps groups whose area gain beats `threshold`. Runs only read
+/// shared immutable state (each carries private scratch), so run slices can
+/// be scored on worker threads; concatenating slice results in run order
+/// reproduces the sequential candidate list.
+fn evaluate_runs(
+    net: &Network,
+    lib: &Library,
+    refs: &[u32],
+    recs: &[Rec],
+    runs: &[(u32, u32)],
+    threshold: i64,
+) -> Vec<T1Group> {
+    let mut candidates: Vec<T1Group> = Vec::new();
+    // Reused per-run scratch.
+    let mut port_owner: [Vec<CellId>; T1_NUM_PORTS] = Default::default();
+    let mut sorted_roots: Vec<CellId> = Vec::new();
+    let mut mffc = MffcScratch::new(net.num_cells());
+    for &(start, end) in runs {
+        let entries = &recs[start as usize..end as usize];
+        let (leaves, mask) = unpack_group_key(entries[0].key);
+
+        // Assign ports: first root wins a port; later roots with the same
+        // port share it only if they are *distinct* cells (duplicate logic).
+        for owners in &mut port_owner {
+            owners.clear();
+        }
+        for e in entries {
+            let owners = &mut port_owner[e.port.index() as usize];
+            if !owners.contains(&e.root) {
+                owners.push(e.root);
+            }
+        }
+        let mut roots: Vec<(CellId, T1Port)> = Vec::new();
+        let mut used_ports = 0u8;
+        for (pidx, owners) in port_owner.iter().enumerate() {
+            if owners.is_empty() {
+                continue;
+            }
+            used_ports |= 1 << pidx;
+            for &r in owners {
+                roots.push((r, T1Port::from_index(pidx as u8)));
+            }
+        }
+        // A root matched on several ports (impossible: one function per
+        // node per leaf set) — and the paper requires ≥ 2 cuts per group.
+        sorted_roots.clear();
+        sorted_roots.extend(roots.iter().map(|&(r, _)| r));
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        if sorted_roots.len() < 2 {
+            continue;
+        }
+
+        // Joint MFFC of all roots, with leaves pinned alive.
+        let (cone, cone_area) = mffc.group_mffc(net, &sorted_roots, &leaves, refs, lib);
+
+        let t1_cost = lib.t1_area(used_ports) as i64 + (mask.count_ones() as i64) * lib.inv as i64;
+        let gain = cone_area as i64 - t1_cost;
+        if gain <= threshold {
+            continue;
+        }
+        let dead: Vec<CellId> = cone
+            .iter()
+            .copied()
+            .filter(|c| sorted_roots.binary_search(c).is_err())
+            .collect();
+        candidates.push(T1Group {
+            leaves,
+            input_mask: mask,
+            roots,
+            used_ports,
+            gain,
+            dead,
+        });
+    }
+    candidates
 }
 
 /// Dense scratch for the joint-MFFC walks: per-cell counters and membership

@@ -110,7 +110,10 @@ pub enum FlowError {
     Audit(TimingError),
     /// The retimed network is not functionally equivalent to the input
     /// (always a bug in the flow, never user error).
-    NotEquivalent { output: usize },
+    NotEquivalent {
+        /// Index of the first differing primary output.
+        output: usize,
+    },
     /// The input network failed validation.
     BadInput(String),
 }

@@ -44,6 +44,9 @@
 //! result.timed.audit().unwrap();
 //! ```
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 pub mod chains;
 pub mod detect;
 pub mod detect_reference;

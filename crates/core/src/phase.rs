@@ -89,7 +89,10 @@ pub struct StageAssignment {
 pub enum PhaseError {
     /// T1 cells need at least 4 phases (3 distinct arrival slots in a window
     /// of `n − 1` stages).
-    TooFewPhasesForT1 { phases: u8 },
+    TooFewPhasesForT1 {
+        /// The requested phase count.
+        phases: u8,
+    },
     /// `phases` must be at least 1.
     ZeroPhases,
     /// The exact engine failed (size, numerics); callers may retry with the

@@ -14,34 +14,56 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TimingError {
     /// A primary input is not at stage 0.
-    InputNotAtZero { cell: CellId },
+    InputNotAtZero {
+        /// The offending input cell.
+        cell: CellId,
+    },
     /// A clocked cell fires no later than one of its fanins.
     NonCausalEdge {
+        /// Driving cell.
         from: CellId,
+        /// Consuming cell.
         to: CellId,
+        /// Stage the driver fires at.
         from_stage: u32,
+        /// Stage the consumer fires at.
         to_stage: u32,
     },
     /// A pulse would outlive one clock period on this edge.
     LifetimeExceeded {
+        /// Driving cell.
         from: CellId,
+        /// Consuming cell.
         to: CellId,
+        /// Stage distance the pulse would have to survive.
         span: u32,
+        /// Phases per clock period.
         phases: u8,
     },
     /// Two T1 fanins arrive at the same stage (paper eq. 5 violated).
-    T1ArrivalCollision { t1: CellId, stage: u32 },
+    T1ArrivalCollision {
+        /// The T1 cell whose inputs collide.
+        t1: CellId,
+        /// The shared arrival stage.
+        stage: u32,
+    },
     /// A T1 fanin arrives outside the cell's input window
     /// `[σ − (n−1), σ − 1]`.
     T1ArrivalOutsideWindow {
+        /// The T1 cell.
         t1: CellId,
+        /// Arrival stage of the offending fanin.
         fanin_stage: u32,
+        /// Stage the T1 cell fires at.
         t1_stage: u32,
     },
     /// A primary-output driver does not fire at the common output stage.
     OutputMisaligned {
+        /// Index into the output list.
         index: usize,
+        /// Stage the driver fires at.
         driver_stage: u32,
+        /// The common output stage.
         output_stage: u32,
     },
     /// The underlying network failed structural validation.

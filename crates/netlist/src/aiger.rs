@@ -18,7 +18,12 @@ pub enum AigerError {
     /// The header line is missing or malformed.
     BadHeader(String),
     /// A body line is malformed or inconsistent with the header.
-    BadLine { line: usize, message: String },
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
     /// The file declares latches, which this reader does not support.
     LatchesUnsupported,
 }

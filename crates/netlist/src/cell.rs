@@ -206,7 +206,10 @@ pub enum CellKind {
     /// A clocked logic gate.
     Gate(GateKind),
     /// A T1 macro-cell; `used_ports` is a bitmask over [`T1Port::index`].
-    T1 { used_ports: u8 },
+    T1 {
+        /// Enabled output ports, as a bitmask over [`T1Port::index`].
+        used_ports: u8,
+    },
     /// Path-balancing D flip-flop (inserted by retiming).
     Dff,
 }

@@ -15,8 +15,8 @@
 //! gates)
 //!
 //! Enumeration visits every pair of fanin cuts per node — up to
-//! `max_cuts²` merges — and most candidates die in dedup/dominance pruning.
-//! The hot loop therefore never allocates per candidate:
+//! `max_cuts²` merges — and most candidates die before they cost anything.
+//! The hot loop never allocates per candidate:
 //!
 //! * fanin cut sets are **borrowed** from the table being built (the old
 //!   implementation cloned the entire `Vec<Cut>` per fanin per node);
@@ -25,21 +25,36 @@
 //!   leaves **inline** ([`CutLeaves`]) so neither candidates nor kept cuts
 //!   ever touch the heap;
 //! * the whole [`CutSet`] is one flat cut table with per-cell spans (CSR)
-//!   instead of a `Vec<Vec<Cut>>`;
+//!   instead of a `Vec<Vec<Cut>>`, reserved up front;
 //! * every cut carries a 64-bit **leaf signature** (one hashed bit per
-//!   leaf). `a ⊆ b` requires `sig(a) & !sig(b) == 0`, so the dominance scan
-//!   rejects most pairs on one AND instead of a leaf-by-leaf subset walk,
-//!   and merged signatures are just `sig(a) | sig(b)`.
+//!   leaf). Signatures drive three rejections: the **reconvergence-aware
+//!   prefilter** (`popcount(sig(a) | sig(b)) > max_leaves` proves the union
+//!   cannot fit the budget, killing ~80 % of merge attempts on one popcount
+//!   over the signature arrays — only reconvergent pairs, whose shared
+//!   leaves share bits, survive to a real merge), the dominance scan's
+//!   subset prefilter (`k ⊆ c` requires `sig(k) & !sig(c) == 0`), and the
+//!   cheap half of candidate dedup;
+//! * candidates carry their leaves **packed into two `u128` words**, so
+//!   push-time dedup is word equality and the `(size, lexicographic)`
+//!   ranking is an unstable integer-key sort (valid because dedup leaves no
+//!   ties);
+//! * `merge_leaves_into` records which union positions came from which
+//!   fanin, so survivor functions are derived by mask-driven block
+//!   duplication (`insert_var`) with no leaf comparisons or per-row bit
+//!   gathering.
 //!
 //! The enumeration order, budget semantics and resulting cut sets are
 //! bit-identical to the straightforward implementation (asserted by the
-//! netlist test suite's cut soundness properties).
+//! netlist test suite's cut soundness properties and by
+//! `tests/differential_mapping.rs`, which also A/Bs the feature-gated
+//! level-parallel driver against [`enumerate_cuts_sequential`]).
 //!
-//! Measured effect (criterion medians, one dev machine, 2026-07):
-//! `enumerate_cuts/adder32` 107 µs → 40 µs (2.7×),
-//! `enumerate_cuts/multiplier12` 1.32 ms → 0.58 ms (2.3×); the detect
-//! stage of `profile_scale` at paper scale dropped 1.6–3.6× per benchmark.
-//! Current numbers live in `BENCH_flow.json` at the repo root.
+//! Measured effect (criterion medians, one dev machine; trajectory in
+//! `BENCH_flow.json` at the repo root): PR 1 took `enumerate_cuts/adder32`
+//! 107 µs → 40 µs and `enumerate_cuts/multiplier12` 1.32 ms → 0.58 ms; the
+//! ISSUE 3 prefilter/dedup/packed-key pass took `multiplier12` on to
+//! 297 µs (1.9×) and paper-scale `enumerate_cuts/log2` 30.3 ms → 16.9 ms
+//! (1.8×).
 
 use crate::cell::CellKind;
 use crate::network::{CellId, Network, Signal};
@@ -215,54 +230,77 @@ fn is_subset(a: &[Signal], b: &[Signal]) -> bool {
     i == a.len()
 }
 
-/// Re-expresses `tt` (over `old_leaves`) on the superset `new_leaves`.
-///
-/// Both leaf slices must be sorted; `old_leaves ⊆ new_leaves`.
-fn expand(tt: &TruthTable, old_leaves: &[Signal], new_leaves: &[Signal]) -> TruthTable {
-    if old_leaves == new_leaves {
-        return *tt;
+/// Inserts a fresh don't-care variable at position `j` of an `m`-variable
+/// output column: every aligned block of `2^j` rows is duplicated, shifting
+/// the upper variables one position up. `O(2^(m-j))` word operations instead
+/// of a row-by-row rebuild.
+#[inline]
+fn insert_var(bits: u64, m: usize, j: usize) -> u64 {
+    let blk = 1usize << j;
+    if blk >= 64 {
+        unreachable!("inserting into a 6-variable table would need 128 rows");
     }
-    let mut positions = [0usize; 6];
-    for (i, l) in old_leaves.iter().enumerate() {
-        positions[i] = new_leaves
-            .binary_search(l)
-            .expect("old leaves must be a subset");
+    let mask = (1u64 << blk) - 1;
+    let mut out = 0u64;
+    let mut src = 0usize;
+    let mut dst = 0usize;
+    while src < (1usize << m) {
+        let chunk = (bits >> src) & mask;
+        out |= (chunk | (chunk << blk)) << dst;
+        src += blk;
+        dst += 2 * blk;
     }
-    let n = new_leaves.len();
-    let mut bits = 0u64;
-    for row in 0..(1usize << n) {
-        let mut src = 0usize;
-        for (i, &p) in positions.iter().take(old_leaves.len()).enumerate() {
-            if (row >> p) & 1 == 1 {
-                src |= 1 << i;
-            }
+    out
+}
+
+/// Re-expresses `tt` (over the leaves selected by `mask` out of an `n`-leaf
+/// union) on the full union: inserts a don't-care variable at every union
+/// position whose `mask` bit is clear. The mask comes from
+/// [`merge_leaves_into`], so no leaf comparisons happen here at all.
+fn expand_masked(tt: &TruthTable, mask: u8, n: usize) -> TruthTable {
+    if mask == (1u8 << n) - 1 {
+        return *tt; // every union position is an own leaf — identity
+    }
+    let mut bits = tt.bits();
+    let mut m = tt.num_vars();
+    for j in 0..n {
+        if mask >> j & 1 == 0 {
+            bits = insert_var(bits, m, j);
+            m += 1;
         }
-        if tt.eval_row(src) {
-            bits |= 1 << row;
-        }
     }
+    debug_assert_eq!(m, n, "mask popcount must match tt arity");
     TruthTable::from_bits_truncated(n, bits)
 }
 
 /// Merges two sorted leaf sets into the arena tail; `None` (arena restored)
-/// when the union exceeds `max` leaves. Returns the arena start offset.
+/// when the union exceeds `max` leaves. Returns the arena start offset plus
+/// two position masks: bit `p` of `amask` (`bmask`) is set when union
+/// position `p` holds a leaf of `a` (`b`). The masks let [`expand_masked`]
+/// re-express the fanin functions over the union without ever comparing
+/// leaf signals again.
 fn merge_leaves_into(
     a: &[Signal],
     b: &[Signal],
     max: usize,
     arena: &mut Vec<Signal>,
-) -> Option<usize> {
+) -> Option<(usize, u8, u8)> {
     let start = arena.len();
     let (mut i, mut j) = (0, 0);
+    let (mut amask, mut bmask) = (0u8, 0u8);
     while i < a.len() || j < b.len() {
+        let p = arena.len() - start;
         let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
             if j < b.len() && a[i] == b[j] {
                 j += 1;
+                bmask |= 1 << p;
             }
+            amask |= 1 << p;
             let v = a[i];
             i += 1;
             v
         } else {
+            bmask |= 1 << p;
             let v = b[j];
             j += 1;
             v
@@ -273,7 +311,7 @@ fn merge_leaves_into(
             return None;
         }
     }
-    Some(start)
+    Some((start, amask, bmask))
 }
 
 /// A candidate cut during one node's enumeration: leaves in the shared
@@ -287,10 +325,36 @@ struct Candidate {
     start: u32,
     len: u32,
     sig: u64,
+    /// Packed leaf words (see [`pack_leaves`]): `(len, key)` is the ranking
+    /// order and `key` equality is leaf-set equality.
+    key: (u128, u128),
     /// Index into the first fanin's cut set.
     ai: u32,
     /// Index into the second fanin's cut set (unused for arity-1 gates).
     bi: u32,
+    /// Union positions holding a leaf of cut `ai` (see [`merge_leaves_into`]).
+    amask: u8,
+    /// Union positions holding a leaf of cut `bi`.
+    bmask: u8,
+}
+
+/// Packs a sorted leaf slice into two `u128` words (up to three 40-bit
+/// packed pin ids per word) whose numeric order equals lexicographic order
+/// on the slice *within one length class*. Together with the leaf count this
+/// is a total order over candidate cuts, so ranking needs no slice
+/// comparisons and dedup is exact word equality.
+#[inline]
+fn pack_leaves(leaves: &[Signal]) -> (u128, u128) {
+    #[inline]
+    fn pack3(leaves: &[Signal]) -> u128 {
+        let mut key = 0u128;
+        for l in leaves {
+            key = (key << 40) | u128::from((u64::from(l.cell.0) << 8) | u64::from(l.port));
+        }
+        key
+    }
+    let (head, tail) = leaves.split_at(leaves.len().min(3));
+    (pack3(head), pack3(tail))
 }
 
 impl Candidate {
@@ -305,6 +369,24 @@ impl Candidate {
 /// # Panics
 /// Panics if the network is cyclic or `config.max_leaves > 6`.
 pub fn enumerate_cuts(net: &Network, config: &CutConfig) -> CutSet {
+    #[cfg(feature = "parallel")]
+    {
+        let workers = crate::par::workers();
+        if workers > 1 {
+            return enumerate_cuts_parallel(net, config, workers);
+        }
+    }
+    enumerate_cuts_sequential(net, config)
+}
+
+/// The sequential cut enumeration — the executable specification of the
+/// feature-gated parallel driver. [`enumerate_cuts`] dispatches here unless
+/// the `parallel` feature is on *and* the host has more than one core; the
+/// differential tests assert per-node equality of both paths' cut sets.
+///
+/// # Panics
+/// Panics if the network is cyclic or `config.max_leaves > 6`.
+pub fn enumerate_cuts_sequential(net: &Network, config: &CutConfig) -> CutSet {
     assert!(
         config.max_leaves <= TruthTable::MAX_VARS,
         "cuts limited to 6 leaves"
@@ -312,149 +394,317 @@ pub fn enumerate_cuts(net: &Network, config: &CutConfig) -> CutSet {
     let order = net.topological_order().expect("network must be acyclic");
     // Flat CSR cut table; `sigs` is the per-cut leaf signature, parallel to
     // `cuts` (dropped on return).
-    let mut cuts: Vec<Cut> = Vec::new();
-    let mut sigs: Vec<u64> = Vec::new();
+    // Reserve for the trivial cut plus a few survivors per node (the
+    // all-benchmark average is ~4.6 cuts/node at the default budget), so the
+    // 17 MB-scale table of a paper-size run grows without repeated copies.
+    let mut cuts: Vec<Cut> = Vec::with_capacity(net.num_cells() * 6);
+    let mut sigs: Vec<u64> = Vec::with_capacity(net.num_cells() * 6);
     let mut spans: Vec<(u32, u32)> = vec![(0, 0); net.num_cells()];
-    let span_of = |spans: &[(u32, u32)], c: CellId| -> std::ops::Range<usize> {
+    let mut scratch = NodeScratch::default();
+    for id in order {
+        compute_node_cuts(net, id, config, (&cuts, &sigs, &spans), &mut scratch);
+        spans[id.0 as usize] = (cuts.len() as u32, (scratch.kept.len() + 1) as u32);
+        emit_node_cuts(id, &scratch, &mut cuts, &mut sigs);
+    }
+    CutSet { cuts, spans }
+}
+
+/// Level-synchronous parallel enumeration (the `parallel` feature): cells
+/// are grouped by topological level — every cell's fanins live at strictly
+/// lower levels — and each wide-enough level is chunked across scoped
+/// worker threads that read the shared tables of the levels below and write
+/// private output buffers. Buffers are merged in ascending cell-index order
+/// after every level, so the result is deterministic and every node's cut
+/// set is **bit-identical** to [`enumerate_cuts_sequential`]'s (a node's
+/// cuts depend only on its fanins' stored cut sets); only the storage order
+/// inside the flat table differs, which [`CutSet::of`] hides.
+#[cfg(feature = "parallel")]
+fn enumerate_cuts_parallel(net: &Network, config: &CutConfig, workers: usize) -> CutSet {
+    assert!(
+        config.max_leaves <= TruthTable::MAX_VARS,
+        "cuts limited to 6 leaves"
+    );
+    // Levels also panic on cyclic networks, mirroring the sequential path.
+    let levels = net.levels();
+    let n = net.num_cells();
+    let max_level = levels.iter().copied().max().unwrap_or(0) as usize;
+    // Counting sort: cells of one level, ascending index, are contiguous in
+    // `by_level[starts[l]..starts[l + 1]]`.
+    let mut starts = vec![0u32; max_level + 2];
+    for &l in &levels {
+        starts[l as usize + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    let mut cursor = starts.clone();
+    let mut by_level = vec![0u32; n];
+    for (i, &l) in levels.iter().enumerate() {
+        by_level[cursor[l as usize] as usize] = i as u32;
+        cursor[l as usize] += 1;
+    }
+
+    // A worker must amortize its spawn over enough per-node work; narrow
+    // levels run inline on this thread instead.
+    const MIN_CHUNK: usize = 64;
+
+    let mut cuts: Vec<Cut> = Vec::with_capacity(n * 6);
+    let mut sigs: Vec<u64> = Vec::with_capacity(n * 6);
+    let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
+    let mut scratch = NodeScratch::default();
+    for l in 0..=max_level {
+        let cells = &by_level[starts[l] as usize..starts[l + 1] as usize];
+        let want = (cells.len() / MIN_CHUNK).min(workers);
+        if want < 2 {
+            for &c in cells {
+                let id = CellId(c);
+                compute_node_cuts(net, id, config, (&cuts, &sigs, &spans), &mut scratch);
+                spans[c as usize] = (cuts.len() as u32, (scratch.kept.len() + 1) as u32);
+                emit_node_cuts(id, &scratch, &mut cuts, &mut sigs);
+            }
+            continue;
+        }
+        let chunk = cells.len().div_ceil(want);
+        let (cuts_ref, sigs_ref, spans_ref) = (cuts.as_slice(), sigs.as_slice(), spans.as_slice());
+        let results: Vec<(Vec<Cut>, Vec<u64>, Vec<u32>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut scratch = NodeScratch::default();
+                        let mut out_cuts = Vec::new();
+                        let mut out_sigs = Vec::new();
+                        let mut lens = Vec::with_capacity(part.len());
+                        for &c in part {
+                            let id = CellId(c);
+                            compute_node_cuts(
+                                net,
+                                id,
+                                config,
+                                (cuts_ref, sigs_ref, spans_ref),
+                                &mut scratch,
+                            );
+                            lens.push((scratch.kept.len() + 1) as u32);
+                            emit_node_cuts(id, &scratch, &mut out_cuts, &mut out_sigs);
+                        }
+                        (out_cuts, out_sigs, lens)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cut enumeration worker panicked"))
+                .collect()
+        });
+        // Deterministic merge: chunk order is ascending cell-index order.
+        for (part, (out_cuts, out_sigs, lens)) in cells.chunks(chunk).zip(&results) {
+            let base = cuts.len() as u32;
+            let mut off = 0u32;
+            for (&c, &len) in part.iter().zip(lens) {
+                spans[c as usize] = (base + off, len);
+                off += len;
+            }
+            cuts.extend_from_slice(out_cuts);
+            sigs.extend_from_slice(out_sigs);
+        }
+    }
+    CutSet { cuts, spans }
+}
+
+/// Reusable per-node scratch of [`compute_node_cuts`]: the leaf arena, the
+/// candidate list, the sort permutation, the surviving-candidate list and
+/// the survivors' derived functions. One scratch serves any number of nodes
+/// (and, under the `parallel` feature, one scratch serves each worker).
+#[derive(Default)]
+struct NodeScratch {
+    arena: Vec<Signal>,
+    cand: Vec<Candidate>,
+    by_rank: Vec<u32>,
+    kept: Vec<u32>,
+    tts: Vec<TruthTable>,
+}
+
+/// Enumerates, prunes and derives the non-trivial cuts of one node into
+/// `scratch`, reading stored fanin cut sets from the `(cuts, sigs, spans)`
+/// CSR view. Holds **no** borrows on return, so the caller can append the
+/// results to the very vectors it handed in — or, in the parallel driver,
+/// to a per-worker buffer. Results depend only on the fanins' stored cut
+/// sets, never on where this node's output lands.
+fn compute_node_cuts(
+    net: &Network,
+    id: CellId,
+    config: &CutConfig,
+    (cuts, sigs, spans): (&[Cut], &[u64], &[(u32, u32)]),
+    scratch: &mut NodeScratch,
+) {
+    let span_of = |c: CellId| -> std::ops::Range<usize> {
         let (start, len) = spans[c.0 as usize];
         start as usize..(start + len) as usize
     };
-
-    // Reusable per-node scratch: the leaf arena, the candidate list, the
-    // sort permutation, the kept-index list and the materialized node set.
-    let mut arena: Vec<Signal> = Vec::new();
-    let mut cand: Vec<Candidate> = Vec::new();
-    let mut by_rank: Vec<u32> = Vec::new();
-    let mut kept: Vec<u32> = Vec::new();
-    let mut node_cuts: Vec<Cut> = Vec::new();
-    let mut node_sigs: Vec<u64> = Vec::new();
-
-    for id in order {
-        let sig0 = Signal::from_cell(id);
-        node_cuts.clear();
-        node_sigs.clear();
-        node_cuts.push(Cut::trivial(sig0));
-        node_sigs.push(leaf_sig(sig0));
-        if let CellKind::Gate(g) = net.kind(id) {
-            arena.clear();
-            cand.clear();
-            let fanins = net.fanins(id);
-            // A fanin pin other than port 0 (a T1 port) only offers its own
-            // trivial cut — enumeration never crosses multi-output cells.
-            // `hold_*` keep those synthesized trivial cuts alive while the
-            // common path borrows stored cut sets without cloning them.
-            let hold_a;
-            let hold_b;
-            let (ca, sa): (&[Cut], &[u64]) = if fanins[0].port == 0 {
-                let r = span_of(&spans, fanins[0].cell);
-                (&cuts[r.clone()], &sigs[r])
-            } else {
-                hold_a = (Cut::trivial(fanins[0]), leaf_sig(fanins[0]));
-                (
-                    std::slice::from_ref(&hold_a.0),
-                    std::slice::from_ref(&hold_a.1),
-                )
-            };
-            // `cb_all` stays in scope for lazy materialization below.
-            let mut cb_all: &[Cut] = &[];
-            if g.arity() == 1 {
-                for (ai, (c, &csig)) in ca.iter().zip(sa).enumerate() {
-                    let start = arena.len();
-                    arena.extend_from_slice(&c.leaves);
-                    cand.push(Candidate {
-                        start: start as u32,
-                        len: c.leaves.len() as u32,
-                        sig: csig,
-                        ai: ai as u32,
-                        bi: u32::MAX,
-                    });
-                }
-            } else {
-                let (cb, sb): (&[Cut], &[u64]) = if fanins[1].port == 0 {
-                    let r = span_of(&spans, fanins[1].cell);
-                    (&cuts[r.clone()], &sigs[r])
-                } else {
-                    hold_b = (Cut::trivial(fanins[1]), leaf_sig(fanins[1]));
-                    (
-                        std::slice::from_ref(&hold_b.0),
-                        std::slice::from_ref(&hold_b.1),
-                    )
-                };
-                cb_all = cb;
-                for (ai, (a, &asig)) in ca.iter().zip(sa).enumerate() {
-                    for (bi, (b, &bsig)) in cb.iter().zip(sb).enumerate() {
-                        let Some(start) =
-                            merge_leaves_into(&a.leaves, &b.leaves, config.max_leaves, &mut arena)
-                        else {
-                            continue;
-                        };
-                        cand.push(Candidate {
-                            start: start as u32,
-                            len: (arena.len() - start) as u32,
-                            sig: asig | bsig,
-                            ai: ai as u32,
-                            bi: bi as u32,
-                        });
-                    }
-                }
-            }
-            // Rank candidates (smaller cuts first, then lexicographic) —
-            // a stable index sort over the arena-backed slices.
-            by_rank.clear();
-            by_rank.extend(0..cand.len() as u32);
-            by_rank.sort_by(|&x, &y| {
-                let (cx, cy) = (&cand[x as usize], &cand[y as usize]);
-                cx.len
-                    .cmp(&cy.len)
-                    .then_with(|| cx.leaves(&arena).cmp(cy.leaves(&arena)))
+    let NodeScratch {
+        arena,
+        cand,
+        by_rank,
+        kept,
+        tts,
+    } = scratch;
+    arena.clear();
+    cand.clear();
+    kept.clear();
+    tts.clear();
+    let CellKind::Gate(g) = net.kind(id) else {
+        return; // non-gate pins only offer the trivial cut
+    };
+    let sig0 = Signal::from_cell(id);
+    let fanins = net.fanins(id);
+    // A fanin pin other than port 0 (a T1 port) only offers its own
+    // trivial cut — enumeration never crosses multi-output cells.
+    // `hold_*` keep those synthesized trivial cuts alive while the
+    // common path borrows stored cut sets without cloning them.
+    let hold_a;
+    let hold_b;
+    let (ca, sa): (&[Cut], &[u64]) = if fanins[0].port == 0 {
+        let r = span_of(fanins[0].cell);
+        (&cuts[r.clone()], &sigs[r])
+    } else {
+        hold_a = (Cut::trivial(fanins[0]), leaf_sig(fanins[0]));
+        (
+            std::slice::from_ref(&hold_a.0),
+            std::slice::from_ref(&hold_a.1),
+        )
+    };
+    // `cb_all` stays in scope for lazy materialization below.
+    let mut cb_all: &[Cut] = &[];
+    if g.arity() == 1 {
+        for (ai, (c, &csig)) in ca.iter().zip(sa).enumerate() {
+            let start = arena.len();
+            arena.extend_from_slice(&c.leaves);
+            cand.push(Candidate {
+                start: start as u32,
+                len: c.leaves.len() as u32,
+                sig: csig,
+                key: pack_leaves(&c.leaves),
+                ai: ai as u32,
+                bi: u32::MAX,
+                amask: 0,
+                bmask: 0,
             });
-
-            // Budgeted dominance pruning; equal leaf sets fall to the
-            // dominance test (an equal set dominates), so no separate dedup
-            // pass is needed.
-            kept.clear();
-            'cand: for &ci in &by_rank {
-                if kept.len() >= config.max_cuts {
-                    break;
+        }
+    } else {
+        let (cb, sb): (&[Cut], &[u64]) = if fanins[1].port == 0 {
+            let r = span_of(fanins[1].cell);
+            (&cuts[r.clone()], &sigs[r])
+        } else {
+            hold_b = (Cut::trivial(fanins[1]), leaf_sig(fanins[1]));
+            (
+                std::slice::from_ref(&hold_b.0),
+                std::slice::from_ref(&hold_b.1),
+            )
+        };
+        cb_all = cb;
+        for ai in 0..ca.len() {
+            let asig = sa[ai];
+            for bi in 0..cb.len() {
+                // Reconvergence-aware prefilter: every leaf sets one
+                // signature bit, so the union's popcount is a lower
+                // bound on the union's size. Merges that cannot fit
+                // the leaf budget die on one popcount over the
+                // signature arrays — no cut data is touched at all;
+                // reconvergent merges (shared leaves → shared bits)
+                // pass and are enumerated for real.
+                let usig = asig | sb[bi];
+                if usig.count_ones() as usize > config.max_leaves {
+                    continue;
                 }
-                let c = &cand[ci as usize];
-                let c_leaves = c.leaves(&arena);
-                if c_leaves.len() == 1 && c_leaves[0] == sig0 {
-                    continue; // trivial cut already present
-                }
-                for &ki in &kept {
-                    let k = &cand[ki as usize];
-                    // Signature prefilter: k ⊆ c requires sig(k) ⊆ sig(c).
-                    if k.sig & !c.sig == 0 && is_subset(k.leaves(&arena), c_leaves) {
-                        continue 'cand;
-                    }
-                }
-                kept.push(ci);
-            }
-            // Materialize survivors, deriving their functions now.
-            for &ki in &kept {
-                let k = &cand[ki as usize];
-                let leaves = k.leaves(&arena);
-                let tt = if k.bi == u32::MAX {
-                    apply_gate1(g, &ca[k.ai as usize].tt)
-                } else {
-                    let (a, b) = (&ca[k.ai as usize], &cb_all[k.bi as usize]);
-                    let ta = expand(&a.tt, &a.leaves, leaves);
-                    let tb = expand(&b.tt, &b.leaves, leaves);
-                    apply_gate2(g, &ta, &tb)
+                let Some((start, amask, bmask)) =
+                    merge_leaves_into(&ca[ai].leaves, &cb[bi].leaves, config.max_leaves, arena)
+                else {
+                    continue;
                 };
-                node_cuts.push(Cut {
-                    leaves: CutLeaves::from_slice(leaves),
-                    tt,
+                let len = (arena.len() - start) as u32;
+                let key = pack_leaves(&arena[start..]);
+                // Exact dedup at push time: reconvergent fanin pairs
+                // can produce the same union several times; keeping
+                // only the first occurrence (the one the old stable
+                // sort + dominance scan would have kept) keeps the
+                // ranking sort and the dominance scan on distinct
+                // leaf sets.
+                if cand.iter().any(|c| c.len == len && c.key == key) {
+                    arena.truncate(start);
+                    continue;
+                }
+                cand.push(Candidate {
+                    start: start as u32,
+                    len,
+                    sig: usig,
+                    key,
+                    ai: ai as u32,
+                    bi: bi as u32,
+                    amask,
+                    bmask,
                 });
-                node_sigs.push(k.sig);
             }
         }
-        spans[id.0 as usize] = (cuts.len() as u32, node_cuts.len() as u32);
-        cuts.extend_from_slice(&node_cuts);
-        sigs.extend_from_slice(&node_sigs);
     }
-    CutSet { cuts, spans }
+    // Rank candidates: smaller cuts first, then lexicographic. After
+    // dedup all leaf sets are distinct, so `(len, key)` is a strict
+    // total order and an unstable index sort is deterministic.
+    by_rank.clear();
+    by_rank.extend(0..cand.len() as u32);
+    by_rank.sort_unstable_by_key(|&x| {
+        let c = &cand[x as usize];
+        (c.len, c.key)
+    });
+
+    // Budgeted dominance pruning (the per-node cut budget `max_cuts`).
+    'cand: for &ci in by_rank.iter() {
+        if kept.len() >= config.max_cuts {
+            break;
+        }
+        let c = &cand[ci as usize];
+        let c_leaves = c.leaves(arena);
+        if c_leaves.len() == 1 && c_leaves[0] == sig0 {
+            continue; // trivial cut already present
+        }
+        for &ki in kept.iter() {
+            let k = &cand[ki as usize];
+            // Signature prefilter: k ⊆ c requires sig(k) ⊆ sig(c).
+            if k.sig & !c.sig == 0 && is_subset(k.leaves(arena), c_leaves) {
+                continue 'cand;
+            }
+        }
+        kept.push(ci);
+    }
+    // Derive the survivors’ functions while the fanin cut sets are still
+    // borrowed; after this loop the scratch is self-contained.
+    for &ki in kept.iter() {
+        let k = &cand[ki as usize];
+        let tt = if k.bi == u32::MAX {
+            apply_gate1(g, &ca[k.ai as usize].tt)
+        } else {
+            let n = k.len as usize;
+            let ta = expand_masked(&ca[k.ai as usize].tt, k.amask, n);
+            let tb = expand_masked(&cb_all[k.bi as usize].tt, k.bmask, n);
+            apply_gate2(g, &ta, &tb)
+        };
+        tts.push(tt);
+    }
+}
+
+/// Appends one node’s cuts (trivial first, then the survivors computed by
+/// [`compute_node_cuts`]) to a cut/signature table.
+fn emit_node_cuts(id: CellId, scratch: &NodeScratch, cuts: &mut Vec<Cut>, sigs: &mut Vec<u64>) {
+    let sig0 = Signal::from_cell(id);
+    cuts.push(Cut::trivial(sig0));
+    sigs.push(leaf_sig(sig0));
+    for (&ki, &tt) in scratch.kept.iter().zip(&scratch.tts) {
+        let k = &scratch.cand[ki as usize];
+        cuts.push(Cut {
+            leaves: CutLeaves::from_slice(k.leaves(&scratch.arena)),
+            tt,
+        });
+        sigs.push(k.sig);
+    }
 }
 
 fn apply_gate1(g: crate::cell::GateKind, a: &TruthTable) -> TruthTable {

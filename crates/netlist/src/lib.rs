@@ -9,7 +9,8 @@
 //!   (clocked gates, T1 cells, DFFs), the subject of T1 detection, phase
 //!   assignment and DFF insertion;
 //! * [`Library`] — the JJ-count area model;
-//! * cut enumeration ([`cuts`]), maximum-fanout-free cones ([`mffc`]), and a
+//! * cut enumeration ([`cuts`] — level-parallel under the `parallel`
+//!   feature, see [`par`]), maximum-fanout-free cones ([`mffc`]), and a
 //!   cut-based technology mapper ([`map_aig`]) from AIGs to SFQ cells;
 //! * ASCII AIGER I/O ([`aiger`]), BLIF and Graphviz DOT export ([`export`]),
 //!   and BLIF reading ([`blif`]).
@@ -31,6 +32,9 @@
 //! assert!(net.num_gates() >= 2);
 //! ```
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 pub mod aig;
 pub mod aiger;
 pub mod blif;
@@ -41,11 +45,12 @@ pub mod mapper;
 pub mod mapper_reference;
 pub mod mffc;
 pub mod network;
+pub mod par;
 
 pub use aig::{Aig, AigLit, AigNodeId};
 pub use blif::{parse_blif, BlifError};
 pub use cell::{CellKind, GateKind, Library, T1Port, T1_NUM_PORTS};
-pub use cuts::{enumerate_cuts, Cut, CutConfig, CutSet};
+pub use cuts::{enumerate_cuts, enumerate_cuts_sequential, Cut, CutConfig, CutSet};
 pub use mapper::map_aig;
 pub use mapper_reference::map_aig_reference;
 pub use mffc::{mffc_area, mffc_nodes};

@@ -33,7 +33,7 @@
 //! [`crate::mapper_reference::map_aig_reference`], and the differential
 //! harness asserts the two produce bit-identical networks:
 //!
-//! * **2-feasible cuts live in one flat CSR table** ([`Cut2`]: two inline
+//! * **2-feasible cuts live in one flat CSR table** (`Cut2`: two inline
 //!   leaf ids + a 2-variable truth table per cut) with a `(start, len)` span
 //!   per AIG node — no `Vec<(Vec<AigNodeId>, TruthTable)>` per node, no
 //!   cloned fanin cut lists. Complemented fanin edges complement the borrowed

@@ -75,20 +75,41 @@ impl fmt::Debug for Signal {
 pub enum NetworkError {
     /// A cell has the wrong number of fanins for its kind.
     BadArity {
+        /// The offending cell.
         cell: CellId,
+        /// Fanin count its kind requires.
         expected: usize,
+        /// Fanin count it actually has.
         got: usize,
     },
     /// A fanin references a cell id that does not exist.
-    DanglingFanin { cell: CellId, fanin: Signal },
+    DanglingFanin {
+        /// The referencing cell.
+        cell: CellId,
+        /// The dangling fanin signal.
+        fanin: Signal,
+    },
     /// A fanin references an output port the driver does not expose or use.
-    BadPort { cell: CellId, fanin: Signal },
+    BadPort {
+        /// The referencing cell.
+        cell: CellId,
+        /// The fanin signal with the unavailable port.
+        fanin: Signal,
+    },
     /// The network contains a combinational cycle.
     Cyclic,
     /// An output references a cell id that does not exist or a bad port.
-    BadOutput { index: usize, signal: Signal },
+    BadOutput {
+        /// Index into the output list.
+        index: usize,
+        /// The invalid signal.
+        signal: Signal,
+    },
     /// An input list entry is not an [`CellKind::Input`] cell.
-    NotAnInput { cell: CellId },
+    NotAnInput {
+        /// The offending entry.
+        cell: CellId,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -124,10 +145,41 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
+/// Maximum fanin count of any cell kind (T1 macro-cells, at three).
+const MAX_FANINS: usize = 3;
+
+/// One cell, with its fanins stored inline. No cell kind has more than
+/// [`MAX_FANINS`] inputs, so a fixed array replaces the former
+/// `Vec<Signal>` — building a network performs zero per-cell heap
+/// allocations, which is what makes the rebuild passes (`cleaned`, T1
+/// replacement, DFF insertion) allocation-bounded by the cell vector alone.
 #[derive(Debug, Clone)]
 struct Cell {
     kind: CellKind,
-    fanins: Vec<Signal>,
+    num_fanins: u8,
+    fanins: [Signal; MAX_FANINS],
+}
+
+impl Cell {
+    fn new(kind: CellKind, fanins: &[Signal]) -> Self {
+        assert!(fanins.len() <= MAX_FANINS, "at most {MAX_FANINS} fanins");
+        let filler = Signal {
+            cell: CellId(u32::MAX),
+            port: 0,
+        };
+        let mut buf = [filler; MAX_FANINS];
+        buf[..fanins.len()].copy_from_slice(fanins);
+        Cell {
+            kind,
+            num_fanins: fanins.len() as u8,
+            fanins: buf,
+        }
+    }
+
+    #[inline]
+    fn fanins(&self) -> &[Signal] {
+        &self.fanins[..self.num_fanins as usize]
+    }
 }
 
 /// Reusable scratch for [`Network::cleaned_with`] and friends: liveness
@@ -235,10 +287,7 @@ impl Network {
     /// Adds a primary input; returns its signal.
     pub fn add_input(&mut self, name: impl Into<String>) -> Signal {
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell {
-            kind: CellKind::Input,
-            fanins: Vec::new(),
-        });
+        self.cells.push(Cell::new(CellKind::Input, &[]));
         self.inputs.push(id);
         self.input_names.push(name.into());
         Signal::from_cell(id)
@@ -251,10 +300,7 @@ impl Network {
     pub fn add_gate(&mut self, kind: GateKind, fanins: &[Signal]) -> Signal {
         assert_eq!(fanins.len(), kind.arity(), "gate arity mismatch for {kind}");
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell {
-            kind: CellKind::Gate(kind),
-            fanins: fanins.to_vec(),
-        });
+        self.cells.push(Cell::new(CellKind::Gate(kind), fanins));
         Signal::from_cell(id)
     }
 
@@ -270,10 +316,8 @@ impl Network {
         assert!(used_ports != 0, "T1 cell must use at least one port");
         assert!(used_ports < 1 << T1_NUM_PORTS, "invalid T1 port mask");
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell {
-            kind: CellKind::T1 { used_ports },
-            fanins: fanins.to_vec(),
-        });
+        self.cells
+            .push(Cell::new(CellKind::T1 { used_ports }, fanins));
         id
     }
 
@@ -297,10 +341,7 @@ impl Network {
     /// Adds a path-balancing DFF; returns its output signal.
     pub fn add_dff(&mut self, fanin: Signal) -> Signal {
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell {
-            kind: CellKind::Dff,
-            fanins: vec![fanin],
-        });
+        self.cells.push(Cell::new(CellKind::Dff, &[fanin]));
         Signal::from_cell(id)
     }
 
@@ -356,7 +397,7 @@ impl Network {
 
     /// Fanins of a cell.
     pub fn fanins(&self, id: CellId) -> &[Signal] {
-        &self.cells[id.0 as usize].fanins
+        self.cells[id.0 as usize].fanins()
     }
 
     /// Primary inputs in declaration order.
@@ -388,7 +429,7 @@ impl Network {
     pub fn fanouts(&self) -> Vec<Vec<(CellId, usize)>> {
         let mut fo = vec![Vec::new(); self.cells.len()];
         for (i, cell) in self.cells.iter().enumerate() {
-            for (k, f) in cell.fanins.iter().enumerate() {
+            for (k, f) in cell.fanins().iter().enumerate() {
                 fo[f.cell.0 as usize].push((CellId(i as u32), k));
             }
         }
@@ -400,7 +441,7 @@ impl Network {
     pub fn pin_fanout_counts(&self) -> Vec<[u32; T1_NUM_PORTS]> {
         let mut counts = vec![[0u32; T1_NUM_PORTS]; self.cells.len()];
         for cell in &self.cells {
-            for f in &cell.fanins {
+            for f in cell.fanins() {
                 counts[f.cell.0 as usize][f.port as usize] += 1;
             }
         }
@@ -421,14 +462,14 @@ impl Network {
         let n = self.cells.len();
         let mut indegree = vec![0u32; n];
         for (i, cell) in self.cells.iter().enumerate() {
-            indegree[i] = cell.fanins.len() as u32;
+            indegree[i] = u32::from(cell.num_fanins);
         }
         // Flat CSR fanout adjacency (filled in the same cell-major order the
         // nested `fanouts()` lists use, so the Kahn output is unchanged),
         // avoiding one Vec allocation per cell on this very hot helper.
         let mut counts = vec![0u32; n];
         for cell in &self.cells {
-            for f in &cell.fanins {
+            for f in cell.fanins() {
                 counts[f.cell.0 as usize] += 1;
             }
         }
@@ -439,7 +480,7 @@ impl Network {
         let mut cursor = offsets.clone();
         let mut consumers = vec![0u32; offsets[n] as usize];
         for (i, cell) in self.cells.iter().enumerate() {
-            for f in &cell.fanins {
+            for f in cell.fanins() {
                 let c = &mut cursor[f.cell.0 as usize];
                 consumers[*c as usize] = i as u32;
                 *c += 1;
@@ -479,14 +520,14 @@ impl Network {
         for (i, cell) in self.cells.iter().enumerate() {
             let id = CellId(i as u32);
             let expected = cell.kind.arity();
-            if cell.fanins.len() != expected {
+            if cell.fanins().len() != expected {
                 return Err(NetworkError::BadArity {
                     cell: id,
                     expected,
-                    got: cell.fanins.len(),
+                    got: cell.fanins().len(),
                 });
             }
-            for &f in &cell.fanins {
+            for &f in cell.fanins() {
                 if f.cell.0 as usize >= self.cells.len() {
                     return Err(NetworkError::DanglingFanin { cell: id, fanin: f });
                 }
@@ -605,9 +646,9 @@ impl Network {
         let mut lv = vec![0u32; self.cells.len()];
         for id in order {
             let cell = &self.cells[id.0 as usize];
-            if cell.kind.is_clocked() && !cell.fanins.is_empty() {
+            if cell.kind.is_clocked() && cell.num_fanins != 0 {
                 lv[id.0 as usize] = 1 + cell
-                    .fanins
+                    .fanins()
                     .iter()
                     .map(|f| lv[f.cell.0 as usize])
                     .max()
@@ -685,7 +726,7 @@ impl Network {
                 continue;
             }
             live[i as usize] = true;
-            for f in &self.cells[i as usize].fanins {
+            for f in self.cells[i as usize].fanins() {
                 stack.push(f.cell.0);
             }
         }
@@ -711,7 +752,7 @@ impl Network {
             }
             let cell = &self.cells[i];
             fanin_buf.clear();
-            fanin_buf.extend(cell.fanins.iter().map(|f| Signal {
+            fanin_buf.extend(cell.fanins().iter().map(|f| Signal {
                 cell: remap[f.cell.0 as usize].expect("fanin live"),
                 port: f.port,
             }));
@@ -746,7 +787,7 @@ impl Network {
                 continue;
             }
             live[i as usize] = true;
-            for f in &self.cells[i as usize].fanins {
+            for f in self.cells[i as usize].fanins() {
                 stack.push(f.cell.0);
             }
         }
@@ -773,7 +814,7 @@ impl Network {
             }
             let cell = &self.cells[i];
             let fanins: Vec<Signal> = cell
-                .fanins
+                .fanins()
                 .iter()
                 .map(|f| Signal {
                     cell: remap[f.cell.0 as usize].expect("fanin live"),

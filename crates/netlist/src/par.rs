@@ -1,0 +1,63 @@
+//! Worker-count policy for the feature-gated in-netlist parallelism.
+//!
+//! The `parallel` cargo feature fans cut enumeration (and, one crate up,
+//! T1 detection's collection/scoring passes) over `std::thread::scope`
+//! workers. This module owns the one policy decision those fan-outs share:
+//! how many workers to use. Everything else — level scheduling, chunking,
+//! deterministic merges — lives next to the loops it parallelizes.
+//!
+//! Without the feature, [`workers`] is constantly `1`, and every fan-out
+//! site falls through to its sequential body; with the feature on a
+//! single-core host the same happens at runtime, so the parallel build is
+//! never slower than the sequential one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide override installed by [`force_workers`] (0 = none).
+static FORCED: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces [`workers`] to return `n` for the rest of the process (`0`
+/// clears the override). Without the `parallel` feature the override is
+/// recorded but [`workers`] still returns `1`.
+///
+/// This is the in-process testing hook: the differential tests use it to
+/// exercise the parallel merges even on single-core hosts. It exists so
+/// tests never have to call `std::env::set_var` at runtime (a data race
+/// against concurrent `getenv` on POSIX); the `SFQ_WORKERS` environment
+/// variable serves the same purpose from *outside* the process, where it
+/// is inherited before any thread starts and read exactly once.
+pub fn force_workers(n: usize) {
+    FORCED.store(n, Ordering::SeqCst);
+}
+
+/// Number of scoped worker threads the in-netlist fan-outs may use.
+///
+/// With the `parallel` feature: the host's available parallelism (capped at
+/// 8 — the fan-outs are memory-bound well before that), overridable by
+/// [`force_workers`] or the `SFQ_WORKERS` environment variable (read once,
+/// at first use). Without the feature: `1`.
+pub fn workers() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        let forced = FORCED.load(Ordering::SeqCst);
+        if forced != 0 {
+            return forced.clamp(1, 8);
+        }
+        static FROM_ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        if let Some(w) = *FROM_ENV.get_or_init(|| {
+            std::env::var("SFQ_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+        }) {
+            return w.clamp(1, 8);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}

@@ -40,6 +40,9 @@
 //! assert_eq!(outs[1], vec![true, true]);  // 1+1+1 = 11₂
 //! ```
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 pub mod energy;
 pub mod margin;
 pub mod pulse;

@@ -25,14 +25,27 @@ use std::fmt;
 pub enum Hazard {
     /// A second pulse arrived on the same gate input before the cell fired.
     DoublePulse {
+        /// The receiving cell.
         cell: CellId,
+        /// Which of its fanins double-pulsed.
         fanin: usize,
+        /// Simulation tick of the second pulse.
         tick: u64,
     },
     /// Two pulses reached a T1 `T` input at the same tick (merger collision).
-    T1Collision { cell: CellId, tick: u64 },
+    T1Collision {
+        /// The T1 cell.
+        cell: CellId,
+        /// Tick of the collision.
+        tick: u64,
+    },
     /// A data pulse hit a T1 cell at its own clock tick.
-    T1DataOnClock { cell: CellId, tick: u64 },
+    T1DataOnClock {
+        /// The T1 cell.
+        cell: CellId,
+        /// Tick of the ill-timed pulse.
+        tick: u64,
+    },
 }
 
 impl fmt::Display for Hazard {

@@ -33,6 +33,9 @@
 //! assert!((sol.objective - 4.0).abs() < 1e-6);
 //! ```
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 pub mod cp;
 pub mod milp;
 pub mod simplex;

@@ -32,7 +32,10 @@ pub enum SolverError {
     /// The iteration cap was hit (numerical trouble).
     IterationLimit,
     /// A variable was declared with `lb > ub` or a non-finite bound.
-    BadBounds { var: usize },
+    BadBounds {
+        /// Index of the offending variable.
+        var: usize,
+    },
 }
 
 impl fmt::Display for SolverError {

@@ -20,6 +20,9 @@
 //! assert!(maj.is_totally_symmetric());
 //! ```
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 mod npn;
 mod t1db;
 mod table;

@@ -87,6 +87,10 @@ pub struct T1Match {
 pub struct T1MatchDb {
     // [mask][tt_bits] — 8 masks × 256 functions.
     table: Vec<[Option<T1Match>; 256]>,
+    // [tt_bits] — bit `m` set iff `table[m][tt_bits]` is `Some`. Lets the
+    // detection hot loop probe one byte instead of eight table slots (most
+    // cut functions are realizable under no mask at all).
+    mask_sets: [u8; 256],
 }
 
 impl Default for T1MatchDb {
@@ -126,7 +130,27 @@ impl T1MatchDb {
                 }
             }
         }
-        T1MatchDb { table }
+        let mut mask_sets = [0u8; 256];
+        for (bits, set) in mask_sets.iter_mut().enumerate() {
+            for mask in 0u8..8 {
+                if table[mask as usize][bits].is_some() {
+                    *set |= 1 << mask;
+                }
+            }
+        }
+        T1MatchDb { table, mask_sets }
+    }
+
+    /// The set of input-polarity masks under which `tt` is realizable, as a
+    /// bitmask (bit `m` ⇔ [`T1MatchDb::lookup`] succeeds for mask `m`).
+    ///
+    /// One byte probe; `0` for the overwhelmingly common unrealizable case.
+    ///
+    /// # Panics
+    /// Panics if `tt` does not have exactly 3 variables.
+    pub fn realizable_masks(&self, tt: &TruthTable) -> u8 {
+        assert_eq!(tt.num_vars(), 3, "T1 matching requires 3-input functions");
+        self.mask_sets[tt.bits() as usize]
     }
 
     /// Looks up a 3-input function under a given input-polarity mask.

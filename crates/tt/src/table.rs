@@ -7,7 +7,12 @@ pub enum TruthTableError {
     /// The requested variable count is outside `0..=6`.
     TooManyVars(usize),
     /// A variable index was not smaller than the variable count.
-    VarOutOfRange { var: usize, num_vars: usize },
+    VarOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// The table's variable count.
+        num_vars: usize,
+    },
     /// Raw bits contained ones above the `2^n` valid positions.
     ExcessBits,
 }

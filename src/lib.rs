@@ -47,6 +47,9 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! regeneration of every table and figure in the paper.
 
+// Every public item in this workspace is documented; keep it that way.
+#![deny(missing_docs)]
+
 pub use sfq_circuits as circuits;
 pub use sfq_core as core;
 pub use sfq_netlist as netlist;

@@ -24,7 +24,10 @@
 
 use sfq_circuits::{Benchmark, ExtBenchmark};
 use sfq_core::{detect_t1, detect_t1_reference};
-use sfq_netlist::{map_aig, map_aig_reference, Aig, CutConfig, Library, Network};
+use sfq_netlist::{
+    enumerate_cuts, enumerate_cuts_sequential, map_aig, map_aig_reference, Aig, CutConfig, Library,
+    Network,
+};
 
 /// Inputs at or below this count are simulated exhaustively.
 const EXHAUSTIVE_INPUTS: usize = 10;
@@ -142,6 +145,19 @@ fn assert_equivalent(name: &str, stage: &str, aig: &Aig, net: &Network) {
     }
 }
 
+/// Asserts the dispatching [`enumerate_cuts`] agrees with the sequential
+/// executable specification node-for-node. With `--features parallel` on a
+/// multi-core host (or with `SFQ_WORKERS` forced above 1) this A/Bs the
+/// level-parallel driver; otherwise it pins determinism of the dispatch.
+fn assert_cuts_match_sequential(name: &str, net: &Network, cut_config: &CutConfig) {
+    let ab = enumerate_cuts(net, cut_config);
+    let seq = enumerate_cuts_sequential(net, cut_config);
+    assert_eq!(ab.total(), seq.total(), "{name}/cuts: total cut count");
+    for id in net.cell_ids() {
+        assert_eq!(ab.of(id), seq.of(id), "{name}/cuts: cut set of {id:?}");
+    }
+}
+
 /// The full old-vs-new pipeline comparison for one AIG.
 fn check_design(name: &str, aig: &Aig) {
     let lib = Library::default();
@@ -159,6 +175,9 @@ fn check_design(name: &str, aig: &Aig) {
     assert_eq!(removed_new, removed_old, "{name}/cleaned: removed count");
     assert_identical(name, "cleaned", &clean_new, &clean_old);
     assert_equivalent(name, "cleaned", aig, &clean_new);
+
+    // ---- cuts (parallel vs sequential enumeration) ----
+    assert_cuts_match_sequential(name, &clean_new, &cut_config);
 
     // ---- detect ----
     let det_new = detect_t1(&clean_new, &lib, &cut_config);
@@ -210,6 +229,23 @@ fn differential_extended_benchmarks_small() {
 fn differential_table1_benchmarks_paper_scale() {
     for b in Benchmark::ALL {
         check_design(b.name(), &b.build());
+    }
+}
+
+/// Parallel-path tier: forces four scoped workers (even on single-core
+/// hosts, via `sfq_netlist::par::force_workers` — an atomic, not
+/// `std::env::set_var`, which would race against concurrent `getenv` from
+/// sibling test threads) and re-runs the full differential sweep, so the
+/// level-parallel cut enumeration and the detect fan-outs are A/B-checked
+/// against the sequential specifications whenever the harness is compiled
+/// with `--features parallel` (the CI parallel-features job does exactly
+/// that). Without the feature the override is inert and this repeats the
+/// sequential sweep.
+#[test]
+fn differential_forced_parallel_workers() {
+    sfq_netlist::par::force_workers(4);
+    for b in Benchmark::ALL {
+        check_design(b.name(), &b.build_small());
     }
 }
 
