@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfq_circuits as circuits;
-use sfq_core::{assign_phases, detect_t1, PhaseEngine};
+use sfq_core::{assign_phases, detect_t1, insert_dffs, PhaseEngine};
 use sfq_netlist::{enumerate_cuts, map_aig, CutConfig, Library};
 
 fn bench_hotpaths(c: &mut Criterion) {
@@ -55,11 +55,17 @@ fn bench_hotpaths(c: &mut Criterion) {
     c.bench_function("assign_phases/multiplier12_t1", |b| {
         b.iter(|| assign_phases(&mult_det, 4, PhaseEngine::Heuristic).expect("feasible"))
     });
+    let mult_asg = assign_phases(&mult_det, 4, PhaseEngine::Heuristic).expect("feasible");
+    c.bench_function("insert_dffs/multiplier12", |b| {
+        b.iter(|| insert_dffs(&mult_det, &mult_asg, 4).expect("insertable"))
+    });
 
-    // Paper-scale log2: the detect-dominated Table I row (ROADMAP's current
-    // perf target). These IDs gate the ISSUE 3 pruning/parallelism work; the
-    // same IDs measure the parallel path when the bench is compiled with
-    // `--features parallel`.
+    // Paper-scale log2: the Table I row where the back three stages are
+    // nearly balanced (ROADMAP's perf targets). `enumerate_cuts`/`detect_t1`
+    // gate the ISSUE 3 pruning/parallelism work; `assign_phases/log2_t1`
+    // and `insert_dffs/log2` gate the ISSUE 4 timing-engine refactor of the
+    // phase/dff stages. The same IDs measure the parallel path when the
+    // bench is compiled with `--features parallel`.
     let log2_aig = circuits::log2_shift_add(32);
     let (log2, _) = map_aig(&log2_aig, &lib).cleaned();
     c.bench_function("enumerate_cuts/log2", |b| {
@@ -67,6 +73,14 @@ fn bench_hotpaths(c: &mut Criterion) {
     });
     c.bench_function("detect_t1/log2", |b| {
         b.iter(|| detect_t1(&log2, &lib, &cut_config))
+    });
+    let log2_det = detect_t1(&log2, &lib, &cut_config).network;
+    c.bench_function("assign_phases/log2_t1", |b| {
+        b.iter(|| assign_phases(&log2_det, 4, PhaseEngine::Heuristic).expect("feasible"))
+    });
+    let log2_asg = assign_phases(&log2_det, 4, PhaseEngine::Heuristic).expect("feasible");
+    c.bench_function("insert_dffs/log2", |b| {
+        b.iter(|| insert_dffs(&log2_det, &log2_asg, 4).expect("insertable"))
     });
 }
 

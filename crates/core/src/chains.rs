@@ -248,6 +248,97 @@ mod tests {
         }
     }
 
+    /// The `chain_cost`/`plan_chain` seam is the contract between the
+    /// phase-assignment descent (which only counts) and DFF insertion
+    /// (which materializes): the counted cost of a demand must equal the
+    /// length of the plan built for it, the plan must keep the ≤ n gap
+    /// invariant, contain every exact tap verbatim, and cover every plain
+    /// sink through `tap_for_plain` — including sinks and taps landing
+    /// exactly on epoch boundaries (`σ_u + k·n`), where the tap window
+    /// `[v − n, v − 1]` closes.
+    mod consistency {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn check(sigma_u: u32, demand: &ChainDemand, n: u32) -> Result<(), TestCaseError> {
+            let plan = plan_chain(sigma_u, demand, n);
+            let counted = chain_cost(sigma_u, demand, n);
+            let expected = if demand.is_empty() { 0 } else { plan.len() };
+            prop_assert_eq!(
+                counted,
+                expected,
+                "cost vs plan at σ_u={} n={} demand={:?} plan={:?}",
+                sigma_u,
+                n,
+                demand,
+                &plan
+            );
+            // Gap invariant: strictly increasing, no hop longer than n.
+            let mut prev = sigma_u;
+            for &t in &plan {
+                prop_assert!(t > prev && t - prev <= n, "gap {prev}→{t} at n={n}");
+                prev = t;
+            }
+            // Every exact tap is in the plan verbatim.
+            for &t in &demand.exact {
+                prop_assert!(
+                    plan.binary_search(&t).is_ok(),
+                    "exact tap {t} missing from plan {plan:?}"
+                );
+            }
+            // Every plain sink resolves a tap inside its window (or the
+            // driver itself within the pulse lifetime); tap_for_plain
+            // panics if the chain fails to cover a sink.
+            for &v in &demand.plain {
+                match tap_for_plain(sigma_u, &plan, v, n) {
+                    Some(t) => prop_assert!(t < v && v - t <= n),
+                    None => prop_assert!(v - sigma_u <= n),
+                }
+            }
+            Ok(())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(768))]
+
+            /// Random mixed demands over the full small-parameter domain.
+            #[test]
+            fn prop_chain_cost_equals_plan(
+                sigma_u in 0u32..12,
+                n in 1u32..9,
+                plain_deltas in prop::collection::vec(1u32..30, 0..6),
+                exact_deltas in prop::collection::vec(1u32..30, 0..5),
+            ) {
+                let demand = ChainDemand {
+                    plain: plain_deltas.iter().map(|d| sigma_u + d).collect(),
+                    exact: exact_deltas.iter().map(|d| sigma_u + d).collect(),
+                };
+                check(sigma_u, &demand, n)?;
+            }
+
+            /// Epoch-boundary bias: every tap and sink sits at `σ_u + k·n`
+            /// or one stage either side of it, the `tap_for_plain` window
+            /// edges where an off-by-one would hide.
+            #[test]
+            fn prop_chain_cost_at_epoch_boundaries(
+                sigma_u in 0u32..8,
+                n in 1u32..9,
+                exact_epochs in prop::collection::vec((1u32..5, 0u32..3), 0..4),
+                plain_epochs in prop::collection::vec((1u32..5, 0u32..3), 1..5),
+            ) {
+                // off ∈ 0..3 places the stage at k·n − 1, k·n, or k·n + 1
+                // relative to the driver (clamped past the driver).
+                let snap =
+                    |k: u32, off: u32| (sigma_u + k * n + off).saturating_sub(1).max(sigma_u + 1);
+                let demand = ChainDemand {
+                    plain: plain_epochs.iter().map(|&(k, o)| snap(k, o)).collect(),
+                    exact: exact_epochs.iter().map(|&(k, o)| snap(k, o)).collect(),
+                };
+                check(sigma_u, &demand, n)?;
+            }
+        }
+    }
+
     /// The counting-only path must equal `plan_chain(..).len()` on a dense
     /// pseudo-random sweep of demands (the hot loop never materializes a
     /// plan, so any divergence would silently corrupt the heuristic's

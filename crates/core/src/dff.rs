@@ -6,15 +6,26 @@
 //! CP-style arrival solver (pairwise distinct — eq. 5), and primary outputs
 //! tap the common output stage. The result is a [`TimedNetwork`] whose audit
 //! re-verifies every rule independently.
+//!
+//! Since the timing-engine refactor, [`insert_dffs`] is a thin wrapper: it
+//! loads the assignment into a [`TimingEngine`](crate::engine::TimingEngine)
+//! (which resolves arrivals and memoizes the chain plans) and then runs
+//! `emit_planned` — a straight, hash-free emission pass over flat
+//! `cell × port` remap tables and CSR chain plans. The original
+//! HashMap-based implementation survives as [`insert_dffs_reference`], the
+//! executable specification the differential harness diffs against.
 
 use crate::chains::{plan_chain, tap_for_plain, ChainDemand};
-use crate::phase::{build_view, ArrivalCache, PhaseError, StageAssignment};
+use crate::phase::{build_view, flat_pin, ArrivalCache, NetView, PhaseError, StageAssignment};
 use crate::timed::TimedNetwork;
-use sfq_netlist::{CellId, CellKind, Network, Signal, T1Port};
+use sfq_netlist::{CellId, CellKind, Network, Signal, T1Port, T1_NUM_PORTS};
 use std::collections::HashMap;
 
 /// Materializes the DFF chains dictated by `assignment` and returns the
 /// fully retimed network.
+///
+/// Runs on the incremental timing engine; bit-identical to
+/// [`insert_dffs_reference`].
 ///
 /// # Errors
 /// [`PhaseError::BadNetwork`] if the network is malformed, or
@@ -22,6 +33,23 @@ use std::collections::HashMap;
 /// infeasible (cannot happen for assignments produced by
 /// [`assign_phases`](crate::assign_phases)).
 pub fn insert_dffs(
+    net: &Network,
+    assignment: &StageAssignment,
+    n: u8,
+) -> Result<TimedNetwork, PhaseError> {
+    let mut engine = crate::engine::TimingEngine::with_assignment(net, n, assignment)?;
+    Ok(engine.emit())
+}
+
+/// The pre-engine DFF insertion, kept alive as the executable specification
+/// of [`insert_dffs`]: re-derives every chain demand from the network and
+/// materializes chains through hash-map remap tables.
+/// `tests/differential_mapping.rs` asserts bit-identical [`TimedNetwork`]s
+/// against the engine-backed emission across every benchmark generator.
+///
+/// # Errors
+/// As [`insert_dffs`].
+pub fn insert_dffs_reference(
     net: &Network,
     assignment: &StageAssignment,
     n: u8,
@@ -212,4 +240,156 @@ pub fn insert_dffs(
         num_phases: n,
         output_stage: sigma_out,
     })
+}
+
+/// The engine-backed emission pass: materializes a [`TimedNetwork`] from
+/// already-resolved state — stages, per-T1 arrival slots and per-pin chain
+/// plans (CSR over the view's pin order). No demands are re-derived and no
+/// hash map is touched: the driver remap is a flat `cell × port` table and
+/// chain taps resolve by binary search in the pin's sorted chain slice.
+///
+/// Bit-identical to [`insert_dffs_reference`] by construction: same
+/// topological walk, same chain stages (both come from
+/// [`plan_chain`]), same tap-selection rule ([`tap_for_plain`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_planned(
+    net: &Network,
+    view: &NetView,
+    stages: &[u32],
+    sigma_out: u32,
+    n: u8,
+    t1_ordinal: &[u32],
+    t1_arrival: &[[u32; 3]],
+    chain_offsets: &[u32],
+    chain_stages: &[u32],
+) -> TimedNetwork {
+    let nn = u32::from(n);
+    let undef = Signal::from_cell(CellId(u32::MAX));
+    // old pin (flat cell × port) → new signal of the driver itself.
+    let mut remap: Vec<Signal> = vec![undef; net.num_cells() * T1_NUM_PORTS];
+    // new signal per chain element, parallel to `chain_stages`.
+    let mut tap_sig: Vec<Signal> = vec![undef; chain_stages.len()];
+
+    let mut out = Network::new(net.name().to_string());
+    let mut out_stages: Vec<u32> = Vec::with_capacity(net.num_cells() + chain_stages.len());
+    let mut inputs_done = 0usize;
+    let mut fan_buf: Vec<Signal> = Vec::with_capacity(3);
+
+    let chain_of = |pi: usize| -> (usize, &[u32]) {
+        let off = chain_offsets[pi] as usize;
+        (off, &chain_stages[off..chain_offsets[pi + 1] as usize])
+    };
+    // Resolve the new-network signal a plain (window-tapping) sink at
+    // `sink_stage` should read for old fanin `f`.
+    let resolve_plain =
+        |f: Signal, sink_stage: u32, remap: &[Signal], tap_sig: &[Signal]| -> Signal {
+            let su = stages[f.cell.0 as usize];
+            let pi = view.pin_lookup(f).expect("read pins are in the view");
+            let (off, chain) = chain_of(pi);
+            match tap_for_plain(su, chain, sink_stage, nn) {
+                None => remap[flat_pin(f)],
+                Some(t) => {
+                    let j = chain.binary_search(&t).expect("tap stage is in the plan");
+                    tap_sig[off + j]
+                }
+            }
+        };
+
+    for &id in &view.order {
+        let kind = net.kind(id);
+        let my_stage = stages[id.0 as usize];
+        let new_sig = match kind {
+            CellKind::Input => {
+                let k = inputs_done;
+                inputs_done += 1;
+                let s = out.add_input(net.input_name(k).to_string());
+                out_stages.push(0);
+                s
+            }
+            CellKind::Gate(g) => {
+                fan_buf.clear();
+                for &f in net.fanins(id) {
+                    fan_buf.push(resolve_plain(f, my_stage, &remap, &tap_sig));
+                }
+                let s = out.add_gate(g, &fan_buf);
+                out_stages.push(my_stage);
+                s
+            }
+            CellKind::T1 { used_ports } => {
+                let arr = t1_arrival[t1_ordinal[id.0 as usize] as usize];
+                fan_buf.clear();
+                for (k, &f) in net.fanins(id).iter().enumerate() {
+                    let a = arr[k];
+                    let su = stages[f.cell.0 as usize];
+                    fan_buf.push(if a == su {
+                        remap[flat_pin(f)]
+                    } else {
+                        let pi = view.pin_lookup(f).expect("read pins are in the view");
+                        let (off, chain) = chain_of(pi);
+                        let j = chain
+                            .binary_search(&a)
+                            .expect("exact arrival tap is in the plan");
+                        tap_sig[off + j]
+                    });
+                }
+                let new_id = out.add_t1(used_ports, &fan_buf);
+                out_stages.push(my_stage);
+                for port in T1Port::ALL {
+                    if used_ports >> port.index() & 1 == 1 {
+                        remap[flat_pin(Signal::t1(id, port))] = Signal::t1(new_id, port);
+                    }
+                }
+                Signal::from_cell(new_id)
+            }
+            CellKind::Dff => {
+                let f = net.fanins(id)[0];
+                let s = out.add_dff(resolve_plain(f, my_stage, &remap, &tap_sig));
+                out_stages.push(my_stage);
+                s
+            }
+        };
+        if !matches!(kind, CellKind::T1 { .. }) {
+            remap[flat_pin(Signal::from_cell(id))] = new_sig;
+        }
+        // Materialize this cell's chains now that the cell exists.
+        for port in 0..kind.num_ports() {
+            let pin = Signal {
+                cell: id,
+                port: port as u8,
+            };
+            let Some(pi) = view.pin_lookup(pin) else {
+                continue;
+            };
+            let (off, chain) = chain_of(pi);
+            let mut prev = remap[flat_pin(pin)];
+            for (j, &t) in chain.iter().enumerate() {
+                let d = out.add_dff(prev);
+                out_stages.push(t);
+                tap_sig[off + j] = d;
+                prev = d;
+            }
+        }
+    }
+
+    for (k, &o) in net.outputs().iter().enumerate() {
+        let su = stages[o.cell.0 as usize];
+        let s = if sigma_out == su {
+            remap[flat_pin(o)]
+        } else {
+            let pi = view.pin_lookup(o).expect("output pins are in the view");
+            let (off, chain) = chain_of(pi);
+            let j = chain
+                .binary_search(&sigma_out)
+                .expect("output tap is in the plan");
+            tap_sig[off + j]
+        };
+        out.add_output(net.output_name(k).to_string(), s);
+    }
+
+    TimedNetwork {
+        network: out,
+        stages: out_stages,
+        num_phases: n,
+        output_stage: sigma_out,
+    }
 }

@@ -13,8 +13,8 @@
 //! a [`FlowResult`] is a verified artifact, not just numbers.
 
 use crate::detect::detect_t1_with_threshold;
-use crate::dff::insert_dffs;
-use crate::phase::{assign_phases, PhaseEngine, PhaseError};
+use crate::engine::TimingEngine;
+use crate::phase::{PhaseEngine, PhaseError};
 use crate::timed::{TimedNetwork, TimingError};
 use sfq_netlist::{map_aig, Aig, CutConfig, Library, Network};
 
@@ -37,6 +37,12 @@ pub struct FlowConfig {
     /// Number of 64-vector random pattern words for the equivalence check
     /// (0 disables the check).
     pub equivalence_words: usize,
+    /// Phase-assignment descent restarts (heuristic paths only). `1` is the
+    /// single ASAP descent the paper-scale defaults use; higher counts add
+    /// deterministically perturbed restarts merged by `(cost, index)` —
+    /// see [`TimingEngine::optimize`]. Under `--features parallel` the
+    /// extra restarts fan over worker threads with bit-identical results.
+    pub restarts: usize,
 }
 
 impl FlowConfig {
@@ -50,6 +56,7 @@ impl FlowConfig {
             cut_config: CutConfig::default(),
             gain_threshold: 0,
             equivalence_words: 4,
+            restarts: 1,
         }
     }
 
@@ -176,11 +183,13 @@ pub fn run_flow_on_network(net: &Network, config: &FlowConfig) -> Result<FlowRes
         (clean.clone(), 0, 0)
     };
 
-    // Stage 2: phase assignment.
-    let assignment = assign_phases(&subject, config.phases, config.engine)?;
-
-    // Stage 3: DFF insertion.
-    let timed = insert_dffs(&subject, &assignment, config.phases)?;
+    // Stages 2 + 3: phase assignment and DFF insertion share one
+    // incremental timing engine — the winning descent state's arrivals and
+    // memoized chain plans feed the emission pass directly, so nothing is
+    // derived twice.
+    let mut engine = TimingEngine::new(&subject, config.phases)?;
+    engine.assign(config.engine, config.restarts)?;
+    let timed = engine.emit();
 
     // Verification: audit + functional equivalence against the input.
     timed.audit().map_err(FlowError::Audit)?;

@@ -51,6 +51,7 @@ pub mod chains;
 pub mod detect;
 pub mod detect_reference;
 pub mod dff;
+pub mod engine;
 pub mod flow;
 pub mod phase;
 pub mod report;
@@ -58,11 +59,13 @@ pub mod timed;
 
 pub use detect::{detect_t1, detect_t1_with_threshold, T1Detection, T1Group};
 pub use detect_reference::{detect_t1_reference, detect_t1_with_threshold_reference};
-pub use dff::insert_dffs;
+pub use dff::{insert_dffs, insert_dffs_reference};
+pub use engine::TimingEngine;
 pub use flow::{run_flow, run_flow_on_network, FlowConfig, FlowError, FlowReport, FlowResult};
 pub use phase::{
-    arrival_cost, assign_phases, solve_arrivals, solve_arrivals_cp, solve_arrivals_enum,
-    ArrivalCache, PhaseEngine, PhaseError, StageAssignment,
+    arrival_cost, assign_phases, assign_phases_reference, assign_phases_with_restarts,
+    solve_arrivals, solve_arrivals_cp, solve_arrivals_enum, ArrivalCache, PhaseEngine, PhaseError,
+    StageAssignment,
 };
 pub use timed::{TimedNetwork, TimingError};
 

@@ -19,6 +19,16 @@
 //! `Auto` picks Exact below a size threshold and Heuristic above it, which is
 //! how the Table I benchmarks run.
 //!
+//! Since the timing-engine refactor the public entry points
+//! ([`assign_phases`], [`assign_phases_with_restarts`]) run on
+//! [`TimingEngine`](crate::engine::TimingEngine), which shares its resolved
+//! arrivals and chain plans with DFF insertion; this module keeps the
+//! problem model (views, arrival solvers, cost model, the MILP) and the
+//! original descent, the latter alive as the executable specification
+//! [`assign_phases_reference`]. The hot-path notes below describe that
+//! reference descent; the engine inherits all of them and adds the
+//! incremental invalidation documented in [`crate::engine`].
+//!
 //! # Hot-path design (see `benches/hotpaths.rs` for the regression gates)
 //!
 //! The heuristic inner loop evaluates `O(cells × candidates)` stage moves per
@@ -146,7 +156,7 @@ pub(crate) struct NetView {
 }
 
 #[inline]
-fn flat_pin(s: Signal) -> usize {
+pub(crate) fn flat_pin(s: Signal) -> usize {
     s.cell.0 as usize * T1_NUM_PORTS + s.port as usize
 }
 
@@ -240,7 +250,7 @@ const ARRIVAL_PERMS: [[usize; 3]; 6] = [
 /// in the arrival stage, so for any fixed relative order of the three
 /// arrival values the pointwise-minimal (greedy) assignment is optimal and
 /// lexicographically minimal; scanning all six orders covers every optimum.
-fn solve_arrivals_rel(m: [u32; 3], cap: [u32; 3]) -> Option<[u8; 3]> {
+pub(crate) fn solve_arrivals_rel(m: [u32; 3], cap: [u32; 3]) -> Option<[u8; 3]> {
     let mut best: Option<(u32, [u32; 3])> = None;
     for perm in ARRIVAL_PERMS {
         // perm[0] takes the earliest arrival = the largest r.
@@ -276,8 +286,29 @@ fn solve_arrivals_rel(m: [u32; 3], cap: [u32; 3]) -> Option<[u8; 3]> {
 
 /// Window-relative reduction of one arrival query: `(m_k, cap_k)` per fanin,
 /// or `None` when some fanin fires at/after the window closes.
+/// Packs one window-relative arrival key (`m`, `cap`, `n`, each `< 256`)
+/// into a `u64`. The single source of truth for the memo-key bit layout,
+/// shared by [`ArrivalCache`] and the engine's open-addressed memo so the
+/// two can never drift. `n ∈ 1..=255` lands in bits 48..56, so a packed
+/// key is never 0 — the engine memo uses 0 as its empty-slot marker.
 #[inline]
-fn arrival_key(fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<([u32; 3], [u32; 3])> {
+pub(crate) fn pack_arrival_key(m: [u32; 3], cap: [u32; 3], n: u32) -> u64 {
+    debug_assert!((1..256).contains(&n));
+    u64::from(m[0] as u8)
+        | u64::from(cap[0] as u8) << 8
+        | u64::from(m[1] as u8) << 16
+        | u64::from(cap[1] as u8) << 24
+        | u64::from(m[2] as u8) << 32
+        | u64::from(cap[2] as u8) << 40
+        | u64::from(n as u8) << 48
+}
+
+#[inline]
+pub(crate) fn arrival_key(
+    fanin_stages: [u32; 3],
+    sigma_j: u32,
+    n: u32,
+) -> Option<([u32; 3], [u32; 3])> {
     debug_assert!(n >= 1);
     let mut m = [0u32; 3];
     let mut cap = [0u32; 3];
@@ -365,22 +396,16 @@ impl ArrivalCache {
 
     /// Memoized [`solve_arrivals`].
     pub fn solve(&self, fanin_stages: [u32; 3], sigma_j: u32, n: u32) -> Option<[u32; 3]> {
-        if n > 256 {
+        if n >= 256 {
             // The packed key truncates components to bytes (valid because
-            // m, cap < n ≤ 256 for every in-tree phase count, which comes
+            // m, cap < n ≤ 255 for every in-tree phase count, which comes
             // from a u8). Phase counts beyond that skip the memo rather
             // than risk key collisions.
             return solve_arrivals(fanin_stages, sigma_j, n);
         }
         let (m, cap) = arrival_key(fanin_stages, sigma_j, n)?;
         // cap < n ≤ 255 and m < n, so every component fits a byte.
-        let key = u64::from(m[0] as u8)
-            | u64::from(cap[0] as u8) << 8
-            | u64::from(m[1] as u8) << 16
-            | u64::from(cap[1] as u8) << 24
-            | u64::from(m[2] as u8) << 32
-            | u64::from(cap[2] as u8) << 40
-            | u64::from(n as u8) << 48;
+        let key = pack_arrival_key(m, cap, n);
         let rel = *self
             .memo
             .borrow_mut()
@@ -559,37 +584,47 @@ impl<'a> CostModel<'a> {
 // ASAP seeding
 // ======================================================================
 
-fn t1_lower_bound(mut fs: [u32; 3]) -> u32 {
+pub(crate) fn t1_lower_bound(mut fs: [u32; 3]) -> u32 {
     fs.sort_unstable();
     (fs[0] + 3).max(fs[1] + 2).max(fs[2] + 1)
+}
+
+/// Earliest feasible stage of clocked cell `id` given its fanin stages:
+/// `1 + max(fanins)` for ordinary cells, the eq.-3 T1 window bound for T1
+/// cells. The single source of the per-cell causality rule, shared by ASAP
+/// seeding, both descents' candidate windows, and the engine's restart
+/// perturbation (whose feasibility-by-construction argument relies on
+/// using exactly this bound).
+#[inline]
+pub(crate) fn clocked_lower_bound(net: &Network, stages: &[u32], id: CellId) -> u32 {
+    let f = net.fanins(id);
+    if matches!(net.kind(id), CellKind::T1 { .. }) {
+        t1_lower_bound([
+            stages[f[0].cell.0 as usize],
+            stages[f[1].cell.0 as usize],
+            stages[f[2].cell.0 as usize],
+        ])
+    } else {
+        1 + f
+            .iter()
+            .map(|s| stages[s.cell.0 as usize])
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 pub(crate) fn asap_stages(net: &Network, view: &NetView) -> Vec<u32> {
     let mut stages = vec![0u32; net.num_cells()];
     for &id in &view.order {
-        let kind = net.kind(id);
-        if !kind.is_clocked() {
+        if !net.kind(id).is_clocked() {
             continue;
         }
-        let f = net.fanins(id);
-        stages[id.0 as usize] = if matches!(kind, CellKind::T1 { .. }) {
-            t1_lower_bound([
-                stages[f[0].cell.0 as usize],
-                stages[f[1].cell.0 as usize],
-                stages[f[2].cell.0 as usize],
-            ])
-        } else {
-            1 + f
-                .iter()
-                .map(|s| stages[s.cell.0 as usize])
-                .max()
-                .unwrap_or(0)
-        };
+        stages[id.0 as usize] = clocked_lower_bound(net, &stages, id);
     }
     stages
 }
 
-fn max_output_stage(net: &Network, stages: &[u32]) -> u32 {
+pub(crate) fn max_output_stage(net: &Network, stages: &[u32]) -> u32 {
     net.outputs()
         .iter()
         .map(|o| stages[o.cell.0 as usize])
@@ -603,10 +638,53 @@ fn max_output_stage(net: &Network, stages: &[u32]) -> u32 {
 
 /// Assigns clock stages to every cell of `net` under an `n`-phase clock.
 ///
+/// Runs on the incremental [`TimingEngine`](crate::engine::TimingEngine);
+/// bit-identical to [`assign_phases_reference`], the executable
+/// specification the differential harness checks it against.
+///
 /// # Errors
 /// [`PhaseError::TooFewPhasesForT1`] when the network contains T1 cells and
 /// `n < 4`; [`PhaseError::Milp`] when the exact engine fails.
 pub fn assign_phases(
+    net: &Network,
+    n: u8,
+    engine: PhaseEngine,
+) -> Result<StageAssignment, PhaseError> {
+    assign_phases_with_restarts(net, n, engine, 1)
+}
+
+/// [`assign_phases`] with deterministic multi-restart descent: restart 0 is
+/// the plain ASAP descent (so `restarts == 1` is exactly [`assign_phases`]);
+/// restarts `1..` descend from deterministically perturbed ASAP seeds, and
+/// the smallest `(DFF cost, restart index)` wins. Under `--features
+/// parallel` the extra restarts fan over [`sfq_netlist::par::workers`] with
+/// a bit-identical merge, so the result never depends on the worker count.
+/// Restarts apply to the heuristic paths; the exact MILP paths ignore them
+/// (their warm start stays the single-descent incumbent).
+///
+/// # Errors
+/// As [`assign_phases`].
+pub fn assign_phases_with_restarts(
+    net: &Network,
+    n: u8,
+    engine: PhaseEngine,
+    restarts: usize,
+) -> Result<StageAssignment, PhaseError> {
+    let mut eng = crate::engine::TimingEngine::new(net, n)?;
+    eng.assign(engine, restarts)
+}
+
+/// The pre-engine phase assignment, kept alive as the executable
+/// specification of [`assign_phases`]: ASAP seeding plus the original
+/// incremental coordinate descent ([`PhaseEngine::Heuristic`]), and the
+/// same MILP formulation warm-started from that descent
+/// ([`PhaseEngine::Exact`] / [`PhaseEngine::Auto`]).
+/// `tests/differential_mapping.rs` asserts bit-identical assignments
+/// against the engine across every benchmark generator.
+///
+/// # Errors
+/// As [`assign_phases`].
+pub fn assign_phases_reference(
     net: &Network,
     n: u8,
     engine: PhaseEngine,
@@ -620,7 +698,10 @@ pub fn assign_phases(
     }
     let cache = ArrivalCache::new();
     match engine {
-        PhaseEngine::Exact => exact_assign(net, &view, n as u32, EXACT_NODE_LIMIT, &cache),
+        PhaseEngine::Exact => {
+            let seed = heuristic_assign(net, &view, n as u32, &cache);
+            exact_assign(net, &view, n as u32, EXACT_NODE_LIMIT, &cache, seed)
+        }
         PhaseEngine::Heuristic => Ok(heuristic_assign(net, &view, n as u32, &cache)),
         PhaseEngine::Auto => {
             // Calibrated with the `profile_flow` binary: the exact engine is
@@ -633,7 +714,8 @@ pub fn assign_phases(
             // on it — and falls back to the heuristic outright at scale.
             let clocked = net.cell_ids().filter(|&c| net.kind(c).is_clocked()).count();
             if clocked <= 40 && view.t1_cells.len() <= 4 {
-                exact_assign(net, &view, n as u32, AUTO_NODE_LIMIT, &cache)
+                let seed = heuristic_assign(net, &view, n as u32, &cache);
+                exact_assign(net, &view, n as u32, AUTO_NODE_LIMIT, &cache, seed)
             } else {
                 Ok(heuristic_assign(net, &view, n as u32, &cache))
             }
@@ -643,31 +725,35 @@ pub fn assign_phases(
 
 /// Node budget of [`PhaseEngine::Exact`]: enough to prove optimality on
 /// every instance the test oracle uses.
-const EXACT_NODE_LIMIT: usize = 200_000;
+pub(crate) const EXACT_NODE_LIMIT: usize = 200_000;
 
 /// Node budget of [`PhaseEngine::Auto`]'s bounded-effort exact runs:
 /// bounds any single phase assignment to ~1 s (each node re-solves an LP,
 /// ≈ 2 ms on 40-cell instances) while still closing small gaps over the
 /// heuristic incumbent — on the adder8 probe, 500 nodes keep the full
 /// n = 2 improvement (77 → 71 DFFs) found by the unbounded engine.
-const AUTO_NODE_LIMIT: usize = 500;
+pub(crate) const AUTO_NODE_LIMIT: usize = 500;
 
 // ======================================================================
 // Exact MILP engine
 // ======================================================================
 
-fn exact_assign(
+pub(crate) fn exact_assign(
     net: &Network,
     view: &NetView,
     n: u32,
     node_limit: usize,
     cache: &ArrivalCache,
+    seed: StageAssignment,
 ) -> Result<StageAssignment, PhaseError> {
-    // The heuristic solution seeds branch & bound: it is always feasible, so
-    // the MILP starts with a strong incumbent and mostly just proves (or
-    // slightly improves) it. The arrival cache carries over: the warm-start
-    // re-solves the same relative keys the heuristic populated.
-    let seed = heuristic_assign(net, view, n, cache);
+    // The caller's heuristic solution (the reference descent or the timing
+    // engine's — bit-identical by contract) seeds branch & bound: it is
+    // always feasible, so the MILP starts with a strong incumbent and mostly
+    // just proves (or slightly improves) it. `cache` memoizes the handful of
+    // arrival re-solves the warm start needs; the reference path shares it
+    // with its heuristic seed, the engine path passes a fresh one (its own
+    // memo lives in the engine — exact instances are ≤ 40 cells, so the
+    // re-solves are noise).
     let seed_model = CostModel::new(net, view, n, cache);
 
     let asap = asap_stages(net, view);
@@ -682,8 +768,9 @@ fn exact_assign(
     let rev = reverse_distances(net);
 
     let mut p = MilpProblem::new();
-    // Warm-start values, pushed in lockstep with every variable creation.
-    let mut ws: Vec<f64> = Vec::new();
+    // Warm-start values, recorded per variable id and handed to the solver
+    // through the order-independent pair API.
+    let mut ws: Vec<(sfq_solver::VarId, f64)> = Vec::new();
     // Stage vars for clocked cells (inputs fixed at 0 — no var).
     let mut sigma: HashMap<CellId, sfq_solver::VarId> = HashMap::new();
     for id in net.cell_ids() {
@@ -693,7 +780,7 @@ fn exact_assign(
             let v = p.add_int_var(lo, ub, 0.0, format!("s{}", id.0));
             p.set_branch_priority(v, 2);
             sigma.insert(id, v);
-            ws.push(f64::from(seed.stages[id.0 as usize]));
+            ws.push((v, f64::from(seed.stages[id.0 as usize])));
         }
     }
     let stage_term =
@@ -707,7 +794,7 @@ fn exact_assign(
         .unwrap_or(0);
     let sigma_out = p.add_int_var(f64::from(out_lb), h, 0.0, "s_out");
     p.set_branch_priority(sigma_out, 1);
-    ws.push(f64::from(seed.output_stage));
+    ws.push((sigma_out, f64::from(seed.output_stage)));
 
     // Arrival vars per T1 fanin.
     let mut arrivals: HashMap<(CellId, usize), sfq_solver::VarId> = HashMap::new();
@@ -721,7 +808,7 @@ fn exact_assign(
             let fanin_lb = f64::from(asap[net.fanins(t1)[k].cell.0 as usize]);
             let a = p.add_int_var(fanin_lb, h - 1.0, 0.0, format!("a{}_{}", t1.0, k));
             p.set_branch_priority(a, 1);
-            ws.push(f64::from(seed_arr[k]));
+            ws.push((a, f64::from(seed_arr[k])));
             arrivals.insert((t1, k), a);
             avars.push(a);
             // window: σj − (n−1) ≤ a ≤ σj − 1
@@ -737,7 +824,7 @@ fn exact_assign(
         for (x, y) in [(0usize, 1usize), (0, 2), (1, 2)] {
             let b = p.add_bool_var(0.0, format!("o{}_{}{}", t1.0, x, y));
             p.set_branch_priority(b, 3);
-            ws.push(f64::from(seed_arr[x] > seed_arr[y]));
+            ws.push((b, f64::from(seed_arr[x] > seed_arr[y])));
             // a_x + 1 ≤ a_y + M(1−b)  and  a_y + 1 ≤ a_x + M·b
             p.add_constraint(
                 &[(avars[y], 1.0), (avars[x], -1.0), (b, big_m)],
@@ -755,7 +842,7 @@ fn exact_assign(
     // Edge causality + chain variables per driven pin.
     for (pin, sinks) in &view.pins {
         let k_var = p.add_int_var(0.0, h, 1.0, format!("k{}_{}", pin.cell.0, pin.port));
-        ws.push(seed_chain_k(&seed, &seed_model, *pin, sinks, n));
+        ws.push((k_var, seed_chain_k(&seed, &seed_model, *pin, sinks, n)));
         let driver = stage_term(pin.cell);
         // helper closures to build terms with/without the driver var
         let add_edge = |p: &mut MilpProblem, consumer: sfq_solver::VarId| {
@@ -801,7 +888,7 @@ fn exact_assign(
     }
 
     debug_assert_eq!(ws.len(), p.num_vars(), "one warm-start value per variable");
-    p.set_warm_start(ws);
+    p.set_warm_start_pairs(&ws);
     p.set_node_limit(node_limit);
     let sol = p.solve().map_err(PhaseError::Milp)?;
     let mut stages = vec![0u32; net.num_cells()];
@@ -871,17 +958,17 @@ fn seed_chain_k(
 /// plus the current maximum, so evaluating "σ_out if cell `c` moved to
 /// stage `s`" is O(1) per candidate (one exclusion scan per *cell*, not per
 /// candidate) and accepted moves update in O(1) amortized.
-struct OutputTracker {
+pub(crate) struct OutputTracker {
     /// `po_count[c]` = number of primary outputs driven by cell `c`.
-    po_count: Vec<u32>,
+    pub(crate) po_count: Vec<u32>,
     /// `hist[s]` = number of primary outputs whose driver sits at stage `s`.
     hist: Vec<u32>,
     /// Current maximum driver stage (= σ_out while descending).
-    max: u32,
+    pub(crate) max: u32,
 }
 
 impl OutputTracker {
-    fn new(net: &Network, stages: &[u32]) -> Self {
+    pub(crate) fn new(net: &Network, stages: &[u32]) -> Self {
         let mut po_count = vec![0u32; net.num_cells()];
         let mut hist: Vec<u32> = Vec::new();
         let mut max = 0u32;
@@ -904,7 +991,7 @@ impl OutputTracker {
 
     /// Maximum PO driver stage when all of `cell`'s outputs are excluded.
     /// Called once per descended cell (not per candidate).
-    fn max_excluding(&self, cell: CellId, cell_stage: u32) -> u32 {
+    pub(crate) fn max_excluding(&self, cell: CellId, cell_stage: u32) -> u32 {
         let cnt = self.po_count[cell.0 as usize];
         debug_assert!(cnt > 0, "only PO-driving cells query the tracker");
         if cell_stage < self.max || self.hist[self.max as usize] > cnt {
@@ -922,7 +1009,7 @@ impl OutputTracker {
     }
 
     /// Commits a stage move of a PO-driving cell.
-    fn move_cell(&mut self, cell: CellId, from: u32, to: u32, new_max: u32) {
+    pub(crate) fn move_cell(&mut self, cell: CellId, from: u32, to: u32, new_max: u32) {
         let cnt = self.po_count[cell.0 as usize];
         self.hist[from as usize] -= cnt;
         if self.hist.len() <= to as usize {
@@ -1071,20 +1158,7 @@ fn heuristic_assign(
             }
             let current = stages[id.0 as usize];
             // Feasible range from neighbors.
-            let f = net.fanins(id);
-            let lo = if matches!(kind, CellKind::T1 { .. }) {
-                t1_lower_bound([
-                    stages[f[0].cell.0 as usize],
-                    stages[f[1].cell.0 as usize],
-                    stages[f[2].cell.0 as usize],
-                ])
-            } else {
-                1 + f
-                    .iter()
-                    .map(|s| stages[s.cell.0 as usize])
-                    .max()
-                    .unwrap_or(0)
-            };
+            let lo = clocked_lower_bound(net, &stages, id);
             let mut hi = u32::MAX;
             for port in 0..kind.num_ports() {
                 let pin = Signal {

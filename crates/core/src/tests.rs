@@ -441,6 +441,160 @@ fn cost_model_predicts_inserted_dff_count() {
     }
 }
 
+// ---------------------------------------------------------------- audit ----
+//
+// `TimedNetwork::audit` is the flow's last line of defense; until now it was
+// only ever exercised on the success path at the end of `run_flow`. These
+// tests corrupt valid timed networks (wrong stages, missing DFF taps, epoch
+// skew, misaligned outputs, structural damage) and assert that each
+// `TimingError` variant actually fires.
+
+/// A valid 4-phase timed FA network to corrupt.
+fn valid_timed() -> crate::timed::TimedNetwork {
+    let res = run_flow_on_network(&fa_network(), &FlowConfig::multiphase(4)).unwrap();
+    res.timed.audit().expect("flow output audits clean");
+    res.timed
+}
+
+/// A valid hand-built T1 timed network: inputs a, b, c at stage 0, per-input
+/// DFF chains delivering pairwise-distinct arrivals 1, 2, 3 to a T1 cell at
+/// stage 4 under a 4-phase clock, its S port driving the output.
+fn valid_t1_timed() -> crate::timed::TimedNetwork {
+    use sfq_netlist::{Signal, T1Port};
+    let mut net = Network::new("t1net");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let da = net.add_dff(a); // arrival 1
+    let db1 = net.add_dff(b);
+    let db2 = net.add_dff(db1); // arrival 2
+    let dc1 = net.add_dff(c);
+    let dc2 = net.add_dff(dc1);
+    let dc3 = net.add_dff(dc2); // arrival 3
+    let t1 = net.add_t1(1 << T1Port::S.index(), &[da, db2, dc3]);
+    net.add_output("s", Signal::t1(t1, T1Port::S));
+    let timed = crate::timed::TimedNetwork {
+        network: net,
+        stages: vec![0, 0, 0, 1, 1, 2, 1, 2, 3, 4],
+        num_phases: 4,
+        output_stage: 4,
+    };
+    timed.audit().expect("hand-built T1 network audits clean");
+    timed
+}
+
+#[test]
+fn audit_detects_input_off_stage_zero() {
+    use crate::timed::TimingError;
+    let mut t = valid_timed();
+    let input = t.network.inputs()[0];
+    t.stages[input.0 as usize] = 1;
+    assert!(matches!(
+        t.audit(),
+        Err(TimingError::InputNotAtZero { cell }) if cell == input
+    ));
+}
+
+#[test]
+fn audit_detects_non_causal_edge() {
+    use crate::timed::TimingError;
+    let mut t = valid_timed();
+    // First clocked cell fires at the same stage as its (input) fanins.
+    let gate = t
+        .network
+        .cell_ids()
+        .find(|&id| t.network.kind(id).is_clocked())
+        .expect("flow output has clocked cells");
+    t.stages[gate.0 as usize] = 0;
+    assert!(matches!(
+        t.audit(),
+        Err(TimingError::NonCausalEdge { to, to_stage: 0, .. }) if to == gate
+    ));
+}
+
+#[test]
+fn audit_detects_missing_dff_tap() {
+    use crate::timed::TimingError;
+    // Pushing a cell more than n stages past its fanin models a missing
+    // path-balancing DFF: the pulse would outlive its n-stage lifetime.
+    let mut t = valid_timed();
+    let n = u32::from(t.num_phases);
+    let gate = t
+        .network
+        .cell_ids()
+        .find(|&id| t.network.kind(id).is_clocked())
+        .unwrap();
+    t.stages[gate.0 as usize] = n + 2; // fanins are inputs at stage 0
+    let err = t.audit().unwrap_err();
+    assert!(
+        matches!(err, TimingError::LifetimeExceeded { to, span, .. }
+            if to == gate && span == n + 2),
+        "expected LifetimeExceeded, got {err:?}"
+    );
+}
+
+#[test]
+fn audit_detects_t1_arrival_collision() {
+    use crate::timed::TimingError;
+    // Epoch-skewing the a-chain DFF from stage 1 to 2 collides with the
+    // b-chain arrival (2): distinct-slot rule (paper eq. 5) violated while
+    // every edge stays causal and within its lifetime.
+    let mut t = valid_t1_timed();
+    t.stages[3] = 2; // da: arrival 1 → 2
+    let err = t.audit().unwrap_err();
+    assert!(
+        matches!(err, TimingError::T1ArrivalCollision { stage: 2, .. }),
+        "expected T1ArrivalCollision at stage 2, got {err:?}"
+    );
+}
+
+#[test]
+fn audit_detects_t1_arrival_outside_window() {
+    use crate::timed::TimingError;
+    // Moving the T1 cell from stage 4 to 7 leaves arrival 1 more than
+    // n − 1 = 3 stages in the past — outside the input window.
+    let mut t = valid_t1_timed();
+    t.stages[9] = 7;
+    let err = t.audit().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TimingError::T1ArrivalOutsideWindow {
+                fanin_stage: 1,
+                t1_stage: 7,
+                ..
+            }
+        ),
+        "expected T1ArrivalOutsideWindow, got {err:?}"
+    );
+}
+
+#[test]
+fn audit_detects_misaligned_output() {
+    use crate::timed::TimingError;
+    let mut t = valid_timed();
+    let expected = t.output_stage;
+    t.output_stage += 1;
+    let err = t.audit().unwrap_err();
+    assert!(
+        matches!(err, TimingError::OutputMisaligned { driver_stage, output_stage, .. }
+            if driver_stage == expected && output_stage == expected + 1),
+        "expected OutputMisaligned, got {err:?}"
+    );
+}
+
+#[test]
+fn audit_detects_structural_damage() {
+    use crate::timed::TimingError;
+    use sfq_netlist::{CellId, Signal};
+    let mut t = valid_timed();
+    // An output reading a dangling cell id fails network validation, which
+    // the audit surfaces as TimingError::Structural.
+    t.network
+        .add_output("dangling", Signal::from_cell(CellId(u32::MAX)));
+    assert!(matches!(t.audit(), Err(TimingError::Structural(_))));
+}
+
 // ----------------------------------------------------------------- flow ----
 
 #[test]

@@ -90,6 +90,20 @@ impl MilpProblem {
         self.warm_start = Some(values);
     }
 
+    /// Provides the initial incumbent by variable id — the order-independent
+    /// handoff API for callers that build their warm start while creating
+    /// variables (e.g. the phase-assignment engine seeding branch & bound
+    /// from a heuristic incumbent). Variables not mentioned default to their
+    /// lower bound; like [`set_warm_start`](Self::set_warm_start), the point
+    /// is validated at solve time and silently ignored if infeasible.
+    pub fn set_warm_start_pairs(&mut self, pairs: &[(VarId, f64)]) {
+        let mut values: Vec<f64> = (0..self.num_vars()).map(|v| self.lp.bounds(v).0).collect();
+        for &(v, x) in pairs {
+            values[v.0] = x;
+        }
+        self.warm_start = Some(values);
+    }
+
     /// Adds a continuous variable with bounds and objective coefficient.
     pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64, name: impl Into<String>) -> VarId {
         let v = self.lp.add_var(lb, ub, obj);

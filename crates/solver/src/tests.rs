@@ -331,6 +331,78 @@ fn milp_warm_start_is_used_and_validated() {
 }
 
 #[test]
+fn milp_warm_start_pairs_matches_positional() {
+    // The id-keyed handoff API must behave exactly like the positional one:
+    // mentioned variables carry their value, unmentioned ones default to
+    // their lower bound, and an infeasible point is still ignored.
+    let build = || {
+        let mut p = MilpProblem::new();
+        let x = p.add_int_var(0.0, 10.0, 1.0, "x");
+        let y = p.add_int_var(2.0, 10.0, 1.0, "y");
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        (p, x, y)
+    };
+
+    // Full pairs, any order.
+    let (mut p, x, y) = build();
+    p.set_warm_start_pairs(&[(y, 4.0), (x, 4.0)]);
+    let sol = p.solve().unwrap();
+    assert!((sol.objective - 5.0).abs() < 1e-6);
+
+    // Partial pairs: y defaults to its lower bound (2), x carries 3 — the
+    // defaulted point is feasible and seeds the incumbent.
+    let (mut p, x, _y) = build();
+    p.set_warm_start_pairs(&[(x, 3.0)]);
+    let sol = p.solve().unwrap();
+    assert!((sol.objective - 5.0).abs() < 1e-6);
+
+    // Infeasible pairs are validated away like positional warm starts.
+    let (mut p, x, y) = build();
+    p.set_warm_start_pairs(&[(x, 0.0), (y, 2.0)]); // violates x + y ≥ 5
+    let sol = p.solve().unwrap();
+    assert!((sol.objective - 5.0).abs() < 1e-6);
+
+    // Falsifiability: on a model whose cold B&B needs real branching, the
+    // pair-keyed optimum must prune exactly like the positional one — if
+    // the pairs were ignored, swapped between variables, or defaulted
+    // wrongly, the node count would exceed the positional run's.
+    let build_chain = || {
+        let mut p = MilpProblem::new();
+        let vars: Vec<_> = (0..6)
+            .map(|i| p.add_int_var(0.0, 9.0, 1.0, format!("x{i}")))
+            .collect();
+        for w in vars.windows(2) {
+            p.add_constraint(&[(w[1], 1.0), (w[0], -1.0)], Cmp::Ge, 1.0);
+        }
+        (p, vars)
+    };
+    let (cold, _) = build_chain();
+    let baseline = cold.solve().unwrap();
+    let (mut positional, _) = build_chain();
+    positional.set_warm_start(baseline.values.clone());
+    let pos_sol = positional.solve().unwrap();
+    let (mut paired, vars) = build_chain();
+    let pairs: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, baseline.values[i]))
+        .collect();
+    paired.set_warm_start_pairs(&pairs);
+    let pair_sol = paired.solve().unwrap();
+    assert!((pair_sol.objective - baseline.objective).abs() < 1e-6);
+    assert_eq!(
+        pair_sol.nodes, pos_sol.nodes,
+        "pair-keyed warm start must prune exactly like the positional one"
+    );
+    assert!(
+        pair_sol.nodes <= baseline.nodes,
+        "warm-started search explored more nodes ({}) than cold ({})",
+        pair_sol.nodes,
+        baseline.nodes
+    );
+}
+
+#[test]
 fn milp_warm_start_at_optimum_prunes_search() {
     // With the optimum handed over, B&B only needs to prove it.
     let mut p = MilpProblem::new();

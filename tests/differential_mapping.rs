@@ -1,9 +1,11 @@
-//! Differential equivalence harness for the ISSUE 2 hot-path overhaul.
+//! Differential equivalence harness for the flow's hot-path overhauls
+//! (map/detect/cleaned since ISSUE 2, cut enumeration since ISSUE 3,
+//! phase/dff since ISSUE 4).
 //!
-//! The optimized map / detect / cleaned stages each keep their original
-//! implementation alive as an executable specification
-//! ([`map_aig_reference`], [`detect_t1_reference`],
-//! [`Network::cleaned_reference`]). This harness runs old vs. new across
+//! Every optimized stage keeps its original implementation alive as an
+//! executable specification ([`map_aig_reference`], [`detect_t1_reference`],
+//! [`Network::cleaned_reference`], [`assign_phases_reference`],
+//! [`insert_dffs_reference`]). This harness runs old vs. new across
 //! every `sfq-circuits` benchmark generator (Table I set and the extended
 //! set) and asserts:
 //!
@@ -14,6 +16,10 @@
 //!   structural failure message still reports the aggregate drift);
 //! * **identical T1 groups** — found/used counts and every committed group's
 //!   leaves, polarity mask, roots, ports, gain and dead set;
+//! * **identical timing** — bit-identical `StageAssignment`s from the
+//!   timing-engine descent vs. the reference descent, and bit-identical
+//!   `TimedNetwork`s (stages, phases, epochs, DFF counts, JJ area) from the
+//!   planned emission vs. the reference insertion, plus a clean audit;
 //! * **identical truth tables** — functional equivalence of every stage
 //!   against the source AIG: exhaustive simulation for ≤ 10-input designs,
 //!   sampled 64-bit vectors above.
@@ -23,7 +29,10 @@
 //! job (`cargo test --release --test differential_mapping -- --ignored`).
 
 use sfq_circuits::{Benchmark, ExtBenchmark};
-use sfq_core::{detect_t1, detect_t1_reference};
+use sfq_core::{
+    assign_phases, assign_phases_reference, assign_phases_with_restarts, detect_t1,
+    detect_t1_reference, insert_dffs, insert_dffs_reference, PhaseEngine, TimedNetwork,
+};
 use sfq_netlist::{
     enumerate_cuts, enumerate_cuts_sequential, map_aig, map_aig_reference, Aig, CutConfig, Library,
     Network,
@@ -205,6 +214,48 @@ fn check_design(name: &str, aig: &Aig) {
     }
     assert_identical(name, "detect", &det_new.network, &det_old.network);
     assert_equivalent(name, "detect", aig, &det_new.network);
+
+    // ---- phase (timing engine vs reference descent) ----
+    let subject = &det_new.network;
+    let n = 4u8;
+    let asg_eng = assign_phases(subject, n, PhaseEngine::Heuristic).expect("engine feasible");
+    let asg_ref =
+        assign_phases_reference(subject, n, PhaseEngine::Heuristic).expect("reference feasible");
+    assert_eq!(
+        asg_eng, asg_ref,
+        "{name}/phase: engine vs reference StageAssignment"
+    );
+
+    // ---- dff (planned emission vs reference insertion) ----
+    let timed_eng = insert_dffs(subject, &asg_eng, n).expect("engine insertable");
+    let timed_ref = insert_dffs_reference(subject, &asg_eng, n).expect("reference insertable");
+    assert_timed_identical(name, &timed_eng, &timed_ref);
+    timed_eng
+        .audit()
+        .unwrap_or_else(|e| panic!("{name}/dff: engine-emitted network failed the audit: {e}"));
+    assert_equivalent(name, "dff", aig, &timed_eng.network);
+}
+
+/// Asserts two timed networks are bit-identical: the underlying networks,
+/// the per-cell stage vector (hence every phase `σ mod n` and epoch
+/// `σ div n`), the common output stage, the DFF count and the JJ area.
+fn assert_timed_identical(name: &str, a: &TimedNetwork, b: &TimedNetwork) {
+    assert_identical(name, "dff", &a.network, &b.network);
+    assert_eq!(a.stages, b.stages, "{name}/dff: per-cell stage vector");
+    assert_eq!(a.num_phases, b.num_phases, "{name}/dff: phase count");
+    assert_eq!(a.output_stage, b.output_stage, "{name}/dff: output stage");
+    for id in a.network.cell_ids() {
+        assert_eq!(a.phase(id), b.phase(id), "{name}/dff: phase of {id:?}");
+        assert_eq!(a.epoch(id), b.epoch(id), "{name}/dff: epoch of {id:?}");
+    }
+    assert_eq!(a.num_dffs(), b.num_dffs(), "{name}/dff: inserted DFF count");
+    let lib = Library::default();
+    assert_eq!(a.area(&lib), b.area(&lib), "{name}/dff: JJ area");
+    assert_eq!(
+        a.depth_cycles(),
+        b.depth_cycles(),
+        "{name}/dff: depth in cycles"
+    );
 }
 
 #[test]
@@ -232,6 +283,17 @@ fn differential_table1_benchmarks_paper_scale() {
     }
 }
 
+/// Serializes the tests that install the process-global `force_workers`
+/// override, so one test's forced count can never bleed into another's
+/// measurement window. Lock poisoning is ignored — a panicking test already
+/// failed; the next one still needs the lock.
+fn worker_override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
 /// Parallel-path tier: forces four scoped workers (even on single-core
 /// hosts, via `sfq_netlist::par::force_workers` — an atomic, not
 /// `std::env::set_var`, which would race against concurrent `getenv` from
@@ -243,9 +305,54 @@ fn differential_table1_benchmarks_paper_scale() {
 /// sequential sweep.
 #[test]
 fn differential_forced_parallel_workers() {
+    let _guard = worker_override_lock();
     sfq_netlist::par::force_workers(4);
     for b in Benchmark::ALL {
         check_design(b.name(), &b.build_small());
+    }
+    sfq_netlist::par::force_workers(0);
+}
+
+/// Multi-restart descent tier: the restart merge must be bit-identical for
+/// any worker count (the perturbation stream depends only on the restart
+/// index, and the merge picks the smallest `(cost, index)`), restart count 1
+/// must equal the plain single descent, and extra restarts must never make
+/// the result worse. Exercised with the worker override held under
+/// [`worker_override_lock`] so the sequential arm really runs the
+/// sequential loop; with `--features parallel` (the CI parallel-features
+/// job runs this with `SFQ_WORKERS=4`) the forced-4 arm exercises the
+/// scoped fan-out, and without the feature the override is inert and both
+/// arms pin the sequential loop.
+#[test]
+fn differential_multi_restart_determinism() {
+    let _guard = worker_override_lock();
+    let lib = Library::default();
+    let cut_config = CutConfig::default();
+    const RESTARTS: usize = 5;
+    for b in [Benchmark::Adder, Benchmark::Square, Benchmark::Multiplier] {
+        let name = b.name();
+        let aig = b.build_small();
+        let (mapped, _) = map_aig(&aig, &lib).cleaned();
+        let subject = detect_t1(&mapped, &lib, &cut_config).network;
+
+        let single = assign_phases(&subject, 4, PhaseEngine::Heuristic).expect("feasible");
+        sfq_netlist::par::force_workers(1);
+        let seq =
+            assign_phases_with_restarts(&subject, 4, PhaseEngine::Heuristic, RESTARTS).unwrap();
+        sfq_netlist::par::force_workers(4);
+        let par =
+            assign_phases_with_restarts(&subject, 4, PhaseEngine::Heuristic, RESTARTS).unwrap();
+        let one = assign_phases_with_restarts(&subject, 4, PhaseEngine::Heuristic, 1).unwrap();
+        sfq_netlist::par::force_workers(0);
+
+        assert_eq!(seq, par, "{name}: restart merge depends on worker count");
+        assert_eq!(one, single, "{name}: restarts=1 must be the plain descent");
+        let d_single = insert_dffs(&subject, &single, 4).unwrap().num_dffs();
+        let d_multi = insert_dffs(&subject, &par, 4).unwrap().num_dffs();
+        assert!(
+            d_multi <= d_single,
+            "{name}: multi-restart made the result worse ({d_multi} > {d_single} DFFs)"
+        );
     }
 }
 
