@@ -1,0 +1,83 @@
+//! Regenerates the checked-in external-design corpus
+//! (`crates/bench/corpus/`): small arithmetic/control designs in both
+//! interchange formats, stored in **canonical form** — every file is
+//! byte-identical to `Design::write_native` of its own parse, so the
+//! round-trip tests can diff bytes against the on-disk file.
+//!
+//! ```text
+//! cargo run -p sfq-bench --bin gen_corpus
+//! ```
+//!
+//! Run it only when the corpus is deliberately changed, and commit the
+//! results; the corpus tests and CI golden diffs pin the current bytes.
+
+use sfq_bench::corpus::corpus_dir;
+use sfq_circuits as circuits;
+use sfq_netlist::design::{Design, DesignFormat};
+use sfq_netlist::Aig;
+
+/// 8:1 multiplexer — a control-flavoured, T1-poor counterweight to the
+/// arithmetic rows.
+fn mux8() -> Aig {
+    let mut aig = Aig::new("mux8");
+    let s: Vec<_> = (0..3).map(|k| aig.input(format!("s[{k}]"))).collect();
+    let d: Vec<_> = (0..8).map(|k| aig.input(format!("d[{k}]"))).collect();
+    let mut layer = d;
+    for sel in &s {
+        layer = layer
+            .chunks(2)
+            .map(|pair| aig.mux(*sel, pair[1], pair[0]))
+            .collect();
+    }
+    aig.output("y", layer[0]);
+    aig
+}
+
+/// 12-input odd-parity tree (XOR-saturated, MAJ-free: T1 groups cannot
+/// form, the sharpest control row).
+fn parity12() -> Aig {
+    let mut aig = Aig::new("parity12");
+    let xs: Vec<_> = (0..12).map(|k| aig.input(format!("x[{k}]"))).collect();
+    let p = xs[1..].iter().fold(xs[0], |acc, &x| aig.xor(acc, x));
+    aig.output("p", p);
+    aig
+}
+
+/// Writes `aig` in `format`, canonicalized by a double write→parse cycle
+/// (the second cycle is provably a fixpoint; the assert guards the claim).
+fn canonical(aig: &Aig, format: DesignFormat) -> String {
+    let w1 = Design {
+        aig: aig.clone(),
+        format,
+    }
+    .write_native();
+    let name = aig.name().to_string();
+    let w2 = Design::parse(&w1, format, &name)
+        .expect("generated design re-parses")
+        .write_native();
+    let w3 = Design::parse(&w2, format, &name)
+        .expect("canonical design re-parses")
+        .write_native();
+    assert_eq!(w2, w3, "{name}: canonical form must be a fixpoint");
+    w2
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir)?;
+    let designs: Vec<(&str, Aig, DesignFormat)> = vec![
+        ("adder8", circuits::adder(8), DesignFormat::Aag),
+        ("mult4", circuits::multiplier(4), DesignFormat::Aag),
+        ("c7552_mini", circuits::c7552_sized(4), DesignFormat::Aag),
+        ("parity12", parity12(), DesignFormat::Aag),
+        ("square4", circuits::square(4), DesignFormat::Blif),
+        ("voter7", circuits::voter(7), DesignFormat::Blif),
+        ("mux8", mux8(), DesignFormat::Blif),
+    ];
+    for (name, aig, format) in designs {
+        let path = dir.join(format!("{name}.{}", format.extension()));
+        std::fs::write(&path, canonical(&aig, format))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -11,6 +11,7 @@
 //! | Ext-A: phase-count ablation | `cargo run -p sfq-bench --release --bin ablation_phases` |
 //! | Ext-B: exact-vs-heuristic ablation | `cargo run -p sfq-bench --release --bin ablation_solver` |
 //! | Ext-C: gain-threshold ablation | `cargo run -p sfq-bench --release --bin ablation_gain` |
+//! | external-design corpus (aag/blif batch) | `cargo run -p sfq-bench --release --bin table_corpus` |
 //! | flow runtimes | `cargo bench -p sfq-bench` |
 //!
 //! The [`paper`] module stores the published Table I numbers so binaries and
@@ -22,9 +23,11 @@
 // Every public item in this workspace is documented; keep it that way.
 #![deny(missing_docs)]
 
+pub mod corpus;
 pub mod paper;
 pub mod par;
 pub mod table;
 
+pub use corpus::{format_corpus_table, load_corpus, run_corpus, CorpusError, CorpusRow};
 pub use paper::{paper_row, PaperRow, PAPER_AVERAGES, PAPER_TABLE1};
 pub use table::{format_table, run_row, run_row_with, run_table, Scale, TableRow};

@@ -7,6 +7,7 @@
 //! sfqt1 bench adder --small --aag adder.aag      # generate a benchmark
 //! sfqt1 flow adder.aag --t1 --phases 4 \
 //!       --blif out.blif --dot out.dot --vcd out.vcd
+//! sfqt1 flow --batch designs/ --t1               # every .aag/.blif in a dir
 //! sfqt1 energy adder.aag --t1                    # first-order RSFQ energy
 //! sfqt1 margin adder.aag --jitter 1.5            # Monte-Carlo timing margin
 //! sfqt1 convert adder.aag --blif adder.blif      # format conversion
@@ -22,8 +23,9 @@
 
 use sfq_circuits::{Benchmark, ExtBenchmark};
 use sfq_core::report::StageReport;
-use sfq_core::{run_flow, FlowConfig, FlowResult, PhaseEngine};
-use sfq_netlist::{aiger, blif, export, map_aig, Aig, Library};
+use sfq_core::{run_flow, run_flow_on_design, FlowConfig, FlowResult, PhaseEngine};
+use sfq_netlist::design::{Design, DesignError};
+use sfq_netlist::{aiger, blif, export, map_aig, par, Aig, Library};
 use sfq_sim::energy::{measure_energy, EnergyModel};
 use sfq_sim::margin::{analyze_margins, MarginConfig};
 use sfq_sim::{vcd, PulseSim};
@@ -80,6 +82,7 @@ USAGE:
   sfqt1 flow <input.{aag,blif}> [--phases N] [--t1] [--engine auto|exact|heuristic]
         [--gain-threshold K] [--waves K] [--stats]
         [--blif P] [--dot P] [--vcd P] [--verilog P]
+  sfqt1 flow --batch <dir> [--phases N] [--t1] [--engine E] [--gain-threshold K]
   sfqt1 table <input> [--phases N]
   sfqt1 bench <name> [--small] [--aag P] [--blif P]
   sfqt1 energy <input> [--phases N] [--t1] [--waves K]
@@ -91,7 +94,10 @@ USAGE:
 SUBCOMMANDS:
   flow      run a synthesis flow and print the Table I-style report;
             optional artifacts: mapped BLIF, stage-annotated Graphviz DOT,
-            structural Verilog, VCD pulse waveform of random operand waves
+            structural Verilog, VCD pulse waveform of random operand waves.
+            --batch runs every .aag/.blif design in a directory (one table
+            row per design, input order; identical content parses once;
+            with the `parallel` build the flows fan over worker threads)
   table     run the paper's three-flow comparison (1φ / nφ / nφ+T1) on a file
   bench     generate a built-in benchmark circuit (EPFL/ISCAS stand-ins)
   energy    pulse-simulate random waves and report static/dynamic power
@@ -227,6 +233,7 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "engine",
             "gain-threshold",
             "waves",
+            "batch",
             "blif",
             "dot",
             "vcd",
@@ -234,6 +241,24 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ],
         &["t1", "stats"],
     )?;
+    if let Some(dir) = a.option("batch") {
+        if a.positional(0).is_some() {
+            return Err(CliError::Usage(
+                "flow: --batch <dir> takes no positional input".into(),
+            ));
+        }
+        if ["blif", "dot", "vcd", "verilog", "waves"]
+            .iter()
+            .any(|t| a.option(t).is_some())
+            || a.flag("stats")
+        {
+            return Err(CliError::Usage(
+                "flow: per-design artifact/report options do not combine with --batch".into(),
+            ));
+        }
+        let config = flow_config(&a)?;
+        return cmd_flow_batch(dir, &config, out);
+    }
     let path = a
         .positional(0)
         .ok_or_else(|| CliError::Usage("flow: missing <input> file".into()))?;
@@ -265,6 +290,70 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(|e| CliError::Flow(e.to_string()))?;
         std::fs::write(p, vcd::render_vcd(&res.timed, &trace)).map_err(io_err(p))?;
         writeln!(out, "wrote {p}").map_err(io_err("<stdout>"))?;
+    }
+    Ok(())
+}
+
+/// Ingests a batch directory through the shared
+/// [`design::load_dir`](sfq_netlist::design::load_dir) path, mapping
+/// failures onto CLI errors (an empty directory is a usage mistake here).
+fn load_batch_designs(dir: &str) -> Result<(Vec<(String, Design)>, usize), CliError> {
+    let (designs, cache_hits) =
+        sfq_netlist::design::load_dir(Path::new(dir)).map_err(|e| match e {
+            DesignError::Io { path, source } => CliError::Io { path, source },
+            other => CliError::Input(other.to_string()),
+        })?;
+    if designs.is_empty() {
+        return Err(CliError::Usage(format!(
+            "flow: no .aag/.blif designs in `{dir}`"
+        )));
+    }
+    Ok((designs, cache_hits))
+}
+
+/// `sfqt1 flow --batch <dir>`: the full flow on every design of a
+/// directory, one report row per design.
+///
+/// Designs are ingested sequentially (through the parse cache), fanned over
+/// [`par::workers`] scoped threads for the flows, and the rows are merged
+/// back in input order — so the printed table is byte-identical between
+/// sequential and parallel builds, for any worker count.
+fn cmd_flow_batch(dir: &str, config: &FlowConfig, out: &mut dyn Write) -> Result<(), CliError> {
+    let (designs, cache_hits) = load_batch_designs(dir)?;
+    writeln!(
+        out,
+        "batch: {} designs ({} parsed, {} cache hits)",
+        designs.len(),
+        designs.len() - cache_hits,
+        cache_hits
+    )
+    .map_err(io_err("<stdout>"))?;
+    writeln!(
+        out,
+        "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
+        "design", "fmt", "in", "out", "found", "used", "cells", "dffs", "area JJ", "depth"
+    )
+    .map_err(io_err("<stdout>"))?;
+    let rows: Vec<Result<String, String>> = par::map_ordered(designs, |(file, design)| {
+        let res = run_flow_on_design(&design, config).map_err(|e| format!("{file}: {e}"))?;
+        let r = &res.report;
+        Ok(format!(
+            "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
+            file,
+            design.format.extension(),
+            design.aig.num_inputs(),
+            design.aig.num_outputs(),
+            r.t1_found,
+            r.t1_used,
+            r.num_gates,
+            r.num_dffs,
+            r.area,
+            r.depth_cycles
+        ))
+    });
+    for row in rows {
+        let line = row.map_err(CliError::Flow)?;
+        writeln!(out, "{line}").map_err(io_err("<stdout>"))?;
     }
     Ok(())
 }
@@ -695,6 +784,74 @@ mod tests {
         for p in [aag, v1, v2] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn flow_batch_reports_every_design_in_order() {
+        let dir = scratch("batch-dir");
+        std::fs::create_dir_all(&dir).expect("batch dir");
+        let mux = ".model mux\n.inputs s a b\n.outputs y\n.names s a b y\n11- 1\n0-1 1\n.end\n";
+        std::fs::write(dir.join("b_mux.blif"), mux).expect("write blif");
+        std::fs::write(dir.join("c_mux_twin.blif"), mux).expect("write twin");
+        let aag = dir.join("a_adder.aag");
+        run_to_string(&[
+            "bench",
+            "adder",
+            "--small",
+            "--aag",
+            aag.to_str().expect("utf8"),
+        ])
+        .expect("bench");
+        std::fs::write(dir.join("ignored.txt"), "not a design").expect("write noise");
+
+        let text = run_to_string(&["flow", "--batch", dir.to_str().expect("utf8"), "--t1"])
+            .expect("batch runs");
+        assert!(
+            text.contains("batch: 3 designs (2 parsed, 1 cache hits)"),
+            "identical twins parse once:\n{text}"
+        );
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains(".aag") || l.contains(".blif"))
+            .collect();
+        assert_eq!(rows.len(), 3, "one row per design:\n{text}");
+        assert!(
+            rows[0].starts_with("a_adder.aag") && rows[1].starts_with("b_mux.blif"),
+            "rows come in file-name order:\n{text}"
+        );
+        assert!(text.contains("area JJ"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flow_batch_misuse_is_rejected() {
+        let dir = scratch("batch-misuse");
+        std::fs::create_dir_all(&dir).expect("dir");
+        for args in [
+            vec!["flow", "--batch", dir.to_str().expect("utf8")], // empty dir
+            vec!["flow", "x.aag", "--batch", dir.to_str().expect("utf8")],
+            vec![
+                "flow",
+                "--batch",
+                dir.to_str().expect("utf8"),
+                "--blif",
+                "x",
+            ],
+            vec!["flow", "--batch", dir.to_str().expect("utf8"), "--stats"],
+            vec![
+                "flow",
+                "--batch",
+                dir.to_str().expect("utf8"),
+                "--waves",
+                "4",
+            ],
+        ] {
+            assert!(
+                matches!(run_to_string(&args), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

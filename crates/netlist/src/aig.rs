@@ -129,6 +129,12 @@ impl Aig {
         &self.name
     }
 
+    /// Replaces the design name (used by frontends that discover the real
+    /// name mid-parse, e.g. the AIGER comment section).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Adds a primary input and returns its (positive) literal.
     pub fn input(&mut self, name: impl Into<String>) -> AigLit {
         let id = AigNodeId(self.nodes.len() as u32);
@@ -293,6 +299,22 @@ impl Aig {
     /// Name of output `i`.
     pub fn output_name(&self, i: usize) -> &str {
         &self.output_names[i]
+    }
+
+    /// Renames input `i` (frontends restore symbol-table names with this).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_input_name(&mut self, i: usize, name: impl Into<String>) {
+        self.input_names[i] = name.into();
+    }
+
+    /// Renames output `i` (frontends restore symbol-table names with this).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_output_name(&mut self, i: usize, name: impl Into<String>) {
+        self.output_names[i] = name.into();
     }
 
     /// True if the node is an AND gate.

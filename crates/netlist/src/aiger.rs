@@ -113,7 +113,18 @@ pub fn write_aag<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
 ///
 /// The reconstructed AIG goes through the usual strashing constructors, so
 /// structurally redundant files come back smaller; output functions are
-/// preserved.
+/// preserved. The trailing symbol table (`i<k> name` / `o<k> name` lines) is
+/// parsed and restores the input/output names; symbols that are absent fall
+/// back to positional `i<k>` / `o<k>` names. When a comment section is
+/// present its first line, if non-empty, becomes the design name (this is
+/// what [`write_aag`] emits), otherwise `name` is used — so
+/// `write_aag → read_aag → write_aag` is byte-identical.
+///
+/// Input validation follows the AIGER rules: the header counts must be
+/// consistent (`m ≥ i + a`), input and AND left-hand-side literals must be
+/// even, fresh and within the declared `m` bound, and symbol lines must be
+/// well formed — malformed trailing lines are errors, never silently
+/// ignored.
 ///
 /// # Errors
 /// Returns [`AigerError`] on malformed input, latches, or I/O failures.
@@ -132,13 +143,18 @@ pub fn read_aag<R: BufRead>(r: R, name: &str) -> Result<Aig, AigerError> {
     let parse = |s: &str| -> Result<u32, AigerError> {
         s.parse().map_err(|_| AigerError::BadHeader(header.clone()))
     };
-    let _m = parse(parts[1])?;
+    let m = parse(parts[1])?;
     let i = parse(parts[2])?;
     let l = parse(parts[3])?;
     let o = parse(parts[4])?;
     let a = parse(parts[5])?;
     if l != 0 {
         return Err(AigerError::LatchesUnsupported);
+    }
+    if u64::from(m) < u64::from(i) + u64::from(a) {
+        // The maximum variable index cannot be smaller than the number of
+        // variables the file goes on to define.
+        return Err(AigerError::BadHeader(header.clone()));
     }
 
     let mut aig = Aig::new(name);
@@ -156,12 +172,37 @@ pub fn read_aag<R: BufRead>(r: R, name: &str) -> Result<Aig, AigerError> {
         Ok((line.clone(), *cursor))
     };
 
+    // A definition literal (input or AND output) must be a fresh, even,
+    // in-bounds variable — odd literals would silently invert the node and
+    // redefinitions would clobber earlier ones.
+    let check_def = |v: u32, lineno: usize, what: &str, defined: bool| -> Result<(), AigerError> {
+        let err = |message: String| AigerError::BadLine {
+            line: lineno,
+            message,
+        };
+        if v & 1 == 1 {
+            return Err(err(format!(
+                "{what} literal {v} is complemented (definitions must be even)"
+            )));
+        }
+        if v < 2 || v / 2 > m {
+            return Err(err(format!(
+                "{what} literal {v} is outside the declared bound m = {m}"
+            )));
+        }
+        if defined {
+            return Err(err(format!("{what} literal {v} is already defined")));
+        }
+        Ok(())
+    };
+
     for k in 0..i {
         let (line, lineno) = next_line(&mut cursor)?;
         let v: u32 = line.trim().parse().map_err(|_| AigerError::BadLine {
             line: lineno,
             message: format!("bad input literal `{line}`"),
         })?;
+        check_def(v, lineno, "input", lit_of.contains_key(&v))?;
         let lit = aig.input(format!("i{k}"));
         lit_of.insert(v, lit);
         lit_of.insert(v ^ 1, !lit);
@@ -173,6 +214,12 @@ pub fn read_aag<R: BufRead>(r: R, name: &str) -> Result<Aig, AigerError> {
             line: lineno,
             message: format!("bad output literal `{line}`"),
         })?;
+        if v / 2 > m {
+            return Err(AigerError::BadLine {
+                line: lineno,
+                message: format!("output literal {v} is outside the declared bound m = {m}"),
+            });
+        }
         output_lits.push(v);
     }
     for _ in 0..a {
@@ -193,6 +240,7 @@ pub fn read_aag<R: BufRead>(r: R, name: &str) -> Result<Aig, AigerError> {
             });
         }
         let (lhs, r0, r1) = (nums[0], nums[1], nums[2]);
+        check_def(lhs, lineno, "and", lit_of.contains_key(&lhs))?;
         let f0 = *lit_of.get(&r0).ok_or(AigerError::BadLine {
             line: lineno,
             message: format!("undefined literal {r0}"),
@@ -205,12 +253,70 @@ pub fn read_aag<R: BufRead>(r: R, name: &str) -> Result<Aig, AigerError> {
         lit_of.insert(lhs, lit);
         lit_of.insert(lhs ^ 1, !lit);
     }
+
+    // Symbol table: `i<pos> name` / `o<pos> name` lines, then an optional
+    // comment section opened by a lone `c`. Anything else here is malformed.
+    let mut input_syms: Vec<Option<String>> = vec![None; i as usize];
+    let mut output_syms: Vec<Option<String>> = vec![None; o as usize];
+    while cursor < all_lines.len() {
+        let (line, lineno) = next_line(&mut cursor)?;
+        if line.trim().is_empty() {
+            // Tolerate editor-appended blank lines between the body and the
+            // symbol table or at end of file (write_aag never emits them,
+            // so the byte fixpoint is unaffected).
+            continue;
+        }
+        if line == "c" {
+            // First comment line, when present and non-empty, names the
+            // design (write_aag puts the design name there).
+            if let Some(n) = all_lines.get(cursor) {
+                if !n.is_empty() {
+                    aig.set_name(n.clone());
+                }
+            }
+            break; // the rest of the file is free-form comment
+        }
+        let err = |message: String| AigerError::BadLine {
+            line: lineno,
+            message,
+        };
+        let (tag, sym) = line
+            .split_once(' ')
+            .ok_or_else(|| err(format!("malformed symbol line `{line}`")))?;
+        if sym.is_empty() {
+            return Err(err(format!("symbol line `{line}` has an empty name")));
+        }
+        let (kind, pos) = tag.split_at(1.min(tag.len()));
+        let slot = match kind {
+            "i" => &mut input_syms,
+            "o" => &mut output_syms,
+            "l" => return Err(AigerError::LatchesUnsupported),
+            _ => return Err(err(format!("malformed symbol line `{line}`"))),
+        };
+        let pos: usize = pos
+            .parse()
+            .map_err(|_| err(format!("bad symbol position in `{line}`")))?;
+        let entry = slot
+            .get_mut(pos)
+            .ok_or_else(|| err(format!("symbol position {pos} out of range in `{line}`")))?;
+        if entry.is_some() {
+            return Err(err(format!("duplicate symbol `{tag}`")));
+        }
+        *entry = Some(sym.to_string());
+    }
+    for (k, sym) in input_syms.into_iter().enumerate() {
+        if let Some(sym) = sym {
+            aig.set_input_name(k, sym);
+        }
+    }
+
     for (k, &v) in output_lits.iter().enumerate() {
         let lit = *lit_of.get(&v).ok_or(AigerError::BadLine {
             line: cursor,
             message: format!("undefined output literal {v}"),
         })?;
-        aig.output(format!("o{k}"), lit);
+        let name = output_syms[k].take().unwrap_or_else(|| format!("o{k}"));
+        aig.output(name, lit);
     }
     Ok(aig)
 }

@@ -38,9 +38,11 @@
 //! # }
 //! ```
 
-use crate::aig::{Aig, AigLit};
+use crate::aig::{Aig, AigLit, AigNodeId};
+use crate::export::{sanitize, unique_port_names};
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Errors produced while parsing BLIF text.
 #[derive(Debug)]
@@ -303,7 +305,11 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
         lit_of.insert(name.clone(), lit);
     }
 
-    // Memoized resolution; `visiting` detects loops.
+    // Memoized resolution; `visiting` detects loops (`Some(false)` marks a
+    // net whose cover is already scheduled in `order` — skipping those on
+    // *every* pop, not just expanded ones, is what keeps shared nets from
+    // being re-expanded once per consumer, which would be exponential on
+    // reconvergent ladders).
     let mut order: Vec<String> = Vec::new();
     let mut stack: Vec<(String, bool)> = output_names
         .iter()
@@ -312,7 +318,7 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
         .collect();
     let mut visiting: HashMap<String, bool> = HashMap::new();
     while let Some((net, expanded)) = stack.pop() {
-        if lit_of.contains_key(&net) || (expanded && visiting.get(&net) == Some(&false)) {
+        if lit_of.contains_key(&net) || visiting.get(&net) == Some(&false) {
             continue;
         }
         if expanded {
@@ -328,7 +334,11 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
             .ok_or_else(|| BlifError::UndefinedNet(net.clone()))?;
         visiting.insert(net.clone(), true);
         stack.push((net.clone(), true));
-        for dep in &cover.inputs {
+        // Reversed so the LIFO stack resolves dependencies in cover order:
+        // earlier cover inputs get smaller node ids, which keeps the
+        // strashing-canonical fanin order aligned with the printed order
+        // (the invariant behind `write_blif`'s byte-level fixpoint).
+        for dep in cover.inputs.iter().rev() {
             if !lit_of.contains_key(dep) {
                 stack.push((dep.clone(), false));
             }
@@ -349,6 +359,142 @@ pub fn parse_blif(src: &str) -> Result<Aig, BlifError> {
         aig.output(name.clone(), lit);
     }
     Ok(aig)
+}
+
+/// Writes an [`Aig`] as combinational BLIF, the inverse of [`parse_blif`].
+///
+/// Every live AND node becomes a one-row `.names` cover (complemented
+/// fanins encoded as `0` pattern bits); primary outputs get buffer or
+/// inverter alias covers; constant outputs become constant covers. Dead
+/// nodes (unreachable from any output) are not emitted. Port names go
+/// through the same sanitize-and-uniquify table as
+/// [`render_blif`](crate::export::render_blif), so distinct ports stay
+/// distinct.
+///
+/// Nodes are emitted in exactly the order [`parse_blif`]'s dependency
+/// resolution recreates them, and net names are renumbered to the ids the
+/// parser will assign — so `write_blif → parse_blif → write_blif` is
+/// byte-identical for **any** input AIG, which is what lets corpus files be
+/// stored in canonical form and diffed bytewise.
+///
+/// For an AIG that never went through the parser, the strashing-canonical
+/// fanin order can disagree with the file's resolution order (node ids are
+/// arbitrary), so the raw emission is normalized through one internal
+/// parse: the result is the canonical form directly.
+pub fn write_blif(aig: &Aig) -> String {
+    let raw = emit_blif(aig);
+    // A parse-created AIG is resolution-ordered: its strashing-canonical
+    // fanin order agrees with the emission order, so re-emitting it is
+    // stable. One normalization pass makes the writer canonical for
+    // arbitrary inputs.
+    let normalized = parse_blif(&raw).expect("write_blif emits valid BLIF");
+    emit_blif(&normalized)
+}
+
+/// Single emission pass of [`write_blif`] (stable only on
+/// resolution-ordered AIGs — the public entry point normalizes).
+fn emit_blif(aig: &Aig) -> String {
+    let input_names: Vec<&str> = (0..aig.num_inputs()).map(|k| aig.input_name(k)).collect();
+    let output_names: Vec<&str> = (0..aig.num_outputs()).map(|k| aig.output_name(k)).collect();
+    let (input_names, output_names) = unique_port_names(&input_names, &output_names);
+
+    // Emission order = the parser's resolution order: depth-first from the
+    // outputs in declaration order, dependencies pushed in fanin order and
+    // popped LIFO, each node scheduled once in post-order. Mirroring the
+    // traversal exactly is what pins the byte-level fixpoint.
+    let mut order: Vec<AigNodeId> = Vec::new();
+    let mut scheduled: Vec<bool> = vec![false; aig.num_nodes()];
+    let mut stack: Vec<(AigNodeId, bool)> = aig
+        .outputs()
+        .iter()
+        .rev()
+        .filter(|o| !o.is_constant())
+        .map(|o| (o.node(), false))
+        .collect();
+    while let Some((node, expanded)) = stack.pop() {
+        if !aig.is_and(node) || scheduled[node.0 as usize] {
+            continue;
+        }
+        if expanded {
+            scheduled[node.0 as usize] = true;
+            order.push(node);
+            continue;
+        }
+        stack.push((node, true));
+        // Reversed push = in-order visit, mirroring the parser: the first
+        // printed fanin resolves (and is numbered) first on re-read.
+        let (a, b) = aig.and_fanins(node);
+        for dep in [b, a] {
+            if aig.is_and(dep.node()) && !scheduled[dep.node().0 as usize] {
+                stack.push((dep.node(), false));
+            }
+        }
+    }
+
+    // The parser numbers inputs 1..=I and then ANDs in resolution order;
+    // name nets after the ids the re-read AIG will carry.
+    let mut file_id: HashMap<AigNodeId, usize> = HashMap::new();
+    for (j, &node) in order.iter().enumerate() {
+        file_id.insert(node, aig.num_inputs() + 1 + j);
+    }
+    let mut input_pos: Vec<usize> = vec![usize::MAX; aig.num_nodes()];
+    for (k, &node) in aig.inputs().iter().enumerate() {
+        input_pos[node.0 as usize] = k;
+    }
+    let net_of = |lit: AigLit| -> String {
+        let node = lit.node();
+        if aig.is_input(node) {
+            input_names[input_pos[node.0 as usize]].clone()
+        } else {
+            format!("n{}", file_id[&node])
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", sanitize(aig.name()));
+    let _ = write!(out, ".inputs");
+    for name in &input_names {
+        let _ = write!(out, " {name}");
+    }
+    out.push('\n');
+    let _ = write!(out, ".outputs");
+    for name in &output_names {
+        let _ = write!(out, " {name}");
+    }
+    out.push('\n');
+
+    for &node in &order {
+        let (a, b) = aig.and_fanins(node);
+        let _ = writeln!(
+            out,
+            ".names {} {} n{}",
+            net_of(a),
+            net_of(b),
+            file_id[&node]
+        );
+        let bit = |l: AigLit| if l.is_complemented() { '0' } else { '1' };
+        let _ = writeln!(out, "{}{} 1", bit(a), bit(b));
+    }
+
+    for (k, &o) in aig.outputs().iter().enumerate() {
+        let name = &output_names[k];
+        if o == AigLit::FALSE {
+            let _ = writeln!(out, ".names {name}");
+        } else if o == AigLit::TRUE {
+            let _ = writeln!(out, ".names {name}");
+            out.push_str("1\n");
+        } else {
+            let driver = net_of(o);
+            let _ = writeln!(out, ".names {driver} {name}");
+            out.push_str(if o.is_complemented() {
+                "0 1\n"
+            } else {
+                "1 1\n"
+            });
+        }
+    }
+    out.push_str(".end\n");
+    out
 }
 
 /// Builds the AIG literal for one SOP cover over already-resolved fanins.
@@ -516,6 +662,60 @@ mod tests {
             let ins: Vec<bool> = (0..3).map(|k| pattern >> k & 1 == 1).collect();
             assert_eq!(eval(&back, &ins), eval(&aig, &ins), "pattern {pattern:03b}");
         }
+    }
+
+    #[test]
+    fn write_blif_round_trips_bit_identically() {
+        let mut aig = Aig::new("wr");
+        let a = aig.input("a");
+        let b = aig.input("b");
+        let c = aig.input("c in"); // sanitized to c_in
+        let (s, co) = aig.full_adder(a, b, c);
+        let dead = aig.and(a, b); // live via co's cone, but also make a dead node
+        let dead2 = aig.xor(dead, s);
+        let _ = aig.and(dead2, c); // never used by an output
+        aig.output("sum", s);
+        aig.output("carry", !co);
+        aig.output("const1", AigLit::TRUE);
+        aig.output("const0", AigLit::FALSE);
+        aig.output("alias", a);
+
+        let w1 = write_blif(&aig);
+        let back = parse_blif(&w1).expect("written blif parses");
+        assert_eq!(back.name(), "wr");
+        assert_eq!(back.input_name(2), "c_in", "sanitized names preserved");
+        assert_eq!(back.output_name(1), "carry");
+        assert_eq!(
+            back.num_ands(),
+            aig.num_live_ands(),
+            "dead nodes are not exported"
+        );
+        let w2 = write_blif(&back);
+        assert_eq!(w1, w2, "write→read→write must be byte-identical");
+        for pattern in 0..8u64 {
+            let pats: Vec<u64> = (0..3).map(|k| (pattern >> k & 1) * u64::MAX).collect();
+            assert_eq!(aig.simulate(&pats), back.simulate(&pats), "{pattern:03b}");
+        }
+    }
+
+    #[test]
+    fn shared_nets_resolve_once_on_reconvergent_ladders() {
+        // Before the resolution fix, every consumer of a shared net
+        // re-expanded its whole cone: 2^48 expansions on this ladder. With
+        // memoized resolution it parses instantly.
+        let mut src = String::from(".model ladder\n.inputs x\n.outputs y\n");
+        let mut prev = "x".to_string();
+        for k in 0..48 {
+            src.push_str(&format!(".names {prev} a{k}\n1 1\n"));
+            src.push_str(&format!(".names {prev} b{k}\n0 1\n"));
+            src.push_str(&format!(".names a{k} b{k} y{k}\n10 1\n01 1\n"));
+            prev = format!("y{k}");
+        }
+        src.push_str(&format!(".names {prev} y\n1 1\n.end\n"));
+        let aig = parse_blif(&src).expect("ladder parses");
+        // y_k = a_k XOR b_k = prev XOR !prev = 1 for every k ≥ 0.
+        assert_eq!(eval(&aig, &[false]), vec![true]);
+        assert_eq!(eval(&aig, &[true]), vec![true]);
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Unified ingestion of external designs: format auto-detection, validated
+//! parsing into an [`Aig`], canonical re-emission, and a content-hash parse
+//! cache.
+//!
+//! The `aag` ([`crate::aiger`]) and BLIF ([`crate::blif`]) frontends each
+//! read one format; this module is the single entry point the CLI and the
+//! batched benchmark drivers go through, so every consumer gets the same
+//! detection, validation and error-reporting behavior:
+//!
+//! * [`DesignFormat::detect`] — extension first, content sniffing as the
+//!   fallback, so `sfqt1 flow --batch` can ingest a mixed directory;
+//! * [`Design::read`] / [`Design::parse`] — validated parse into an `Aig`
+//!   that remembers its source format;
+//! * [`Design::write_native`] — canonical re-emission in the source format.
+//!   Both writers guarantee the write→read→write fixpoint: re-emitting a
+//!   just-parsed canonical file reproduces it byte for byte, which is what
+//!   lets corpus files be stored canonically and diffed bytewise in CI;
+//! * [`DesignCache`] — memoizes parses by a 64-bit FNV-1a hash of the file
+//!   *content*, so a batch run touching the same design under several paths
+//!   (or the same path repeatedly) parses it once.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_netlist::design::{Design, DesignFormat};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = ".model mux\n.inputs s a b\n.outputs y\n.names s a b y\n11- 1\n0-1 1\n.end\n";
+//! let design = Design::parse(src, DesignFormat::detect(None, src)?, "mux")?;
+//! assert_eq!(design.aig.num_inputs(), 3);
+//! let canonical = design.write_native();
+//! let again = Design::parse(&canonical, design.format, "mux")?;
+//! assert_eq!(again.write_native(), canonical); // fixpoint
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::aig::Aig;
+use crate::aiger::{read_aag, write_aag, AigerError};
+use crate::blif::{parse_blif, write_blif, BlifError};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// The interchange formats the ingestion layer understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignFormat {
+    /// ASCII AIGER (`.aag`), combinational subset.
+    Aag,
+    /// BLIF (`.blif`), combinational single-model subset.
+    Blif,
+}
+
+impl DesignFormat {
+    /// File extension conventionally used for the format.
+    pub fn extension(self) -> &'static str {
+        match self {
+            DesignFormat::Aag => "aag",
+            DesignFormat::Blif => "blif",
+        }
+    }
+
+    /// Detects the format of a design from its path and/or content.
+    ///
+    /// A recognized `.aag` / `.blif` extension wins; otherwise the first
+    /// non-blank content line decides: an `aag` header means AIGER, a `.`
+    /// directive or `#` comment means BLIF.
+    ///
+    /// # Errors
+    /// [`DesignError::UnknownFormat`] when neither signal is conclusive.
+    pub fn detect(path: Option<&Path>, content: &str) -> Result<Self, DesignError> {
+        if let Some(ext) = path.and_then(|p| p.extension()).and_then(|e| e.to_str()) {
+            match ext {
+                "aag" => return Ok(DesignFormat::Aag),
+                "blif" => return Ok(DesignFormat::Blif),
+                _ => {}
+            }
+        }
+        let first = content
+            .lines()
+            .map(str::trim_start)
+            .find(|l| !l.is_empty())
+            .unwrap_or("");
+        if first.starts_with("aag ") {
+            Ok(DesignFormat::Aag)
+        } else if first.starts_with('.') || first.starts_with('#') {
+            Ok(DesignFormat::Blif)
+        } else {
+            Err(DesignError::UnknownFormat {
+                path: path
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "<memory>".into()),
+            })
+        }
+    }
+}
+
+impl fmt::Display for DesignFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.extension())
+    }
+}
+
+/// Errors produced by the ingestion layer.
+#[derive(Debug)]
+pub enum DesignError {
+    /// Reading the file failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file is neither recognizable AIGER nor BLIF.
+    UnknownFormat {
+        /// The file involved (or `<memory>`).
+        path: String,
+    },
+    /// AIGER parsing failed.
+    Aiger(AigerError),
+    /// BLIF parsing failed.
+    Blif(BlifError),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::Io { path, source } => write!(f, "{path}: {source}"),
+            DesignError::UnknownFormat { path } => {
+                write!(f, "{path}: unknown design format (expected .aag or .blif)")
+            }
+            DesignError::Aiger(e) => write!(f, "aag: {e}"),
+            DesignError::Blif(e) => write!(f, "blif: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<AigerError> for DesignError {
+    fn from(e: AigerError) -> Self {
+        DesignError::Aiger(e)
+    }
+}
+
+impl From<BlifError> for DesignError {
+    fn from(e: BlifError) -> Self {
+        DesignError::Blif(e)
+    }
+}
+
+/// An externally supplied design: the parsed [`Aig`] plus its source format.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// The parsed and validated network.
+    pub aig: Aig,
+    /// The format the design arrived in (and that `write_native` emits).
+    pub format: DesignFormat,
+}
+
+impl Design {
+    /// Parses `content` as `format`; `fallback_name` names the design when
+    /// the file itself does not (AIGER comment section, BLIF `.model`).
+    ///
+    /// # Errors
+    /// [`DesignError`] on malformed content.
+    pub fn parse(
+        content: &str,
+        format: DesignFormat,
+        fallback_name: &str,
+    ) -> Result<Self, DesignError> {
+        let aig = match format {
+            DesignFormat::Aag => read_aag(content.as_bytes(), fallback_name)?,
+            DesignFormat::Blif => parse_blif(content)?,
+        };
+        Ok(Design { aig, format })
+    }
+
+    /// Reads and parses a design file, auto-detecting its format.
+    ///
+    /// # Errors
+    /// [`DesignError`] on I/O failures, unknown formats, or parse errors.
+    pub fn read(path: &Path) -> Result<Self, DesignError> {
+        let content = std::fs::read_to_string(path).map_err(|source| DesignError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        let format = DesignFormat::detect(Some(path), &content)?;
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("design");
+        Design::parse(&content, format, stem)
+    }
+
+    /// Re-emits the design in its source format.
+    ///
+    /// The emission is canonical: parsing the result and re-emitting it is
+    /// byte-identical (see [`write_aag`] and [`write_blif`]), so a corpus
+    /// stored in this form can be diffed bytewise after a round trip.
+    pub fn write_native(&self) -> String {
+        match self.format {
+            DesignFormat::Aag => {
+                let mut buf = Vec::new();
+                write_aag(&self.aig, &mut buf).expect("in-memory write cannot fail");
+                String::from_utf8(buf).expect("write_aag emits UTF-8")
+            }
+            DesignFormat::Blif => write_blif(&self.aig),
+        }
+    }
+}
+
+/// Loads every `.aag`/`.blif` design under `dir` in file-name order,
+/// parsing through a fresh [`DesignCache`] (identical file contents parse
+/// once). Returns `(file name, design)` pairs plus the cache-hit count;
+/// a directory with no matching files yields an empty vector — callers
+/// decide whether that is an error.
+///
+/// This is the single directory-ingestion path shared by the batch
+/// drivers (`sfqt1 flow --batch`, `table_corpus`), so they can never
+/// disagree on which files a directory contains.
+///
+/// # Errors
+/// [`DesignError`] on I/O failures, unknown formats, or parse errors.
+pub fn load_dir(dir: &Path) -> Result<(Vec<(String, Design)>, usize), DesignError> {
+    let listing = |source| DesignError::Io {
+        path: dir.display().to_string(),
+        source,
+    };
+    let entries = std::fs::read_dir(dir).map_err(listing)?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(listing)?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("aag") | Some("blif")
+            )
+        })
+        .collect();
+    paths.sort();
+    let mut cache = DesignCache::new();
+    let mut designs = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let design = cache.load(path)?.clone();
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("design")
+            .to_string();
+        designs.push((file, design));
+    }
+    Ok((designs, cache.hits()))
+}
+
+/// 64-bit FNV-1a — the cache key for [`DesignCache`]. Stable across runs
+/// and platforms (unlike `DefaultHasher`), cheap, and collision-safe at
+/// corpus scale.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A parse cache keyed by file-content hash.
+///
+/// Batch drivers load every file in a directory; identical content (same
+/// design under two names, or repeated loads) parses once. The cache stores
+/// the parsed [`Design`] by [`content_hash`], not by path.
+#[derive(Debug, Default)]
+pub struct DesignCache {
+    parsed: HashMap<u64, Design>,
+    hits: usize,
+}
+
+impl DesignCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of loads served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of distinct designs parsed so far.
+    pub fn len(&self) -> usize {
+        self.parsed.len()
+    }
+
+    /// True when nothing has been parsed yet.
+    pub fn is_empty(&self) -> bool {
+        self.parsed.is_empty()
+    }
+
+    /// Reads `path`, returning the cached parse when a file with identical
+    /// content has been loaded before.
+    ///
+    /// # Errors
+    /// [`DesignError`] on I/O failures, unknown formats, or parse errors.
+    pub fn load(&mut self, path: &Path) -> Result<&Design, DesignError> {
+        let content = std::fs::read_to_string(path).map_err(|source| DesignError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        let key = content_hash(content.as_bytes());
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.parsed.entry(key) {
+            let format = DesignFormat::detect(Some(path), &content)?;
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("design");
+            slot.insert(Design::parse(&content, format, stem)?);
+        } else {
+            self.hits += 1;
+        }
+        Ok(&self.parsed[&key])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_prefers_extension_then_sniffs_content() {
+        let aag = "aag 0 0 0 0 0\n";
+        let blif = ".model m\n.inputs\n.outputs\n.end\n";
+        assert_eq!(
+            DesignFormat::detect(Some(Path::new("x.aag")), blif).unwrap(),
+            DesignFormat::Aag,
+            "extension wins over content"
+        );
+        assert_eq!(
+            DesignFormat::detect(Some(Path::new("x.txt")), aag).unwrap(),
+            DesignFormat::Aag
+        );
+        assert_eq!(
+            DesignFormat::detect(None, "# comment\n.model m\n").unwrap(),
+            DesignFormat::Blif
+        );
+        assert!(DesignFormat::detect(None, "hello world\n").is_err());
+    }
+
+    #[test]
+    fn parse_routes_to_the_right_frontend() {
+        let d = Design::parse("aag 1 1 0 1 0\n2\n2\n", DesignFormat::Aag, "wire").unwrap();
+        assert_eq!(d.format, DesignFormat::Aag);
+        assert_eq!(d.aig.num_inputs(), 1);
+        let d = Design::parse(
+            ".model inv\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n",
+            DesignFormat::Blif,
+            "x",
+        )
+        .unwrap();
+        assert_eq!(d.format, DesignFormat::Blif);
+        assert_eq!(d.aig.name(), "inv", "model name wins over fallback");
+    }
+
+    #[test]
+    fn write_native_reaches_a_byte_fixpoint() {
+        for (src, format) in [
+            (
+                ".model m\n.inputs a b c\n.outputs y z\n.names a b t\n11 1\n.names t c y\n10 1\n01 1\n.names t z\n0 1\n.end\n",
+                DesignFormat::Blif,
+            ),
+            (
+                "aag 5 2 0 1 3\n2\n4\n10\n6 2 4\n8 3 5\n10 7 9\ni0 a\ni1 b\no0 y\n",
+                DesignFormat::Aag,
+            ),
+        ] {
+            let d = Design::parse(src, format, "m").unwrap();
+            let w1 = d.write_native();
+            let d2 = Design::parse(&w1, format, "m").unwrap();
+            let w2 = d2.write_native();
+            assert_eq!(w1, w2, "{format} fixpoint");
+        }
+    }
+
+    #[test]
+    fn cache_dedupes_identical_content() {
+        let dir = std::env::temp_dir().join(format!("sfq-design-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n";
+        let p1 = dir.join("one.blif");
+        let p2 = dir.join("two.blif");
+        std::fs::write(&p1, src).unwrap();
+        std::fs::write(&p2, src).unwrap();
+        let mut cache = DesignCache::new();
+        assert_eq!(cache.load(&p1).unwrap().aig.num_inputs(), 1);
+        assert_eq!(cache.load(&p2).unwrap().aig.num_inputs(), 1);
+        assert_eq!(cache.load(&p1).unwrap().aig.num_inputs(), 1);
+        assert_eq!(cache.len(), 1, "identical content parses once");
+        assert_eq!(cache.hits(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

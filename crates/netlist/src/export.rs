@@ -30,8 +30,52 @@ use crate::cell::{CellKind, GateKind, T1Port};
 use crate::network::{CellId, Network, Signal};
 use std::fmt::Write as _;
 
+/// Sanitized, collision-free exported names of a network's ports.
+///
+/// Distinct port names must stay distinct after [`sanitize`] (e.g. `a.0`
+/// and `a_0` both sanitize to `a_0`), and no port may shadow an internal
+/// `n<cell>`-style net — either would silently alias two nets in the
+/// exported file. Built once per export by [`unique_port_names`].
+struct PortNames {
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+}
+
+/// Sanitizes and uniquifies port names: first-come keeps the sanitized
+/// base, later collisions get `_2`, `_3`, … suffixes; names that collide
+/// with the internal net grammar (`n<digits>[_port]`, see
+/// [`parse_net_name`]) are suffixed the same way. Inputs are assigned
+/// before outputs, so input names win ties.
+pub(crate) fn unique_port_names(inputs: &[&str], outputs: &[&str]) -> (Vec<String>, Vec<String>) {
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut assign = |raw: &str| -> String {
+        let mut base = sanitize(raw);
+        if base.is_empty() {
+            base = "net".to_string();
+        }
+        let mut candidate = base.clone();
+        let mut k = 1usize;
+        while parse_net_name(&candidate).is_some() || used.contains(&candidate) {
+            k += 1;
+            candidate = format!("{base}_{k}");
+        }
+        used.insert(candidate.clone());
+        candidate
+    };
+    let ins: Vec<String> = inputs.iter().map(|n| assign(n)).collect();
+    let outs: Vec<String> = outputs.iter().map(|n| assign(n)).collect();
+    (ins, outs)
+}
+
+fn port_names(net: &Network) -> PortNames {
+    let inputs: Vec<&str> = (0..net.num_inputs()).map(|k| net.input_name(k)).collect();
+    let outputs: Vec<&str> = (0..net.num_outputs()).map(|k| net.output_name(k)).collect();
+    let (inputs, outputs) = unique_port_names(&inputs, &outputs);
+    PortNames { inputs, outputs }
+}
+
 /// Net name of a pin inside exported files.
-fn net_name(net: &Network, pin: Signal) -> String {
+fn net_name(net: &Network, names: &PortNames, pin: Signal) -> String {
     match net.kind(pin.cell) {
         CellKind::Input => {
             let k = net
@@ -39,7 +83,7 @@ fn net_name(net: &Network, pin: Signal) -> String {
                 .iter()
                 .position(|&i| i == pin.cell)
                 .expect("input cell is listed");
-            sanitize(net.input_name(k))
+            names.inputs[k].clone()
         }
         CellKind::T1 { .. } => {
             format!(
@@ -64,7 +108,7 @@ fn t1_port_suffix(port: T1Port) -> &'static str {
 
 /// BLIF identifiers must not contain whitespace or `#`; map anything
 /// questionable to `_`.
-fn sanitize(name: &str) -> String {
+pub(crate) fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' {
@@ -92,18 +136,19 @@ fn gate_cover(g: GateKind) -> &'static str {
 
 /// Renders a mapped network (gates, DFFs, T1 macro-cells) as BLIF.
 pub fn render_blif(net: &Network) -> String {
+    let names = port_names(net);
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", sanitize(net.name()));
 
     let _ = write!(out, ".inputs");
-    for k in 0..net.num_inputs() {
-        let _ = write!(out, " {}", sanitize(net.input_name(k)));
+    for name in &names.inputs {
+        let _ = write!(out, " {name}");
     }
     out.push('\n');
 
     let _ = write!(out, ".outputs");
-    for k in 0..net.num_outputs() {
-        let _ = write!(out, " {}", sanitize(net.output_name(k)));
+    for name in &names.outputs {
+        let _ = write!(out, " {name}");
     }
     out.push('\n');
 
@@ -114,20 +159,25 @@ pub fn render_blif(net: &Network) -> String {
             CellKind::Gate(g) => {
                 let _ = write!(out, ".names");
                 for &f in net.fanins(id) {
-                    let _ = write!(out, " {}", net_name(net, f));
+                    let _ = write!(out, " {}", net_name(net, &names, f));
                 }
                 let _ = writeln!(out, " n{}", id.0);
                 out.push_str(gate_cover(g));
             }
             CellKind::Dff => {
                 let f = net.fanins(id)[0];
-                let _ = writeln!(out, ".latch {} n{} re clk 0", net_name(net, f), id.0);
+                let _ = writeln!(
+                    out,
+                    ".latch {} n{} re clk 0",
+                    net_name(net, &names, f),
+                    id.0
+                );
             }
             CellKind::T1 { used_ports } => {
                 used_t1 = true;
                 let _ = write!(out, ".subckt t1_cell");
                 for (k, &f) in net.fanins(id).iter().enumerate() {
-                    let _ = write!(out, " i{}={}", k, net_name(net, f));
+                    let _ = write!(out, " i{}={}", k, net_name(net, &names, f));
                 }
                 for port in T1Port::ALL {
                     if used_ports >> port.index() & 1 == 1 {
@@ -147,8 +197,8 @@ pub fn render_blif(net: &Network) -> String {
 
     // Output drivers: alias each output net to its driving pin.
     for (k, &o) in net.outputs().iter().enumerate() {
-        let name = sanitize(net.output_name(k));
-        let driver = net_name(net, o);
+        let name = names.outputs[k].clone();
+        let driver = net_name(net, &names, o);
         if name != driver {
             let _ = writeln!(out, ".names {driver} {name}");
             out.push_str("1 1\n");
@@ -174,6 +224,7 @@ pub fn render_blif(net: &Network) -> String {
 /// stage per cell, as in a retimed network), nodes are annotated with
 /// `σ=stage` and ranked by stage.
 pub fn render_dot(net: &Network, stages: Option<&[u32]>) -> String {
+    let names = port_names(net);
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", sanitize(net.name()));
     out.push_str("  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
@@ -182,7 +233,7 @@ pub fn render_dot(net: &Network, stages: Option<&[u32]>) -> String {
             CellKind::Input => {
                 let k = net.inputs().iter().position(|&i| i == id).expect("listed");
                 (
-                    sanitize(net.input_name(k)),
+                    names.inputs[k].clone(),
                     "circle",
                     "filled,fillcolor=lightblue",
                 )
@@ -217,7 +268,7 @@ pub fn render_dot(net: &Network, stages: Option<&[u32]>) -> String {
         let _ = writeln!(
             out,
             "  o{k} [label=\"{}\", shape=doublecircle, style=filled, fillcolor=lightgreen];",
-            sanitize(net.output_name(k))
+            names.outputs[k]
         );
         let _ = writeln!(out, "  c{} -> o{k};", o.cell.0);
     }
@@ -235,26 +286,22 @@ pub fn render_dot(net: &Network, stages: Option<&[u32]>) -> String {
 /// artifacts), which is the standard hand-off shape for SFQ place-and-route
 /// flows.
 pub fn render_verilog(net: &Network) -> String {
+    let names = port_names(net);
     let mut out = String::new();
     let _ = writeln!(out, "// generated by sfq-netlist::export::render_verilog");
     let _ = write!(out, "module {} (", sanitize(net.name()));
     let mut first = true;
-    for k in 0..net.num_inputs() {
+    for name in names.inputs.iter().chain(&names.outputs) {
         let sep = if first { "" } else { ", " };
-        let _ = write!(out, "{sep}{}", sanitize(net.input_name(k)));
-        first = false;
-    }
-    for k in 0..net.num_outputs() {
-        let sep = if first { "" } else { ", " };
-        let _ = write!(out, "{sep}{}", sanitize(net.output_name(k)));
+        let _ = write!(out, "{sep}{name}");
         first = false;
     }
     let _ = writeln!(out, ");");
-    for k in 0..net.num_inputs() {
-        let _ = writeln!(out, "  input  {};", sanitize(net.input_name(k)));
+    for name in &names.inputs {
+        let _ = writeln!(out, "  input  {name};");
     }
-    for k in 0..net.num_outputs() {
-        let _ = writeln!(out, "  output {};", sanitize(net.output_name(k)));
+    for name in &names.outputs {
+        let _ = writeln!(out, "  output {name};");
     }
 
     let mut used: [bool; 12] = [false; 12]; // which library modules to emit
@@ -273,7 +320,7 @@ pub fn render_verilog(net: &Network) -> String {
                         out,
                         ".{}({}), ",
                         std::str::from_utf8(&pin).expect("ascii"),
-                        net_name(net, f)
+                        net_name(net, &names, f)
                     );
                 }
                 let _ = writeln!(out, ".y(n{}));", id.0);
@@ -286,7 +333,7 @@ pub fn render_verilog(net: &Network) -> String {
                     out,
                     "  SFQ_DFF d{} (.d({}), .q(n{}));",
                     id.0,
-                    net_name(net, f),
+                    net_name(net, &names, f),
                     id.0
                 );
             }
@@ -296,7 +343,7 @@ pub fn render_verilog(net: &Network) -> String {
                     .fanins(id)
                     .iter()
                     .enumerate()
-                    .map(|(k, &f)| format!(".i{k}({})", net_name(net, f)))
+                    .map(|(k, &f)| format!(".i{k}({})", net_name(net, &names, f)))
                     .collect();
                 for port in T1Port::ALL {
                     if used_ports >> port.index() & 1 == 1 {
@@ -313,8 +360,8 @@ pub fn render_verilog(net: &Network) -> String {
         let _ = writeln!(
             out,
             "  assign {} = {};",
-            sanitize(net.output_name(k)),
-            net_name(net, o)
+            names.outputs[k],
+            net_name(net, &names, o)
         );
     }
     let _ = writeln!(out, "endmodule");
@@ -540,6 +587,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sanitize_collisions_are_uniquified() {
+        // `a.0` and `a_0` both sanitize to `a_0`; before the fix the BLIF
+        // export aliased them into one net, silently merging two inputs.
+        let mut net = Network::new("collide");
+        let x = net.add_input("a.0");
+        let y = net.add_input("a_0");
+        let g = net.add_gate(GateKind::And2, &[x, y]);
+        net.add_output("y", g);
+        let blif = render_blif(&net);
+        assert!(blif.contains(".inputs a_0 a_0_2"), "{blif}");
+        assert!(blif.contains(".names a_0 a_0_2 n"), "{blif}");
+        let back = crate::blif::parse_blif(&blif).expect("collision-free blif parses");
+        assert_eq!(back.num_inputs(), 2, "both inputs survive the export");
+        let v = render_verilog(&net);
+        assert!(v.contains("input  a_0;"), "{v}");
+        assert!(v.contains("input  a_0_2;"), "{v}");
+    }
+
+    #[test]
+    fn ports_never_shadow_internal_nets() {
+        // A port literally named like an internal net (`n3`, `n3_s`) must be
+        // renamed, or it would alias whatever cell 3 drives.
+        let mut net = Network::new("shadow");
+        let a = net.add_input("n3");
+        let b = net.add_input("b");
+        let g = net.add_gate(GateKind::Or2, &[a, b]);
+        net.add_output("n2_s", g);
+        let blif = render_blif(&net);
+        assert!(blif.contains(".inputs n3_2 b"), "{blif}");
+        assert!(blif.contains(".outputs n2_s_2"), "{blif}");
+        let back = crate::blif::parse_blif(&blif).expect("shadow-free blif parses");
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_outputs(), 1);
     }
 
     #[test]

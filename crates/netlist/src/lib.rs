@@ -12,8 +12,10 @@
 //! * cut enumeration ([`cuts`] — level-parallel under the `parallel`
 //!   feature, see [`par`]), maximum-fanout-free cones ([`mffc`]), and a
 //!   cut-based technology mapper ([`map_aig`]) from AIGs to SFQ cells;
-//! * ASCII AIGER I/O ([`aiger`]), BLIF and Graphviz DOT export ([`export`]),
-//!   and BLIF reading ([`blif`]).
+//! * ASCII AIGER I/O ([`aiger`]), BLIF I/O ([`blif`]), BLIF/Verilog/DOT
+//!   export of mapped networks ([`export`]), and a unified external-design
+//!   ingestion layer ([`design`]: format auto-detection, canonical
+//!   re-emission, content-hash parse cache).
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@ pub mod aiger;
 pub mod blif;
 pub mod cell;
 pub mod cuts;
+pub mod design;
 pub mod export;
 pub mod mapper;
 pub mod mapper_reference;
@@ -48,9 +51,10 @@ pub mod network;
 pub mod par;
 
 pub use aig::{Aig, AigLit, AigNodeId};
-pub use blif::{parse_blif, BlifError};
+pub use blif::{parse_blif, write_blif, BlifError};
 pub use cell::{CellKind, GateKind, Library, T1Port, T1_NUM_PORTS};
 pub use cuts::{enumerate_cuts, enumerate_cuts_sequential, Cut, CutConfig, CutSet};
+pub use design::{Design, DesignCache, DesignError, DesignFormat};
 pub use mapper::map_aig;
 pub use mapper_reference::map_aig_reference;
 pub use mffc::{mffc_area, mffc_nodes};

@@ -61,3 +61,65 @@ pub fn workers() -> usize {
         1
     }
 }
+
+/// Maps `f` over `items` on up to [`workers`] scoped threads, returning the
+/// results **in input order** regardless of scheduling.
+///
+/// This is the shared fan-out primitive of the batch drivers (`sfqt1 flow
+/// --batch`, the corpus table): items are claimed from an atomic cursor, so
+/// uneven per-item cost balances automatically, and the order-preserving
+/// merge keeps the observable output bit-identical between sequential and
+/// parallel builds. With one worker (no `parallel` feature, single-core
+/// host, or `SFQ_WORKERS=1`) it degenerates to a plain in-order map with no
+/// thread spawns.
+pub fn map_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = workers().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new(Some(item)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, U)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break mine;
+                        }
+                        let item = work[k]
+                            .lock()
+                            .expect("work slot lock")
+                            .take()
+                            .expect("each work item is claimed once");
+                        mine.push((k, f(item)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            per_worker.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (k, result) in per_worker.into_iter().flatten() {
+        slots[k] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item produced a result"))
+        .collect()
+}

@@ -111,6 +111,98 @@ fn aiger_rejects_garbage() {
     assert!(read_aag(std::io::Cursor::new(b"aag 1 1 1 0 0\n2\n" as &[u8]), "x").is_err());
 }
 
+#[test]
+fn aiger_symbol_table_restores_names() {
+    let mut aig = Aig::new("named");
+    let a = aig.input("op_a");
+    let b = aig.input("op_b");
+    let s = aig.xor(a, b);
+    let c = aig.and(a, b);
+    aig.output("sum", s);
+    aig.output("carry", c);
+
+    let mut buf = Vec::new();
+    write_aag(&aig, &mut buf).unwrap();
+    // `read_aag` must keep the symbol table, not drop it: names and the
+    // design name (first comment line) survive the round trip.
+    let back = read_aag(buf.as_slice(), "fallback").unwrap();
+    assert_eq!(back.name(), "named");
+    assert_eq!(back.input_name(0), "op_a");
+    assert_eq!(back.input_name(1), "op_b");
+    assert_eq!(back.output_name(0), "sum");
+    assert_eq!(back.output_name(1), "carry");
+
+    // Byte-level fixpoint: write → read → write is the identity.
+    let mut buf2 = Vec::new();
+    write_aag(&back, &mut buf2).unwrap();
+    assert_eq!(buf, buf2, "write→read→write must be byte-identical");
+}
+
+#[test]
+fn aiger_partial_symbols_fall_back_to_positional_names() {
+    let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni1 beta\n";
+    let aig = read_aag(src.as_bytes(), "part").unwrap();
+    assert_eq!(aig.name(), "part", "no comment section keeps fallback name");
+    assert_eq!(aig.input_name(0), "i0");
+    assert_eq!(aig.input_name(1), "beta");
+    assert_eq!(aig.output_name(0), "o0");
+}
+
+#[test]
+fn aiger_tolerates_trailing_blank_lines() {
+    // Editor-appended blank lines around the symbol table are not symbol
+    // lines; external files carry them routinely.
+    let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n\ni0 alpha\n\nc\nblanky\n\n";
+    let aig = read_aag(src.as_bytes(), "x").unwrap();
+    assert_eq!(aig.input_name(0), "alpha");
+    assert_eq!(aig.name(), "blanky");
+}
+
+#[test]
+fn aiger_rejects_malformed_symbol_lines() {
+    let body = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+    for (sym, why) in [
+        ("i0\n", "symbol without a name"),
+        ("i0 \n", "empty symbol name"),
+        ("i9 x\n", "symbol position out of range"),
+        ("o1 x\n", "output symbol position out of range"),
+        ("q0 x\n", "unknown symbol kind"),
+        ("i0 a\ni0 b\n", "duplicate symbol"),
+        ("ix x\n", "non-numeric symbol position"),
+        ("l0 x\n", "latch symbol in a combinational file"),
+    ] {
+        let text = format!("{body}{sym}");
+        assert!(
+            read_aag(text.as_bytes(), "x").is_err(),
+            "accepted {why}: {sym:?}"
+        );
+    }
+}
+
+#[test]
+fn aiger_rejects_invalid_definitions() {
+    for (src, why) in [
+        ("aag 3 2 0 1 1\n3\n4\n6\n6 2 4\n", "odd input literal"),
+        ("aag 3 2 0 1 1\n2\n2\n6\n6 2 4\n", "duplicate input literal"),
+        ("aag 3 2 0 1 1\n2\n8\n6\n6 2 4\n", "input literal beyond m"),
+        (
+            "aag 3 2 0 1 1\n0\n4\n6\n6 2 4\n",
+            "constant as input literal",
+        ),
+        ("aag 3 2 0 1 1\n2\n4\n6\n7 2 4\n", "odd and definition"),
+        ("aag 3 2 0 1 1\n2\n4\n6\n4 2 4\n", "and clobbers an input"),
+        ("aag 3 2 0 1 1\n2\n4\n6\n8 2 4\n", "and literal beyond m"),
+        ("aag 3 2 0 1 1\n2\n4\n9\n6 2 4\n", "output literal beyond m"),
+        ("aag 2 2 0 1 1\n2\n4\n6\n6 2 4\n", "header bound too small"),
+    ] {
+        assert!(read_aag(src.as_bytes(), "x").is_err(), "accepted {why}");
+    }
+    // The well-formed sibling of the rejected files parses.
+    let ok = read_aag("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n".as_bytes(), "ok").unwrap();
+    assert_eq!(ok.num_inputs(), 2);
+    assert_eq!(ok.num_outputs(), 1);
+}
+
 // ------------------------------------------------------------ Network ----
 
 fn full_adder_net() -> Network {

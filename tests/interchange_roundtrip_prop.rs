@@ -1,0 +1,168 @@
+//! Property-based round-trip harness for the interchange frontends.
+//!
+//! Random AIGs go out and back through both formats:
+//!
+//! * `write_aag → read_aag` — structural counts, input/output/design names
+//!   (symbol table + comment section) and functions survive, and a second
+//!   write is **byte-identical** (the canonical-form fixpoint);
+//! * `write_blif → parse_blif` — same, via the Aig-level BLIF writer;
+//! * mapped `Network → render_blif → parse_blif` — primary-output truth
+//!   tables match the source AIG.
+
+use proptest::prelude::*;
+use sfq_t1::netlist::aiger::{read_aag, write_aag};
+use sfq_t1::netlist::blif::write_blif;
+use sfq_t1::netlist::{export, map_aig, AigLit, Library};
+use sfq_t1::prelude::*;
+
+/// A recipe for one random AIG node (indices resolve modulo the pool).
+#[derive(Debug, Clone)]
+enum Op {
+    And(usize, usize, bool, bool),
+    Xor(usize, usize),
+    Maj(usize, usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, ca, cb)| Op::And(a, b, ca, cb)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Xor(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(a, b, c)| Op::Maj(a, b, c)),
+    ]
+}
+
+fn build_aig(num_inputs: usize, ops: &[Op], num_outputs: usize, negate_mask: u64) -> Aig {
+    let mut aig = Aig::new("prop rt"); // space: exercises BLIF sanitization
+    let mut pool: Vec<AigLit> = (0..num_inputs)
+        .map(|i| aig.input(format!("in[{i}]")))
+        .collect();
+    for op in ops {
+        let lit = |idx: usize, pool: &[AigLit]| pool[idx % pool.len()];
+        let new = match *op {
+            Op::And(a, b, ca, cb) => {
+                let (mut x, mut y) = (lit(a, &pool), lit(b, &pool));
+                if ca {
+                    x = !x;
+                }
+                if cb {
+                    y = !y;
+                }
+                aig.and(x, y)
+            }
+            Op::Xor(a, b) => {
+                let (x, y) = (lit(a, &pool), lit(b, &pool));
+                aig.xor(x, y)
+            }
+            Op::Maj(a, b, c) => {
+                let (x, y, z) = (lit(a, &pool), lit(b, &pool), lit(c, &pool));
+                aig.maj(x, y, z)
+            }
+        };
+        pool.push(new);
+    }
+    for k in 0..num_outputs {
+        let mut lit = pool[pool.len() - 1 - (k % pool.len().min(6))];
+        if negate_mask >> k & 1 == 1 {
+            lit = !lit;
+        }
+        aig.output(format!("out[{k}]"), lit);
+    }
+    aig
+}
+
+fn random_patterns(inputs: usize, salt: u64) -> Vec<u64> {
+    (0..inputs)
+        .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left((i as u32) * 7) ^ salt)
+        .collect()
+}
+
+fn assert_interface_preserved(a: &Aig, b: &Aig) {
+    assert_eq!(b.name(), a.name(), "design name");
+    assert_eq!(b.num_inputs(), a.num_inputs());
+    assert_eq!(b.num_outputs(), a.num_outputs());
+    for k in 0..a.num_outputs() {
+        assert_eq!(b.output_name(k), a.output_name(k), "output {k} name");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// AIGER: names + structure + function survive; the second write is
+    /// byte-identical to the first.
+    #[test]
+    fn prop_aag_round_trip_is_a_byte_fixpoint(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        num_inputs in 1usize..8,
+        num_outputs in 1usize..6,
+        negate_mask in any::<u64>(),
+    ) {
+        let aig = build_aig(num_inputs, &ops, num_outputs, negate_mask);
+        let mut w1 = Vec::new();
+        write_aag(&aig, &mut w1).expect("write to memory");
+        let back = read_aag(w1.as_slice(), "fallback").expect("written aag parses");
+        assert_interface_preserved(&aig, &back);
+        for k in 0..aig.num_inputs() {
+            prop_assert_eq!(back.input_name(k), aig.input_name(k), "input {} name", k);
+        }
+        let pats = random_patterns(aig.num_inputs(), 0xA5A5);
+        prop_assert_eq!(aig.simulate(&pats), back.simulate(&pats));
+        let mut w2 = Vec::new();
+        write_aag(&back, &mut w2).expect("write to memory");
+        prop_assert_eq!(w1, w2, "write→read→write must be byte-identical");
+    }
+
+    /// BLIF (AIG level): sanitized names + function survive; the second
+    /// write is byte-identical to the first.
+    #[test]
+    fn prop_blif_round_trip_is_a_byte_fixpoint(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        num_inputs in 1usize..8,
+        num_outputs in 1usize..6,
+        negate_mask in any::<u64>(),
+    ) {
+        let aig = build_aig(num_inputs, &ops, num_outputs, negate_mask);
+        let w1 = write_blif(&aig);
+        let back = parse_blif(&w1).expect("written blif parses");
+        prop_assert_eq!(back.name(), "prop_rt", "model name is sanitized");
+        prop_assert_eq!(back.num_inputs(), aig.num_inputs());
+        prop_assert_eq!(back.num_outputs(), aig.num_outputs());
+        for k in 0..aig.num_inputs() {
+            prop_assert_eq!(back.input_name(k), aig.input_name(k), "input {} name", k);
+        }
+        for k in 0..aig.num_outputs() {
+            prop_assert_eq!(back.output_name(k), aig.output_name(k), "output {} name", k);
+        }
+        let pats = random_patterns(aig.num_inputs(), 0x5A5A);
+        prop_assert_eq!(aig.simulate(&pats), back.simulate(&pats));
+        prop_assert_eq!(write_blif(&back), w1, "write→read→write must be byte-identical");
+    }
+
+    /// Mapped networks: `render_blif → parse_blif` preserves every primary
+    /// output's truth table.
+    #[test]
+    fn prop_mapped_blif_preserves_po_truth_tables(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        num_inputs in 1usize..7,
+        num_outputs in 1usize..5,
+    ) {
+        let aig = build_aig(num_inputs, &ops, num_outputs, 0);
+        let net = map_aig(&aig, &Library::default());
+        let text = export::render_blif(&net);
+        let back = parse_blif(&text).expect("exported blif parses");
+        prop_assert_eq!(back.num_inputs(), aig.num_inputs());
+        prop_assert_eq!(back.num_outputs(), aig.num_outputs());
+        // ≤ 6 inputs: 64 patterns cover the full truth table exhaustively.
+        let pats: Vec<u64> = (0..aig.num_inputs())
+            .map(|i| {
+                let mut w = 0u64;
+                for row in 0..64u64 {
+                    w |= (row >> i & 1) << row;
+                }
+                w
+            })
+            .collect();
+        prop_assert_eq!(aig.simulate(&pats), back.simulate(&pats));
+    }
+}
