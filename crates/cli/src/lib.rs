@@ -13,17 +13,21 @@
 //! sfqt1 convert adder.aag --blif adder.blif      # format conversion
 //! ```
 //!
-//! Inputs are combinational ASCII AIGER (`.aag`) or BLIF (`.blif`) files;
-//! every subcommand accepts `--help`-style usage errors with exit code 2.
-//! The dispatch logic lives in this library so the test suite can drive it
-//! end to end without spawning processes.
+//! Inputs are combinational ASCII AIGER (`.aag`) or BLIF (`.blif`) files.
+//! Exit codes are distinct: 0 when everything succeeded, 1 for usage
+//! mistakes and fatal errors, 2 when a batch completed but some designs
+//! failed (see [`exit_code`]). The dispatch logic lives in this library so
+//! the test suite can drive it end to end without spawning processes.
 
 // Every public item in this workspace is documented; keep it that way.
 #![deny(missing_docs)]
 
 use sfq_circuits::{Benchmark, ExtBenchmark};
 use sfq_core::report::StageReport;
-use sfq_core::{run_flow, run_flow_on_design, FlowConfig, FlowResult, PhaseEngine};
+use sfq_core::{
+    run_flow, run_flow_supervised, FlowConfig, FlowOutcome, FlowReport, FlowResult, Limits,
+    PhaseEngine,
+};
 use sfq_netlist::design::{Design, DesignError};
 use sfq_netlist::{aiger, blif, export, map_aig, par, Aig, Library};
 use sfq_sim::energy::{measure_energy, EnergyModel};
@@ -32,6 +36,7 @@ use sfq_sim::{vcd, PulseSim};
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
+use std::time::Duration;
 
 mod args;
 
@@ -53,6 +58,15 @@ pub enum CliError {
     Input(String),
     /// The synthesis flow itself failed.
     Flow(String),
+    /// A batch run completed (graceful degradation) but some designs
+    /// failed — reported after the per-design `FAILED(...)` rows and the
+    /// summary line, and mapped to exit code 2 by [`exit_code`].
+    Partial {
+        /// Designs that finished and verified.
+        ok: usize,
+        /// Designs that failed (ingest, flow error, panic or budget abort).
+        failed: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -62,7 +76,21 @@ impl fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Input(m) => write!(f, "{m}"),
             CliError::Flow(m) => write!(f, "{m}"),
+            CliError::Partial { ok, failed } => {
+                write!(f, "batch: {failed} of {} designs failed", ok + failed)
+            }
         }
+    }
+}
+
+/// Maps a [`run`] result onto the process exit code: `0` when everything
+/// succeeded, `1` for usage mistakes and fatal errors, `2` when a batch
+/// completed but some designs failed ([`CliError::Partial`]).
+pub fn exit_code(result: &Result<(), CliError>) -> u8 {
+    match result {
+        Ok(()) => 0,
+        Err(CliError::Partial { .. }) => 2,
+        Err(_) => 1,
     }
 }
 
@@ -83,6 +111,7 @@ USAGE:
         [--gain-threshold K] [--waves K] [--stats]
         [--blif P] [--dot P] [--vcd P] [--verilog P]
   sfqt1 flow --batch <dir> [--phases N] [--t1] [--engine E] [--gain-threshold K]
+        [--keep-going|--fail-fast] [--deadline-ms T] [--max-nodes N]
   sfqt1 table <input> [--phases N]
   sfqt1 bench <name> [--small] [--aag P] [--blif P]
   sfqt1 energy <input> [--phases N] [--t1] [--waves K]
@@ -97,7 +126,12 @@ SUBCOMMANDS:
             structural Verilog, VCD pulse waveform of random operand waves.
             --batch runs every .aag/.blif design in a directory (one table
             row per design, input order; identical content parses once;
-            with the `parallel` build the flows fan over worker threads)
+            with the `parallel` build the flows fan over worker threads).
+            Each batch design runs supervised: a design that fails to
+            parse, panics, or exceeds --deadline-ms / --max-nodes renders
+            as a FAILED(reason) row while the rest continue (--keep-going,
+            the default) or the batch stops at the first failure
+            (--fail-fast); any failure makes the exit code 2
   table     run the paper's three-flow comparison (1φ / nφ / nφ+T1) on a file
   bench     generate a built-in benchmark circuit (EPFL/ISCAS stand-ins)
   energy    pulse-simulate random waves and report static/dynamic power
@@ -234,12 +268,14 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "gain-threshold",
             "waves",
             "batch",
+            "deadline-ms",
+            "max-nodes",
             "blif",
             "dot",
             "vcd",
             "verilog",
         ],
-        &["t1", "stats"],
+        &["t1", "stats", "keep-going", "fail-fast"],
     )?;
     if let Some(dir) = a.option("batch") {
         if a.positional(0).is_some() {
@@ -256,8 +292,36 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 "flow: per-design artifact/report options do not combine with --batch".into(),
             ));
         }
+        if a.flag("keep-going") && a.flag("fail-fast") {
+            return Err(CliError::Usage(
+                "flow: --keep-going and --fail-fast are mutually exclusive".into(),
+            ));
+        }
         let config = flow_config(&a)?;
-        return cmd_flow_batch(dir, &config, out);
+        let opts = BatchOptions {
+            fail_fast: a.flag("fail-fast"),
+            limits: Limits {
+                deadline: match a.option("deadline-ms") {
+                    Some(_) => Some(Duration::from_millis(a.parsed_option("deadline-ms", 0)?)),
+                    None => None,
+                },
+                max_nodes: match a.option("max-nodes") {
+                    Some(_) => Some(a.parsed_option("max-nodes", 0)?),
+                    None => None,
+                },
+            },
+        };
+        return cmd_flow_batch(dir, &config, &opts, out);
+    }
+    if a.flag("keep-going") || a.flag("fail-fast") {
+        return Err(CliError::Usage(
+            "flow: --keep-going/--fail-fast only apply to --batch".into(),
+        ));
+    }
+    if a.option("deadline-ms").is_some() || a.option("max-nodes").is_some() {
+        return Err(CliError::Usage(
+            "flow: --deadline-ms/--max-nodes only apply to --batch".into(),
+        ));
     }
     let path = a
         .positional(0)
@@ -294,37 +358,122 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Ingests a batch directory through the shared
-/// [`design::load_dir`](sfq_netlist::design::load_dir) path, mapping
-/// failures onto CLI errors (an empty directory is a usage mistake here).
-fn load_batch_designs(dir: &str) -> Result<(Vec<(String, Design)>, usize), CliError> {
-    let (designs, cache_hits) =
-        sfq_netlist::design::load_dir(Path::new(dir)).map_err(|e| match e {
+/// One ingested batch entry: file name plus the parse result (ingest
+/// failures become `FAILED` rows instead of aborting the batch).
+type BatchEntry = (String, Result<Design, DesignError>);
+
+/// Batch-only options of `sfqt1 flow --batch`.
+struct BatchOptions {
+    /// Stop printing/processing at the first failed row (`--fail-fast`)
+    /// instead of degrading gracefully (`--keep-going`, the default).
+    fail_fast: bool,
+    /// Per-design supervision limits (`--deadline-ms`, `--max-nodes`).
+    limits: Limits,
+}
+
+/// Ingests a batch directory through the shared fault-tolerant
+/// [`design::load_dir_results`](sfq_netlist::design::load_dir_results)
+/// path: only a missing/unlistable directory (or one with no design files
+/// at all) is an error here — unparseable files become per-design entries.
+fn load_batch_designs(dir: &str) -> Result<(Vec<BatchEntry>, usize), CliError> {
+    let (entries, cache_hits) =
+        sfq_netlist::design::load_dir_results(Path::new(dir)).map_err(|e| match e {
             DesignError::Io { path, source } => CliError::Io { path, source },
             other => CliError::Input(other.to_string()),
         })?;
-    if designs.is_empty() {
+    if entries.is_empty() {
         return Err(CliError::Usage(format!(
             "flow: no .aag/.blif designs in `{dir}`"
         )));
     }
-    Ok((designs, cache_hits))
+    Ok((entries, cache_hits))
+}
+
+/// One rendered batch row plus the outcome class the driver needs for the
+/// summary (`ok`) and the sequential-retry policy (`panicked`).
+struct BatchRow {
+    line: String,
+    ok: bool,
+    panicked: bool,
+}
+
+/// Runs one batch entry supervised and renders its table row. Every
+/// failure renders as `FAILED(<reason>)` with a deterministic reason (no
+/// timings, no addresses), so batch output is byte-identical across runs,
+/// builds and worker counts.
+fn batch_row(entry: &BatchEntry, config: &FlowConfig, limits: &Limits) -> BatchRow {
+    let (file, design) = entry;
+    let failed = |reason: String, panicked: bool| BatchRow {
+        line: format!("{file:<16} FAILED({reason})"),
+        ok: false,
+        panicked,
+    };
+    match design {
+        Err(e) => failed(e.to_string(), false),
+        Ok(design) => match run_flow_supervised(design, config, limits) {
+            FlowOutcome::Ok(res) => BatchRow {
+                line: batch_report_row(file, design, &res.report),
+                ok: true,
+                panicked: false,
+            },
+            outcome @ FlowOutcome::Panicked { .. } => {
+                failed(outcome.failure().expect("panic outcome has a reason"), true)
+            }
+            outcome => failed(
+                outcome.failure().expect("failed outcome has a reason"),
+                false,
+            ),
+        },
+    }
+}
+
+/// Formats the successful-row columns (shared by first run and retry).
+fn batch_report_row(file: &str, design: &Design, r: &FlowReport) -> String {
+    format!(
+        "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
+        file,
+        design.format.extension(),
+        design.aig.num_inputs(),
+        design.aig.num_outputs(),
+        r.t1_found,
+        r.t1_used,
+        r.num_gates,
+        r.num_dffs,
+        r.area,
+        r.depth_cycles
+    )
 }
 
 /// `sfqt1 flow --batch <dir>`: the full flow on every design of a
-/// directory, one report row per design.
+/// directory, one report row per design, with graceful degradation.
 ///
 /// Designs are ingested sequentially (through the parse cache), fanned over
-/// [`par::workers`] scoped threads for the flows, and the rows are merged
-/// back in input order — so the printed table is byte-identical between
-/// sequential and parallel builds, for any worker count.
-fn cmd_flow_batch(dir: &str, config: &FlowConfig, out: &mut dyn Write) -> Result<(), CliError> {
-    let (designs, cache_hits) = load_batch_designs(dir)?;
+/// [`par::workers`] scoped threads for the supervised flows, and the rows
+/// are merged back in input order — so the printed table is byte-identical
+/// between sequential and parallel builds, for any worker count (failure
+/// reasons are deterministic strings; see [`batch_row`]).
+///
+/// Containment policy: a design that fails — unparseable, flow error,
+/// panic, deadline or node-budget abort — renders as a `FAILED(<reason>)`
+/// row. A design that *panicked* under the parallel build is retried once
+/// sequentially (workers forced to 1 for the retry) before being declared
+/// dead: panics that only manifest under parallelism don't kill the design.
+/// Under `--keep-going` (default) every design runs; `--fail-fast` stops
+/// the output at the first failed row. Either way the run ends with a
+/// `batch summary:` line, and any failure surfaces as
+/// [`CliError::Partial`] (exit code 2).
+fn cmd_flow_batch(
+    dir: &str,
+    config: &FlowConfig,
+    opts: &BatchOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (entries, cache_hits) = load_batch_designs(dir)?;
     writeln!(
         out,
         "batch: {} designs ({} parsed, {} cache hits)",
-        designs.len(),
-        designs.len() - cache_hits,
+        entries.len(),
+        entries.len() - cache_hits,
         cache_hits
     )
     .map_err(io_err("<stdout>"))?;
@@ -334,26 +483,40 @@ fn cmd_flow_batch(dir: &str, config: &FlowConfig, out: &mut dyn Write) -> Result
         "design", "fmt", "in", "out", "found", "used", "cells", "dffs", "area JJ", "depth"
     )
     .map_err(io_err("<stdout>"))?;
-    let rows: Vec<Result<String, String>> = par::map_ordered(designs, |(file, design)| {
-        let res = run_flow_on_design(&design, config).map_err(|e| format!("{file}: {e}"))?;
-        let r = &res.report;
-        Ok(format!(
-            "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
-            file,
-            design.format.extension(),
-            design.aig.num_inputs(),
-            design.aig.num_outputs(),
-            r.t1_found,
-            r.t1_used,
-            r.num_gates,
-            r.num_dffs,
-            r.area,
-            r.depth_cycles
-        ))
-    });
-    for row in rows {
-        let line = row.map_err(CliError::Flow)?;
-        writeln!(out, "{line}").map_err(io_err("<stdout>"))?;
+    let indices: Vec<usize> = (0..entries.len()).collect();
+    let mut rows: Vec<BatchRow> =
+        par::map_ordered(indices, |i| batch_row(&entries[i], config, &opts.limits));
+    // Sequential retry of panicked designs: with the parallel build active,
+    // re-run each one on this thread with workers forced to 1, so a panic
+    // that only manifests under the parallel fan-outs gets a second chance.
+    // Deterministic faults fail again identically, keeping sequential and
+    // parallel batch output byte-identical.
+    if par::workers() > 1 && rows.iter().any(|r| r.panicked) {
+        par::force_workers(1);
+        for (i, row) in rows.iter_mut().enumerate() {
+            if row.panicked {
+                *row = batch_row(&entries[i], config, &opts.limits);
+            }
+        }
+        par::force_workers(0);
+    }
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for row in &rows {
+        writeln!(out, "{}", row.line).map_err(io_err("<stdout>"))?;
+        if row.ok {
+            ok += 1;
+        } else {
+            failed += 1;
+            if opts.fail_fast {
+                writeln!(out, "batch: stopping at first failure (--fail-fast)")
+                    .map_err(io_err("<stdout>"))?;
+                break;
+            }
+        }
+    }
+    writeln!(out, "batch summary: {ok} ok, {failed} failed").map_err(io_err("<stdout>"))?;
+    if failed > 0 {
+        return Err(CliError::Partial { ok, failed });
     }
     Ok(())
 }
@@ -875,5 +1038,278 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let e = run_to_string(&["flow", "/nonexistent/x.aag"]).expect_err("io");
         assert!(matches!(e, CliError::Io { .. }), "{e}");
+    }
+
+    // --------------------------------------------- batch degradation ----
+
+    /// Like [`run_to_string`], but also returns the captured output when
+    /// `run` errs — batch runs print their rows and summary *before*
+    /// reporting partial failure.
+    fn run_capture(args: &[&str]) -> (Result<(), CliError>, String) {
+        let mut out = Vec::new();
+        let result = run(&argv(args), &mut out);
+        (result, String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn mux_blif(model: &str) -> String {
+        format!(".model {model}\n.inputs s a b\n.outputs y\n.names s a b y\n11- 1\n0-1 1\n.end\n")
+    }
+
+    #[test]
+    fn exit_codes_distinguish_ok_partial_and_fatal() {
+        assert_eq!(exit_code(&Ok(())), 0);
+        assert_eq!(exit_code(&Err(CliError::Usage("x".into()))), 1);
+        assert_eq!(exit_code(&Err(CliError::Partial { ok: 3, failed: 2 })), 2);
+        let io = run_to_string(&["flow", "/nonexistent/x.aag"]).expect_err("io");
+        assert_eq!(exit_code(&Err(io)), 1);
+    }
+
+    #[test]
+    fn partial_failure_reports_its_counts() {
+        let e = CliError::Partial { ok: 3, failed: 2 };
+        assert_eq!(e.to_string(), "batch: 2 of 5 designs failed");
+    }
+
+    #[test]
+    fn flow_batch_survives_an_unparseable_design() {
+        let dir = scratch("batch-lenient");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a_good.blif"), mux_blif("lenient_a")).expect("write");
+        std::fs::write(dir.join("b_broken.aag"), "aag 1 garbage\n").expect("write");
+        std::fs::write(dir.join("c_good.blif"), mux_blif("lenient_c")).expect("write");
+
+        let (result, text) = run_capture(&["flow", "--batch", dir.to_str().expect("utf8")]);
+        assert!(
+            matches!(result, Err(CliError::Partial { ok: 2, failed: 1 })),
+            "{result:?}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("a_good.blif") && !l.contains("FAILED")),
+            "good design before the broken one still runs:\n{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("b_broken.aag") && l.contains("FAILED(")),
+            "broken design renders as a FAILED row:\n{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("c_good.blif") && !l.contains("FAILED")),
+            "good design after the broken one still runs:\n{text}"
+        );
+        assert!(text.contains("batch summary: 2 ok, 1 failed"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flow_batch_fail_fast_stops_at_the_first_failure() {
+        let dir = scratch("batch-failfast");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a_broken.blif"), "not a netlist\n").expect("write");
+        std::fs::write(dir.join("b_good.blif"), mux_blif("failfast_b")).expect("write");
+
+        let (result, text) = run_capture(&[
+            "flow",
+            "--batch",
+            dir.to_str().expect("utf8"),
+            "--fail-fast",
+        ]);
+        assert!(
+            matches!(result, Err(CliError::Partial { failed: 1, .. })),
+            "{result:?}"
+        );
+        assert!(
+            text.contains("batch: stopping at first failure (--fail-fast)"),
+            "{text}"
+        );
+        assert!(
+            !text.lines().any(|l| l.starts_with("b_good.blif")),
+            "rows after the first failure are not printed:\n{text}"
+        );
+        assert!(text.contains("batch summary: 0 ok, 1 failed"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flow_batch_deadline_zero_times_out_every_design() {
+        let dir = scratch("batch-deadline");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a.blif"), mux_blif("deadline_a")).expect("write");
+        std::fs::write(dir.join("b.blif"), mux_blif("deadline_b")).expect("write");
+
+        let (result, text) = run_capture(&[
+            "flow",
+            "--batch",
+            dir.to_str().expect("utf8"),
+            "--deadline-ms",
+            "0",
+        ]);
+        assert!(
+            matches!(result, Err(CliError::Partial { ok: 0, failed: 2 })),
+            "{result:?}"
+        );
+        let failed_rows = text
+            .lines()
+            .filter(|l| l.contains("FAILED(deadline exceeded)"))
+            .count();
+        assert_eq!(failed_rows, 2, "{text}");
+        assert!(text.contains("batch summary: 0 ok, 2 failed"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flow_batch_node_ceiling_renders_over_budget_rows() {
+        let dir = scratch("batch-nodes");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a.blif"), mux_blif("nodes_a")).expect("write");
+
+        let (result, text) = run_capture(&[
+            "flow",
+            "--batch",
+            dir.to_str().expect("utf8"),
+            "--max-nodes",
+            "1",
+        ]);
+        assert!(
+            matches!(result, Err(CliError::Partial { ok: 0, failed: 1 })),
+            "{result:?}"
+        );
+        assert!(text.contains("FAILED(node budget exceeded)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_only_options_are_rejected_outside_batch() {
+        let aag = scratch("nonbatch.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
+        let dir = scratch("nonbatch-dir");
+        std::fs::create_dir_all(&dir).expect("dir");
+        for args in [
+            vec!["flow", aag_s, "--keep-going"],
+            vec!["flow", aag_s, "--fail-fast"],
+            vec!["flow", aag_s, "--deadline-ms", "5"],
+            vec!["flow", aag_s, "--max-nodes", "100"],
+            vec![
+                "flow",
+                "--batch",
+                dir.to_str().expect("utf8"),
+                "--keep-going",
+                "--fail-fast",
+            ],
+        ] {
+            assert!(
+                matches!(run_to_string(&args), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+        std::fs::remove_file(aag).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Worker-forcing tests share the process-global override; serialize
+    /// them so a concurrent test never observes a half-forced state.
+    #[cfg(feature = "parallel")]
+    static FORCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn batch_output_is_identical_sequential_and_parallel() {
+        let dir = scratch("batch-seqpar");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a.blif"), mux_blif("seqpar_a")).expect("write");
+        std::fs::write(dir.join("b_broken.blif"), "garbage\n").expect("write");
+        std::fs::write(dir.join("c.blif"), mux_blif("seqpar_c")).expect("write");
+        std::fs::write(dir.join("d.blif"), mux_blif("seqpar_d")).expect("write");
+        let args = ["flow", "--batch", dir.to_str().expect("utf8"), "--t1"];
+
+        let _guard = FORCE_LOCK.lock().expect("force lock");
+        par::force_workers(1);
+        let (seq_res, seq_text) = run_capture(&args);
+        par::force_workers(4);
+        let (par_res, par_text) = run_capture(&args);
+        par::force_workers(0);
+
+        assert_eq!(
+            seq_text, par_text,
+            "batch output (including FAILED rows) is worker-count independent"
+        );
+        assert!(matches!(
+            seq_res,
+            Err(CliError::Partial { ok: 3, failed: 1 })
+        ));
+        assert!(matches!(
+            par_res,
+            Err(CliError::Partial { ok: 3, failed: 1 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The acceptance scenario: a poisoned batch (one parse failure, one
+    /// injected panic, one deadline overrun) completes the remaining
+    /// designs with rows byte-identical to the clean run, prints the
+    /// summary, and maps to exit code 2.
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn poisoned_batch_degrades_gracefully_with_identical_surviving_rows() {
+        use sfq_netlist::faultpt::{arm, disarm, FaultAction};
+
+        let dir = scratch("batch-poison");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a_one.blif"), mux_blif("poison_a")).expect("write");
+        std::fs::write(dir.join("b_two.blif"), mux_blif("poison_b")).expect("write");
+        std::fs::write(dir.join("c_three.blif"), mux_blif("poison_c")).expect("write");
+        std::fs::write(dir.join("d_four.blif"), mux_blif("poison_d")).expect("write");
+        std::fs::write(dir.join("e_broken.blif"), "garbage\n").expect("write");
+        let dir_s = dir.to_str().expect("utf8");
+
+        let (clean_res, clean_text) = run_capture(&["flow", "--batch", dir_s, "--t1"]);
+        assert!(
+            matches!(clean_res, Err(CliError::Partial { ok: 4, failed: 1 })),
+            "only the broken file fails the clean run: {clean_res:?}"
+        );
+
+        // Unlimited arming: the sequential retry of a panicked design must
+        // hit the same fault again, keeping parallel output identical.
+        arm("flow.detect", Some("poison_a"), FaultAction::Panic);
+        arm("flow.phase", Some("poison_b"), FaultAction::Delay(60_000));
+        let (poison_res, poison_text) =
+            run_capture(&["flow", "--batch", dir_s, "--t1", "--deadline-ms", "2000"]);
+        disarm("flow.detect", Some("poison_a"));
+        disarm("flow.phase", Some("poison_b"));
+
+        assert!(
+            matches!(poison_res, Err(CliError::Partial { ok: 2, failed: 3 })),
+            "{poison_res:?}"
+        );
+        assert_eq!(exit_code(&poison_res), 2);
+        let row = |text: &str, file: &str| -> String {
+            text.lines()
+                .find(|l| l.starts_with(file))
+                .unwrap_or_else(|| panic!("row for {file} in:\n{text}"))
+                .to_string()
+        };
+        assert!(
+            row(&poison_text, "a_one.blif")
+                .contains("FAILED(panicked: injected panic at flow.detect)"),
+            "{poison_text}"
+        );
+        assert!(
+            row(&poison_text, "b_two.blif").contains("FAILED(deadline exceeded)"),
+            "{poison_text}"
+        );
+        for survivor in ["c_three.blif", "d_four.blif", "e_broken.blif"] {
+            assert_eq!(
+                row(&clean_text, survivor),
+                row(&poison_text, survivor),
+                "surviving rows are byte-identical to the clean run"
+            );
+        }
+        assert!(
+            poison_text.contains("batch summary: 2 ok, 3 failed"),
+            "{poison_text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

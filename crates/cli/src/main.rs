@@ -1,20 +1,17 @@
-//! Thin process wrapper around [`sfq_cli::run`]: exit code 2 for usage
-//! errors, 1 for everything else, 0 on success.
+//! Thin process wrapper around [`sfq_cli::run`]: exit code 0 on success,
+//! 1 for usage mistakes and fatal errors, 2 when a batch completed with
+//! partial failure (see [`sfq_cli::exit_code`]).
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();
-    match sfq_cli::run(&argv, &mut stdout) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(sfq_cli::CliError::Usage(m)) => {
-            eprintln!("{m}");
-            ExitCode::from(2)
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+    let result = sfq_cli::run(&argv, &mut stdout);
+    match &result {
+        Ok(()) => {}
+        Err(sfq_cli::CliError::Usage(m)) => eprintln!("{m}"),
+        Err(e) => eprintln!("error: {e}"),
     }
+    ExitCode::from(sfq_cli::exit_code(&result))
 }

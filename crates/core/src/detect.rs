@@ -167,7 +167,10 @@ fn collect_matches(net: &Network, cuts: &sfq_netlist::CutSet, db: &T1MatchDb) ->
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("match collection worker panicked"))
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
                     .collect()
             });
             // Concatenating in chunk order preserves ascending cell order —
@@ -334,17 +337,29 @@ fn evaluate_candidates(
     {
         let workers = sfq_netlist::par::workers();
         if workers > 1 && runs.len() >= 256 {
+            // Budgets are thread-local (worker ticks are no-ops), so charge
+            // the whole scoring pass on the coordinator — the same total the
+            // sequential loop accumulates one run at a time.
+            sfq_netlist::budget::tick(runs.len() as u64);
             let chunk = runs.len().div_ceil(workers);
             let parts: Vec<Vec<T1Group>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = runs
                     .chunks(chunk)
                     .map(|part| {
-                        scope.spawn(move || evaluate_runs(net, lib, refs, recs, part, threshold))
+                        scope.spawn(move || {
+                            #[cfg(feature = "fault-injection")]
+                            sfq_netlist::faultpt::hit("par.detect", net.name());
+                            evaluate_runs(net, lib, refs, recs, part, threshold)
+                        })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("group scoring worker panicked"))
+                    // Preserve worker panic payloads for the supervisor.
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
                     .collect()
             });
             return parts.into_iter().flatten().collect();
@@ -372,6 +387,10 @@ fn evaluate_runs(
     let mut sorted_roots: Vec<CellId> = Vec::new();
     let mut mffc = MffcScratch::new(net.num_cells());
     for &(start, end) in runs {
+        // Supervised-flow budget check (no-op on worker threads and
+        // whenever no budget is installed); the parallel driver charges the
+        // identical total up front, so abort decisions match across builds.
+        sfq_netlist::budget::tick(1);
         let entries = &recs[start as usize..end as usize];
         let (leaves, mask) = unpack_group_key(entries[0].key);
 

@@ -475,6 +475,9 @@ fn descend(core: &EngineCore<'_>, state: &mut EngineState) {
             if !kind.is_clocked() {
                 continue;
             }
+            // Supervised-flow budget check; a thread-local no-op on restart
+            // workers and whenever no budget is installed.
+            sfq_netlist::budget::tick(1);
             let current = state.stages[id.0 as usize];
             let lo = clocked_lower_bound(net, &state.stages, id);
             let mut hi = u32::MAX;
@@ -914,7 +917,14 @@ impl<'a> TimingEngine<'a> {
                     })
                     .collect();
                 descend(core, state);
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    // Preserve worker panic payloads for the supervisor.
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
+                    .collect()
             });
             for part in parts {
                 results.extend(part);

@@ -123,6 +123,10 @@ pub enum FlowError {
     },
     /// The input network failed validation.
     BadInput(String),
+    /// An armed `err`-action fault point fired (`fault-injection` feature
+    /// only — see [`sfq_netlist::faultpt`]). Never produced in production
+    /// builds.
+    Fault(String),
 }
 
 impl std::fmt::Display for FlowError {
@@ -134,6 +138,7 @@ impl std::fmt::Display for FlowError {
                 write!(f, "flow broke functional equivalence at output {output}")
             }
             FlowError::BadInput(e) => write!(f, "invalid input network: {e}"),
+            FlowError::Fault(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -146,11 +151,24 @@ impl From<PhaseError> for FlowError {
     }
 }
 
+/// Stage boundary of a supervised flow: deadline checkpoint plus a named
+/// fault point (context = design/network name). Both are no-ops outside
+/// supervised/fault-injected runs; the checkpoint is what lets a deadline
+/// fire between hot loops rather than only inside them.
+fn stage_gate(site: &'static str, name: &str) -> Result<(), FlowError> {
+    sfq_netlist::budget::checkpoint();
+    if sfq_netlist::faultpt::hit(site, name) {
+        return Err(FlowError::Fault(site.to_string()));
+    }
+    Ok(())
+}
+
 /// Runs a flow starting from an AIG (technology mapping included).
 ///
 /// # Errors
 /// See [`FlowError`].
 pub fn run_flow(aig: &Aig, config: &FlowConfig) -> Result<FlowResult, FlowError> {
+    stage_gate("flow.map", aig.name())?;
     let mapped = map_aig(aig, &config.library);
     run_flow_on_network(&mapped, config)
 }
@@ -177,6 +195,7 @@ pub fn run_flow_on_network(net: &Network, config: &FlowConfig) -> Result<FlowRes
     // Stage 1: T1 detection. A T1 cell needs three pairwise-distinct
     // arrival slots inside its input window of n−1 stages, so with n < 4
     // candidates are still *found* (reported) but none can commit.
+    stage_gate("flow.detect", clean.name())?;
     let (subject, t1_found, t1_used) = if config.use_t1 {
         let det = detect_t1_with_threshold(
             &clean,
@@ -197,11 +216,14 @@ pub fn run_flow_on_network(net: &Network, config: &FlowConfig) -> Result<FlowRes
     // incremental timing engine — the winning descent state's arrivals and
     // memoized chain plans feed the emission pass directly, so nothing is
     // derived twice.
+    stage_gate("flow.phase", clean.name())?;
     let mut engine = TimingEngine::new(&subject, config.phases)?;
     engine.assign(config.engine, config.restarts)?;
+    stage_gate("flow.dff", clean.name())?;
     let timed = engine.emit();
 
     // Verification: audit + functional equivalence against the input.
+    stage_gate("flow.verify", clean.name())?;
     timed.audit().map_err(FlowError::Audit)?;
     if config.equivalence_words > 0 {
         check_equivalence(&clean, &timed.network, config.equivalence_words)?;

@@ -55,6 +55,7 @@ pub mod engine;
 pub mod flow;
 pub mod phase;
 pub mod report;
+pub mod supervise;
 pub mod timed;
 
 pub use detect::{detect_t1, detect_t1_with_threshold, T1Detection, T1Group};
@@ -65,6 +66,8 @@ pub use flow::{
     run_flow, run_flow_on_design, run_flow_on_network, FlowConfig, FlowError, FlowReport,
     FlowResult,
 };
+pub use supervise::{run_flow_supervised, supervise, FlowOutcome, Limits};
+
 pub use phase::{
     arrival_cost, assign_phases, assign_phases_reference, assign_phases_with_restarts,
     solve_arrivals, solve_arrivals_cp, solve_arrivals_enum, ArrivalCache, PhaseEngine, PhaseError,

@@ -786,3 +786,150 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------------------- supervision ----
+
+mod supervision {
+    use super::ripple_adder_aig;
+    use crate::flow::{run_flow, FlowConfig, FlowError};
+    use crate::supervise::{supervise, FlowOutcome, Limits};
+    use std::time::Duration;
+
+    #[test]
+    fn ok_flows_pass_through_with_their_result() {
+        let aig = ripple_adder_aig(4);
+        let outcome = supervise(&Limits::NONE, || run_flow(&aig, &FlowConfig::t1(4)));
+        assert!(outcome.is_ok());
+        let res = outcome.result().expect("finished flow");
+        assert!(res.report.t1_used >= 1);
+        assert_eq!(outcome.failure(), None);
+    }
+
+    #[test]
+    fn typed_flow_errors_become_failed() {
+        let aig = ripple_adder_aig(2);
+        let mut config = FlowConfig::t1(4);
+        config.phases = 0; // infeasible: phase assignment must reject it
+        let outcome = supervise(&Limits::NONE, || run_flow(&aig, &config));
+        assert!(
+            matches!(outcome, FlowOutcome::Failed(FlowError::Phase(_))),
+            "{outcome:?}"
+        );
+        assert!(outcome.failure().expect("reason").contains("phase"));
+    }
+
+    #[test]
+    fn panics_are_contained_with_their_message() {
+        let outcome = supervise(&Limits::NONE, || panic!("exploding flow"));
+        match &outcome {
+            FlowOutcome::Panicked { message } => assert_eq!(message, "exploding flow"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(
+            outcome.failure().expect("reason"),
+            "panicked: exploding flow"
+        );
+    }
+
+    #[test]
+    fn zero_deadline_times_out_at_the_first_stage_gate() {
+        let aig = ripple_adder_aig(4);
+        let limits = Limits {
+            deadline: Some(Duration::ZERO),
+            max_nodes: None,
+        };
+        let outcome = supervise(&limits, || run_flow(&aig, &FlowConfig::t1(4)));
+        assert!(matches!(outcome, FlowOutcome::TimedOut), "{outcome:?}");
+        assert_eq!(outcome.failure().expect("reason"), "deadline exceeded");
+    }
+
+    #[test]
+    fn tiny_node_ceiling_aborts_over_budget() {
+        let aig = ripple_adder_aig(8);
+        let limits = Limits {
+            deadline: None,
+            max_nodes: Some(1),
+        };
+        let outcome = supervise(&limits, || run_flow(&aig, &FlowConfig::t1(4)));
+        assert!(matches!(outcome, FlowOutcome::OverBudget), "{outcome:?}");
+        assert_eq!(outcome.failure().expect("reason"), "node budget exceeded");
+    }
+
+    #[test]
+    fn budget_guard_never_leaks_across_supervised_runs() {
+        let aig = ripple_adder_aig(4);
+        let limits = Limits {
+            deadline: None,
+            max_nodes: Some(1),
+        };
+        let aborted = supervise(&limits, || run_flow(&aig, &FlowConfig::t1(4)));
+        assert!(matches!(aborted, FlowOutcome::OverBudget));
+        // The exhausted budget must not infect the next (unlimited) run.
+        let clean = supervise(&Limits::NONE, || run_flow(&aig, &FlowConfig::t1(4)));
+        assert!(clean.is_ok(), "{clean:?}");
+        assert!(
+            !sfq_netlist::budget::active(),
+            "no budget outlives its supervised flow"
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_stage_faults_map_to_failed_and_panicked() {
+        use sfq_netlist::faultpt::{arm_limited, disarm, FaultAction};
+        let mut aig = ripple_adder_aig(4);
+        aig.set_name("supervise-fault-test");
+        let config = FlowConfig::t1(4);
+
+        arm_limited(
+            "flow.detect",
+            Some("supervise-fault-test"),
+            FaultAction::Panic,
+            1,
+        );
+        let outcome = supervise(&Limits::NONE, || run_flow(&aig, &config));
+        disarm("flow.detect", Some("supervise-fault-test"));
+        assert_eq!(
+            outcome.failure().expect("reason"),
+            "panicked: injected panic at flow.detect"
+        );
+
+        arm_limited(
+            "flow.phase",
+            Some("supervise-fault-test"),
+            FaultAction::Err,
+            1,
+        );
+        let outcome = supervise(&Limits::NONE, || run_flow(&aig, &config));
+        disarm("flow.phase", Some("supervise-fault-test"));
+        assert!(
+            matches!(outcome, FlowOutcome::Failed(FlowError::Fault(_))),
+            "{outcome:?}"
+        );
+        assert_eq!(
+            outcome.failure().expect("reason"),
+            "injected fault at flow.phase"
+        );
+
+        // A delay fault under a deadline: the sliced sleep must notice the
+        // deadline promptly (well under the armed delay).
+        arm_limited(
+            "flow.dff",
+            Some("supervise-fault-test"),
+            FaultAction::Delay(60_000),
+            1,
+        );
+        let limits = Limits {
+            deadline: Some(Duration::from_millis(50)),
+            max_nodes: None,
+        };
+        let start = std::time::Instant::now();
+        let outcome = supervise(&limits, || run_flow(&aig, &config));
+        disarm("flow.dff", Some("supervise-fault-test"));
+        assert!(matches!(outcome, FlowOutcome::TimedOut), "{outcome:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "deadline interrupts the sleep long before the armed 60 s"
+        );
+    }
+}

@@ -402,6 +402,9 @@ pub fn enumerate_cuts_sequential(net: &Network, config: &CutConfig) -> CutSet {
     let mut spans: Vec<(u32, u32)> = vec![(0, 0); net.num_cells()];
     let mut scratch = NodeScratch::default();
     for id in order {
+        // Cooperative deadline/ceiling check for supervised flows; a no-op
+        // (one thread-local read) when no budget is installed.
+        crate::budget::tick(1);
         compute_node_cuts(net, id, config, (&cuts, &sigs, &spans), &mut scratch);
         spans[id.0 as usize] = (cuts.len() as u32, (scratch.kept.len() + 1) as u32);
         emit_node_cuts(id, &scratch, &mut cuts, &mut sigs);
@@ -458,12 +461,18 @@ fn enumerate_cuts_parallel(net: &Network, config: &CutConfig, workers: usize) ->
         if want < 2 {
             for &c in cells {
                 let id = CellId(c);
+                crate::budget::tick(1);
                 compute_node_cuts(net, id, config, (&cuts, &sigs, &spans), &mut scratch);
                 spans[c as usize] = (cuts.len() as u32, (scratch.kept.len() + 1) as u32);
                 emit_node_cuts(id, &scratch, &mut cuts, &mut sigs);
             }
             continue;
         }
+        // Budgets are thread-local (worker ticks would be no-ops), so the
+        // coordinator charges the whole level up front — the same unit total
+        // the sequential path accumulates, keeping node-ceiling aborts
+        // deterministic across builds and worker counts.
+        crate::budget::tick(cells.len() as u64);
         let chunk = cells.len().div_ceil(want);
         let (cuts_ref, sigs_ref, spans_ref) = (cuts.as_slice(), sigs.as_slice(), spans.as_slice());
         let results: Vec<(Vec<Cut>, Vec<u64>, Vec<u32>)> = std::thread::scope(|scope| {
@@ -471,6 +480,8 @@ fn enumerate_cuts_parallel(net: &Network, config: &CutConfig, workers: usize) ->
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move || {
+                        #[cfg(feature = "fault-injection")]
+                        crate::faultpt::hit("par.cuts", net.name());
                         let mut scratch = NodeScratch::default();
                         let mut out_cuts = Vec::new();
                         let mut out_sigs = Vec::new();
@@ -493,7 +504,13 @@ fn enumerate_cuts_parallel(net: &Network, config: &CutConfig, workers: usize) ->
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("cut enumeration worker panicked"))
+                // Preserve a worker's panic payload (e.g. an injected
+                // fault) for the supervision layer instead of masking it
+                // with a join message.
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         });
         // Deterministic merge: chunk order is ascending cell-index order.

@@ -38,7 +38,7 @@
 use crate::aig::Aig;
 use crate::aiger::{read_aag, write_aag, AigerError};
 use crate::blif::{parse_blif, write_blif, BlifError};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::Path;
 
@@ -120,6 +120,12 @@ pub enum DesignError {
     Aiger(AigerError),
     /// BLIF parsing failed.
     Blif(BlifError),
+    /// An armed `err`-action fault point fired (`fault-injection` feature
+    /// only — see [`crate::faultpt`]). Never produced in production builds.
+    Injected {
+        /// The fault-point site that fired (e.g. `parse`).
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for DesignError {
@@ -131,6 +137,7 @@ impl fmt::Display for DesignError {
             }
             DesignError::Aiger(e) => write!(f, "aag: {e}"),
             DesignError::Blif(e) => write!(f, "blif: {e}"),
+            DesignError::Injected { site } => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -169,6 +176,9 @@ impl Design {
         format: DesignFormat,
         fallback_name: &str,
     ) -> Result<Self, DesignError> {
+        if crate::faultpt::hit("parse", fallback_name) {
+            return Err(DesignError::Injected { site: "parse" });
+        }
         let aig = match format {
             DesignFormat::Aag => read_aag(content.as_bytes(), fallback_name)?,
             DesignFormat::Blif => parse_blif(content)?,
@@ -223,6 +233,30 @@ impl Design {
 /// # Errors
 /// [`DesignError`] on I/O failures, unknown formats, or parse errors.
 pub fn load_dir(dir: &Path) -> Result<(Vec<(String, Design)>, usize), DesignError> {
+    let (entries, hits) = load_dir_results(dir)?;
+    let mut designs = Vec::with_capacity(entries.len());
+    for (file, entry) in entries {
+        designs.push((file, entry?));
+    }
+    Ok((designs, hits))
+}
+
+/// The fault-tolerant variant of [`load_dir`]: every `.aag`/`.blif` file
+/// yields an entry, parseable or not, so a batch driver can render broken
+/// designs as per-design failures instead of aborting the whole ingest on
+/// the first bad file.
+///
+/// The outer `Result` only fails when the *directory* cannot be listed;
+/// per-file read and parse failures land in the entry's `Result`. The
+/// second component is the parse-cache hit count (identical file contents
+/// still parse once).
+///
+/// # Errors
+/// [`DesignError::Io`] when listing `dir` fails.
+#[allow(clippy::type_complexity)]
+pub fn load_dir_results(
+    dir: &Path,
+) -> Result<(Vec<(String, Result<Design, DesignError>)>, usize), DesignError> {
     let listing = |source| DesignError::Io {
         path: dir.display().to_string(),
         source,
@@ -244,15 +278,15 @@ pub fn load_dir(dir: &Path) -> Result<(Vec<(String, Design)>, usize), DesignErro
     let mut cache = DesignCache::new();
     let mut designs = Vec::with_capacity(paths.len());
     for path in &paths {
-        let design = cache.load(path)?.clone();
+        let entry = cache.load(path).cloned();
         let file = path
             .file_name()
             .and_then(|n| n.to_str())
             .unwrap_or("design")
             .to_string();
-        designs.push((file, design));
+        designs.push((file, entry));
     }
-    Ok((designs, cache.hits()))
+    Ok((designs, cache.stats().hits))
 }
 
 /// 64-bit FNV-1a — the cache key for [`DesignCache`]. Stable across runs
@@ -267,21 +301,69 @@ pub fn content_hash(bytes: &[u8]) -> u64 {
     h
 }
 
-/// A parse cache keyed by file-content hash.
+/// Counters of a [`DesignCache`] — the health-endpoint numbers of the
+/// future `sfqt1d` daemon, and the observability hook of today's batch
+/// drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Loads served from the cache.
+    pub hits: usize,
+    /// Loads that had to parse (including failed parses).
+    pub misses: usize,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: usize,
+    /// Designs currently cached.
+    pub len: usize,
+    /// Capacity bound.
+    pub capacity: usize,
+}
+
+/// A bounded parse cache keyed by file-content hash.
 ///
 /// Batch drivers load every file in a directory; identical content (same
 /// design under two names, or repeated loads) parses once. The cache stores
-/// the parsed [`Design`] by [`content_hash`], not by path.
-#[derive(Debug, Default)]
+/// the parsed [`Design`] by [`content_hash`], not by path, and holds at
+/// most `capacity` entries: when full, the **oldest inserted** entry is
+/// evicted first (deterministic FIFO — a long-running daemon must not grow
+/// without bound, and eviction order must not depend on hash iteration
+/// order).
+#[derive(Debug)]
 pub struct DesignCache {
     parsed: HashMap<u64, Design>,
+    /// Insertion order of the keys in `parsed`; front = oldest.
+    order: VecDeque<u64>,
+    capacity: usize,
     hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+impl Default for DesignCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DesignCache {
-    /// Creates an empty cache.
+    /// Default capacity bound — generous for any corpus directory while
+    /// keeping a long-lived process's memory finite.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Creates an empty cache with [`DesignCache::DEFAULT_CAPACITY`].
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache holding at most `capacity` designs (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DesignCache {
+            parsed: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Number of loads served from the cache so far.
@@ -289,18 +371,30 @@ impl DesignCache {
         self.hits
     }
 
-    /// Number of distinct designs parsed so far.
+    /// Hit/miss/eviction/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.parsed.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of distinct designs currently cached.
     pub fn len(&self) -> usize {
         self.parsed.len()
     }
 
-    /// True when nothing has been parsed yet.
+    /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.parsed.is_empty()
     }
 
     /// Reads `path`, returning the cached parse when a file with identical
-    /// content has been loaded before.
+    /// content has been loaded before. A miss that fills the cache beyond
+    /// its capacity first evicts the oldest entry.
     ///
     /// # Errors
     /// [`DesignError`] on I/O failures, unknown formats, or parse errors.
@@ -310,15 +404,28 @@ impl DesignCache {
             source,
         })?;
         let key = content_hash(content.as_bytes());
-        if let std::collections::hash_map::Entry::Vacant(slot) = self.parsed.entry(key) {
+        if self.parsed.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
             let format = DesignFormat::detect(Some(path), &content)?;
             let stem = path
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .unwrap_or("design");
-            slot.insert(Design::parse(&content, format, stem)?);
-        } else {
-            self.hits += 1;
+            let design = Design::parse(&content, format, stem)?;
+            // Evict before inserting so the borrow returned below stays
+            // untouched and occupancy never exceeds `capacity`.
+            while self.parsed.len() >= self.capacity {
+                let oldest = self
+                    .order
+                    .pop_front()
+                    .expect("occupancy > 0 implies a tracked insertion order");
+                self.parsed.remove(&oldest);
+                self.evictions += 1;
+            }
+            self.parsed.insert(key, design);
+            self.order.push_back(key);
         }
         Ok(&self.parsed[&key])
     }

@@ -15,7 +15,11 @@
 //! * ASCII AIGER I/O ([`aiger`]), BLIF I/O ([`blif`]), BLIF/Verilog/DOT
 //!   export of mapped networks ([`export`]), and a unified external-design
 //!   ingestion layer ([`design`]: format auto-detection, canonical
-//!   re-emission, content-hash parse cache).
+//!   re-emission, content-hash parse cache);
+//! * the containment primitives of the supervised flow runner in
+//!   `sfq_core`: cooperative work budgets ([`budget`]), per-item panic
+//!   isolation in the fan-out primitive ([`par::map_ordered_caught`]), and
+//!   feature-gated deterministic fault injection ([`faultpt`]).
 //!
 //! # Example
 //!
@@ -40,10 +44,12 @@
 pub mod aig;
 pub mod aiger;
 pub mod blif;
+pub mod budget;
 pub mod cell;
 pub mod cuts;
 pub mod design;
 pub mod export;
+pub mod faultpt;
 pub mod mapper;
 pub mod mapper_reference;
 pub mod mffc;
@@ -52,9 +58,10 @@ pub mod par;
 
 pub use aig::{Aig, AigLit, AigNodeId};
 pub use blif::{parse_blif, write_blif, BlifError};
+pub use budget::BudgetExceeded;
 pub use cell::{CellKind, GateKind, Library, T1Port, T1_NUM_PORTS};
 pub use cuts::{enumerate_cuts, enumerate_cuts_sequential, Cut, CutConfig, CutSet};
-pub use design::{Design, DesignCache, DesignError, DesignFormat};
+pub use design::{CacheStats, Design, DesignCache, DesignError, DesignFormat};
 pub use mapper::map_aig;
 pub use mapper_reference::map_aig_reference;
 pub use mffc::{mffc_area, mffc_nodes};

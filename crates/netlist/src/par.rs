@@ -62,6 +62,67 @@ pub fn workers() -> usize {
     }
 }
 
+/// A panic captured from one item of [`map_ordered_caught`]: the original
+/// unwind payload, so nothing is lost between the worker and the caller.
+pub struct ItemPanic {
+    payload: Box<dyn std::any::Any + Send + 'static>,
+}
+
+impl ItemPanic {
+    /// Best-effort human-readable panic message (the `&str` / `String`
+    /// payload of an ordinary `panic!`, or a placeholder for exotic
+    /// payloads).
+    pub fn message(&self) -> String {
+        panic_message(self.payload.as_ref())
+    }
+
+    /// Borrows the raw unwind payload (for `downcast_ref` classification —
+    /// e.g. the supervision layer recognizing [`crate::BudgetExceeded`]).
+    pub fn payload(&self) -> &(dyn std::any::Any + Send + 'static) {
+        self.payload.as_ref()
+    }
+
+    /// Re-raises the captured panic on the current thread with its original
+    /// payload.
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ItemPanic({:?})", self.message())
+    }
+}
+
+/// Renders a panic payload as text: the `&str` / `String` carried by an
+/// ordinary `panic!`, or a placeholder for any other `panic_any` payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs `f` on one claimed item with per-item panic isolation, so one
+/// poisoned item cannot take down the whole fan-out.
+fn run_item<T, U>(k: usize, item: T, f: &(impl Fn(T) -> U + Sync)) -> Result<U, ItemPanic> {
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = k;
+    // AssertUnwindSafe: `f` is shared immutably across items, and a panicked
+    // item's partial state is dropped with the closure scope — the caller
+    // only ever observes completed results or the captured payload.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-injection")]
+        crate::faultpt::hit("par.item", &k.to_string());
+        f(item)
+    }))
+    .map_err(|payload| ItemPanic { payload })
+}
+
 /// Maps `f` over `items` on up to [`workers`] scoped threads, returning the
 /// results **in input order** regardless of scheduling.
 ///
@@ -72,7 +133,45 @@ pub fn workers() -> usize {
 /// parallel builds. With one worker (no `parallel` feature, single-core
 /// host, or `SFQ_WORKERS=1`) it degenerates to a plain in-order map with no
 /// thread spawns.
+///
+/// A panicking item no longer aborts its worker: every item runs to a
+/// result either way (see [`map_ordered_caught`]), and the panic of the
+/// **lowest input index** is then re-raised on the calling thread — so the
+/// failure surface is deterministic and independent of worker count.
+/// Callers that want to survive poisoned items use [`map_ordered_caught`]
+/// directly.
 pub fn map_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let mut first_panic: Option<ItemPanic> = None;
+    let results: Vec<U> = map_ordered_caught(items, f)
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(u) => Some(u),
+            Err(p) => {
+                first_panic.get_or_insert(p);
+                None
+            }
+        })
+        .collect();
+    match first_panic {
+        None => results,
+        Some(p) => p.resume(),
+    }
+}
+
+/// [`map_ordered`] with per-item panic containment: each item yields either
+/// its result or the captured panic ([`ItemPanic`]), **in input order**.
+///
+/// A panicking worker closure poisons only its own item — the worker thread
+/// survives and keeps claiming items, so the surviving results are
+/// byte-identical to a run where the poisoned item was simply absent, for
+/// any worker count. This is what lets `sfqt1 flow --batch` degrade
+/// gracefully instead of dying with the first broken design.
+pub fn map_ordered_caught<T, U, F>(items: Vec<T>, f: F) -> Vec<Result<U, ItemPanic>>
 where
     T: Send,
     U: Send,
@@ -81,19 +180,23 @@ where
     let n = items.len();
     let threads = workers().min(n);
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(k, item)| run_item(k, item, &f))
+            .collect();
     }
     let work: Vec<std::sync::Mutex<Option<T>>> = items
         .into_iter()
         .map(|item| std::sync::Mutex::new(Some(item)))
         .collect();
     let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, U)>> = Vec::with_capacity(threads);
+    let mut per_worker: Vec<Vec<(usize, Result<U, ItemPanic>)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut mine: Vec<(usize, U)> = Vec::new();
+                    let mut mine: Vec<(usize, Result<U, ItemPanic>)> = Vec::new();
                     loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
                         if k >= n {
@@ -104,16 +207,23 @@ where
                             .expect("work slot lock")
                             .take()
                             .expect("each work item is claimed once");
-                        mine.push((k, f(item)));
+                        mine.push((k, run_item(k, item, &f)));
                     }
                 })
             })
             .collect();
         for handle in handles {
-            per_worker.push(handle.join().expect("worker thread panicked"));
+            // Worker bodies catch per item, so a worker can only die on a
+            // panic outside `f` (a poisoned slot lock); preserve that
+            // payload instead of replacing it with a join message.
+            per_worker.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
         }
     });
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    let mut slots: Vec<Option<Result<U, ItemPanic>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     for (k, result) in per_worker.into_iter().flatten() {
         slots[k] = Some(result);

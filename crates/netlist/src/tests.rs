@@ -870,3 +870,196 @@ fn parallel_enumeration_matches_sequential() {
         }
     }
 }
+
+// ---------------------------------------------- supervision primitives ----
+
+#[test]
+fn map_ordered_caught_contains_single_item_panic() {
+    // One poisoned item must not take down the others, and the surviving
+    // results must be byte-identical in input order for any worker count.
+    for workers in [1usize, 4] {
+        crate::par::force_workers(workers);
+        let items: Vec<u32> = (0..8).collect();
+        let results = crate::par::map_ordered_caught(items, |k| {
+            if k == 3 {
+                panic!("poisoned item {k}");
+            }
+            format!("item-{k}")
+        });
+        crate::par::force_workers(0);
+        assert_eq!(results.len(), 8, "{workers} workers");
+        for (k, r) in results.iter().enumerate() {
+            if k == 3 {
+                let p = r.as_ref().expect_err("item 3 panicked");
+                assert_eq!(p.message(), "poisoned item 3", "{workers} workers");
+            } else {
+                assert_eq!(
+                    r.as_ref().expect("survivor"),
+                    &format!("item-{k}"),
+                    "{workers} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn map_ordered_resumes_the_lowest_index_panic() {
+    for workers in [1usize, 4] {
+        crate::par::force_workers(workers);
+        let caught = std::panic::catch_unwind(|| {
+            crate::par::map_ordered((0..8u32).collect(), |k| {
+                if k == 2 || k == 5 {
+                    panic!("boom {k}");
+                }
+                k
+            })
+        });
+        crate::par::force_workers(0);
+        let payload = caught.expect_err("map_ordered re-raises");
+        assert_eq!(
+            crate::par::panic_message(payload.as_ref()),
+            "boom 2",
+            "lowest input index wins deterministically ({workers} workers)"
+        );
+    }
+}
+
+#[test]
+fn budget_node_ceiling_aborts_with_typed_payload() {
+    let guard = crate::budget::install(None, Some(10));
+    let caught = std::panic::catch_unwind(|| {
+        for _ in 0..100 {
+            crate::budget::tick(1);
+        }
+    });
+    drop(guard);
+    let payload = caught.expect_err("ceiling exceeded");
+    assert_eq!(
+        payload.downcast_ref::<crate::budget::BudgetExceeded>(),
+        Some(&crate::budget::BudgetExceeded::Nodes)
+    );
+    assert!(!crate::budget::active(), "guard drop clears the budget");
+    crate::budget::tick(1_000_000); // and ticks are no-ops again
+}
+
+#[test]
+fn budget_zero_deadline_fires_at_the_next_checkpoint() {
+    let guard = crate::budget::install(Some(std::time::Duration::ZERO), None);
+    let caught = std::panic::catch_unwind(crate::budget::checkpoint);
+    drop(guard);
+    let payload = caught.expect_err("deadline passed");
+    assert_eq!(
+        payload.downcast_ref::<crate::budget::BudgetExceeded>(),
+        Some(&crate::budget::BudgetExceeded::Deadline)
+    );
+}
+
+#[test]
+fn budget_is_thread_local_and_spent_accumulates() {
+    let _guard = crate::budget::install(None, Some(1_000));
+    crate::budget::tick(7);
+    crate::budget::tick(5);
+    assert_eq!(crate::budget::spent(), 12);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            assert!(!crate::budget::active(), "budgets do not cross threads");
+            crate::budget::tick(1_000_000); // no-op on this thread
+        });
+    });
+    assert_eq!(crate::budget::spent(), 12, "worker ticks never charge us");
+}
+
+#[test]
+fn design_cache_bounds_occupancy_with_fifo_eviction() {
+    use crate::design::DesignCache;
+    let dir = std::env::temp_dir().join(format!("sfq-cache-bound-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths: Vec<_> = (0..3)
+        .map(|k| {
+            let p = dir.join(format!("d{k}.blif"));
+            std::fs::write(
+                &p,
+                format!(".model d{k}\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"),
+            )
+            .unwrap();
+            p
+        })
+        .collect();
+    let mut cache = DesignCache::with_capacity(2);
+    cache.load(&paths[0]).unwrap();
+    cache.load(&paths[1]).unwrap();
+    cache.load(&paths[0]).unwrap(); // hit; FIFO order unchanged
+    cache.load(&paths[2]).unwrap(); // evicts d0 (oldest inserted)
+    let stats = cache.stats();
+    assert_eq!(stats.len, 2);
+    assert_eq!(stats.capacity, 2);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.evictions, 1);
+    cache.load(&paths[0]).unwrap(); // d0 was evicted: parses again
+    assert_eq!(cache.stats().misses, 4, "FIFO evicted the oldest entry");
+    assert_eq!(cache.stats().evictions, 2, "and the insert evicted d1");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_dir_results_records_broken_files_instead_of_aborting() {
+    use crate::design::{load_dir, load_dir_results};
+    let dir = std::env::temp_dir().join(format!("sfq-lenient-dir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("a_good.blif"),
+        ".model good\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("b_broken.aag"), "aag 1 1 0 1 0\nnot numbers\n").unwrap();
+    std::fs::write(
+        dir.join("c_late.blif"),
+        ".model late\n.inputs b\n.outputs z\n.names b z\n0 1\n.end\n",
+    )
+    .unwrap();
+    let (entries, _) = load_dir_results(&dir).expect("directory itself lists fine");
+    assert_eq!(entries.len(), 3);
+    assert!(entries[0].1.is_ok());
+    assert!(entries[1].1.is_err(), "broken file is a per-design failure");
+    assert!(
+        entries[2].1.is_ok(),
+        "designs after the broken one still load"
+    );
+    assert!(
+        load_dir(&dir).is_err(),
+        "the strict loader still fails the whole directory"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn faultpt_err_action_fires_once_per_armed_count() {
+    use crate::faultpt::{arm_limited, disarm, hit, FaultAction};
+    // Unique context so concurrent tests sharing the global table never
+    // see this fault.
+    let ctx = "faultpt-unit-test-ctx";
+    arm_limited("parse", Some(ctx), FaultAction::Err, 1);
+    assert!(hit("parse", ctx), "first hit fires");
+    assert!(!hit("parse", ctx), "limited fault is exhausted");
+    assert!(!hit("parse", "other-ctx"), "context must match");
+    disarm("parse", Some(ctx));
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn faultpt_panic_action_is_contained_by_map_ordered_caught() {
+    use crate::faultpt::{arm_limited, disarm, FaultAction};
+    // `par.item` contexts are decimal input indices.
+    arm_limited("par.item", Some("1"), FaultAction::Panic, 1);
+    let results = crate::par::map_ordered_caught(vec![10u32, 20, 30], |x| x * 2);
+    disarm("par.item", Some("1"));
+    assert_eq!(results[0].as_ref().ok(), Some(&20));
+    assert_eq!(
+        results[1].as_ref().expect_err("injected").message(),
+        "injected panic at par.item"
+    );
+    assert_eq!(results[2].as_ref().ok(), Some(&60));
+}
