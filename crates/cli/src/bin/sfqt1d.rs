@@ -1,0 +1,78 @@
+//! `sfqt1d` — the SFQ flow daemon.
+//!
+//! A thin argument-parsing wrapper around [`sfq_server::serve`]: all the
+//! actual behavior (protocol, shared design cache, streamed job execution,
+//! graceful shutdown) lives in the `sfq-server` library crate. Clients are
+//! `sfqt1 flow ... --daemon <socket>` and `sfqt1 daemon <ping|stats|stop>
+//! <socket>`.
+
+use sfq_cli::Args;
+use sfq_server::{serve, ServerConfig};
+use std::time::Duration;
+
+const USAGE: &str = "\
+sfqt1d — long-running SFQ flow daemon
+
+USAGE:
+  sfqt1d <socket> [--conn-threads N] [--idle-ms T] [--cache-capacity N]
+
+OPTIONS:
+  --conn-threads N    connections served concurrently (default 4)
+  --idle-ms T         exit after T ms with no connection activity
+                      (default: serve until `sfqt1 daemon stop` or SIGTERM)
+  --cache-capacity N  shared design-cache capacity in entries (default 256)
+
+The daemon listens on a fresh Unix socket at <socket>, removes it on exit,
+and refuses to start if a live daemon already serves that path. SIGTERM and
+SIGINT shut it down gracefully: in-flight requests finish streaming first.
+";
+
+fn parse_config(argv: &[String]) -> Result<ServerConfig, String> {
+    let a = Args::parse(argv, &["conn-threads", "idle-ms", "cache-capacity"], &[])
+        .map_err(|e| e.to_string())?;
+    let socket = a.positional(0).ok_or("missing <socket> path")?;
+    if a.num_positional() > 1 {
+        return Err("expected exactly one <socket> path".to_string());
+    }
+    let mut config = ServerConfig::new(socket);
+    config.conn_threads = a
+        .parsed_option("conn-threads", config.conn_threads)
+        .map_err(|e| e.to_string())?;
+    if config.conn_threads == 0 {
+        return Err("--conn-threads must be at least 1".to_string());
+    }
+    if a.option("idle-ms").is_some() {
+        let idle_ms: u64 = a.parsed_option("idle-ms", 0).map_err(|e| e.to_string())?;
+        config.idle_timeout = Some(Duration::from_millis(idle_ms));
+    }
+    config.cache_capacity = a
+        .parsed_option("cache-capacity", config.cache_capacity)
+        .map_err(|e| e.to_string())?;
+    if config.cache_capacity == 0 {
+        return Err("--cache-capacity must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        print!("{USAGE}");
+        return;
+    }
+    let config = match parse_config(&argv) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("sfqt1d: {msg}\n\n{USAGE}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("sfqt1d: serving on {}", config.socket.display());
+    if let Err(e) = serve(&config) {
+        eprintln!("sfqt1d: {e}");
+        std::process::exit(1);
+    }
+}

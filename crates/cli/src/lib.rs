@@ -24,12 +24,13 @@
 
 use sfq_circuits::{Benchmark, ExtBenchmark};
 use sfq_core::report::StageReport;
-use sfq_core::{
-    run_flow, run_flow_supervised, FlowConfig, FlowOutcome, FlowReport, FlowResult, Limits,
-    PhaseEngine,
-};
+use sfq_core::{run_flow, FlowConfig, FlowResult, Limits, PhaseEngine};
 use sfq_netlist::design::{Design, DesignError};
-use sfq_netlist::{aiger, blif, export, map_aig, par, Aig, Library};
+use sfq_netlist::{aiger, blif, export, map_aig, Aig, Library};
+use sfq_server::{
+    run_jobs_streamed, table_header, DesignSource, FlowOptions as DaemonFlowOptions, FlowRequest,
+    JobEntry, JobRow,
+};
 use sfq_sim::energy::{measure_energy, EnergyModel};
 use sfq_sim::margin::{analyze_margins, MarginConfig};
 use sfq_sim::{vcd, PulseSim};
@@ -112,6 +113,8 @@ USAGE:
         [--blif P] [--dot P] [--vcd P] [--verilog P]
   sfqt1 flow --batch <dir> [--phases N] [--t1] [--engine E] [--gain-threshold K]
         [--keep-going|--fail-fast] [--deadline-ms T] [--max-nodes N]
+        [--daemon SOCKET]
+  sfqt1 daemon <ping|stats|stop> <socket>
   sfqt1 table <input> [--phases N]
   sfqt1 bench <name> [--small] [--aag P] [--blif P]
   sfqt1 energy <input> [--phases N] [--t1] [--waves K]
@@ -131,7 +134,13 @@ SUBCOMMANDS:
             parse, panics, or exceeds --deadline-ms / --max-nodes renders
             as a FAILED(reason) row while the rest continue (--keep-going,
             the default) or the batch stops at the first failure
-            (--fail-fast); any failure makes the exit code 2
+            (--fail-fast); any failure makes the exit code 2.
+            --daemon SOCKET serves the flow through a running sfqt1d
+            instead of computing locally: batches submit designs by path,
+            a single <input> is submitted inline, and result rows stream
+            back in input order (start the daemon with `sfqt1d <socket>`)
+  daemon    control a running sfqt1d: ping, counter/cache stats, graceful
+            stop (drains in-flight requests, then removes the socket)
   table     run the paper's three-flow comparison (1φ / nφ / nφ+T1) on a file
   bench     generate a built-in benchmark circuit (EPFL/ISCAS stand-ins)
   energy    pulse-simulate random waves and report static/dynamic power
@@ -161,6 +170,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "energy" => cmd_energy(rest, out),
         "margin" => cmd_margin(rest, out),
         "convert" => cmd_convert(rest, out),
+        "daemon" => cmd_daemon(rest, out),
         "bench-list" => cmd_bench_list(out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io_err("<stdout>"))?;
@@ -228,6 +238,25 @@ fn flow_config(a: &Args) -> Result<FlowConfig, CliError> {
     Ok(config)
 }
 
+/// Maps the parsed flow options onto the daemon's wire-level options
+/// (`--deadline-ms`/`--max-nodes` forward per request).
+fn daemon_options(a: &Args, config: &FlowConfig) -> Result<DaemonFlowOptions, CliError> {
+    Ok(DaemonFlowOptions {
+        phases: config.phases,
+        use_t1: config.use_t1,
+        engine: config.engine,
+        gain_threshold: config.gain_threshold,
+        deadline_ms: match a.option("deadline-ms") {
+            Some(_) => Some(a.parsed_option("deadline-ms", 0)?),
+            None => None,
+        },
+        max_nodes: match a.option("max-nodes") {
+            Some(_) => Some(a.parsed_option("max-nodes", 0)?),
+            None => None,
+        },
+    })
+}
+
 fn run_configured_flow(aig: &Aig, config: &FlowConfig) -> Result<FlowResult, CliError> {
     run_flow(aig, config).map_err(|e| CliError::Flow(e.to_string()))
 }
@@ -268,6 +297,7 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "gain-threshold",
             "waves",
             "batch",
+            "daemon",
             "deadline-ms",
             "max-nodes",
             "blif",
@@ -298,6 +328,15 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             ));
         }
         let config = flow_config(&a)?;
+        if let Some(sock) = a.option("daemon") {
+            if a.flag("fail-fast") {
+                return Err(CliError::Usage(
+                    "flow: --fail-fast does not combine with --daemon (the daemon keeps going)"
+                        .into(),
+                ));
+            }
+            return cmd_flow_batch_daemon(dir, sock, daemon_options(&a, &config)?, out);
+        }
         let opts = BatchOptions {
             fail_fast: a.flag("fail-fast"),
             limits: Limits {
@@ -317,6 +356,22 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::Usage(
             "flow: --keep-going/--fail-fast only apply to --batch".into(),
         ));
+    }
+    if let Some(sock) = a.option("daemon") {
+        if ["blif", "dot", "vcd", "verilog", "waves"]
+            .iter()
+            .any(|t| a.option(t).is_some())
+            || a.flag("stats")
+        {
+            return Err(CliError::Usage(
+                "flow: per-design artifact/report options do not combine with --daemon".into(),
+            ));
+        }
+        let path = a
+            .positional(0)
+            .ok_or_else(|| CliError::Usage("flow: missing <input> file".into()))?;
+        let config = flow_config(&a)?;
+        return cmd_flow_single_daemon(path, sock, daemon_options(&a, &config)?, out);
     }
     if a.option("deadline-ms").is_some() || a.option("max-nodes").is_some() {
         return Err(CliError::Usage(
@@ -389,79 +444,25 @@ fn load_batch_designs(dir: &str) -> Result<(Vec<BatchEntry>, usize), CliError> {
     Ok((entries, cache_hits))
 }
 
-/// One rendered batch row plus the outcome class the driver needs for the
-/// summary (`ok`) and the sequential-retry policy (`panicked`).
-struct BatchRow {
-    line: String,
-    ok: bool,
-    panicked: bool,
-}
-
-/// Runs one batch entry supervised and renders its table row. Every
-/// failure renders as `FAILED(<reason>)` with a deterministic reason (no
-/// timings, no addresses), so batch output is byte-identical across runs,
-/// builds and worker counts.
-fn batch_row(entry: &BatchEntry, config: &FlowConfig, limits: &Limits) -> BatchRow {
-    let (file, design) = entry;
-    let failed = |reason: String, panicked: bool| BatchRow {
-        line: format!("{file:<16} FAILED({reason})"),
-        ok: false,
-        panicked,
-    };
-    match design {
-        Err(e) => failed(e.to_string(), false),
-        Ok(design) => match run_flow_supervised(design, config, limits) {
-            FlowOutcome::Ok(res) => BatchRow {
-                line: batch_report_row(file, design, &res.report),
-                ok: true,
-                panicked: false,
-            },
-            outcome @ FlowOutcome::Panicked { .. } => {
-                failed(outcome.failure().expect("panic outcome has a reason"), true)
-            }
-            outcome => failed(
-                outcome.failure().expect("failed outcome has a reason"),
-                false,
-            ),
-        },
-    }
-}
-
-/// Formats the successful-row columns (shared by first run and retry).
-fn batch_report_row(file: &str, design: &Design, r: &FlowReport) -> String {
-    format!(
-        "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
-        file,
-        design.format.extension(),
-        design.aig.num_inputs(),
-        design.aig.num_outputs(),
-        r.t1_found,
-        r.t1_used,
-        r.num_gates,
-        r.num_dffs,
-        r.area,
-        r.depth_cycles
-    )
-}
-
 /// `sfqt1 flow --batch <dir>`: the full flow on every design of a
 /// directory, one report row per design, with graceful degradation.
 ///
-/// Designs are ingested sequentially (through the parse cache), fanned over
-/// [`par::workers`] scoped threads for the supervised flows, and the rows
-/// are merged back in input order — so the printed table is byte-identical
-/// between sequential and parallel builds, for any worker count (failure
-/// reasons are deterministic strings; see [`batch_row`]).
+/// The batch runs on the shared streaming job engine
+/// ([`sfq_server::jobs`]): designs are ingested sequentially (through the
+/// parse cache), the supervised flows fan over
+/// [`par::workers`](sfq_netlist::par::workers) scoped threads, and each row
+/// **prints as soon as it is unblocked, in input order** — the first rows of
+/// a long batch appear while later designs still run, and the table stays
+/// byte-identical between sequential and parallel builds for any worker
+/// count (failure reasons are deterministic strings).
 ///
-/// Containment policy: a design that fails — unparseable, flow error,
-/// panic, deadline or node-budget abort — renders as a `FAILED(<reason>)`
-/// row. A design that *panicked* under the parallel build is retried once
-/// sequentially (workers forced to 1 for the retry) before being declared
-/// dead: panics that only manifest under parallelism don't kill the design.
-/// Under `--keep-going` (default) every design runs; `--fail-fast` stops
-/// the output at the first failed row. Either way the run ends with a
-/// `batch summary:` line, and any failure surfaces as
-/// [`CliError::Partial`] (exit code 2).
+/// Containment policy (owned by the engine): a design that fails —
+/// unparseable, flow error, panic, deadline or node-budget abort — renders
+/// as a `FAILED(<reason>)` row, and a panicked design is retried once
+/// sequentially before being declared dead. Under `--keep-going` (default)
+/// every design runs; `--fail-fast` stops the output at the first failed
+/// row. Either way the run ends with a `batch summary:` line, and any
+/// failure surfaces as [`CliError::Partial`] (exit code 2).
 fn cmd_flow_batch(
     dir: &str,
     config: &FlowConfig,
@@ -477,46 +478,192 @@ fn cmd_flow_batch(
         cache_hits
     )
     .map_err(io_err("<stdout>"))?;
-    writeln!(
-        out,
-        "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
-        "design", "fmt", "in", "out", "found", "used", "cells", "dffs", "area JJ", "depth"
-    )
-    .map_err(io_err("<stdout>"))?;
-    let indices: Vec<usize> = (0..entries.len()).collect();
-    let mut rows: Vec<BatchRow> =
-        par::map_ordered(indices, |i| batch_row(&entries[i], config, &opts.limits));
-    // Sequential retry of panicked designs: with the parallel build active,
-    // re-run each one on this thread with workers forced to 1, so a panic
-    // that only manifests under the parallel fan-outs gets a second chance.
-    // Deterministic faults fail again identically, keeping sequential and
-    // parallel batch output byte-identical.
-    if par::workers() > 1 && rows.iter().any(|r| r.panicked) {
-        par::force_workers(1);
-        for (i, row) in rows.iter_mut().enumerate() {
-            if row.panicked {
-                *row = batch_row(&entries[i], config, &opts.limits);
-            }
-        }
-        par::force_workers(0);
-    }
+    writeln!(out, "{}", table_header()).map_err(io_err("<stdout>"))?;
+    let jobs: Vec<JobEntry> = entries
+        .into_iter()
+        .map(|(name, design)| JobEntry {
+            name,
+            design: design.map_err(|e| e.to_string()),
+        })
+        .collect();
+    // The engine emits rows from worker threads; `out` is not `Send`, so
+    // rows cross back over a channel and print on this thread — still one
+    // row at a time, as each finishes.
+    let (tx, rx) = std::sync::mpsc::channel::<JobRow>();
     let (mut ok, mut failed) = (0usize, 0usize);
-    for row in &rows {
-        writeln!(out, "{}", row.line).map_err(io_err("<stdout>"))?;
-        if row.ok {
-            ok += 1;
-        } else {
-            failed += 1;
-            if opts.fail_fast {
-                writeln!(out, "batch: stopping at first failure (--fail-fast)")
-                    .map_err(io_err("<stdout>"))?;
-                break;
+    let mut stopped = false;
+    let mut write_err: Option<std::io::Error> = None;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            run_jobs_streamed(&jobs, config, &opts.limits, |row| {
+                // A dropped receiver (fail-fast caller gone) is harmless:
+                // remaining rows are computed and discarded.
+                let _ = tx.send(row);
+            });
+        });
+        for row in rx {
+            if stopped || write_err.is_some() {
+                continue; // keep draining; the jobs ran either way
+            }
+            if let Err(e) = writeln!(out, "{}", row.line) {
+                write_err = Some(e);
+                continue;
+            }
+            if row.is_ok() {
+                ok += 1;
+            } else {
+                failed += 1;
+                if opts.fail_fast {
+                    if let Err(e) = writeln!(out, "batch: stopping at first failure (--fail-fast)")
+                    {
+                        write_err = Some(e);
+                    }
+                    stopped = true;
+                }
             }
         }
+    });
+    if let Some(source) = write_err {
+        return Err(CliError::Io {
+            path: "<stdout>".to_string(),
+            source,
+        });
     }
     writeln!(out, "batch summary: {ok} ok, {failed} failed").map_err(io_err("<stdout>"))?;
     if failed > 0 {
         return Err(CliError::Partial { ok, failed });
+    }
+    Ok(())
+}
+
+/// `sfqt1 flow --batch <dir> --daemon <socket>`: the same batch, served by
+/// a running `sfqt1d`. Designs are submitted **by path** (daemon and client
+/// share a filesystem), rows stream back in input order and print as they
+/// arrive, and the summary/exit-code contract matches the local batch.
+fn cmd_flow_batch_daemon(
+    dir: &str,
+    sock: &str,
+    options: DaemonFlowOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let paths = sfq_netlist::design::list_dir(Path::new(dir)).map_err(|e| match e {
+        DesignError::Io { path, source } => CliError::Io { path, source },
+        other => CliError::Input(other.to_string()),
+    })?;
+    if paths.is_empty() {
+        return Err(CliError::Usage(format!(
+            "flow: no .aag/.blif designs in `{dir}`"
+        )));
+    }
+    let designs: Vec<DesignSource> = paths
+        .iter()
+        .map(|p| {
+            let name = p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("design")
+                .to_string();
+            // The daemon may run in a different working directory: hand it
+            // an absolute path.
+            let path = p.canonicalize().unwrap_or_else(|_| p.clone());
+            DesignSource::Path { name, path }
+        })
+        .collect();
+    writeln!(out, "daemon batch: {} designs via {sock}", designs.len())
+        .map_err(io_err("<stdout>"))?;
+    writeln!(out, "{}", table_header()).map_err(io_err("<stdout>"))?;
+    stream_daemon_flow(sock, FlowRequest { options, designs }, out)
+}
+
+/// `sfqt1 flow <input> --daemon <socket>`: submit one design **inline**
+/// (the daemon never touches the client's file) and print its table row.
+fn cmd_flow_single_daemon(
+    path: &str,
+    sock: &str,
+    options: DaemonFlowOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.to_ascii_lowercase());
+    if !matches!(ext.as_deref(), Some("aag") | Some("blif")) {
+        return Err(CliError::Usage(format!(
+            "{path}: unknown input format (expected .aag or .blif)"
+        )));
+    }
+    let content = std::fs::read_to_string(path).map_err(io_err(path))?;
+    let name = Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("design")
+        .to_string();
+    writeln!(out, "{}", table_header()).map_err(io_err("<stdout>"))?;
+    let request = FlowRequest {
+        options,
+        designs: vec![DesignSource::Inline { name, content }],
+    };
+    stream_daemon_flow(sock, request, out)
+}
+
+/// Runs one daemon `FLOW` request, printing rows as they stream in, then
+/// applies the batch summary/exit-code contract to the daemon's totals.
+fn stream_daemon_flow(
+    sock: &str,
+    request: FlowRequest,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut write_err: Option<std::io::Error> = None;
+    let (ok, failed) = sfq_server::client::flow(Path::new(sock), &request, |_, row| {
+        if write_err.is_none() {
+            if let Err(e) = writeln!(out, "{row}") {
+                write_err = Some(e);
+            }
+        }
+    })
+    .map_err(|e| CliError::Flow(e.to_string()))?;
+    if let Some(source) = write_err {
+        return Err(CliError::Io {
+            path: "<stdout>".to_string(),
+            source,
+        });
+    }
+    writeln!(out, "batch summary: {ok} ok, {failed} failed").map_err(io_err("<stdout>"))?;
+    if failed > 0 {
+        return Err(CliError::Partial { ok, failed });
+    }
+    Ok(())
+}
+
+/// `sfqt1 daemon <ping|stats|stop> <socket>`: control-plane requests
+/// against a running `sfqt1d`.
+fn cmd_daemon(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(argv, &[], &[])?;
+    let action = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("daemon: missing <ping|stats|stop>".into()))?;
+    let sock = a
+        .positional(1)
+        .ok_or_else(|| CliError::Usage("daemon: missing <socket> path".into()))?;
+    let client_err = |e: sfq_server::ClientError| CliError::Flow(e.to_string());
+    match action {
+        "ping" => {
+            sfq_server::client::ping(Path::new(sock)).map_err(client_err)?;
+            writeln!(out, "daemon at {sock} is alive").map_err(io_err("<stdout>"))?;
+        }
+        "stats" => {
+            let stats = sfq_server::client::stats(Path::new(sock)).map_err(client_err)?;
+            writeln!(out, "{stats}").map_err(io_err("<stdout>"))?;
+        }
+        "stop" => {
+            sfq_server::client::stop(Path::new(sock)).map_err(client_err)?;
+            writeln!(out, "daemon at {sock} is stopping").map_err(io_err("<stdout>"))?;
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "daemon: unknown action `{other}` (expected ping, stats or stop)"
+            )));
+        }
     }
     Ok(())
 }
@@ -764,6 +911,8 @@ fn cmd_table(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "parallel")]
+    use sfq_netlist::par;
     use std::path::PathBuf;
 
     fn argv(s: &[&str]) -> Vec<String> {

@@ -1,0 +1,327 @@
+//! End-to-end daemon tests: an in-process `sfqt1d` serving concurrent
+//! clients, held byte-for-byte against the local batch driver.
+//!
+//! The daemon runs on a background thread (`handle_signals: false` — these
+//! are in-process tests) with a unique temp socket per test, so the tests
+//! parallelize and never touch a real daemon.
+
+use sfq_cli::run;
+use sfq_server::{client, serve, DesignSource, FlowOptions, FlowRequest, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The seven-design external corpus committed under `crates/bench`.
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../bench/corpus")
+}
+
+fn unique_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sfqt1d-test-{}-{tag}.sock", std::process::id()))
+}
+
+fn argv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+/// The full local `sfqt1 flow --batch <corpus> --t1` output, computed once
+/// per test process (a debug-build batch costs seconds; every test compares
+/// against the same reference).
+fn local_batch_output() -> &'static str {
+    static LOCAL: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    LOCAL.get_or_init(|| {
+        let mut out = Vec::new();
+        run(
+            &argv(&["flow", "--batch", corpus_dir().to_str().unwrap(), "--t1"]),
+            &mut out,
+        )
+        .expect("local batch succeeds");
+        String::from_utf8(out).expect("utf-8 output")
+    })
+}
+
+/// Just the per-design rows of the local batch (preamble, header and
+/// summary stripped).
+fn local_batch_rows() -> Vec<String> {
+    let text = local_batch_output();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 4, "{text}");
+    lines[2..lines.len() - 1]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// The daemon-side mirror of the CLI's `--t1` defaults.
+fn t1_options() -> FlowOptions {
+    FlowOptions {
+        phases: 4,
+        use_t1: true,
+        ..FlowOptions::default()
+    }
+}
+
+fn wait_for_daemon(sock: &Path) {
+    for _ in 0..500 {
+        if client::ping(sock).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon did not come up on {}", sock.display());
+}
+
+/// Deterministically unparseable AIGER: the header promises an input
+/// literal, the next line is not a number.
+const POISON: &str = "aag 1 1 0 1 0\nbroken\n";
+
+#[test]
+fn concurrent_clients_stream_byte_identical_rows_and_share_the_cache() {
+    let expected = local_batch_rows();
+    assert_eq!(expected.len(), 7, "corpus has seven designs");
+    let sock = unique_socket("concurrent");
+    let mut config = ServerConfig::new(&sock);
+    config.handle_signals = false;
+    config.conn_threads = 4;
+    let server = std::thread::spawn({
+        let config = config.clone();
+        move || serve(&config)
+    });
+    wait_for_daemon(&sock);
+
+    let paths = sfq_netlist::design::list_dir(&corpus_dir()).expect("corpus listing");
+    assert_eq!(paths.len(), 7);
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            let (sock, paths, expected) = (&sock, &paths, &expected);
+            scope.spawn(move || {
+                // Even clients submit by path, odd clients inline — same
+                // bytes either way, so every client shares one cache slot
+                // per design.
+                let mut designs: Vec<DesignSource> = paths
+                    .iter()
+                    .map(|p| {
+                        let name = p.file_name().unwrap().to_str().unwrap().to_string();
+                        if c % 2 == 0 {
+                            DesignSource::Path {
+                                name,
+                                path: p.canonicalize().expect("canonical corpus path"),
+                            }
+                        } else {
+                            DesignSource::Inline {
+                                name,
+                                content: std::fs::read_to_string(p).expect("corpus content"),
+                            }
+                        }
+                    })
+                    .collect();
+                designs.push(DesignSource::Inline {
+                    name: "broken.aag".into(),
+                    content: POISON.into(),
+                });
+                let request = FlowRequest {
+                    options: t1_options(),
+                    designs,
+                };
+                let mut rows: Vec<(usize, String)> = Vec::new();
+                let (ok, failed) = client::flow(sock, &request, |k, row| {
+                    rows.push((k, row.to_string()));
+                })
+                .expect("flow request succeeds");
+                assert_eq!((ok, failed), (7, 1));
+                assert_eq!(rows.len(), 8);
+                for (k, (index, row)) in rows.iter().enumerate() {
+                    assert_eq!(*index, k, "rows arrive in input order");
+                    if k < 7 {
+                        assert_eq!(row, &expected[k], "daemon row {k} matches local batch");
+                    }
+                }
+                let poisoned = &rows[7].1;
+                assert!(
+                    poisoned.starts_with("broken.aag") && poisoned.contains("FAILED("),
+                    "{poisoned}"
+                );
+            });
+        }
+    });
+
+    let stats = client::stats(&sock).expect("stats request");
+    assert_eq!(
+        (stats.ok, stats.failed, stats.panicked, stats.timed_out),
+        (28, 4, 0, 0)
+    );
+    // 32 ingests across the four clients: 7 distinct parses, 21
+    // cross-client cache hits, 4 failed parses (failed parses are misses
+    // and never cached).
+    assert_eq!(stats.cache.hits, 21, "cache hits accrue across clients");
+    assert_eq!(stats.cache.misses, 11);
+    assert_eq!(stats.cache.len, 7);
+
+    client::stop(&sock).expect("stop request");
+    server
+        .join()
+        .expect("server thread")
+        .expect("daemon exits cleanly");
+    assert!(!sock.exists(), "socket file removed on exit");
+}
+
+#[test]
+fn stop_mid_stream_drains_the_in_flight_request() {
+    let expected = local_batch_rows();
+    let sock = unique_socket("drain");
+    let mut config = ServerConfig::new(&sock);
+    config.handle_signals = false;
+    config.conn_threads = 2;
+    let server = std::thread::spawn({
+        let config = config.clone();
+        move || serve(&config)
+    });
+    wait_for_daemon(&sock);
+
+    // A 3-design subset keeps this test cheap; each row depends only on its
+    // own design, so the byte-identity claim is unchanged.
+    let designs: Vec<DesignSource> = sfq_netlist::design::list_dir(&corpus_dir())
+        .expect("corpus listing")
+        .into_iter()
+        .take(3)
+        .map(|p| DesignSource::Path {
+            name: p.file_name().unwrap().to_str().unwrap().to_string(),
+            path: p.canonicalize().expect("canonical corpus path"),
+        })
+        .collect();
+    let request = FlowRequest {
+        options: t1_options(),
+        designs,
+    };
+    let mut rows: Vec<String> = Vec::new();
+    let mut stop_sent = false;
+    let (ok, failed) = client::flow(&sock, &request, |_k, row| {
+        if !stop_sent {
+            stop_sent = true;
+            // Graceful shutdown requested while this stream is in flight
+            // (served on the second handler thread): the daemon must finish
+            // this stream — uncorrupted, through END — before exiting.
+            client::stop(&sock).expect("stop during an in-flight stream");
+        }
+        rows.push(row.to_string());
+    })
+    .expect("in-flight stream survives shutdown");
+    assert_eq!((ok, failed), (3, 0));
+    assert_eq!(rows, expected[..3], "drained stream is byte-identical");
+    server
+        .join()
+        .expect("server thread")
+        .expect("daemon exits cleanly");
+    assert!(!sock.exists(), "socket file removed on exit");
+}
+
+#[test]
+fn idle_timeout_retires_an_unused_daemon() {
+    let sock = unique_socket("idle");
+    let mut config = ServerConfig::new(&sock);
+    config.handle_signals = false;
+    config.idle_timeout = Some(Duration::from_millis(150));
+    let server = std::thread::spawn({
+        let config = config.clone();
+        move || serve(&config)
+    });
+    wait_for_daemon(&sock);
+    // No further activity: the daemon must retire on its own.
+    server
+        .join()
+        .expect("server thread")
+        .expect("daemon exits cleanly");
+    assert!(!sock.exists(), "socket file removed on exit");
+}
+
+#[test]
+fn cli_daemon_mode_matches_local_batch_and_serves_control_requests() {
+    // A small scratch corpus keeps the debug-build flow count down; it
+    // deliberately includes an UPPERCASE extension, which must ingest
+    // identically in the local batch and through the daemon.
+    let dir = std::env::temp_dir().join(format!("sfqt1d-test-{}-cli-corpus", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    for (src, dst) in [
+        ("adder8.aag", "adder8.aag"),
+        ("mux8.blif", "MUX8.BLIF"),
+        ("voter7.blif", "voter7.blif"),
+    ] {
+        std::fs::copy(corpus_dir().join(src), dir.join(dst)).expect("copy corpus design");
+    }
+    let dir_str = dir.to_str().unwrap().to_string();
+
+    let sock = unique_socket("cli");
+    let sock_str = sock.to_str().unwrap().to_string();
+    let mut config = ServerConfig::new(&sock);
+    config.handle_signals = false;
+    config.conn_threads = 2;
+    let server = std::thread::spawn({
+        let config = config.clone();
+        move || serve(&config)
+    });
+    wait_for_daemon(&sock);
+
+    // Batch through the daemon: everything below the first (preamble) line
+    // is byte-identical to the same batch run locally.
+    let mut local_buf = Vec::new();
+    run(
+        &argv(&["flow", "--batch", &dir_str, "--t1"]),
+        &mut local_buf,
+    )
+    .expect("local batch succeeds");
+    let local = String::from_utf8(local_buf).expect("utf-8 output");
+    assert!(
+        local.lines().any(|l| l.starts_with("MUX8.BLIF")),
+        "uppercase extension ingests in the local batch: {local}"
+    );
+    let mut remote_buf = Vec::new();
+    run(
+        &argv(&["flow", "--batch", &dir_str, "--t1", "--daemon", &sock_str]),
+        &mut remote_buf,
+    )
+    .expect("daemon batch succeeds");
+    let remote = String::from_utf8(remote_buf).expect("utf-8 output");
+    let below_preamble = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+    assert_eq!(below_preamble(&remote), below_preamble(&local));
+    assert!(
+        remote.starts_with("daemon batch: 3 designs via "),
+        "{remote}"
+    );
+
+    // Single design through the daemon: submitted inline, one matching row.
+    let adder = dir.join("adder8.aag");
+    let mut single_buf = Vec::new();
+    run(
+        &argv(&[
+            "flow",
+            adder.to_str().unwrap(),
+            "--t1",
+            "--daemon",
+            &sock_str,
+        ]),
+        &mut single_buf,
+    )
+    .expect("single daemon flow succeeds");
+    let single = String::from_utf8(single_buf).expect("utf-8 output");
+    let adder_row = local
+        .lines()
+        .find(|l| l.starts_with("adder8.aag"))
+        .expect("adder8 row in local batch");
+    assert!(single.lines().any(|l| l == adder_row), "{single}");
+
+    // Control plane: stats reflect the 4 served designs; stop drains.
+    let mut stats_buf = Vec::new();
+    run(&argv(&["daemon", "stats", &sock_str]), &mut stats_buf).expect("stats");
+    let stats = String::from_utf8(stats_buf).expect("utf-8 output");
+    assert!(stats.starts_with("STATS ok=4 failed=0 "), "{stats}");
+    // The single inline adder8 submission re-used the batch's cache entry.
+    assert!(stats.contains("cache_hits=1 "), "{stats}");
+
+    let mut stop_buf = Vec::new();
+    run(&argv(&["daemon", "stop", &sock_str]), &mut stop_buf).expect("stop");
+    server
+        .join()
+        .expect("server thread")
+        .expect("daemon exits cleanly");
+    assert!(!sock.exists(), "socket file removed on exit");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,8 +16,10 @@
 //!   just-parsed canonical file reproduces it byte for byte, which is what
 //!   lets corpus files be stored canonically and diffed bytewise in CI;
 //! * [`DesignCache`] — memoizes parses by a 64-bit FNV-1a hash of the file
-//!   *content*, so a batch run touching the same design under several paths
-//!   (or the same path repeatedly) parses it once.
+//!   *content* (plus its length, with hits verified by byte comparison, so
+//!   a hash collision can never serve the wrong design), so a batch run or
+//!   a long-lived daemon touching the same design under several paths (or
+//!   the same path repeatedly) parses it once.
 //!
 //! # Example
 //!
@@ -62,19 +64,17 @@ impl DesignFormat {
 
     /// Detects the format of a design from its path and/or content.
     ///
-    /// A recognized `.aag` / `.blif` extension wins; otherwise the first
-    /// non-blank content line decides: an `aag` header means AIGER, a `.`
-    /// directive or `#` comment means BLIF.
+    /// A recognized `.aag` / `.blif` extension wins (matched
+    /// case-insensitively, so `X.AAG` and `y.Blif` ingest like their
+    /// lowercase twins); otherwise the first non-blank content line decides:
+    /// an `aag` header means AIGER, a `.` directive or `#` comment means
+    /// BLIF.
     ///
     /// # Errors
     /// [`DesignError::UnknownFormat`] when neither signal is conclusive.
     pub fn detect(path: Option<&Path>, content: &str) -> Result<Self, DesignError> {
-        if let Some(ext) = path.and_then(|p| p.extension()).and_then(|e| e.to_str()) {
-            match ext {
-                "aag" => return Ok(DesignFormat::Aag),
-                "blif" => return Ok(DesignFormat::Blif),
-                _ => {}
-            }
+        if let Some(format) = path.and_then(Self::from_extension) {
+            return Ok(format);
         }
         let first = content
             .lines()
@@ -91,6 +91,22 @@ impl DesignFormat {
                     .map(|p| p.display().to_string())
                     .unwrap_or_else(|| "<memory>".into()),
             })
+        }
+    }
+
+    /// The format a path's extension claims, matched case-insensitively
+    /// (`.aag`/`.AAG`/`.Blif`…), or `None` for everything else. This is the
+    /// one extension test shared by [`DesignFormat::detect`] and
+    /// [`list_dir`], so single-file and directory ingestion can never
+    /// disagree about which files are designs.
+    pub fn from_extension(path: &Path) -> Option<Self> {
+        let ext = path.extension()?.to_str()?;
+        if ext.eq_ignore_ascii_case("aag") {
+            Some(DesignFormat::Aag)
+        } else if ext.eq_ignore_ascii_case("blif") {
+            Some(DesignFormat::Blif)
+        } else {
+            None
         }
     }
 }
@@ -257,24 +273,7 @@ pub fn load_dir(dir: &Path) -> Result<(Vec<(String, Design)>, usize), DesignErro
 pub fn load_dir_results(
     dir: &Path,
 ) -> Result<(Vec<(String, Result<Design, DesignError>)>, usize), DesignError> {
-    let listing = |source| DesignError::Io {
-        path: dir.display().to_string(),
-        source,
-    };
-    let entries = std::fs::read_dir(dir).map_err(listing)?;
-    let mut paths: Vec<std::path::PathBuf> = entries
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(listing)?
-        .into_iter()
-        .map(|e| e.path())
-        .filter(|p| {
-            matches!(
-                p.extension().and_then(|e| e.to_str()),
-                Some("aag") | Some("blif")
-            )
-        })
-        .collect();
-    paths.sort();
+    let paths = list_dir(dir)?;
     let mut cache = DesignCache::new();
     let mut designs = Vec::with_capacity(paths.len());
     for path in &paths {
@@ -289,9 +288,35 @@ pub fn load_dir_results(
     Ok((designs, cache.stats().hits))
 }
 
-/// 64-bit FNV-1a — the cache key for [`DesignCache`]. Stable across runs
-/// and platforms (unlike `DefaultHasher`), cheap, and collision-safe at
-/// corpus scale.
+/// Lists the design files (`.aag`/`.blif`, extensions matched
+/// case-insensitively) directly under `dir`, sorted by path — the one
+/// directory-listing policy shared by [`load_dir_results`] and by batch
+/// clients that submit paths to the `sfqt1d` daemon.
+///
+/// # Errors
+/// [`DesignError::Io`] when listing `dir` fails.
+pub fn list_dir(dir: &Path) -> Result<Vec<std::path::PathBuf>, DesignError> {
+    let listing = |source| DesignError::Io {
+        path: dir.display().to_string(),
+        source,
+    };
+    let entries = std::fs::read_dir(dir).map_err(listing)?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(listing)?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| DesignFormat::from_extension(p).is_some())
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// 64-bit FNV-1a — the content fingerprint [`DesignCache`] keys by
+/// (together with the content length). Stable across runs and platforms
+/// (unlike `DefaultHasher`) and cheap; the cache never *trusts* it — hits
+/// are verified by byte comparison, so a collision degrades to a recorded
+/// miss instead of serving the wrong design.
 pub fn content_hash(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -312,30 +337,58 @@ pub struct CacheStats {
     pub misses: usize,
     /// Entries evicted to respect the capacity bound.
     pub evictions: usize,
+    /// Key-equal loads whose bytes did **not** match the cached content —
+    /// verified hash collisions, each also counted as a miss. Nonzero only
+    /// when two distinct inputs share a `(hash, len)` key.
+    pub collisions: usize,
     /// Designs currently cached.
     pub len: usize,
     /// Capacity bound.
     pub capacity: usize,
 }
 
-/// A bounded parse cache keyed by file-content hash.
+/// The cache key: content fingerprint plus content length. Keying by the
+/// pair (instead of the bare hash) makes accidental collisions rarer; the
+/// byte comparison in [`DesignCache::parse_cached`] makes the remaining
+/// ones harmless.
+type CacheKey = (u64, usize);
+
+/// One cached parse: the verified source bytes plus the parsed design.
+/// The content is retained so key-equal loads can be byte-verified — a
+/// daemon serving arbitrary client content must never let a 64-bit hash
+/// collision silently answer with the wrong design.
+#[derive(Debug)]
+struct CacheEntry {
+    content: Box<str>,
+    design: Design,
+}
+
+/// A bounded parse cache keyed by file-content hash and length, with
+/// byte-verified hits.
 ///
-/// Batch drivers load every file in a directory; identical content (same
-/// design under two names, or repeated loads) parses once. The cache stores
-/// the parsed [`Design`] by [`content_hash`], not by path, and holds at
-/// most `capacity` entries: when full, the **oldest inserted** entry is
-/// evicted first (deterministic FIFO — a long-running daemon must not grow
-/// without bound, and eviction order must not depend on hash iteration
-/// order).
+/// Batch drivers and the `sfqt1d` daemon load the same designs repeatedly;
+/// identical content (same design under two names/paths/clients, or
+/// repeated loads) parses once. The cache stores the parsed [`Design`] by
+/// `(`[`content_hash`]`, length)`, not by path, and holds at most
+/// `capacity` entries: when full, the **oldest inserted** entry is evicted
+/// first (deterministic FIFO — a long-running daemon must not grow without
+/// bound, and eviction order must not depend on hash iteration order).
+///
+/// A key-equal load whose bytes differ from the cached content is a
+/// **verified collision**: it is recorded ([`CacheStats::collisions`]),
+/// counted as a miss, parsed fresh, and the new design replaces the
+/// colliding entry — so the caller always gets the design its bytes
+/// describe, never a hash twin's.
 #[derive(Debug)]
 pub struct DesignCache {
-    parsed: HashMap<u64, Design>,
+    parsed: HashMap<CacheKey, CacheEntry>,
     /// Insertion order of the keys in `parsed`; front = oldest.
-    order: VecDeque<u64>,
+    order: VecDeque<CacheKey>,
     capacity: usize,
     hits: usize,
     misses: usize,
     evictions: usize,
+    collisions: usize,
 }
 
 impl Default for DesignCache {
@@ -363,6 +416,7 @@ impl DesignCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            collisions: 0,
         }
     }
 
@@ -371,12 +425,13 @@ impl DesignCache {
         self.hits
     }
 
-    /// Hit/miss/eviction/occupancy counters.
+    /// Hit/miss/eviction/collision/occupancy counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            collisions: self.collisions,
             len: self.parsed.len(),
             capacity: self.capacity,
         }
@@ -403,31 +458,94 @@ impl DesignCache {
             path: path.display().to_string(),
             source,
         })?;
-        let key = content_hash(content.as_bytes());
-        if self.parsed.contains_key(&key) {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("design")
+            .to_string();
+        self.load_keyed(Self::key_of(&content), &content, Some(path), &stem)
+    }
+
+    /// Parses in-memory `content` through the cache — the daemon's inline
+    /// submission path. `name_hint` (e.g. the client-supplied file name)
+    /// drives extension-based format detection and the fallback design
+    /// name; content sniffing covers hint-less submissions.
+    ///
+    /// Identical bytes parse once regardless of how they arrive (inline or
+    /// via [`DesignCache::load`]); key-equal but byte-different content is
+    /// a verified collision and parses fresh (see the type docs).
+    ///
+    /// # Errors
+    /// [`DesignError`] on unknown formats or parse errors.
+    pub fn parse_cached(
+        &mut self,
+        content: &str,
+        name_hint: Option<&str>,
+    ) -> Result<&Design, DesignError> {
+        let path = name_hint.map(Path::new);
+        let stem = path
+            .and_then(|p| p.file_stem())
+            .and_then(|s| s.to_str())
+            .unwrap_or("design")
+            .to_string();
+        self.load_keyed(Self::key_of(content), content, path, &stem)
+    }
+
+    /// The cache key of `content`.
+    fn key_of(content: &str) -> CacheKey {
+        (content_hash(content.as_bytes()), content.len())
+    }
+
+    /// The shared load path: byte-verified lookup under an explicit `key`.
+    /// Private so production keys are always [`DesignCache::key_of`]; the
+    /// collision unit test calls it with two synthetic equal keys to force
+    /// the case a 64-bit fingerprint makes astronomically rare.
+    fn load_keyed(
+        &mut self,
+        key: CacheKey,
+        content: &str,
+        path: Option<&Path>,
+        fallback_name: &str,
+    ) -> Result<&Design, DesignError> {
+        let verified_hit = match self.parsed.get(&key) {
+            Some(entry) if &*entry.content == content => true,
+            Some(_) => {
+                // Key-equal, byte-different: a real collision. Record it
+                // and fall through to the miss path, which replaces the
+                // colliding entry with the design these bytes describe.
+                self.collisions += 1;
+                false
+            }
+            None => false,
+        };
+        if verified_hit {
             self.hits += 1;
         } else {
             self.misses += 1;
-            let format = DesignFormat::detect(Some(path), &content)?;
-            let stem = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("design");
-            let design = Design::parse(&content, format, stem)?;
-            // Evict before inserting so the borrow returned below stays
-            // untouched and occupancy never exceeds `capacity`.
-            while self.parsed.len() >= self.capacity {
-                let oldest = self
-                    .order
-                    .pop_front()
-                    .expect("occupancy > 0 implies a tracked insertion order");
-                self.parsed.remove(&oldest);
-                self.evictions += 1;
+            let format = DesignFormat::detect(path, content)?;
+            let design = Design::parse(content, format, fallback_name)?;
+            if !self.parsed.contains_key(&key) {
+                // Evict before inserting so the borrow returned below stays
+                // untouched and occupancy never exceeds `capacity`.
+                while self.parsed.len() >= self.capacity {
+                    let oldest = self
+                        .order
+                        .pop_front()
+                        .expect("occupancy > 0 implies a tracked insertion order");
+                    self.parsed.remove(&oldest);
+                    self.evictions += 1;
+                }
+                self.order.push_back(key);
             }
-            self.parsed.insert(key, design);
-            self.order.push_back(key);
+            self.parsed.insert(
+                key,
+                CacheEntry {
+                    content: content.into(),
+                    design,
+                },
+            );
         }
-        Ok(&self.parsed[&key])
+        Ok(&self.parsed[&key].design)
     }
 }
 
@@ -487,6 +605,174 @@ mod tests {
             let d2 = Design::parse(&w1, format, "m").unwrap();
             let w2 = d2.write_native();
             assert_eq!(w1, w2, "{format} fixpoint");
+        }
+    }
+
+    #[test]
+    fn detect_matches_extensions_case_insensitively() {
+        let blif = ".model m\n.inputs\n.outputs\n.end\n";
+        for name in ["x.AAG", "x.Aag", "x.aAg"] {
+            assert_eq!(
+                DesignFormat::detect(Some(Path::new(name)), blif).unwrap(),
+                DesignFormat::Aag,
+                "{name} is AIGER by extension"
+            );
+        }
+        for name in ["y.BLIF", "y.Blif"] {
+            assert_eq!(
+                DesignFormat::detect(Some(Path::new(name)), "aag 0 0 0 0 0\n").unwrap(),
+                DesignFormat::Blif,
+                "{name} is BLIF by extension"
+            );
+        }
+        assert_eq!(
+            DesignFormat::from_extension(Path::new("z.AagX")),
+            None,
+            "only exact (case-folded) extensions match"
+        );
+    }
+
+    #[test]
+    fn load_dir_ingests_uppercase_extensions() {
+        let dir = std::env::temp_dir().join(format!("sfq-design-upper-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blif = ".model um\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n";
+        let aag = "aag 1 1 0 1 0\n2\n2\n";
+        std::fs::write(dir.join("a_wire.AAG"), aag).unwrap();
+        std::fs::write(dir.join("b_buf.BLIF"), blif).unwrap();
+        std::fs::write(dir.join("c_buf.blif"), blif).unwrap();
+        std::fs::write(dir.join("noise.txt"), "not a design").unwrap();
+
+        let listed = list_dir(&dir).unwrap();
+        assert_eq!(listed.len(), 3, "uppercase twins are listed: {listed:?}");
+
+        let (entries, hits) = load_dir_results(&dir).unwrap();
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a_wire.AAG", "b_buf.BLIF", "c_buf.blif"]);
+        for (name, entry) in &entries {
+            let design = entry.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                design.format,
+                if name.to_ascii_lowercase().ends_with(".aag") {
+                    DesignFormat::Aag
+                } else {
+                    DesignFormat::Blif
+                }
+            );
+        }
+        assert_eq!(
+            hits, 1,
+            "identical upper/lowercase BLIF content parses once"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_collision_degrades_to_a_verified_miss() {
+        // Two distinct, parseable designs forced onto the same synthetic
+        // key — exactly what a 64-bit fingerprint collision would produce.
+        let one = ".model one\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n";
+        let two = ".model two\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n";
+        let key = (42u64, 0usize);
+        let mut cache = DesignCache::new();
+
+        let d = cache.load_keyed(key, one, None, "one").unwrap();
+        assert_eq!(d.aig.name(), "one");
+        let d = cache.load_keyed(key, two, None, "two").unwrap();
+        assert_eq!(d.aig.name(), "two", "collision must serve the new bytes");
+        let d = cache.load_keyed(key, one, None, "one").unwrap();
+        assert_eq!(d.aig.name(), "one", "and back again");
+        let d = cache.load_keyed(key, one, None, "one").unwrap();
+        assert_eq!(d.aig.name(), "one", "byte-equal reload is a true hit");
+
+        let stats = cache.stats();
+        assert_eq!(stats.collisions, 2, "both key-equal swaps were verified");
+        assert_eq!(stats.misses, 3, "each collision re-parsed");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.len, 1, "colliding entries replace, not accumulate");
+    }
+
+    #[test]
+    fn parse_cached_dedupes_inline_and_file_content() {
+        let dir = std::env::temp_dir().join(format!("sfq-design-inline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = ".model im\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n";
+        let p = dir.join("im.blif");
+        std::fs::write(&p, src).unwrap();
+
+        let mut cache = DesignCache::new();
+        assert_eq!(cache.load(&p).unwrap().aig.name(), "im");
+        assert_eq!(
+            cache.parse_cached(src, Some("im.blif")).unwrap().aig.name(),
+            "im"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (1, 1),
+            "inline submission of the same bytes hits the file's entry"
+        );
+        // Hint-less inline content still parses (content sniffing).
+        assert!(cache.parse_cached(src, None).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Eviction/stats model check at tiny capacities: the cache
+        /// behaves exactly like a FIFO queue of content keys with
+        /// byte-verified hits.
+        #[test]
+        fn cache_eviction_matches_fifo_model_at_capacities_1_to_3(
+            capacity in 1usize..=3,
+            loads in prop::collection::vec(0usize..5, 1..40),
+        ) {
+            // A pool of five distinct parseable designs.
+            let pool: Vec<String> = (0..5)
+                .map(|i| {
+                    format!(
+                        ".model p{i}\n.inputs a b\n.outputs y\n.names a b y\n1{} 1\n.end\n",
+                        i % 2
+                    )
+                })
+                .collect();
+            let mut cache = DesignCache::with_capacity(capacity);
+            // Model: FIFO of pool indices currently cached.
+            let mut model: std::collections::VecDeque<usize> = Default::default();
+            let (mut hits, mut misses, mut evictions) = (0usize, 0usize, 0usize);
+            for &i in &loads {
+                let name = cache
+                    .parse_cached(&pool[i], None)
+                    .expect("parses")
+                    .aig
+                    .name()
+                    .to_string();
+                prop_assert_eq!(name, format!("p{i}"), "correct design served");
+                if model.contains(&i) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    if model.len() >= capacity {
+                        model.pop_front();
+                        evictions += 1;
+                    }
+                    model.push_back(i);
+                }
+                let stats = cache.stats();
+                prop_assert_eq!(stats.len, model.len());
+                prop_assert_eq!(stats.hits, hits);
+                prop_assert_eq!(stats.misses, misses);
+                prop_assert_eq!(stats.evictions, evictions);
+                prop_assert_eq!(stats.collisions, 0, "distinct designs never collide");
+                prop_assert!(stats.len <= capacity, "capacity bound holds");
+            }
+            // The most recently inserted design is always resident.
+            let before = cache.stats().hits;
+            if let Some(&resident) = model.back() {
+                cache.parse_cached(&pool[resident], None).expect("parses");
+                prop_assert_eq!(cache.stats().hits, before + 1, "resident design hits");
+            }
         }
     }
 

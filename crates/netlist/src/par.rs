@@ -30,6 +30,30 @@ pub fn force_workers(n: usize) {
     FORCED.store(n, Ordering::SeqCst);
 }
 
+/// The current [`force_workers`] override (`0` when none is installed).
+/// Lets callers that need a temporary override (e.g. the batch driver's
+/// sequential retry of a panicked design) save and restore the previous
+/// value instead of clobbering it.
+pub fn forced_workers() -> usize {
+    FORCED.load(Ordering::SeqCst)
+}
+
+/// Validates an `SFQ_WORKERS` value: a positive integer, capped at 8 (the
+/// fan-outs are memory-bound well before that). `0` and non-numeric values
+/// are rejected with a reason — silently falling back would let a typo like
+/// `SFQ_WORKERS=all` change behavior with no signal, which a long-running
+/// daemon cannot afford.
+///
+/// # Errors
+/// A human-readable rejection reason.
+pub fn parse_workers(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err("worker count must be at least 1".to_string()),
+        Ok(n) => Ok(n.min(8)),
+        Err(_) => Err(format!("`{value}` is not a number")),
+    }
+}
+
 /// Number of scoped worker threads the in-netlist fan-outs may use.
 ///
 /// With the `parallel` feature: the host's available parallelism (capped at
@@ -44,12 +68,22 @@ pub fn workers() -> usize {
             return forced.clamp(1, 8);
         }
         static FROM_ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-        if let Some(w) = *FROM_ENV.get_or_init(|| {
-            std::env::var("SFQ_WORKERS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
+        if let Some(w) = *FROM_ENV.get_or_init(|| match std::env::var("SFQ_WORKERS") {
+            Err(_) => None,
+            Ok(v) => match parse_workers(&v) {
+                Ok(w) => Some(w),
+                Err(reason) => {
+                    // One-time by construction: the OnceLock initializer
+                    // runs exactly once per process.
+                    eprintln!(
+                        "warning: ignoring SFQ_WORKERS={v:?}: {reason}; \
+                         using the host's available parallelism"
+                    );
+                    None
+                }
+            },
         }) {
-            return w.clamp(1, 8);
+            return w;
         }
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -177,37 +211,79 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    let mut results = Vec::with_capacity(items.len());
+    // Emission is in input order, so collecting into a Vec preserves it.
+    map_ordered_streamed(items, f, |_k, r| results.push(r));
+    results
+}
+
+/// In-order state of one [`map_ordered_streamed`] run: completed results
+/// that are still waiting for an earlier item to finish.
+struct EmitState<U> {
+    next: usize,
+    pending: std::collections::BTreeMap<usize, Result<U, ItemPanic>>,
+}
+
+/// [`map_ordered_caught`] that **streams**: `emit(k, result)` is called for
+/// every item, in input order, as soon as all items `0..=k` have finished —
+/// instead of buffering the whole result vector until the slowest item is
+/// done. The first item's result is observable while later items are still
+/// running, which is what lets batch drivers and the `sfqt1d` daemon print
+/// or transmit result rows before a batch completes.
+///
+/// `emit` runs under an internal lock (on whichever worker finished the
+/// unblocking item), so it may be `FnMut`; long work inside `emit` delays
+/// other workers' emissions but not their computations. Panic containment
+/// and ordering semantics are exactly those of [`map_ordered_caught`].
+pub fn map_ordered_streamed<T, U, F, E>(items: Vec<T>, f: F, emit: E)
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+    E: FnMut(usize, Result<U, ItemPanic>) + Send,
+{
     let n = items.len();
     let threads = workers().min(n);
+    let mut emit = emit;
     if threads <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(k, item)| run_item(k, item, &f))
-            .collect();
+        for (k, item) in items.into_iter().enumerate() {
+            emit(k, run_item(k, item, &f));
+        }
+        return;
     }
     let work: Vec<std::sync::Mutex<Option<T>>> = items
         .into_iter()
         .map(|item| std::sync::Mutex::new(Some(item)))
         .collect();
     let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, Result<U, ItemPanic>)>> = Vec::with_capacity(threads);
+    let sink = std::sync::Mutex::new((
+        EmitState {
+            next: 0,
+            pending: std::collections::BTreeMap::new(),
+        },
+        emit,
+    ));
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut mine: Vec<(usize, Result<U, ItemPanic>)> = Vec::new();
-                    loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        if k >= n {
-                            break mine;
-                        }
-                        let item = work[k]
-                            .lock()
-                            .expect("work slot lock")
-                            .take()
-                            .expect("each work item is claimed once");
-                        mine.push((k, run_item(k, item, &f)));
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let item = work[k]
+                        .lock()
+                        .expect("work slot lock")
+                        .take()
+                        .expect("each work item is claimed once");
+                    let result = run_item(k, item, &f);
+                    let (state, emit) = &mut *sink.lock().expect("emit sink lock");
+                    state.pending.insert(k, result);
+                    // Drain the contiguous prefix: emit everything that is
+                    // now unblocked, in input order.
+                    while let Some(r) = state.pending.remove(&state.next) {
+                        emit(state.next, r);
+                        state.next += 1;
                     }
                 })
             })
@@ -216,20 +292,9 @@ where
             // Worker bodies catch per item, so a worker can only die on a
             // panic outside `f` (a poisoned slot lock); preserve that
             // payload instead of replacing it with a join message.
-            per_worker.push(
-                handle
-                    .join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-            );
+            handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         }
     });
-    let mut slots: Vec<Option<Result<U, ItemPanic>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    for (k, result) in per_worker.into_iter().flatten() {
-        slots[k] = Some(result);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every item produced a result"))
-        .collect()
 }

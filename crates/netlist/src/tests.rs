@@ -926,6 +926,57 @@ fn map_ordered_resumes_the_lowest_index_panic() {
 }
 
 #[test]
+fn map_ordered_streamed_emits_every_item_in_input_order() {
+    for workers in [1usize, 4] {
+        crate::par::force_workers(workers);
+        let mut emitted: Vec<(usize, Result<String, String>)> = Vec::new();
+        crate::par::map_ordered_streamed(
+            (0..8usize).collect(),
+            |k| {
+                if k == 3 {
+                    panic!("poisoned item {k}");
+                }
+                format!("item-{k}")
+            },
+            |k, r| emitted.push((k, r.map_err(|p| p.message()))),
+        );
+        crate::par::force_workers(0);
+        let order: Vec<usize> = emitted.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            order,
+            (0..8).collect::<Vec<_>>(),
+            "emission is in input order ({workers} workers)"
+        );
+        for (k, r) in &emitted {
+            match r {
+                Ok(s) => assert_eq!(s, &format!("item-{k}"), "{workers} workers"),
+                Err(m) => {
+                    assert_eq!(*k, 3, "only the poisoned item errs ({workers} workers)");
+                    assert_eq!(m, "poisoned item 3");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parse_workers_rejects_invalid_counts_with_a_reason() {
+    assert_eq!(crate::par::parse_workers("4"), Ok(4));
+    assert_eq!(
+        crate::par::parse_workers(" 2 "),
+        Ok(2),
+        "whitespace trimmed"
+    );
+    assert_eq!(crate::par::parse_workers("20"), Ok(8), "capped at 8");
+    let err = crate::par::parse_workers("0").expect_err("0 workers is invalid");
+    assert!(err.contains("at least 1"), "{err}");
+    let err = crate::par::parse_workers("all").expect_err("non-numeric rejected");
+    assert!(err.contains("all"), "the reason names the value: {err}");
+    assert!(crate::par::parse_workers("-2").is_err());
+    assert!(crate::par::parse_workers("").is_err());
+}
+
+#[test]
 fn budget_node_ceiling_aborts_with_typed_payload() {
     let guard = crate::budget::install(None, Some(10));
     let caught = std::panic::catch_unwind(|| {

@@ -1,0 +1,181 @@
+//! Client side of the `sfqt1d` protocol: one function per request kind.
+//!
+//! Each call opens one connection (the protocol is one request per
+//! connection), writes the request, and consumes the response. [`flow`]
+//! hands result rows to a callback **as they arrive**, so a CLI client
+//! prints streamed rows with the same latency the daemon emits them.
+
+use crate::protocol::{
+    parse_reply, write_request, FlowRequest, ProtocolError, Reply, Request, StatsReply,
+};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Errors a daemon client can see.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting to or talking over the socket failed.
+    Io {
+        /// What the client was doing.
+        context: String,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// The daemon's response violated the protocol.
+    Protocol(ProtocolError),
+    /// The daemon answered `ERR <message>`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io { context, source } => write!(f, "{context}: {source}"),
+            ClientError::Protocol(e) => write!(f, "daemon protocol error: {e}"),
+            ClientError::Server(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io(source) => ClientError::Io {
+                context: "reading daemon response".into(),
+                source,
+            },
+            other => ClientError::Protocol(other),
+        }
+    }
+}
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> ClientError {
+    let context = context.into();
+    move |source| ClientError::Io { context, source }
+}
+
+/// One connected request/response exchange, response left to the caller.
+fn send(socket: &Path, request: &Request) -> Result<BufReader<UnixStream>, ClientError> {
+    let stream = UnixStream::connect(socket)
+        .map_err(io_err(format!("connecting to `{}`", socket.display())))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(io_err("cloning the daemon stream"))?;
+    let mut writer = BufWriter::new(stream);
+    write_request(&mut writer, request).map_err(io_err("sending the request"))?;
+    // Dropping the flushed writer here closes only its duplicated fd; the
+    // reader's clone keeps the connection open until the response is read.
+    Ok(BufReader::new(read_half))
+}
+
+/// Reads one reply line (EOF and `ERR` become errors).
+fn read_reply(reader: &mut BufReader<UnixStream>) -> Result<Reply, ClientError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(io_err("reading daemon response"))?;
+    if n == 0 {
+        return Err(ClientError::Io {
+            context: "reading daemon response".into(),
+            source: std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ),
+        });
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    match parse_reply(&line)? {
+        Reply::Err(m) => Err(ClientError::Server(m)),
+        reply => Ok(reply),
+    }
+}
+
+/// Runs a `FLOW` request, handing each `(index, row)` to `on_row` as it
+/// streams in. Returns the daemon's `(ok, failed)` totals.
+///
+/// # Errors
+/// Connection failures, protocol violations, and daemon-reported errors.
+pub fn flow(
+    socket: &Path,
+    request: &FlowRequest,
+    mut on_row: impl FnMut(usize, &str),
+) -> Result<(usize, usize), ClientError> {
+    let mut reader = send(socket, &Request::Flow(request.clone()))?;
+    let mut expected = 0usize;
+    loop {
+        match read_reply(&mut reader)? {
+            Reply::Row { index, line } => {
+                // The daemon emits rows in input order; hold it to that.
+                if index != expected {
+                    return Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+                        "row {index} arrived, expected row {expected}"
+                    ))));
+                }
+                expected += 1;
+                on_row(index, &line);
+            }
+            Reply::End { ok, failed } => {
+                if ok + failed != expected {
+                    return Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+                        "END counts {ok}+{failed} after {expected} rows"
+                    ))));
+                }
+                return Ok((ok, failed));
+            }
+            other => {
+                return Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+                    "unexpected reply {other:?} in a FLOW stream"
+                ))))
+            }
+        }
+    }
+}
+
+/// Fetches the daemon's counter snapshot.
+///
+/// # Errors
+/// Connection failures, protocol violations, and daemon-reported errors.
+pub fn stats(socket: &Path) -> Result<StatsReply, ClientError> {
+    let mut reader = send(socket, &Request::Stats)?;
+    match read_reply(&mut reader)? {
+        Reply::Stats(s) => Ok(*s),
+        other => Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+            "unexpected reply {other:?} to STATS"
+        )))),
+    }
+}
+
+/// Asks the daemon to shut down gracefully (acknowledged with `BYE` before
+/// the drain).
+///
+/// # Errors
+/// Connection failures, protocol violations, and daemon-reported errors.
+pub fn stop(socket: &Path) -> Result<(), ClientError> {
+    let mut reader = send(socket, &Request::Stop)?;
+    match read_reply(&mut reader)? {
+        Reply::Bye => Ok(()),
+        other => Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+            "unexpected reply {other:?} to STOP"
+        )))),
+    }
+}
+
+/// Liveness probe.
+///
+/// # Errors
+/// Connection failures, protocol violations, and daemon-reported errors.
+pub fn ping(socket: &Path) -> Result<(), ClientError> {
+    let mut reader = send(socket, &Request::Ping)?;
+    match read_reply(&mut reader)? {
+        Reply::Pong => Ok(()),
+        other => Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+            "unexpected reply {other:?} to PING"
+        )))),
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared job execution: supervised flows fanned over workers, result rows
+//! **streamed back in input order**.
+//!
+//! This is the one engine behind both `sfqt1 flow --batch` (local) and the
+//! `sfqt1d` daemon's `FLOW` requests: the same row rendering, the same
+//! containment policy, the same ordering guarantee — so daemon responses are
+//! byte-identical to local batch rows by construction, not by convention.
+//!
+//! Rows are emitted through [`sfq_netlist::par::map_ordered_streamed`]: row
+//! `k` is handed to the sink as soon as designs `0..=k` have finished, while
+//! later designs are still running. That replaces the old batch driver's
+//! buffer-everything-then-print shape — a terminal user (or a daemon
+//! client) sees the first rows of a long batch immediately.
+
+use crate::state::OutcomeKind;
+use sfq_core::{run_flow_supervised, FlowConfig, FlowOutcome, FlowReport, Limits};
+use sfq_netlist::{par, Design};
+use std::sync::Mutex;
+
+/// One job: a display name plus its ingested design (ingest failures carry
+/// their rendered reason and become `FAILED(...)` rows).
+pub struct JobEntry {
+    /// Display name — first column of the row.
+    pub name: String,
+    /// The parsed design, or the ingest failure reason.
+    pub design: Result<Design, String>,
+}
+
+/// One finished job's rendered row plus its outcome class.
+pub struct JobRow {
+    /// Zero-based input index of the job.
+    pub index: usize,
+    /// The rendered table row.
+    pub line: String,
+    /// Outcome class, for summaries and daemon counters.
+    pub kind: OutcomeKind,
+}
+
+impl JobRow {
+    /// True when the job finished and verified.
+    pub fn is_ok(&self) -> bool {
+        self.kind == OutcomeKind::Ok
+    }
+}
+
+/// The batch table header row (shared by the local batch driver and the
+/// daemon client, so their tables stay identical below the preamble).
+pub fn table_header() -> String {
+    format!(
+        "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
+        "design", "fmt", "in", "out", "found", "used", "cells", "dffs", "area JJ", "depth"
+    )
+}
+
+/// Formats one successful row's columns.
+fn report_row(name: &str, design: &Design, r: &FlowReport) -> String {
+    format!(
+        "{:<16} {:>4} | {:>4} {:>4} | {:>6} {:>5} | {:>6} {:>6} {:>8} {:>6}",
+        name,
+        design.format.extension(),
+        design.aig.num_inputs(),
+        design.aig.num_outputs(),
+        r.t1_found,
+        r.t1_used,
+        r.num_gates,
+        r.num_dffs,
+        r.area,
+        r.depth_cycles
+    )
+}
+
+/// Serializes sequential retries of panicked jobs: the retry temporarily
+/// forces one worker process-wide, so two concurrent retries (or a retry
+/// racing a test's own [`par::force_workers`] save/restore) must not
+/// interleave their save/restore pairs.
+static RETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs one job supervised and renders its row.
+///
+/// Containment policy (identical to the historical batch driver, now
+/// applied *before* the row is emitted, since streamed rows cannot be
+/// amended): every failure renders as `FAILED(<reason>)` with a
+/// deterministic reason, and a job that **panicked** while the parallel
+/// fan-outs were active is retried once sequentially — under a process-wide
+/// one-worker override, serialized by [`RETRY_LOCK`] — before being
+/// declared dead. Deterministic faults fail again identically, keeping
+/// output byte-identical across worker counts.
+fn run_job(index: usize, entry: &JobEntry, config: &FlowConfig, limits: &Limits) -> JobRow {
+    let name = &entry.name;
+    let failed = |reason: String, kind: OutcomeKind| JobRow {
+        index,
+        line: format!("{name:<16} FAILED({reason})"),
+        kind,
+    };
+    let design = match &entry.design {
+        Err(reason) => return failed(reason.clone(), OutcomeKind::Failed),
+        Ok(design) => design,
+    };
+    let mut outcome = run_flow_supervised(design, config, limits);
+    if matches!(outcome, FlowOutcome::Panicked { .. }) && par::workers() > 1 {
+        let _retry = RETRY_LOCK.lock().expect("retry lock");
+        let previous = par::forced_workers();
+        par::force_workers(1);
+        outcome = run_flow_supervised(design, config, limits);
+        par::force_workers(previous);
+    }
+    match outcome {
+        FlowOutcome::Ok(res) => JobRow {
+            index,
+            line: report_row(name, design, &res.report),
+            kind: OutcomeKind::Ok,
+        },
+        FlowOutcome::Panicked { .. } => failed(
+            outcome.failure().expect("panic outcome has a reason"),
+            OutcomeKind::Panicked,
+        ),
+        FlowOutcome::TimedOut => failed(
+            outcome.failure().expect("timeout outcome has a reason"),
+            OutcomeKind::TimedOut,
+        ),
+        outcome => failed(
+            outcome.failure().expect("failed outcome has a reason"),
+            OutcomeKind::Failed,
+        ),
+    }
+}
+
+/// Runs every job supervised, fanned over [`par::workers`] scoped threads,
+/// and hands each rendered row to `emit` **in input order, as soon as it is
+/// unblocked** — row `k` arrives while jobs `> k` may still be running.
+/// Returns the `(ok, failed)` totals.
+///
+/// `emit` runs under the streaming lock: keep it to a write+flush.
+pub fn run_jobs_streamed(
+    entries: &[JobEntry],
+    config: &FlowConfig,
+    limits: &Limits,
+    mut emit: impl FnMut(JobRow) + Send,
+) -> (usize, usize) {
+    let indices: Vec<usize> = (0..entries.len()).collect();
+    let (mut ok, mut failed) = (0usize, 0usize);
+    par::map_ordered_streamed(
+        indices,
+        |i| run_job(i, &entries[i], config, limits),
+        |k, row| {
+            // Worker bodies never panic (run_job contains everything), so
+            // an Err here is unreachable; render it defensively anyway
+            // rather than poisoning the daemon.
+            let row = row.unwrap_or_else(|p| JobRow {
+                index: k,
+                line: format!("{:<16} FAILED(panicked: {})", entries[k].name, p.message()),
+                kind: OutcomeKind::Panicked,
+            });
+            if row.is_ok() {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+            emit(row);
+        },
+    );
+    (ok, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_entry(name: &str) -> JobEntry {
+        let content = format!(".model {name}\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n");
+        let mut cache = sfq_netlist::DesignCache::with_capacity(4);
+        let design = cache
+            .parse_cached(&content, Some(name))
+            .expect("toy design parses")
+            .clone();
+        JobEntry {
+            name: format!("{name}.blif"),
+            design: Ok(design),
+        }
+    }
+
+    #[test]
+    fn rows_stream_in_input_order_with_failures_contained() {
+        let entries = vec![
+            toy_entry("a"),
+            JobEntry {
+                name: "broken.aag".into(),
+                design: Err("aag: truncated header".into()),
+            },
+            toy_entry("b"),
+        ];
+        let config = FlowConfig::t1(4);
+        let mut rows = Vec::new();
+        let (ok, failed) =
+            run_jobs_streamed(&entries, &config, &Limits::NONE, |row| rows.push(row));
+        assert_eq!((ok, failed), (2, 1));
+        assert_eq!(
+            rows.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(rows[1].line.contains("FAILED(aag: truncated header)"));
+        assert_eq!(rows[1].kind, OutcomeKind::Failed);
+        assert!(rows[0].is_ok() && rows[2].is_ok());
+        assert!(rows[0].line.starts_with("a.blif"));
+    }
+
+    #[test]
+    fn deadline_rows_classify_as_timed_out() {
+        let entries = vec![toy_entry("t")];
+        let config = FlowConfig::multiphase(4);
+        let limits = Limits {
+            deadline: Some(std::time::Duration::ZERO),
+            max_nodes: None,
+        };
+        let mut rows = Vec::new();
+        run_jobs_streamed(&entries, &config, &limits, |row| rows.push(row));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].kind, OutcomeKind::TimedOut);
+        assert!(rows[0].line.contains("FAILED("), "{}", rows[0].line);
+    }
+
+    #[test]
+    fn header_and_rows_share_column_layout() {
+        let header = table_header();
+        let entries = vec![toy_entry("w")];
+        let config = FlowConfig::multiphase(4);
+        let mut rows = Vec::new();
+        run_jobs_streamed(&entries, &config, &Limits::NONE, |row| rows.push(row));
+        let row = &rows[0].line;
+        // The `|` column separators line up between header and data rows.
+        let bars = |s: &str| s.match_indices('|').map(|(i, _)| i).collect::<Vec<_>>();
+        assert_eq!(bars(&header), bars(row), "{header}\n{row}");
+    }
+}

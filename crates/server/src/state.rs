@@ -1,0 +1,170 @@
+//! Shared daemon state: the design cache and the lifetime counters.
+//!
+//! One [`ServerState`] lives as long as the daemon. Every connection handler
+//! ingests through the same bounded [`DesignCache`] (so two clients
+//! submitting the same design — inline or by path — pay for one parse) and
+//! bumps the same outcome counters (served back by `STATS`). All of it is
+//! interior-mutable, so handlers share `&ServerState` across the acceptor's
+//! thread pool.
+
+use crate::protocol::{DesignSource, StatsReply};
+use sfq_netlist::{Design, DesignCache};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Daemon-lifetime shared state.
+pub struct ServerState {
+    /// The shared, bounded parse cache. One coarse lock: ingest is
+    /// milliseconds against flows that are seconds, so contention here is
+    /// noise — and a coarse lock keeps the hit/miss/eviction accounting
+    /// atomic with the lookups it describes.
+    cache: Mutex<DesignCache>,
+    /// Flows that finished and verified.
+    ok: AtomicU64,
+    /// Flows that failed (ingest error, flow error, or over node budget).
+    failed: AtomicU64,
+    /// Flows that panicked and were contained.
+    panicked: AtomicU64,
+    /// Flows aborted at their wall-clock deadline.
+    timed_out: AtomicU64,
+    /// Set once by `STOP`, a signal, or the idle timeout; never cleared.
+    shutdown: AtomicBool,
+}
+
+/// Outcome class of one finished job, for the daemon counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Finished and verified.
+    Ok,
+    /// Failed with a deterministic reason (ingest, flow error, node
+    /// budget).
+    Failed,
+    /// Panicked and was contained.
+    Panicked,
+    /// Aborted at its wall-clock deadline.
+    TimedOut,
+}
+
+impl ServerState {
+    /// Fresh state with a design cache of `cache_capacity` entries.
+    pub fn new(cache_capacity: usize) -> Self {
+        ServerState {
+            cache: Mutex::new(DesignCache::with_capacity(cache_capacity)),
+            ok: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Ingests one design submission through the shared cache, cloning the
+    /// parsed design out so the lock is held only for lookup/parse.
+    ///
+    /// # Errors
+    /// The rendered ingest failure — callers turn it into a `FAILED(...)`
+    /// row rather than aborting the request.
+    pub fn ingest(&self, source: &DesignSource) -> Result<Design, String> {
+        let mut cache = self.cache.lock().expect("design cache lock");
+        match source {
+            DesignSource::Path { path, .. } => cache.load(path),
+            DesignSource::Inline { name, content } => {
+                let stem = std::path::Path::new(name)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(name)
+                    .to_string();
+                cache.parse_cached(content, Some(&stem))
+            }
+        }
+        .cloned()
+        .map_err(|e| e.to_string())
+    }
+
+    /// Records one finished job in the lifetime counters.
+    pub fn record(&self, kind: OutcomeKind) {
+        let counter = match kind {
+            OutcomeKind::Ok => &self.ok,
+            OutcomeKind::Failed => &self.failed,
+            OutcomeKind::Panicked => &self.panicked,
+            OutcomeKind::TimedOut => &self.timed_out,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot for a `STATS` reply.
+    pub fn stats(&self) -> StatsReply {
+        StatsReply {
+            ok: self.ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            cache: self.cache.lock().expect("design cache lock").stats(),
+        }
+    }
+
+    /// Requests a graceful shutdown: the acceptor stops taking connections
+    /// and the daemon exits once in-flight requests drain.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY_BLIF: &str = ".model tiny\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n";
+
+    #[test]
+    fn inline_and_path_ingest_share_one_cache_slot() {
+        let dir = std::env::temp_dir().join(format!("sfq-state-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("tiny.blif");
+        std::fs::write(&path, TINY_BLIF).expect("write design");
+
+        let state = ServerState::new(8);
+        let by_path = state
+            .ingest(&DesignSource::Path {
+                name: "tiny.blif".into(),
+                path: path.clone(),
+            })
+            .expect("path ingest");
+        let inline = state
+            .ingest(&DesignSource::Inline {
+                name: "tiny.blif".into(),
+                content: TINY_BLIF.into(),
+            })
+            .expect("inline ingest");
+        assert_eq!(by_path.aig.num_inputs(), inline.aig.num_inputs());
+        let stats = state.stats();
+        assert_eq!((stats.cache.misses, stats.cache.hits), (1, 1));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn counters_accumulate_by_kind() {
+        let state = ServerState::new(1);
+        for kind in [
+            OutcomeKind::Ok,
+            OutcomeKind::Ok,
+            OutcomeKind::Failed,
+            OutcomeKind::Panicked,
+            OutcomeKind::TimedOut,
+        ] {
+            state.record(kind);
+        }
+        let s = state.stats();
+        assert_eq!((s.ok, s.failed, s.panicked, s.timed_out), (2, 1, 1, 1));
+        assert!(!state.shutdown_requested());
+        state.request_shutdown();
+        assert!(state.shutdown_requested());
+    }
+}
