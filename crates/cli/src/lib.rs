@@ -28,12 +28,12 @@ use sfq_core::{run_flow, FlowConfig, FlowResult, Limits, PhaseEngine};
 use sfq_netlist::design::{Design, DesignError};
 use sfq_netlist::{aiger, blif, export, map_aig, Aig, Library};
 use sfq_server::{
-    run_jobs_streamed, table_header, DesignSource, FlowOptions as DaemonFlowOptions, FlowRequest,
-    JobEntry, JobRow,
+    run_jobs_streamed, run_verify_jobs_streamed, table_header, verify_table_header, DesignSource,
+    FlowOptions as DaemonFlowOptions, FlowRequest, JobEntry, JobRow, VerifyOptions,
 };
 use sfq_sim::energy::{measure_energy, EnergyModel};
 use sfq_sim::margin::{analyze_margins, MarginConfig};
-use sfq_sim::{vcd, PulseSim};
+use sfq_sim::{check_against_aig, vcd, EquivConfig, PulseSim};
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
@@ -114,6 +114,11 @@ USAGE:
   sfqt1 flow --batch <dir> [--phases N] [--t1] [--engine E] [--gain-threshold K]
         [--keep-going|--fail-fast] [--deadline-ms T] [--max-nodes N]
         [--daemon SOCKET]
+  sfqt1 verify <input.{aag,blif}> [--phases N] [--t1] [--engine E] [--gain-threshold K]
+        [--waves K] [--seed S] [--jitter PS] [--period PS] [--trials K]
+  sfqt1 verify --batch <dir> [--phases N] [--t1] [--engine E] [--gain-threshold K]
+        [--keep-going|--fail-fast] [--deadline-ms T] [--max-nodes N]
+        [--daemon SOCKET]
   sfqt1 daemon <ping|stats|stop> <socket>
   sfqt1 table <input> [--phases N]
   sfqt1 bench <name> [--small] [--aag P] [--blif P]
@@ -139,6 +144,18 @@ SUBCOMMANDS:
             instead of computing locally: batches submit designs by path,
             a single <input> is submitted inline, and result rows stream
             back in input order (start the daemon with `sfqt1d <socket>`)
+  verify    run the flow, then gate it with pulse-level verification: the
+            timed netlist is co-simulated against the original AIG over a
+            deterministic vector sweep (exhaustive for designs with at most
+            10 inputs, corner + walking-one + seeded random vectors above),
+            a mismatch is shrunk to a minimal counterexample, and the
+            Monte-Carlo timing-margin analysis runs on the survivors.
+            Defaults to the T1 flow on 4 phases when neither --t1 nor
+            --phases is given. --batch verifies every design of a directory
+            (one row per design, same containment/exit-code contract as
+            flow --batch); --daemon serves the batch through sfqt1d with
+            the default sweep settings. Any verification failure makes the
+            exit code 2.
   daemon    control a running sfqt1d: ping, counter/cache stats, graceful
             stop (drains in-flight requests, then removes the socket)
   table     run the paper's three-flow comparison (1φ / nφ / nφ+T1) on a file
@@ -165,6 +182,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let rest = &argv[1..];
     match cmd.as_str() {
         "flow" => cmd_flow(rest, out),
+        "verify" => cmd_verify(rest, out),
         "table" => cmd_table(rest, out),
         "bench" => cmd_bench(rest, out),
         "energy" => cmd_energy(rest, out),
@@ -239,13 +257,19 @@ fn flow_config(a: &Args) -> Result<FlowConfig, CliError> {
 }
 
 /// Maps the parsed flow options onto the daemon's wire-level options
-/// (`--deadline-ms`/`--max-nodes` forward per request).
-fn daemon_options(a: &Args, config: &FlowConfig) -> Result<DaemonFlowOptions, CliError> {
+/// (`--deadline-ms`/`--max-nodes` forward per request; `verify` selects
+/// the daemon's verification mode).
+fn daemon_options(
+    a: &Args,
+    config: &FlowConfig,
+    verify: bool,
+) -> Result<DaemonFlowOptions, CliError> {
     Ok(DaemonFlowOptions {
         phases: config.phases,
         use_t1: config.use_t1,
         engine: config.engine,
         gain_threshold: config.gain_threshold,
+        verify,
         deadline_ms: match a.option("deadline-ms") {
             Some(_) => Some(a.parsed_option("deadline-ms", 0)?),
             None => None,
@@ -335,7 +359,7 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                         .into(),
                 ));
             }
-            return cmd_flow_batch_daemon(dir, sock, daemon_options(&a, &config)?, out);
+            return cmd_flow_batch_daemon(dir, sock, daemon_options(&a, &config, false)?, out);
         }
         let opts = BatchOptions {
             fail_fast: a.flag("fail-fast"),
@@ -371,7 +395,7 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .positional(0)
             .ok_or_else(|| CliError::Usage("flow: missing <input> file".into()))?;
         let config = flow_config(&a)?;
-        return cmd_flow_single_daemon(path, sock, daemon_options(&a, &config)?, out);
+        return cmd_flow_single_daemon(path, sock, daemon_options(&a, &config, false)?, out);
     }
     if a.option("deadline-ms").is_some() || a.option("max-nodes").is_some() {
         return Err(CliError::Usage(
@@ -571,7 +595,12 @@ fn cmd_flow_batch_daemon(
         .collect();
     writeln!(out, "daemon batch: {} designs via {sock}", designs.len())
         .map_err(io_err("<stdout>"))?;
-    writeln!(out, "{}", table_header()).map_err(io_err("<stdout>"))?;
+    let header = if options.verify {
+        verify_table_header()
+    } else {
+        table_header()
+    };
+    writeln!(out, "{header}").map_err(io_err("<stdout>"))?;
     stream_daemon_flow(sock, FlowRequest { options, designs }, out)
 }
 
@@ -598,7 +627,12 @@ fn cmd_flow_single_daemon(
         .and_then(|n| n.to_str())
         .unwrap_or("design")
         .to_string();
-    writeln!(out, "{}", table_header()).map_err(io_err("<stdout>"))?;
+    let header = if options.verify {
+        verify_table_header()
+    } else {
+        table_header()
+    };
+    writeln!(out, "{header}").map_err(io_err("<stdout>"))?;
     let request = FlowRequest {
         options,
         designs: vec![DesignSource::Inline { name, content }],
@@ -622,6 +656,234 @@ fn stream_daemon_flow(
         }
     })
     .map_err(|e| CliError::Flow(e.to_string()))?;
+    if let Some(source) = write_err {
+        return Err(CliError::Io {
+            path: "<stdout>".to_string(),
+            source,
+        });
+    }
+    writeln!(out, "batch summary: {ok} ok, {failed} failed").map_err(io_err("<stdout>"))?;
+    if failed > 0 {
+        return Err(CliError::Partial { ok, failed });
+    }
+    Ok(())
+}
+
+/// The verify flow configuration: like [`flow_config`], but defaulting to
+/// the T1 flow on 4 phases when neither `--t1` nor `--phases` is given —
+/// verification is most interesting on the netlists that commit T1 cells.
+fn verify_flow_config(a: &Args) -> Result<FlowConfig, CliError> {
+    let mut config = flow_config(a)?;
+    if !a.flag("t1") && a.option("phases").is_none() {
+        let mut t1 = FlowConfig::t1(4);
+        t1.engine = config.engine;
+        t1.gain_threshold = config.gain_threshold;
+        config = t1;
+    }
+    Ok(config)
+}
+
+/// Sweep/margin knobs of `sfqt1 verify` (`--waves`/`--seed` steer the
+/// equivalence sweep, `--jitter`/`--period`/`--trials` the margin run).
+fn verify_options(a: &Args) -> Result<VerifyOptions, CliError> {
+    let ed = EquivConfig::default();
+    let md = MarginConfig::default();
+    Ok(VerifyOptions {
+        equiv: EquivConfig {
+            random_waves: a.parsed_option("waves", ed.random_waves)?,
+            seed: a.parsed_option("seed", ed.seed)?,
+            ..ed
+        },
+        margin: MarginConfig {
+            period_ps: a.parsed_option("period", md.period_ps)?,
+            jitter_ps: a.parsed_option("jitter", md.jitter_ps)?,
+            trials: a.parsed_option("trials", md.trials)?,
+            ..md
+        },
+    })
+}
+
+/// `sfqt1 verify` — the flow plus its pulse-level verification gate:
+/// equivalence sweep against the original AIG (mismatches shrunk to a
+/// minimal stimulus) and Monte-Carlo margin analysis. Single-design,
+/// `--batch` and `--daemon` forms mirror `sfqt1 flow`.
+fn cmd_verify(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let a = Args::parse(
+        argv,
+        &[
+            "phases",
+            "engine",
+            "gain-threshold",
+            "waves",
+            "seed",
+            "jitter",
+            "period",
+            "trials",
+            "batch",
+            "daemon",
+            "deadline-ms",
+            "max-nodes",
+        ],
+        &["t1", "keep-going", "fail-fast"],
+    )?;
+    let sweep_knobs = ["waves", "seed", "jitter", "period", "trials"];
+    if let Some(dir) = a.option("batch") {
+        if a.positional(0).is_some() {
+            return Err(CliError::Usage(
+                "verify: --batch <dir> takes no positional input".into(),
+            ));
+        }
+        if a.flag("keep-going") && a.flag("fail-fast") {
+            return Err(CliError::Usage(
+                "verify: --keep-going and --fail-fast are mutually exclusive".into(),
+            ));
+        }
+        let config = verify_flow_config(&a)?;
+        if let Some(sock) = a.option("daemon") {
+            if a.flag("fail-fast") {
+                return Err(CliError::Usage(
+                    "verify: --fail-fast does not combine with --daemon (the daemon keeps going)"
+                        .into(),
+                ));
+            }
+            if sweep_knobs.iter().any(|t| a.option(t).is_some()) {
+                return Err(CliError::Usage(
+                    "verify: the daemon runs the default sweep settings (drop --waves/--seed/\
+                     --jitter/--period/--trials, or verify locally)"
+                        .into(),
+                ));
+            }
+            return cmd_flow_batch_daemon(dir, sock, daemon_options(&a, &config, true)?, out);
+        }
+        let vopts = verify_options(&a)?;
+        let opts = BatchOptions {
+            fail_fast: a.flag("fail-fast"),
+            limits: Limits {
+                deadline: match a.option("deadline-ms") {
+                    Some(_) => Some(Duration::from_millis(a.parsed_option("deadline-ms", 0)?)),
+                    None => None,
+                },
+                max_nodes: match a.option("max-nodes") {
+                    Some(_) => Some(a.parsed_option("max-nodes", 0)?),
+                    None => None,
+                },
+            },
+        };
+        return cmd_verify_batch(dir, &config, &vopts, &opts, out);
+    }
+    if a.flag("keep-going") || a.flag("fail-fast") {
+        return Err(CliError::Usage(
+            "verify: --keep-going/--fail-fast only apply to --batch".into(),
+        ));
+    }
+    if let Some(sock) = a.option("daemon") {
+        if sweep_knobs.iter().any(|t| a.option(t).is_some()) {
+            return Err(CliError::Usage(
+                "verify: the daemon runs the default sweep settings (drop --waves/--seed/\
+                 --jitter/--period/--trials, or verify locally)"
+                    .into(),
+            ));
+        }
+        let path = a
+            .positional(0)
+            .ok_or_else(|| CliError::Usage("verify: missing <input> file".into()))?;
+        let config = verify_flow_config(&a)?;
+        return cmd_flow_single_daemon(path, sock, daemon_options(&a, &config, true)?, out);
+    }
+    if a.option("deadline-ms").is_some() || a.option("max-nodes").is_some() {
+        return Err(CliError::Usage(
+            "verify: --deadline-ms/--max-nodes only apply to --batch".into(),
+        ));
+    }
+    let path = a
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("verify: missing <input> file".into()))?;
+    let config = verify_flow_config(&a)?; // validate options before touching files
+    let vopts = verify_options(&a)?;
+    let aig = read_input(path)?;
+    let res = run_configured_flow(&aig, &config)?;
+    writeln!(out, "design            {}", res.report.name).map_err(io_err("<stdout>"))?;
+    match check_against_aig(&aig, &res.timed, &vopts.equiv) {
+        Err(e) => {
+            writeln!(out, "verdict           FAILED({e})").map_err(io_err("<stdout>"))?;
+            Err(CliError::Partial { ok: 0, failed: 1 })
+        }
+        Ok(report) => {
+            let m = analyze_margins(&res.timed, &vopts.margin);
+            writeln!(out, "sweep             {}", report.mode).map_err(io_err("<stdout>"))?;
+            writeln!(out, "waves             {}", report.waves).map_err(io_err("<stdout>"))?;
+            writeln!(out, "t1 cells          {}", m.t1_cells).map_err(io_err("<stdout>"))?;
+            writeln!(out, "trials            {}", m.trials).map_err(io_err("<stdout>"))?;
+            writeln!(out, "hazard rate       {:.4}", m.hazard_rate())
+                .map_err(io_err("<stdout>"))?;
+            writeln!(out, "worst separation  {:.3} ps", m.worst_separation_ps)
+                .map_err(io_err("<stdout>"))?;
+            writeln!(out, "verdict           PASS").map_err(io_err("<stdout>"))?;
+            Ok(())
+        }
+    }
+}
+
+/// `sfqt1 verify --batch <dir>`: pulse-level verification of every design
+/// of a directory on the shared streaming job engine — same ingest, same
+/// containment, same summary/exit-code contract as [`cmd_flow_batch`],
+/// with verification rows ([`verify_table_header`]) instead of flow rows.
+fn cmd_verify_batch(
+    dir: &str,
+    config: &FlowConfig,
+    vopts: &VerifyOptions,
+    opts: &BatchOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (entries, cache_hits) = load_batch_designs(dir)?;
+    writeln!(
+        out,
+        "batch: {} designs ({} parsed, {} cache hits)",
+        entries.len(),
+        entries.len() - cache_hits,
+        cache_hits
+    )
+    .map_err(io_err("<stdout>"))?;
+    writeln!(out, "{}", verify_table_header()).map_err(io_err("<stdout>"))?;
+    let jobs: Vec<JobEntry> = entries
+        .into_iter()
+        .map(|(name, design)| JobEntry {
+            name,
+            design: design.map_err(|e| e.to_string()),
+        })
+        .collect();
+    let (tx, rx) = std::sync::mpsc::channel::<JobRow>();
+    let (mut ok, mut failed) = (0usize, 0usize);
+    let mut stopped = false;
+    let mut write_err: Option<std::io::Error> = None;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            run_verify_jobs_streamed(&jobs, config, &opts.limits, vopts, |row| {
+                let _ = tx.send(row);
+            });
+        });
+        for row in rx {
+            if stopped || write_err.is_some() {
+                continue; // keep draining; the jobs ran either way
+            }
+            if let Err(e) = writeln!(out, "{}", row.line) {
+                write_err = Some(e);
+                continue;
+            }
+            if row.is_ok() {
+                ok += 1;
+            } else {
+                failed += 1;
+                if opts.fail_fast {
+                    if let Err(e) = writeln!(out, "batch: stopping at first failure (--fail-fast)")
+                    {
+                        write_err = Some(e);
+                    }
+                    stopped = true;
+                }
+            }
+        }
+    });
     if let Some(source) = write_err {
         return Err(CliError::Io {
             path: "<stdout>".to_string(),
@@ -1458,6 +1720,136 @@ mod tests {
         assert!(
             poison_text.contains("batch summary: 2 ok, 3 failed"),
             "{poison_text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // --------------------------------------------------------- verify ----
+
+    #[test]
+    fn verify_passes_and_reports_the_sweep() {
+        let aag = scratch("verify.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
+        // No --t1/--phases: verify defaults to the T1 flow on 4 phases.
+        let text = run_to_string(&["verify", aag_s, "--trials", "200"]).expect("verify passes");
+        // The small adder has 32 inputs — above the exhaustive threshold.
+        assert!(text.contains("sweep             sampled"), "{text}");
+        assert!(text.contains("verdict           PASS"), "{text}");
+        assert!(text.contains("hazard rate"), "{text}");
+        std::fs::remove_file(aag).ok();
+    }
+
+    #[test]
+    fn verify_batch_renders_verify_rows() {
+        let dir = scratch("verify-batch");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a.blif"), mux_blif("verify_a")).expect("write");
+        std::fs::write(dir.join("b_broken.aag"), "aag 1 garbage\n").expect("write");
+        std::fs::write(dir.join("c.blif"), mux_blif("verify_c")).expect("write");
+
+        let (result, text) = run_capture(&["verify", "--batch", dir.to_str().expect("utf8")]);
+        assert!(
+            matches!(result, Err(CliError::Partial { ok: 2, failed: 1 })),
+            "{result:?}"
+        );
+        assert!(text.contains("sweep"), "verify header present:\n{text}");
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("a.blif") && l.contains("exhaustive")),
+            "3-input mux sweeps exhaustively:\n{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("b_broken.aag") && l.contains("FAILED(")),
+            "{text}"
+        );
+        assert!(text.contains("batch summary: 2 ok, 1 failed"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_misuse_is_rejected() {
+        let dir = scratch("verify-misuse");
+        std::fs::create_dir_all(&dir).expect("dir");
+        let dir_s = dir.to_str().expect("utf8");
+        for args in [
+            vec!["verify"],
+            vec!["verify", "x.aag", "--fail-fast"],
+            vec!["verify", "x.aag", "--deadline-ms", "5"],
+            vec!["verify", "x.aag", "--batch", dir_s],
+            vec!["verify", "--batch", dir_s, "--keep-going", "--fail-fast"],
+            // The daemon runs the default sweep settings only.
+            vec![
+                "verify",
+                "x.aag",
+                "--daemon",
+                "/tmp/x.sock",
+                "--trials",
+                "7",
+            ],
+            vec![
+                "verify",
+                "--batch",
+                dir_s,
+                "--daemon",
+                "/tmp/x.sock",
+                "--waves",
+                "9",
+            ],
+        ] {
+            assert!(
+                matches!(run_to_string(&args), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The verification acceptance scenario: an injected pulse mismatch is
+    /// caught, shrunk to a minimal counterexample rendered inside the
+    /// `FAILED(...)` row, and mapped to exit code 2 — while every other
+    /// design's row stays byte-identical to the clean run.
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_mismatch_is_caught_and_shrunk() {
+        use sfq_netlist::faultpt::{arm, disarm, FaultAction};
+
+        let dir = scratch("verify-mismatch");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("a_one.blif"), mux_blif("vmx_a")).expect("write");
+        std::fs::write(dir.join("b_two.blif"), mux_blif("vmx_b")).expect("write");
+        let dir_s = dir.to_str().expect("utf8");
+
+        let (clean_res, clean_text) = run_capture(&["verify", "--batch", dir_s]);
+        assert!(clean_res.is_ok(), "clean batch verifies: {clean_res:?}");
+
+        arm("verify.equiv", Some("vmx_a"), FaultAction::Err);
+        let (res, text) = run_capture(&["verify", "--batch", dir_s]);
+        disarm("verify.equiv", Some("vmx_a"));
+
+        assert!(
+            matches!(res, Err(CliError::Partial { ok: 1, failed: 1 })),
+            "{res:?}"
+        );
+        assert_eq!(exit_code(&res), 2);
+        let row = text
+            .lines()
+            .find(|l| l.starts_with("a_one.blif"))
+            .expect("poisoned row");
+        assert!(
+            row.contains("FAILED(pulse mismatch:") && row.contains("minimal stimulus"),
+            "shrunk counterexample in the row: {row}"
+        );
+        let clean_row = |t: &str| {
+            t.lines()
+                .find(|l| l.starts_with("b_two.blif"))
+                .map(str::to_string)
+        };
+        assert_eq!(
+            clean_row(&clean_text),
+            clean_row(&text),
+            "untouched design's row is byte-identical"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

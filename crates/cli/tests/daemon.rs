@@ -325,3 +325,52 @@ fn cli_daemon_mode_matches_local_batch_and_serves_control_requests() {
     assert!(!sock.exists(), "socket file removed on exit");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn cli_verify_through_the_daemon_matches_the_local_verify_batch() {
+    // Two small corpus designs keep the sweep volume down; both sides run
+    // the default sweep/margin settings, so rows must agree byte for byte.
+    let dir =
+        std::env::temp_dir().join(format!("sfqt1d-test-{}-verify-corpus", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    for name in ["mux8.blif", "voter7.blif"] {
+        std::fs::copy(corpus_dir().join(name), dir.join(name)).expect("copy corpus design");
+    }
+    let dir_str = dir.to_str().unwrap().to_string();
+
+    let sock = unique_socket("verify");
+    let sock_str = sock.to_str().unwrap().to_string();
+    let mut config = ServerConfig::new(&sock);
+    config.handle_signals = false;
+    let server = std::thread::spawn({
+        let config = config.clone();
+        move || serve(&config)
+    });
+    wait_for_daemon(&sock);
+
+    let mut local_buf = Vec::new();
+    run(&argv(&["verify", "--batch", &dir_str]), &mut local_buf).expect("local verify succeeds");
+    let local = String::from_utf8(local_buf).expect("utf-8 output");
+    assert!(local.contains("sweep"), "verify header present: {local}");
+
+    let mut remote_buf = Vec::new();
+    run(
+        &argv(&["verify", "--batch", &dir_str, "--daemon", &sock_str]),
+        &mut remote_buf,
+    )
+    .expect("daemon verify succeeds");
+    let remote = String::from_utf8(remote_buf).expect("utf-8 output");
+    let below_preamble = |s: &str| s.lines().skip(1).map(String::from).collect::<Vec<_>>();
+    assert_eq!(
+        below_preamble(&remote),
+        below_preamble(&local),
+        "daemon verify rows are byte-identical to the local batch"
+    );
+
+    run(&argv(&["daemon", "stop", &sock_str]), &mut Vec::new()).expect("stop");
+    server
+        .join()
+        .expect("server thread")
+        .expect("daemon exits cleanly");
+    std::fs::remove_dir_all(&dir).ok();
+}

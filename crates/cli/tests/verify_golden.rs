@@ -1,0 +1,25 @@
+//! Corpus-wide semi-formal verification golden: `sfqt1 verify --batch`
+//! over the checked-in corpus must pass all seven designs and reproduce
+//! `tests/golden/corpus_verify.txt` byte for byte. The golden is the same
+//! output the `verify` CI job diffs against the release binary, so a drift
+//! here means the verification stack changed behaviour, not just a test.
+
+use sfq_cli::run;
+
+#[test]
+fn corpus_verify_batch_matches_the_committed_golden() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/../bench/corpus");
+    let argv: Vec<String> = ["verify", "--batch", corpus]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    run(&argv, &mut out).expect("every corpus design verifies");
+    let table = String::from_utf8(out).expect("utf-8 output");
+    let golden = include_str!("../../../tests/golden/corpus_verify.txt");
+    assert_eq!(
+        table, golden,
+        "corpus verify table drifted from tests/golden/corpus_verify.txt; \
+         inspect the diff and re-bless deliberately if the change is intended"
+    );
+}

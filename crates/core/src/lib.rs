@@ -66,7 +66,9 @@ pub use flow::{
     run_flow, run_flow_on_design, run_flow_on_network, FlowConfig, FlowError, FlowReport,
     FlowResult,
 };
-pub use supervise::{run_flow_supervised, supervise, FlowOutcome, Limits};
+pub use supervise::{
+    run_flow_supervised, supervise, supervise_task, FlowOutcome, Limits, TaskOutcome,
+};
 
 pub use phase::{
     arrival_cost, assign_phases, assign_phases_reference, assign_phases_with_restarts,

@@ -145,36 +145,76 @@ impl Drop for SupervisedScope {
     }
 }
 
-/// Runs `f` under the supervision envelope: budget installed per `limits`,
-/// panics contained, outcome classified. The generic entry point —
-/// [`run_flow_supervised`] is the convenience wrapper for designs.
+/// What happened to one supervised *task* — the type-generic sibling of
+/// [`FlowOutcome`] for work that produces something other than a bare
+/// [`FlowResult`] (e.g. a verification report that bundles a flow with
+/// equivalence sweeps and margin analysis).
+#[derive(Debug)]
+pub enum TaskOutcome<T, E> {
+    /// The task finished.
+    Ok(Box<T>),
+    /// The task failed with its typed error.
+    Failed(E),
+    /// The task panicked and was contained.
+    Panicked {
+        /// The panic message (payload text, or a placeholder for non-string
+        /// payloads).
+        message: String,
+    },
+    /// The task exceeded its wall-clock deadline and was aborted.
+    TimedOut,
+    /// The task exceeded its node-count ceiling and was aborted.
+    OverBudget,
+}
+
+/// Runs any fallible task under the supervision envelope: budget installed
+/// per `limits`, panics contained, outcome classified. The fully generic
+/// entry point — [`supervise`] specializes it to flows, and batch drivers
+/// use it directly for composite jobs (flow + verification).
 ///
 /// `f` runs on the calling thread (supervision adds isolation, not
-/// concurrency), so budget ticks inside the flow's hot loops see the
+/// concurrency), so budget ticks inside the task's hot loops see the
 /// installed budget.
-pub fn supervise<F>(limits: &Limits, f: F) -> FlowOutcome
+pub fn supervise_task<T, E, F>(limits: &Limits, f: F) -> TaskOutcome<T, E>
 where
-    F: FnOnce() -> Result<FlowResult, FlowError>,
+    F: FnOnce() -> Result<T, E>,
 {
     install_quiet_hook();
     let _budget = budget::install(limits.deadline, limits.max_nodes);
     let caught = {
         let _scope = SupervisedScope::enter();
-        // AssertUnwindSafe: the flow entry points take shared references
+        // AssertUnwindSafe: supervised entry points take shared references
         // and keep every piece of mutable state internal, so an unwound
-        // flow leaves nothing observable behind (see module docs).
+        // task leaves nothing observable behind (see module docs).
         catch_unwind(AssertUnwindSafe(f))
     };
     match caught {
-        Ok(Ok(result)) => FlowOutcome::Ok(Box::new(result)),
-        Ok(Err(e)) => FlowOutcome::Failed(e),
+        Ok(Ok(result)) => TaskOutcome::Ok(Box::new(result)),
+        Ok(Err(e)) => TaskOutcome::Failed(e),
         Err(payload) => match payload.downcast_ref::<BudgetExceeded>() {
-            Some(BudgetExceeded::Deadline) => FlowOutcome::TimedOut,
-            Some(BudgetExceeded::Nodes) => FlowOutcome::OverBudget,
-            None => FlowOutcome::Panicked {
+            Some(BudgetExceeded::Deadline) => TaskOutcome::TimedOut,
+            Some(BudgetExceeded::Nodes) => TaskOutcome::OverBudget,
+            None => TaskOutcome::Panicked {
                 message: panic_message(payload.as_ref()),
             },
         },
+    }
+}
+
+/// Runs `f` under the supervision envelope: budget installed per `limits`,
+/// panics contained, outcome classified. The flow-shaped entry point —
+/// [`run_flow_supervised`] is the convenience wrapper for designs, and
+/// [`supervise_task`] the generic machinery underneath.
+pub fn supervise<F>(limits: &Limits, f: F) -> FlowOutcome
+where
+    F: FnOnce() -> Result<FlowResult, FlowError>,
+{
+    match supervise_task(limits, f) {
+        TaskOutcome::Ok(result) => FlowOutcome::Ok(result),
+        TaskOutcome::Failed(e) => FlowOutcome::Failed(e),
+        TaskOutcome::Panicked { message } => FlowOutcome::Panicked { message },
+        TaskOutcome::TimedOut => FlowOutcome::TimedOut,
+        TaskOutcome::OverBudget => FlowOutcome::OverBudget,
     }
 }
 

@@ -407,6 +407,224 @@ pub fn render_verilog(net: &Network) -> String {
     out
 }
 
+/// Renders a *timed* network (a retimed mapping plus its stage schedule) as
+/// structural Verilog with behavioural **clocked** cell models.
+///
+/// Where [`render_verilog`] hands off the synchronous functions only, this
+/// emitter carries the multiphase clock discipline itself: the top module
+/// takes a master `clk`, derives one interleaved phase clock
+/// `clk_phi<p>` per phase (`p = tick mod n`), and connects every clocked
+/// cell to the phase clock of its stage. Each instance is parameterized and
+/// annotated with its stage (`σ`) and phase (`φ`), and every library module
+/// is an `always @(posedge clk)` behavioural model, so the file simulates
+/// stand-alone in any event-driven Verilog simulator — the external leg of
+/// the pulse-level equivalence story (see `sfq_sim::equiv`).
+///
+/// `stages` must hold one stage per cell (as in
+/// `sfq_core::TimedNetwork::stages`); `output_stage` is the common
+/// primary-output sampling stage. Output is byte-deterministic: cells are
+/// walked in id order and library modules appended in a fixed order, so the
+/// artifact can be golden-diffed.
+///
+/// # Panics
+/// Panics if `stages` is shorter than the cell count or `num_phases` is 0.
+pub fn render_verilog_timed(
+    net: &Network,
+    stages: &[u32],
+    num_phases: u8,
+    output_stage: u32,
+) -> String {
+    assert!(num_phases > 0, "at least one clock phase");
+    assert!(
+        stages.len() >= net.num_cells(),
+        "one stage per cell required"
+    );
+    let n = num_phases as u32;
+    let mut names = port_names(net);
+    reserve_clock_names(&mut names);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// generated by sfq-netlist::export::render_verilog_timed"
+    );
+    let _ = writeln!(
+        out,
+        "// clock discipline: n={num_phases} interleaved phases; a cell at stage σ fires"
+    );
+    let _ = writeln!(
+        out,
+        "// on clk_phi(σ mod n); primary outputs are sampled at stage {output_stage}."
+    );
+    let _ = write!(out, "module {} (clk", sanitize(net.name()));
+    for name in names.inputs.iter().chain(&names.outputs) {
+        let _ = write!(out, ", {name}");
+    }
+    let _ = writeln!(out, ");");
+    out.push_str("  input  clk;\n");
+    for name in &names.inputs {
+        let _ = writeln!(out, "  input  {name};");
+    }
+    for name in &names.outputs {
+        let _ = writeln!(out, "  output {name};");
+    }
+    out.push_str("\n  // Interleaved phase clocks derived from the master clock.\n");
+    out.push_str("  reg [31:0] sfq_tick;\n");
+    out.push_str("  initial sfq_tick = 32'd0;\n");
+    out.push_str("  always @(posedge clk) sfq_tick <= sfq_tick + 32'd1;\n");
+    for p in 0..n {
+        let _ = writeln!(
+            out,
+            "  wire clk_phi{p} = clk & (sfq_tick % 32'd{n} == 32'd{p});"
+        );
+    }
+    out.push('\n');
+
+    let mut used: [bool; 12] = [false; 12]; // which library modules to emit
+    for id in net.cell_ids() {
+        let stage = stages[id.0 as usize];
+        let phase = stage % n;
+        match net.kind(id) {
+            CellKind::Input => {}
+            CellKind::Gate(g) => {
+                let _ = writeln!(out, "  wire n{};", id.0);
+                let (module, slot) = gate_module(g);
+                used[slot] = true;
+                let _ = write!(
+                    out,
+                    "  {module}_T #(.STAGE({stage}), .PHASE({phase})) g{} (.clk(clk_phi{phase}), ",
+                    id.0
+                );
+                for (k, &f) in net.fanins(id).iter().enumerate() {
+                    let pin = [b'a' + k as u8];
+                    let _ = write!(
+                        out,
+                        ".{}({}), ",
+                        std::str::from_utf8(&pin).expect("ascii"),
+                        net_name(net, &names, f)
+                    );
+                }
+                let _ = writeln!(out, ".y(n{})); // σ={stage} φ={phase}", id.0);
+            }
+            CellKind::Dff => {
+                let _ = writeln!(out, "  wire n{};", id.0);
+                used[9] = true;
+                let f = net.fanins(id)[0];
+                let _ = writeln!(
+                    out,
+                    "  SFQ_DFF_T #(.STAGE({stage}), .PHASE({phase})) d{} (.clk(clk_phi{phase}), .d({}), .q(n{})); // σ={stage} φ={phase}",
+                    id.0,
+                    net_name(net, &names, f),
+                    id.0
+                );
+            }
+            CellKind::T1 { used_ports } => {
+                used[10] = true;
+                let mut pins: Vec<String> = vec![format!(".clk(clk_phi{phase})")];
+                for (k, &f) in net.fanins(id).iter().enumerate() {
+                    pins.push(format!(".i{k}({})", net_name(net, &names, f)));
+                }
+                for port in T1Port::ALL {
+                    if used_ports >> port.index() & 1 == 1 {
+                        let suffix = t1_port_suffix(port);
+                        let _ = writeln!(out, "  wire n{}_{suffix};", id.0);
+                        pins.push(format!(".{suffix}(n{}_{suffix})", id.0));
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "  SFQ_T1_T #(.STAGE({stage}), .PHASE({phase})) t{} ({}); // σ={stage} φ={phase}",
+                    id.0,
+                    pins.join(", ")
+                );
+            }
+        }
+    }
+    for (k, &o) in net.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  assign {} = {}; // sampled at σ={output_stage}",
+            names.outputs[k],
+            net_name(net, &names, o)
+        );
+    }
+    let _ = writeln!(out, "endmodule");
+
+    // Behavioural clocked library modules, in fixed slot order.
+    const ONE_IN: &[(usize, &str, &str)] = &[(0, "SFQ_INV_T", "~a"), (1, "SFQ_BUF_T", "a")];
+    for &(slot, name, expr) in ONE_IN {
+        if used[slot] {
+            let _ = writeln!(
+                out,
+                "\nmodule {name} #(parameter STAGE = 0, parameter PHASE = 0) (\n  input clk, input a, output reg y\n);\n  initial y = 1'b0;\n  always @(posedge clk) y <= {expr};\nendmodule"
+            );
+        }
+    }
+    const TWO_IN: &[(usize, &str, &str)] = &[
+        (2, "SFQ_AND2_T", "a & b"),
+        (3, "SFQ_OR2_T", "a | b"),
+        (4, "SFQ_XOR2_T", "a ^ b"),
+        (5, "SFQ_NAND2_T", "~(a & b)"),
+        (6, "SFQ_NOR2_T", "~(a | b)"),
+        (7, "SFQ_XNOR2_T", "~(a ^ b)"),
+    ];
+    for &(slot, name, expr) in TWO_IN {
+        if used[slot] {
+            let _ = writeln!(
+                out,
+                "\nmodule {name} #(parameter STAGE = 0, parameter PHASE = 0) (\n  input clk, input a, input b, output reg y\n);\n  initial y = 1'b0;\n  always @(posedge clk) y <= {expr};\nendmodule"
+            );
+        }
+    }
+    if used[9] {
+        let _ = writeln!(
+            out,
+            "\nmodule SFQ_DFF_T #(parameter STAGE = 0, parameter PHASE = 0) (\n  input clk, input d, output reg q\n);\n  // Destructive readout: the pulse parked on `d` is released at this\n  // cell's own phase of the interleaved clock.\n  initial q = 1'b0;\n  always @(posedge clk) q <= d;\nendmodule"
+        );
+    }
+    if used[10] {
+        let _ = writeln!(
+            out,
+            "\nmodule SFQ_T1_T #(parameter STAGE = 0, parameter PHASE = 0) (\n  input clk, input i0, input i1, input i2,\n  output reg s, output reg c, output reg q, output reg cn, output reg qn\n);\n  // Pulse-counting loop folded to its synchronous function: at the\n  // cell's own clock phase the loop reads out S = XOR3 and resets;\n  // C*/Q* (MAJ3/OR3) and their complements release on the same edge.\n  initial begin s = 1'b0; c = 1'b0; q = 1'b0; cn = 1'b1; qn = 1'b1; end\n  always @(posedge clk) begin\n    s  <= i0 ^ i1 ^ i2;\n    c  <= (i0 & i1) | (i0 & i2) | (i1 & i2);\n    q  <= i0 | i1 | i2;\n    cn <= ~((i0 & i1) | (i0 & i2) | (i1 & i2));\n    qn <= ~(i0 | i1 | i2);\n  end\nendmodule"
+        );
+    }
+    out
+}
+
+/// The timed emitter owns the `clk`/`sfq_tick`/`clk_phi<p>` identifiers;
+/// ports that collide are uniquified with the usual `_2`-style suffixes.
+fn reserve_clock_names(names: &mut PortNames) {
+    let reserved = |name: &str| {
+        name == "clk"
+            || name == "sfq_tick"
+            || name
+                .strip_prefix("clk_phi")
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+    };
+    let mut used: std::collections::HashSet<String> =
+        names.inputs.iter().chain(&names.outputs).cloned().collect();
+    for name in names.inputs.iter_mut().chain(names.outputs.iter_mut()) {
+        if !reserved(name) {
+            continue;
+        }
+        let base = name.clone();
+        let mut k = 1usize;
+        let renamed = loop {
+            k += 1;
+            let candidate = format!("{base}_{k}");
+            if !reserved(&candidate)
+                && !used.contains(&candidate)
+                && parse_net_name(&candidate).is_none()
+            {
+                break candidate;
+            }
+        };
+        used.remove(name);
+        used.insert(renamed.clone());
+        *name = renamed;
+    }
+}
+
 fn gate_module(g: GateKind) -> (&'static str, usize) {
     match g {
         GateKind::Inv => ("SFQ_INV", 0),
@@ -623,6 +841,68 @@ mod tests {
         let back = crate::blif::parse_blif(&blif).expect("shadow-free blif parses");
         assert_eq!(back.num_inputs(), 2);
         assert_eq!(back.num_outputs(), 1);
+    }
+
+    #[test]
+    fn timed_verilog_is_deterministic_and_phase_annotated() {
+        let mut net = Network::new("timedv");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g = net.add_gate(GateKind::Xor2, &[a, b]);
+        let d = net.add_dff(g);
+        let t1 = net.add_t1(0b00001, &[d, g, c]);
+        net.add_output("s", Signal::t1(t1, T1Port::S));
+        let stages = vec![0, 0, 0, 1, 2, 5];
+        let v1 = render_verilog_timed(&net, &stages, 4, 5);
+        let v2 = render_verilog_timed(&net, &stages, 4, 5);
+        assert_eq!(v1, v2, "timed emission must be byte-deterministic");
+        assert!(v1.contains("module timedv (clk, a, b, c, s);"), "{v1}");
+        assert!(v1.contains("wire clk_phi3 = clk & (sfq_tick % 32'd4 == 32'd3);"));
+        assert!(
+            v1.contains("SFQ_XOR2_T #(.STAGE(1), .PHASE(1)) g3 (.clk(clk_phi1), .a(a), .b(b), .y(n3)); // σ=1 φ=1"),
+            "{v1}"
+        );
+        assert!(
+            v1.contains(
+                "SFQ_DFF_T #(.STAGE(2), .PHASE(2)) d4 (.clk(clk_phi2), .d(n3), .q(n4)); // σ=2 φ=2"
+            ),
+            "{v1}"
+        );
+        assert!(
+            v1.contains("SFQ_T1_T #(.STAGE(5), .PHASE(1)) t5 (.clk(clk_phi1), .i0(n4), .i1(n3), .i2(c), .s(n5_s)); // σ=5 φ=1"),
+            "{v1}"
+        );
+        assert!(v1.contains("assign s = n5_s; // sampled at σ=5"), "{v1}");
+        assert!(v1.contains("module SFQ_T1_T"), "T1 model emitted");
+        assert!(
+            !v1.contains("module SFQ_AND2_T"),
+            "unused library modules omitted"
+        );
+        assert_eq!(
+            v1.lines().filter(|l| l.starts_with("module ")).count(),
+            v1.matches("endmodule").count(),
+            "every module is closed:\n{v1}"
+        );
+    }
+
+    #[test]
+    fn timed_verilog_reserves_clock_identifiers() {
+        // Ports that collide with the emitter-owned clocking nets must be
+        // renamed, or the file would short the master clock into user logic.
+        let mut net = Network::new("clash");
+        let a = net.add_input("clk");
+        let b = net.add_input("clk_phi0");
+        let g = net.add_gate(GateKind::And2, &[a, b]);
+        net.add_output("sfq_tick", g);
+        let v = render_verilog_timed(&net, &[0, 0, 1], 2, 1);
+        assert!(v.contains("  input  clk_2;"), "{v}");
+        assert!(v.contains("  input  clk_phi0_2;"), "{v}");
+        assert!(v.contains("  output sfq_tick_2;"), "{v}");
+        assert!(
+            v.contains(".a(clk_2), .b(clk_phi0_2)"),
+            "instances use the renamed ports:\n{v}"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! `END` line — shutdown never corrupts a stream), and exit. The socket
 //! file is removed on the way out.
 
-use crate::jobs::{run_jobs_streamed, JobEntry};
+use crate::jobs::{run_jobs_streamed, run_verify_jobs_streamed, JobEntry, VerifyOptions};
 use crate::protocol::{read_request, FlowRequest, ProtocolError, Request};
 use crate::state::ServerState;
 use std::fmt;
@@ -269,14 +269,28 @@ fn handle_flow(request: &FlowRequest, state: &ServerState, writer: &mut (impl Wr
     // remaining jobs still run (their outcomes count in the daemon stats),
     // we just stop transmitting.
     let mut client_alive = true;
-    let (ok, failed) = run_jobs_streamed(&entries, &config, &limits, |row| {
+    let mut emit = |row: crate::jobs::JobRow| {
         state.record(row.kind);
         if client_alive {
             let sent =
                 writeln!(writer, "ROW {} {}", row.index, row.line).and_then(|()| writer.flush());
             client_alive = sent.is_ok();
         }
-    });
+    };
+    // `verify=1` swaps in the verification engine: same streaming, same
+    // ordering, rows in the verify table layout (the daemon always runs
+    // the default sweep/margin settings — the wire carries only the flag).
+    let (ok, failed) = if request.options.verify {
+        run_verify_jobs_streamed(
+            &entries,
+            &config,
+            &limits,
+            &VerifyOptions::default(),
+            &mut emit,
+        )
+    } else {
+        run_jobs_streamed(&entries, &config, &limits, &mut emit)
+    };
     if client_alive {
         let _ = writeln!(writer, "END ok={ok} failed={failed}");
     }

@@ -13,8 +13,14 @@
 //! client) sees the first rows of a long batch immediately.
 
 use crate::state::OutcomeKind;
-use sfq_core::{run_flow_supervised, FlowConfig, FlowOutcome, FlowReport, Limits};
+use sfq_core::{
+    run_flow_on_design, run_flow_supervised, FlowConfig, FlowError, FlowOutcome, FlowReport,
+    Limits, TaskOutcome,
+};
 use sfq_netlist::{par, Design};
+use sfq_sim::margin::{analyze_margins, MarginConfig, MarginReport};
+use sfq_sim::{check_against_aig, EquivConfig, EquivError, EquivReport};
+use std::fmt;
 use std::sync::Mutex;
 
 /// One job: a display name plus its ingested design (ingest failures carry
@@ -162,6 +168,173 @@ pub fn run_jobs_streamed(
     (ok, failed)
 }
 
+/// Sweep and margin knobs of one verification batch. The daemon always
+/// runs the defaults (the wire protocol carries only `verify=0|1`); the
+/// local `sfqt1 verify` driver may override them — with the defaults, both
+/// entry points render byte-identical rows.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOptions {
+    /// Equivalence-sweep parameters (exhaustive/sampled thresholds, seeds,
+    /// shrink budget).
+    pub equiv: EquivConfig,
+    /// Monte-Carlo margin-analysis parameters (period, jitter, trials).
+    pub margin: MarginConfig,
+}
+
+/// The verify table header row (shared by `sfqt1 verify --batch` and the
+/// daemon's `verify=1` mode).
+pub fn verify_table_header() -> String {
+    format!(
+        "{:<16} {:>4} | {:>4} {:>4} | {:>10} {:>6} | {:>4} {:>7} {:>9}",
+        "design", "fmt", "in", "out", "sweep", "waves", "t1", "hazard", "worst ps"
+    )
+}
+
+/// What one verification job produces when every gate passes.
+struct VerifySuccess {
+    equiv: EquivReport,
+    margin: MarginReport,
+}
+
+/// Why one verification job failed — each variant renders the same
+/// deterministic one-line reason the flow rows use, so `FAILED(...)` rows
+/// stay byte-identical across runs and worker counts.
+enum VerifyFailure {
+    /// The mapping flow itself failed.
+    Flow(FlowError),
+    /// The flow finished but the pulse-level check did not pass (hazards,
+    /// or a mismatch with its shrunk counterexample).
+    Equiv(EquivError),
+}
+
+impl fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyFailure::Flow(e) => write!(f, "{e}"),
+            VerifyFailure::Equiv(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Formats one successful verify row's columns. Floating-point columns use
+/// fixed precision (and `worst ps` renders `inf` for T1-free designs), so
+/// rows are byte-deterministic.
+fn verify_row(name: &str, design: &Design, s: &VerifySuccess) -> String {
+    format!(
+        "{:<16} {:>4} | {:>4} {:>4} | {:>10} {:>6} | {:>4} {:>7.4} {:>9.3}",
+        name,
+        design.format.extension(),
+        design.aig.num_inputs(),
+        design.aig.num_outputs(),
+        s.equiv.mode.to_string(),
+        s.equiv.waves,
+        s.margin.t1_cells,
+        s.margin.hazard_rate(),
+        s.margin.worst_separation_ps,
+    )
+}
+
+/// The whole verification of one design as a single supervised task: map,
+/// then co-simulate the timed artifact against the **original** AIG, then
+/// Monte-Carlo the analog margins. One envelope contains all three, so a
+/// panic or deadline in any stage yields one classified outcome.
+fn verify_task(
+    design: &Design,
+    config: &FlowConfig,
+    vopts: &VerifyOptions,
+) -> impl FnOnce() -> Result<VerifySuccess, VerifyFailure> {
+    let design = design.clone();
+    let config = config.clone();
+    let vopts = vopts.clone();
+    move || {
+        let flow = run_flow_on_design(&design, &config).map_err(VerifyFailure::Flow)?;
+        let equiv = check_against_aig(&design.aig, &flow.timed, &vopts.equiv)
+            .map_err(VerifyFailure::Equiv)?;
+        let margin = analyze_margins(&flow.timed, &vopts.margin);
+        Ok(VerifySuccess { equiv, margin })
+    }
+}
+
+/// Runs one verification job supervised and renders its row — the verify
+/// sibling of [`run_job`], with the same containment and retry policy.
+fn run_verify_job(
+    index: usize,
+    entry: &JobEntry,
+    config: &FlowConfig,
+    limits: &Limits,
+    vopts: &VerifyOptions,
+) -> JobRow {
+    let name = &entry.name;
+    let failed = |reason: String, kind: OutcomeKind| JobRow {
+        index,
+        line: format!("{name:<16} FAILED({reason})"),
+        kind,
+    };
+    let design = match &entry.design {
+        Err(reason) => return failed(reason.clone(), OutcomeKind::Failed),
+        Ok(design) => design,
+    };
+    let mut outcome = sfq_core::supervise_task(limits, verify_task(design, config, vopts));
+    if matches!(outcome, TaskOutcome::Panicked { .. }) && par::workers() > 1 {
+        let _retry = RETRY_LOCK.lock().expect("retry lock");
+        let previous = par::forced_workers();
+        par::force_workers(1);
+        outcome = sfq_core::supervise_task(limits, verify_task(design, config, vopts));
+        par::force_workers(previous);
+    }
+    match outcome {
+        TaskOutcome::Ok(success) => JobRow {
+            index,
+            line: verify_row(name, design, &success),
+            kind: OutcomeKind::Ok,
+        },
+        TaskOutcome::Failed(e) => failed(e.to_string(), OutcomeKind::Failed),
+        TaskOutcome::Panicked { message } => {
+            failed(format!("panicked: {message}"), OutcomeKind::Panicked)
+        }
+        TaskOutcome::TimedOut => failed(
+            sfq_netlist::budget::BudgetExceeded::Deadline.to_string(),
+            OutcomeKind::TimedOut,
+        ),
+        TaskOutcome::OverBudget => failed(
+            sfq_netlist::budget::BudgetExceeded::Nodes.to_string(),
+            OutcomeKind::Failed,
+        ),
+    }
+}
+
+/// [`run_jobs_streamed`] with pulse-level verification after every flow:
+/// same fan-out, same input-order streaming, same `(ok, failed)` totals —
+/// rows use the [`verify_table_header`] layout instead.
+pub fn run_verify_jobs_streamed(
+    entries: &[JobEntry],
+    config: &FlowConfig,
+    limits: &Limits,
+    vopts: &VerifyOptions,
+    mut emit: impl FnMut(JobRow) + Send,
+) -> (usize, usize) {
+    let indices: Vec<usize> = (0..entries.len()).collect();
+    let (mut ok, mut failed) = (0usize, 0usize);
+    par::map_ordered_streamed(
+        indices,
+        |i| run_verify_job(i, &entries[i], config, limits, vopts),
+        |k, row| {
+            let row = row.unwrap_or_else(|p| JobRow {
+                index: k,
+                line: format!("{:<16} FAILED(panicked: {})", entries[k].name, p.message()),
+                kind: OutcomeKind::Panicked,
+            });
+            if row.is_ok() {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+            emit(row);
+        },
+    );
+    (ok, failed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +390,72 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].kind, OutcomeKind::TimedOut);
         assert!(rows[0].line.contains("FAILED("), "{}", rows[0].line);
+    }
+
+    #[test]
+    fn verify_rows_stream_with_failures_contained() {
+        let entries = vec![
+            toy_entry("v"),
+            JobEntry {
+                name: "broken.aag".into(),
+                design: Err("aag: truncated header".into()),
+            },
+        ];
+        let config = FlowConfig::t1(4);
+        let mut rows = Vec::new();
+        let (ok, failed) = run_verify_jobs_streamed(
+            &entries,
+            &config,
+            &Limits::NONE,
+            &VerifyOptions::default(),
+            |row| rows.push(row),
+        );
+        assert_eq!((ok, failed), (1, 1));
+        // A 2-input design sweeps exhaustively: 2^2 waves.
+        assert!(rows[0].is_ok());
+        assert!(
+            rows[0].line.contains("exhaustive") && rows[0].line.contains(" 4 "),
+            "{}",
+            rows[0].line
+        );
+        assert!(rows[1].line.contains("FAILED(aag: truncated header)"));
+    }
+
+    #[test]
+    fn verify_header_and_rows_share_column_layout() {
+        let header = verify_table_header();
+        let entries = vec![toy_entry("w")];
+        let config = FlowConfig::t1(4);
+        let mut rows = Vec::new();
+        run_verify_jobs_streamed(
+            &entries,
+            &config,
+            &Limits::NONE,
+            &VerifyOptions::default(),
+            |row| rows.push(row),
+        );
+        let row = &rows[0].line;
+        let bars = |s: &str| s.match_indices('|').map(|(i, _)| i).collect::<Vec<_>>();
+        assert_eq!(bars(&header), bars(row), "{header}\n{row}");
+    }
+
+    #[test]
+    fn verify_deadline_rows_classify_as_timed_out() {
+        let entries = vec![toy_entry("t")];
+        let config = FlowConfig::t1(4);
+        let limits = Limits {
+            deadline: Some(std::time::Duration::ZERO),
+            max_nodes: None,
+        };
+        let mut rows = Vec::new();
+        run_verify_jobs_streamed(
+            &entries,
+            &config,
+            &limits,
+            &VerifyOptions::default(),
+            |row| rows.push(row),
+        );
+        assert_eq!(rows[0].kind, OutcomeKind::TimedOut);
     }
 
     #[test]

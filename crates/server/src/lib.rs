@@ -38,6 +38,9 @@ pub mod state;
 
 pub use client::ClientError;
 pub use daemon::{serve, ServerConfig, ServerError};
-pub use jobs::{run_jobs_streamed, table_header, JobEntry, JobRow};
+pub use jobs::{
+    run_jobs_streamed, run_verify_jobs_streamed, table_header, verify_table_header, JobEntry,
+    JobRow, VerifyOptions,
+};
 pub use protocol::{DesignSource, FlowOptions, FlowRequest, Request, StatsReply};
 pub use state::{OutcomeKind, ServerState};

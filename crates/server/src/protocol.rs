@@ -12,7 +12,7 @@
 //! PING
 //! STATS
 //! STOP
-//! FLOW phases=4 t1=1 engine=auto gain=0 deadline_ms=- max_nodes=-
+//! FLOW phases=4 t1=1 engine=auto gain=0 verify=0 deadline_ms=- max_nodes=-
 //! DESIGN <name> PATH <path>
 //! DESIGN <name> INLINE <len>
 //! <len raw bytes>
@@ -24,7 +24,9 @@
 //! clients hand over a path instead of shipping bytes); `INLINE` designs
 //! carry their content directly — exactly `<len>` bytes follow the header
 //! line, then one newline. `deadline_ms`/`max_nodes` take `-` for
-//! "unlimited".
+//! "unlimited". `verify=1` follows every flow with pulse-level verification
+//! (equivalence sweep + margin analysis); rows then use the verify table
+//! layout.
 //!
 //! # Responses
 //!
@@ -99,6 +101,10 @@ pub struct FlowOptions {
     pub engine: PhaseEngine,
     /// T1 commit gain threshold (JJs).
     pub gain_threshold: i64,
+    /// Whether each flow is followed by pulse-level verification
+    /// (equivalence sweep + Monte-Carlo margin analysis) with the default
+    /// sweep settings — rows then use the verify table layout.
+    pub verify: bool,
     /// Per-design wall-clock deadline, if any.
     pub deadline_ms: Option<u64>,
     /// Per-design node-budget ceiling, if any.
@@ -112,6 +118,7 @@ impl Default for FlowOptions {
             use_t1: false,
             engine: PhaseEngine::Auto,
             gain_threshold: 0,
+            verify: false,
             deadline_ms: None,
             max_nodes: None,
         }
@@ -242,6 +249,11 @@ fn parse_flow_header(rest: &str) -> Result<FlowOptions, ProtocolError> {
     let gain: i64 = parse_kv(need("gain")?, "gain")?
         .parse()
         .map_err(|_| malformed("bad gain"))?;
+    let verify = match parse_kv(need("verify")?, "verify")? {
+        "0" => false,
+        "1" => true,
+        other => return Err(malformed(format!("bad verify flag `{other}`"))),
+    };
     let deadline_ms = parse_opt_u64(
         parse_kv(need("deadline_ms")?, "deadline_ms")?,
         "deadline_ms",
@@ -255,6 +267,7 @@ fn parse_flow_header(rest: &str) -> Result<FlowOptions, ProtocolError> {
         use_t1: t1,
         engine,
         gain_threshold: gain,
+        verify,
         deadline_ms,
         max_nodes,
     })
@@ -366,11 +379,12 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
             };
             writeln!(
                 w,
-                "FLOW phases={} t1={} engine={} gain={} deadline_ms={} max_nodes={}",
+                "FLOW phases={} t1={} engine={} gain={} verify={} deadline_ms={} max_nodes={}",
                 o.phases,
                 u8::from(o.use_t1),
                 engine,
                 o.gain_threshold,
+                u8::from(o.verify),
                 fmt_opt(o.deadline_ms),
                 fmt_opt(o.max_nodes),
             )?;
@@ -548,6 +562,7 @@ mod tests {
                 use_t1: true,
                 engine: PhaseEngine::Heuristic,
                 gain_threshold: -3,
+                verify: true,
                 deadline_ms: Some(2500),
                 max_nodes: None,
             },
@@ -575,12 +590,14 @@ mod tests {
             "",
             "FROB\n",
             "FLOW phases=4\nRUN\n",
-            "FLOW phases=0 t1=0 engine=auto gain=0 deadline_ms=- max_nodes=-\nRUN\n",
-            "FLOW phases=4 t1=2 engine=auto gain=0 deadline_ms=- max_nodes=-\nRUN\n",
-            "FLOW phases=4 t1=0 engine=warp gain=0 deadline_ms=- max_nodes=-\nRUN\n",
-            "FLOW phases=4 t1=0 engine=auto gain=0 deadline_ms=- max_nodes=-\nDESIGN bad name PATH /x\nRUN\n",
-            "FLOW phases=4 t1=0 engine=auto gain=0 deadline_ms=- max_nodes=-\nDESIGN a.aag INLINE 4\nab\n",
-            "FLOW phases=4 t1=0 engine=auto gain=0 deadline_ms=- max_nodes=-\nDESIGN a.aag FTP /x\nRUN\n",
+            "FLOW phases=0 t1=0 engine=auto gain=0 verify=0 deadline_ms=- max_nodes=-\nRUN\n",
+            "FLOW phases=4 t1=2 engine=auto gain=0 verify=0 deadline_ms=- max_nodes=-\nRUN\n",
+            "FLOW phases=4 t1=0 engine=warp gain=0 verify=0 deadline_ms=- max_nodes=-\nRUN\n",
+            "FLOW phases=4 t1=0 engine=auto gain=0 verify=yes deadline_ms=- max_nodes=-\nRUN\n",
+            "FLOW phases=4 t1=0 engine=auto gain=0 deadline_ms=- max_nodes=-\nRUN\n",
+            "FLOW phases=4 t1=0 engine=auto gain=0 verify=0 deadline_ms=- max_nodes=-\nDESIGN bad name PATH /x\nRUN\n",
+            "FLOW phases=4 t1=0 engine=auto gain=0 verify=0 deadline_ms=- max_nodes=-\nDESIGN a.aag INLINE 4\nab\n",
+            "FLOW phases=4 t1=0 engine=auto gain=0 verify=0 deadline_ms=- max_nodes=-\nDESIGN a.aag FTP /x\nRUN\n",
         ] {
             let res = read_request(&mut BufReader::new(bad.as_bytes()));
             assert!(res.is_err(), "`{}` should be rejected", bad.escape_debug());
@@ -630,6 +647,7 @@ mod tests {
             use_t1: true,
             engine: PhaseEngine::Exact,
             gain_threshold: 7,
+            verify: true,
             deadline_ms: Some(100),
             max_nodes: Some(9),
         };

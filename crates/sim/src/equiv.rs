@@ -1,0 +1,523 @@
+//! Pulse-level equivalence checking: the third leg of the verification
+//! story.
+//!
+//! The differential harness proves the fast mapping paths match their
+//! reference implementations, and [`TimedNetwork::audit`] re-checks the
+//! timing rules structurally — but neither proves that the *timed* artifact
+//! still computes the mapped function when actual pulses stream through it.
+//! This module closes that loop by co-simulating the timed network through
+//! [`PulseSim`] against a cycle-free reference evaluation
+//! (`Network::simulate` on the same mapped cells, or the original
+//! [`Aig`]), wave by wave, over a deterministic vector sweep:
+//!
+//! - **exhaustive** for designs with at most
+//!   [`EquivConfig::max_exhaustive_inputs`] inputs (every input vector,
+//!   streamed back-to-back so wave pipelining is exercised too);
+//! - **sampled** above that: all-zero/all-one wave-pipelining boundary
+//!   pairs, a walking-one scan, and [`EquivConfig::random_waves`] seeded
+//!   random vectors.
+//!
+//! A mismatch is not just reported — it is **shrunk**. The bundled proptest
+//! shim deliberately ships without shrinking, so the minimizer lives here:
+//! greedy wave-set reduction followed by bit clearing, re-simulating each
+//! candidate, until the failing stimulus is minimal (bounded by
+//! [`EquivConfig::shrink_budget`] re-simulations). The resulting
+//! [`Counterexample`] renders on one line, so batch drivers and the daemon
+//! can stream it inside a `FAILED(...)` row.
+
+use crate::pulse::{PulseSim, SimError};
+use sfq_core::TimedNetwork;
+use sfq_netlist::{faultpt, Aig};
+use std::fmt;
+
+/// Sweep parameters of one equivalence check. The defaults match the
+/// `sfqt1 verify` CLI and the daemon's `verify=1` mode, so reports stay
+/// byte-identical across entry points.
+#[derive(Debug, Clone)]
+pub struct EquivConfig {
+    /// Largest input count still swept exhaustively (2^k vectors).
+    pub max_exhaustive_inputs: u32,
+    /// Seeded random vectors appended in sampled mode.
+    pub random_waves: usize,
+    /// Seed of the xorshift* stimulus stream (sampled mode only).
+    pub seed: u64,
+    /// Ceiling on re-simulations spent shrinking one counterexample.
+    pub shrink_budget: usize,
+}
+
+impl Default for EquivConfig {
+    fn default() -> Self {
+        EquivConfig {
+            max_exhaustive_inputs: 10,
+            random_waves: 64,
+            seed: 0x00DD_BA11_5EED_CAFE,
+            shrink_budget: 512,
+        }
+    }
+}
+
+/// How the vector sweep covered the input space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Every input vector was driven (designs with few inputs).
+    Exhaustive,
+    /// Corner + walking-one + seeded random vectors (wide designs).
+    Sampled,
+}
+
+impl fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepMode::Exhaustive => write!(f, "exhaustive"),
+            SweepMode::Sampled => write!(f, "sampled"),
+        }
+    }
+}
+
+/// A successful sweep: what was covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivReport {
+    /// Coverage mode of the sweep.
+    pub mode: SweepMode,
+    /// Input vectors driven (one wave each, pipelined back-to-back).
+    pub waves: usize,
+}
+
+/// A minimal failing stimulus, produced by the shrinker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The minimal wave set that still reproduces a mismatch.
+    pub waves: Vec<Vec<bool>>,
+    /// Output index of the mismatch.
+    pub output: usize,
+    /// Wave index (within `waves`) of the mismatch.
+    pub wave: usize,
+    /// What the pulse simulation produced.
+    pub got: bool,
+    /// What the reference evaluation expects.
+    pub want: bool,
+}
+
+fn wave_bits(wave: &[bool]) -> String {
+    wave.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output {} of wave {} got {}, want {}; minimal stimulus {} wave(s): [{}]",
+            self.output,
+            self.wave,
+            u8::from(self.got),
+            u8::from(self.want),
+            self.waves.len(),
+            self.waves
+                .iter()
+                .map(|w| wave_bits(w))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// Equivalence-check failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivError {
+    /// The reference and the timed network disagree on interface width
+    /// before any vector was driven.
+    Interface {
+        /// Which side of the interface (`"input"` or `"output"`).
+        kind: &'static str,
+        /// Count on the reference side.
+        reference: usize,
+        /// Count on the timed side.
+        timed: usize,
+    },
+    /// The pulse simulation itself failed (hazards, malformed stimulus).
+    Sim(SimError),
+    /// The timed network computed a different function; carries the shrunk
+    /// stimulus.
+    Mismatch(Counterexample),
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::Interface {
+                kind,
+                reference,
+                timed,
+            } => write!(
+                f,
+                "interface mismatch: reference has {reference} {kind}(s), timed network {timed}"
+            ),
+            EquivError::Sim(e) => write!(f, "pulse simulation failed: {e}"),
+            EquivError::Mismatch(cx) => write!(f, "pulse mismatch: {cx}"),
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+impl From<SimError> for EquivError {
+    fn from(e: SimError) -> Self {
+        EquivError::Sim(e)
+    }
+}
+
+/// Checks the timed network against its own synchronous function
+/// (`Network::simulate` over the same mapped cells — DFFs evaluate as
+/// buffers there, so the comparison isolates the stage schedule and the
+/// pulse discipline).
+///
+/// # Errors
+/// [`EquivError::Sim`] if the pulse run hazards, [`EquivError::Mismatch`]
+/// with a shrunk counterexample if any wave's outputs disagree.
+pub fn check_timed(timed: &TimedNetwork, config: &EquivConfig) -> Result<EquivReport, EquivError> {
+    let net = &timed.network;
+    let eval = |pats: &[u64]| net.simulate(pats);
+    check_with(timed, &eval, config)
+}
+
+/// Checks the timed network against the **original** AIG it was mapped
+/// from — the full loop from flow output back to flow input.
+///
+/// # Errors
+/// [`EquivError::Interface`] if the AIG and the timed network disagree on
+/// input/output counts; otherwise as [`check_timed`].
+pub fn check_against_aig(
+    aig: &Aig,
+    timed: &TimedNetwork,
+    config: &EquivConfig,
+) -> Result<EquivReport, EquivError> {
+    let net = &timed.network;
+    if aig.num_inputs() != net.num_inputs() {
+        return Err(EquivError::Interface {
+            kind: "input",
+            reference: aig.num_inputs(),
+            timed: net.num_inputs(),
+        });
+    }
+    if aig.num_outputs() != net.num_outputs() {
+        return Err(EquivError::Interface {
+            kind: "output",
+            reference: aig.num_outputs(),
+            timed: net.num_outputs(),
+        });
+    }
+    let eval = |pats: &[u64]| aig.simulate(pats);
+    check_with(timed, &eval, config)
+}
+
+/// The shared sweep driver: build the stimulus, co-simulate, shrink on
+/// mismatch. `eval` is the bit-parallel reference (one `u64` pattern word
+/// per input, one per output).
+fn check_with(
+    timed: &TimedNetwork,
+    eval: &dyn Fn(&[u64]) -> Vec<u64>,
+    config: &EquivConfig,
+) -> Result<EquivReport, EquivError> {
+    let num_inputs = timed.network.num_inputs();
+    let (mode, waves) = stimulus(num_inputs, config);
+    let sim = PulseSim::new(timed);
+    // Deterministic fault hook: `verify.equiv@<design>:err` flips output 0
+    // of every wave, forcing the mismatch path (and the shrinker) end to
+    // end. Queried once so every shrink re-run sees the same corruption.
+    let corrupt = faultpt::hit("verify.equiv", timed.network.name());
+    match first_mismatch(&sim, eval, num_inputs, &waves, corrupt)? {
+        None => Ok(EquivReport {
+            mode,
+            waves: waves.len(),
+        }),
+        Some(seed_mismatch) => Err(EquivError::Mismatch(shrink(
+            &sim,
+            eval,
+            num_inputs,
+            waves,
+            seed_mismatch,
+            corrupt,
+            config.shrink_budget,
+        ))),
+    }
+}
+
+/// `(output, wave, got, want)` of the first disagreement, if any.
+type Mismatch = (usize, usize, bool, bool);
+
+/// Streams `waves` through the pulse simulator and compares every wave
+/// against the reference evaluation.
+fn first_mismatch(
+    sim: &PulseSim<'_>,
+    eval: &dyn Fn(&[u64]) -> Vec<u64>,
+    num_inputs: usize,
+    waves: &[Vec<bool>],
+    corrupt: bool,
+) -> Result<Option<Mismatch>, SimError> {
+    let mut pulse = sim.run(waves)?;
+    if corrupt {
+        for wave in &mut pulse {
+            if let Some(bit) = wave.first_mut() {
+                *bit = !*bit;
+            }
+        }
+    }
+    let expect = reference_outputs(eval, num_inputs, waves);
+    for (w, (got, want)) in pulse.iter().zip(&expect).enumerate() {
+        for (k, (&g, &e)) in got.iter().zip(want).enumerate() {
+            if g != e {
+                return Ok(Some((k, w, g, e)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Bit-parallel reference evaluation: packs up to 64 waves per `simulate`
+/// call.
+fn reference_outputs(
+    eval: &dyn Fn(&[u64]) -> Vec<u64>,
+    num_inputs: usize,
+    waves: &[Vec<bool>],
+) -> Vec<Vec<bool>> {
+    let mut out = Vec::with_capacity(waves.len());
+    for chunk in waves.chunks(64) {
+        let mut pats = vec![0u64; num_inputs];
+        for (w, wave) in chunk.iter().enumerate() {
+            for (i, &b) in wave.iter().enumerate() {
+                if b {
+                    pats[i] |= 1u64 << w;
+                }
+            }
+        }
+        let words = eval(&pats);
+        for w in 0..chunk.len() {
+            out.push(words.iter().map(|&word| word >> w & 1 == 1).collect());
+        }
+    }
+    out
+}
+
+/// The deterministic vector sweep for `num_inputs` inputs.
+fn stimulus(num_inputs: usize, config: &EquivConfig) -> (SweepMode, Vec<Vec<bool>>) {
+    if num_inputs as u32 <= config.max_exhaustive_inputs {
+        let total = 1usize << num_inputs;
+        let waves = (0..total)
+            .map(|v| (0..num_inputs).map(|i| v >> i & 1 == 1).collect())
+            .collect();
+        return (SweepMode::Exhaustive, waves);
+    }
+    let zeros = vec![false; num_inputs];
+    let ones = vec![true; num_inputs];
+    // Wave-pipelining boundary pairs: empty→full→empty→full stresses the
+    // hand-off between adjacent waves in flight.
+    let mut waves = vec![zeros.clone(), ones.clone(), zeros, ones];
+    for i in 0..num_inputs {
+        let mut w = vec![false; num_inputs];
+        w[i] = true;
+        waves.push(w);
+    }
+    let mut s = config.seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for _ in 0..config.random_waves {
+        waves.push((0..num_inputs).map(|_| next() & 1 == 1).collect());
+    }
+    (SweepMode::Sampled, waves)
+}
+
+/// Greedy counterexample minimization: wave-set reduction, then bit
+/// clearing, each candidate re-simulated. A candidate "fails" only if it
+/// reproduces a *mismatch* (hazardous candidates are discarded), so the
+/// final stimulus provably reproduces the reported disagreement.
+fn shrink(
+    sim: &PulseSim<'_>,
+    eval: &dyn Fn(&[u64]) -> Vec<u64>,
+    num_inputs: usize,
+    full: Vec<Vec<bool>>,
+    seed_mismatch: Mismatch,
+    corrupt: bool,
+    budget: usize,
+) -> Counterexample {
+    let mut spent = 0usize;
+    let mut fails = |candidate: &[Vec<bool>]| -> Option<Mismatch> {
+        if spent >= budget {
+            return None;
+        }
+        spent += 1;
+        first_mismatch(sim, eval, num_inputs, candidate, corrupt)
+            .ok()
+            .flatten()
+    };
+
+    let mut current = full;
+    let mut mismatch = seed_mismatch;
+
+    // Phase A: wave-set reduction. The single mismatching wave alone is the
+    // common minimum; fall back to greedy one-at-a-time removal.
+    let singleton = vec![current[mismatch.1].clone()];
+    if let Some(m) = fails(&singleton) {
+        current = singleton;
+        mismatch = m;
+    } else {
+        let mut i = 0;
+        while i < current.len() && current.len() > 1 {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if let Some(m) = fails(&candidate) {
+                current = candidate;
+                mismatch = m;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Phase B: clear set bits to fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for w in 0..current.len() {
+            for i in 0..num_inputs {
+                if !current[w][i] {
+                    continue;
+                }
+                current[w][i] = false;
+                if let Some(m) = fails(&current) {
+                    mismatch = m;
+                    changed = true;
+                } else {
+                    current[w][i] = true;
+                }
+            }
+        }
+    }
+
+    let (output, wave, got, want) = mismatch;
+    Counterexample {
+        waves: current,
+        output,
+        wave,
+        got,
+        want,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_core::{run_flow, FlowConfig};
+
+    fn fa_aig() -> Aig {
+        let mut aig = Aig::new("fa");
+        let a = aig.input("a");
+        let b = aig.input("b");
+        let c = aig.input("c");
+        let (s, co) = aig.full_adder(a, b, c);
+        aig.output("s", s);
+        aig.output("co", co);
+        aig
+    }
+
+    fn wide_aig(bits: usize) -> Aig {
+        let mut aig = Aig::new("wide");
+        let a = aig.input_word("a", bits);
+        let b = aig.input_word("b", bits);
+        let mut acc = aig.const_false();
+        for i in 0..bits {
+            let x = aig.xor(a[i], b[i]);
+            acc = aig.or(acc, x);
+        }
+        aig.output("ne", acc);
+        aig
+    }
+
+    #[test]
+    fn small_designs_sweep_exhaustively() {
+        let aig = fa_aig();
+        let res = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+        let report = check_timed(&res.timed, &EquivConfig::default()).expect("FA is equivalent");
+        assert_eq!(report.mode, SweepMode::Exhaustive);
+        assert_eq!(report.waves, 8, "2^3 vectors");
+        let via_aig =
+            check_against_aig(&aig, &res.timed, &EquivConfig::default()).expect("loop to the AIG");
+        assert_eq!(via_aig, report);
+    }
+
+    #[test]
+    fn wide_designs_sample_corners_walks_and_randoms() {
+        let aig = wide_aig(6); // 12 inputs > 10 ⇒ sampled
+        let res = run_flow(&aig, &FlowConfig::multiphase(4)).unwrap();
+        let config = EquivConfig::default();
+        let report = check_timed(&res.timed, &config).expect("equivalent");
+        assert_eq!(report.mode, SweepMode::Sampled);
+        assert_eq!(report.waves, 4 + 12 + config.random_waves);
+    }
+
+    #[test]
+    fn interface_mismatch_is_rejected_up_front() {
+        let aig = fa_aig();
+        let res = run_flow(&aig, &FlowConfig::multiphase(4)).unwrap();
+        let other = wide_aig(2);
+        let err = check_against_aig(&other, &res.timed, &EquivConfig::default())
+            .expect_err("4 inputs vs 3");
+        assert!(matches!(
+            err,
+            EquivError::Interface {
+                kind: "input",
+                reference: 4,
+                timed: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn forced_mismatch_shrinks_to_a_minimal_stimulus() {
+        // Drive the shrinker directly through the corruption hook the
+        // fault-injection site uses: output 0 flipped on every wave. The
+        // minimal reproduction is then a single all-zero wave.
+        let aig = fa_aig();
+        let res = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+        let sim = PulseSim::new(&res.timed);
+        let net = &res.timed.network;
+        let eval = |pats: &[u64]| net.simulate(pats);
+        let (_, waves) = stimulus(3, &EquivConfig::default());
+        let seed = first_mismatch(&sim, &eval, 3, &waves, true)
+            .expect("clean run")
+            .expect("corruption mismatches");
+        let cx = shrink(&sim, &eval, 3, waves, seed, true, 512);
+        assert_eq!(cx.waves, vec![vec![false, false, false]], "{cx}");
+        assert_eq!((cx.output, cx.wave), (0, 0));
+        assert_eq!(
+            cx.to_string(),
+            "output 0 of wave 0 got 1, want 0; minimal stimulus 1 wave(s): [000]"
+        );
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let aig = fa_aig();
+        let res = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+        let sim = PulseSim::new(&res.timed);
+        let net = &res.timed.network;
+        let eval = |pats: &[u64]| net.simulate(pats);
+        let (_, waves) = stimulus(3, &EquivConfig::default());
+        let one = {
+            let seed = first_mismatch(&sim, &eval, 3, &waves, true)
+                .unwrap()
+                .unwrap();
+            shrink(&sim, &eval, 3, waves.clone(), seed, true, 512)
+        };
+        let two = {
+            let seed = first_mismatch(&sim, &eval, 3, &waves, true)
+                .unwrap()
+                .unwrap();
+            shrink(&sim, &eval, 3, waves, seed, true, 512)
+        };
+        assert_eq!(one, two);
+    }
+}

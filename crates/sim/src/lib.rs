@@ -17,6 +17,12 @@
 //! converts traces into first-order RSFQ energy numbers and [`margin`]
 //! Monte-Carlo-samples analog timing jitter against the T1 separation rules.
 //!
+//! Two modules turn the simulator into a verification gate: [`equiv`]
+//! co-simulates a timed network against its cycle-free reference function
+//! (exhaustive or sampled vector sweeps, with counterexample shrinking) and
+//! [`verilog`] emits the timed netlist as self-contained clocked Verilog
+//! for independent, external re-simulation.
+//!
 //! # Example
 //!
 //! ```
@@ -44,17 +50,23 @@
 #![deny(missing_docs)]
 
 pub mod energy;
+pub mod equiv;
 pub mod margin;
 pub mod pulse;
 pub mod t1cell;
 pub mod vcd;
+pub mod verilog;
 pub mod waveform;
 
 pub use energy::{measure_energy, EnergyModel, EnergyReport};
+pub use equiv::{
+    check_against_aig, check_timed, Counterexample, EquivConfig, EquivError, EquivReport, SweepMode,
+};
 pub use margin::{analyze_margins, MarginConfig, MarginReport};
 pub use pulse::{simulate_waves, Hazard, PulseSim, PulseTrace, SimError};
 pub use t1cell::{T1Cell, T1Event, T1Input};
-pub use waveform::{Trace, Waveform};
+pub use verilog::write_verilog_timed;
+pub use waveform::{trace_waveform, Trace, Waveform};
 
 #[cfg(test)]
 mod tests;

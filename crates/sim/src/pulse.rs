@@ -76,21 +76,53 @@ impl fmt::Display for Hazard {
     }
 }
 
-/// Simulation failure: one or more hazards fired.
+/// Simulation failure: the run never started (malformed stimulus) or one or
+/// more hazards fired while it ran.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimError {
-    /// All hazards recorded before the simulator gave up.
-    pub hazards: Vec<Hazard>,
+pub enum SimError {
+    /// One or more timing hazards fired; all hazards recorded before the
+    /// simulator gave up.
+    Hazards(Vec<Hazard>),
+    /// A stimulus wave carries a different number of values than the
+    /// network has primary inputs, so the run was rejected up front.
+    WaveArity {
+        /// Index of the offending wave.
+        wave: usize,
+        /// Values the wave carries.
+        got: usize,
+        /// Primary inputs the network has.
+        expected: usize,
+    },
+}
+
+impl SimError {
+    /// The recorded hazards (empty for non-hazard failures).
+    pub fn hazards(&self) -> &[Hazard] {
+        match self {
+            SimError::Hazards(hazards) => hazards,
+            SimError::WaveArity { .. } => &[],
+        }
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "pulse simulation detected {} hazard(s); first: {}",
-            self.hazards.len(),
-            self.hazards[0]
-        )
+        match self {
+            SimError::Hazards(hazards) => write!(
+                f,
+                "pulse simulation detected {} hazard(s); first: {}",
+                hazards.len(),
+                hazards[0]
+            ),
+            SimError::WaveArity {
+                wave,
+                got,
+                expected,
+            } => write!(
+                f,
+                "wave {wave} carries {got} value(s), but the design has {expected} input(s)"
+            ),
+        }
     }
 }
 
@@ -160,11 +192,10 @@ impl<'a> PulseSim<'a> {
     /// wave `w`. Returns one output vector per wave.
     ///
     /// # Errors
-    /// [`SimError`] listing every hazard when the timing discipline is
-    /// violated (a flow bug — audited networks simulate cleanly).
-    ///
-    /// # Panics
-    /// Panics if a wave's length differs from the input count.
+    /// [`SimError::WaveArity`] if a wave's length differs from the input
+    /// count; [`SimError::Hazards`] listing every hazard when the timing
+    /// discipline is violated (a flow bug — audited networks simulate
+    /// cleanly).
     pub fn run(&self, waves: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, SimError> {
         self.run_inner(waves, None)
     }
@@ -174,9 +205,6 @@ impl<'a> PulseSim<'a> {
     ///
     /// # Errors
     /// See [`run`](Self::run).
-    ///
-    /// # Panics
-    /// Panics if a wave's length differs from the input count.
     pub fn run_traced(
         &self,
         waves: &[Vec<bool>],
@@ -198,12 +226,14 @@ impl<'a> PulseSim<'a> {
         let net = &timed.network;
         let n = timed.num_phases as u64;
         let w_count = waves.len() as u64;
-        for w in waves {
-            assert_eq!(
-                w.len(),
-                net.num_inputs(),
-                "wave width must match input count"
-            );
+        for (wave, w) in waves.iter().enumerate() {
+            if w.len() != net.num_inputs() {
+                return Err(SimError::WaveArity {
+                    wave,
+                    got: w.len(),
+                    expected: net.num_inputs(),
+                });
+            }
         }
 
         let mut state: Vec<CellState> = net
@@ -306,7 +336,7 @@ impl<'a> PulseSim<'a> {
         if hazards.is_empty() {
             Ok(outputs)
         } else {
-            Err(SimError { hazards })
+            Err(SimError::Hazards(hazards))
         }
     }
 

@@ -1,8 +1,9 @@
-use crate::pulse::{simulate_waves, PulseSim};
-use crate::waveform::fig1b_waveform;
+use crate::margin::{analyze_margins, MarginConfig};
+use crate::pulse::{simulate_waves, Hazard, PulseSim, SimError};
+use crate::waveform::{fig1b_waveform, trace_waveform};
 use proptest::prelude::*;
-use sfq_core::{run_flow, run_flow_on_network, FlowConfig};
-use sfq_netlist::{Aig, GateKind, Network};
+use sfq_core::{run_flow, run_flow_on_network, FlowConfig, TimedNetwork};
+use sfq_netlist::{Aig, GateKind, Network, Signal, T1Port};
 
 fn fa_aig() -> Aig {
     let mut aig = Aig::new("fa");
@@ -127,6 +128,185 @@ fn pulse_sim_detects_handcrafted_hazard() {
     let waves: Vec<Vec<bool>> = (0..4).map(|_| vec![true]).collect();
     let r = simulate_waves(&timed, &waves);
     assert!(r.is_err(), "expected hazards from lifetime violation");
+}
+
+#[test]
+fn wave_arity_mismatch_is_a_typed_error() {
+    let aig = fa_aig();
+    let res = run_flow(&aig, &FlowConfig::multiphase(4)).unwrap();
+    // Wave 0 is well-formed; wave 1 is too wide. The simulator must reject
+    // the run up front with a typed error, never index out of bounds.
+    let err = simulate_waves(&res.timed, &[vec![true, false, true], vec![true; 5]])
+        .expect_err("arity mismatch rejected");
+    assert_eq!(
+        err,
+        SimError::WaveArity {
+            wave: 1,
+            got: 5,
+            expected: 3
+        }
+    );
+    assert!(err.hazards().is_empty(), "no hazards on a rejected run");
+    assert_eq!(
+        err.to_string(),
+        "wave 1 carries 5 value(s), but the design has 3 input(s)"
+    );
+    // An empty wave is caught too, not silently treated as all-zero.
+    let err = simulate_waves(&res.timed, &[Vec::new()]).expect_err("empty wave rejected");
+    assert!(matches!(
+        err,
+        SimError::WaveArity {
+            wave: 0,
+            got: 0,
+            expected: 3
+        }
+    ));
+    // The traced entry point shares the validation.
+    let sim = PulseSim::new(&res.timed);
+    assert!(sim.run_traced(&[vec![true]]).is_err());
+}
+
+#[test]
+fn hazard_taxonomy_double_pulse() {
+    // PI → BUF(σ=1) → BUF(σ=6) under n = 4: wave 1's pulse lands on the
+    // second buffer's input slot at tick 5, before that buffer ever fired,
+    // trampling wave 0's buffered pulse.
+    let mut net = Network::new("double");
+    let a = net.add_input("a");
+    let u = net.add_gate(GateKind::Buf, &[a]);
+    let v = net.add_gate(GateKind::Buf, &[u]);
+    net.add_output("y", v);
+    let timed = TimedNetwork {
+        network: net,
+        stages: vec![0, 1, 6],
+        num_phases: 4,
+        output_stage: 6,
+    };
+    let err = simulate_waves(&timed, &[vec![true], vec![true]]).expect_err("double pulse");
+    let hz = err.hazards();
+    assert_eq!(hz.len(), 1, "exactly one collision recorded: {hz:?}");
+    assert!(
+        matches!(
+            hz[0],
+            Hazard::DoublePulse {
+                cell,
+                fanin: 0,
+                tick: 5
+            } if cell.0 == 2
+        ),
+        "got {hz:?}"
+    );
+}
+
+#[test]
+fn hazard_taxonomy_t1_collision() {
+    // Two PIs feed a T1's T inputs at the same stage: every wave delivers
+    // two same-tick pulses — one collision per wave, at ticks 0, 4, 8.
+    let mut net = Network::new("collide");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let t1 = net.add_t1(0b00011, &[a, b, c]);
+    net.add_output("s", Signal::t1(t1, T1Port::S));
+    net.add_output("c", Signal::t1(t1, T1Port::C));
+    let timed = TimedNetwork {
+        stages: vec![0, 0, 0, 3],
+        num_phases: 4,
+        output_stage: 3,
+        network: net,
+    };
+    let waves: Vec<Vec<bool>> = (0..3).map(|_| vec![true, true, false]).collect();
+    let err = simulate_waves(&timed, &waves).expect_err("T pulses collide");
+    let hz = err.hazards();
+    assert_eq!(hz.len(), waves.len(), "one collision per wave: {hz:?}");
+    for (w, h) in hz.iter().enumerate() {
+        assert!(
+            matches!(h, Hazard::T1Collision { cell, tick } if cell.0 == 3 && *tick == 4 * w as u64),
+            "wave {w}: {h:?}"
+        );
+    }
+    // Margin accounting agrees: with zero jitter the nominal arrival
+    // separation is exactly 0 ps < resolution, so every Monte-Carlo trial
+    // is hazardous and hazard_rate() saturates at 1.
+    let margins = analyze_margins(
+        &timed,
+        &MarginConfig {
+            jitter_ps: 0.0,
+            trials: 64,
+            ..MarginConfig::default()
+        },
+    );
+    assert_eq!(margins.t1_cells, 1);
+    assert_eq!(margins.hazard_rate(), 1.0, "{margins:?}");
+}
+
+#[test]
+fn hazard_taxonomy_t1_data_on_clock() {
+    // One fanin arrives exactly at the T1's own firing stage.
+    let mut net = Network::new("onclock");
+    let a = net.add_input("a");
+    let b = net.add_input("b");
+    let c = net.add_input("c");
+    let d1 = net.add_dff(a);
+    let d2 = net.add_dff(b);
+    let d3 = net.add_dff(c);
+    let t1 = net.add_t1(0b00011, &[d1, d2, d3]);
+    net.add_output("s", Signal::t1(t1, T1Port::S));
+    net.add_output("c", Signal::t1(t1, T1Port::C));
+    let timed = TimedNetwork {
+        stages: vec![0, 0, 0, 1, 2, 4, 4],
+        num_phases: 4,
+        output_stage: 4,
+        network: net,
+    };
+    let err = simulate_waves(&timed, &[vec![false, false, true]]).expect_err("pulse on clock tick");
+    let hz = err.hazards();
+    assert_eq!(hz.len(), 1, "{hz:?}");
+    assert!(
+        matches!(hz[0], Hazard::T1DataOnClock { cell, tick: 4 } if cell.0 == 6),
+        "got {hz:?}"
+    );
+    // A clean T1 flow under zero jitter accounts zero hazardous trials —
+    // the other side of the hazard_rate() ledger.
+    let aig = fa_aig();
+    let res = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+    let margins = analyze_margins(
+        &res.timed,
+        &MarginConfig {
+            jitter_ps: 0.0,
+            trials: 64,
+            ..MarginConfig::default()
+        },
+    );
+    assert_eq!(margins.hazard_rate(), 0.0);
+}
+
+#[test]
+fn traced_artifacts_are_byte_deterministic() {
+    // Two traced runs on the same design + vectors must render to
+    // byte-identical VCD and CSV — the precondition for golden-diffing.
+    let aig = adder_aig(4);
+    let res = run_flow(&aig, &FlowConfig::t1(4)).unwrap();
+    let waves: Vec<Vec<bool>> = (0..6u64)
+        .map(|w| (0..8).map(|i| (w * 11 + 5) >> i & 1 == 1).collect())
+        .collect();
+    let sim = PulseSim::new(&res.timed);
+    let (o1, t1_trace) = sim.run_traced(&waves).expect("clean run");
+    let (o2, t2_trace) = sim.run_traced(&waves).expect("clean run");
+    assert_eq!(o1, o2);
+    let vcd1 = crate::vcd::render_vcd(&res.timed, &t1_trace);
+    let vcd2 = crate::vcd::render_vcd(&res.timed, &t2_trace);
+    assert_eq!(vcd1, vcd2, "VCD byte-identical across runs");
+    let csv1 = trace_waveform(&res.timed, &t1_trace).render_csv();
+    let csv2 = trace_waveform(&res.timed, &t2_trace).render_csv();
+    assert_eq!(csv1, csv2, "CSV byte-identical across runs");
+    // The CSV projection covers every tick and starts with the header row.
+    assert!(csv1.starts_with("slot,"));
+    assert_eq!(
+        csv1.lines().count(),
+        1 + (t1_trace.last_tick + 1) as usize,
+        "one row per tick"
+    );
 }
 
 #[test]

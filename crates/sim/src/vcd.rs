@@ -52,8 +52,9 @@ fn id_code(mut index: usize) -> String {
     s
 }
 
-/// Human-readable name for a pin in the dump.
-fn pin_name(timed: &TimedNetwork, pin: Signal) -> String {
+/// Human-readable name for a pin in the dump (shared with
+/// [`crate::waveform::trace_waveform`] so both renderings agree).
+pub(crate) fn pin_name(timed: &TimedNetwork, pin: Signal) -> String {
     let net = &timed.network;
     let idx = pin.cell.0 as usize;
     match net.kind(pin.cell) {

@@ -1,8 +1,14 @@
 //! Pulse-trace recording and rendering (ASCII art and CSV).
 //!
 //! Used to regenerate the paper's Fig. 1b: the T1 cell's `T`/`R` inputs,
-//! loop state, and `S`/`C*`/`Q*` outputs over time.
+//! loop state, and `S`/`C*`/`Q*` outputs over time — and, via
+//! [`trace_waveform`], to project any simulator [`PulseTrace`] onto an
+//! aligned, CSV-renderable waveform.
 
+use crate::pulse::PulseTrace;
+use sfq_core::TimedNetwork;
+use sfq_netlist::Signal;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// One named signal trace: a pulse marker (or level) per time slot.
@@ -134,6 +140,27 @@ impl Waveform {
         }
         out
     }
+}
+
+/// Projects a simulator [`PulseTrace`] onto an aligned [`Waveform`]: one
+/// pulse trace per pin that fired (in first-firing order, named exactly as
+/// in [`crate::vcd`] dumps), one slot per simulator tick. Pins that stayed
+/// silent are omitted, mirroring the VCD export.
+pub fn trace_waveform(timed: &TimedNetwork, trace: &PulseTrace) -> Waveform {
+    let slots = (trace.last_tick + 1) as usize;
+    let mut order: Vec<Signal> = Vec::new();
+    let mut ticks: HashMap<Signal, Vec<usize>> = HashMap::new();
+    for &(tick, pin) in &trace.events {
+        if !ticks.contains_key(&pin) {
+            order.push(pin);
+        }
+        ticks.entry(pin).or_default().push(tick as usize);
+    }
+    let mut wf = Waveform::new(slots);
+    for pin in order {
+        wf.pulse_trace(crate::vcd::pin_name(timed, pin), &ticks[&pin]);
+    }
+    wf
 }
 
 /// Builds the paper's Fig. 1b stimulus/response waveform from the

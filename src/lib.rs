@@ -65,6 +65,9 @@ pub mod prelude {
     pub use sfq_netlist::{map_aig, parse_blif, Aig, AigLit, Library, Network};
     pub use sfq_sim::energy::{measure_energy, EnergyModel};
     pub use sfq_sim::margin::{analyze_margins, MarginConfig};
-    pub use sfq_sim::{simulate_waves, PulseSim, T1Cell, T1Input};
+    pub use sfq_sim::{
+        check_against_aig, check_timed, simulate_waves, write_verilog_timed, EquivConfig, PulseSim,
+        T1Cell, T1Input,
+    };
     pub use sfq_tt::TruthTable;
 }

@@ -175,11 +175,11 @@ fn simulator_flags_t1_input_collisions() {
     let err = simulate_waves(&timed, &[vec![true, true, false]])
         .expect_err("two same-tick T pulses collide");
     assert!(
-        err.hazards
+        err.hazards()
             .iter()
             .any(|h| matches!(h, Hazard::T1Collision { .. })),
         "expected a T1Collision hazard, got {:?}",
-        err.hazards
+        err.hazards()
     );
 }
 
@@ -207,11 +207,11 @@ fn simulator_flags_data_on_clock_ticks() {
     let err = simulate_waves(&timed, &[vec![false, false, true]])
         .expect_err("pulse lands on the clock tick");
     assert!(
-        err.hazards
+        err.hazards()
             .iter()
             .any(|h| matches!(h, Hazard::T1DataOnClock { .. })),
         "expected T1DataOnClock, got {:?}",
-        err.hazards
+        err.hazards()
     );
 }
 
@@ -237,11 +237,11 @@ fn simulator_flags_double_pulses_on_overspanned_edges() {
     let err = simulate_waves(&timed, &[vec![true], vec![true]])
         .expect_err("second wave tramples the buffered pulse");
     assert!(
-        err.hazards
+        err.hazards()
             .iter()
             .any(|h| matches!(h, Hazard::DoublePulse { .. })),
         "expected DoublePulse, got {:?}",
-        err.hazards
+        err.hazards()
     );
 }
 

@@ -1,0 +1,121 @@
+//! Golden pulse-level artifacts: the timed Verilog emission and the VCD /
+//! CSV trace renderers must be byte-deterministic and must reproduce the
+//! committed goldens under `tests/golden/`. Any intentional change to the
+//! emitters is re-blessed by running the ignored `bless_pulse_goldens`
+//! test and inspecting the diff.
+
+use sfq_t1::prelude::*;
+use sfq_t1::sim::vcd::render_vcd;
+use sfq_t1::sim::{trace_waveform, PulseTrace};
+
+/// The fixed scenario every golden in this file is derived from: a 4-bit
+/// ripple-carry adder through the paper's T1 flow, pulsed with eight
+/// deterministic waves.
+fn golden_scenario() -> (sfq_t1::core::FlowResult, Vec<Vec<bool>>) {
+    let aig = sfq_t1::circuits::adder(4);
+    let res = run_flow(&aig, &FlowConfig::t1(4)).expect("flow succeeds");
+    let num_inputs = res.timed.network.num_inputs();
+    let mut seed = 0x5EED_CAFE_0123_4567u64;
+    let mut next = move || {
+        seed ^= seed >> 12;
+        seed ^= seed << 25;
+        seed ^= seed >> 27;
+        seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let waves = (0..8)
+        .map(|_| (0..num_inputs).map(|_| next() >> 33 & 1 == 1).collect())
+        .collect();
+    (res, waves)
+}
+
+fn traced(res: &sfq_t1::core::FlowResult, waves: &[Vec<bool>]) -> PulseTrace {
+    let sim = PulseSim::new(&res.timed);
+    let (_, trace) = sim.run_traced(waves).expect("no hazards");
+    trace
+}
+
+#[test]
+fn timed_verilog_matches_the_committed_golden() {
+    let (res, _) = golden_scenario();
+    let verilog = write_verilog_timed(&res.timed);
+    let golden = include_str!("golden/adder4_t1.v");
+    assert_eq!(
+        verilog, golden,
+        "timed Verilog drifted from tests/golden/adder4_t1.v; \
+         re-bless with `cargo test --test pulse_artifacts -- --ignored` \
+         if the change is intended"
+    );
+}
+
+#[test]
+fn vcd_dump_matches_the_committed_golden_and_is_deterministic() {
+    let (res, waves) = golden_scenario();
+    let first = render_vcd(&res.timed, &traced(&res, &waves));
+    let second = render_vcd(&res.timed, &traced(&res, &waves));
+    assert_eq!(first, second, "VCD rendering must be byte-deterministic");
+    let golden = include_str!("golden/adder4_t1.vcd");
+    assert_eq!(
+        first, golden,
+        "VCD dump drifted from tests/golden/adder4_t1.vcd; \
+         re-bless with `cargo test --test pulse_artifacts -- --ignored` \
+         if the change is intended"
+    );
+}
+
+#[test]
+fn waveform_csv_matches_the_committed_golden_and_is_deterministic() {
+    let (res, waves) = golden_scenario();
+    let trace = traced(&res, &waves);
+    let first = trace_waveform(&res.timed, &trace).render_csv();
+    let second = trace_waveform(&res.timed, &trace).render_csv();
+    assert_eq!(first, second, "CSV rendering must be byte-deterministic");
+    let golden = include_str!("golden/adder4_t1.csv");
+    assert_eq!(
+        first, golden,
+        "waveform CSV drifted from tests/golden/adder4_t1.csv; \
+         re-bless with `cargo test --test pulse_artifacts -- --ignored` \
+         if the change is intended"
+    );
+}
+
+/// The goldens above all sample the *same* flow result, so the artifacts
+/// must agree with each other: every input pin that pulsed at least once
+/// shows up both in the Verilog module header and in the VCD variable
+/// declarations. (Outputs are sampled from their driving cells in the VCD,
+/// and silent pins are deliberately omitted, so only active inputs carry
+/// their port name into both artifacts.)
+#[test]
+fn verilog_and_vcd_name_the_same_interface_pins() {
+    let (res, waves) = golden_scenario();
+    let verilog = write_verilog_timed(&res.timed);
+    let vcd = render_vcd(&res.timed, &traced(&res, &waves));
+    let net = &res.timed.network;
+    let mut checked = 0;
+    for i in 0..net.num_inputs() {
+        let pin = net.input_name(i);
+        assert!(verilog.contains(pin), "Verilog must declare pin {pin}");
+        if waves.iter().any(|w| w[i]) {
+            assert!(vcd.contains(pin), "VCD must declare active pin {pin}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "the stimulus must exercise most inputs");
+}
+
+/// Regenerates every golden this file checks. Ignored: run deliberately
+/// with `cargo test --test pulse_artifacts -- --ignored bless`, then
+/// review the diff before committing.
+#[test]
+#[ignore = "bless tool, not a test; regenerates tests/golden/adder4_t1.*"]
+fn bless_pulse_goldens() {
+    let (res, waves) = golden_scenario();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let trace = traced(&res, &waves);
+    std::fs::write(dir.join("adder4_t1.v"), write_verilog_timed(&res.timed)).unwrap();
+    std::fs::write(dir.join("adder4_t1.vcd"), render_vcd(&res.timed, &trace)).unwrap();
+    std::fs::write(
+        dir.join("adder4_t1.csv"),
+        trace_waveform(&res.timed, &trace).render_csv(),
+    )
+    .unwrap();
+}

@@ -3,6 +3,7 @@
 //! vector can enter every period) and must agree with Boolean simulation of
 //! the original AIG on every wave.
 
+use proptest::prelude::*;
 use sfq_t1::prelude::*;
 
 /// Deterministic pseudo-random wave source.
@@ -82,6 +83,102 @@ fn eight_phase_t1_flow_simulates_correctly() {
     let mut config = FlowConfig::t1(8);
     config.equivalence_words = 2;
     check_pipelined(&aig, &config, 6);
+}
+
+// ------------------------------------------------------ property tier ----
+//
+// Random AIGs through the full flow, checked with the equivalence harness
+// (sfq_sim::equiv): the pulse simulation of the timed artifact must match
+// the original AIG over the deterministic vector sweep, exhaustive for the
+// input counts generated here. Input shrinking comes from the harness
+// itself — a mismatch is reported as a minimal stimulus.
+
+/// A recipe for one random AIG node; indices select among existing literals
+/// modulo the pool size, so every recipe is valid by construction.
+fn build_random_aig(num_inputs: usize, ops: &[(u8, usize, usize, usize)]) -> sfq_t1::netlist::Aig {
+    let mut aig = sfq_t1::netlist::Aig::new("random_pulse");
+    let mut pool: Vec<AigLit> = (0..num_inputs)
+        .map(|i| aig.input(format!("i{i}")))
+        .collect();
+    for &(sel, a, b, c) in ops {
+        let lit = |idx: usize, pool: &[AigLit]| pool[idx % pool.len()];
+        let new = match sel % 4 {
+            0 => {
+                let (x, y) = (lit(a, &pool), lit(b, &pool));
+                aig.and(x, !y)
+            }
+            1 => {
+                let (x, y) = (lit(a, &pool), lit(b, &pool));
+                aig.xor(x, y)
+            }
+            2 => {
+                let (x, y, z) = (lit(a, &pool), lit(b, &pool), lit(c, &pool));
+                aig.maj(x, y, z)
+            }
+            _ => {
+                let (x, y, z) = (lit(a, &pool), lit(b, &pool), lit(c, &pool));
+                let (s, co) = aig.full_adder(x, y, z);
+                pool.push(s);
+                co
+            }
+        };
+        pool.push(new);
+    }
+    for k in 0..2 {
+        let lit = pool[pool.len() - 1 - (k % pool.len().min(6))];
+        aig.output(format!("o{k}"), lit);
+    }
+    aig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_aigs_stay_pulse_equivalent_through_every_flow(
+        num_inputs in 2usize..7,
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<usize>(), any::<usize>(), any::<usize>()),
+            1..40,
+        ),
+    ) {
+        let aig = build_random_aig(num_inputs, &ops);
+        for config in [FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+            let res = run_flow(&aig, &config).expect("flow succeeds");
+            // ≤ 6 inputs ⇒ the harness sweeps every input vector and
+            // pipelines them back to back.
+            let report = check_against_aig(&aig, &res.timed, &EquivConfig::default())
+                .expect("pulse simulation matches the original AIG");
+            prop_assert_eq!(report.waves, 1usize << aig.num_inputs());
+        }
+    }
+}
+
+/// Paper-scale sweep: the full-size generators from Table 1 through every
+/// flow, with a deepened sampled-vector harness (corners, walking ones, and
+/// 512 random waves per design). Run by the `differential-slow` CI job via
+/// `-- --ignored`.
+#[test]
+#[ignore = "paper-scale; run with --ignored in the differential-slow CI job"]
+fn paper_scale_circuits_are_pulse_equivalent() {
+    let designs: Vec<(&str, sfq_t1::netlist::Aig)> = vec![
+        ("adder64", sfq_t1::circuits::adder(64)),
+        ("multiplier12", sfq_t1::circuits::multiplier(12)),
+        ("voter63", sfq_t1::circuits::voter(63)),
+        ("c7552", sfq_t1::circuits::c7552_sized(48)),
+    ];
+    let config = EquivConfig {
+        random_waves: 512,
+        ..EquivConfig::default()
+    };
+    for (name, aig) in designs {
+        for flow in [FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+            let res = run_flow(&aig, &flow).expect("flow succeeds");
+            let report = check_against_aig(&aig, &res.timed, &config)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.waves >= 512, "{name} swept {} waves", report.waves);
+        }
+    }
 }
 
 #[test]
