@@ -8,7 +8,7 @@
 //! `enumerate_cuts/adder32`) so historical numbers stay comparable, with
 //! additional sizes to expose scaling behaviour rather than a single point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sfq_circuits as circuits;
 use sfq_core::{assign_phases, detect_t1, insert_dffs, PhaseEngine};
 use sfq_netlist::{enumerate_cuts, map_aig, CutConfig, Library};
@@ -81,6 +81,39 @@ fn bench_hotpaths(c: &mut Criterion) {
     let log2_asg = assign_phases(&log2_det, 4, PhaseEngine::Heuristic).expect("feasible");
     c.bench_function("insert_dffs/log2", |b| {
         b.iter(|| insert_dffs(&log2_det, &log2_asg, 4).expect("insertable"))
+    });
+
+    // ISSUE 9 gates. `enumerate_cuts_frontier/log2` drives the
+    // work-stealing frontier driver explicitly, with at least two workers,
+    // so the gate measures the parallel scheduler even on hosts where the
+    // `enumerate_cuts` dispatcher would fall back to the sequential path.
+    #[cfg(feature = "parallel")]
+    {
+        let w = sfq_netlist::par::workers().max(2);
+        c.bench_function("enumerate_cuts_frontier/log2", |b| {
+            b.iter(|| sfq_netlist::enumerate_cuts_frontier(&log2, &cut_config, w))
+        });
+    }
+    // `detect_sort/log2` gates the chunked parallel sort + deterministic
+    // k-way merge behind detect's match-record phase: synthetic records at
+    // log2's cell volume under a duplicate-free key, sorted through the
+    // same `par::sort_unstable_by_key` primitive detect calls.
+    let recs: Vec<(u64, u32)> = (0..(log2.num_cells() as u32).saturating_mul(4))
+        .map(|i| {
+            let mut x = u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 31;
+            (x, i)
+        })
+        .collect();
+    c.bench_function("detect_sort/log2", |b| {
+        b.iter_batched(
+            || recs.clone(),
+            |mut v| {
+                sfq_netlist::par::sort_unstable_by_key(&mut v, |r| *r);
+                v
+            },
+            BatchSize::LargeInput,
+        )
     });
 }
 

@@ -15,12 +15,16 @@ sfqt1d — long-running SFQ flow daemon
 
 USAGE:
   sfqt1d <socket> [--conn-threads N] [--idle-ms T] [--cache-capacity N]
+         [--workers N]
 
 OPTIONS:
   --conn-threads N    connections served concurrently (default 4)
   --idle-ms T         exit after T ms with no connection activity
                       (default: serve until `sfqt1 daemon stop` or SIGTERM)
   --cache-capacity N  shared design-cache capacity in entries (default 256)
+  --workers N         worker threads each flow request fans its designs over
+                      (default: SFQ_WORKERS if set, else all host cores;
+                      `sfqt1 daemon stats` reports the effective count)
 
 The daemon listens on a fresh Unix socket at <socket>, removes it on exit,
 and refuses to start if a live daemon already serves that path. SIGTERM and
@@ -28,8 +32,12 @@ SIGINT shut it down gracefully: in-flight requests finish streaming first.
 ";
 
 fn parse_config(argv: &[String]) -> Result<ServerConfig, String> {
-    let a = Args::parse(argv, &["conn-threads", "idle-ms", "cache-capacity"], &[])
-        .map_err(|e| e.to_string())?;
+    let a = Args::parse(
+        argv,
+        &["conn-threads", "idle-ms", "cache-capacity", "workers"],
+        &[],
+    )
+    .map_err(|e| e.to_string())?;
     let socket = a.positional(0).ok_or("missing <socket> path")?;
     if a.num_positional() > 1 {
         return Err("expected exactly one <socket> path".to_string());
@@ -50,6 +58,11 @@ fn parse_config(argv: &[String]) -> Result<ServerConfig, String> {
         .map_err(|e| e.to_string())?;
     if config.cache_capacity == 0 {
         return Err("--cache-capacity must be at least 1".to_string());
+    }
+    if let Some(v) = a.option("workers") {
+        let w =
+            sfq_netlist::par::parse_workers(v).map_err(|reason| format!("--workers: {reason}"))?;
+        config.workers = Some(w);
     }
     Ok(config)
 }

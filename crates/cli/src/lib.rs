@@ -109,16 +109,16 @@ sfqt1 — T1-aware multiphase technology mapping for SFQ circuits
 
 USAGE:
   sfqt1 flow <input.{aag,blif}> [--phases N] [--t1] [--engine auto|exact|heuristic]
-        [--gain-threshold K] [--waves K] [--stats]
+        [--gain-threshold K] [--waves K] [--stats] [--workers N]
         [--blif P] [--dot P] [--vcd P] [--verilog P]
   sfqt1 flow --batch <dir> [--phases N] [--t1] [--engine E] [--gain-threshold K]
         [--keep-going|--fail-fast] [--deadline-ms T] [--max-nodes N]
-        [--daemon SOCKET]
+        [--workers N] [--daemon SOCKET]
   sfqt1 verify <input.{aag,blif}> [--phases N] [--t1] [--engine E] [--gain-threshold K]
-        [--waves K] [--seed S] [--jitter PS] [--period PS] [--trials K]
+        [--waves K] [--seed S] [--jitter PS] [--period PS] [--trials K] [--workers N]
   sfqt1 verify --batch <dir> [--phases N] [--t1] [--engine E] [--gain-threshold K]
         [--keep-going|--fail-fast] [--deadline-ms T] [--max-nodes N]
-        [--daemon SOCKET]
+        [--workers N] [--daemon SOCKET]
   sfqt1 daemon <ping|stats|stop> <socket>
   sfqt1 table <input> [--phases N]
   sfqt1 bench <name> [--small] [--aag P] [--blif P]
@@ -140,10 +140,14 @@ SUBCOMMANDS:
             as a FAILED(reason) row while the rest continue (--keep-going,
             the default) or the batch stops at the first failure
             (--fail-fast); any failure makes the exit code 2.
+            --workers N caps the worker threads the flow's parallel
+            fan-outs use (default: SFQ_WORKERS if set, else all host
+            cores; results are byte-identical for every worker count).
             --daemon SOCKET serves the flow through a running sfqt1d
             instead of computing locally: batches submit designs by path,
             a single <input> is submitted inline, and result rows stream
-            back in input order (start the daemon with `sfqt1d <socket>`)
+            back in input order (start the daemon with `sfqt1d <socket>`;
+            set its worker count with `sfqt1d --workers N`)
   verify    run the flow, then gate it with pulse-level verification: the
             timed netlist is co-simulated against the original AIG over a
             deterministic vector sweep (exhaustive for designs with at most
@@ -256,6 +260,27 @@ fn flow_config(a: &Args) -> Result<FlowConfig, CliError> {
     Ok(config)
 }
 
+/// Applies `--workers N`: a per-invocation override of the worker-thread
+/// count the parallel fan-outs use, equivalent to `SFQ_WORKERS` without the
+/// environment variable. Rejected together with `--daemon` — the flow then
+/// runs in the daemon's process, whose count is fixed at `sfqt1d` startup
+/// (`sfqt1d --workers N`).
+fn apply_workers_override(a: &Args, cmd: &str) -> Result<(), CliError> {
+    let Some(v) = a.option("workers") else {
+        return Ok(());
+    };
+    if a.option("daemon").is_some() {
+        return Err(CliError::Usage(format!(
+            "{cmd}: --workers does not combine with --daemon \
+             (set the daemon's count with `sfqt1d --workers N`)"
+        )));
+    }
+    let n = sfq_netlist::par::parse_workers(v)
+        .map_err(|reason| CliError::Usage(format!("{cmd}: --workers: {reason}")))?;
+    sfq_netlist::par::force_workers(n);
+    Ok(())
+}
+
 /// Maps the parsed flow options onto the daemon's wire-level options
 /// (`--deadline-ms`/`--max-nodes` forward per request; `verify` selects
 /// the daemon's verification mode).
@@ -324,6 +349,7 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "daemon",
             "deadline-ms",
             "max-nodes",
+            "workers",
             "blif",
             "dot",
             "vcd",
@@ -331,6 +357,7 @@ fn cmd_flow(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ],
         &["t1", "stats", "keep-going", "fail-fast"],
     )?;
+    apply_workers_override(&a, "flow")?;
     if let Some(dir) = a.option("batch") {
         if a.positional(0).is_some() {
             return Err(CliError::Usage(
@@ -723,9 +750,11 @@ fn cmd_verify(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "daemon",
             "deadline-ms",
             "max-nodes",
+            "workers",
         ],
         &["t1", "keep-going", "fail-fast"],
     )?;
+    apply_workers_override(&a, "verify")?;
     let sweep_knobs = ["waves", "seed", "jitter", "period", "trials"];
     if let Some(dir) = a.option("batch") {
         if a.positional(0).is_some() {
@@ -1655,6 +1684,39 @@ mod tests {
             Err(CliError::Partial { ok: 3, failed: 1 })
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn workers_flag_forces_the_count_and_rejects_bad_values() {
+        let aag = scratch("workersflag.aag");
+        let aag_s = aag.to_str().expect("utf8 path");
+        run_to_string(&["bench", "adder", "--small", "--aag", aag_s]).expect("bench");
+
+        let _guard = FORCE_LOCK.lock().expect("force lock");
+        let baseline = run_to_string(&["flow", aag_s, "--t1"]).expect("flow");
+        let forced = run_to_string(&["flow", aag_s, "--t1", "--workers", "3"]).expect("flow");
+        assert_eq!(par::workers(), 3, "--workers installs the override");
+        par::force_workers(0);
+        assert_eq!(baseline, forced, "report is worker-count independent");
+
+        for args in [
+            vec!["flow", aag_s, "--workers", "0"],
+            vec!["flow", aag_s, "--workers", "three"],
+            vec!["flow", aag_s, "--workers", "2", "--daemon", "unused.sock"],
+            vec!["verify", aag_s, "--workers", "0"],
+        ] {
+            assert!(
+                matches!(run_to_string(&args), Err(CliError::Usage(_))),
+                "{args:?} should be a usage error"
+            );
+        }
+        assert_eq!(
+            par::forced_workers(),
+            0,
+            "rejected --workers values must not install an override"
+        );
+        std::fs::remove_file(aag).ok();
     }
 
     /// The acceptance scenario: a poisoned batch (one parse failure, one

@@ -315,6 +315,14 @@ fn cli_daemon_mode_matches_local_batch_and_serves_control_requests() {
     assert!(stats.starts_with("STATS ok=4 failed=0 "), "{stats}");
     // The single inline adder8 submission re-used the batch's cache entry.
     assert!(stats.contains("cache_hits=1 "), "{stats}");
+    // The effective fan-out width is always reported (>= 1 by policy).
+    let workers: u64 = stats
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("workers="))
+        .expect("workers= in STATS")
+        .parse()
+        .expect("numeric workers=");
+    assert!(workers >= 1, "{stats}");
 
     let mut stop_buf = Vec::new();
     run(&argv(&["daemon", "stop", &sock_str]), &mut stop_buf).expect("stop");

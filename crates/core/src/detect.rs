@@ -35,13 +35,21 @@
 //!   membership is a dense per-cell vector, and the shared input-inverter
 //!   cache is a short linear-scanned list (committed groups rarely negate
 //!   more than a handful of leaves).
-//! * **The `parallel` feature fans the per-cell match scan and the
-//!   per-run group scoring over `std::thread::scope` workers**
-//!   (`collect_matches` and `evaluate_candidates`), merging private
-//!   buffers in chunk order so the record and candidate sequences — and
-//!   therefore the committed groups and the rebuilt network — are
-//!   bit-identical to the sequential build. Cut enumeration parallelizes
-//!   one crate down (`sfq_netlist::cuts`, over topological levels).
+//! * **The `parallel` feature (a workspace default) fans every
+//!   data-parallel phase over `std::thread::scope` workers**: the per-cell
+//!   match scan (`collect_matches`) and per-run group scoring
+//!   (`evaluate_candidates`) merge private buffers in chunk order, the
+//!   record sort runs as sorted chunks + deterministic k-way merge
+//!   (`sfq_netlist::par::sort_unstable_by_key`, valid because `(key,
+//!   root)` is duplicate-free), and the run-boundary scan chunks at
+//!   run-aligned boundaries (`run_boundaries`). Every merge is input- or
+//!   chunk-ordered, so the record and candidate sequences — and therefore
+//!   the committed groups and the rebuilt network — are bit-identical to
+//!   the sequential build at any worker count. The greedy commit and the
+//!   id-assigning rebuild stay sequential by design: both *define* the
+//!   deterministic order the rest of the flow depends on. Cut enumeration
+//!   parallelizes one crate down (`sfq_netlist::cuts`, work-stealing over
+//!   a dependency-counted frontier).
 //!
 //! Measured effect (criterion medians, one dev machine, see
 //! `BENCH_flow.json`): ISSUE 2 took `detect_t1/adder32` 171 µs → 70 µs and
@@ -131,7 +139,9 @@ fn unpack_group_key(key: u128) -> ([Signal; 3], u8) {
 /// when the group `(leaves, mask)` is committed. 32 bytes (the `u128` key
 /// is 16-byte aligned) — the group sort moves packed keys, not leaf
 /// arrays (leaves are recovered per *run*, not per record, via
-/// [`unpack_group_key`]).
+/// [`unpack_group_key`]). `Copy` keeps the parallel chunk sort's k-way
+/// merge to trivial element moves.
+#[derive(Clone, Copy)]
 struct Rec {
     /// Packed `(leaves, mask)` — see [`group_key`].
     key: u128,
@@ -257,23 +267,16 @@ pub fn detect_t1_with_threshold(
     // at most one record exists per root (one function per node per leaf
     // set) and collection emits roots in ascending cell order, so sorting
     // unstably by `(key, root)` reproduces the per-group root insertion
-    // order the reference's HashMap-of-Vecs maintained.
-    recs.sort_unstable_by_key(|r| (r.key, r.root));
+    // order the reference's HashMap-of-Vecs maintained. `(key, root)` is
+    // duplicate-free — a strict total order — so the chunked parallel sort
+    // (sorted chunks + deterministic k-way merge) is byte-identical to the
+    // sequential sort for every worker count.
+    sfq_netlist::par::sort_unstable_by_key(&mut recs, |r| (r.key, r.root));
 
     // ---- evaluate candidates ---------------------------------------------
     // Split the sorted records into (leaves, mask) runs, then score each run
     // independently (the second fan-out point of the `parallel` feature).
-    let mut runs: Vec<(u32, u32)> = Vec::new();
-    let mut start = 0usize;
-    while start < recs.len() {
-        let key = recs[start].key;
-        let mut end = start + 1;
-        while end < recs.len() && recs[end].key == key {
-            end += 1;
-        }
-        runs.push((start as u32, end as u32));
-        start = end;
-    }
+    let runs = run_boundaries(&recs);
     let mut candidates = evaluate_candidates(net, lib, &refs, &recs, &runs, threshold);
     let found = candidates.len();
 
@@ -319,6 +322,75 @@ pub fn detect_t1_with_threshold(
         used,
         groups: committed,
     }
+}
+
+/// Splits sorted records into `(start, end)` runs of equal [`group_key`]s.
+/// With the `parallel` feature and enough records the scan is chunked over
+/// scoped workers at *run-aligned* boundaries (each chunk starts where a
+/// key first differs from its predecessor, so no run straddles two chunks)
+/// and the per-chunk run lists are concatenated in chunk order — the exact
+/// sequence the sequential scan produces.
+fn run_boundaries(recs: &[Rec]) -> Vec<(u32, u32)> {
+    #[cfg(feature = "parallel")]
+    {
+        let workers = sfq_netlist::par::workers();
+        let n = recs.len();
+        if workers > 1 && n >= 4096 {
+            let chunk = n.div_ceil(workers);
+            let mut bounds: Vec<usize> = vec![0];
+            let mut pos = chunk;
+            while pos < n {
+                // `pos` may land mid-run; advance to the next run start so
+                // the straddling run stays whole in the previous chunk.
+                while pos < n && recs[pos].key == recs[pos - 1].key {
+                    pos += 1;
+                }
+                if pos >= n {
+                    break;
+                }
+                bounds.push(pos);
+                pos += chunk;
+            }
+            bounds.push(n);
+            if bounds.len() > 2 {
+                let parts: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = bounds
+                        .windows(2)
+                        .map(|w| {
+                            let (lo, hi) = (w[0], w[1]);
+                            scope.spawn(move || scan_runs(recs, lo, hi))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                        })
+                        .collect()
+                });
+                return parts.concat();
+            }
+        }
+    }
+    scan_runs(recs, 0, recs.len())
+}
+
+/// The run scan over one record range (absolute indices). `lo` must be a
+/// run start and `hi` a run end, which chunk alignment guarantees.
+fn scan_runs(recs: &[Rec], lo: usize, hi: usize) -> Vec<(u32, u32)> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    let mut start = lo;
+    while start < hi {
+        let key = recs[start].key;
+        let mut end = start + 1;
+        while end < hi && recs[end].key == key {
+            end += 1;
+        }
+        runs.push((start as u32, end as u32));
+        start = end;
+    }
+    runs
 }
 
 /// Scores every `(leaves, mask)` run, fanning run slices over scoped worker

@@ -37,11 +37,15 @@ pub struct FlowConfig {
     /// Number of 64-vector random pattern words for the equivalence check
     /// (0 disables the check).
     pub equivalence_words: usize,
-    /// Phase-assignment descent restarts (heuristic paths only). `1` is the
-    /// single ASAP descent the paper-scale defaults use; higher counts add
-    /// deterministically perturbed restarts merged by `(cost, index)` —
-    /// see [`TimingEngine::optimize`]. Under `--features parallel` the
-    /// extra restarts fan over worker threads with bit-identical results.
+    /// Phase-assignment descent restarts (heuristic paths only). The
+    /// default is `sfq_netlist::par::workers()` — idle cores become extra
+    /// deterministically perturbed restarts merged by `(cost, index)`, so
+    /// the result is never worse than (and independent of the worker count
+    /// relative to) `restarts: 1`, which remains reachable via config —
+    /// see [`TimingEngine::optimize`]. Restart 0 is the unperturbed plain
+    /// descent, so any restart count ≥ 1 dominates the single-descent cost.
+    /// On sequential builds `workers()` is 1 and this stays the single
+    /// ASAP descent.
     pub restarts: usize,
 }
 
@@ -56,7 +60,7 @@ impl FlowConfig {
             cut_config: CutConfig::default(),
             gain_threshold: 0,
             equivalence_words: 4,
-            restarts: 1,
+            restarts: sfq_netlist::par::workers(),
         }
     }
 

@@ -26,14 +26,19 @@
 //!   ever touch the heap;
 //! * the whole [`CutSet`] is one flat cut table with per-cell spans (CSR)
 //!   instead of a `Vec<Vec<Cut>>`, reserved up front;
-//! * every cut carries a 64-bit **leaf signature** (one hashed bit per
-//!   leaf). Signatures drive three rejections: the **reconvergence-aware
-//!   prefilter** (`popcount(sig(a) | sig(b)) > max_leaves` proves the union
-//!   cannot fit the budget, killing ~80 % of merge attempts on one popcount
-//!   over the signature arrays — only reconvergent pairs, whose shared
-//!   leaves share bits, survive to a real merge), the dominance scan's
-//!   subset prefilter (`k ⊆ c` requires `sig(k) & !sig(c) == 0`), and the
-//!   cheap half of candidate dedup;
+//! * every cut carries a 256-bit **leaf signature** ([`sfq_tt::Sig256`] —
+//!   four `u64` lanes, one hashed bit per leaf, all ops autovectorizable
+//!   lane-wise code). Signatures drive three rejections: the
+//!   **reconvergence-aware prefilter** (`popcount(sig(a) | sig(b)) >
+//!   max_leaves` proves the union cannot fit the budget, killing the large
+//!   majority of merge attempts on one wide popcount — only reconvergent
+//!   pairs, whose shared leaves share bits, survive to a real merge), the
+//!   dominance scan's subset prefilter (`k ⊆ c` requires
+//!   `sig(k) ⊆ sig(c)` as bit sets), and the cheap half of candidate
+//!   dedup. The 256-bit index refines the retired 64-bit one
+//!   (`index mod 64` is unchanged), so the wide prefilter provably rejects
+//!   a superset of what the one-word version rejected while staying sound
+//!   (see the `sig256` proptests in `src/tests.rs`);
 //! * candidates carry their leaves **packed into two `u128` words**, so
 //!   push-time dedup is word equality and the `(size, lexicographic)`
 //!   ranking is an unstable integer-key sort (valid because dedup leaves no
@@ -47,7 +52,8 @@
 //! bit-identical to the straightforward implementation (asserted by the
 //! netlist test suite's cut soundness properties and by
 //! `tests/differential_mapping.rs`, which also A/Bs the feature-gated
-//! level-parallel driver against [`enumerate_cuts_sequential`]).
+//! work-stealing frontier driver ([`enumerate_cuts_frontier`]) against
+//! [`enumerate_cuts_sequential`]).
 //!
 //! Measured effect (criterion medians, one dev machine; trajectory in
 //! `BENCH_flow.json` at the repo root): PR 1 took `enumerate_cuts/adder32`
@@ -58,7 +64,7 @@
 
 use crate::cell::CellKind;
 use crate::network::{CellId, Network, Signal};
-use sfq_tt::TruthTable;
+use sfq_tt::{Sig256, TruthTable};
 
 /// The sorted leaf signals of a [`Cut`], stored inline (cut enumeration is
 /// capped at [`TruthTable::MAX_VARS`] = 6 leaves, so a fixed array always
@@ -205,17 +211,28 @@ impl CutSet {
     }
 }
 
-/// One hashed bit per leaf: the Bloom-style signature used for O(1)
-/// subset prefiltering. Union signatures compose by OR.
+/// Hash of a leaf pin feeding the signature bit index — the splitmix64
+/// finalizer over the packed pin id. [`leaf_sig`] keeps the low 8 bits;
+/// the retired one-word signature kept the low 6, so the 256-bit bit index
+/// refines the 64-bit one (`index mod 64` is unchanged) — the property
+/// that makes the wide prefilter reject a per-instance superset of what
+/// the narrow one rejected (pinned by the `sig256` proptests).
 #[inline]
-fn leaf_sig(s: Signal) -> u64 {
-    // splitmix64 finalizer over the packed pin id.
+pub(crate) fn leaf_hash(s: Signal) -> u64 {
     let mut x = (u64::from(s.cell.0) << 8) | u64::from(s.port);
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
-    1u64 << (x & 63)
+    x
+}
+
+/// One hashed bit per leaf: the Bloom-style 256-bit signature used for
+/// O(1) subset prefiltering. Union signatures compose by OR; four `u64`
+/// lanes are probed per signature operation ([`Sig256`]).
+#[inline]
+fn leaf_sig(s: Signal) -> Sig256 {
+    Sig256::bit(leaf_hash(s))
 }
 
 /// `a ⊆ b` over sorted leaf slices (two-pointer sweep).
@@ -324,7 +341,7 @@ fn merge_leaves_into(
 struct Candidate {
     start: u32,
     len: u32,
-    sig: u64,
+    sig: Sig256,
     /// Packed leaf words (see [`pack_leaves`]): `(len, key)` is the ranking
     /// order and `key` equality is leaf-set equality.
     key: (u128, u128),
@@ -372,8 +389,10 @@ pub fn enumerate_cuts(net: &Network, config: &CutConfig) -> CutSet {
     #[cfg(feature = "parallel")]
     {
         let workers = crate::par::workers();
-        if workers > 1 {
-            return enumerate_cuts_parallel(net, config, workers);
+        // A fan-out must amortize its thread spawns and scheduler state;
+        // small networks run the plain loop.
+        if workers > 1 && net.num_cells() >= 1024 {
+            return enumerate_cuts_frontier(net, config, workers);
         }
     }
     enumerate_cuts_sequential(net, config)
@@ -398,132 +417,273 @@ pub fn enumerate_cuts_sequential(net: &Network, config: &CutConfig) -> CutSet {
     // all-benchmark average is ~4.6 cuts/node at the default budget), so the
     // 17 MB-scale table of a paper-size run grows without repeated copies.
     let mut cuts: Vec<Cut> = Vec::with_capacity(net.num_cells() * 6);
-    let mut sigs: Vec<u64> = Vec::with_capacity(net.num_cells() * 6);
+    let mut sigs: Vec<Sig256> = Vec::with_capacity(net.num_cells() * 6);
     let mut spans: Vec<(u32, u32)> = vec![(0, 0); net.num_cells()];
     let mut scratch = NodeScratch::default();
     for id in order {
         // Cooperative deadline/ceiling check for supervised flows; a no-op
         // (one thread-local read) when no budget is installed.
         crate::budget::tick(1);
-        compute_node_cuts(net, id, config, (&cuts, &sigs, &spans), &mut scratch);
+        compute_node_cuts(
+            net,
+            id,
+            config,
+            |c| {
+                let (start, len) = spans[c.0 as usize];
+                let r = start as usize..(start + len) as usize;
+                (&cuts[r.clone()], &sigs[r])
+            },
+            &mut scratch,
+        );
         spans[id.0 as usize] = (cuts.len() as u32, (scratch.kept.len() + 1) as u32);
         emit_node_cuts(id, &scratch, &mut cuts, &mut sigs);
     }
     CutSet { cuts, spans }
 }
 
-/// Level-synchronous parallel enumeration (the `parallel` feature): cells
-/// are grouped by topological level — every cell's fanins live at strictly
-/// lower levels — and each wide-enough level is chunked across scoped
-/// worker threads that read the shared tables of the levels below and write
-/// private output buffers. Buffers are merged in ascending cell-index order
-/// after every level, so the result is deterministic and every node's cut
-/// set is **bit-identical** to [`enumerate_cuts_sequential`]'s (a node's
-/// cuts depend only on its fanins' stored cut sets); only the storage order
-/// inside the flat table differs, which [`CutSet::of`] hides.
+/// One finished node's cut set, published for successors to read. `sigs` is
+/// parallel to `cuts` (needed by successors' prefilters, dropped at final
+/// assembly).
 #[cfg(feature = "parallel")]
-fn enumerate_cuts_parallel(net: &Network, config: &CutConfig, workers: usize) -> CutSet {
+struct NodeOut {
+    cuts: Vec<Cut>,
+    sigs: Vec<Sig256>,
+}
+
+/// Sets the abort flag and wakes every blocked worker when dropped while
+/// armed — the unwind path of a panicking frontier worker. Without this a
+/// panic (injected fault, budget abort) would leave peers parked on the
+/// condvar forever.
+#[cfg(feature = "parallel")]
+struct FrontierAbort<'a> {
+    abort: &'a std::sync::atomic::AtomicBool,
+    ready: &'a std::sync::Mutex<Vec<u32>>,
+    cv: &'a std::sync::Condvar,
+    armed: bool,
+}
+
+#[cfg(feature = "parallel")]
+impl Drop for FrontierAbort<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.abort.store(true, std::sync::atomic::Ordering::Release);
+            // Taking the queue lock before notifying closes the race with a
+            // worker that just checked the flag and is about to wait. A
+            // poisoned lock is fine — we only need the mutual exclusion.
+            let _q = self.ready.lock();
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Work-stealing parallel enumeration (the `parallel` feature): every node
+/// carries an atomic countdown of its unfinished fanins; workers claim
+/// ready nodes from a shared queue (plus a thread-local depth-first stack
+/// for the cache-friendly common case of one successor becoming ready),
+/// compute the node against its fanins' **published** cut sets, and
+/// decrement their successors. Unlike the retired level-synchronous driver
+/// there is no barrier: a narrow level no longer idles workers, because
+/// readiness is per-node, not per-level.
+///
+/// Determinism: a node's cuts depend only on its fanins' stored cut sets
+/// and [`compute_node_cuts`] is shared with the sequential path, so every
+/// node's cut set is **bit-identical** to [`enumerate_cuts_sequential`]'s
+/// for any worker count or schedule. The final assembly writes the flat
+/// table in ascending cell-index order, so even the CSR bytes are
+/// schedule-independent.
+///
+/// # Panics
+/// Panics if the network is cyclic or `config.max_leaves > 6`; worker
+/// panics (injected faults, budget aborts on the coordinator) are resumed
+/// on the calling thread with their original payload.
+#[cfg(feature = "parallel")]
+pub fn enumerate_cuts_frontier(net: &Network, config: &CutConfig, workers: usize) -> CutSet {
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
     assert!(
         config.max_leaves <= TruthTable::MAX_VARS,
         "cuts limited to 6 leaves"
     );
-    // Levels also panic on cyclic networks, mirroring the sequential path.
-    let levels = net.levels();
+    // Validate acyclicity up front, mirroring the sequential path's panic;
+    // the countdown scheduler itself would otherwise just deadlock on a
+    // cycle, which is a much worse failure mode.
+    net.topological_order().expect("network must be acyclic");
     let n = net.num_cells();
-    let max_level = levels.iter().copied().max().unwrap_or(0) as usize;
-    // Counting sort: cells of one level, ascending index, are contiguous in
-    // `by_level[starts[l]..starts[l + 1]]`.
-    let mut starts = vec![0u32; max_level + 2];
-    for &l in &levels {
-        starts[l as usize + 1] += 1;
-    }
-    for i in 1..starts.len() {
-        starts[i] += starts[i - 1];
-    }
-    let mut cursor = starts.clone();
-    let mut by_level = vec![0u32; n];
-    for (i, &l) in levels.iter().enumerate() {
-        by_level[cursor[l as usize] as usize] = i as u32;
-        cursor[l as usize] += 1;
-    }
 
-    // A worker must amortize its spawn over enough per-node work; narrow
-    // levels run inline on this thread instead.
-    const MIN_CHUNK: usize = 64;
-
-    let mut cuts: Vec<Cut> = Vec::with_capacity(n * 6);
-    let mut sigs: Vec<u64> = Vec::with_capacity(n * 6);
-    let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
-    let mut scratch = NodeScratch::default();
-    for l in 0..=max_level {
-        let cells = &by_level[starts[l] as usize..starts[l + 1] as usize];
-        let want = (cells.len() / MIN_CHUNK).min(workers);
-        if want < 2 {
-            for &c in cells {
-                let id = CellId(c);
-                crate::budget::tick(1);
-                compute_node_cuts(net, id, config, (&cuts, &sigs, &spans), &mut scratch);
-                spans[c as usize] = (cuts.len() as u32, (scratch.kept.len() + 1) as u32);
-                emit_node_cuts(id, &scratch, &mut cuts, &mut sigs);
+    // Dependency counts and the fanout CSR. One dependency per *gate fanin
+    // edge* read through port 0 — non-port-0 pins (T1 ports) only offer
+    // synthesized trivial cuts, and non-gate cells read nothing. A cell
+    // feeding both inputs of one gate contributes two edges; counts and
+    // decrements agree because both derive from the same loop.
+    let mut pending_init = vec![0u32; n];
+    let mut succ_starts = vec![0u32; n + 1];
+    for (i, pending) in pending_init.iter_mut().enumerate() {
+        if let CellKind::Gate(_) = net.kind(CellId(i as u32)) {
+            for f in net.fanins(CellId(i as u32)) {
+                if f.port == 0 {
+                    *pending += 1;
+                    succ_starts[f.cell.0 as usize + 1] += 1;
+                }
             }
-            continue;
         }
-        // Budgets are thread-local (worker ticks would be no-ops), so the
-        // coordinator charges the whole level up front — the same unit total
-        // the sequential path accumulates, keeping node-ceiling aborts
-        // deterministic across builds and worker counts.
-        crate::budget::tick(cells.len() as u64);
-        let chunk = cells.len().div_ceil(want);
-        let (cuts_ref, sigs_ref, spans_ref) = (cuts.as_slice(), sigs.as_slice(), spans.as_slice());
-        let results: Vec<(Vec<Cut>, Vec<u64>, Vec<u32>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = cells
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        #[cfg(feature = "fault-injection")]
-                        crate::faultpt::hit("par.cuts", net.name());
-                        let mut scratch = NodeScratch::default();
-                        let mut out_cuts = Vec::new();
-                        let mut out_sigs = Vec::new();
-                        let mut lens = Vec::with_capacity(part.len());
-                        for &c in part {
-                            let id = CellId(c);
-                            compute_node_cuts(
-                                net,
-                                id,
-                                config,
-                                (cuts_ref, sigs_ref, spans_ref),
-                                &mut scratch,
-                            );
-                            lens.push((scratch.kept.len() + 1) as u32);
-                            emit_node_cuts(id, &scratch, &mut out_cuts, &mut out_sigs);
+    }
+    for i in 0..n {
+        succ_starts[i + 1] += succ_starts[i];
+    }
+    let mut cursor: Vec<u32> = succ_starts[..n].to_vec();
+    let mut successors = vec![0u32; succ_starts[n] as usize];
+    for i in 0..n {
+        if let CellKind::Gate(_) = net.kind(CellId(i as u32)) {
+            for f in net.fanins(CellId(i as u32)) {
+                if f.port == 0 {
+                    let p = f.cell.0 as usize;
+                    successors[cursor[p] as usize] = i as u32;
+                    cursor[p] += 1;
+                }
+            }
+        }
+    }
+
+    // Budgets are thread-local (worker ticks would be no-ops), so the
+    // coordinator charges the whole network up front — the same unit total
+    // the sequential path accumulates, keeping node-ceiling aborts
+    // deterministic across builds and worker counts.
+    crate::budget::tick(n as u64);
+
+    let initial: Vec<u32> = (0..n as u32)
+        .filter(|&i| pending_init[i as usize] == 0)
+        .collect();
+    let pending: Vec<AtomicU32> = pending_init.into_iter().map(AtomicU32::new).collect();
+    let slots: Vec<OnceLock<NodeOut>> = (0..n).map(|_| OnceLock::new()).collect();
+    let remaining = AtomicUsize::new(n);
+    let abort = AtomicBool::new(false);
+    let ready = Mutex::new(initial);
+    let cv = Condvar::new();
+
+    // The worker body; the coordinator runs it too (as the only thread with
+    // a budget installed, it checkpoints per claimed node so deadlines fire
+    // promptly even while peers keep the queue drained).
+    let run = |on_coordinator: bool| {
+        #[cfg(feature = "fault-injection")]
+        crate::faultpt::hit("par.cuts", net.name());
+        let mut guard = FrontierAbort {
+            abort: &abort,
+            ready: &ready,
+            cv: &cv,
+            armed: true,
+        };
+        let mut scratch = NodeScratch::default();
+        // Local depth-first stack: the first successor a node readies stays
+        // on this worker (its fanin's cuts are hot in cache); the rest go to
+        // the shared queue.
+        let mut local: Vec<u32> = Vec::new();
+        loop {
+            let node = match local.pop() {
+                Some(x) => x,
+                None => {
+                    let mut q = ready.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if abort.load(Ordering::Acquire) || remaining.load(Ordering::Acquire) == 0 {
+                            guard.armed = false;
+                            return;
                         }
-                        (out_cuts, out_sigs, lens)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                // Preserve a worker's panic payload (e.g. an injected
-                // fault) for the supervision layer instead of masking it
-                // with a join message.
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .collect()
-        });
-        // Deterministic merge: chunk order is ascending cell-index order.
-        for (part, (out_cuts, out_sigs, lens)) in cells.chunks(chunk).zip(&results) {
-            let base = cuts.len() as u32;
-            let mut off = 0u32;
-            for (&c, &len) in part.iter().zip(lens) {
-                spans[c as usize] = (base + off, len);
-                off += len;
+                        if let Some(x) = q.pop() {
+                            break x;
+                        }
+                        q = cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            };
+            if abort.load(Ordering::Acquire) {
+                guard.armed = false;
+                return;
             }
-            cuts.extend_from_slice(out_cuts);
-            sigs.extend_from_slice(out_sigs);
+            if on_coordinator {
+                crate::budget::checkpoint();
+            }
+            let id = CellId(node);
+            compute_node_cuts(
+                net,
+                id,
+                config,
+                |c| {
+                    // Acquire ordering via OnceLock: the publishing store in
+                    // `set` happens-before this read, and the scheduler only
+                    // readies a node after all its fanins published.
+                    let out = slots[c.0 as usize]
+                        .get()
+                        .expect("fanin cut set must be published before its reader runs");
+                    (out.cuts.as_slice(), out.sigs.as_slice())
+                },
+                &mut scratch,
+            );
+            let mut out = NodeOut {
+                cuts: Vec::with_capacity(scratch.kept.len() + 1),
+                sigs: Vec::with_capacity(scratch.kept.len() + 1),
+            };
+            emit_node_cuts(id, &scratch, &mut out.cuts, &mut out.sigs);
+            assert!(
+                slots[node as usize].set(out).is_ok(),
+                "each node is claimed exactly once"
+            );
+            // Countdown the successors; whoever decrements a count to zero
+            // owns waking that node.
+            let succs = &successors
+                [succ_starts[node as usize] as usize..succ_starts[node as usize + 1] as usize];
+            let mut keep: Option<u32> = None;
+            let mut share: Vec<u32> = Vec::new();
+            for &s in succs {
+                if pending[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    if keep.is_none() && local.is_empty() {
+                        keep = Some(s);
+                    } else {
+                        share.push(s);
+                    }
+                }
+            }
+            if let Some(s) = keep {
+                local.push(s);
+            }
+            if !share.is_empty() {
+                let mut q = ready.lock().unwrap_or_else(|e| e.into_inner());
+                q.extend_from_slice(&share);
+                drop(q);
+                cv.notify_all();
+            }
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last node: release every parked worker. Lock-then-notify
+                // for the same race-closing reason as in `FrontierAbort`.
+                let _q = ready.lock().unwrap_or_else(|e| e.into_inner());
+                cv.notify_all();
+            }
         }
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers.min(n))
+            .map(|_| scope.spawn(|| run(false)))
+            .collect();
+        run(true);
+        for h in handles {
+            // Preserve a worker's panic payload (e.g. an injected fault)
+            // for the supervision layer instead of masking it with a join
+            // message.
+            h.join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        }
+    });
+
+    // Assemble the flat CSR in ascending cell-index order — byte-identical
+    // for every schedule and worker count.
+    let mut cuts: Vec<Cut> = Vec::with_capacity(n * 6);
+    let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
+    for (i, slot) in slots.into_iter().enumerate() {
+        let out = slot
+            .into_inner()
+            .expect("every node completes before the scope joins");
+        spans[i] = (cuts.len() as u32, out.cuts.len() as u32);
+        cuts.extend_from_slice(&out.cuts);
     }
     CutSet { cuts, spans }
 }
@@ -542,22 +702,20 @@ struct NodeScratch {
 }
 
 /// Enumerates, prunes and derives the non-trivial cuts of one node into
-/// `scratch`, reading stored fanin cut sets from the `(cuts, sigs, spans)`
-/// CSR view. Holds **no** borrows on return, so the caller can append the
-/// results to the very vectors it handed in — or, in the parallel driver,
-/// to a per-worker buffer. Results depend only on the fanins' stored cut
-/// sets, never on where this node's output lands.
-fn compute_node_cuts(
+/// `scratch`, reading stored fanin cut sets through `lookup` (cell id →
+/// that cell's published `(cuts, sigs)` slices). The sequential driver's
+/// lookup indexes its in-progress CSR table; the frontier driver's reads a
+/// fanin's `OnceLock` slot. Holds **no** borrows on return, so the caller
+/// can append the results to the very table the lookup reads from. Results
+/// depend only on the fanins' stored cut sets, never on where this node's
+/// output lands.
+fn compute_node_cuts<'a>(
     net: &Network,
     id: CellId,
     config: &CutConfig,
-    (cuts, sigs, spans): (&[Cut], &[u64], &[(u32, u32)]),
+    lookup: impl Fn(CellId) -> (&'a [Cut], &'a [Sig256]),
     scratch: &mut NodeScratch,
 ) {
-    let span_of = |c: CellId| -> std::ops::Range<usize> {
-        let (start, len) = spans[c.0 as usize];
-        start as usize..(start + len) as usize
-    };
     let NodeScratch {
         arena,
         cand,
@@ -580,9 +738,8 @@ fn compute_node_cuts(
     // common path borrows stored cut sets without cloning them.
     let hold_a;
     let hold_b;
-    let (ca, sa): (&[Cut], &[u64]) = if fanins[0].port == 0 {
-        let r = span_of(fanins[0].cell);
-        (&cuts[r.clone()], &sigs[r])
+    let (ca, sa): (&[Cut], &[Sig256]) = if fanins[0].port == 0 {
+        lookup(fanins[0].cell)
     } else {
         hold_a = (Cut::trivial(fanins[0]), leaf_sig(fanins[0]));
         (
@@ -608,9 +765,8 @@ fn compute_node_cuts(
             });
         }
     } else {
-        let (cb, sb): (&[Cut], &[u64]) = if fanins[1].port == 0 {
-            let r = span_of(fanins[1].cell);
-            (&cuts[r.clone()], &sigs[r])
+        let (cb, sb): (&[Cut], &[Sig256]) = if fanins[1].port == 0 {
+            lookup(fanins[1].cell)
         } else {
             hold_b = (Cut::trivial(fanins[1]), leaf_sig(fanins[1]));
             (
@@ -686,7 +842,7 @@ fn compute_node_cuts(
         for &ki in kept.iter() {
             let k = &cand[ki as usize];
             // Signature prefilter: k ⊆ c requires sig(k) ⊆ sig(c).
-            if k.sig & !c.sig == 0 && is_subset(k.leaves(arena), c_leaves) {
+            if k.sig.is_subset_of(c.sig) && is_subset(k.leaves(arena), c_leaves) {
                 continue 'cand;
             }
         }
@@ -710,7 +866,7 @@ fn compute_node_cuts(
 
 /// Appends one node’s cuts (trivial first, then the survivors computed by
 /// [`compute_node_cuts`]) to a cut/signature table.
-fn emit_node_cuts(id: CellId, scratch: &NodeScratch, cuts: &mut Vec<Cut>, sigs: &mut Vec<u64>) {
+fn emit_node_cuts(id: CellId, scratch: &NodeScratch, cuts: &mut Vec<Cut>, sigs: &mut Vec<Sig256>) {
     let sig0 = Signal::from_cell(id);
     cuts.push(Cut::trivial(sig0));
     sigs.push(leaf_sig(sig0));

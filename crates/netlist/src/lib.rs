@@ -60,6 +60,8 @@ pub use aig::{Aig, AigLit, AigNodeId};
 pub use blif::{parse_blif, write_blif, BlifError};
 pub use budget::BudgetExceeded;
 pub use cell::{CellKind, GateKind, Library, T1Port, T1_NUM_PORTS};
+#[cfg(feature = "parallel")]
+pub use cuts::enumerate_cuts_frontier;
 pub use cuts::{enumerate_cuts, enumerate_cuts_sequential, Cut, CutConfig, CutSet};
 pub use design::{CacheStats, Design, DesignCache, DesignError, DesignFormat};
 pub use mapper::map_aig;

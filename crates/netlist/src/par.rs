@@ -16,6 +16,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Process-wide override installed by [`force_workers`] (0 = none).
 static FORCED: AtomicUsize = AtomicUsize::new(0);
 
+/// Sanity cap on *explicit* worker overrides ([`force_workers`],
+/// `SFQ_WORKERS`). The default worker count is the host's available
+/// parallelism, so this bound only matters for deliberate oversubscription
+/// (the determinism tests run 8 workers on 1-core CI hosts) — it exists so
+/// a typo like `SFQ_WORKERS=10000` cannot spawn an absurd thread count,
+/// not as a tuning knob.
+pub const MAX_WORKERS: usize = 64;
+
 /// Forces [`workers`] to return `n` for the rest of the process (`0`
 /// clears the override). Without the `parallel` feature the override is
 /// recorded but [`workers`] still returns `1`.
@@ -38,34 +46,36 @@ pub fn forced_workers() -> usize {
     FORCED.load(Ordering::SeqCst)
 }
 
-/// Validates an `SFQ_WORKERS` value: a positive integer, capped at 8 (the
-/// fan-outs are memory-bound well before that). `0` and non-numeric values
-/// are rejected with a reason — silently falling back would let a typo like
-/// `SFQ_WORKERS=all` change behavior with no signal, which a long-running
-/// daemon cannot afford.
+/// Validates an `SFQ_WORKERS` value: a positive integer, capped at
+/// [`MAX_WORKERS`]. `0` and non-numeric values are rejected with a reason —
+/// silently falling back would let a typo like `SFQ_WORKERS=all` change
+/// behavior with no signal, which a long-running daemon cannot afford.
 ///
 /// # Errors
 /// A human-readable rejection reason.
 pub fn parse_workers(value: &str) -> Result<usize, String> {
     match value.trim().parse::<usize>() {
         Ok(0) => Err("worker count must be at least 1".to_string()),
-        Ok(n) => Ok(n.min(8)),
+        Ok(n) => Ok(n.min(MAX_WORKERS)),
         Err(_) => Err(format!("`{value}` is not a number")),
     }
 }
 
 /// Number of scoped worker threads the in-netlist fan-outs may use.
 ///
-/// With the `parallel` feature: the host's available parallelism (capped at
-/// 8 — the fan-outs are memory-bound well before that), overridable by
-/// [`force_workers`] or the `SFQ_WORKERS` environment variable (read once,
-/// at first use). Without the feature: `1`.
+/// With the `parallel` feature: the host's available parallelism
+/// (`std::thread::available_parallelism()`, which respects container CPU
+/// quotas and affinity masks), overridable by [`force_workers`] or the
+/// `SFQ_WORKERS` environment variable (read once, at first use; explicit
+/// overrides may exceed the host's core count up to [`MAX_WORKERS`], which
+/// is how single-core CI exercises the parallel merges). Without the
+/// feature: `1`.
 pub fn workers() -> usize {
     #[cfg(feature = "parallel")]
     {
         let forced = FORCED.load(Ordering::SeqCst);
         if forced != 0 {
-            return forced.clamp(1, 8);
+            return forced.clamp(1, MAX_WORKERS);
         }
         static FROM_ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
         if let Some(w) = *FROM_ENV.get_or_init(|| match std::env::var("SFQ_WORKERS") {
@@ -88,12 +98,75 @@ pub fn workers() -> usize {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(8)
     }
     #[cfg(not(feature = "parallel"))]
     {
         1
     }
+}
+
+/// Sorts `items` by `key` across up to [`workers`] scoped threads: the
+/// vector is split into one contiguous chunk per worker, each chunk is
+/// `sort_unstable_by_key`ed in place, and the sorted chunks are k-way
+/// merged (smallest key first, ties broken by chunk order, i.e. input
+/// order). Small inputs and single-worker configurations fall through to
+/// plain `sort_unstable_by_key` with no threads spawned.
+///
+/// **Determinism:** when no two elements have equal keys (a strict total
+/// order — e.g. a compound key ending in a unique index), the result is
+/// byte-identical to `slice::sort_unstable_by_key` for *every* worker
+/// count. With duplicate keys the order within a run of equals is as
+/// unspecified as `sort_unstable` itself — callers that need worker-count
+/// independence must provide deduplicating keys.
+pub fn sort_unstable_by_key<T, K, F>(items: &mut Vec<T>, key: F)
+where
+    T: Copy + Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    // A chunk must amortize its thread spawn; tiny sorts run inline.
+    const MIN_ITEMS: usize = 4096;
+    let n = items.len();
+    let w = workers().min(n / (MIN_ITEMS / 4));
+    if w < 2 || n < MIN_ITEMS {
+        items.sort_unstable_by_key(|t| key(t));
+        return;
+    }
+    let chunk = n.div_ceil(w);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [T] = items.as_mut_slice();
+        let mut handles = Vec::new();
+        while rest.len() > chunk {
+            let (head, tail) = rest.split_at_mut(chunk);
+            rest = tail;
+            let key = &key;
+            handles.push(scope.spawn(move || head.sort_unstable_by_key(|t| key(t))));
+        }
+        // The coordinator sorts the final chunk instead of idling.
+        rest.sort_unstable_by_key(|t| key(t));
+        for h in handles {
+            h.join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        }
+    });
+    // Sequential k-way merge (k = worker count, so a linear scan over the
+    // chunk heads beats a heap). `T: Copy` keeps the element moves trivial.
+    let mut cursors: Vec<(usize, usize)> = (0..w)
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(n)))
+        .collect();
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    loop {
+        let mut best: Option<usize> = None;
+        for (c, &(lo, hi)) in cursors.iter().enumerate() {
+            if lo < hi && best.is_none_or(|b| key(&items[lo]) < key(&items[cursors[b].0])) {
+                best = Some(c);
+            }
+        }
+        let Some(b) = best else { break };
+        out.push(items[cursors[b].0]);
+        cursors[b].0 += 1;
+    }
+    *items = out;
 }
 
 /// A panic captured from one item of [`map_ordered_caught`]: the original

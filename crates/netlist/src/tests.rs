@@ -804,6 +804,45 @@ proptest! {
             }
         }
     }
+
+    /// The 256-bit leaf signatures refine the original 64-bit scheme
+    /// (bit `hash & 255` instead of `hash & 63`): OR-folding the four
+    /// lanes of a [`Sig256`] onto 64 bits must reproduce the 64-bit
+    /// reference signature exactly, and every subset decision the wide
+    /// prefilter accepts must also be accepted by the narrow reference —
+    /// the widening only ever *rejects more*, never differently.
+    #[test]
+    fn prop_sig256_refines_the_64_bit_reference(
+        leaves_a in proptest::collection::vec((0u32..400, 0u8..3), 1..8),
+        leaves_b in proptest::collection::vec((0u32..400, 0u8..3), 1..8),
+    ) {
+        use crate::cuts::leaf_hash;
+        use crate::network::CellId;
+        use sfq_tt::Sig256;
+
+        let signal = |(cell, port): (u32, u8)| Signal { cell: CellId(cell), port };
+        let sig256 = |ls: &[(u32, u8)]| {
+            ls.iter().fold(Sig256::EMPTY, |s, &l| s | Sig256::bit(leaf_hash(signal(l))))
+        };
+        let sig64 = |ls: &[(u32, u8)]| {
+            ls.iter().fold(0u64, |s, &l| s | (1u64 << (leaf_hash(signal(l)) & 63)))
+        };
+        let fold = |s: Sig256| s.lanes().iter().fold(0u64, |acc, &lane| acc | lane);
+
+        let (a256, b256) = (sig256(&leaves_a), sig256(&leaves_b));
+        let (a64, b64) = (sig64(&leaves_a), sig64(&leaves_b));
+        prop_assert_eq!(fold(a256), a64, "lane fold must reproduce the 64-bit signature");
+        prop_assert_eq!(fold(b256), b64);
+
+        // Decision pinning: wide-accept ⇒ narrow-accept.
+        if a256.is_subset_of(b256) {
+            prop_assert_eq!(a64 & !b64, 0, "256-bit subset accepted what 64-bit rejects");
+        }
+        // Soundness: a genuine leaf-set inclusion is always accepted.
+        if leaves_a.iter().all(|l| leaves_b.contains(l)) {
+            prop_assert!(sig256(&leaves_a).is_subset_of(b256));
+        }
+    }
 }
 
 /// The parallel enumeration driver must agree with the sequential
@@ -868,7 +907,28 @@ fn parallel_enumeration_matches_sequential() {
         for id in net.cell_ids() {
             assert_eq!(par.of(id), seq.of(id), "cut set of c{} ({bits} bits)", id.0);
         }
+        // Drive the frontier scheduler directly so it is exercised even
+        // below the dispatcher's network-size threshold, at several worker
+        // counts (including more workers than the ready frontier can feed).
+        #[cfg(feature = "parallel")]
+        for workers in [2usize, 4, 8] {
+            let frontier = crate::cuts::enumerate_cuts_frontier(&net, &config, workers);
+            assert_eq!(
+                frontier.total(),
+                seq.total(),
+                "frontier total cut count ({bits} bits, {workers} workers)"
+            );
+            for id in net.cell_ids() {
+                assert_eq!(
+                    frontier.of(id),
+                    seq.of(id),
+                    "frontier cut set of c{} ({bits} bits, {workers} workers)",
+                    id.0
+                );
+            }
+        }
     }
+    crate::par::force_workers(0);
 }
 
 // ---------------------------------------------- supervision primitives ----
@@ -960,6 +1020,31 @@ fn map_ordered_streamed_emits_every_item_in_input_order() {
 }
 
 #[test]
+fn par_sort_matches_sequential_for_every_worker_count() {
+    // A strict total order (unique trailing index), so the chunked sort +
+    // k-way merge must be byte-identical to the sequential sort for any
+    // worker count — including more workers than cores.
+    let mut expect: Vec<(u64, u32)> = (0..20_000u32)
+        .map(|i| (u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 7, i))
+        .collect();
+    let mut sorted = expect.clone();
+    sorted.sort_unstable_by_key(|&e| e);
+    for workers in [1usize, 2, 4, 8] {
+        crate::par::force_workers(workers);
+        let mut items = expect.clone();
+        crate::par::sort_unstable_by_key(&mut items, |&e| e);
+        crate::par::force_workers(0);
+        assert_eq!(items, sorted, "{workers} workers");
+    }
+    // Below the spawn threshold the call is exactly the sequential sort.
+    expect.truncate(100);
+    let mut small = expect.clone();
+    crate::par::sort_unstable_by_key(&mut small, |&e| e);
+    expect.sort_unstable_by_key(|&e| e);
+    assert_eq!(small, expect);
+}
+
+#[test]
 fn parse_workers_rejects_invalid_counts_with_a_reason() {
     assert_eq!(crate::par::parse_workers("4"), Ok(4));
     assert_eq!(
@@ -967,7 +1052,16 @@ fn parse_workers_rejects_invalid_counts_with_a_reason() {
         Ok(2),
         "whitespace trimmed"
     );
-    assert_eq!(crate::par::parse_workers("20"), Ok(8), "capped at 8");
+    assert_eq!(
+        crate::par::parse_workers("20"),
+        Ok(20),
+        "oversubscription allowed up to MAX_WORKERS"
+    );
+    assert_eq!(
+        crate::par::parse_workers("10000"),
+        Ok(crate::par::MAX_WORKERS),
+        "capped at MAX_WORKERS"
+    );
     let err = crate::par::parse_workers("0").expect_err("0 workers is invalid");
     assert!(err.contains("at least 1"), "{err}");
     let err = crate::par::parse_workers("all").expect_err("non-numeric rejected");

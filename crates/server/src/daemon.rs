@@ -54,6 +54,10 @@ pub struct ServerConfig {
     pub idle_timeout: Option<Duration>,
     /// Capacity of the shared design cache (entries).
     pub cache_capacity: usize,
+    /// Force the flow fan-outs' worker-thread count for the daemon's
+    /// lifetime (`sfqt1d --workers N`). `None` keeps the default policy:
+    /// `SFQ_WORKERS` if set, else the host's available parallelism.
+    pub workers: Option<usize>,
     /// Install `SIGTERM`/`SIGINT` handlers that trigger graceful shutdown.
     /// Off for in-process tests, on for the `sfqt1d` binary.
     pub handle_signals: bool,
@@ -68,6 +72,7 @@ impl ServerConfig {
             conn_threads: 4,
             idle_timeout: None,
             cache_capacity: 256,
+            workers: None,
             handle_signals: true,
         }
     }
@@ -160,6 +165,9 @@ fn bind(socket: &PathBuf) -> Result<UnixListener, ServerError> {
 pub fn serve(config: &ServerConfig) -> Result<(), ServerError> {
     if config.handle_signals {
         install_signal_handlers();
+    }
+    if let Some(w) = config.workers {
+        sfq_netlist::par::force_workers(w);
     }
     let listener = bind(&config.socket)?;
     listener

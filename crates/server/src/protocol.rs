@@ -35,6 +35,7 @@
 //! BYE
 //! STATS ok=.. failed=.. panicked=.. timed_out=.. cache_hits=.. cache_misses=..
 //!       cache_collisions=.. cache_evictions=.. cache_len=.. cache_capacity=..
+//!       workers=..
 //! ROW <index> <table row>
 //! END ok=<n> failed=<n>
 //! ERR <message>
@@ -419,6 +420,11 @@ pub struct StatsReply {
     pub timed_out: u64,
     /// Shared design-cache counters.
     pub cache: CacheStats,
+    /// Effective worker-thread count of the daemon's flow fan-outs
+    /// (`sfq_netlist::par::workers()` as the serving process resolves it —
+    /// `sfqt1d --workers` / `SFQ_WORKERS` override, else the host's
+    /// available parallelism).
+    pub workers: u64,
 }
 
 impl fmt::Display for StatsReply {
@@ -426,7 +432,7 @@ impl fmt::Display for StatsReply {
         write!(
             f,
             "STATS ok={} failed={} panicked={} timed_out={} cache_hits={} cache_misses={} \
-             cache_collisions={} cache_evictions={} cache_len={} cache_capacity={}",
+             cache_collisions={} cache_evictions={} cache_len={} cache_capacity={} workers={}",
             self.ok,
             self.failed,
             self.panicked,
@@ -437,6 +443,7 @@ impl fmt::Display for StatsReply {
             self.cache.evictions,
             self.cache.len,
             self.cache.capacity,
+            self.workers,
         )
     }
 }
@@ -527,6 +534,7 @@ pub fn parse_reply(line: &str) -> Result<Reply, ProtocolError> {
                     "cache_evictions" => stats.cache.evictions = vu,
                     "cache_len" => stats.cache.len = vu,
                     "cache_capacity" => stats.cache.capacity = vu,
+                    "workers" => stats.workers = v,
                     other => return Err(malformed(format!("unknown STATS key `{other}`"))),
                 }
             }
@@ -632,6 +640,7 @@ mod tests {
                 len: 7,
                 capacity: 256,
             },
+            workers: 8,
         };
         match parse_reply(&stats.to_string()).unwrap() {
             Reply::Stats(parsed) => assert_eq!(*parsed, stats),

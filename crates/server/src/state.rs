@@ -100,6 +100,9 @@ impl ServerState {
             panicked: self.panicked.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             cache: self.cache.lock().expect("design cache lock").stats(),
+            // Resolved at reply time, so a `STATS` probe always reports what
+            // the *next* flow request would actually use.
+            workers: sfq_netlist::par::workers() as u64,
         }
     }
 

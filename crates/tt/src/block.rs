@@ -1,0 +1,138 @@
+//! 256-bit signature blocks: the wide generalization of the one-word
+//! Bloom-style tricks used across the mapping flow.
+//!
+//! Cut enumeration, T1 detection and the mapper all lean on the same idea:
+//! hash every element of a small set to one bit of a fixed-width word, so
+//! that set union is bitwise OR, a popcount lower-bounds the union's size,
+//! and `a & !b == 0` is a necessary condition for `a ⊆ b`. With a 64-bit
+//! word two distinct elements collide with probability 1/64 per pair, and
+//! every collision weakens a prefilter (a too-small popcount lets a doomed
+//! merge through to the exact check). [`Sig256`] widens the word to 256
+//! bits — four `u64` lanes, all operations straight-line lane-wise code the
+//! compiler autovectorizes to two 128-bit (or one 256-bit) vector ops — so
+//! each probe processes four words at once and pairwise collisions drop to
+//! 1/256.
+//!
+//! The 256-bit bit index of an element must **refine** its 64-bit index
+//! (`index₂₅₆ ≡ index₆₄ (mod 64)`, which any `hash & 255` vs `hash & 63`
+//! derivation satisfies). Then every 256-bit collision is also a 64-bit
+//! collision, so `popcount₂₅₆ ≥ popcount₆₄` holds *per instance*, never
+//! just in expectation: the wide prefilter rejects a superset of what the
+//! narrow one rejects while staying sound (both popcounts lower-bound the
+//! true union size). The cut-enumeration proptests pin exactly this
+//! relation against the retired 64-bit reference.
+
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+/// A 256-bit signature: four `u64` lanes treated as one wide bit set.
+///
+/// Supports exactly the operations the signature prefilters need — single
+/// bit injection ([`Sig256::bit`]), union (`|`), intersection (`&`),
+/// complement (`!`), [`count_ones`](Sig256::count_ones) and the subset
+/// test [`is_subset_of`](Sig256::is_subset_of) — each compiled as four
+/// independent lane operations with no branches, so the optimizer can keep
+/// the whole signature in vector registers.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Sig256([u64; 4]);
+
+impl Sig256 {
+    /// The empty signature (no bits set).
+    pub const EMPTY: Sig256 = Sig256([0; 4]);
+
+    /// A signature with exactly bit `index` (0..256) set.
+    ///
+    /// Callers derive `index` from a hash; only the low 8 bits are used, so
+    /// any `u64` hash value is a valid argument.
+    #[inline]
+    pub fn bit(index: u64) -> Sig256 {
+        let i = (index & 255) as usize;
+        let mut lanes = [0u64; 4];
+        lanes[i >> 6] = 1u64 << (i & 63);
+        Sig256(lanes)
+    }
+
+    /// Number of set bits across all four lanes.
+    #[inline]
+    pub fn count_ones(self) -> u32 {
+        self.0[0].count_ones()
+            + self.0[1].count_ones()
+            + self.0[2].count_ones()
+            + self.0[3].count_ones()
+    }
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        (self.0[0] | self.0[1] | self.0[2] | self.0[3]) == 0
+    }
+
+    /// Bit-set subset test: every bit of `self` is also set in `other`
+    /// (`self & !other == 0`, evaluated without materializing the
+    /// complement). The necessary-condition half of the dominance
+    /// prefilter: `A ⊆ B` on leaf sets implies `sig(A) ⊆ sig(B)`.
+    #[inline]
+    pub fn is_subset_of(self, other: Sig256) -> bool {
+        (self.0[0] & !other.0[0])
+            | (self.0[1] & !other.0[1])
+            | (self.0[2] & !other.0[2])
+            | (self.0[3] & !other.0[3])
+            == 0
+    }
+
+    /// The four raw lanes (lane `k` holds bits `64k..64k+64`).
+    #[inline]
+    pub fn lanes(self) -> [u64; 4] {
+        self.0
+    }
+}
+
+impl BitOr for Sig256 {
+    type Output = Sig256;
+    #[inline]
+    fn bitor(self, rhs: Sig256) -> Sig256 {
+        Sig256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitOrAssign for Sig256 {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Sig256) {
+        *self = *self | rhs;
+    }
+}
+
+impl BitAnd for Sig256 {
+    type Output = Sig256;
+    #[inline]
+    fn bitand(self, rhs: Sig256) -> Sig256 {
+        Sig256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl Not for Sig256 {
+    type Output = Sig256;
+    #[inline]
+    fn not(self) -> Sig256 {
+        Sig256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl std::fmt::Debug for Sig256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sig256({:016x}_{:016x}_{:016x}_{:016x})",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}

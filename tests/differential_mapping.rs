@@ -356,6 +356,51 @@ fn differential_multi_restart_determinism() {
     }
 }
 
+/// The `restarts = workers()` default must never produce a worse Table I
+/// cost than `restarts = 1`: restart 0 is the unperturbed plain descent and
+/// the merge keeps the smallest `(cost, index)`, so extra restarts can only
+/// improve. Swept across forced worker counts (which *are* the default
+/// restart counts) so the guarantee holds however many cores the host has.
+#[test]
+fn default_restarts_never_worse_than_single() {
+    use sfq_core::{run_flow, FlowConfig};
+    let _guard = worker_override_lock();
+    for b in [Benchmark::Adder, Benchmark::Square, Benchmark::Multiplier] {
+        let name = b.name();
+        let aig = b.build_small();
+        for workers in [1usize, 4, 8] {
+            sfq_netlist::par::force_workers(workers);
+            let default_cfg = FlowConfig::t1(4); // restarts = workers()
+            assert_eq!(
+                default_cfg.restarts,
+                sfq_netlist::par::workers(),
+                "{name}: the default restart count is the worker count"
+            );
+            let single_cfg = FlowConfig {
+                restarts: 1,
+                ..FlowConfig::t1(4)
+            };
+            let multi = run_flow(&aig, &default_cfg).expect("default flow");
+            let single = run_flow(&aig, &single_cfg).expect("restarts=1 flow");
+            sfq_netlist::par::force_workers(0);
+            assert!(
+                multi.report.num_dffs <= single.report.num_dffs,
+                "{name}: default restarts worsened DFFs at {workers} workers \
+                 ({} > {})",
+                multi.report.num_dffs,
+                single.report.num_dffs
+            );
+            assert!(
+                multi.report.area <= single.report.area,
+                "{name}: default restarts worsened area at {workers} workers \
+                 ({} > {})",
+                multi.report.area,
+                single.report.area
+            );
+        }
+    }
+}
+
 /// Degenerate corner: an AIG whose outputs include constants and repeated
 /// literals exercises the mapper's constant materialization and shared-INV
 /// paths in both implementations.
