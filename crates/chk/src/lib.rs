@@ -1,0 +1,295 @@
+//! `chk` — an offline, zero-dependency, loom-style model checker for the
+//! workspace's synchronization protocols.
+//!
+//! [`Model::check`] runs a closure over and over, each time forcing a
+//! different thread interleaving, until every schedule within the
+//! configured preemption bound has been explored. The closure builds its
+//! threads and shared state from the shims in [`sync`] and [`thread`];
+//! each shim access is a scheduling decision point. Detected violations:
+//!
+//! - **deadlock / lost wakeup** — no thread runnable, some unfinished
+//!   (includes waiters parked on a condvar nobody will notify again);
+//! - **panics** — failed assertions, double publication (an
+//!   `OnceLock::set(..).is_ok()` assert), poisoned locks;
+//! - **livelock** — an execution exceeding the visible-op budget;
+//! - **nondeterminism** — a replayed schedule diverging, i.e. model code
+//!   that is not a pure function of the schedule.
+//!
+//! # Small-model limits
+//!
+//! The scheduler serializes every shim access, so only sequentially
+//! consistent interleavings are explored (`Ordering` arguments are
+//! ignored); `notify_one` deterministically wakes the lowest-id waiter;
+//! spurious wakeups are not generated. Exhaustiveness is relative to the
+//! preemption bound: a reported pass means *no violation reachable with at
+//! most N preemptions*, which empirically finds the overwhelming majority
+//! of real schedule bugs at N = 2 (see ARCHITECTURE.md, "Concurrency
+//! correctness").
+//!
+//! # Writing a model
+//!
+//! ```
+//! use chk::sync::{AtomicUsize, Mutex};
+//! use std::sync::atomic::Ordering;
+//!
+//! let report = chk::Model::new().check(|| {
+//!     let hits = AtomicUsize::new(0);
+//!     let total = Mutex::new(0usize);
+//!     std::thread::scope(|scope| {
+//!         let h: Vec<_> = (0..2)
+//!             .map(|_| {
+//!                 chk::thread::spawn_scoped(scope, || {
+//!                     hits.fetch_add(1, Ordering::Relaxed);
+//!                     *total.lock().expect("unpoisoned") += 1;
+//!                 })
+//!             })
+//!             .collect();
+//!         for handle in h {
+//!             handle.join().expect("no worker panic");
+//!         }
+//!     });
+//!     assert_eq!(hits.load(Ordering::Relaxed), 2);
+//!     assert_eq!(*total.lock().expect("unpoisoned"), 2);
+//! });
+//! report.assert_ok("two guarded increments");
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::Violation;
+
+use sched::{FrameRec, Sched};
+use std::sync::Arc;
+
+/// Result of exploring a model.
+#[derive(Debug)]
+pub struct Report {
+    /// How many distinct executions (schedules) ran.
+    pub executions: usize,
+    /// The first violation found, if any, with a replayed trace.
+    pub violation: Option<Violation>,
+    /// True when exploration stopped at `max_executions` before the
+    /// schedule space was exhausted — a pass with `truncated` set is *not*
+    /// an exhaustiveness claim.
+    pub truncated: bool,
+}
+
+impl Report {
+    /// True when exploration completed with no violation.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+
+    /// Panics with a rendered trace if the exploration found a violation
+    /// or was truncated. `what` names the protocol under test.
+    pub fn assert_ok(&self, what: &str) {
+        if let Some(v) = &self.violation {
+            let mut msg = format!(
+                "model `{what}` failed after {} execution(s): {v}",
+                self.executions
+            );
+            msg.push_str("schedule trace:\n");
+            for line in v.trace() {
+                msg.push_str("  ");
+                msg.push_str(line);
+                msg.push('\n');
+            }
+            panic!("{msg}");
+        }
+        assert!(
+            !self.truncated,
+            "model `{what}` hit the execution cap after {} executions without \
+             exhausting the schedule space — raise max_executions or shrink the model",
+            self.executions
+        );
+    }
+}
+
+/// One decision point on the explorer's DFS stack.
+struct PFrame {
+    candidates: Vec<usize>,
+    idx: usize,
+    driver: usize,
+    driver_enabled: bool,
+    preempt_before: usize,
+}
+
+/// A model-checking run: configure bounds, then [`check`](Model::check) a
+/// closure.
+#[derive(Debug, Clone)]
+pub struct Model {
+    preemption_bound: usize,
+    max_executions: usize,
+    max_steps: usize,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model::new()
+    }
+}
+
+impl Model {
+    /// Defaults: preemption bound 2, at most 1&nbsp;000&nbsp;000 executions
+    /// of at most 100&nbsp;000 visible operations each.
+    pub fn new() -> Self {
+        Model {
+            preemption_bound: 2,
+            max_executions: 1_000_000,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Sets the preemption bound: the maximum number of times a schedule
+    /// may switch away from a thread that could have kept running.
+    pub fn preemptions(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps the number of executions (schedules) explored.
+    pub fn max_executions(mut self, cap: usize) -> Self {
+        self.max_executions = cap;
+        self
+    }
+
+    /// Caps the visible operations of a single execution.
+    pub fn max_steps(mut self, cap: usize) -> Self {
+        self.max_steps = cap;
+        self
+    }
+
+    /// Explores every schedule of `f` within the preemption bound.
+    ///
+    /// `f` runs once per schedule and must be a pure function of the
+    /// schedule: build all threads and shared state inside the closure,
+    /// never consult time or OS randomness, and join every scoped handle
+    /// before its scope closes.
+    pub fn check(&self, f: impl Fn() + Sync) -> Report {
+        install_quiet_panic_hook();
+        let mut stack: Vec<PFrame> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            if executions >= self.max_executions {
+                return Report {
+                    executions,
+                    violation: None,
+                    truncated: true,
+                };
+            }
+            executions += 1;
+            let prescribed: Vec<usize> = stack.iter().map(|fr| fr.candidates[fr.idx]).collect();
+            let sched = Sched::new(prescribed.clone(), self.max_steps, false);
+            run_one(&sched, &f);
+            let (violation, new_frames) = sched.take_outcome();
+            if violation.is_some() {
+                return Report {
+                    executions,
+                    violation: Some(self.replay_for_trace(&f, prescribed, &new_frames, violation)),
+                    truncated: false,
+                };
+            }
+            for fr in new_frames {
+                stack.push(PFrame {
+                    candidates: fr.candidates,
+                    idx: 0,
+                    driver: fr.driver,
+                    driver_enabled: fr.driver_enabled,
+                    preempt_before: fr.preempt_before,
+                });
+            }
+            if !advance(&mut stack, self.preemption_bound) {
+                return Report {
+                    executions,
+                    violation: None,
+                    truncated: false,
+                };
+            }
+        }
+    }
+
+    /// Deterministically re-runs the violating schedule with tracing on,
+    /// so the report carries a readable operation sequence.
+    fn replay_for_trace(
+        &self,
+        f: &(impl Fn() + Sync),
+        prescribed: Vec<usize>,
+        new_frames: &[FrameRec],
+        original: Option<Violation>,
+    ) -> Violation {
+        let full: Vec<usize> = prescribed
+            .into_iter()
+            .chain(new_frames.iter().map(|fr| fr.candidates[0]))
+            .collect();
+        let sched = Sched::new(full, self.max_steps, true);
+        run_one(&sched, f);
+        let (violation, _) = sched.take_outcome();
+        violation
+            .or(original)
+            .expect("the replayed schedule reproduces the violation")
+    }
+}
+
+/// Checks `f` with the default [`Model`].
+pub fn check(f: impl Fn() + Sync) -> Report {
+    Model::new().check(f)
+}
+
+/// Runs one execution: the root closure becomes model thread 0 on a fresh
+/// OS thread (so a poisoned teardown can unwind it without touching the
+/// caller's stack).
+fn run_one(sched: &Arc<Sched>, f: &(impl Fn() + Sync)) {
+    std::thread::scope(|scope| {
+        let sched = Arc::clone(sched);
+        scope.spawn(move || {
+            sched::install_ctx(Arc::clone(&sched), 0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            sched::clear_ctx();
+            sched.root_finish(0, result.err().as_deref());
+        });
+    });
+}
+
+/// Advances the DFS odometer to the next unexplored schedule prefix within
+/// the preemption bound. Returns false once the space is exhausted.
+fn advance(stack: &mut Vec<PFrame>, bound: usize) -> bool {
+    loop {
+        let Some(frame) = stack.last_mut() else {
+            return false;
+        };
+        loop {
+            frame.idx += 1;
+            if frame.idx >= frame.candidates.len() {
+                break;
+            }
+            let c = frame.candidates[frame.idx];
+            let cost = usize::from(frame.driver_enabled && c != frame.driver);
+            if frame.preempt_before + cost <= bound {
+                return true;
+            }
+        }
+        stack.pop();
+    }
+}
+
+/// Suppresses the default panic printout for panics raised inside model
+/// executions — explored violations and deliberate test panics would
+/// otherwise flood the test output. Installed once, chains to the previous
+/// hook for every non-model panic.
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if sched::ctx().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,661 @@
+//! The deterministic scheduler behind [`Model::check`](crate::Model::check).
+//!
+//! # How an execution runs
+//!
+//! Model code runs on real OS threads, but at most one of them makes
+//! progress at any instant: every shim operation (lock, unlock, atomic
+//! access, notify, wait, join, spawn) is a *visible operation* that parks
+//! the calling thread, lets the scheduler pick who runs next, and only
+//! proceeds once the baton comes back. Between two visible operations a
+//! thread runs arbitrary straight-line code — which is exactly the
+//! granularity at which distinct interleavings can differ, because shared
+//! state is only ever touched through the shims.
+//!
+//! The scheduler is therefore a single mutex/condvar pair (`state`/`cv`)
+//! handing a baton around: `ExecState::current` names the one runnable
+//! thread, everyone else sleeps in [`Sched::park`].
+//!
+//! # How exploration works
+//!
+//! Each decision point records which threads were enabled. The explorer in
+//! `lib.rs` replays a prescribed prefix of choices and then follows a
+//! deterministic default policy (keep running the current thread while it
+//! is enabled, else the lowest-id enabled thread — the default never costs
+//! a preemption). Alternative choices are explored depth-first by
+//! extending the prescribed prefix, skipping branches that would exceed
+//! the preemption bound. Identical prefixes replay identically because
+//! model code is required to be a pure function of the schedule.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear an execution down after a violation: every
+/// parked thread is woken, raises `ChkAbort` out of its current shim
+/// operation, and unwinds off its stack. The root harness swallows it.
+pub(crate) struct ChkAbort;
+
+/// Monotonic execution generation. Shim objects cache their per-execution
+/// model id tagged with this, so a `static` shim object that survives
+/// across executions (or across two different models) re-registers instead
+/// of aliasing a stale id.
+static EXEC_GEN: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_gen() -> u64 {
+    EXEC_GEN.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler handle + thread id of the calling thread, when it is part
+/// of a model execution. Shim operations fall back to plain std behaviour
+/// when this is `None` (so `chk`-feature builds still work outside
+/// [`Model::check`](crate::Model::check)).
+pub(crate) fn ctx() -> Option<(Arc<Sched>, usize)> {
+    CTX.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+pub(crate) fn install_ctx(sched: Arc<Sched>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// What a parked thread is about to do. The scheduler decides among
+/// *enabled* pending operations; the operation's model effect is applied
+/// by the owning thread once it is granted the baton.
+#[derive(Clone, Debug)]
+pub(crate) enum Pending {
+    /// First schedule of a freshly spawned thread.
+    Begin,
+    /// An always-enabled operation (atomic access, OnceLock access, spawn).
+    Free(&'static str),
+    /// Waiting to acquire model mutex `m`. Enabled iff `m` is free.
+    Lock(u32),
+    /// Releasing model mutex `m`. Always enabled.
+    Unlock(u32),
+    /// Phase one of a condvar wait: atomically release the mutex and become
+    /// a waiter. Always enabled (the caller holds the lock).
+    StartWait {
+        /// Condvar being waited on.
+        cv: u32,
+        /// Mutex released for the duration of the wait.
+        mutex: u32,
+    },
+    /// Parked on condvar `cv`. Never enabled — a notify converts it back
+    /// into `Lock(mutex)`.
+    AwaitNotify {
+        /// Condvar being waited on.
+        cv: u32,
+        /// Mutex to reacquire on wakeup.
+        mutex: u32,
+    },
+    /// Waking every waiter of condvar `cv`. Always enabled.
+    NotifyAll(u32),
+    /// Waking one waiter of `cv`. The model wakes the lowest-id waiter
+    /// rather than branching over the choice — see the README's
+    /// small-model-limits section.
+    NotifyOne(u32),
+    /// Joining thread `target`. Enabled iff the target has finished.
+    Join(usize),
+}
+
+impl Pending {
+    fn describe(&self) -> String {
+        match self {
+            Pending::Begin => "begin".to_string(),
+            Pending::Free(what) => (*what).to_string(),
+            Pending::Lock(m) => format!("lock m{m}"),
+            Pending::Unlock(m) => format!("unlock m{m}"),
+            Pending::StartWait { cv, mutex } => format!("wait cv{cv} (releasing m{mutex})"),
+            Pending::AwaitNotify { cv, mutex } => {
+                format!("parked on cv{cv} (will relock m{mutex})")
+            }
+            Pending::NotifyAll(cv) => format!("notify_all cv{cv}"),
+            Pending::NotifyOne(cv) => format!("notify_one cv{cv}"),
+            Pending::Join(t) => format!("join t{t}"),
+        }
+    }
+}
+
+struct ThreadSt {
+    pending: Option<Pending>,
+    done: bool,
+}
+
+/// One decision point recorded beyond the prescribed prefix, in the order
+/// the explorer needs to extend its DFS stack.
+pub(crate) struct FrameRec {
+    /// Choices that were enabled, default policy's pick first, the rest in
+    /// ascending thread id.
+    pub candidates: Vec<usize>,
+    /// The thread that drove this decision (the one whose visible op just
+    /// parked it).
+    pub driver: usize,
+    /// Whether the driver itself was enabled — picking anyone else then
+    /// costs a preemption.
+    pub driver_enabled: bool,
+    /// Preemptions consumed strictly before this decision.
+    pub preempt_before: usize,
+}
+
+/// Why an execution was declared wrong. Returned inside
+/// [`Report`](crate::Report); each variant carries the serialized
+/// operation trace of a deterministic replay of the offending schedule.
+#[derive(Debug)]
+pub enum Violation {
+    /// No thread was runnable but some had not finished: a deadlock or a
+    /// lost wakeup (threads parked on a condvar nobody will notify again).
+    Deadlock {
+        /// One line per unfinished thread and the operation it was stuck on.
+        blocked: Vec<String>,
+        /// Serialized operation trace of the offending schedule.
+        trace: Vec<String>,
+    },
+    /// Model code panicked (a failed assertion, a double publication, a
+    /// poisoned lock...).
+    Panic {
+        /// Rendered panic payload.
+        message: String,
+        /// Serialized operation trace of the offending schedule.
+        trace: Vec<String>,
+    },
+    /// One execution exceeded `max_steps` visible operations — almost
+    /// always a livelock in the model.
+    StepLimit {
+        /// The configured per-execution step budget that was exhausted.
+        steps: usize,
+        /// Serialized operation trace of the offending schedule.
+        trace: Vec<String>,
+    },
+    /// A replayed prefix diverged: the model's behaviour is not a pure
+    /// function of the schedule (it consulted time, OS randomness, or
+    /// state leaked across executions).
+    NondeterministicReplay {
+        /// Index of the decision whose prescribed choice was not enabled.
+        decision: usize,
+        /// Serialized operation trace up to the divergence.
+        trace: Vec<String>,
+    },
+}
+
+impl Violation {
+    /// The serialized operation trace of the offending schedule.
+    pub fn trace(&self) -> &[String] {
+        match self {
+            Violation::Deadlock { trace, .. }
+            | Violation::Panic { trace, .. }
+            | Violation::StepLimit { trace, .. }
+            | Violation::NondeterministicReplay { trace, .. } => trace,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Deadlock { blocked, .. } => {
+                writeln!(f, "deadlock / lost wakeup; unfinished threads:")?;
+                for b in blocked {
+                    writeln!(f, "  {b}")?;
+                }
+                Ok(())
+            }
+            Violation::Panic { message, .. } => writeln!(f, "model panic: {message}"),
+            Violation::StepLimit { steps, .. } => {
+                writeln!(
+                    f,
+                    "execution exceeded {steps} visible operations (livelock?)"
+                )
+            }
+            Violation::NondeterministicReplay { decision, .. } => writeln!(
+                f,
+                "replay diverged at decision {decision}: model is not deterministic"
+            ),
+        }
+    }
+}
+
+struct ExecState {
+    threads: Vec<ThreadSt>,
+    /// Held-flags of every registered model object, indexed by model id.
+    /// (Only mutexes consult their flag; condvars just occupy an id.)
+    objects: Vec<bool>,
+    current: usize,
+    /// Threads not yet finished.
+    live: usize,
+    prescribed: Vec<usize>,
+    decisions_done: usize,
+    new_frames: Vec<FrameRec>,
+    preemptions: usize,
+    steps: usize,
+    poisoned: bool,
+    done: bool,
+    violation: Option<Violation>,
+    trace: Vec<String>,
+}
+
+/// One execution's scheduler: the baton, the decision log, and the model
+/// state of every registered object.
+pub(crate) struct Sched {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    gen: u64,
+    max_steps: usize,
+    trace_on: bool,
+}
+
+impl Sched {
+    pub(crate) fn new(prescribed: Vec<usize>, max_steps: usize, trace_on: bool) -> Arc<Sched> {
+        Arc::new(Sched {
+            state: Mutex::new(ExecState {
+                // Thread 0 is the root closure; it starts as the running
+                // thread, so it carries no `Begin` op.
+                threads: vec![ThreadSt {
+                    pending: None,
+                    done: false,
+                }],
+                objects: Vec::new(),
+                current: 0,
+                live: 1,
+                prescribed,
+                decisions_done: 0,
+                new_frames: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                poisoned: false,
+                done: false,
+                violation: None,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            gen: next_gen(),
+            max_steps,
+            trace_on,
+        })
+    }
+
+    pub(crate) fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a model object and returns its id. Only ever called by
+    /// the currently scheduled thread, so registration order — and with it
+    /// every id — is a deterministic function of the schedule.
+    pub(crate) fn alloc_object(&self) -> u32 {
+        let mut st = self.lock_state();
+        let id = st.objects.len() as u32;
+        st.objects.push(false);
+        id
+    }
+
+    /// Allocates a thread slot parked on `Begin`. Called from the parent
+    /// thread right after its `spawn` decision point, so ids are
+    /// deterministic too.
+    pub(crate) fn alloc_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        st.threads.push(ThreadSt {
+            pending: Some(Pending::Begin),
+            done: false,
+        });
+        st.live += 1;
+        tid
+    }
+
+    /// One visible operation: registers `pending`, lets the scheduler pick
+    /// the next thread, parks until this thread is granted the baton, then
+    /// applies the operation's model effect and returns.
+    pub(crate) fn op(&self, tid: usize, pending: Pending) {
+        let mut st = self.lock_state();
+        if st.poisoned {
+            drop(st);
+            abort_current_thread();
+            return;
+        }
+        st.threads[tid].pending = Some(pending);
+        self.schedule_next(&mut st, tid);
+        let Some(mut st) = self.park(st, tid) else {
+            return;
+        };
+        let p = st.threads[tid]
+            .pending
+            .take()
+            .expect("a granted thread still carries its pending op");
+        if self.trace_on {
+            let line = format!("t{tid}: {}", p.describe());
+            st.trace.push(line);
+        }
+        Self::apply_effect(&mut st, &p);
+    }
+
+    /// The condvar-wait compound operation: one decision to atomically
+    /// release the mutex and become a waiter, then a park that only a
+    /// notify (converting the pending op back into a lock acquisition) can
+    /// end.
+    pub(crate) fn op_wait(&self, tid: usize, cv: u32, mutex: u32) {
+        let mut st = self.lock_state();
+        if st.poisoned {
+            drop(st);
+            abort_current_thread();
+            return;
+        }
+        st.threads[tid].pending = Some(Pending::StartWait { cv, mutex });
+        self.schedule_next(&mut st, tid);
+        let Some(mut st) = self.park(st, tid) else {
+            return;
+        };
+        if self.trace_on {
+            let line = format!("t{tid}: wait cv{cv} (releases m{mutex})");
+            st.trace.push(line);
+        }
+        // Granted: release the mutex and become a waiter in one atomic
+        // step, then hand the baton straight on — this thread is not
+        // runnable again until a notify arrives.
+        st.objects[mutex as usize] = false;
+        st.threads[tid].pending = Some(Pending::AwaitNotify { cv, mutex });
+        self.schedule_next(&mut st, tid);
+        let Some(mut st) = self.park(st, tid) else {
+            return;
+        };
+        let p = st.threads[tid]
+            .pending
+            .take()
+            .expect("a granted thread still carries its pending op");
+        debug_assert!(
+            matches!(p, Pending::Lock(m) if m == mutex),
+            "a woken waiter reacquires the mutex it released"
+        );
+        if self.trace_on {
+            let line = format!("t{tid}: woke from cv{cv}, relock m{mutex}");
+            st.trace.push(line);
+        }
+        st.objects[mutex as usize] = true;
+    }
+
+    /// First schedule of a spawned thread; its `Begin` op was registered by
+    /// the parent at allocation, so this just parks until chosen.
+    pub(crate) fn thread_begin(&self, tid: usize) {
+        let st = self.lock_state();
+        let Some(mut st) = self.park(st, tid) else {
+            return;
+        };
+        let p = st.threads[tid].pending.take();
+        debug_assert!(matches!(p, Some(Pending::Begin)));
+        if self.trace_on {
+            let line = format!("t{tid}: begin");
+            st.trace.push(line);
+        }
+    }
+
+    /// Marks `tid` finished and hands the baton on. Runs from a drop guard,
+    /// so it also fires while the thread unwinds from a real panic.
+    pub(crate) fn thread_finish(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.threads[tid].pending = None;
+        st.threads[tid].done = true;
+        st.live -= 1;
+        if st.poisoned {
+            return;
+        }
+        if self.trace_on {
+            let line = format!("t{tid}: finish");
+            st.trace.push(line);
+        }
+        self.schedule_next(&mut st, tid);
+    }
+
+    /// Finish of the root closure. A non-`ChkAbort` panic payload here is a
+    /// violation: an assertion in the model failed, or a child's panic was
+    /// propagated out of a scope.
+    pub(crate) fn root_finish(&self, tid: usize, panic: Option<&(dyn Any + Send)>) {
+        let mut st = self.lock_state();
+        st.threads[tid].pending = None;
+        st.threads[tid].done = true;
+        st.live -= 1;
+        if st.poisoned {
+            return;
+        }
+        if let Some(payload) = panic {
+            if payload.downcast_ref::<ChkAbort>().is_none() {
+                let message = panic_message(payload);
+                let trace = std::mem::take(&mut st.trace);
+                self.poison(&mut st, Violation::Panic { message, trace });
+            }
+            return;
+        }
+        debug_assert!(st.live == 0, "the root outlives every spawned thread");
+        self.schedule_next(&mut st, tid);
+    }
+
+    fn apply_effect(st: &mut ExecState, p: &Pending) {
+        match *p {
+            Pending::Begin | Pending::Free(_) | Pending::Join(_) => {}
+            Pending::Lock(m) => st.objects[m as usize] = true,
+            Pending::Unlock(m) => st.objects[m as usize] = false,
+            Pending::NotifyAll(cv) => {
+                for t in &mut st.threads {
+                    if let Some(Pending::AwaitNotify { cv: c, mutex }) = t.pending {
+                        if c == cv {
+                            t.pending = Some(Pending::Lock(mutex));
+                        }
+                    }
+                }
+            }
+            Pending::NotifyOne(cv) => {
+                for t in &mut st.threads {
+                    if let Some(Pending::AwaitNotify { cv: c, mutex }) = t.pending {
+                        if c == cv {
+                            t.pending = Some(Pending::Lock(mutex));
+                            break;
+                        }
+                    }
+                }
+            }
+            Pending::StartWait { .. } | Pending::AwaitNotify { .. } => {
+                unreachable!("wait phases are handled inside op_wait")
+            }
+        }
+    }
+
+    /// One scheduling decision, driven by the thread that just parked
+    /// itself (or finished). Replays the prescribed prefix, then follows
+    /// the default policy and records the alternatives for the explorer.
+    fn schedule_next(&self, st: &mut ExecState, driver: usize) {
+        if st.done || st.poisoned {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            let trace = std::mem::take(&mut st.trace);
+            self.poison(
+                st,
+                Violation::StepLimit {
+                    steps: self.max_steps,
+                    trace,
+                },
+            );
+            return;
+        }
+        let mut enabled: Vec<usize> = Vec::new();
+        for i in 0..st.threads.len() {
+            let Some(p) = &st.threads[i].pending else {
+                continue;
+            };
+            let runnable = match *p {
+                Pending::Lock(m) => !st.objects[m as usize],
+                Pending::AwaitNotify { .. } => false,
+                Pending::Join(t) => st.threads[t].done,
+                _ => true,
+            };
+            if runnable {
+                enabled.push(i);
+            }
+        }
+        if enabled.is_empty() {
+            if st.live == 0 {
+                st.done = true;
+                self.cv.notify_all();
+                return;
+            }
+            let blocked = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.done)
+                .map(|(i, t)| {
+                    let what = t
+                        .pending
+                        .as_ref()
+                        .map_or_else(|| "running".to_string(), Pending::describe);
+                    format!("t{i}: {what}")
+                })
+                .collect();
+            let trace = std::mem::take(&mut st.trace);
+            self.poison(st, Violation::Deadlock { blocked, trace });
+            return;
+        }
+        let driver_enabled = enabled.contains(&driver);
+        let choice = if st.decisions_done < st.prescribed.len() {
+            let c = st.prescribed[st.decisions_done];
+            if !enabled.contains(&c) {
+                let trace = std::mem::take(&mut st.trace);
+                self.poison(
+                    st,
+                    Violation::NondeterministicReplay {
+                        decision: st.decisions_done,
+                        trace,
+                    },
+                );
+                return;
+            }
+            c
+        } else {
+            // Default policy: keep the driver running while it is enabled
+            // (never a preemption), else the lowest-id enabled thread (a
+            // free, non-preemptive context switch).
+            let c = if driver_enabled { driver } else { enabled[0] };
+            let mut candidates = Vec::with_capacity(enabled.len());
+            candidates.push(c);
+            candidates.extend(enabled.iter().copied().filter(|&e| e != c));
+            st.new_frames.push(FrameRec {
+                candidates,
+                driver,
+                driver_enabled,
+                preempt_before: st.preemptions,
+            });
+            c
+        };
+        if driver_enabled && choice != driver {
+            st.preemptions += 1;
+        }
+        st.decisions_done += 1;
+        st.current = choice;
+        if choice != driver {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Sleeps until this thread is granted the baton. Returns `None` only
+    /// during poisoned teardown of an already-panicking thread (the caller
+    /// then skips its model effect and lets the unwind continue).
+    fn park<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> Option<MutexGuard<'a, ExecState>> {
+        loop {
+            if st.poisoned {
+                drop(st);
+                abort_current_thread();
+                return None;
+            }
+            if st.current == tid {
+                return Some(st);
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn poison(&self, st: &mut ExecState, v: Violation) {
+        st.poisoned = true;
+        if st.violation.is_none() {
+            st.violation = Some(v);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Extracts the execution's result once every model thread has exited.
+    pub(crate) fn take_outcome(&self) -> (Option<Violation>, Vec<FrameRec>) {
+        let mut st = self.lock_state();
+        assert!(
+            st.done || st.poisoned,
+            "an execution ends either complete or poisoned"
+        );
+        (st.violation.take(), std::mem::take(&mut st.new_frames))
+    }
+}
+
+/// Raises the teardown payload out of the calling thread, unless it is
+/// already unwinding (a drop-handler op during a panic must not
+/// double-panic — it just skips its model effect).
+fn abort_current_thread() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(ChkAbort);
+    }
+}
+
+/// Renders a panic payload the way the test harness would.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lazily allocated, generation-tagged model id of one shim object.
+#[derive(Debug)]
+pub(crate) struct ObjId {
+    /// `generation << 32 | id`; generation 0 means unassigned.
+    cell: AtomicU64,
+}
+
+impl Default for ObjId {
+    fn default() -> Self {
+        ObjId::new()
+    }
+}
+
+impl ObjId {
+    pub(crate) const fn new() -> Self {
+        ObjId {
+            cell: AtomicU64::new(0),
+        }
+    }
+
+    /// The object's id within the current execution, registering it on
+    /// first use. Only the scheduled thread calls this, so no races.
+    pub(crate) fn get(&self, sched: &Sched) -> u32 {
+        let packed = self.cell.load(Ordering::Relaxed);
+        let gen_tag = sched.gen() & 0xffff_ffff;
+        if packed >> 32 == gen_tag {
+            return packed as u32;
+        }
+        let id = sched.alloc_object();
+        self.cell
+            .store((gen_tag << 32) | u64::from(id), Ordering::Relaxed);
+        id
+    }
+}

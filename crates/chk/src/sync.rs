@@ -1,0 +1,371 @@
+//! Model-checked drop-ins for the `std::sync` primitives the workspace's
+//! protocols use.
+//!
+//! Every type here is backed by the *real* std primitive (the data really
+//! lives in a real `Mutex`, publications really go through a real
+//! `OnceLock`), with a model gate in front: inside
+//! [`Model::check`](crate::Model::check) each access is a visible
+//! scheduling operation, and blocking is simulated by the scheduler rather
+//! than the OS. Outside a model run every operation falls through to the
+//! plain std behaviour, so a `chk`-feature build remains fully functional.
+//!
+//! Memory-model caveat: the scheduler serializes every shim access, so the
+//! model only explores sequentially-consistent interleavings — `Ordering`
+//! arguments are accepted and ignored. Relaxed-memory bugs are out of
+//! scope (that is what the ThreadSanitizer CI leg is for).
+
+use crate::sched::{ctx, ObjId, Pending};
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError};
+
+/// One always-enabled visible operation, when inside a model run.
+fn visible(what: &'static str) {
+    if let Some((sched, tid)) = ctx() {
+        sched.op(tid, Pending::Free(what));
+    }
+}
+
+macro_rules! model_atomic_int {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value. Usable in `static`s.
+            pub const fn new(value: $prim) -> Self {
+                $name {
+                    inner: std::sync::atomic::$std::new(value),
+                }
+            }
+
+            /// Loads the value. The `Ordering` is accepted for signature
+            /// compatibility; the model is sequentially consistent.
+            pub fn load(&self, _order: Ordering) -> $prim {
+                visible(concat!(stringify!($name), " load"));
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, value: $prim, _order: Ordering) {
+                visible(concat!(stringify!($name), " store"));
+                self.inner.store(value, Ordering::SeqCst)
+            }
+
+            /// Adds to the value, returning the previous value.
+            pub fn fetch_add(&self, value: $prim, _order: Ordering) -> $prim {
+                visible(concat!(stringify!($name), " fetch_add"));
+                self.inner.fetch_add(value, Ordering::SeqCst)
+            }
+
+            /// Subtracts from the value, returning the previous value.
+            pub fn fetch_sub(&self, value: $prim, _order: Ordering) -> $prim {
+                visible(concat!(stringify!($name), " fetch_sub"));
+                self.inner.fetch_sub(value, Ordering::SeqCst)
+            }
+
+            /// Bitwise-ors into the value, returning the previous value.
+            pub fn fetch_or(&self, value: $prim, _order: Ordering) -> $prim {
+                visible(concat!(stringify!($name), " fetch_or"));
+                self.inner.fetch_or(value, Ordering::SeqCst)
+            }
+
+            /// Stores the maximum of the value and the operand, returning
+            /// the previous value.
+            pub fn fetch_max(&self, value: $prim, _order: Ordering) -> $prim {
+                visible(concat!(stringify!($name), " fetch_max"));
+                self.inner.fetch_max(value, Ordering::SeqCst)
+            }
+
+            /// Swaps in a new value, returning the previous value.
+            pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                visible(concat!(stringify!($name), " swap"));
+                self.inner.swap(value, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange; both orderings are ignored (SeqCst).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                visible(concat!(stringify!($name), " compare_exchange"));
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the value. Not a visible
+            /// operation: unique ownership means no interleaving matters.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+model_atomic_int!(
+    /// Model-checked `AtomicUsize`.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+model_atomic_int!(
+    /// Model-checked `AtomicU32`.
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+model_atomic_int!(
+    /// Model-checked `AtomicU64`.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+
+/// Model-checked `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates the atomic with an initial value. Usable in `static`s.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Loads the value (model is sequentially consistent; the `Ordering`
+    /// is ignored).
+    pub fn load(&self, _order: Ordering) -> bool {
+        visible("AtomicBool load");
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: bool, _order: Ordering) {
+        visible("AtomicBool store");
+        self.inner.store(value, Ordering::SeqCst)
+    }
+
+    /// Swaps in a new value, returning the previous value.
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        visible("AtomicBool swap");
+        self.inner.swap(value, Ordering::SeqCst)
+    }
+}
+
+/// Model-checked mutual exclusion: the data lives in a real `std` mutex,
+/// but inside a model run acquisition order is decided by the scheduler
+/// (the real lock is only ever taken once the model has granted it, so it
+/// never blocks on the OS).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    obj: ObjId,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard of a [`Mutex`]; releases the real lock, then the model lock, on
+/// drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mx: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex. Usable in `static`s.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            obj: ObjId::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, reproducing std's poisoning semantics.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((sched, tid)) = ctx() {
+            let id = self.obj.get(&sched);
+            sched.op(tid, Pending::Lock(id));
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                mx: self,
+                std: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                mx: self,
+                std: Some(p.into_inner()),
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_deref().expect("guard holds the real lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_deref_mut().expect("guard holds the real lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model one: by the time another
+        // thread can be granted the model mutex, the real mutex must
+        // already be free.
+        drop(self.std.take());
+        if let Some((sched, tid)) = ctx() {
+            let id = self.mx.obj.get(&sched);
+            sched.op(tid, Pending::Unlock(id));
+        }
+    }
+}
+
+/// Model-checked condition variable. `notify_one` wakes the lowest-id
+/// waiter instead of branching over the choice; spurious wakeups are not
+/// modelled — both are documented small-model limits.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    obj: ObjId,
+    real: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates the condvar. Usable in `static`s.
+    pub const fn new() -> Self {
+        Condvar {
+            obj: ObjId::new(),
+            real: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Releases the guard's mutex, parks until notified, reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mx = guard.mx;
+        if let Some((sched, tid)) = ctx() {
+            let m_id = mx.obj.get(&sched);
+            let cv_id = self.obj.get(&sched);
+            // Disassemble the guard by hand: the model releases the mutex
+            // atomically inside `op_wait`, so the guard's own Drop (which
+            // would emit a separate unlock op) must not run.
+            {
+                let mut g = guard;
+                drop(g.std.take());
+                std::mem::forget(g);
+            }
+            sched.op_wait(tid, cv_id, m_id);
+            // The model granted the reacquisition, so the real lock is free.
+            return match mx.inner.lock() {
+                Ok(g) => Ok(MutexGuard { mx, std: Some(g) }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    mx,
+                    std: Some(p.into_inner()),
+                })),
+            };
+        }
+        let std_guard = {
+            let mut g = guard;
+            let inner = g.std.take().expect("guard holds the real lock");
+            std::mem::forget(g);
+            inner
+        };
+        match self.real.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard { mx, std: Some(g) }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                mx,
+                std: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if let Some((sched, tid)) = ctx() {
+            let id = self.obj.get(&sched);
+            sched.op(tid, Pending::NotifyAll(id));
+        } else {
+            self.real.notify_all();
+        }
+    }
+
+    /// Wakes one waiter (in the model: the lowest-id one).
+    pub fn notify_one(&self) {
+        if let Some((sched, tid)) = ctx() {
+            let id = self.obj.get(&sched);
+            sched.op(tid, Pending::NotifyOne(id));
+        } else {
+            self.real.notify_one();
+        }
+    }
+}
+
+/// Model-checked write-once cell; `set` really publishes through a real
+/// `std::sync::OnceLock`, so a double publication fails exactly as it
+/// would in production.
+#[derive(Debug, Default)]
+pub struct OnceLock<T> {
+    obj: ObjId,
+    inner: std::sync::OnceLock<T>,
+}
+
+/// The name the issue uses for the write-once cell; same type.
+pub type OnceCell<T> = OnceLock<T>;
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell. Usable in `static`s.
+    pub const fn new() -> Self {
+        OnceLock {
+            obj: ObjId::new(),
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Reads the published value, if any.
+    pub fn get(&self) -> Option<&T> {
+        self.touch("OnceLock get");
+        self.inner.get()
+    }
+
+    /// Publishes a value; `Err` returns it if someone else won the race.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        self.touch("OnceLock set");
+        self.inner.set(value)
+    }
+
+    /// Reads the value, publishing `f()` first if the cell is empty.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        self.touch("OnceLock get_or_init");
+        self.inner.get_or_init(f)
+    }
+
+    /// Consumes the cell, returning the value if one was published. Not a
+    /// visible operation: unique ownership means no interleaving matters.
+    pub fn into_inner(self) -> Option<T> {
+        self.inner.into_inner()
+    }
+
+    fn touch(&self, what: &'static str) {
+        if let Some((sched, tid)) = ctx() {
+            // Registering keeps the cell in the trace's object numbering.
+            let _ = self.obj.get(&sched);
+            sched.op(tid, Pending::Free(what));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Model-checked scoped-thread spawning.
+//!
+//! The workspace's protocols structure their parallelism exclusively as
+//! `std::thread::scope` fan-outs with explicitly joined handles, so that
+//! is the shape the model supports: [`spawn_scoped`] wraps
+//! `Scope::spawn`, registering the child with the scheduler, and the
+//! returned handle's [`join`](ScopedJoinHandle::join) is a visible
+//! operation enabled once the child finished.
+//!
+//! One rule for model code: **join every handle before the scope closes.**
+//! `std`'s implicit join at scope exit is invisible to the scheduler — a
+//! model thread that reaches it while children still wait for the baton
+//! would block the real OS thread without handing the baton on, hanging
+//! the execution instead of reporting a violation.
+
+use crate::sched::{clear_ctx, ctx, install_ctx, Pending, Sched};
+use std::sync::Arc;
+
+/// Joinable handle of a model-registered scoped thread; a drop-in for
+/// `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    std: std::thread::ScopedJoinHandle<'scope, T>,
+    model: Option<usize>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result (or the panic
+    /// payload, exactly like std).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(child) = self.model {
+            if let Some((sched, tid)) = ctx() {
+                sched.op(tid, Pending::Join(child));
+            }
+        }
+        // In a model run the child already finished (the Join op above was
+        // only enabled once it had), so this never blocks on the baton —
+        // at most it waits out the child's final unwinding.
+        self.std.join()
+    }
+}
+
+/// Marks the thread finished in the scheduler whether the closure returns
+/// or unwinds. Declared before the closure runs, so every shim guard
+/// inside the closure drops (emitting its model ops) first.
+struct FinishGuard {
+    sched: Arc<Sched>,
+    tid: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.sched.thread_finish(self.tid);
+        clear_ctx();
+    }
+}
+
+/// Spawns a scoped thread. Inside a model run the child is registered
+/// with the scheduler and starts only when first scheduled; outside one,
+/// this is exactly `scope.spawn(f)`.
+pub fn spawn_scoped<'scope, 'env, F, T>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    f: F,
+) -> ScopedJoinHandle<'scope, T>
+where
+    F: FnOnce() -> T + Send + 'scope,
+    T: Send + 'scope,
+{
+    let Some((sched, tid)) = ctx() else {
+        return ScopedJoinHandle {
+            std: scope.spawn(f),
+            model: None,
+        };
+    };
+    // The spawn itself is a visible operation; the child slot is allocated
+    // right after it, while this thread still holds the baton, so thread
+    // ids are deterministic.
+    sched.op(tid, Pending::Free("spawn"));
+    let child = sched.alloc_thread();
+    let sched2 = Arc::clone(&sched);
+    let std = scope.spawn(move || {
+        install_ctx(Arc::clone(&sched2), child);
+        sched2.thread_begin(child);
+        let _finish = FinishGuard {
+            sched: sched2,
+            tid: child,
+        };
+        f()
+    });
+    ScopedJoinHandle {
+        std,
+        model: Some(child),
+    }
+}

@@ -1,0 +1,280 @@
+//! Self-tests: the checker must find the textbook schedule bugs and pass
+//! their corrected counterparts — otherwise a green protocol model means
+//! nothing.
+
+use chk::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, OnceLock};
+use chk::{Model, Violation};
+use std::sync::atomic::Ordering;
+
+/// AB/BA lock ordering: the classic deadlock needs one preemption between
+/// the two acquisitions.
+#[test]
+fn detects_abba_deadlock() {
+    let report = Model::new().preemptions(2).check(|| {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        std::thread::scope(|scope| {
+            let t = chk::thread::spawn_scoped(scope, || {
+                let _ga = a.lock().expect("unpoisoned");
+                let _gb = b.lock().expect("unpoisoned");
+            });
+            {
+                let _gb = b.lock().expect("unpoisoned");
+                let _ga = a.lock().expect("unpoisoned");
+            }
+            let _ = t.join();
+        });
+    });
+    match &report.violation {
+        Some(Violation::Deadlock { blocked, .. }) => {
+            assert_eq!(blocked.len(), 2, "both threads stuck: {blocked:?}");
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}
+
+/// Lock-ordering discipline (both threads take `a` then `b`) never
+/// deadlocks; the checker must exhaust the space and stay silent.
+#[test]
+fn passes_ordered_locking() {
+    let report = Model::new().preemptions(2).check(|| {
+        let a = Mutex::new(0usize);
+        let b = Mutex::new(0usize);
+        std::thread::scope(|scope| {
+            let t = chk::thread::spawn_scoped(scope, || {
+                *a.lock().expect("unpoisoned") += 1;
+                *b.lock().expect("unpoisoned") += 1;
+            });
+            *a.lock().expect("unpoisoned") += 1;
+            *b.lock().expect("unpoisoned") += 1;
+            t.join().expect("no panic");
+        });
+        assert_eq!(*a.lock().expect("unpoisoned"), 2);
+        assert_eq!(*b.lock().expect("unpoisoned"), 2);
+    });
+    report.assert_ok("ordered locking");
+    assert!(report.executions > 1, "exploration actually branched");
+}
+
+/// The textbook lost wakeup: the waiter checks the flag and then waits,
+/// but the setter flips the flag *without the lock* and notifies while the
+/// waiter is between its check and its wait — the notify lands on an empty
+/// condvar and the waiter sleeps forever.
+#[test]
+fn detects_lost_wakeup() {
+    let report = Model::new().preemptions(2).check(|| {
+        let flag = AtomicBool::new(false);
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        std::thread::scope(|scope| {
+            let waiter = chk::thread::spawn_scoped(scope, || {
+                let guard = m.lock().expect("unpoisoned");
+                if !flag.load(Ordering::SeqCst) {
+                    // Bug under test: no re-check loop, and the flag flips
+                    // outside the mutex.
+                    let _guard = cv.wait(guard).expect("unpoisoned");
+                }
+            });
+            flag.store(true, Ordering::SeqCst);
+            cv.notify_all();
+            let _ = waiter.join();
+        });
+    });
+    assert!(
+        matches!(report.violation, Some(Violation::Deadlock { .. })),
+        "expected the lost wakeup to strand the waiter, got {:?}",
+        report.violation
+    );
+}
+
+/// The corrected handshake (flag mutated under the mutex, wait in a
+/// re-check loop) has no lost wakeup at the same bound.
+#[test]
+fn passes_correct_handshake() {
+    let report = Model::new().preemptions(2).check(|| {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|scope| {
+            let waiter = chk::thread::spawn_scoped(scope, || {
+                let mut ready = m.lock().expect("unpoisoned");
+                while !*ready {
+                    ready = cv.wait(ready).expect("unpoisoned");
+                }
+            });
+            *m.lock().expect("unpoisoned") = true;
+            cv.notify_all();
+            waiter.join().expect("no panic");
+        });
+    });
+    report.assert_ok("condvar handshake");
+}
+
+/// Two threads publishing into the same cell with an `is_ok` assert: one
+/// of them must lose, and the model finds the schedule where the assert
+/// fires.
+#[test]
+fn detects_double_publication() {
+    let report = Model::new().preemptions(2).check(|| {
+        let slot: OnceLock<usize> = OnceLock::new();
+        std::thread::scope(|scope| {
+            let t = chk::thread::spawn_scoped(scope, || {
+                assert!(slot.set(1).is_ok(), "publication raced");
+            });
+            assert!(slot.set(2).is_ok(), "publication raced");
+            let _ = t.join();
+        });
+    });
+    match &report.violation {
+        Some(Violation::Panic { message, .. }) => {
+            assert!(message.contains("publication raced"), "got: {message}");
+        }
+        other => panic!("expected the double publication to panic, got {other:?}"),
+    }
+}
+
+/// A claim protocol (fetch_add hands out distinct indices) makes the
+/// publications disjoint; same shape, no violation.
+#[test]
+fn passes_claimed_publication() {
+    let report = Model::new().preemptions(2).check(|| {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<usize>> = (0..2).map(|_| OnceLock::new()).collect();
+        let work = |name: usize| {
+            let idx = cursor.fetch_add(1, Ordering::SeqCst);
+            assert!(slots[idx].set(name).is_ok(), "claimed slot was taken");
+        };
+        std::thread::scope(|scope| {
+            let work = &work;
+            let t = chk::thread::spawn_scoped(scope, move || work(1));
+            work(0);
+            t.join().expect("no panic");
+        });
+        assert!(slots.iter().all(|s| s.get().is_some()));
+    });
+    report.assert_ok("claimed publication");
+}
+
+/// A torn read-modify-write (load, then store) loses updates; found within
+/// one preemption. The guarded version passes — checked in
+/// `passes_ordered_locking` above.
+#[test]
+fn detects_torn_increment() {
+    let report = Model::new().preemptions(1).check(|| {
+        let n = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let bump = || {
+                let seen = n.load(Ordering::SeqCst);
+                n.store(seen + 1, Ordering::SeqCst);
+            };
+            let t = chk::thread::spawn_scoped(scope, bump);
+            bump();
+            t.join().expect("no panic");
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    match &report.violation {
+        Some(Violation::Panic { message, .. }) => {
+            assert!(message.contains("an increment was lost"), "got: {message}");
+        }
+        other => panic!("expected the torn increment to fail, got {other:?}"),
+    }
+}
+
+/// The preemption bound is real: the torn increment needs one preemption,
+/// so bound 0 must explore clean and bound 1 must find it.
+#[test]
+fn preemption_bound_gates_the_search() {
+    let torn = || {
+        let n = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let bump = || {
+                let seen = n.load(Ordering::SeqCst);
+                n.store(seen + 1, Ordering::SeqCst);
+            };
+            let t = chk::thread::spawn_scoped(scope, bump);
+            bump();
+            t.join().expect("no panic");
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+    };
+    let at_zero = Model::new().preemptions(0).check(torn);
+    assert!(
+        at_zero.violation.is_none(),
+        "no preemptions -> no torn interleaving, got {:?}",
+        at_zero.violation
+    );
+    let at_one = Model::new().preemptions(1).check(torn);
+    assert!(
+        at_one.violation.is_some(),
+        "one preemption exposes the tear"
+    );
+    assert!(
+        at_one.executions >= at_zero.executions,
+        "a larger bound explores at least as many schedules"
+    );
+}
+
+/// Deterministic exploration: the same model explores the same number of
+/// executions every time.
+#[test]
+fn exploration_is_deterministic() {
+    let model = || {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|scope| {
+            let t = chk::thread::spawn_scoped(scope, || {
+                *m.lock().expect("unpoisoned") += 1;
+            });
+            *m.lock().expect("unpoisoned") += 1;
+            t.join().expect("no panic");
+        });
+    };
+    let a = Model::new().preemptions(2).check(model);
+    let b = Model::new().preemptions(2).check(model);
+    report_eq(&a, &b);
+    a.assert_ok("deterministic exploration");
+}
+
+fn report_eq(a: &chk::Report, b: &chk::Report) {
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.violation.is_some(), b.violation.is_some());
+    assert_eq!(a.truncated, b.truncated);
+}
+
+/// Truncation is reported, never silently treated as a pass.
+#[test]
+fn truncation_is_visible() {
+    let report = Model::new().preemptions(2).max_executions(3).check(|| {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    chk::thread::spawn_scoped(scope, || {
+                        *m.lock().expect("unpoisoned") += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("no panic");
+            }
+        });
+    });
+    assert!(report.truncated);
+    assert!(!report.ok());
+    assert_eq!(report.executions, 3);
+}
+
+/// Shims outside a model run fall back to plain std behaviour.
+#[test]
+fn shims_work_outside_check() {
+    let n = AtomicUsize::new(1);
+    assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+    let m = Mutex::new(5usize);
+    *m.lock().expect("unpoisoned") += 1;
+    assert_eq!(*m.lock().expect("unpoisoned"), 6);
+    let slot = OnceLock::new();
+    assert!(slot.set(9usize).is_ok());
+    assert!(slot.set(10).is_err());
+    assert_eq!(slot.get(), Some(&9));
+    let cv = Condvar::new();
+    cv.notify_all();
+}

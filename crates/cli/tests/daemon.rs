@@ -382,3 +382,71 @@ fn cli_verify_through_the_daemon_matches_the_local_verify_batch() {
         .expect("daemon exits cleanly");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `STOP` fired at the daemon with `FLOW` requests in flight, repeatedly:
+/// whatever the interleaving (stop before the flow's accept, between
+/// accept and dequeue, or mid-stream), a flow either completes its whole
+/// stream through `END` or is refused outright with **zero** rows — a
+/// partially transmitted stream is the one outcome shutdown must never
+/// produce. Ten rounds walk the race window; the `chk` model test in
+/// `sfq-server` covers the same handshake exhaustively at small scale.
+#[test]
+fn stop_racing_in_flight_flows_never_corrupts_a_stream() {
+    // Tiny inline designs keep each flow to milliseconds in debug builds;
+    // the race being probed is in the acceptor/queue, not the flow.
+    let designs: Vec<DesignSource> = (0..4)
+        .map(|j| DesignSource::Inline {
+            name: format!("t{j}.blif"),
+            content: format!(".model t{j}\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"),
+        })
+        .collect();
+    for round in 0..10 {
+        let sock = unique_socket(&format!("stoprace{round}"));
+        let mut config = ServerConfig::new(&sock);
+        config.handle_signals = false;
+        config.conn_threads = 2;
+        let server = std::thread::spawn({
+            let config = config.clone();
+            move || serve(&config)
+        });
+        wait_for_daemon(&sock);
+
+        let request = FlowRequest {
+            options: t1_options(),
+            designs: designs.clone(),
+        };
+        let (result, rows) = std::thread::scope(|scope| {
+            let flow = scope.spawn(|| {
+                let mut rows: Vec<(usize, String)> = Vec::new();
+                let result = client::flow(&sock, &request, |k, row| {
+                    rows.push((k, row.to_string()));
+                });
+                (result, rows)
+            });
+            // Race the shutdown against the in-flight flow; the STOP
+            // connection itself is always served (only STOP retires this
+            // daemon — no idle timeout, no signals).
+            client::stop(&sock).expect("stop request");
+            flow.join().expect("flow client thread")
+        });
+        match result {
+            Ok((ok, failed)) => {
+                assert_eq!((ok, failed), (4, 0), "round {round}: totals");
+                assert_eq!(
+                    rows.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+                    vec![0, 1, 2, 3],
+                    "round {round}: accepted stream ran to END in input order"
+                );
+            }
+            Err(_) => assert!(
+                rows.is_empty(),
+                "round {round}: a refused flow transmits nothing, got {rows:?}"
+            ),
+        }
+        server
+            .join()
+            .expect("server thread")
+            .expect("daemon exits cleanly");
+        assert!(!sock.exists(), "round {round}: socket removed on exit");
+    }
+}

@@ -1,0 +1,40 @@
+//! Workspace source-invariant lint. Run from anywhere in the workspace:
+//! `cargo run -p sfq-devtools --bin srclint`. Exits nonzero on findings.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // Under `cargo run`, CARGO_MANIFEST_DIR is crates/devtools/sfq-devtools;
+    // the workspace root is three levels up. Fall back to the current
+    // directory for a direct binary invocation.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut p = PathBuf::from(dir);
+        for _ in 0..3 {
+            p.pop();
+        }
+        if p.join("Cargo.toml").is_file() {
+            return p;
+        }
+    }
+    std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() {
+    let root = workspace_root();
+    match sfq_devtools::srclint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("srclint: clean ({})", root.display());
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("srclint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("srclint: failed to scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    }
+}

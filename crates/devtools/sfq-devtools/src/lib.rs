@@ -1,0 +1,7 @@
+//! Workspace developer tooling. Currently one tool: `srclint`, the
+//! text/AST-light source lint that keeps the workspace's unsafe- and
+//! concurrency-invariants from regressing (see [`srclint`]).
+
+#![deny(missing_docs)]
+
+pub mod srclint;

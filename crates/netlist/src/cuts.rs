@@ -456,9 +456,9 @@ struct NodeOut {
 /// condvar forever.
 #[cfg(feature = "parallel")]
 struct FrontierAbort<'a> {
-    abort: &'a std::sync::atomic::AtomicBool,
-    ready: &'a std::sync::Mutex<Vec<u32>>,
-    cv: &'a std::sync::Condvar,
+    abort: &'a crate::sync::AtomicBool,
+    ready: &'a crate::sync::Mutex<Vec<u32>>,
+    cv: &'a crate::sync::Condvar,
     armed: bool,
 }
 
@@ -466,7 +466,7 @@ struct FrontierAbort<'a> {
 impl Drop for FrontierAbort<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.abort.store(true, std::sync::atomic::Ordering::Release);
+            self.abort.store(true, crate::sync::Ordering::Release);
             // Taking the queue lock before notifying closes the race with a
             // worker that just checked the flag and is about to wait. A
             // poisoned lock is fine — we only need the mutual exclusion.
@@ -498,8 +498,7 @@ impl Drop for FrontierAbort<'_> {
 /// on the calling thread with their original payload.
 #[cfg(feature = "parallel")]
 pub fn enumerate_cuts_frontier(net: &Network, config: &CutConfig, workers: usize) -> CutSet {
-    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-    use std::sync::{Condvar, Mutex, OnceLock};
+    use crate::sync::{AtomicBool, AtomicU32, AtomicUsize, Condvar, Mutex, OnceLock, Ordering};
 
     assert!(
         config.max_leaves <= TruthTable::MAX_VARS,
@@ -662,7 +661,7 @@ pub fn enumerate_cuts_frontier(net: &Network, config: &CutConfig, workers: usize
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (1..workers.min(n))
-            .map(|_| scope.spawn(|| run(false)))
+            .map(|_| crate::sync::spawn_scoped(scope, || run(false)))
             .collect();
         run(true);
         for h in handles {

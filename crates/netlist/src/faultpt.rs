@@ -55,7 +55,7 @@ pub enum FaultAction {
 #[cfg(feature = "fault-injection")]
 mod imp {
     use super::FaultAction;
-    use std::sync::{Mutex, Once, OnceLock};
+    use crate::sync::{Mutex, Once, OnceLock};
 
     struct Fault {
         site: String,

@@ -55,6 +55,7 @@ pub mod mapper_reference;
 pub mod mffc;
 pub mod network;
 pub mod par;
+pub mod sync;
 
 pub use aig::{Aig, AigLit, AigNodeId};
 pub use blif::{parse_blif, write_blif, BlifError};

@@ -11,9 +11,15 @@
 //! single-core host the same happens at runtime, so the parallel build is
 //! never slower than the sequential one.
 
+use crate::sync;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide override installed by [`force_workers`] (0 = none).
+///
+/// Deliberately a plain std atomic even under the `chk` feature: it is
+/// process-wide *configuration* read before a fan-out starts, not part of
+/// any protocol a model explores (model tests pin it with
+/// [`force_workers`] before checking).
 static FORCED: AtomicUsize = AtomicUsize::new(0);
 
 /// Sanity cap on *explicit* worker overrides ([`force_workers`],
@@ -140,7 +146,9 @@ where
             let (head, tail) = rest.split_at_mut(chunk);
             rest = tail;
             let key = &key;
-            handles.push(scope.spawn(move || head.sort_unstable_by_key(|t| key(t))));
+            handles.push(sync::spawn_scoped(scope, move || {
+                head.sort_unstable_by_key(|t| key(t))
+            }));
         }
         // The coordinator sorts the final chunk instead of idling.
         rest.sort_unstable_by_key(|t| key(t));
@@ -324,12 +332,12 @@ where
         }
         return;
     }
-    let work: Vec<std::sync::Mutex<Option<T>>> = items
+    let work: Vec<sync::Mutex<Option<T>>> = items
         .into_iter()
-        .map(|item| std::sync::Mutex::new(Some(item)))
+        .map(|item| sync::Mutex::new(Some(item)))
         .collect();
-    let cursor = AtomicUsize::new(0);
-    let sink = std::sync::Mutex::new((
+    let cursor = sync::AtomicUsize::new(0);
+    let sink = sync::Mutex::new((
         EmitState {
             next: 0,
             pending: std::collections::BTreeMap::new(),
@@ -339,7 +347,7 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| loop {
+                sync::spawn_scoped(scope, || loop {
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     if k >= n {
                         break;

@@ -4,9 +4,9 @@
 //! # Job lifecycle
 //!
 //! The acceptor polls a nonblocking [`UnixListener`] and feeds accepted
-//! connections to a fixed pool of handler threads over an mpsc channel
-//! (one coarse receiver lock — handlers serialize only the dequeue, never
-//! the handling). Each connection carries one request: the handler parses
+//! connections to a fixed pool of handler threads over a closable
+//! [`WorkQueue`] (handlers serialize only the dequeue, never the
+//! handling). Each connection carries one request: the handler parses
 //! it, ingests designs through the shared [`ServerState`] cache, runs the
 //! flows via [`run_jobs_streamed`] — which fans designs over
 //! [`par::workers`](sfq_netlist::par::workers) threads *within* the
@@ -18,21 +18,23 @@
 //! Three triggers set one flag: a `STOP` request, `SIGTERM`/`SIGINT` (when
 //! [`ServerConfig::handle_signals`] is on), and the idle timeout (no
 //! connection accepted or finishing for [`ServerConfig::idle_timeout`]
-//! while none is active). Once set, the acceptor stops accepting and drops
-//! the channel sender; handlers drain the already-accepted backlog, finish
-//! their in-flight streams (every started `FLOW` response runs to its
-//! `END` line — shutdown never corrupts a stream), and exit. The socket
-//! file is removed on the way out.
+//! while none is active). Once set, the acceptor stops accepting and
+//! [`close`](WorkQueue::close)s the queue; handlers drain the
+//! already-accepted backlog, finish their in-flight streams (every started
+//! `FLOW` response runs to its `END` line — shutdown never corrupts a
+//! stream), and exit. The socket file is removed on the way out. The
+//! handshake is exhaustively schedule-explored by `tests/chk_models.rs`
+//! (see [`crate::sync`]).
 
 use crate::jobs::{run_jobs_streamed, run_verify_jobs_streamed, JobEntry, VerifyOptions};
 use crate::protocol::{read_request, FlowRequest, ProtocolError, Request};
+use crate::queue::WorkQueue;
 use crate::state::ServerState;
+use crate::sync::{AtomicBool, AtomicUsize, Mutex, Ordering};
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long the acceptor sleeps between polls of the nonblocking listener.
@@ -127,6 +129,9 @@ fn install_signal_handlers() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    // SAFETY: `signal(2)` with a valid signum and an `extern "C" fn(i32)`
+    // handler is sound; the handler body only stores to a static atomic
+    // (async-signal-safe), and nothing else installs signal dispositions.
     unsafe {
         signal(SIGTERM, handler);
         signal(SIGINT, handler);
@@ -174,31 +179,38 @@ pub fn serve(config: &ServerConfig) -> Result<(), ServerError> {
         .set_nonblocking(true)
         .map_err(io_err("setting the listener nonblocking"))?;
     let state = ServerState::new(config.cache_capacity);
-    let (tx, rx) = mpsc::channel::<UnixStream>();
-    let rx = Mutex::new(rx);
+    let queue: WorkQueue<UnixStream> = WorkQueue::new();
     // Accepted-but-unfinished connections; > 0 blocks the idle timeout.
     let active = AtomicUsize::new(0);
     let last_activity = Mutex::new(Instant::now());
+    let touch = || {
+        *last_activity.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
+    };
 
     std::thread::scope(|scope| {
-        for _ in 0..config.conn_threads.max(1) {
-            scope.spawn(|| loop {
-                // Hold the receiver lock only for the dequeue: when the
-                // sender is dropped and the backlog is drained, recv errors
-                // and the handler retires.
-                let conn = rx.lock().expect("connection queue lock").recv();
-                let Ok(stream) = conn else { break };
-                handle_connection(stream, &state);
-                active.fetch_sub(1, Ordering::SeqCst);
-                *last_activity.lock().expect("activity clock lock") = Instant::now();
-            });
-        }
+        let handlers: Vec<_> = (0..config.conn_threads.max(1))
+            .map(|_| {
+                crate::sync::spawn_scoped(scope, || {
+                    // `pop` blocks while the queue is open and returns None
+                    // only once it is closed **and** drained — so handlers
+                    // always finish the accepted backlog before retiring.
+                    while let Some(stream) = queue.pop() {
+                        handle_connection(stream, &state);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        touch();
+                    }
+                })
+            })
+            .collect();
         loop {
             if state.shutdown_requested() || SIGNALLED.load(Ordering::SeqCst) {
                 break;
             }
             if let Some(idle) = config.idle_timeout {
-                let quiet = last_activity.lock().expect("activity clock lock").elapsed();
+                let quiet = last_activity
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .elapsed();
                 if active.load(Ordering::SeqCst) == 0 && quiet >= idle {
                     break;
                 }
@@ -206,8 +218,13 @@ pub fn serve(config: &ServerConfig) -> Result<(), ServerError> {
             match listener.accept() {
                 Ok((stream, _addr)) => {
                     active.fetch_add(1, Ordering::SeqCst);
-                    *last_activity.lock().expect("activity clock lock") = Instant::now();
-                    if tx.send(stream).is_err() {
+                    touch();
+                    if let Err(refused) = queue.push(stream) {
+                        // Only this loop closes the queue, so a refusal is
+                        // unreachable; dropping the connection (client sees
+                        // a hangup) still beats serving past shutdown.
+                        drop(refused);
+                        active.fetch_sub(1, Ordering::SeqCst);
                         break;
                     }
                 }
@@ -221,8 +238,15 @@ pub fn serve(config: &ServerConfig) -> Result<(), ServerError> {
             }
         }
         // Stop accepting; handlers drain the backlog and finish in-flight
-        // streams before the scope joins them.
-        drop(tx);
+        // streams before retiring. Joining keeps a handler panic visible
+        // (and is what the model checker requires of scoped spawns).
+        queue.close();
+        for h in handlers {
+            // A handler can only die outside its containment (already a
+            // bug); keep shutting down — the remaining handlers and the
+            // socket cleanup matter more than re-raising here.
+            let _ = h.join();
+        }
     });
     std::fs::remove_file(&config.socket).map_err(io_err(format!(
         "removing socket `{}`",

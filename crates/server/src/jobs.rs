@@ -21,7 +21,6 @@ use sfq_netlist::{par, Design};
 use sfq_sim::margin::{analyze_margins, MarginConfig, MarginReport};
 use sfq_sim::{check_against_aig, EquivConfig, EquivError, EquivReport};
 use std::fmt;
-use std::sync::Mutex;
 
 /// One job: a display name plus its ingested design (ingest failures carry
 /// their rendered reason and become `FAILED(...)` rows).
@@ -79,7 +78,7 @@ fn report_row(name: &str, design: &Design, r: &FlowReport) -> String {
 /// forces one worker process-wide, so two concurrent retries (or a retry
 /// racing a test's own [`par::force_workers`] save/restore) must not
 /// interleave their save/restore pairs.
-static RETRY_LOCK: Mutex<()> = Mutex::new(());
+static RETRY_LOCK: crate::sync::Mutex<()> = crate::sync::Mutex::new(());
 
 /// Runs one job supervised and renders its row.
 ///
@@ -104,7 +103,9 @@ fn run_job(index: usize, entry: &JobEntry, config: &FlowConfig, limits: &Limits)
     };
     let mut outcome = run_flow_supervised(design, config, limits);
     if matches!(outcome, FlowOutcome::Panicked { .. }) && par::workers() > 1 {
-        let _retry = RETRY_LOCK.lock().expect("retry lock");
+        // A poisoned retry lock only means another retry panicked while
+        // holding it; the guarded save/restore is still well-formed.
+        let _retry = RETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let previous = par::forced_workers();
         par::force_workers(1);
         outcome = run_flow_supervised(design, config, limits);
@@ -116,16 +117,24 @@ fn run_job(index: usize, entry: &JobEntry, config: &FlowConfig, limits: &Limits)
             line: report_row(name, design, &res.report),
             kind: OutcomeKind::Ok,
         },
+        // `failure()` is Some for every non-Ok outcome; the fallback reason
+        // keeps the daemon's request path panic-free if that ever drifts.
         FlowOutcome::Panicked { .. } => failed(
-            outcome.failure().expect("panic outcome has a reason"),
+            outcome
+                .failure()
+                .unwrap_or_else(|| "unclassified panic".to_string()),
             OutcomeKind::Panicked,
         ),
         FlowOutcome::TimedOut => failed(
-            outcome.failure().expect("timeout outcome has a reason"),
+            outcome
+                .failure()
+                .unwrap_or_else(|| "unclassified timeout".to_string()),
             OutcomeKind::TimedOut,
         ),
         outcome => failed(
-            outcome.failure().expect("failed outcome has a reason"),
+            outcome
+                .failure()
+                .unwrap_or_else(|| "unclassified failure".to_string()),
             OutcomeKind::Failed,
         ),
     }
@@ -276,7 +285,7 @@ fn run_verify_job(
     };
     let mut outcome = sfq_core::supervise_task(limits, verify_task(design, config, vopts));
     if matches!(outcome, TaskOutcome::Panicked { .. }) && par::workers() > 1 {
-        let _retry = RETRY_LOCK.lock().expect("retry lock");
+        let _retry = RETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let previous = par::forced_workers();
         par::force_workers(1);
         outcome = sfq_core::supervise_task(limits, verify_task(design, config, vopts));

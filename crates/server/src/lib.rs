@@ -19,6 +19,9 @@
 //! * [`jobs`] — the streaming job engine shared with `sfqt1 flow --batch`:
 //!   supervised flows fanned over workers, rows emitted in input order as
 //!   they unblock, panicked jobs retried once sequentially;
+//! * [`queue`] — the closable connection work queue whose stop/drain
+//!   semantics carry the shutdown contract (model-checked under the `chk`
+//!   feature, see [`sync`]);
 //! * [`daemon`] — acceptor loop, connection thread pool, graceful shutdown
 //!   on `STOP` / `SIGTERM` / idle timeout;
 //! * [`client`] — the client calls the CLI's `--daemon` mode is built on.
@@ -34,7 +37,9 @@ pub mod client;
 pub mod daemon;
 pub mod jobs;
 pub mod protocol;
+pub mod queue;
 pub mod state;
+pub mod sync;
 
 pub use client::ClientError;
 pub use daemon::{serve, ServerConfig, ServerError};
@@ -43,4 +48,5 @@ pub use jobs::{
     JobRow, VerifyOptions,
 };
 pub use protocol::{DesignSource, FlowOptions, FlowRequest, Request, StatsReply};
+pub use queue::WorkQueue;
 pub use state::{OutcomeKind, ServerState};

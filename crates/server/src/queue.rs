@@ -1,0 +1,141 @@
+//! The daemon's connection work queue: a closable Mutex+Condvar channel
+//! with explicit drain semantics.
+//!
+//! This replaces the earlier `mpsc::channel` + `Mutex<Receiver>` pair in
+//! the acceptor with one purpose-built primitive whose whole protocol is
+//! three operations — [`push`](WorkQueue::push), [`pop`](WorkQueue::pop),
+//! [`close`](WorkQueue::close) — expressed against [`crate::sync`], so the
+//! stop/drain handshake is exhaustively schedule-explored by the `chk`
+//! model tests (`tests/chk_models.rs`) *as the production code*.
+//!
+//! Semantics, which encode the daemon's shutdown contract:
+//!
+//! * `push` enqueues FIFO and wakes one blocked consumer; after `close` it
+//!   refuses the item and hands it back — a late-accepted connection is
+//!   dropped by the caller, never silently leaked into a retired pool;
+//! * `pop` blocks while the queue is open and empty, and returns `None`
+//!   only once the queue is **closed and drained** — handlers always finish
+//!   the accepted backlog before retiring;
+//! * `close` is idempotent and wakes every blocked consumer.
+
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// What the lock guards: the FIFO backlog plus the closed flag. One mutex
+/// for both keeps "closed and drained" a single atomic observation.
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A closable FIFO handing work to a pool of blocking consumers.
+pub struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for WorkQueue<T> {
+    fn default() -> Self {
+        WorkQueue::new()
+    }
+}
+
+impl<T> WorkQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` and wakes one blocked consumer.
+    ///
+    /// # Errors
+    /// After [`close`](Self::close) the item is refused and returned, so
+    /// the producer can dispose of it (the daemon drops the connection —
+    /// the client sees a hangup, not a half-served request).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` only once the queue is closed **and** the
+    /// backlog is drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue (idempotent) and wakes every blocked consumer so
+    /// they can drain the backlog and retire.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_after_close_returns_the_item() {
+        let q: WorkQueue<u32> = WorkQueue::new();
+        assert_eq!(q.push(1), Ok(()));
+        q.close();
+        assert_eq!(q.push(2), Err(2));
+        // The pre-close backlog still drains.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_pop_stays_none() {
+        let q: WorkQueue<u32> = WorkQueue::new();
+        q.close();
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_order_across_threads() {
+        let q: WorkQueue<usize> = WorkQueue::new();
+        let got = std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(x) = q.pop() {
+                    got.push(x);
+                }
+                got
+            });
+            for i in 0..64 {
+                q.push(i).expect("queue open");
+            }
+            q.close();
+            consumer.join().expect("consumer finishes")
+        });
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -8,9 +8,8 @@
 //! thread pool.
 
 use crate::protocol::{DesignSource, StatsReply};
+use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 use sfq_netlist::{Design, DesignCache};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Daemon-lifetime shared state.
 pub struct ServerState {
@@ -65,7 +64,9 @@ impl ServerState {
     /// The rendered ingest failure — callers turn it into a `FAILED(...)`
     /// row rather than aborting the request.
     pub fn ingest(&self, source: &DesignSource) -> Result<Design, String> {
-        let mut cache = self.cache.lock().expect("design cache lock");
+        // A poisoned cache only means another handler died mid-parse; the
+        // cache itself is valid after any parse step, so keep serving.
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         match source {
             DesignSource::Path { path, .. } => cache.load(path),
             DesignSource::Inline { name, content } => {
@@ -99,7 +100,7 @@ impl ServerState {
             failed: self.failed.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
-            cache: self.cache.lock().expect("design cache lock").stats(),
+            cache: self.cache.lock().unwrap_or_else(|e| e.into_inner()).stats(),
             // Resolved at reply time, so a `STATS` probe always reports what
             // the *next* flow request would actually use.
             workers: sfq_netlist::par::workers() as u64,

@@ -1,0 +1,113 @@
+//! Exhaustive schedule exploration of the daemon's stop/drain handshake,
+//! running the **production** [`sfq_server::queue::WorkQueue`] and
+//! [`sfq_server::state::ServerState`] against the `chk` model checker's
+//! shims via `crate::sync`.
+//!
+//! Compiled only under the `chk` cargo feature:
+//!
+//! ```text
+//! cargo test --release -p sfq-server --features chk --test chk_models
+//! ```
+//!
+//! The model mirrors `daemon::serve`'s shape with the I/O stripped out:
+//! an acceptor pushes tokens (connections) and closes the queue once
+//! shutdown is observed, a stopper races `request_shutdown` against the
+//! in-flight pushes, and a pool of handlers drains. The invariant under
+//! **every** schedule: each accepted token is processed exactly once —
+//! shutdown never drops the backlog and never strands a parked handler.
+#![cfg(feature = "chk")]
+
+use sfq_server::sync::{AtomicUsize, Ordering};
+use sfq_server::{ServerState, WorkQueue};
+
+/// The daemon stop/drain handshake: a `STOP` racing in-flight accepts must
+/// neither lose an accepted connection nor deadlock the pool.
+#[test]
+fn stop_drains_backlog_without_losing_accepted_work() {
+    let report = chk::Model::new().preemptions(2).check(|| {
+        let state = ServerState::new(1);
+        let queue: WorkQueue<usize> = WorkQueue::new();
+        let accepted = AtomicUsize::new(0);
+        let processed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handlers: Vec<_> = (0..2)
+                .map(|_| {
+                    chk::thread::spawn_scoped(scope, || {
+                        while queue.pop().is_some() {
+                            processed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            let stopper = chk::thread::spawn_scoped(scope, || {
+                state.request_shutdown();
+            });
+            // The acceptor: accept until shutdown is observed, then close.
+            // Mirrors `serve`'s loop — only this thread closes the queue,
+            // so its own pushes cannot be refused.
+            for token in 0..2usize {
+                if state.shutdown_requested() {
+                    break;
+                }
+                assert!(queue.push(token).is_ok(), "acceptor races no closer");
+                accepted.fetch_add(1, Ordering::SeqCst);
+            }
+            queue.close();
+            stopper.join().expect("stopper finishes");
+            for h in handlers {
+                h.join().expect("handler retires");
+            }
+        });
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            processed.load(Ordering::SeqCst),
+            "every accepted connection is handled, none lost to shutdown"
+        );
+    });
+    report.assert_ok("daemon stop/drain handshake");
+    assert!(
+        report.executions > 10,
+        "exploration actually branched: {} executions",
+        report.executions
+    );
+}
+
+/// Push-after-close hands the connection back under every schedule: a
+/// racing producer that loses to `close` gets its item refused, and the
+/// totals still balance (refused items are disposed, not half-served).
+#[test]
+fn late_push_is_refused_never_leaked() {
+    let report = chk::Model::new().preemptions(2).check(|| {
+        let queue: WorkQueue<usize> = WorkQueue::new();
+        let delivered = AtomicUsize::new(0);
+        let refused = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let producer = chk::thread::spawn_scoped(scope, || match queue.push(7) {
+                Ok(()) => delivered.fetch_add(1, Ordering::SeqCst),
+                Err(item) => {
+                    assert_eq!(item, 7, "the refused item comes back intact");
+                    refused.fetch_add(1, Ordering::SeqCst)
+                }
+            });
+            queue.close();
+            producer.join().expect("producer finishes");
+        });
+        let drained = std::iter::from_fn(|| queue.pop()).count();
+        assert_eq!(
+            drained,
+            delivered.load(Ordering::SeqCst),
+            "exactly the delivered items drain"
+        );
+        assert_eq!(
+            delivered.load(Ordering::SeqCst) + refused.load(Ordering::SeqCst),
+            1,
+            "the push either delivers or refuses, never both or neither"
+        );
+    });
+    report.assert_ok("push/close race");
+    assert!(
+        report.executions > 1,
+        "exploration actually branched: {} executions",
+        report.executions
+    );
+}
